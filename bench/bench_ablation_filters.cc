@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Ablation — the gradual-filtering thresholds (DESIGN.md §7.3).
+ *
+ * Sweeps the hot-filter threshold (trace-cache admission) and the
+ * blazing threshold (optimizer admission) on the TON model. Low hot
+ * thresholds admit noise (more insertions, more aborts); high ones
+ * forfeit coverage. Low blazing thresholds waste optimizer energy on
+ * cold traces; high ones delay the benefit — the paper's "relaxed
+ * optimizer" argument rests on the high reuse beyond this threshold.
+ */
+
+#include <cstdio>
+
+#include "common/bench_util.hh"
+#include "stats/table.hh"
+
+int
+main()
+{
+    using namespace parrot;
+    const auto suite = workload::smallSuite();
+    const std::uint64_t insts = bench::benchInstBudget();
+
+    std::printf("Ablation: hot-filter threshold sweep (TON, %zu apps)\n",
+                suite.size());
+    stats::TextTable hot_table;
+    hot_table.addRow({"hot-thr", "coverage", "IPC", "inserted",
+                      "abort-rate", "dynE(uJ)"});
+    for (unsigned thr : {2u, 4u, 6u, 12u, 24u, 48u}) {
+        double cov = 0, ipc = 0, inserted = 0, aborts = 0, preds = 0;
+        double energy = 0;
+        for (const auto &entry : suite) {
+            auto cfg = sim::ModelConfig::make("TON");
+            cfg.hotFilter.threshold = thr;
+            sim::ParrotSimulator s(cfg, sim::loadWorkload(entry));
+            auto r = s.run(insts, 0.0);
+            cov += r.coverage;
+            ipc += r.ipc;
+            inserted += static_cast<double>(r.tracesInserted);
+            aborts += static_cast<double>(r.traceMispredicts);
+            preds += static_cast<double>(r.tracePredictions);
+            energy += r.dynamicEnergy;
+        }
+        const double n = static_cast<double>(suite.size());
+        hot_table.addRow({
+            std::to_string(thr),
+            stats::TextTable::num(cov / n, 3),
+            stats::TextTable::num(ipc / n, 3),
+            stats::TextTable::num(inserted / n, 0),
+            stats::TextTable::num(preds > 0 ? aborts / preds : 0.0, 3),
+            stats::TextTable::num(energy / n * 1e-6, 2),
+        });
+    }
+    std::printf("%s\n", hot_table.render().c_str());
+
+    std::printf("Ablation: blazing-filter threshold sweep (TON)\n");
+    stats::TextTable blaze_table;
+    blaze_table.addRow({"blaze-thr", "optimized", "utilization", "IPC",
+                        "uop-red(dyn)"});
+    for (unsigned thr : {6u, 12u, 24u, 48u, 96u}) {
+        double opt = 0, util = 0, ipc = 0, red = 0;
+        for (const auto &entry : suite) {
+            auto cfg = sim::ModelConfig::make("TON");
+            cfg.blazeFilter.threshold = thr;
+            sim::ParrotSimulator s(cfg, sim::loadWorkload(entry));
+            auto r = s.run(insts, 0.0);
+            opt += static_cast<double>(r.tracesOptimized);
+            util += r.optimizerUtilization;
+            ipc += r.ipc;
+            red += r.dynamicUopReduction;
+        }
+        const double n = static_cast<double>(suite.size());
+        blaze_table.addRow({
+            std::to_string(thr),
+            stats::TextTable::num(opt / n, 0),
+            stats::TextTable::num(util / n, 1),
+            stats::TextTable::num(ipc / n, 3),
+            stats::TextTable::num(red / n, 3),
+        });
+    }
+    std::printf("%s\n", blaze_table.render().c_str());
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Ablation — optimization classes (the companion-paper breakdown the
+ * paper cites in §2.4): none, generic-only (propagation + DCE +
+ * promotion) and the full core-specific set (plus fusion,
+ * SIMDification, critical-path scheduling) on the TON model.
+ *
+ * Paper shape: core-specific optimizations "more than double" the
+ * gains of the generic ones.
+ */
+
+#include <cstdio>
+
+#include "common/bench_util.hh"
+#include "stats/table.hh"
+
+int
+main()
+{
+    using namespace parrot;
+    auto suite = workload::killerApps();
+    auto more = workload::smallSuite();
+    suite.insert(suite.end(), more.begin(), more.end());
+    const std::uint64_t insts = bench::benchInstBudget();
+
+    struct Variant
+    {
+        const char *name;
+        optimizer::OptimizerConfig cfg;
+    };
+    const Variant variants[] = {
+        {"none", optimizer::OptimizerConfig::disabled()},
+        {"generic", optimizer::OptimizerConfig::genericOnly()},
+        {"full", optimizer::OptimizerConfig{}},
+    };
+
+    std::printf("Ablation: optimization classes on TON (%zu apps)\n",
+                suite.size());
+    stats::TextTable table;
+    table.addRow({"passes", "IPC", "uop-red(dyn)", "dep-red",
+                  "dynE(uJ)"});
+    for (const auto &variant : variants) {
+        double ipc = 0, red = 0, dep = 0, energy = 0;
+        for (const auto &entry : suite) {
+            auto cfg = sim::ModelConfig::make("TON");
+            cfg.optimizer = variant.cfg;
+            sim::ParrotSimulator s(cfg, sim::loadWorkload(entry));
+            auto r = s.run(insts, 0.0);
+            ipc += r.ipc;
+            red += r.dynamicUopReduction;
+            dep += r.avgDepReduction;
+            energy += r.dynamicEnergy;
+        }
+        const double n = static_cast<double>(suite.size());
+        table.addRow({
+            variant.name,
+            stats::TextTable::num(ipc / n, 3),
+            stats::TextTable::num(red / n, 3),
+            stats::TextTable::num(dep / n, 3),
+            stats::TextTable::num(energy / n * 1e-6, 2),
+        });
+    }
+    std::printf("%s\n", table.render().c_str());
+    return 0;
+}

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Ablation — next-line prefetching (an extension beyond the paper):
+ * how much of the baseline's memory-boundedness a trivial prefetcher
+ * recovers, and whether it changes the N-vs-TON comparison.
+ */
+
+#include <cstdio>
+
+#include "common/bench_util.hh"
+#include "stats/table.hh"
+
+int
+main()
+{
+    using namespace parrot;
+    const auto suite = workload::smallSuite();
+    const std::uint64_t insts = bench::benchInstBudget();
+
+    std::printf("Ablation: next-line L1D/L1I prefetch (%zu apps)\n",
+                suite.size());
+    stats::TextTable table;
+    table.addRow({"config", "IPC", "l1d-miss", "dynE(uJ)"});
+    for (const char *model : {"N", "TON"}) {
+        for (bool prefetch : {false, true}) {
+            auto cfg = sim::ModelConfig::make(model);
+            cfg.memory.l1dNextLinePrefetch = prefetch;
+            cfg.memory.l1iNextLinePrefetch = prefetch;
+            double ipc = 0, miss = 0, energy = 0;
+            for (const auto &entry : suite) {
+                sim::ParrotSimulator s(cfg, sim::loadWorkload(entry));
+                auto r = s.run(insts, 0.0);
+                ipc += r.ipc;
+                miss += r.l1dMissRate;
+                energy += r.dynamicEnergy;
+            }
+            const double n = static_cast<double>(suite.size());
+            table.addRow({
+                std::string(model) + (prefetch ? "+pf" : ""),
+                stats::TextTable::num(ipc / n, 3),
+                stats::TextTable::num(miss / n, 4),
+                stats::TextTable::num(energy / n * 1e-6, 2),
+            });
+        }
+    }
+    std::printf("%s\n", table.render().c_str());
+    return 0;
+}

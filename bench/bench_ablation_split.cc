@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Ablation — the split-core design space (the paper's declared future
+ * work, §5): how the TOS split microarchitecture responds to the
+ * cross-core state-switch cost and to the hot core's width.
+ *
+ * The state-switch mechanism forwards every register written since the
+ * last switch (§2.3); its base latency is swept here, alongside the
+ * hot core width, against the unified TON/TOW alternatives.
+ */
+
+#include <cstdio>
+
+#include "common/bench_util.hh"
+#include "stats/table.hh"
+
+int
+main()
+{
+    using namespace parrot;
+    const auto suite = workload::smallSuite();
+    const std::uint64_t insts = bench::benchInstBudget();
+
+    auto run_avg = [&](const sim::ModelConfig &cfg, double &ipc,
+                       double &energy) {
+        ipc = 0.0;
+        energy = 0.0;
+        for (const auto &entry : suite) {
+            sim::ParrotSimulator s(cfg, sim::loadWorkload(entry));
+            auto r = s.run(insts, 0.0);
+            ipc += r.ipc;
+            energy += r.dynamicEnergy;
+        }
+        ipc /= static_cast<double>(suite.size());
+        energy /= static_cast<double>(suite.size());
+    };
+
+    std::printf("Ablation: split-core state-switch penalty (TOS, %zu "
+                "apps)\n", suite.size());
+    stats::TextTable sw_table;
+    sw_table.addRow({"switch-penalty", "IPC", "dynE(uJ)"});
+    for (unsigned penalty : {0u, 2u, 4u, 8u, 16u}) {
+        auto cfg = sim::ModelConfig::make("TOS");
+        cfg.stateSwitchPenalty = penalty;
+        double ipc, energy;
+        run_avg(cfg, ipc, energy);
+        sw_table.addRow({
+            std::to_string(penalty),
+            stats::TextTable::num(ipc, 3),
+            stats::TextTable::num(energy * 1e-6, 2),
+        });
+    }
+    std::printf("%s\n", sw_table.render().c_str());
+
+    std::printf("Ablation: split hot-core width vs unified designs\n");
+    stats::TextTable w_table;
+    w_table.addRow({"design", "IPC", "dynE(uJ)"});
+    for (unsigned width : {4u, 6u, 8u}) {
+        auto cfg = sim::ModelConfig::make("TOS");
+        cfg.hotCore.width = width;
+        cfg.hotCore.issueWidth = width;
+        cfg.name = "TOS-hot" + std::to_string(width);
+        double ipc, energy;
+        run_avg(cfg, ipc, energy);
+        w_table.addRow({
+            cfg.name,
+            stats::TextTable::num(ipc, 3),
+            stats::TextTable::num(energy * 1e-6, 2),
+        });
+    }
+    for (const char *unified : {"TON", "TOW"}) {
+        double ipc, energy;
+        run_avg(sim::ModelConfig::make(unified), ipc, energy);
+        w_table.addRow({
+            unified,
+            stats::TextTable::num(ipc, 3),
+            stats::TextTable::num(energy * 1e-6, 2),
+        });
+    }
+    std::printf("%s\n", w_table.render().c_str());
+    return 0;
+}

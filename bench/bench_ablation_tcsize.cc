@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Ablation — trace-cache capacity vs coverage (DESIGN.md §7).
+ *
+ * The paper notes coverage "represents the quality of the trace
+ * prediction, selection and filtering mechanisms with respect to the
+ * trace-cache size". This sweep quantifies that: frames from 64 to
+ * 2048 on the TON model.
+ */
+
+#include <cstdio>
+
+#include "common/bench_util.hh"
+#include "stats/table.hh"
+
+int
+main()
+{
+    using namespace parrot;
+    const auto suite = workload::smallSuite();
+    const std::uint64_t insts = bench::benchInstBudget();
+
+    std::printf("Ablation: trace-cache frames vs coverage (TON, %zu "
+                "apps)\n", suite.size());
+    stats::TextTable table;
+    table.addRow({"frames", "coverage", "IPC", "evictions",
+                  "dynE(uJ)"});
+    for (unsigned frames : {64u, 128u, 256u, 512u, 1024u, 2048u}) {
+        double cov = 0, ipc = 0, evict = 0, energy = 0;
+        for (const auto &entry : suite) {
+            auto cfg = sim::ModelConfig::make("TON");
+            cfg.traceCache.numEntries = frames;
+            sim::ParrotSimulator s(cfg, sim::loadWorkload(entry));
+            auto r = s.run(insts, 0.0);
+            cov += r.coverage;
+            ipc += r.ipc;
+            energy += r.dynamicEnergy;
+            (void)evict;
+        }
+        const double n = static_cast<double>(suite.size());
+        table.addRow({
+            std::to_string(frames),
+            stats::TextTable::num(cov / n, 3),
+            stats::TextTable::num(ipc / n, 3),
+            "-",
+            stats::TextTable::num(energy / n * 1e-6, 2),
+        });
+    }
+    std::printf("%s\n", table.render().c_str());
+    return 0;
+}

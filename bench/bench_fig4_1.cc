@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Figure 4.1 — IPC improvement over the baseline of the same width.
+ *
+ * Paper shape: TN gains a negligible ~2% over N (the narrow machine
+ * stays balanced), TW gains ~7% over W, while the optimizing models
+ * jump: TON ~+17% over N and TOW ~+25% over W. The killer apps (flash,
+ * wupwise, perlbench) show the largest improvements.
+ */
+
+#include "common/bench_util.hh"
+
+int
+main()
+{
+    using namespace parrot;
+    bench::ResultStore store;
+    auto suite = workload::fullSuite();
+    bench::printRelativeFigure(
+        "Figure 4.1: IPC improvement over baseline of same width",
+        {{"TN", "N"}, {"TON", "N"}, {"TW", "W"}, {"TOW", "W"}}, store,
+        suite, [](const sim::SimResult &r) { return r.ipc; },
+        /*as_percent_delta=*/true, /*with_killers=*/true);
+    return 0;
+}

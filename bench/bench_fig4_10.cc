@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Figure 4.10 — utilization of the optimizer's work: the average
+ * number of dynamic executions of each optimized trace (TOW).
+ *
+ * Paper shape: highest reuse on SpecFP (hundreds of executions per
+ * optimized trace) thanks to the good locality of traces, lower on the
+ * irregular groups — the reuse that amortizes the optimizer's energy.
+ */
+
+#include "common/bench_util.hh"
+
+int
+main()
+{
+    using namespace parrot;
+    bench::ResultStore store;
+    auto suite = workload::fullSuite();
+
+    bench::printAbsoluteFigure(
+        "Figure 4.10: executions per optimized trace (TOW)", {"TOW"},
+        store, suite,
+        [](const sim::SimResult &r) {
+            return std::max(r.optimizerUtilization, 1e-6);
+        },
+        1);
+
+    bench::printAbsoluteFigure(
+        "Supplement: optimized traces per application (TOW)", {"TOW"},
+        store, suite,
+        [](const sim::SimResult &r) {
+            return std::max(static_cast<double>(r.tracesOptimized),
+                            1e-6);
+        },
+        0);
+    return 0;
+}

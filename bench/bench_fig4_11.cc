@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Figure 4.11 — energy breakdown by major component for three models
+ * of very different character (baseline N, power-aware narrow TON and
+ * the conceptual split-core TOS) on three representative applications
+ * (flash, swim, gcc).
+ *
+ * Paper shape: the front-end's share shrinks dramatically from N to
+ * TON to TOS; execution components grow on the wider TOS; the whole
+ * trace unit (filters, construction, optimization) costs on the order
+ * of 10% of total energy.
+ */
+
+#include <cstdio>
+
+#include "common/bench_util.hh"
+#include "stats/table.hh"
+
+int
+main()
+{
+    using namespace parrot;
+    bench::ResultStore store;
+
+    static const char *const apps[] = {"flash", "swim", "gcc"};
+    static const char *const models[] = {"N", "TON", "TOS"};
+
+    for (const char *app : apps) {
+        auto entry = workload::findApp(app);
+        std::printf("Figure 4.11: energy breakdown — %s\n", app);
+        stats::TextTable table;
+        std::vector<std::string> header{"unit"};
+        for (const char *m : models)
+            header.push_back(m);
+        table.addRow(header);
+
+        sim::SimResult results[3];
+        for (int m = 0; m < 3; ++m)
+            results[m] = store.get(models[m], entry);
+
+        for (unsigned u = 0; u < power::numPowerUnits; ++u) {
+            std::vector<std::string> row{
+                power::powerUnitName(static_cast<power::PowerUnit>(u))};
+            for (int m = 0; m < 3; ++m) {
+                double share =
+                    results[m].unitEnergy[u] / results[m].totalEnergy;
+                row.push_back(stats::TextTable::num(share * 100.0, 1) +
+                              "%");
+            }
+            table.addRow(row);
+        }
+        std::vector<std::string> total{"total (uJ)"};
+        for (int m = 0; m < 3; ++m)
+            total.push_back(stats::TextTable::num(
+                results[m].totalEnergy * 1e-6, 2));
+        table.addRow(total);
+        std::printf("%s\n", table.render().c_str());
+    }
+    return 0;
+}

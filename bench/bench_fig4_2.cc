@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Figure 4.2 — increased energy consumption over the baseline of the
+ * same width.
+ *
+ * Paper shape: every extension of the wide machine *saves* energy (the
+ * base W is vastly inefficient); relative to the narrow machine only
+ * TW shows a significant increase (~12%), while TON stays within a few
+ * percent of N.
+ */
+
+#include "common/bench_util.hh"
+
+int
+main()
+{
+    using namespace parrot;
+    bench::ResultStore store;
+    auto suite = workload::fullSuite();
+    bench::printRelativeFigure(
+        "Figure 4.2: energy increase over baseline of same width",
+        {{"TN", "N"}, {"TON", "N"}, {"TW", "W"}, {"TOW", "W"}}, store,
+        suite, [](const sim::SimResult &r) { return r.totalEnergy; },
+        /*as_percent_delta=*/true, /*with_killers=*/true);
+    return 0;
+}

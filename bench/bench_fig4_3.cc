@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Figure 4.3 — improved power awareness (cubic-MIPS-per-Watt) over the
+ * baseline of the same width.
+ *
+ * Paper shape: TON improves CMPW over N by ~32%; TOW improves over W
+ * by ~92%.
+ */
+
+#include "common/bench_util.hh"
+
+int
+main()
+{
+    using namespace parrot;
+    bench::ResultStore store;
+    auto suite = workload::fullSuite();
+    bench::printRelativeFigure(
+        "Figure 4.3: CMPW (power-awareness) improvement over baseline",
+        {{"TN", "N"}, {"TON", "N"}, {"TW", "W"}, {"TOW", "W"}}, store,
+        suite, [](const sim::SimResult &r) { return r.cmpw; },
+        /*as_percent_delta=*/true, /*with_killers=*/true);
+    return 0;
+}

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Figure 4.4 — IPC of the extreme design points relative to the 4-wide
+ * baseline N.
+ *
+ * Paper shape: widening helps (W ~ +15%); TON slightly outperforms W
+ * at a fraction of its energy; the full TOW reaches ~+45% over N. TOS
+ * is the conceptual split-core reference.
+ */
+
+#include "common/bench_util.hh"
+
+int
+main()
+{
+    using namespace parrot;
+    bench::ResultStore store;
+    auto suite = workload::fullSuite();
+    bench::printRelativeFigure(
+        "Figure 4.4: IPC relative to the 4-wide baseline N",
+        {{"W", "N"}, {"TON", "N"}, {"TOW", "N"}, {"TOS", "N"}}, store,
+        suite, [](const sim::SimResult &r) { return r.ipc; },
+        /*as_percent_delta=*/true, /*with_killers=*/false);
+    return 0;
+}

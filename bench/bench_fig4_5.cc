@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Figure 4.5 — total energy relative to the 4-wide baseline N.
+ *
+ * Paper shape: W consumes ~60-70% more energy than N; TON consumes
+ * ~39% less than W (about N's level); TOW sits well below W.
+ */
+
+#include "common/bench_util.hh"
+
+int
+main()
+{
+    using namespace parrot;
+    bench::ResultStore store;
+    auto suite = workload::fullSuite();
+    bench::printRelativeFigure(
+        "Figure 4.5: total energy relative to the 4-wide baseline N",
+        {{"W", "N"}, {"TON", "N"}, {"TOW", "N"}, {"TOS", "N"}}, store,
+        suite, [](const sim::SimResult &r) { return r.totalEnergy; },
+        /*as_percent_delta=*/true, /*with_killers=*/false);
+
+    // The paper's headline cross-comparison: TON against W.
+    bench::printRelativeFigure(
+        "Cross-check: TON vs W (paper: ~39% lower energy, similar IPC)",
+        {{"TON", "W"}}, store, suite,
+        [](const sim::SimResult &r) { return r.totalEnergy; },
+        /*as_percent_delta=*/true, /*with_killers=*/false);
+    return 0;
+}

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Figure 4.6 — power awareness (CMPW) relative to the 4-wide baseline.
+ *
+ * Paper shape: the PARROT extensions dominate mere widening — TON's
+ * CMPW is ~67% better than W's, and TOW improves ~51% over N.
+ */
+
+#include "common/bench_util.hh"
+
+int
+main()
+{
+    using namespace parrot;
+    bench::ResultStore store;
+    auto suite = workload::fullSuite();
+    bench::printRelativeFigure(
+        "Figure 4.6: CMPW relative to the 4-wide baseline N",
+        {{"W", "N"}, {"TON", "N"}, {"TOW", "N"}, {"TOS", "N"}}, store,
+        suite, [](const sim::SimResult &r) { return r.cmpw; },
+        /*as_percent_delta=*/true, /*with_killers=*/false);
+
+    bench::printRelativeFigure(
+        "Cross-check: TON vs W (paper: ~67% better CMPW)", {{"TON", "W"}},
+        store, suite, [](const sim::SimResult &r) { return r.cmpw; },
+        /*as_percent_delta=*/true, /*with_killers=*/false);
+    return 0;
+}

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Figure 4.9 — optimizer impact on the TOW model: reduction in the
+ * number of dynamically executed uops and in the average trace
+ * dependence (critical-path) height.
+ *
+ * Paper shape: ~19% average uop reduction, ~8% average dependence
+ * reduction, with relatively higher dependence reduction on the
+ * complex SpecInt code.
+ */
+
+#include "common/bench_util.hh"
+
+int
+main()
+{
+    using namespace parrot;
+    bench::ResultStore store;
+    auto suite = workload::fullSuite();
+
+    bench::printAbsoluteFigure(
+        "Figure 4.9a: dynamic uop reduction on hot traces (TOW)",
+        {"TOW"}, store, suite,
+        [](const sim::SimResult &r) {
+            return std::max(r.dynamicUopReduction, 1e-6);
+        },
+        3);
+
+    bench::printAbsoluteFigure(
+        "Figure 4.9b: average dependence-height reduction (TOW)",
+        {"TOW"}, store, suite,
+        [](const sim::SimResult &r) {
+            return std::max(r.avgDepReduction, 1e-6);
+        },
+        3);
+
+    bench::printAbsoluteFigure(
+        "Figure 4.9c: static uop reduction per optimized trace (TOW)",
+        {"TOW"}, store, suite,
+        [](const sim::SimResult &r) {
+            return std::max(r.avgUopReduction, 1e-6);
+        },
+        3);
+    return 0;
+}

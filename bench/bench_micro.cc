@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the infrastructure itself:
+ * simulator throughput per model, functional-executor speed, optimizer
+ * pass cost, and the hot structures (cache, predictor, filter).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "memory/cache.hh"
+#include "optimizer/optimizer.hh"
+#include "sim/simulator.hh"
+#include "tracecache/constructor.hh"
+#include "tracecache/filter.hh"
+#include "tracecache/selector.hh"
+#include "workload/apps.hh"
+#include "workload/executor.hh"
+#include "workload/generator.hh"
+
+namespace
+{
+
+using namespace parrot;
+
+const sim::Workload &
+sharedWorkload()
+{
+    static sim::Workload w =
+        sim::loadWorkload(workload::findApp("word"));
+    return w;
+}
+
+void
+BM_FunctionalExecutor(benchmark::State &state)
+{
+    const auto &w = sharedWorkload();
+    workload::Executor ex(*w.program, w.profile);
+    workload::DynInst d;
+    for (auto _ : state) {
+        ex.next(d);
+        benchmark::DoNotOptimize(d.nextPc);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FunctionalExecutor);
+
+void
+BM_SimulatorModel(benchmark::State &state, const char *model)
+{
+    const auto &w = sharedWorkload();
+    std::uint64_t insts = 20000;
+    for (auto _ : state) {
+        sim::ParrotSimulator sim(sim::ModelConfig::make(model), w);
+        auto r = sim.run(insts, 0.0);
+        benchmark::DoNotOptimize(r.cycles);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(insts));
+}
+BENCHMARK_CAPTURE(BM_SimulatorModel, N, "N");
+BENCHMARK_CAPTURE(BM_SimulatorModel, W, "W");
+BENCHMARK_CAPTURE(BM_SimulatorModel, TON, "TON");
+BENCHMARK_CAPTURE(BM_SimulatorModel, TOW, "TOW");
+BENCHMARK_CAPTURE(BM_SimulatorModel, TOS, "TOS");
+
+void
+BM_OptimizerPass(benchmark::State &state)
+{
+    const auto &w = sharedWorkload();
+    workload::Executor ex(*w.program, w.profile);
+    tracecache::TraceSelector sel;
+    workload::DynInst d;
+    tracecache::TraceCandidate cand, best;
+    for (int i = 0; i < 50000; ++i) {
+        ex.next(d);
+        sel.feed(d);
+        while (sel.pop(cand)) {
+            if (cand.uopCount > best.uopCount)
+                best = cand;
+        }
+    }
+    optimizer::TraceOptimizer opt{optimizer::OptimizerConfig{}};
+    for (auto _ : state) {
+        tracecache::Trace trace = tracecache::constructTrace(best);
+        auto result = opt.optimize(trace);
+        benchmark::DoNotOptimize(result.uopsAfter);
+    }
+}
+BENCHMARK(BM_OptimizerPass);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    memory::Cache cache(memory::CacheConfig{"bm", 32 * 1024, 8, 64, 3});
+    Rng rng(42);
+    for (auto _ : state) {
+        auto result =
+            cache.access(rng.below(256 * 1024) & ~63ull, false);
+        benchmark::DoNotOptimize(result.hit);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_HotFilterBump(benchmark::State &state)
+{
+    tracecache::CounterFilter filter(
+        tracecache::FilterConfig{2048, 4, 8});
+    Rng rng(7);
+    tracecache::Tid tid;
+    for (auto _ : state) {
+        tid.startPc = 0x400000 + (rng.below(512) << 4);
+        benchmark::DoNotOptimize(filter.bump(tid));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HotFilterBump);
+
+void
+BM_TraceSelection(benchmark::State &state)
+{
+    const auto &w = sharedWorkload();
+    workload::Executor ex(*w.program, w.profile);
+    tracecache::TraceSelector sel;
+    workload::DynInst d;
+    tracecache::TraceCandidate cand;
+    for (auto _ : state) {
+        ex.next(d);
+        sel.feed(d);
+        while (sel.pop(cand))
+            benchmark::DoNotOptimize(cand.uopCount);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceSelection);
+
+} // namespace
+
+BENCHMARK_MAIN();

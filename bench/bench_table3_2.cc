@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Table 3.2 — the microarchitectural settings of the seven models.
+ */
+
+#include <cstdio>
+
+#include "sim/model_config.hh"
+#include "stats/table.hh"
+
+int
+main()
+{
+    using namespace parrot;
+    stats::TextTable table;
+    table.addRow({"model", "fetch", "decode", "core", "ROB", "IQ",
+                  "bp", "tc-frames", "tp", "hot-thr", "blaze-thr",
+                  "optimizer", "areaK"});
+    for (const auto &name : sim::ModelConfig::allNames()) {
+        auto cfg = sim::ModelConfig::make(name);
+        std::string core = std::to_string(cfg.coldCore.width) + "-wide";
+        if (cfg.splitCore) {
+            core += "+" + std::to_string(cfg.hotCore.width) +
+                    "-wide split";
+        }
+        table.addRow({
+            name,
+            std::to_string(cfg.decoder.fetchBytes) + "B/cyc",
+            std::to_string(cfg.decoder.width) + "/cyc",
+            core,
+            std::to_string(cfg.coldCore.robSize),
+            std::to_string(cfg.coldCore.iqSize),
+            std::to_string(cfg.branchPredictor.numEntries),
+            cfg.hasTraceCache
+                ? std::to_string(cfg.traceCache.numEntries) : "-",
+            cfg.hasTraceCache
+                ? std::to_string(cfg.tracePredictor.numEntries) : "-",
+            cfg.hasTraceCache
+                ? std::to_string(cfg.hotFilter.threshold) : "-",
+            cfg.hasTraceCache
+                ? std::to_string(cfg.blazeFilter.threshold) : "-",
+            cfg.hasOptimizer ? "yes" : "no",
+            stats::TextTable::num(cfg.coreAreaFactor, 2),
+        });
+    }
+    std::printf("Table 3.2: microarchitectural settings of the models\n%s",
+                table.render().c_str());
+    return 0;
+}

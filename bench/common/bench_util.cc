@@ -1,0 +1,286 @@
+#include "bench_util.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "stats/stats.hh"
+#include "stats/table.hh"
+
+namespace parrot::bench
+{
+
+using sim::SimResult;
+
+std::uint64_t
+benchInstBudget()
+{
+    if (const char *env = std::getenv("PARROT_BENCH_INSTS"))
+        return std::strtoull(env, nullptr, 10);
+    return 600000;
+}
+
+namespace
+{
+
+/** Serialize a SimResult as whitespace-separated fields (one line). */
+std::string
+serialize(const SimResult &r)
+{
+    std::ostringstream out;
+    out.precision(17);
+    out << r.insts << ' ' << r.uops << ' ' << r.cycles << ' ' << r.ipc
+        << ' ' << r.upc << ' ' << r.uopsFromTraceCache << ' '
+        << r.uopsFromColdPipe << ' ' << r.coverage << ' '
+        << r.coldCondBranches << ' ' << r.coldBranchMispredicts << ' '
+        << r.tracePredictions << ' ' << r.traceMispredicts << ' '
+        << r.tpLookups << ' ' << r.tpHits << ' ' << r.tcMissAfterPredict
+        << ' ' << r.candidatesSeen << ' ' << r.coldBranchMispredRate
+        << ' ' << r.traceMispredRate << ' ' << r.tracesInserted << ' '
+        << r.traceExecutions << ' ' << r.tracesOptimized << ' '
+        << r.avgUopReduction << ' ' << r.avgDepReduction << ' '
+        << r.optimizedTraceExecutions << ' ' << r.optimizerUtilization
+        << ' ' << r.dynamicUopReduction << ' ' << r.dynamicEnergy << ' '
+        << r.leakageEnergy << ' ' << r.totalEnergy << ' '
+        << r.energyPerCycle << ' ' << r.cmpw << ' ' << r.l1iMissRate
+        << ' ' << r.l1dMissRate << ' ' << r.l2MissRate;
+    for (double v : r.unitEnergy)
+        out << ' ' << v;
+    return out.str();
+}
+
+bool
+deserialize(const std::string &line, SimResult &r)
+{
+    std::istringstream in(line);
+    in >> r.insts >> r.uops >> r.cycles >> r.ipc >> r.upc >>
+        r.uopsFromTraceCache >> r.uopsFromColdPipe >> r.coverage >>
+        r.coldCondBranches >> r.coldBranchMispredicts >>
+        r.tracePredictions >> r.traceMispredicts >> r.tpLookups >>
+        r.tpHits >> r.tcMissAfterPredict >> r.candidatesSeen >>
+        r.coldBranchMispredRate >> r.traceMispredRate >>
+        r.tracesInserted >> r.traceExecutions >> r.tracesOptimized >>
+        r.avgUopReduction >> r.avgDepReduction >>
+        r.optimizedTraceExecutions >> r.optimizerUtilization >>
+        r.dynamicUopReduction >> r.dynamicEnergy >> r.leakageEnergy >>
+        r.totalEnergy >> r.energyPerCycle >> r.cmpw >> r.l1iMissRate >>
+        r.l1dMissRate >> r.l2MissRate;
+    for (double &v : r.unitEnergy)
+        in >> v;
+    return !in.fail();
+}
+
+} // namespace
+
+ResultStore::ResultStore(const std::string &cache_path) : path(cache_path)
+{
+    if (std::getenv("PARROT_BENCH_NO_CACHE"))
+        enabled = false;
+    sim::RunOptions opts;
+    opts.instBudget = benchInstBudget();
+    runner = sim::SuiteRunner(opts);
+    if (enabled)
+        load();
+}
+
+std::string
+ResultStore::keyOf(const std::string &model, const std::string &app,
+                   std::uint64_t insts) const
+{
+    return model + "/" + app + "/" + std::to_string(insts);
+}
+
+void
+ResultStore::load()
+{
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line)) {
+        auto tab = line.find('\t');
+        if (tab == std::string::npos)
+            continue;
+        std::string key = line.substr(0, tab);
+        SimResult r;
+        if (!deserialize(line.substr(tab + 1), r))
+            continue;
+        // model and app are recoverable from the key.
+        auto slash1 = key.find('/');
+        auto slash2 = key.rfind('/');
+        if (slash1 == std::string::npos || slash2 <= slash1)
+            continue;
+        r.model = key.substr(0, slash1);
+        r.app = key.substr(slash1 + 1, slash2 - slash1 - 1);
+        memo.emplace(std::move(key), std::move(r));
+    }
+}
+
+void
+ResultStore::append(const std::string &key, const SimResult &r)
+{
+    if (!enabled)
+        return;
+    std::ofstream out(path, std::ios::app);
+    out << key << '\t' << serialize(r) << '\n';
+}
+
+double
+ResultStore::pmax()
+{
+    if (pmaxReady)
+        return pmaxValue;
+    // Memoize Pmax as a pseudo-result under a reserved key.
+    std::string key = keyOf("_pmax", "swim", benchInstBudget());
+    auto it = memo.find(key);
+    if (it != memo.end()) {
+        pmaxValue = it->second.energyPerCycle;
+    } else {
+        pmaxValue = runner.pmax();
+        SimResult marker;
+        marker.energyPerCycle = pmaxValue;
+        memo.emplace(key, marker);
+        append(key, marker);
+    }
+    pmaxReady = true;
+    return pmaxValue;
+}
+
+SimResult
+ResultStore::get(const std::string &model,
+                 const workload::SuiteEntry &entry)
+{
+    std::string key = keyOf(model, entry.profile.name, benchInstBudget());
+    auto it = memo.find(key);
+    if (it != memo.end())
+        return it->second;
+
+    // Ensure the leakage calibration happened (and is cached) first.
+    double pmax_per_cycle = pmax();
+    sim::ParrotSimulator simulator(sim::ModelConfig::make(model),
+                                   sim::loadWorkload(entry));
+    SimResult r = simulator.run(benchInstBudget(), pmax_per_cycle);
+    memo.emplace(key, r);
+    append(key, r);
+    std::fprintf(stderr, "  [ran %s/%s]\n", model.c_str(),
+                 entry.profile.name.c_str());
+    return r;
+}
+
+std::vector<SimResult>
+ResultStore::getSuite(const std::string &model,
+                      const std::vector<workload::SuiteEntry> &suite)
+{
+    std::vector<SimResult> out;
+    out.reserve(suite.size());
+    for (const auto &entry : suite)
+        out.push_back(get(model, entry));
+    return out;
+}
+
+void
+printRelativeFigure(
+    const std::string &title,
+    const std::vector<std::pair<std::string, std::string>> &rows,
+    ResultStore &store, const std::vector<workload::SuiteEntry> &suite,
+    const Metric &metric, bool as_percent_delta, bool with_killers)
+{
+    std::printf("%s\n", title.c_str());
+    stats::TextTable table;
+    std::vector<std::string> header{"model(vs)", "SpecInt", "SpecFP",
+                                    "Office", "Multimedia", "DotNet",
+                                    "All"};
+    static const char *const killers[] = {"flash", "wupwise",
+                                          "perlbench"};
+    if (with_killers)
+        for (const char *k : killers)
+            header.push_back(k);
+    table.addRow(header);
+
+    for (const auto &[variant, baseline] : rows) {
+        auto var_results = store.getSuite(variant, suite);
+        auto base_results = store.getSuite(baseline, suite);
+
+        // Per-app ratios feed the per-group geomeans.
+        std::vector<sim::SimResult> ratio_results = var_results;
+        for (std::size_t i = 0; i < ratio_results.size(); ++i) {
+            double b = metric(base_results[i]);
+            double v = metric(var_results[i]);
+            PARROT_ASSERT(b > 0 && v > 0, "non-positive metric");
+            ratio_results[i].ipc = v / b; // reuse ipc as scratch ratio
+        }
+        auto summary = sim::summarizeByGroup(
+            ratio_results,
+            [](const sim::SimResult &r) { return r.ipc; });
+
+        std::vector<std::string> row{variant + " vs " + baseline};
+        for (double v : summary.values) {
+            row.push_back(as_percent_delta
+                              ? stats::TextTable::pct(v - 1.0)
+                              : stats::TextTable::num(v, 3));
+        }
+        if (with_killers) {
+            for (const char *k : killers) {
+                bool in_suite = false;
+                for (const auto &entry : suite)
+                    in_suite |= (entry.profile.name == k);
+                if (!in_suite) {
+                    row.push_back("-");
+                    continue;
+                }
+                double v = metric(sim::findResult(var_results, k)) /
+                           metric(sim::findResult(base_results, k));
+                row.push_back(as_percent_delta
+                                  ? stats::TextTable::pct(v - 1.0)
+                                  : stats::TextTable::num(v, 3));
+            }
+        }
+        table.addRow(row);
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    // Per-application bars (the paper's chart granularity), on demand.
+    if (std::getenv("PARROT_BENCH_DETAIL")) {
+        stats::TextTable detail;
+        std::vector<std::string> header{"app"};
+        for (const auto &[variant, baseline] : rows)
+            header.push_back(variant + "/" + baseline);
+        detail.addRow(header);
+        for (const auto &entry : suite) {
+            std::vector<std::string> row{entry.profile.name};
+            for (const auto &[variant, baseline] : rows) {
+                double v = metric(store.get(variant, entry)) /
+                           metric(store.get(baseline, entry));
+                row.push_back(as_percent_delta
+                                  ? stats::TextTable::pct(v - 1.0)
+                                  : stats::TextTable::num(v, 3));
+            }
+            detail.addRow(row);
+        }
+        std::printf("%s\n", detail.render().c_str());
+    }
+}
+
+void
+printAbsoluteFigure(const std::string &title,
+                    const std::vector<std::string> &models,
+                    ResultStore &store,
+                    const std::vector<workload::SuiteEntry> &suite,
+                    const Metric &metric, int precision)
+{
+    std::printf("%s\n", title.c_str());
+    stats::TextTable table;
+    table.addRow({"model", "SpecInt", "SpecFP", "Office", "Multimedia",
+                  "DotNet", "All"});
+    for (const auto &model : models) {
+        auto results = store.getSuite(model, suite);
+        auto summary = sim::summarizeByGroup(results, metric);
+        std::vector<std::string> row{model};
+        for (double v : summary.values)
+            row.push_back(stats::TextTable::num(v, precision));
+        table.addRow(row);
+    }
+    std::printf("%s\n", table.render().c_str());
+}
+
+} // namespace parrot::bench

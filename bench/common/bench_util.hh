@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Shared infrastructure for the figure-reproduction benches.
+ *
+ * Every bench binary needs the same expensive grid of
+ * (model x application) simulations; ResultStore memoizes finished
+ * SimResults in a plain-text cache file in the working directory so the
+ * first bench pays and the rest reuse. Delete the file (or set
+ * PARROT_BENCH_NO_CACHE=1) to force fresh runs. The instruction budget
+ * can be overridden with PARROT_BENCH_INSTS.
+ */
+
+#ifndef PARROT_BENCH_COMMON_BENCH_UTIL_HH
+#define PARROT_BENCH_COMMON_BENCH_UTIL_HH
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/runner.hh"
+#include "workload/apps.hh"
+
+namespace parrot::bench
+{
+
+/** Instruction budget for bench runs (PARROT_BENCH_INSTS override). */
+std::uint64_t benchInstBudget();
+
+/**
+ * A persistent memo of simulation results keyed by
+ * (model, app, instruction budget).
+ */
+class ResultStore
+{
+  public:
+    /** Opens (and loads) the cache file next to the working dir. */
+    explicit ResultStore(const std::string &path = "parrot_bench_cache.txt");
+
+    /** Fetch or compute one result. */
+    sim::SimResult get(const std::string &model,
+                       const workload::SuiteEntry &entry);
+
+    /** Fetch or compute the full suite for one model. */
+    std::vector<sim::SimResult> getSuite(
+        const std::string &model,
+        const std::vector<workload::SuiteEntry> &suite);
+
+    /** The calibrated Pmax (cached like any other result). */
+    double pmax();
+
+  private:
+    std::string keyOf(const std::string &model, const std::string &app,
+                      std::uint64_t insts) const;
+    void load();
+    void append(const std::string &key, const sim::SimResult &r);
+
+    std::string path;
+    bool enabled = true;
+    std::map<std::string, sim::SimResult> memo;
+    sim::SuiteRunner runner;
+    bool pmaxReady = false;
+    double pmaxValue = 0.0;
+};
+
+/** Metric extractor. */
+using Metric = std::function<double(const sim::SimResult &)>;
+
+/**
+ * Print a paper-style figure: one row per variant model, columns = the
+ * five benchmark groups + All (+ optionally the killer apps), each cell
+ * the geomean ratio of `metric` between the variant and its baseline.
+ *
+ * @param title figure caption.
+ * @param rows (variant model, baseline model) pairs.
+ * @param store result provider.
+ * @param suite applications.
+ * @param metric the measured quantity.
+ * @param as_percent_delta print (ratio-1) as a signed percentage.
+ * @param with_killers add flash/wupwise/perlbench columns.
+ */
+void printRelativeFigure(
+    const std::string &title,
+    const std::vector<std::pair<std::string, std::string>> &rows,
+    ResultStore &store, const std::vector<workload::SuiteEntry> &suite,
+    const Metric &metric, bool as_percent_delta, bool with_killers);
+
+/**
+ * Print an absolute per-group figure: one row per model, cells are
+ * geomeans of `metric`.
+ */
+void printAbsoluteFigure(const std::string &title,
+                         const std::vector<std::string> &models,
+                         ResultStore &store,
+                         const std::vector<workload::SuiteEntry> &suite,
+                         const Metric &metric, int precision);
+
+} // namespace parrot::bench
+
+#endif // PARROT_BENCH_COMMON_BENCH_UTIL_HH

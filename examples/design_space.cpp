@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Design-space exploration: the scenario from the paper's introduction.
+ *
+ * An architect must pick a design point under a power budget. This
+ * example sweeps all seven machine models over a representative
+ * application set and prints the three decision metrics (IPC, total
+ * energy, cubic-MIPS-per-Watt), then answers the paper's two questions:
+ * what is the best power-limited design, and what is the best design
+ * when the thermal envelope allows more?
+ *
+ * Usage: design_space [instructions] [--full]
+ *   --full runs the whole 44-application suite (slower).
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "parrot/parrot.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace parrot;
+
+    std::uint64_t budget = 200000;
+    bool full = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--full") == 0)
+            full = true;
+        else
+            budget = std::strtoull(argv[i], nullptr, 10);
+    }
+
+    sim::RunOptions opts;
+    opts.instBudget = budget;
+    sim::SuiteRunner runner(opts);
+    auto suite = full ? workload::fullSuite() : workload::smallSuite();
+
+    std::printf("Design space: %zu applications, %llu instructions "
+                "each\n\n", suite.size(),
+                static_cast<unsigned long long>(budget));
+
+    struct Point
+    {
+        std::string model;
+        double ipc, energy, cmpw;
+    };
+    std::vector<Point> points;
+
+    stats::TextTable table;
+    table.addRow({"model", "IPC", "vs N", "energy", "vs N", "CMPW",
+                  "vs N"});
+    Point base{};
+    for (const auto &model : sim::ModelConfig::allNames()) {
+        auto results = runner.runSuite(model, suite);
+        auto ipc = sim::summarizeByGroup(
+            results, [](const sim::SimResult &r) { return r.ipc; });
+        auto energy = sim::summarizeByGroup(
+            results,
+            [](const sim::SimResult &r) { return r.totalEnergy; });
+        auto cmpw = sim::summarizeByGroup(
+            results, [](const sim::SimResult &r) { return r.cmpw; });
+        Point p{model, ipc.values.back(), energy.values.back(),
+                cmpw.values.back()};
+        if (model == "N")
+            base = p;
+        points.push_back(p);
+        table.addRow({
+            model,
+            stats::TextTable::num(p.ipc, 3),
+            stats::TextTable::pct(p.ipc / base.ipc - 1.0),
+            stats::TextTable::num(p.energy * 1e-6, 1) + "uJ",
+            stats::TextTable::pct(p.energy / base.energy - 1.0),
+            stats::TextTable::num(p.cmpw / 1e9, 2) + "G",
+            stats::TextTable::pct(p.cmpw / base.cmpw - 1.0),
+        });
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    // Decision 1: power-limited — best IPC within ~5% of N's energy.
+    const Point *power_limited = &points[0];
+    for (const auto &p : points) {
+        if (p.energy <= base.energy * 1.05 &&
+            p.ipc > power_limited->ipc) {
+            power_limited = &p;
+        }
+    }
+    // Decision 2: unconstrained — best CMPW overall.
+    const Point *unconstrained = &points[0];
+    for (const auto &p : points) {
+        if (p.cmpw > unconstrained->cmpw)
+            unconstrained = &p;
+    }
+    std::printf("power-limited pick  : %s (IPC %+.1f%% at %+.1f%% "
+                "energy)\n",
+                power_limited->model.c_str(),
+                100.0 * (power_limited->ipc / base.ipc - 1.0),
+                100.0 * (power_limited->energy / base.energy - 1.0));
+    std::printf("power-awareness pick: %s (CMPW %+.1f%%)\n",
+                unconstrained->model.c_str(),
+                100.0 * (unconstrained->cmpw / base.cmpw - 1.0));
+    return 0;
+}

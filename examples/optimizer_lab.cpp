@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Optimizer laboratory: harvest the hottest trace of an application,
+ * print it uop by uop, run the dynamic optimizer pass by pass and show
+ * what each transformation did — ending with a machine-checked
+ * semantic-equivalence verdict.
+ *
+ * Usage: optimizer_lab [app] [instructions]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <unordered_map>
+
+#include "parrot/parrot.hh"
+
+namespace
+{
+
+using namespace parrot;
+
+void
+printUops(const std::vector<tracecache::TraceUop> &uops)
+{
+    for (const auto &tu : uops)
+        std::printf("    [inst %2d] %s\n", tu.instIdx,
+                    tu.uop.toString().c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace parrot;
+
+    const std::string app = argc > 1 ? argv[1] : "wupwise";
+    const std::uint64_t insts =
+        argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 200000;
+
+    auto entry = workload::findApp(app);
+    auto program = workload::generateProgram(entry.profile);
+    workload::Executor executor(*program, entry.profile);
+    tracecache::TraceSelector selector;
+
+    // Find the hottest sizeable candidate.
+    std::unordered_map<std::uint64_t, unsigned> counts;
+    tracecache::TraceCandidate best;
+    unsigned best_count = 0;
+    workload::DynInst dyn;
+    tracecache::TraceCandidate cand;
+    for (std::uint64_t i = 0; i < insts; ++i) {
+        executor.next(dyn);
+        selector.feed(dyn);
+        while (selector.pop(cand)) {
+            unsigned n = ++counts[cand.tid.hash()];
+            if (n > best_count && cand.uopCount >= 16) {
+                best_count = n;
+                best = cand;
+            }
+        }
+    }
+    if (best.path.empty()) {
+        std::printf("no sizeable hot trace found in %s\n", app.c_str());
+        return 1;
+    }
+
+    std::printf("hottest trace of %s: %u occurrences, %zu insts, %u "
+                "uops, unroll x%u\n\n",
+                app.c_str(), best_count, best.path.size(),
+                best.uopCount, best.unrollFactor);
+
+    tracecache::Trace trace = tracecache::constructTrace(best);
+    const auto original = trace.uops;
+    std::printf("-- original (dependence height %u):\n",
+                trace.originalDepHeight);
+    printUops(trace.uops);
+
+    struct Pass
+    {
+        const char *name;
+        bool (*run)(optimizer::UopVec &);
+    };
+    const Pass passes[] = {
+        {"propagate+simplify", optimizer::propagateAndSimplify},
+        {"propagate+simplify (round 2)",
+         optimizer::propagateAndSimplify},
+        {"memory forwarding", optimizer::forwardMemory},
+        {"propagate (post-forward)", optimizer::propagateAndSimplify},
+        {"dead-code elimination", optimizer::eliminateDeadCode},
+        {"jump promotion", optimizer::removeInternalJumps},
+        {"strength reduction", optimizer::reduceStrength},
+        {"cmp+assert fusion", optimizer::fuseCmpAssert},
+        {"mul+add fusion", optimizer::fuseMulAdd},
+        {"SIMDification", optimizer::simdifyPairs},
+        {"critical-path scheduling", optimizer::scheduleCriticalPath},
+    };
+    for (const auto &pass : passes) {
+        std::size_t before = trace.uops.size();
+        unsigned dep_before = tracecache::computeDepHeight(trace.uops);
+        bool changed = pass.run(trace.uops);
+        unsigned dep_after = tracecache::computeDepHeight(trace.uops);
+        std::printf("\n-- %-28s %s (uops %zu -> %zu, dep %u -> %u)\n",
+                    pass.name, changed ? "changed" : "no-op", before,
+                    trace.uops.size(), dep_before, dep_after);
+    }
+
+    std::printf("\n-- optimized:\n");
+    printUops(trace.uops);
+
+    std::printf("\nsummary: %zu -> %zu uops (%.1f%% reduction), "
+                "dependence height %u -> %u\n",
+                original.size(), trace.uops.size(),
+                100.0 * (1.0 - static_cast<double>(trace.uops.size()) /
+                                   original.size()),
+                tracecache::computeDepHeight(original),
+                tracecache::computeDepHeight(trace.uops));
+
+    std::string why;
+    bool ok = true;
+    for (std::uint64_t seed : {1ull, 7ull, 42ull, 1000ull}) {
+        if (!optimizer::equivalent(original, trace.uops, seed, &why)) {
+            ok = false;
+            break;
+        }
+    }
+    std::printf("semantic equivalence: %s%s\n", ok ? "OK" : "FAILED: ",
+                ok ? "" : why.c_str());
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * parrot_cli — the full-featured command-line front door to the
+ * simulator. Runs any (model | config file) x application combination
+ * and reports either a human-readable summary or machine-readable
+ * key=value output for scripting.
+ *
+ * Usage:
+ *   parrot_cli [options]
+ *     --model NAME        one of N W TN TW TON TOW TOS (default TON)
+ *     --config FILE       model config file (overrides --model)
+ *     --app NAME          application (default swim); repeatable
+ *     --group NAME        run a whole group (SpecInt SpecFP Office
+ *                         Multimedia DotNet) or "all"
+ *     --insts N           committed-instruction budget (default 300000)
+ *     --pmax X            leakage Pmax per cycle (default: calibrate)
+ *     --no-leakage        disable the leakage model
+ *     --kv                key=value output (for scripts)
+ *     --dump-config       print the effective model configuration
+ *     --list-apps         list the 44 applications and exit
+ *     --list-models       list the named models and exit
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "parrot/parrot.hh"
+#include "sim/config_file.hh"
+
+namespace
+{
+
+using namespace parrot;
+
+void
+printKv(const sim::SimResult &r)
+{
+    std::printf("model=%s app=%s insts=%llu cycles=%llu ipc=%.6f "
+                "upc=%.6f coverage=%.6f dynamic_energy=%.6e "
+                "leakage_energy=%.6e total_energy=%.6e cmpw=%.6e "
+                "branch_mispredict=%.6f trace_mispredict=%.6f "
+                "traces_inserted=%llu traces_optimized=%llu "
+                "uop_reduction=%.6f l1d_miss=%.6f\n",
+                r.model.c_str(), r.app.c_str(),
+                static_cast<unsigned long long>(r.insts),
+                static_cast<unsigned long long>(r.cycles), r.ipc, r.upc,
+                r.coverage, r.dynamicEnergy, r.leakageEnergy,
+                r.totalEnergy, r.cmpw, r.coldBranchMispredRate,
+                r.traceMispredRate,
+                static_cast<unsigned long long>(r.tracesInserted),
+                static_cast<unsigned long long>(r.tracesOptimized),
+                r.dynamicUopReduction, r.l1dMissRate);
+}
+
+void
+printHuman(const sim::SimResult &r)
+{
+    std::printf("%s on %s: %llu insts in %llu cycles\n", r.model.c_str(),
+                r.app.c_str(), static_cast<unsigned long long>(r.insts),
+                static_cast<unsigned long long>(r.cycles));
+    std::printf("  IPC %.3f (%.3f uops/cycle), coverage %.1f%%\n", r.ipc,
+                r.upc, 100.0 * r.coverage);
+    std::printf("  energy %.2f uJ (%.2f dynamic + %.2f leakage), "
+                "CMPW %.3g\n",
+                r.totalEnergy * 1e-6, r.dynamicEnergy * 1e-6,
+                r.leakageEnergy * 1e-6, r.cmpw);
+    if (r.tracesInserted > 0) {
+        std::printf("  traces: %llu cached, %llu optimized, abort rate "
+                    "%.1f%%, uop reduction %.1f%%\n",
+                    static_cast<unsigned long long>(r.tracesInserted),
+                    static_cast<unsigned long long>(r.tracesOptimized),
+                    100.0 * r.traceMispredRate,
+                    100.0 * r.dynamicUopReduction);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace parrot;
+
+    std::string model = "TON";
+    std::string config_path;
+    std::vector<std::string> apps;
+    std::string group;
+    std::uint64_t insts = 300000;
+    double pmax = 0.0;
+    bool no_leakage = false;
+    bool kv = false;
+    bool dump_config = false;
+
+    auto need_value = [&](int &i) -> const char * {
+        if (i + 1 >= argc) {
+            std::fprintf(stderr, "missing value for %s\n", argv[i]);
+            std::exit(2);
+        }
+        return argv[++i];
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (!std::strcmp(arg, "--model")) {
+            model = need_value(i);
+        } else if (!std::strcmp(arg, "--config")) {
+            config_path = need_value(i);
+        } else if (!std::strcmp(arg, "--app")) {
+            apps.push_back(need_value(i));
+        } else if (!std::strcmp(arg, "--group")) {
+            group = need_value(i);
+        } else if (!std::strcmp(arg, "--insts")) {
+            insts = std::strtoull(need_value(i), nullptr, 10);
+        } else if (!std::strcmp(arg, "--pmax")) {
+            pmax = std::strtod(need_value(i), nullptr);
+        } else if (!std::strcmp(arg, "--no-leakage")) {
+            no_leakage = true;
+        } else if (!std::strcmp(arg, "--kv")) {
+            kv = true;
+        } else if (!std::strcmp(arg, "--dump-config")) {
+            dump_config = true;
+        } else if (!std::strcmp(arg, "--list-apps")) {
+            for (const auto &entry : workload::fullSuite())
+                std::printf("%-16s %s\n", entry.profile.name.c_str(),
+                            workload::benchGroupName(
+                                entry.profile.group));
+            return 0;
+        } else if (!std::strcmp(arg, "--list-models")) {
+            for (const auto &name : sim::ModelConfig::allNames())
+                std::printf("%s\n", name.c_str());
+            return 0;
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n", arg);
+            return 2;
+        }
+    }
+
+    sim::ModelConfig cfg = config_path.empty()
+        ? sim::ModelConfig::make(model)
+        : sim::loadModelConfig(config_path);
+    if (dump_config) {
+        std::printf("%s", sim::renderModelConfig(cfg).c_str());
+        return 0;
+    }
+
+    // Assemble the application list.
+    std::vector<workload::SuiteEntry> suite;
+    if (!group.empty()) {
+        if (group == "all") {
+            suite = workload::fullSuite();
+        } else {
+            for (auto &entry : workload::fullSuite()) {
+                if (group == workload::benchGroupName(
+                                  entry.profile.group)) {
+                    suite.push_back(std::move(entry));
+                }
+            }
+            if (suite.empty()) {
+                std::fprintf(stderr, "unknown group '%s'\n",
+                             group.c_str());
+                return 2;
+            }
+        }
+    }
+    for (const auto &app : apps)
+        suite.push_back(workload::findApp(app));
+    if (suite.empty())
+        suite.push_back(workload::findApp("swim"));
+
+    // Leakage calibration (unless given or disabled).
+    if (!no_leakage && pmax <= 0.0) {
+        sim::RunOptions opts;
+        opts.instBudget = insts;
+        sim::SuiteRunner calibrator(opts);
+        pmax = calibrator.pmax();
+    }
+
+    for (const auto &entry : suite) {
+        sim::ParrotSimulator simulator(cfg, sim::loadWorkload(entry));
+        sim::SimResult r =
+            simulator.run(insts, no_leakage ? 0.0 : pmax);
+        if (kv)
+            printKv(r);
+        else
+            printHuman(r);
+    }
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Quickstart: simulate one application on the baseline 4-wide machine
+ * (N) and on the PARROT machine of the same width (TON), and print the
+ * headline comparison — performance, energy and the cubic-MIPS-per-Watt
+ * power-awareness metric.
+ *
+ * Usage: quickstart [app] [instructions]
+ *   app          application name from the 44-app suite (default: swim)
+ *   instructions committed-instruction budget (default: 200000)
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "parrot/parrot.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace parrot;
+
+    const std::string app = argc > 1 ? argv[1] : "swim";
+    const std::uint64_t budget =
+        argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 200000;
+
+    sim::RunOptions opts;
+    opts.instBudget = budget;
+    sim::SuiteRunner runner(opts);
+
+    auto entry = workload::findApp(app);
+    std::printf("application: %s (%s), %llu instructions\n",
+                entry.profile.name.c_str(),
+                workload::benchGroupName(entry.profile.group),
+                static_cast<unsigned long long>(budget));
+
+    stats::TextTable table;
+    table.addRow({"model", "IPC", "coverage", "energy(uJ)", "CMPW",
+                  "L1D miss"});
+    sim::SimResult base;
+    for (const std::string &model : {"N", "TON", "W", "TOW"}) {
+        sim::SimResult r = runner.runOne(model, entry);
+        if (model == "N")
+            base = r;
+        table.addRow({
+            model,
+            stats::TextTable::num(r.ipc, 3),
+            stats::TextTable::num(r.coverage, 3),
+            stats::TextTable::num(r.totalEnergy * 1e-6, 2),
+            stats::TextTable::num(r.cmpw, 1),
+            stats::TextTable::num(r.l1dMissRate, 4),
+        });
+    }
+    std::printf("%s", table.render().c_str());
+
+    sim::SimResult ton = runner.runOne("TON", entry);
+    std::printf("\nTON vs N: IPC %+.1f%%  energy %+.1f%%  CMPW %+.1f%%\n",
+                100.0 * (ton.ipc / base.ipc - 1.0),
+                100.0 * (ton.totalEnergy / base.totalEnergy - 1.0),
+                100.0 * (ton.cmpw / base.cmpw - 1.0));
+    return 0;
+}

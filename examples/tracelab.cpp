@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Trace-unit laboratory: runs one application on a PARROT model and
+ * dumps the full trace-unit funnel — candidates selected, TIDs
+ * promoted, traces inserted, predictions made, hot executions, aborts —
+ * plus the resulting coverage. Useful for understanding why an
+ * application does (or does not) run hot.
+ *
+ * Usage: tracelab [app] [model] [instructions]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "parrot/parrot.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace parrot;
+
+    const std::string app = argc > 1 ? argv[1] : "gcc";
+    const std::string model = argc > 2 ? argv[2] : "TON";
+    const std::uint64_t budget =
+        argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 150000;
+
+    sim::RunOptions opts;
+    opts.instBudget = budget;
+    opts.noLeakage = true;
+    sim::SuiteRunner runner(opts);
+    auto entry = workload::findApp(app);
+    auto r = runner.runOne(model, entry);
+
+    std::printf("app=%s model=%s insts=%llu cycles=%llu ipc=%.3f\n",
+                r.app.c_str(), r.model.c_str(),
+                static_cast<unsigned long long>(r.insts),
+                static_cast<unsigned long long>(r.cycles), r.ipc);
+    std::printf("coverage=%.3f  (hot insts %llu)\n", r.coverage,
+                static_cast<unsigned long long>(r.insts == 0 ? 0 :
+                    static_cast<std::uint64_t>(r.coverage * r.insts)));
+    std::printf("traces: inserted=%llu optimized=%llu executions=%llu\n",
+                static_cast<unsigned long long>(r.tracesInserted),
+                static_cast<unsigned long long>(r.tracesOptimized),
+                static_cast<unsigned long long>(r.traceExecutions));
+    std::printf("funnel: candidates=%llu tpLookups=%llu tpHits=%llu "
+                "tcMissAfterPredict=%llu\n",
+                static_cast<unsigned long long>(r.candidatesSeen),
+                static_cast<unsigned long long>(r.tpLookups),
+                static_cast<unsigned long long>(r.tpHits),
+                static_cast<unsigned long long>(r.tcMissAfterPredict));
+    std::printf("predictions=%llu aborts=%llu abort-rate=%.3f\n",
+                static_cast<unsigned long long>(r.tracePredictions),
+                static_cast<unsigned long long>(r.traceMispredicts),
+                r.traceMispredRate);
+    std::printf("cold branches=%llu mispred=%.4f\n",
+                static_cast<unsigned long long>(r.coldCondBranches),
+                r.coldBranchMispredRate);
+    std::printf("uop reduction: static=%.3f dynamic=%.3f dep=%.3f\n",
+                r.avgUopReduction, r.dynamicUopReduction,
+                r.avgDepReduction);
+    std::printf("utilization=%.1f execs/optimized-trace\n",
+                r.optimizerUtilization);
+
+    // Trace-length distribution straight from the selection machinery.
+    {
+        auto prog = workload::generateProgram(entry.profile);
+        workload::Executor ex(*prog, entry.profile);
+        tracecache::TraceSelector sel;
+        stats::Histogram insts_hist("trace_insts", 16, 8);
+        stats::Histogram uops_hist("trace_uops", 16, 8);
+        workload::DynInst d;
+        tracecache::TraceCandidate c;
+        for (std::uint64_t i = 0; i < budget; ++i) {
+            ex.next(d);
+            sel.feed(d);
+            while (sel.pop(c)) {
+                insts_hist.sample(c.path.size());
+                uops_hist.sample(c.uopCount);
+            }
+        }
+        std::printf("trace length: mean %.1f insts (p50 <%llu, p90 <%llu)"
+                    ", mean %.1f uops (p90 <%llu, max %llu)\n",
+                    insts_hist.mean(),
+                    static_cast<unsigned long long>(
+                        insts_hist.percentile(0.5)),
+                    static_cast<unsigned long long>(
+                        insts_hist.percentile(0.9)),
+                    uops_hist.mean(),
+                    static_cast<unsigned long long>(
+                        uops_hist.percentile(0.9)),
+                    static_cast<unsigned long long>(
+                        uops_hist.maxValue()));
+    }
+    return 0;
+}

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Workload studio: inspect a synthetic application — the static program
+ * shape, the dynamic instruction mix, control behaviour and trace
+ * characteristics — and compare them with the statistical profile that
+ * generated it. Useful when calibrating profiles against published
+ * workload characterizations.
+ *
+ * Usage: workload_studio [app] [instructions]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <unordered_map>
+
+#include "parrot/parrot.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace parrot;
+
+    const std::string app = argc > 1 ? argv[1] : "gcc";
+    const std::uint64_t insts =
+        argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 200000;
+
+    auto entry = workload::findApp(app);
+    const auto &prof = entry.profile;
+    auto program = workload::generateProgram(prof);
+
+    std::printf("application %s (%s), seed %llu\n", prof.name.c_str(),
+                workload::benchGroupName(prof.group),
+                static_cast<unsigned long long>(prof.seed));
+
+    // --- static shape ---
+    std::printf("\nstatic program:\n");
+    std::printf("  procedures      : %zu (%d hot + %d cold + main)\n",
+                program->procs.size(), prof.numHotProcs,
+                prof.numColdProcs);
+    std::printf("  instructions    : %zu (%zu uops, %.2f uops/inst)\n",
+                program->numStaticInsts(), program->numStaticUops(),
+                static_cast<double>(program->numStaticUops()) /
+                    program->numStaticInsts());
+    std::printf("  code footprint  : %.1f KB (avg inst %.2f bytes)\n",
+                program->codeBytes() / 1024.0,
+                static_cast<double>(program->codeBytes()) /
+                    program->numStaticInsts());
+
+    // --- dynamic behaviour ---
+    workload::Executor ex(*program, prof);
+    tracecache::TraceSelector sel;
+    std::uint64_t uops_by_class[
+        static_cast<unsigned>(isa::ExecClass::NumClasses)] = {};
+    std::uint64_t cond = 0, cond_taken = 0, calls = 0, rets = 0,
+                  indirects = 0, total_uops = 0;
+    std::unordered_map<std::uint64_t,
+                       std::pair<std::uint64_t, std::uint64_t>> tids;
+    std::uint64_t cand_insts = 0;
+
+    workload::DynInst d;
+    tracecache::TraceCandidate c;
+    for (std::uint64_t i = 0; i < insts; ++i) {
+        ex.next(d);
+        for (unsigned u = 0; u < d.numUops(); ++u) {
+            ++uops_by_class[static_cast<unsigned>(
+                d.inst->uops[u].execClass())];
+            ++total_uops;
+        }
+        switch (d.inst->cti) {
+          case isa::CtiType::CondBranch:
+            ++cond;
+            cond_taken += d.taken;
+            break;
+          case isa::CtiType::Call:    ++calls; break;
+          case isa::CtiType::Return:  ++rets; break;
+          case isa::CtiType::JumpInd: ++indirects; break;
+          default: break;
+        }
+        sel.feed(d);
+        while (sel.pop(c)) {
+            auto &e = tids[c.tid.hash()];
+            ++e.first;
+            e.second += c.path.size();
+            cand_insts += c.path.size();
+        }
+    }
+
+    std::printf("\ndynamic behaviour (%llu insts, %llu uops):\n",
+                static_cast<unsigned long long>(insts),
+                static_cast<unsigned long long>(total_uops));
+    std::printf("  hot-proc share  : %.3f (profile hotness %.2f)\n",
+                ex.hotFraction(), prof.hotness);
+    for (unsigned k = 0;
+         k < static_cast<unsigned>(isa::ExecClass::NumClasses); ++k) {
+        if (uops_by_class[k] == 0)
+            continue;
+        std::printf("  %-10s      : %5.1f%%\n",
+                    isa::execClassName(static_cast<isa::ExecClass>(k)),
+                    100.0 * uops_by_class[k] / total_uops);
+    }
+    std::printf("  cond branches   : every %.1f insts, %.1f%% taken\n",
+                static_cast<double>(insts) / std::max<std::uint64_t>(1,
+                                                                     cond),
+                100.0 * cond_taken / std::max<std::uint64_t>(1, cond));
+    std::printf("  calls/rets/ind  : %llu / %llu / %llu\n",
+                static_cast<unsigned long long>(calls),
+                static_cast<unsigned long long>(rets),
+                static_cast<unsigned long long>(indirects));
+
+    // --- trace characteristics ---
+    std::uint64_t hot_insts = 0, hot_tids = 0;
+    double avg_len = 0;
+    for (const auto &[hash, e] : tids) {
+        avg_len += static_cast<double>(e.second);
+        if (e.first >= 8) {
+            ++hot_tids;
+            hot_insts += e.second;
+        }
+    }
+    std::printf("\ntrace characteristics:\n");
+    std::printf("  unique TIDs     : %zu (avg %.1f insts per "
+                "candidate)\n",
+                tids.size(), avg_len / std::max<std::uint64_t>(
+                                           1, cand_insts ? tids.size()
+                                                         : 1) /
+                                 1.0);
+    std::printf("  hot TIDs (>=8x) : %llu covering %.1f%% of the "
+                "stream\n",
+                static_cast<unsigned long long>(hot_tids),
+                100.0 * hot_insts /
+                    std::max<std::uint64_t>(1, cand_insts));
+    return 0;
+}

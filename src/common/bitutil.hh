@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Bit-manipulation helpers shared by caches, predictors and hashers.
+ */
+
+#ifndef PARROT_COMMON_BITUTIL_HH
+#define PARROT_COMMON_BITUTIL_HH
+
+#include <bit>
+#include <cstdint>
+
+namespace parrot
+{
+
+/** True when x is a power of two (and non-zero). */
+constexpr bool
+isPowerOfTwo(std::uint64_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+/** Floor of log2(x). @pre x > 0. */
+constexpr unsigned
+floorLog2(std::uint64_t x)
+{
+    return 63u - static_cast<unsigned>(std::countl_zero(x));
+}
+
+/** Ceiling of log2(x). @pre x > 0. */
+constexpr unsigned
+ceilLog2(std::uint64_t x)
+{
+    return isPowerOfTwo(x) ? floorLog2(x) : floorLog2(x) + 1;
+}
+
+/** Extract bits [lo, hi] (inclusive) of x. */
+constexpr std::uint64_t
+bits(std::uint64_t x, unsigned hi, unsigned lo)
+{
+    const std::uint64_t width = hi - lo + 1;
+    const std::uint64_t mask = (width >= 64) ? ~0ull : ((1ull << width) - 1);
+    return (x >> lo) & mask;
+}
+
+/**
+ * Mix a 64-bit value into a well-distributed hash (finalizer from
+ * MurmurHash3). Used to index predictor and filter tables.
+ */
+constexpr std::uint64_t
+mix64(std::uint64_t x)
+{
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdull;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ull;
+    x ^= x >> 33;
+    return x;
+}
+
+/** Combine two hashes (boost::hash_combine style, 64-bit). */
+constexpr std::uint64_t
+hashCombine(std::uint64_t seed, std::uint64_t v)
+{
+    return seed ^ (mix64(v) + 0x9e3779b97f4a7c15ull + (seed << 6) +
+                   (seed >> 2));
+}
+
+} // namespace parrot
+
+#endif // PARROT_COMMON_BITUTIL_HH

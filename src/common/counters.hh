@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Small hardware-style counters: saturating counters and shift-register
+ * histories, the building blocks of predictors and filters.
+ */
+
+#ifndef PARROT_COMMON_COUNTERS_HH
+#define PARROT_COMMON_COUNTERS_HH
+
+#include <cstdint>
+
+#include "common/logging.hh"
+
+namespace parrot
+{
+
+/**
+ * An n-bit saturating up/down counter, as used in branch predictors and
+ * the PARROT hot/blazing filters.
+ */
+class SatCounter
+{
+  public:
+    /** @param bits counter width in bits (1..16).
+     *  @param initial initial counter value. */
+    explicit SatCounter(unsigned bits = 2, unsigned initial = 0)
+        : maxVal((1u << bits) - 1), value(initial)
+    {
+        PARROT_ASSERT(bits >= 1 && bits <= 16, "SatCounter width out of range");
+        PARROT_ASSERT(initial <= maxVal, "SatCounter initial value too large");
+    }
+
+    /** Increment, saturating at the maximum. */
+    void
+    increment()
+    {
+        if (value < maxVal)
+            ++value;
+    }
+
+    /** Decrement, saturating at zero. */
+    void
+    decrement()
+    {
+        if (value > 0)
+            --value;
+    }
+
+    /** Reset to zero. */
+    void reset() { value = 0; }
+
+    /** Current raw value. */
+    unsigned read() const { return value; }
+
+    /** True when in the upper half of the range (the "taken" half). */
+    bool isSet() const { return value > maxVal / 2; }
+
+    /** True when fully saturated high. */
+    bool isMax() const { return value == maxVal; }
+
+    /** Maximum representable value. */
+    unsigned max() const { return maxVal; }
+
+  private:
+    unsigned maxVal;
+    unsigned value;
+};
+
+/**
+ * A fixed-width global history shift register (branch or trace history).
+ */
+class HistoryRegister
+{
+  public:
+    explicit HistoryRegister(unsigned bits = 12)
+        : mask((bits >= 64) ? ~0ull : ((1ull << bits) - 1)), bitsUsed(bits)
+    {
+        PARROT_ASSERT(bits >= 1 && bits <= 64,
+                      "HistoryRegister width out of range");
+    }
+
+    /** Shift in one outcome bit. */
+    void
+    push(bool bit)
+    {
+        history = ((history << 1) | (bit ? 1ull : 0ull)) & mask;
+    }
+
+    /** Current packed history. */
+    std::uint64_t value() const { return history; }
+
+    /** Width in bits. */
+    unsigned bits() const { return bitsUsed; }
+
+    /** Clear all history. */
+    void reset() { history = 0; }
+
+  private:
+    std::uint64_t history = 0;
+    std::uint64_t mask;
+    unsigned bitsUsed;
+};
+
+} // namespace parrot
+
+#endif // PARROT_COMMON_COUNTERS_HH

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * panic()  — an internal invariant was violated (simulator bug); aborts.
+ * fatal()  — the user supplied an impossible configuration; exits cleanly.
+ * warn()   — something is suspicious but the simulation can continue.
+ */
+
+#ifndef PARROT_COMMON_LOGGING_HH
+#define PARROT_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+namespace parrot
+{
+
+namespace detail
+{
+
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+void warnImpl(const char *file, int line, const std::string &msg);
+
+/** Minimal printf-style formatter returning a std::string. */
+std::string vformat(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+} // namespace detail
+
+} // namespace parrot
+
+/** Abort with a message: simulator invariant broken. */
+#define PARROT_PANIC(...) \
+    ::parrot::detail::panicImpl(__FILE__, __LINE__, \
+                                ::parrot::detail::vformat(__VA_ARGS__))
+
+/** Exit with a message: user error (bad configuration, bad arguments). */
+#define PARROT_FATAL(...) \
+    ::parrot::detail::fatalImpl(__FILE__, __LINE__, \
+                                ::parrot::detail::vformat(__VA_ARGS__))
+
+/** Print a warning and continue. */
+#define PARROT_WARN(...) \
+    ::parrot::detail::warnImpl(__FILE__, __LINE__, \
+                               ::parrot::detail::vformat(__VA_ARGS__))
+
+/** Panic when a condition that must hold does not. */
+#define PARROT_ASSERT(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            PARROT_PANIC("assertion '%s' failed: %s", #cond, \
+                         ::parrot::detail::vformat(__VA_ARGS__).c_str()); \
+        } \
+    } while (0)
+
+#endif // PARROT_COMMON_LOGGING_HH

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Deterministic, seedable pseudo-random number generator.
+ *
+ * A xoshiro256** generator: fast, high quality, and — unlike std::mt19937
+ * with library-defined distributions — bit-reproducible across standard
+ * library implementations. All stochastic behaviour in the PARROT
+ * workload generator and executor flows through this class so that every
+ * experiment is exactly repeatable from its seed.
+ */
+
+#ifndef PARROT_COMMON_RANDOM_HH
+#define PARROT_COMMON_RANDOM_HH
+
+#include <cstdint>
+
+#include "common/logging.hh"
+
+namespace parrot
+{
+
+/**
+ * Seedable xoshiro256** PRNG with simple distribution helpers.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed via splitmix64 state expansion. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) { reseed(seed); }
+
+    /** Re-initialize the state from a new seed. */
+    void
+    reseed(std::uint64_t seed)
+    {
+        std::uint64_t x = seed;
+        for (auto &word : state) {
+            // splitmix64 step.
+            x += 0x9e3779b97f4a7c15ull;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state[1] * 5, 7) * 9;
+        const std::uint64_t t = state[1] << 17;
+        state[2] ^= state[0];
+        state[3] ^= state[1];
+        state[1] ^= state[2];
+        state[0] ^= state[3];
+        state[2] ^= t;
+        state[3] = rotl(state[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). @pre bound > 0. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        PARROT_ASSERT(bound > 0, "Rng::below requires a positive bound");
+        // Rejection-free multiply-shift (Lemire) is fine for simulation use.
+        return static_cast<std::uint64_t>(
+            (static_cast<__uint128_t>(next()) * bound) >> 64);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. @pre lo <= hi. */
+    std::int64_t
+    range(std::int64_t lo, std::int64_t hi)
+    {
+        PARROT_ASSERT(lo <= hi, "Rng::range requires lo <= hi");
+        return lo + static_cast<std::int64_t>(
+            below(static_cast<std::uint64_t>(hi - lo) + 1));
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli trial with success probability p. */
+    bool chance(double p) { return uniform() < p; }
+
+    /**
+     * Geometric-ish positive integer with the given mean, clamped to
+     * [1, cap]. Used for block lengths, loop trip counts and similar
+     * "mostly small, occasionally large" program-structure quantities.
+     */
+    int
+    positiveAround(double mean, int cap)
+    {
+        PARROT_ASSERT(mean >= 1.0 && cap >= 1, "bad positiveAround params");
+        // Sum of two uniforms approximates a triangular distribution
+        // centred on the mean; cheap and bounded. Clamp in double space
+        // first: the mean may exceed INT_MAX (e.g. "endless" loops).
+        double v = (uniform() + uniform()) * mean;
+        if (v >= static_cast<double>(cap))
+            return cap;
+        int out = static_cast<int>(v) + 1;
+        if (out > cap)
+            out = cap;
+        return out;
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state[4];
+};
+
+} // namespace parrot
+
+#endif // PARROT_COMMON_RANDOM_HH

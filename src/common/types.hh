@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Fundamental scalar type aliases used across the PARROT libraries.
+ */
+
+#ifndef PARROT_COMMON_TYPES_HH
+#define PARROT_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace parrot
+{
+
+/** Simulation cycle count. */
+using Cycle = std::uint64_t;
+
+/** Virtual (code or data) address. */
+using Addr = std::uint64_t;
+
+/** Dense counter used by statistics and event accounting. */
+using Counter = std::uint64_t;
+
+/** Architectural or internal register identifier. */
+using RegId = std::uint8_t;
+
+/** Invalid / "no register" sentinel. */
+inline constexpr RegId invalidReg = 0xff;
+
+} // namespace parrot
+
+#endif // PARROT_COMMON_TYPES_HH

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Structural configuration of an out-of-order execution core.
+ */
+
+#ifndef PARROT_CPU_CORE_CONFIG_HH
+#define PARROT_CPU_CORE_CONFIG_HH
+
+#include <string>
+
+#include "common/logging.hh"
+#include "isa/opcodes.hh"
+#include "power/energy_model.hh"
+
+namespace parrot::cpu
+{
+
+/** Functional-unit pools a uop can issue to. */
+enum class UnitPool : std::uint8_t
+{
+    Alu,    //!< integer ALUs and branch units
+    MulDiv, //!< integer multiply/divide
+    Fp,     //!< floating point and SIMD
+    Mem,    //!< load/store ports
+    NumPools
+};
+
+/** The pool a given execution class issues to. */
+UnitPool poolOf(isa::ExecClass cls);
+
+/** Core structural parameters. */
+struct CoreConfig
+{
+    std::string name = "core";
+    unsigned width = 4;          //!< rename/dispatch/commit per cycle
+    unsigned issueWidth = 4;     //!< issues per cycle
+    unsigned robSize = 128;
+    unsigned iqSize = 32;
+    unsigned numAlu = 3;
+    unsigned numMulDiv = 1;
+    unsigned numFp = 2;
+    unsigned numMem = 2;
+    /** Outstanding L1D-miss capacity (MSHRs): bounds the memory-level
+     * parallelism the core can exploit. */
+    unsigned numMshrs = 8;
+    unsigned mispredictPenalty = 12; //!< front-end refill cycles
+
+    /** Units in a pool. */
+    unsigned
+    poolSize(UnitPool pool) const
+    {
+        switch (pool) {
+          case UnitPool::Alu:    return numAlu;
+          case UnitPool::MulDiv: return numMulDiv;
+          case UnitPool::Fp:     return numFp;
+          case UnitPool::Mem:    return numMem;
+          default:
+            PARROT_PANIC("poolSize: bad pool");
+        }
+    }
+
+    /** Power-model scaling parameters for this core. */
+    power::CoreScaling
+    scaling() const
+    {
+        return power::CoreScaling{width, robSize, iqSize};
+    }
+
+    void
+    validate() const
+    {
+        if (width < 1 || issueWidth < 1)
+            PARROT_FATAL("core %s: width must be >= 1", name.c_str());
+        if (robSize < 2 * width || iqSize < width)
+            PARROT_FATAL("core %s: ROB/IQ too small for width",
+                         name.c_str());
+        if (numAlu < 1 || numMem < 1 || numMulDiv < 1 || numFp < 1)
+            PARROT_FATAL("core %s: every unit pool needs >= 1 unit",
+                         name.c_str());
+    }
+
+    /** The paper's standard 4-wide reference core (model N). */
+    static CoreConfig narrow();
+
+    /** The theoretical 8-wide core (model W). */
+    static CoreConfig wide();
+};
+
+} // namespace parrot::cpu
+
+#endif // PARROT_CPU_CORE_CONFIG_HH

@@ -1,0 +1,317 @@
+#include "cpu/ooo_core.hh"
+
+#include "common/logging.hh"
+
+namespace parrot::cpu
+{
+
+using power::PowerEvent;
+
+UnitPool
+poolOf(isa::ExecClass cls)
+{
+    switch (cls) {
+      case isa::ExecClass::IntAlu:
+      case isa::ExecClass::Ctrl:
+      case isa::ExecClass::Nop:
+        return UnitPool::Alu;
+      case isa::ExecClass::IntMul:
+      case isa::ExecClass::IntDiv:
+        return UnitPool::MulDiv;
+      case isa::ExecClass::FpAdd:
+      case isa::ExecClass::FpMul:
+      case isa::ExecClass::FpDiv:
+      case isa::ExecClass::Simd:
+        return UnitPool::Fp;
+      case isa::ExecClass::MemLoad:
+      case isa::ExecClass::MemStore:
+        return UnitPool::Mem;
+      default:
+        PARROT_PANIC("poolOf: bad exec class");
+    }
+}
+
+CoreConfig
+CoreConfig::narrow()
+{
+    CoreConfig cfg;
+    cfg.name = "narrow";
+    cfg.width = 4;
+    cfg.issueWidth = 4;
+    cfg.robSize = 128;
+    cfg.iqSize = 32;
+    cfg.numAlu = 3;
+    cfg.numMulDiv = 1;
+    cfg.numFp = 2;
+    cfg.numMem = 2;
+    cfg.mispredictPenalty = 12;
+    return cfg;
+}
+
+CoreConfig
+CoreConfig::wide()
+{
+    // The paper's W is a *straightforward* 8-wide extension: every
+    // pipeline stage is widened and the unit mix grows ~1.5x, but the
+    // instruction window, memory ports and cache hierarchy stay as in
+    // N — which is exactly why its performance saturates while its
+    // energy balloons.
+    CoreConfig cfg;
+    cfg.name = "wide";
+    cfg.width = 8;
+    cfg.issueWidth = 8;
+    cfg.robSize = 128;
+    cfg.iqSize = 32;
+    cfg.numAlu = 5;
+    cfg.numMulDiv = 2;
+    cfg.numFp = 3;
+    cfg.numMem = 2;
+    cfg.numMshrs = 12;
+    cfg.mispredictPenalty = 14; // deeper wide machine refills slower
+    return cfg;
+}
+
+OooCore::OooCore(const CoreConfig &config, memory::Hierarchy *hierarchy,
+                 power::EnergyAccount *account)
+    : cfg(config), mem(hierarchy), energy(account)
+{
+    cfg.validate();
+    PARROT_ASSERT(mem != nullptr && energy != nullptr,
+                  "OooCore: hierarchy and account are required");
+    rob.resize(cfg.robSize);
+}
+
+bool
+OooCore::canDispatch(unsigned n) const
+{
+    return robOccupancy() + n <= cfg.robSize && iq.size() + n <= cfg.iqSize;
+}
+
+UopToken
+OooCore::dispatch(const isa::Uop &uop, Addr mem_addr, bool counts_as_inst,
+                  bool poisoned)
+{
+    PARROT_ASSERT(canDispatch(), "dispatch without capacity check");
+
+    UopToken seq = tailSeq++;
+    Entry &entry = entryOf(seq);
+    entry = Entry{};
+    entry.uop = uop;
+    entry.memAddr = mem_addr;
+    entry.countsAsInst = counts_as_inst;
+    entry.poisoned = poisoned;
+    entry.inIq = true;
+    iq.push_back(seq);
+
+    // Rename: resolve source operands against in-flight writers.
+    RegId srcs[4];
+    unsigned n_srcs = uop.sources(srcs);
+    for (unsigned i = 0; i < n_srcs; ++i) {
+        RegId r = srcs[i];
+        if (!lastWriterValid[r])
+            continue;
+        UopToken writer = lastWriter[r];
+        if (writer < headSeq)
+            continue; // producer already committed
+        Entry &prod = entryOf(writer);
+        if (prod.state == State::Completed)
+            continue;
+        prod.dependents.push_back(seq);
+        ++entry.depsOutstanding;
+    }
+    entry.state =
+        (entry.depsOutstanding == 0) ? State::Ready : State::Waiting;
+
+    // Claim destination registers.
+    if (uop.hasDst()) {
+        RegId d = uop.effectiveDst();
+        lastWriter[d] = seq;
+        lastWriterValid[d] = true;
+    }
+    if (uop.dst2 != invalidReg) {
+        lastWriter[uop.dst2] = seq;
+        lastWriterValid[uop.dst2] = true;
+    }
+
+    energy->record(PowerEvent::Rename);
+    energy->record(PowerEvent::RobWrite);
+    energy->record(PowerEvent::IqInsert);
+    return seq;
+}
+
+bool
+OooCore::completed(UopToken token) const
+{
+    if (token >= tailSeq)
+        return false;
+    if (token < headSeq)
+        return true; // already committed
+    return entryOf(token).state == State::Completed;
+}
+
+void
+OooCore::completePhase()
+{
+    while (!completions.empty() && completions.top().first <= curCycle) {
+        UopToken seq = completions.top().second;
+        completions.pop();
+        Entry &entry = entryOf(seq);
+        entry.state = State::Completed;
+        if (entry.holdsMshr) {
+            PARROT_ASSERT(outstandingMisses > 0, "MSHR underflow");
+            --outstandingMisses;
+            entry.holdsMshr = false;
+        }
+        if (entry.uop.hasDst())
+            energy->record(PowerEvent::RegWrite);
+        if (entry.uop.dst2 != invalidReg)
+            energy->record(PowerEvent::RegWrite);
+        // Wake dependents.
+        for (UopToken dep : entry.dependents) {
+            if (dep < headSeq || dep >= tailSeq)
+                continue;
+            Entry &consumer = entryOf(dep);
+            if (consumer.state != State::Waiting)
+                continue;
+            energy->record(PowerEvent::IqWakeup);
+            PARROT_ASSERT(consumer.depsOutstanding > 0,
+                          "wakeup underflow");
+            if (--consumer.depsOutstanding == 0)
+                consumer.state = State::Ready;
+        }
+        entry.dependents.clear();
+    }
+}
+
+void
+OooCore::issuePhase()
+{
+    unsigned issued = 0;
+    unsigned pool_used[static_cast<unsigned>(UnitPool::NumPools)] = {};
+
+    for (auto it = iq.begin(); it != iq.end() && issued < cfg.issueWidth;) {
+        UopToken seq = *it;
+        Entry &entry = entryOf(seq);
+        if (entry.state != State::Ready) {
+            ++it;
+            continue;
+        }
+
+        const isa::ExecClass cls = entry.uop.execClass();
+        const UnitPool pool = poolOf(cls);
+        const unsigned pool_idx = static_cast<unsigned>(pool);
+        if (pool_used[pool_idx] >= cfg.poolSize(pool)) {
+            ++it; // structural hazard; try younger uops
+            continue;
+        }
+        if (cls == isa::ExecClass::MemLoad &&
+            outstandingMisses >= cfg.numMshrs &&
+            !mem->l1d().contains(entry.memAddr)) {
+            ++it; // all MSHRs busy: the load must wait
+            continue;
+        }
+
+        ++pool_used[pool_idx];
+        ++issued;
+        ++nIssuedUops;
+        entry.inIq = false;
+        it = iq.erase(it);
+        entry.state = State::Issued;
+
+        // Energy: select, operand reads, the operation itself.
+        energy->record(PowerEvent::IqSelect);
+        energy->record(PowerEvent::RegRead, entry.uop.numSources());
+        switch (cls) {
+          case isa::ExecClass::IntAlu:
+            energy->record(PowerEvent::AluOp);
+            break;
+          case isa::ExecClass::IntMul:
+            energy->record(PowerEvent::MulOp);
+            break;
+          case isa::ExecClass::IntDiv:
+            energy->record(PowerEvent::DivOp);
+            break;
+          case isa::ExecClass::FpAdd:
+          case isa::ExecClass::FpMul:
+          case isa::ExecClass::FpDiv:
+            energy->record(PowerEvent::FpOp);
+            break;
+          case isa::ExecClass::Simd:
+            energy->record(PowerEvent::SimdOp);
+            break;
+          case isa::ExecClass::Ctrl:
+            energy->record(PowerEvent::CtrlOp);
+            break;
+          default:
+            break;
+        }
+
+        unsigned latency = isa::uopLatency(entry.uop);
+        if (cls == isa::ExecClass::MemLoad) {
+            energy->record(PowerEvent::AguOp);
+            auto access = mem->accessData(entry.memAddr, false);
+            energy->record(PowerEvent::DcacheRead);
+            if (!access.l1Hit) {
+                energy->record(PowerEvent::DcacheMiss);
+                energy->record(PowerEvent::L2Access);
+                if (!access.l2Hit)
+                    energy->record(PowerEvent::MemAccess);
+                entry.holdsMshr = true;
+                ++outstandingMisses;
+            }
+            latency += access.latency;
+        } else if (cls == isa::ExecClass::MemStore) {
+            // Stores compute their address now; the cache write happens
+            // at commit (store buffer semantics).
+            energy->record(PowerEvent::AguOp);
+        }
+
+        completions.emplace(curCycle + latency, seq);
+    }
+}
+
+void
+OooCore::commitPhase()
+{
+    unsigned committed = 0;
+    while (headSeq < tailSeq && committed < cfg.width) {
+        Entry &entry = entryOf(headSeq);
+        if (entry.state != State::Completed)
+            break;
+
+        // Wrong-path (poisoned) stores are squashed without touching
+        // the memory system; poisoned loads already polluted the cache
+        // at issue, as real speculative loads do.
+        if (entry.uop.kind == isa::UopKind::Store && !entry.poisoned) {
+            auto access = mem->accessData(entry.memAddr, true);
+            energy->record(PowerEvent::DcacheWrite);
+            if (!access.l1Hit) {
+                energy->record(PowerEvent::DcacheMiss);
+                energy->record(PowerEvent::L2Access);
+                if (!access.l2Hit)
+                    energy->record(PowerEvent::MemAccess);
+            }
+        }
+
+        energy->record(PowerEvent::Commit);
+        energy->record(PowerEvent::RobRead);
+        if (!entry.poisoned) {
+            ++nCommittedUops;
+            if (entry.countsAsInst)
+                ++nCommittedInsts;
+        }
+        ++headSeq;
+        ++committed;
+    }
+}
+
+void
+OooCore::tick()
+{
+    ++curCycle;
+    completePhase();
+    issuePhase();
+    commitPhase();
+}
+
+} // namespace parrot::cpu

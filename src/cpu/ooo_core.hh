@@ -1,0 +1,168 @@
+/**
+ * @file
+ * A cycle-level out-of-order execution backend.
+ *
+ * The core consumes micro-operations in program order (dispatch) and
+ * models renaming, a unified issue queue with oldest-first select,
+ * per-pool functional units, data-cache access latency and in-order
+ * commit. Because the surrounding simulators are trace-driven, there is
+ * no wrong-path execution: control mispredictions are modelled by the
+ * caller stalling dispatch until the branch uop completes plus a
+ * front-end refill penalty.
+ *
+ * The same class instantiates the cold and hot cores of every PARROT
+ * configuration (the paper's "generic execution core class", §3.1);
+ * only the CoreConfig differs.
+ */
+
+#ifndef PARROT_CPU_OOO_CORE_HH
+#define PARROT_CPU_OOO_CORE_HH
+
+#include <cstdint>
+#include <deque>
+#include <queue>
+#include <vector>
+
+#include "common/types.hh"
+#include "cpu/core_config.hh"
+#include "isa/registers.hh"
+#include "isa/uop.hh"
+#include "memory/hierarchy.hh"
+#include "power/account.hh"
+
+namespace parrot::cpu
+{
+
+/** Token identifying a dispatched uop (monotonic sequence number). */
+using UopToken = std::uint64_t;
+
+/**
+ * The out-of-order backend.
+ */
+class OooCore
+{
+  public:
+    /**
+     * @param config structural parameters (validated here).
+     * @param hierarchy the data-side memory hierarchy (not owned).
+     * @param account power-event sink for this core (not owned).
+     */
+    OooCore(const CoreConfig &config, memory::Hierarchy *hierarchy,
+            power::EnergyAccount *account);
+
+    /** True when ROB and IQ have room for n more uops. */
+    bool canDispatch(unsigned n = 1) const;
+
+    /**
+     * Dispatch one uop (rename + ROB/IQ insert).
+     *
+     * @param uop the micro-operation.
+     * @param mem_addr effective address for Load/Store uops.
+     * @param counts_as_inst true on the last uop of a macro-instruction
+     *        whose commit should increment the instruction count.
+     * @param poisoned true for uops belonging to an aborted atomic
+     *        trace: they execute and retire (consuming time and energy)
+     *        but do not count as committed work.
+     * @return a token to query completion with.
+     */
+    UopToken dispatch(const isa::Uop &uop, Addr mem_addr,
+                      bool counts_as_inst, bool poisoned);
+
+    /** Advance one cycle: complete, wake, issue, commit. */
+    void tick();
+
+    /** True when the uop has finished execution (written back). */
+    bool completed(UopToken token) const;
+
+    /** True when the uop has committed (left the ROB). */
+    bool retired(UopToken token) const { return token < headSeq; }
+
+    /** True when no uops are in flight. */
+    bool drained() const { return headSeq == tailSeq; }
+
+    /** Current cycle (incremented by tick()). */
+    Cycle now() const { return curCycle; }
+
+    /** In-flight uop count. */
+    unsigned robOccupancy() const
+    {
+        return static_cast<unsigned>(tailSeq - headSeq);
+    }
+
+    /** @name Retirement statistics. @{ */
+    Counter committedUops() const { return nCommittedUops; }
+    Counter committedInsts() const { return nCommittedInsts; }
+    Counter issuedUops() const { return nIssuedUops; }
+    /** @} */
+
+    const CoreConfig &config() const { return cfg; }
+
+  private:
+    enum class State : std::uint8_t
+    {
+        Waiting,   //!< has outstanding source operands
+        Ready,     //!< all sources available, not yet selected
+        Issued,    //!< executing
+        Completed  //!< written back, awaiting commit
+    };
+
+    struct Entry
+    {
+        isa::Uop uop;
+        Addr memAddr = 0;
+        State state = State::Waiting;
+        Cycle completeAt = 0;
+        std::uint8_t depsOutstanding = 0;
+        bool countsAsInst = false;
+        bool poisoned = false;
+        bool inIq = false;
+        bool holdsMshr = false; //!< outstanding L1D miss in flight
+        std::vector<UopToken> dependents;
+    };
+
+    Entry &entryOf(UopToken seq) { return rob[seq % cfg.robSize]; }
+    const Entry &entryOf(UopToken seq) const
+    {
+        return rob[seq % cfg.robSize];
+    }
+
+    /** Process all completions due at the current cycle. */
+    void completePhase();
+
+    /** Select and issue ready uops, oldest first. */
+    void issuePhase();
+
+    /** In-order retirement of completed uops. */
+    void commitPhase();
+
+    CoreConfig cfg;
+    memory::Hierarchy *mem;
+    power::EnergyAccount *energy;
+
+    std::vector<Entry> rob;
+    UopToken headSeq = 0; //!< oldest in-flight uop
+    UopToken tailSeq = 0; //!< next sequence number to assign
+
+    /** Issue-queue contents in dispatch (age) order. */
+    std::deque<UopToken> iq;
+
+    /** Last in-flight writer of each architectural register. */
+    UopToken lastWriter[isa::numArchRegs];
+    bool lastWriterValid[isa::numArchRegs] = {};
+
+    /** Completion events: (cycle, token) min-heap. */
+    using CompletionEvent = std::pair<Cycle, UopToken>;
+    std::priority_queue<CompletionEvent, std::vector<CompletionEvent>,
+                        std::greater<CompletionEvent>> completions;
+
+    Cycle curCycle = 0;
+    unsigned outstandingMisses = 0;
+
+    Counter nCommittedUops = 0;
+    Counter nCommittedInsts = 0;
+    Counter nIssuedUops = 0;
+};
+
+} // namespace parrot::cpu
+
+#endif // PARROT_CPU_OOO_CORE_HH

@@ -1,0 +1,110 @@
+#include "frontend/branch_predictor.hh"
+
+#include "common/logging.hh"
+
+namespace parrot::frontend
+{
+
+BranchPredictor::BranchPredictor(const BranchPredictorConfig &config)
+    : cfg(config), history(config.historyBits)
+{
+    if (!isPowerOfTwo(cfg.numEntries) || !isPowerOfTwo(cfg.btbEntries))
+        PARROT_FATAL("branch predictor tables must be powers of two");
+    bimodal.assign(cfg.numEntries, SatCounter(cfg.counterBits, 1));
+    gshare.assign(cfg.numEntries, SatCounter(cfg.counterBits, 1));
+    // Chooser starts leaning toward the bimodal component, which
+    // learns fastest on the heavily biased branches that dominate.
+    chooser.assign(cfg.numEntries, SatCounter(2, 1));
+    btb.resize(cfg.btbEntries);
+    ras.reserve(cfg.rasEntries);
+}
+
+std::uint64_t
+BranchPredictor::bimodalIndex(Addr pc) const
+{
+    return mix64(pc) & (cfg.numEntries - 1);
+}
+
+std::uint64_t
+BranchPredictor::gshareIndex(Addr pc) const
+{
+    return (mix64(pc) ^ history.value()) & (cfg.numEntries - 1);
+}
+
+bool
+BranchPredictor::predict(Addr pc)
+{
+    const bool use_gshare = chooser[bimodalIndex(pc)].isSet();
+    return use_gshare ? gshare[gshareIndex(pc)].isSet()
+                      : bimodal[bimodalIndex(pc)].isSet();
+}
+
+void
+BranchPredictor::update(Addr pc, bool taken)
+{
+    const std::uint64_t bi = bimodalIndex(pc);
+    const std::uint64_t gi = gshareIndex(pc);
+    SatCounter &b = bimodal[bi];
+    SatCounter &g = gshare[gi];
+    SatCounter &c = chooser[bi];
+
+    const bool b_correct = (b.isSet() == taken);
+    const bool g_correct = (g.isSet() == taken);
+    const bool used_gshare = c.isSet();
+    correct.sample(used_gshare ? g_correct : b_correct);
+
+    // Chooser trains toward whichever component was right.
+    if (g_correct && !b_correct)
+        c.increment();
+    else if (b_correct && !g_correct)
+        c.decrement();
+
+    if (taken) {
+        b.increment();
+        g.increment();
+    } else {
+        b.decrement();
+        g.decrement();
+    }
+    history.push(taken);
+}
+
+bool
+BranchPredictor::btbLookup(Addr pc, Addr &target) const
+{
+    const BtbEntry &entry = btb[mix64(pc) & (cfg.btbEntries - 1)];
+    if (entry.valid && entry.pc == pc) {
+        target = entry.target;
+        return true;
+    }
+    return false;
+}
+
+void
+BranchPredictor::btbInsert(Addr pc, Addr target)
+{
+    BtbEntry &entry = btb[mix64(pc) & (cfg.btbEntries - 1)];
+    entry.pc = pc;
+    entry.target = target;
+    entry.valid = true;
+}
+
+void
+BranchPredictor::rasPush(Addr return_addr)
+{
+    if (ras.size() >= cfg.rasEntries)
+        ras.erase(ras.begin()); // overwrite the oldest entry
+    ras.push_back(return_addr);
+}
+
+Addr
+BranchPredictor::rasPop()
+{
+    if (ras.empty())
+        return 0;
+    Addr top = ras.back();
+    ras.pop_back();
+    return top;
+}
+
+} // namespace parrot::frontend

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Cold-pipeline front-end predictors: a gshare direction predictor, a
+ * branch target buffer and a return-address stack.
+ */
+
+#ifndef PARROT_FRONTEND_BRANCH_PREDICTOR_HH
+#define PARROT_FRONTEND_BRANCH_PREDICTOR_HH
+
+#include <vector>
+
+#include "common/bitutil.hh"
+#include "common/counters.hh"
+#include "common/types.hh"
+#include "stats/stats.hh"
+
+namespace parrot::frontend
+{
+
+/** Configuration of the branch-prediction structures. */
+struct BranchPredictorConfig
+{
+    unsigned numEntries = 4096; //!< direction table entries (paper: 4K/2K)
+    unsigned historyBits = 12;
+    unsigned btbEntries = 1024;
+    unsigned rasEntries = 16;
+    unsigned counterBits = 2;
+};
+
+/**
+ * A tournament conditional-branch direction predictor (bimodal +
+ * gshare with a per-pc chooser, in the style of the Alpha 21264),
+ * backed by a BTB and a return-address stack.
+ *
+ * Interface is split into predict / update so the pipeline can model
+ * speculative prediction at fetch and training at commit. Since the
+ * simulators are trace-driven, history is updated with actual outcomes
+ * immediately after each prediction.
+ */
+class BranchPredictor
+{
+  public:
+    explicit BranchPredictor(const BranchPredictorConfig &config);
+
+    /** Predict the direction of the conditional branch at pc. */
+    bool predict(Addr pc);
+
+    /** Train with the actual outcome and update global history. */
+    void update(Addr pc, bool taken);
+
+    /** @name BTB — taken-target cache for direct CTIs. @{ */
+    bool btbLookup(Addr pc, Addr &target) const;
+    void btbInsert(Addr pc, Addr target);
+    /** @} */
+
+    /** @name RAS — return address stack. @{ */
+    void rasPush(Addr return_addr);
+    Addr rasPop();
+    /** @} */
+
+    /** Direction misprediction ratio so far. */
+    double mispredictRatio() const { return 1.0 - correct.value(); }
+
+    /** Total predictions and mispredictions (for figures). */
+    Counter predictions() const { return correct.denominator(); }
+    Counter mispredictions() const
+    {
+        return correct.denominator() - correct.numerator();
+    }
+
+    const BranchPredictorConfig &config() const { return cfg; }
+
+    void resetStats() { correct.reset(); }
+
+  private:
+    std::uint64_t bimodalIndex(Addr pc) const;
+    std::uint64_t gshareIndex(Addr pc) const;
+
+    BranchPredictorConfig cfg;
+    std::vector<SatCounter> bimodal;
+    std::vector<SatCounter> gshare;
+    std::vector<SatCounter> chooser;
+    HistoryRegister history;
+
+    struct BtbEntry
+    {
+        Addr pc = 0;
+        Addr target = 0;
+        bool valid = false;
+    };
+    std::vector<BtbEntry> btb;
+    std::vector<Addr> ras;
+
+    stats::Ratio correct{"direction_correct"};
+};
+
+} // namespace parrot::frontend
+
+#endif // PARROT_FRONTEND_BRANCH_PREDICTOR_HH

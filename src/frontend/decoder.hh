@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Variable-length decode model.
+ *
+ * Decoding a variable-length CISC stream is essentially serial: the
+ * length of instruction k must be known before instruction k+1 can be
+ * located. Real IA32 decoders parallelize this with expensive
+ * length-marking hardware; we model the effect as a per-cycle decode
+ * *weight* budget on top of the instruction-count width, so long or
+ * multi-uop instructions consume more of the cycle's decode capacity.
+ * This is the cost the PARROT decoded trace cache avoids.
+ */
+
+#ifndef PARROT_FRONTEND_DECODER_HH
+#define PARROT_FRONTEND_DECODER_HH
+
+#include <vector>
+
+#include "isa/inst.hh"
+#include "stats/stats.hh"
+
+namespace parrot::frontend
+{
+
+/** Decoder bandwidth configuration. */
+struct DecoderConfig
+{
+    unsigned width = 4;        //!< macro-instructions per cycle
+    unsigned weightLimit = 6;  //!< total decode weight per cycle
+    /** Bytes the fetch stage can pull per cycle (one aligned fetch
+     * window); variable-length instructions make this the front-end's
+     * binding constraint — exactly what the decoded trace cache
+     * bypasses. */
+    unsigned fetchBytes = 16;
+};
+
+/**
+ * Stateless bandwidth model: given the next instructions in fetch
+ * order, decide how many decode in one cycle.
+ */
+class Decoder
+{
+  public:
+    explicit Decoder(const DecoderConfig &config) : cfg(config)
+    {
+        if (cfg.width < 1 || cfg.weightLimit < 1)
+            PARROT_FATAL("decoder width/weight must be >= 1");
+    }
+
+    /**
+     * How many of the given instructions fit in one decode cycle.
+     * Always at least 1 when the list is non-empty (a single
+     * instruction never stalls decode forever).
+     */
+    unsigned
+    throughput(const std::vector<const isa::MacroInst *> &window) const
+    {
+        unsigned taken = 0;
+        unsigned weight = 0;
+        unsigned bytes = 0;
+        for (const isa::MacroInst *inst : window) {
+            if (taken >= cfg.width)
+                break;
+            unsigned w = inst->decodeWeight();
+            if (taken > 0 && weight + w > cfg.weightLimit)
+                break;
+            if (taken > 0 && bytes + inst->length > cfg.fetchBytes)
+                break;
+            weight += w;
+            bytes += inst->length;
+            ++taken;
+        }
+        return taken;
+    }
+
+    /** Total decode weight of one instruction (power accounting). */
+    static unsigned cost(const isa::MacroInst &inst)
+    {
+        return inst.decodeWeight();
+    }
+
+    const DecoderConfig &config() const { return cfg; }
+
+  private:
+    DecoderConfig cfg;
+};
+
+} // namespace parrot::frontend
+
+#endif // PARROT_FRONTEND_DECODER_HH

@@ -1,0 +1,133 @@
+#include "isa/arch_state.hh"
+
+#include "common/logging.hh"
+
+namespace parrot::isa
+{
+
+namespace
+{
+
+/** Sign of a - b as -1 / 0 / +1 (the flags encoding). */
+std::int64_t
+compareValues(std::int64_t a, std::int64_t b)
+{
+    return (a < b) ? -1 : (a > b) ? 1 : 0;
+}
+
+/** Apply a two-source scalar operation. */
+std::int64_t
+applyScalar(UopKind kind, std::int64_t a, std::int64_t b, std::int64_t imm)
+{
+    switch (kind) {
+      case UopKind::Add:    return a + b;
+      case UopKind::AddImm: return a + imm;
+      case UopKind::Sub:    return a - b;
+      case UopKind::And:    return a & b;
+      case UopKind::Or:     return a | b;
+      case UopKind::Xor:    return a ^ b;
+      case UopKind::ShlImm:
+        return static_cast<std::int64_t>(
+            static_cast<std::uint64_t>(a) << (imm & 63));
+      case UopKind::ShrImm:
+        return static_cast<std::int64_t>(
+            static_cast<std::uint64_t>(a) >> (imm & 63));
+      case UopKind::Mov:    return a;
+      case UopKind::MovImm: return imm;
+      case UopKind::Lea:    return a + b + imm;
+      case UopKind::Mul:    return a * b;
+      case UopKind::Div:    return (b == 0) ? 0 : a / b;
+      // FP semantics are modelled on the integer bits: exactness is what
+      // matters for equivalence checking, not IEEE behaviour.
+      case UopKind::FpAdd:  return a + b;
+      case UopKind::FpMul:  return a * b;
+      case UopKind::FpDiv:  return (b == 0) ? 0 : a / b;
+      case UopKind::FpMov:  return a;
+      default:
+        PARROT_PANIC("applyScalar: bad kind %s", uopKindName(kind));
+    }
+}
+
+} // namespace
+
+UopExecInfo
+executeUop(const Uop &uop, ArchState &state)
+{
+    UopExecInfo info;
+    switch (uop.kind) {
+      case UopKind::Nop:
+      case UopKind::Branch:
+      case UopKind::Jump:
+      case UopKind::JumpInd:
+      case UopKind::Call:
+      case UopKind::Return:
+      case UopKind::AssertTaken:
+      case UopKind::AssertNotTaken:
+        break;
+
+      case UopKind::Cmp:
+        state.setReg(regFlags,
+                     compareValues(state.reg(uop.src1), state.reg(uop.src2)));
+        break;
+      case UopKind::CmpImm:
+        state.setReg(regFlags, compareValues(state.reg(uop.src1), uop.imm));
+        break;
+
+      // Fused compare+assert: the comparison result feeds the assert
+      // check only; architectural flags are not written (the optimizer
+      // fuses only when flags are provably dead afterwards).
+      case UopKind::AssertCmpTaken:
+      case UopKind::AssertCmpNotTaken:
+        break;
+
+      case UopKind::Load: {
+        info.accessedMem = true;
+        info.addr = static_cast<Addr>(state.reg(uop.src1) + uop.imm);
+        state.setReg(uop.dst, state.mem.read(info.addr));
+        break;
+      }
+      case UopKind::Store: {
+        info.accessedMem = true;
+        info.isStore = true;
+        info.addr = static_cast<Addr>(state.reg(uop.src2) + uop.imm);
+        state.mem.write(info.addr, state.reg(uop.src1));
+        break;
+      }
+
+      case UopKind::FpMulAdd:
+        state.setReg(uop.dst, state.reg(uop.src1) * state.reg(uop.src2) +
+                              state.reg(uop.src1b));
+        break;
+
+      case UopKind::SimdInt:
+      case UopKind::SimdFp: {
+        // Lane 0 then lane 1; lanes are independent by construction.
+        std::int64_t a0 =
+            (uop.src1 == invalidReg) ? 0 : state.reg(uop.src1);
+        std::int64_t b0 =
+            (uop.src2 == invalidReg) ? 0 : state.reg(uop.src2);
+        std::int64_t r0 = applyScalar(uop.laneKind, a0, b0, uop.imm);
+        std::int64_t a1 =
+            (uop.src1b == invalidReg) ? 0 : state.reg(uop.src1b);
+        std::int64_t b1 =
+            (uop.src2b == invalidReg) ? 0 : state.reg(uop.src2b);
+        std::int64_t r1 = applyScalar(uop.laneKind, a1, b1, uop.imm);
+        state.setReg(uop.dst, r0);
+        state.setReg(uop.dst2, r1);
+        break;
+      }
+
+      default:
+        state.setReg(uop.dst,
+                     applyScalar(uop.kind,
+                                 uop.src1 == invalidReg
+                                     ? 0 : state.reg(uop.src1),
+                                 uop.src2 == invalidReg
+                                     ? 0 : state.reg(uop.src2),
+                                 uop.imm));
+        break;
+    }
+    return info;
+}
+
+} // namespace parrot::isa

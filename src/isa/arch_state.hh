@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Architectural state and functional uop semantics.
+ *
+ * The functional layer is what makes the reproduction's optimizer
+ * testable: an optimized trace must compute the same architectural
+ * results as the original. Memory is a sparse map whose untouched
+ * locations read as a deterministic hash of their address, so two
+ * executions over the same addresses always agree while still exercising
+ * non-trivial values.
+ */
+
+#ifndef PARROT_ISA_ARCH_STATE_HH
+#define PARROT_ISA_ARCH_STATE_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/bitutil.hh"
+#include "common/types.hh"
+#include "isa/registers.hh"
+#include "isa/uop.hh"
+
+namespace parrot::isa
+{
+
+/**
+ * Sparse 64-bit-word memory. Reads of never-written locations return
+ * mix64(addr) — deterministic, address-dependent, rarely zero — which
+ * keeps functional comparisons meaningful without materializing memory.
+ */
+class SparseMemory
+{
+  public:
+    /** Read the word at addr (word-aligned internally by addr value). */
+    std::int64_t
+    read(Addr addr) const
+    {
+        auto it = words.find(addr);
+        if (it != words.end())
+            return it->second;
+        return static_cast<std::int64_t>(mix64(addr));
+    }
+
+    /** Write the word at addr. */
+    void write(Addr addr, std::int64_t value) { words[addr] = value; }
+
+    /** Number of distinct written locations. */
+    std::size_t writtenWords() const { return words.size(); }
+
+    /** Discard all written state. */
+    void clear() { words.clear(); }
+
+    /** Access the raw written-word map (tests and store comparison). */
+    const std::unordered_map<Addr, std::int64_t> &raw() const
+    {
+        return words;
+    }
+
+  private:
+    std::unordered_map<Addr, std::int64_t> words;
+};
+
+/** Full architectural state: registers (incl. flags) and memory. */
+struct ArchState
+{
+    std::int64_t regs[numArchRegs] = {};
+    SparseMemory mem;
+
+    std::int64_t reg(RegId r) const { return regs[r]; }
+    void setReg(RegId r, std::int64_t v) { regs[r] = v; }
+};
+
+/** Side information produced by functionally executing one uop. */
+struct UopExecInfo
+{
+    bool accessedMem = false;   //!< Load or Store executed
+    bool isStore = false;       //!< the access was a store
+    Addr addr = 0;              //!< effective address when accessedMem
+};
+
+/**
+ * Functionally execute one uop against the given state.
+ *
+ * Control-transfer uops do not modify state (direction decisions live in
+ * the workload executor); Cmp writes the flags register with the sign of
+ * the comparison.
+ *
+ * @return memory-access side information (for the cache model).
+ */
+UopExecInfo executeUop(const Uop &uop, ArchState &state);
+
+} // namespace parrot::isa
+
+#endif // PARROT_ISA_ARCH_STATE_HH

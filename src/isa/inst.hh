@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Variable-length macro-instruction record.
+ *
+ * A macro-instruction is the ISA-visible unit (what the instruction
+ * cache holds and the decoder chews through); it decodes into 1-4 uops.
+ * Variable instruction length (1-15 bytes) preserves the serial-decode
+ * property of IA32 that motivates PARROT's decoded trace cache.
+ */
+
+#ifndef PARROT_ISA_INST_HH
+#define PARROT_ISA_INST_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/uop.hh"
+
+namespace parrot::isa
+{
+
+/** Classification of a macro-instruction's control-transfer behaviour. */
+enum class CtiType : std::uint8_t
+{
+    None,       //!< falls through
+    CondBranch, //!< conditional direct branch
+    Jump,       //!< unconditional direct jump
+    JumpInd,    //!< indirect jump
+    Call,       //!< direct procedure call
+    Return      //!< procedure return
+};
+
+/** Maximum uops a single macro-instruction may decode into. */
+inline constexpr unsigned maxUopsPerInst = 4;
+
+/** Maximum macro-instruction length in bytes (as in IA32). */
+inline constexpr unsigned maxInstBytes = 15;
+
+/**
+ * A static macro-instruction. Instances are owned by the workload's
+ * static program image; the pipeline refers to them by pointer.
+ */
+struct MacroInst
+{
+    /** Static code address of the first byte. */
+    Addr pc = 0;
+
+    /** Encoded length in bytes (1..15). */
+    std::uint8_t length = 4;
+
+    /** Control-transfer classification. */
+    CtiType cti = CtiType::None;
+
+    /** Static taken-target address (direct CTIs; 0 otherwise). */
+    Addr takenTarget = 0;
+
+    /** Decoded micro-operations (1..4). */
+    std::vector<Uop> uops;
+
+    /** Address of the sequentially next instruction. */
+    Addr nextPc() const { return pc + length; }
+
+    /** True when this instruction may redirect the instruction stream. */
+    bool isCti() const { return cti != CtiType::None; }
+
+    /** True for conditional direct branches. */
+    bool isCondBranch() const { return cti == CtiType::CondBranch; }
+
+    /**
+     * Decode complexity weight used by the timing and power models:
+     * longer instructions and multi-uop instructions are more expensive
+     * to decode, reflecting the serial length-marking problem.
+     */
+    unsigned
+    decodeWeight() const
+    {
+        return 1 + (length > 7 ? 1 : 0) + (uops.size() > 1 ? 1 : 0);
+    }
+};
+
+} // namespace parrot::isa
+
+#endif // PARROT_ISA_INST_HH

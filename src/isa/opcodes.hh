@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Micro-operation opcodes and execution classes for the synthetic
+ * CISC-like ISA used throughout the PARROT reproduction.
+ *
+ * The ISA deliberately mirrors the properties of IA32 that matter to the
+ * paper: variable-length macro-instructions (1-15 bytes) that decode into
+ * one or more fixed-format micro-operations (uops), an expensive serial
+ * decode, and a uop vocabulary rich enough for the dynamic optimizer to
+ * perform real transformations (constant propagation, dead-code
+ * elimination, fusion, SIMDification).
+ */
+
+#ifndef PARROT_ISA_OPCODES_HH
+#define PARROT_ISA_OPCODES_HH
+
+#include <cstdint>
+
+namespace parrot::isa
+{
+
+/** Micro-operation opcode. */
+enum class UopKind : std::uint8_t
+{
+    Nop,
+
+    // Integer ALU.
+    Add,        //!< dst = src1 + src2
+    AddImm,     //!< dst = src1 + imm
+    Sub,        //!< dst = src1 - src2
+    And,        //!< dst = src1 & src2
+    Or,         //!< dst = src1 | src2
+    Xor,        //!< dst = src1 ^ src2
+    ShlImm,     //!< dst = src1 << (imm & 63)
+    ShrImm,     //!< dst = src1 >> (imm & 63) (logical)
+    Mov,        //!< dst = src1
+    MovImm,     //!< dst = imm
+    Lea,        //!< dst = src1 + src2 + imm (address arithmetic)
+    Cmp,        //!< flags = sign(src1 - src2)
+    CmpImm,     //!< flags = sign(src1 - imm)
+
+    // Long-latency integer.
+    Mul,        //!< dst = src1 * src2
+    Div,        //!< dst = src1 / src2 (src2==0 yields 0)
+
+    // Memory.
+    Load,       //!< dst = mem[src1 + imm]
+    Store,      //!< mem[src2 + imm] = src1
+
+    // Control transfer (always the last uop of a CTI macro-instruction).
+    Branch,     //!< conditional branch, reads flags (src1)
+    Jump,       //!< unconditional direct jump
+    JumpInd,    //!< indirect jump (reads src1)
+    Call,       //!< procedure call (pushes return address)
+    Return,     //!< procedure return
+
+    // Floating point.
+    FpAdd,      //!< dst = src1 + src2 (modelled on integer bits)
+    FpMul,      //!< dst = src1 * src2
+    FpDiv,      //!< dst = src1 / src2 (src2==0 yields 0)
+    FpMov,      //!< dst = src1
+
+    // Optimizer-introduced uops (never produced by the decoder).
+    AssertTaken,    //!< trace-internal branch promoted: must be taken
+    AssertNotTaken, //!< trace-internal branch promoted: must fall through
+    AssertCmpTaken,     //!< fused Cmp+AssertTaken
+    AssertCmpNotTaken,  //!< fused Cmp+AssertNotTaken
+    FpMulAdd,   //!< dst = src1 * src2 + src1b (fused multiply-add)
+    SimdInt,    //!< two packed integer lanes of the same operation
+    SimdFp,     //!< two packed FP lanes of the same operation
+
+    NumKinds
+};
+
+/** Functional-unit class a uop executes on; also keys timing and power. */
+enum class ExecClass : std::uint8_t
+{
+    IntAlu,
+    IntMul,
+    IntDiv,
+    FpAdd,
+    FpMul,
+    FpDiv,
+    MemLoad,
+    MemStore,
+    Ctrl,
+    Simd,
+    Nop,
+    NumClasses
+};
+
+/** Map a uop kind onto its execution class. */
+ExecClass execClassOf(UopKind kind);
+
+/** Execution latency (cycles) of a class, excluding cache misses. */
+unsigned execLatency(ExecClass cls);
+
+/** Human-readable opcode mnemonic. */
+const char *uopKindName(UopKind kind);
+
+/** Human-readable execution-class name. */
+const char *execClassName(ExecClass cls);
+
+/** True for the control-transfer uops (including asserts). */
+bool isCti(UopKind kind);
+
+/** True for optimizer assert uops (trace-internal promoted branches). */
+bool isAssert(UopKind kind);
+
+/** True when the uop writes the flags register instead of a GPR. */
+bool writesFlags(UopKind kind);
+
+/** True when the uop reads the flags register. */
+bool readsFlags(UopKind kind);
+
+} // namespace parrot::isa
+
+#endif // PARROT_ISA_OPCODES_HH

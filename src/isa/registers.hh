@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Architectural register file layout of the synthetic ISA.
+ */
+
+#ifndef PARROT_ISA_REGISTERS_HH
+#define PARROT_ISA_REGISTERS_HH
+
+#include "common/types.hh"
+
+namespace parrot::isa
+{
+
+/** Number of integer general-purpose registers. */
+inline constexpr unsigned numIntRegs = 16;
+
+/** Number of floating-point registers. */
+inline constexpr unsigned numFpRegs = 8;
+
+/** First FP register id (FP ids follow the integer ids). */
+inline constexpr RegId firstFpReg = numIntRegs;
+
+/** The (renamed) flags register, written by Cmp, read by Branch. */
+inline constexpr RegId regFlags = numIntRegs + numFpRegs;
+
+/** Total architectural registers (ints + fps + flags). */
+inline constexpr unsigned numArchRegs = numIntRegs + numFpRegs + 1;
+
+/** True when r names an FP register. */
+constexpr bool
+isFpReg(RegId r)
+{
+    return r >= firstFpReg && r < firstFpReg + numFpRegs;
+}
+
+/** True when r names an integer register. */
+constexpr bool
+isIntReg(RegId r)
+{
+    return r < numIntRegs;
+}
+
+} // namespace parrot::isa
+
+#endif // PARROT_ISA_REGISTERS_HH

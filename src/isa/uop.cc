@@ -1,0 +1,270 @@
+#include "isa/uop.hh"
+
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace parrot::isa
+{
+
+unsigned
+Uop::numSources() const
+{
+    RegId tmp[4];
+    return sources(tmp);
+}
+
+unsigned
+Uop::sources(RegId out[4]) const
+{
+    unsigned n = 0;
+    if (src1 != invalidReg)
+        out[n++] = src1;
+    if (src2 != invalidReg)
+        out[n++] = src2;
+    if (src1b != invalidReg)
+        out[n++] = src1b;
+    if (src2b != invalidReg)
+        out[n++] = src2b;
+    return n;
+}
+
+std::string
+Uop::toString() const
+{
+    char buf[128];
+    auto reg_name = [](RegId r) -> std::string {
+        if (r == invalidReg)
+            return "-";
+        if (r == regFlags)
+            return "fl";
+        if (isFpReg(r))
+            return "f" + std::to_string(r - firstFpReg);
+        return "r" + std::to_string(r);
+    };
+    std::snprintf(buf, sizeof(buf), "%s %s, %s, %s, #%lld", uopKindName(kind),
+                  reg_name(dst).c_str(), reg_name(src1).c_str(),
+                  reg_name(src2).c_str(), static_cast<long long>(imm));
+    return buf;
+}
+
+unsigned
+uopLatency(const Uop &uop)
+{
+    if (uop.kind == UopKind::SimdInt || uop.kind == UopKind::SimdFp)
+        return execLatency(execClassOf(uop.laneKind));
+    return execLatency(uop.execClass());
+}
+
+Uop
+makeNop()
+{
+    return Uop{};
+}
+
+Uop
+makeAlu(UopKind kind, RegId dst, RegId src1, RegId src2)
+{
+    Uop u;
+    u.kind = kind;
+    u.dst = dst;
+    u.src1 = src1;
+    u.src2 = src2;
+    return u;
+}
+
+Uop
+makeAluImm(UopKind kind, RegId dst, RegId src1, std::int64_t imm)
+{
+    Uop u;
+    u.kind = kind;
+    u.dst = dst;
+    u.src1 = src1;
+    u.imm = imm;
+    return u;
+}
+
+Uop
+makeMov(RegId dst, RegId src)
+{
+    Uop u;
+    u.kind = UopKind::Mov;
+    u.dst = dst;
+    u.src1 = src;
+    return u;
+}
+
+Uop
+makeMovImm(RegId dst, std::int64_t imm)
+{
+    Uop u;
+    u.kind = UopKind::MovImm;
+    u.dst = dst;
+    u.imm = imm;
+    return u;
+}
+
+Uop
+makeLea(RegId dst, RegId src1, RegId src2, std::int64_t imm)
+{
+    Uop u;
+    u.kind = UopKind::Lea;
+    u.dst = dst;
+    u.src1 = src1;
+    u.src2 = src2;
+    u.imm = imm;
+    return u;
+}
+
+Uop
+makeCmp(RegId src1, RegId src2)
+{
+    Uop u;
+    u.kind = UopKind::Cmp;
+    u.src1 = src1;
+    u.src2 = src2;
+    return u;
+}
+
+Uop
+makeCmpImm(RegId src1, std::int64_t imm)
+{
+    Uop u;
+    u.kind = UopKind::CmpImm;
+    u.src1 = src1;
+    u.imm = imm;
+    return u;
+}
+
+Uop
+makeLoad(RegId dst, RegId base, std::int64_t offset)
+{
+    Uop u;
+    u.kind = UopKind::Load;
+    u.dst = dst;
+    u.src1 = base;
+    u.imm = offset;
+    return u;
+}
+
+Uop
+makeStore(RegId value, RegId base, std::int64_t offset)
+{
+    Uop u;
+    u.kind = UopKind::Store;
+    u.src1 = value;
+    u.src2 = base;
+    u.imm = offset;
+    return u;
+}
+
+Uop
+makeBranch()
+{
+    Uop u;
+    u.kind = UopKind::Branch;
+    u.src1 = regFlags;
+    return u;
+}
+
+Uop
+makeJump()
+{
+    Uop u;
+    u.kind = UopKind::Jump;
+    return u;
+}
+
+Uop
+makeJumpInd(RegId target)
+{
+    Uop u;
+    u.kind = UopKind::JumpInd;
+    u.src1 = target;
+    return u;
+}
+
+Uop
+makeCall()
+{
+    Uop u;
+    u.kind = UopKind::Call;
+    return u;
+}
+
+Uop
+makeReturn()
+{
+    Uop u;
+    u.kind = UopKind::Return;
+    return u;
+}
+
+Uop
+makeFp(UopKind kind, RegId dst, RegId src1, RegId src2)
+{
+    PARROT_ASSERT(kind == UopKind::FpAdd || kind == UopKind::FpMul ||
+                  kind == UopKind::FpDiv || kind == UopKind::FpMov,
+                  "makeFp: not an FP kind");
+    Uop u;
+    u.kind = kind;
+    u.dst = dst;
+    u.src1 = src1;
+    u.src2 = (kind == UopKind::FpMov) ? invalidReg : src2;
+    return u;
+}
+
+Uop
+makeAssert(bool taken, Addr target)
+{
+    Uop u;
+    u.kind = taken ? UopKind::AssertTaken : UopKind::AssertNotTaken;
+    u.src1 = regFlags;
+    u.assertTarget = target;
+    return u;
+}
+
+Uop
+makeAssertCmp(bool taken, RegId src1, RegId src2, Addr target)
+{
+    Uop u;
+    u.kind = taken ? UopKind::AssertCmpTaken : UopKind::AssertCmpNotTaken;
+    u.src1 = src1;
+    u.src2 = src2;
+    u.assertTarget = target;
+    return u;
+}
+
+Uop
+makeFpMulAdd(RegId dst, RegId mul1, RegId mul2, RegId addend)
+{
+    Uop u;
+    u.kind = UopKind::FpMulAdd;
+    u.dst = dst;
+    u.src1 = mul1;
+    u.src2 = mul2;
+    u.src1b = addend;
+    return u;
+}
+
+Uop
+makeSimdPair(UopKind lane_kind, const Uop &a, const Uop &b)
+{
+    PARROT_ASSERT(a.kind == lane_kind && b.kind == lane_kind,
+                  "makeSimdPair: lane kinds disagree");
+    bool fp = execClassOf(lane_kind) == ExecClass::FpAdd ||
+              execClassOf(lane_kind) == ExecClass::FpMul;
+    Uop u;
+    u.kind = fp ? UopKind::SimdFp : UopKind::SimdInt;
+    u.laneKind = lane_kind;
+    u.dst = a.dst;
+    u.src1 = a.src1;
+    u.src2 = a.src2;
+    u.imm = a.imm;
+    u.dst2 = b.dst;
+    u.src1b = b.src1;
+    u.src2b = b.src2;
+    return u;
+}
+
+} // namespace parrot::isa

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * The micro-operation (uop) record: the unit of execution, optimization
+ * and power accounting in the PARROT machine.
+ */
+
+#ifndef PARROT_ISA_UOP_HH
+#define PARROT_ISA_UOP_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+#include "isa/opcodes.hh"
+#include "isa/registers.hh"
+
+namespace parrot::isa
+{
+
+/**
+ * A fixed-format micro-operation.
+ *
+ * The layout carries a second register lane (dst2/src1b/src2b) used only
+ * by optimizer-created SIMD pair uops and by the fused multiply-add
+ * (which reads a third source through src1b). All other uops leave the
+ * second lane invalid.
+ */
+struct Uop
+{
+    UopKind kind = UopKind::Nop;
+
+    RegId dst = invalidReg;
+    RegId src1 = invalidReg;
+    RegId src2 = invalidReg;
+    std::int64_t imm = 0;
+
+    /** Second SIMD lane (SimdInt/SimdFp), or the addend source of
+     * FpMulAdd (src1b only). */
+    RegId dst2 = invalidReg;
+    RegId src1b = invalidReg;
+    RegId src2b = invalidReg;
+
+    /** For SIMD pairs: the scalar operation applied to both lanes. */
+    UopKind laneKind = UopKind::Nop;
+
+    /** For asserts: the static taken-target recorded for recovery. */
+    Addr assertTarget = 0;
+
+    /** Execution class (derived from kind; cached for speed). */
+    ExecClass execClass() const { return execClassOf(kind); }
+
+    /** True when this uop produces a register value. */
+    bool
+    hasDst() const
+    {
+        return dst != invalidReg || writesFlags(kind);
+    }
+
+    /** Destination register including the implicit flags destination. */
+    RegId
+    effectiveDst() const
+    {
+        return writesFlags(kind) ? regFlags : dst;
+    }
+
+    /** Number of source registers read (for power accounting). */
+    unsigned numSources() const;
+
+    /** Collect source registers into out[]; returns the count (<= 4). */
+    unsigned sources(RegId out[4]) const;
+
+    /** Debug string, e.g. "add r3, r1, r2". */
+    std::string toString() const;
+};
+
+/**
+ * Execution latency of one uop: the class latency, except that SIMD
+ * pair uops take their *lane* operation's latency (a two-lane unit is
+ * as deep as its scalar datapath, not a fixed depth).
+ */
+unsigned uopLatency(const Uop &uop);
+
+/** @name Uop builders
+ * Convenience constructors used by the workload generator, the
+ * optimizer and the tests.
+ * @{ */
+Uop makeNop();
+Uop makeAlu(UopKind kind, RegId dst, RegId src1, RegId src2);
+Uop makeAluImm(UopKind kind, RegId dst, RegId src1, std::int64_t imm);
+Uop makeMov(RegId dst, RegId src);
+Uop makeMovImm(RegId dst, std::int64_t imm);
+Uop makeLea(RegId dst, RegId src1, RegId src2, std::int64_t imm);
+Uop makeCmp(RegId src1, RegId src2);
+Uop makeCmpImm(RegId src1, std::int64_t imm);
+Uop makeLoad(RegId dst, RegId base, std::int64_t offset);
+Uop makeStore(RegId value, RegId base, std::int64_t offset);
+Uop makeBranch();
+Uop makeJump();
+Uop makeJumpInd(RegId target);
+Uop makeCall();
+Uop makeReturn();
+Uop makeFp(UopKind kind, RegId dst, RegId src1, RegId src2);
+Uop makeAssert(bool taken, Addr target);
+Uop makeAssertCmp(bool taken, RegId src1, RegId src2, Addr target);
+Uop makeFpMulAdd(RegId dst, RegId mul1, RegId mul2, RegId addend);
+Uop makeSimdPair(UopKind lane_kind, const Uop &a, const Uop &b);
+/** @} */
+
+} // namespace parrot::isa
+
+#endif // PARROT_ISA_UOP_HH

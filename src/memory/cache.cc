@@ -1,0 +1,137 @@
+#include "memory/cache.hh"
+
+namespace parrot::memory
+{
+
+void
+CacheConfig::validate() const
+{
+    if (!isPowerOfTwo(lineBytes) || lineBytes < 8)
+        PARROT_FATAL("cache %s: line size must be a power of two >= 8",
+                     name.c_str());
+    if (assoc < 1)
+        PARROT_FATAL("cache %s: associativity must be >= 1", name.c_str());
+    if (sizeBytes % (static_cast<std::uint64_t>(assoc) * lineBytes) != 0)
+        PARROT_FATAL("cache %s: size not divisible by assoc*line",
+                     name.c_str());
+    if (!isPowerOfTwo(numSets()))
+        PARROT_FATAL("cache %s: set count must be a power of two",
+                     name.c_str());
+    if (hitLatency < 1)
+        PARROT_FATAL("cache %s: hit latency must be >= 1", name.c_str());
+}
+
+Cache::Cache(const CacheConfig &config) : cfg(config)
+{
+    cfg.validate();
+    lines.resize(cfg.numSets() * cfg.assoc);
+    lineShift = floorLog2(cfg.lineBytes);
+    setMask = cfg.numSets() - 1;
+}
+
+std::uint64_t
+Cache::setIndex(Addr addr) const
+{
+    return (addr >> lineShift) & setMask;
+}
+
+Addr
+Cache::tagOf(Addr addr) const
+{
+    return addr >> lineShift;
+}
+
+AccessResult
+Cache::access(Addr addr, bool write)
+{
+    AccessResult result;
+    const std::uint64_t set = setIndex(addr);
+    const Addr tag = tagOf(addr);
+    Line *way = &lines[set * cfg.assoc];
+
+    Line *victim = way;
+    for (unsigned w = 0; w < cfg.assoc; ++w) {
+        Line &line = way[w];
+        if (line.valid && line.tag == tag) {
+            line.lruStamp = ++stamp;
+            line.dirty |= write;
+            hits.add();
+            result.hit = true;
+            return result;
+        }
+        // Track the LRU (or first invalid) way as the victim.
+        if (!line.valid) {
+            victim = &line;
+        } else if (victim->valid && line.lruStamp < victim->lruStamp) {
+            victim = &line;
+        }
+    }
+
+    misses.add();
+    if (victim->valid && victim->dirty) {
+        writebacks.add();
+        result.writeback = true;
+    }
+    victim->valid = true;
+    victim->tag = tag;
+    victim->dirty = write;
+    victim->lruStamp = ++stamp;
+    return result;
+}
+
+bool
+Cache::fill(Addr addr)
+{
+    if (contains(addr))
+        return false;
+    const std::uint64_t set = setIndex(addr);
+    Line *way = &lines[set * cfg.assoc];
+    Line *victim = way;
+    for (unsigned w = 0; w < cfg.assoc; ++w) {
+        Line &line = way[w];
+        if (!line.valid) {
+            victim = &line;
+            break;
+        }
+        if (victim->valid && line.lruStamp < victim->lruStamp)
+            victim = &line;
+    }
+    if (victim->valid && victim->dirty)
+        writebacks.add();
+    victim->valid = true;
+    victim->tag = tagOf(addr);
+    victim->dirty = false;
+    // Inserted at LRU-adjacent priority: a demand hit promotes it.
+    victim->lruStamp = ++stamp;
+    return true;
+}
+
+bool
+Cache::contains(Addr addr) const
+{
+    const std::uint64_t set = setIndex(addr);
+    const Addr tag = tagOf(addr);
+    const Line *way = &lines[set * cfg.assoc];
+    for (unsigned w = 0; w < cfg.assoc; ++w) {
+        if (way[w].valid && way[w].tag == tag)
+            return true;
+    }
+    return false;
+}
+
+void
+Cache::flush()
+{
+    for (auto &line : lines)
+        line = Line{};
+}
+
+void
+Cache::resetStats()
+{
+    hits.reset();
+    misses.reset();
+    writebacks.reset();
+}
+
+} // namespace parrot::memory

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * A generic set-associative cache model with LRU replacement.
+ *
+ * Timing-only (no data storage): the simulators are trace-driven and
+ * values come from the functional executor, so caches track presence
+ * and latency. Each access reports hit/miss; misses are counted and
+ * charged the next level's latency by the hierarchy wrapper.
+ */
+
+#ifndef PARROT_MEMORY_CACHE_HH
+#define PARROT_MEMORY_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bitutil.hh"
+#include "common/logging.hh"
+#include "common/types.hh"
+#include "stats/stats.hh"
+
+namespace parrot::memory
+{
+
+/** Static geometry and timing of one cache level. */
+struct CacheConfig
+{
+    std::string name = "cache";
+    std::uint64_t sizeBytes = 32 * 1024;
+    unsigned assoc = 4;
+    unsigned lineBytes = 64;
+    unsigned hitLatency = 3; //!< cycles
+
+    /** Number of sets implied by the geometry. */
+    std::uint64_t
+    numSets() const
+    {
+        return sizeBytes / (static_cast<std::uint64_t>(assoc) * lineBytes);
+    }
+
+    /** Validate the geometry; fatal()s on nonsense. */
+    void validate() const;
+};
+
+/** Result of one cache access. */
+struct AccessResult
+{
+    bool hit = false;
+    bool writeback = false; //!< a dirty line was evicted
+};
+
+/**
+ * Set-associative LRU cache (tag array only).
+ */
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig &config);
+
+    /**
+     * Access the line containing addr; allocates on miss.
+     * @param addr byte address.
+     * @param write true for stores (marks the line dirty).
+     */
+    AccessResult access(Addr addr, bool write);
+
+    /** Probe without updating LRU or allocating (for tests/inspection). */
+    bool contains(Addr addr) const;
+
+    /**
+     * Allocate the line containing addr without touching the demand
+     * hit/miss statistics (prefetch fill). No-op when already present.
+     * @return true when a new line was brought in.
+     */
+    bool fill(Addr addr);
+
+    /** Invalidate everything. */
+    void flush();
+
+    const CacheConfig &config() const { return cfg; }
+
+    Counter accesses() const { return hits.value() + misses.value(); }
+    Counter hitCount() const { return hits.value(); }
+    Counter missCount() const { return misses.value(); }
+    Counter writebackCount() const { return writebacks.value(); }
+
+    /** Miss ratio in [0,1]; 0 when never accessed. */
+    double
+    missRatio() const
+    {
+        Counter total = accesses();
+        return total == 0
+            ? 0.0 : static_cast<double>(misses.value()) / total;
+    }
+
+    /** Reset statistics (contents retained). */
+    void resetStats();
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t lruStamp = 0;
+    };
+
+    std::uint64_t setIndex(Addr addr) const;
+    Addr tagOf(Addr addr) const;
+
+    CacheConfig cfg;
+    std::vector<Line> lines; //!< sets*assoc, row-major by set
+    std::uint64_t stamp = 0;
+    unsigned lineShift;
+    std::uint64_t setMask;
+
+    stats::Scalar hits{"hits"};
+    stats::Scalar misses{"misses"};
+    stats::Scalar writebacks{"writebacks"};
+};
+
+} // namespace parrot::memory
+
+#endif // PARROT_MEMORY_CACHE_HH

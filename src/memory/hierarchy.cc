@@ -1,0 +1,71 @@
+#include "memory/hierarchy.hh"
+
+namespace parrot::memory
+{
+
+Hierarchy::Hierarchy(const HierarchyConfig &config) : cfg(config)
+{
+    cfg.validate();
+    l1iCache = std::make_unique<Cache>(cfg.l1i);
+    l1dCache = std::make_unique<Cache>(cfg.l1d);
+    l2Cache = std::make_unique<Cache>(cfg.l2);
+}
+
+unsigned
+Hierarchy::missToL2(Addr addr, bool write, HierarchyAccess &out)
+{
+    auto l2_result = l2Cache->access(addr, write);
+    if (l2_result.hit) {
+        out.l2Hit = true;
+        return cfg.l2.hitLatency;
+    }
+    memCount.add();
+    return cfg.l2.hitLatency + cfg.memLatency;
+}
+
+HierarchyAccess
+Hierarchy::fetchInst(Addr addr)
+{
+    HierarchyAccess out;
+    out.latency = cfg.l1i.hitLatency;
+    auto result = l1iCache->access(addr, false);
+    if (result.hit) {
+        out.l1Hit = true;
+        return out;
+    }
+    out.latency += missToL2(addr, false, out);
+    if (cfg.l1iNextLinePrefetch &&
+        l1iCache->fill(addr + cfg.l1i.lineBytes)) {
+        prefetchCount.add();
+    }
+    return out;
+}
+
+HierarchyAccess
+Hierarchy::accessData(Addr addr, bool write)
+{
+    HierarchyAccess out;
+    out.latency = cfg.l1d.hitLatency;
+    auto result = l1dCache->access(addr, write);
+    if (result.hit) {
+        out.l1Hit = true;
+        return out;
+    }
+    out.latency += missToL2(addr, write, out);
+    if (cfg.l1dNextLinePrefetch &&
+        l1dCache->fill(addr + cfg.l1d.lineBytes)) {
+        prefetchCount.add();
+    }
+    return out;
+}
+
+void
+Hierarchy::resetStats()
+{
+    l1iCache->resetStats();
+    l1dCache->resetStats();
+    l2Cache->resetStats();
+    memCount.reset();
+}
+
+} // namespace parrot::memory

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The three-level memory hierarchy (L1I, L1D, shared L2, main memory)
+ * used by every PARROT machine model.
+ */
+
+#ifndef PARROT_MEMORY_HIERARCHY_HH
+#define PARROT_MEMORY_HIERARCHY_HH
+
+#include <memory>
+
+#include "memory/cache.hh"
+
+namespace parrot::memory
+{
+
+/** Configuration of the whole hierarchy. */
+struct HierarchyConfig
+{
+    CacheConfig l1i{"l1i", 32 * 1024, 4, 64, 2};
+    CacheConfig l1d{"l1d", 32 * 1024, 8, 64, 3};
+    CacheConfig l2{"l2", 1024 * 1024, 8, 64, 10};
+    unsigned memLatency = 100; //!< cycles to main memory
+    /** Next-line prefetch into L1D on demand misses (off by default:
+     * the paper-era baselines carry no data prefetcher). */
+    bool l1dNextLinePrefetch = false;
+    /** Next-line prefetch into L1I on demand misses. */
+    bool l1iNextLinePrefetch = false;
+
+    void
+    validate() const
+    {
+        l1i.validate();
+        l1d.validate();
+        l2.validate();
+        if (memLatency < 1)
+            PARROT_FATAL("memLatency must be >= 1");
+    }
+
+    /** L2 capacity in megabytes (for the leakage model). */
+    double l2MegaBytes() const { return l2.sizeBytes / (1024.0 * 1024.0); }
+};
+
+/** Outcome of a hierarchy access: total latency plus where it hit. */
+struct HierarchyAccess
+{
+    unsigned latency = 0;
+    bool l1Hit = false;
+    bool l2Hit = false; //!< meaningful only when !l1Hit
+};
+
+/**
+ * L1I + L1D backed by a shared L2 and a flat-latency main memory.
+ */
+class Hierarchy
+{
+  public:
+    explicit Hierarchy(const HierarchyConfig &config);
+
+    /** Instruction fetch of the line containing addr. */
+    HierarchyAccess fetchInst(Addr addr);
+
+    /** Data access (read or write) of the line containing addr. */
+    HierarchyAccess accessData(Addr addr, bool write);
+
+    const Cache &l1i() const { return *l1iCache; }
+    const Cache &l1d() const { return *l1dCache; }
+    const Cache &l2() const { return *l2Cache; }
+    const HierarchyConfig &config() const { return cfg; }
+
+    /** Accesses that had to go to main memory. */
+    Counter memAccesses() const { return memCount.value(); }
+
+    /** Prefetch fills issued (L1I + L1D). */
+    Counter prefetches() const { return prefetchCount.value(); }
+
+    /** Reset statistics on every level. */
+    void resetStats();
+
+  private:
+    /** Handle an L1 miss through L2/memory; returns added latency. */
+    unsigned missToL2(Addr addr, bool write, HierarchyAccess &out);
+
+    HierarchyConfig cfg;
+    std::unique_ptr<Cache> l1iCache;
+    std::unique_ptr<Cache> l1dCache;
+    std::unique_ptr<Cache> l2Cache;
+    stats::Scalar memCount{"mem_accesses"};
+    stats::Scalar prefetchCount{"prefetches"};
+};
+
+} // namespace parrot::memory
+
+#endif // PARROT_MEMORY_HIERARCHY_HH

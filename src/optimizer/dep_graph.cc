@@ -1,0 +1,110 @@
+#include "optimizer/dep_graph.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "isa/registers.hh"
+
+namespace parrot::optimizer
+{
+
+using tracecache::TraceUop;
+
+DependencyGraph::DependencyGraph(const std::vector<TraceUop> &uops)
+    : n(uops.size()), predList(n), succList(n), heights(n, 0)
+{
+    // Per-register def/use bookkeeping (indices into uops, -1 = none).
+    int lastDef[isa::numArchRegs];
+    std::fill(std::begin(lastDef), std::end(lastDef), -1);
+    std::vector<std::vector<unsigned>> readersSinceDef(isa::numArchRegs);
+    int lastMem = -1;
+
+    auto add_edge = [&](unsigned from, unsigned to) {
+        if (from == to)
+            return;
+        succList[from].push_back(to);
+        predList[to].push_back(from);
+    };
+
+    for (unsigned i = 0; i < n; ++i) {
+        const isa::Uop &uop = uops[i].uop;
+
+        // RAW edges from each source's last definition.
+        RegId srcs[4];
+        unsigned n_srcs = uop.sources(srcs);
+        for (unsigned s = 0; s < n_srcs; ++s) {
+            RegId r = srcs[s];
+            if (lastDef[r] >= 0)
+                add_edge(static_cast<unsigned>(lastDef[r]), i);
+            readersSinceDef[r].push_back(i);
+        }
+
+        // WAW + WAR edges for each destination.
+        RegId dsts[2] = {invalidReg, invalidReg};
+        unsigned n_dsts = 0;
+        if (uop.hasDst())
+            dsts[n_dsts++] = uop.effectiveDst();
+        if (uop.dst2 != invalidReg)
+            dsts[n_dsts++] = uop.dst2;
+        for (unsigned d = 0; d < n_dsts; ++d) {
+            RegId r = dsts[d];
+            if (lastDef[r] >= 0)
+                add_edge(static_cast<unsigned>(lastDef[r]), i); // WAW
+            for (unsigned reader : readersSinceDef[r])
+                add_edge(reader, i); // WAR
+            lastDef[r] = static_cast<int>(i);
+            readersSinceDef[r].clear();
+        }
+
+        // Conservative memory chain.
+        if (uop.kind == isa::UopKind::Load ||
+            uop.kind == isa::UopKind::Store) {
+            if (lastMem >= 0)
+                add_edge(static_cast<unsigned>(lastMem), i);
+            lastMem = static_cast<int>(i);
+        }
+    }
+
+    // Dedup edge lists (a node pair can accrue several hazards).
+    for (unsigned i = 0; i < n; ++i) {
+        auto dedup = [](std::vector<unsigned> &v) {
+            std::sort(v.begin(), v.end());
+            v.erase(std::unique(v.begin(), v.end()), v.end());
+        };
+        dedup(predList[i]);
+        dedup(succList[i]);
+    }
+
+    // Heights: reverse order works because edges always point forward.
+    for (unsigned i = n; i-- > 0;) {
+        unsigned h = 0;
+        for (unsigned s : succList[i])
+            h = std::max(h, heights[s]);
+        heights[i] = h + 1;
+    }
+}
+
+bool
+DependencyGraph::isTopological(const std::vector<unsigned> &order) const
+{
+    if (order.size() != n)
+        return false;
+    std::vector<unsigned> position(n, 0);
+    std::vector<bool> seen(n, false);
+    for (unsigned pos = 0; pos < n; ++pos) {
+        unsigned node = order[pos];
+        if (node >= n || seen[node])
+            return false;
+        seen[node] = true;
+        position[node] = pos;
+    }
+    for (unsigned i = 0; i < n; ++i) {
+        for (unsigned s : succList[i]) {
+            if (position[i] >= position[s])
+                return false;
+        }
+    }
+    return true;
+}
+
+} // namespace parrot::optimizer

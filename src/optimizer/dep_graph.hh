@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Static dependence graph over a trace's uops (§3.1: "the optimizer
+ * maintains a static dependency graph, which is used across different
+ * optimization passes").
+ *
+ * Edges cover register RAW/WAR/WAW hazards plus a conservative total
+ * order over memory operations (addresses are dynamic, so loads and
+ * stores may not be reordered with respect to each other). Any
+ * topological order of this graph preserves the trace's sequential
+ * semantics.
+ */
+
+#ifndef PARROT_OPTIMIZER_DEP_GRAPH_HH
+#define PARROT_OPTIMIZER_DEP_GRAPH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "tracecache/trace.hh"
+
+namespace parrot::optimizer
+{
+
+/**
+ * Dependence graph with per-node criticality heights.
+ */
+class DependencyGraph
+{
+  public:
+    /** Build the graph for the given uop sequence. */
+    explicit DependencyGraph(const std::vector<tracecache::TraceUop> &uops);
+
+    unsigned numNodes() const { return n; }
+
+    /** Predecessors (must execute before) of node i. */
+    const std::vector<unsigned> &preds(unsigned i) const
+    {
+        return predList[i];
+    }
+
+    /** Successors of node i. */
+    const std::vector<unsigned> &succs(unsigned i) const
+    {
+        return succList[i];
+    }
+
+    /**
+     * Criticality of node i: the number of nodes on the longest
+     * dependence chain from i to any leaf (i included).
+     */
+    unsigned height(unsigned i) const { return heights[i]; }
+
+    /** True when `order` is a topological order of the graph. */
+    bool isTopological(const std::vector<unsigned> &order) const;
+
+  private:
+    unsigned n;
+    std::vector<std::vector<unsigned>> predList;
+    std::vector<std::vector<unsigned>> succList;
+    std::vector<unsigned> heights;
+};
+
+} // namespace parrot::optimizer
+
+#endif // PARROT_OPTIMIZER_DEP_GRAPH_HH

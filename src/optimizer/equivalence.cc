@@ -1,0 +1,79 @@
+#include "optimizer/equivalence.hh"
+
+#include <cstdio>
+
+#include "common/random.hh"
+#include "isa/registers.hh"
+
+namespace parrot::optimizer
+{
+
+void
+runSequence(const std::vector<tracecache::TraceUop> &uops,
+            isa::ArchState &state)
+{
+    for (const auto &tu : uops)
+        isa::executeUop(tu.uop, state);
+}
+
+bool
+equivalent(const std::vector<tracecache::TraceUop> &a,
+           const std::vector<tracecache::TraceUop> &b, std::uint64_t seed,
+           std::string *why)
+{
+    isa::ArchState sa, sb;
+    Rng rng(seed);
+    for (unsigned r = 0; r < isa::numArchRegs; ++r) {
+        // Small-ish values keep load/store addresses well-behaved while
+        // still exercising non-trivial dataflow.
+        auto v = static_cast<std::int64_t>(rng.below(1u << 20));
+        sa.setReg(static_cast<RegId>(r), v);
+        sb.setReg(static_cast<RegId>(r), v);
+    }
+
+    runSequence(a, sa);
+    runSequence(b, sb);
+
+    for (unsigned r = 0; r < isa::numArchRegs; ++r) {
+        if (r == isa::regFlags)
+            continue; // dead at atomic trace boundaries
+        if (sa.reg(static_cast<RegId>(r)) != sb.reg(static_cast<RegId>(r))) {
+            if (why) {
+                char buf[128];
+                std::snprintf(buf, sizeof(buf),
+                              "register r%u differs: %lld vs %lld", r,
+                              static_cast<long long>(
+                                  sa.reg(static_cast<RegId>(r))),
+                              static_cast<long long>(
+                                  sb.reg(static_cast<RegId>(r))));
+                *why = buf;
+            }
+            return false;
+        }
+    }
+
+    // Memory: every word either wrote must agree between both runs
+    // (reads of unwritten words are a deterministic address hash, so
+    // comparing through read() covers removed dead stores as well).
+    auto compare_mem = [&](const isa::SparseMemory &x,
+                           const isa::SparseMemory &y,
+                           const char *label) {
+        for (const auto &[addr, value] : x.raw()) {
+            if (y.read(addr) != value) {
+                if (why) {
+                    char buf[128];
+                    std::snprintf(buf, sizeof(buf),
+                                  "%s memory @0x%llx differs", label,
+                                  static_cast<unsigned long long>(addr));
+                    *why = buf;
+                }
+                return false;
+            }
+        }
+        return true;
+    };
+    return compare_mem(sa.mem, sb.mem, "a-side") &&
+           compare_mem(sb.mem, sa.mem, "b-side");
+}
+
+} // namespace parrot::optimizer

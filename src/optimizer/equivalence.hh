@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Semantic-equivalence checking between a trace's uop sequences.
+ *
+ * The contract every optimizer pass must uphold: executed sequentially
+ * from the same initial state, original and optimized uops produce
+ * identical values in every architectural register except flags (dead
+ * at atomic trace boundaries) and identical memory contents. This is
+ * the property the test suite sweeps across thousands of random traces.
+ */
+
+#ifndef PARROT_OPTIMIZER_EQUIVALENCE_HH
+#define PARROT_OPTIMIZER_EQUIVALENCE_HH
+
+#include <string>
+#include <vector>
+
+#include "isa/arch_state.hh"
+#include "tracecache/trace.hh"
+
+namespace parrot::optimizer
+{
+
+/** Execute a uop sequence on the given state (asserts are no-ops). */
+void runSequence(const std::vector<tracecache::TraceUop> &uops,
+                 isa::ArchState &state);
+
+/**
+ * Compare two uop sequences from a common seeded initial state.
+ *
+ * @param a first sequence (e.g. the original trace).
+ * @param b second sequence (e.g. the optimized trace).
+ * @param seed seeds the random initial register file.
+ * @param why when non-null, receives a human-readable mismatch report.
+ * @return true when final states agree on all registers except flags
+ *         and on all written memory words.
+ */
+bool equivalent(const std::vector<tracecache::TraceUop> &a,
+                const std::vector<tracecache::TraceUop> &b,
+                std::uint64_t seed, std::string *why = nullptr);
+
+} // namespace parrot::optimizer
+
+#endif // PARROT_OPTIMIZER_EQUIVALENCE_HH

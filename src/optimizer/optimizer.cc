@@ -1,0 +1,97 @@
+#include "optimizer/optimizer.hh"
+
+#include "optimizer/passes.hh"
+
+namespace parrot::optimizer
+{
+
+OptimizerConfig
+OptimizerConfig::genericOnly()
+{
+    OptimizerConfig cfg;
+    cfg.fuseCmp = false;
+    cfg.fuseFp = false;
+    cfg.simdify = false;
+    cfg.schedule = false;
+    return cfg;
+}
+
+OptimizerConfig
+OptimizerConfig::disabled()
+{
+    OptimizerConfig cfg;
+    cfg.propagate = false;
+    cfg.memForward = false;
+    cfg.dce = false;
+    cfg.promote = false;
+    cfg.strength = false;
+    cfg.fuseCmp = false;
+    cfg.fuseFp = false;
+    cfg.simdify = false;
+    cfg.schedule = false;
+    return cfg;
+}
+
+OptimizeResult
+TraceOptimizer::optimize(tracecache::Trace &trace) const
+{
+    OptimizeResult result;
+    result.uopsBefore = trace.uops.size();
+    result.depBefore = tracecache::computeDepHeight(trace.uops);
+
+    // General-purpose passes first: propagation enables DCE, DCE
+    // shrinks the work the core-specific passes see.
+    if (cfg.propagate) {
+        for (unsigned round = 0; round < cfg.propagateRounds; ++round) {
+            ++result.passesRun;
+            if (!propagateAndSimplify(trace.uops))
+                break;
+        }
+    }
+    if (cfg.memForward) {
+        ++result.passesRun;
+        forwardMemory(trace.uops);
+        if (cfg.propagate)
+            propagateAndSimplify(trace.uops); // chase the new copies
+    }
+    if (cfg.dce) {
+        ++result.passesRun;
+        eliminateDeadCode(trace.uops);
+    }
+    if (cfg.promote) {
+        ++result.passesRun;
+        removeInternalJumps(trace.uops);
+    }
+    if (cfg.strength) {
+        ++result.passesRun;
+        reduceStrength(trace.uops);
+    }
+
+    // Core-specific transformations.
+    if (cfg.fuseCmp) {
+        ++result.passesRun;
+        fuseCmpAssert(trace.uops);
+    }
+    if (cfg.fuseFp) {
+        ++result.passesRun;
+        fuseMulAdd(trace.uops);
+    }
+    if (cfg.simdify) {
+        ++result.passesRun;
+        simdifyPairs(trace.uops);
+    }
+    if (cfg.schedule) {
+        ++result.passesRun;
+        scheduleCriticalPath(trace.uops);
+    }
+
+    result.uopsAfter = trace.uops.size();
+    result.depAfter = tracecache::computeDepHeight(trace.uops);
+
+    trace.optimized = true;
+    trace.depHeight = static_cast<std::uint16_t>(result.depAfter);
+    // originalUopCount / originalDepHeight were set at construction.
+    return result;
+}
+
+} // namespace parrot::optimizer

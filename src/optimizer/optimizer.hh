@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The dynamic trace optimizer driver (§2.4, §3.1 of the paper).
+ *
+ * Modelled as a non-pipelined unit: each blazing trace occupies the
+ * optimizer for roughly latencyCycles (the paper models ~100 cycles),
+ * runs the enabled passes over the static dependence structure and
+ * writes the rewritten trace back to the trace cache.
+ */
+
+#ifndef PARROT_OPTIMIZER_OPTIMIZER_HH
+#define PARROT_OPTIMIZER_OPTIMIZER_HH
+
+#include "stats/stats.hh"
+#include "tracecache/constructor.hh"
+#include "tracecache/trace.hh"
+
+namespace parrot::optimizer
+{
+
+/** Which passes run, and the modelled cost of running them. */
+struct OptimizerConfig
+{
+    bool propagate = true;  //!< copy/const propagation + simplification
+    bool memForward = true; //!< store-to-load forwarding / load reuse
+    bool dce = true;        //!< dead-code elimination
+    bool promote = true;    //!< internal jump removal
+    bool strength = true;   //!< mul-by-power-of-two -> shift
+    bool fuseCmp = true;    //!< compare+assert fusion
+    bool fuseFp = true;     //!< multiply+add fusion
+    bool simdify = true;    //!< two-lane SIMD packing
+    bool schedule = true;   //!< critical-path list scheduling
+
+    unsigned latencyCycles = 100; //!< occupancy per optimized trace
+    unsigned propagateRounds = 2; //!< propagation fixpoint iterations
+
+    /** Generic-only configuration (the paper's general-purpose class). */
+    static OptimizerConfig genericOnly();
+
+    /** Everything off (for ablation baselines). */
+    static OptimizerConfig disabled();
+};
+
+/** Outcome summary of optimizing one trace. */
+struct OptimizeResult
+{
+    unsigned uopsBefore = 0;
+    unsigned uopsAfter = 0;
+    unsigned depBefore = 0;
+    unsigned depAfter = 0;
+    unsigned passesRun = 0;
+
+    double
+    uopReduction() const
+    {
+        return uopsBefore == 0
+            ? 0.0 : 1.0 - static_cast<double>(uopsAfter) / uopsBefore;
+    }
+
+    double
+    depReduction() const
+    {
+        return depBefore == 0
+            ? 0.0 : 1.0 - static_cast<double>(depAfter) / depBefore;
+    }
+};
+
+/**
+ * The optimizer. Stateless between traces (the sim models occupancy).
+ */
+class TraceOptimizer
+{
+  public:
+    explicit TraceOptimizer(const OptimizerConfig &config) : cfg(config) {}
+
+    /**
+     * Optimize the trace in place; sets trace.optimized and the
+     * dependence-height bookkeeping.
+     */
+    OptimizeResult optimize(tracecache::Trace &trace) const;
+
+    const OptimizerConfig &config() const { return cfg; }
+
+  private:
+    OptimizerConfig cfg;
+};
+
+} // namespace parrot::optimizer
+
+#endif // PARROT_OPTIMIZER_OPTIMIZER_HH

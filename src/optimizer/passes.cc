@@ -1,0 +1,833 @@
+#include "optimizer/passes.hh"
+
+#include <algorithm>
+#include <optional>
+
+#include "common/logging.hh"
+#include "isa/registers.hh"
+#include "optimizer/dep_graph.hh"
+
+namespace parrot::optimizer
+{
+
+using isa::Uop;
+using isa::UopKind;
+using tracecache::TraceUop;
+
+namespace
+{
+
+/** Dataflow lattice value for one register. */
+struct RegVal
+{
+    enum Kind { Unknown, Const, Copy } kind = Unknown;
+    std::int64_t constant = 0;
+    RegId copyOf = invalidReg;
+    std::uint32_t copyVersion = 0;
+};
+
+/** True for ALU kinds the folding pass can evaluate. */
+bool
+foldable(UopKind k)
+{
+    switch (k) {
+      case UopKind::Add:
+      case UopKind::AddImm:
+      case UopKind::Sub:
+      case UopKind::And:
+      case UopKind::Or:
+      case UopKind::Xor:
+      case UopKind::ShlImm:
+      case UopKind::ShrImm:
+      case UopKind::Mov:
+      case UopKind::Lea:
+      case UopKind::Mul:
+      case UopKind::Div:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** Evaluate a foldable op on constants (mirrors isa semantics). */
+std::int64_t
+evalConst(UopKind k, std::int64_t a, std::int64_t b, std::int64_t imm)
+{
+    switch (k) {
+      case UopKind::Add:    return a + b;
+      case UopKind::AddImm: return a + imm;
+      case UopKind::Sub:    return a - b;
+      case UopKind::And:    return a & b;
+      case UopKind::Or:     return a | b;
+      case UopKind::Xor:    return a ^ b;
+      case UopKind::ShlImm:
+        return static_cast<std::int64_t>(
+            static_cast<std::uint64_t>(a) << (imm & 63));
+      case UopKind::ShrImm:
+        return static_cast<std::int64_t>(
+            static_cast<std::uint64_t>(a) >> (imm & 63));
+      case UopKind::Mov:    return a;
+      case UopKind::Lea:    return a + b + imm;
+      case UopKind::Mul:    return a * b;
+      case UopKind::Div:    return (b == 0) ? 0 : a / b;
+      default:
+        PARROT_PANIC("evalConst: kind not foldable");
+    }
+}
+
+} // namespace
+
+bool
+propagateAndSimplify(UopVec &uops)
+{
+    bool changed = false;
+
+    RegVal vals[isa::numArchRegs];
+    std::uint32_t version[isa::numArchRegs] = {};
+
+    auto substitute = [&](RegId &field) {
+        if (field == invalidReg)
+            return;
+        const RegVal &v = vals[field];
+        if (v.kind == RegVal::Copy && version[v.copyOf] == v.copyVersion) {
+            field = v.copyOf;
+            changed = true;
+        }
+    };
+
+    auto const_of = [&](RegId r) -> std::optional<std::int64_t> {
+        if (r == invalidReg)
+            return std::nullopt;
+        if (vals[r].kind == RegVal::Const)
+            return vals[r].constant;
+        return std::nullopt;
+    };
+
+    auto write_reg = [&](RegId r, RegVal v) {
+        if (r == invalidReg)
+            return;
+        ++version[r];
+        vals[r] = v;
+    };
+
+    for (TraceUop &tu : uops) {
+        Uop &uop = tu.uop;
+
+        // Copy propagation never applies to SIMD/fused lanes: those
+        // kinds are created by later passes, but stay defensive.
+        substitute(uop.src1);
+        substitute(uop.src2);
+        substitute(uop.src1b);
+        substitute(uop.src2b);
+
+        switch (uop.kind) {
+          case UopKind::MovImm:
+            write_reg(uop.dst, RegVal{RegVal::Const, uop.imm, invalidReg, 0});
+            continue;
+
+          case UopKind::Mov: {
+            if (auto c = const_of(uop.src1)) {
+                uop = isa::makeMovImm(uop.dst, *c);
+                write_reg(uop.dst,
+                          RegVal{RegVal::Const, *c, invalidReg, 0});
+                changed = true;
+            } else {
+                RegId src = uop.src1;
+                write_reg(uop.dst,
+                          RegVal{RegVal::Copy, 0, src, version[src]});
+            }
+            continue;
+          }
+
+          case UopKind::Cmp:
+          case UopKind::CmpImm:
+            // Flags become statically known only with const sources; we
+            // still keep the compare (branch directions in the workload
+            // are profile-driven, so asserts are never promoted away).
+            write_reg(isa::regFlags, RegVal{});
+            continue;
+
+          case UopKind::Load:
+            write_reg(uop.dst, RegVal{});
+            continue;
+
+          case UopKind::Store:
+          case UopKind::Branch:
+          case UopKind::Jump:
+          case UopKind::JumpInd:
+          case UopKind::Call:
+          case UopKind::Return:
+          case UopKind::AssertTaken:
+          case UopKind::AssertNotTaken:
+          case UopKind::AssertCmpTaken:
+          case UopKind::AssertCmpNotTaken:
+          case UopKind::Nop:
+            continue;
+
+          default:
+            break;
+        }
+
+        if (!foldable(uop.kind)) {
+            // FP ops and anything else: destination becomes unknown.
+            write_reg(uop.dst, RegVal{});
+            if (uop.dst2 != invalidReg)
+                write_reg(uop.dst2, RegVal{});
+            continue;
+        }
+
+        auto c1 = const_of(uop.src1);
+        auto c2 = const_of(uop.src2);
+        const bool unary = (uop.src2 == invalidReg);
+
+        // Full constant folding.
+        if (c1 && (unary || c2)) {
+            std::int64_t result =
+                evalConst(uop.kind, *c1, c2.value_or(0), uop.imm);
+            uop = isa::makeMovImm(uop.dst, result);
+            write_reg(uop.dst,
+                      RegVal{RegVal::Const, result, invalidReg, 0});
+            changed = true;
+            continue;
+        }
+
+        // Algebraic simplification to Mov/MovImm.
+        auto to_mov = [&](RegId src) {
+            uop = isa::makeMov(uop.dst, src);
+            write_reg(uop.dst, RegVal{RegVal::Copy, 0, src, version[src]});
+            changed = true;
+        };
+        auto to_movimm = [&](std::int64_t v) {
+            uop = isa::makeMovImm(uop.dst, v);
+            write_reg(uop.dst, RegVal{RegVal::Const, v, invalidReg, 0});
+            changed = true;
+        };
+
+        switch (uop.kind) {
+          case UopKind::Xor:
+          case UopKind::Sub:
+            if (uop.src1 == uop.src2) {
+                to_movimm(0);
+                continue;
+            }
+            break;
+          case UopKind::And:
+          case UopKind::Or:
+            if (uop.src1 == uop.src2) {
+                to_mov(uop.src1);
+                continue;
+            }
+            if (uop.kind == UopKind::And && ((c1 && *c1 == 0) ||
+                                             (c2 && *c2 == 0))) {
+                to_movimm(0);
+                continue;
+            }
+            break;
+          case UopKind::Add:
+            if (c1 && *c1 == 0) {
+                to_mov(uop.src2);
+                continue;
+            }
+            if (c2 && *c2 == 0) {
+                to_mov(uop.src1);
+                continue;
+            }
+            break;
+          case UopKind::AddImm:
+          case UopKind::ShlImm:
+          case UopKind::ShrImm:
+            if (uop.imm == 0) {
+                to_mov(uop.src1);
+                continue;
+            }
+            break;
+          case UopKind::Mul:
+            if ((c1 && *c1 == 0) || (c2 && *c2 == 0)) {
+                to_movimm(0);
+                continue;
+            }
+            if (c1 && *c1 == 1) {
+                to_mov(uop.src2);
+                continue;
+            }
+            if (c2 && *c2 == 1) {
+                to_mov(uop.src1);
+                continue;
+            }
+            break;
+          default:
+            break;
+        }
+
+        write_reg(uop.dst, RegVal{});
+    }
+    return changed;
+}
+
+bool
+eliminateDeadCode(UopVec &uops)
+{
+    bool live[isa::numArchRegs];
+    std::fill(std::begin(live), std::end(live), true);
+    // Trace semantics: flags are dead at atomic boundaries.
+    live[isa::regFlags] = false;
+
+    std::vector<bool> keep(uops.size(), true);
+    bool changed = false;
+
+    for (std::size_t i = uops.size(); i-- > 0;) {
+        const Uop &uop = uops[i].uop;
+
+        const bool side_effect =
+            uop.kind == UopKind::Store || isa::isCti(uop.kind);
+
+        RegId dsts[2] = {invalidReg, invalidReg};
+        unsigned n_dsts = 0;
+        if (uop.hasDst())
+            dsts[n_dsts++] = uop.effectiveDst();
+        if (uop.dst2 != invalidReg)
+            dsts[n_dsts++] = uop.dst2;
+
+        bool any_dst_live = (n_dsts == 0); // dst-less uops stay via
+                                           // side_effect check below
+        for (unsigned d = 0; d < n_dsts; ++d)
+            any_dst_live |= live[dsts[d]];
+
+        if (!side_effect && n_dsts > 0 && !any_dst_live) {
+            keep[i] = false;
+            changed = true;
+            continue; // removed: neither kills nor uses anything
+        }
+
+        for (unsigned d = 0; d < n_dsts; ++d)
+            live[dsts[d]] = false;
+
+        RegId srcs[4];
+        unsigned n_srcs = uop.sources(srcs);
+        for (unsigned s = 0; s < n_srcs; ++s)
+            live[srcs[s]] = true;
+    }
+
+    if (changed) {
+        UopVec kept;
+        kept.reserve(uops.size());
+        for (std::size_t i = 0; i < uops.size(); ++i) {
+            if (keep[i])
+                kept.push_back(uops[i]);
+        }
+        uops = std::move(kept);
+    }
+    return changed;
+}
+
+bool
+removeInternalJumps(UopVec &uops)
+{
+    auto is_removable = [](const TraceUop &tu) {
+        return tu.uop.kind == UopKind::Jump ||
+               tu.uop.kind == UopKind::Nop;
+    };
+    std::size_t before = uops.size();
+    uops.erase(std::remove_if(uops.begin(), uops.end(), is_removable),
+               uops.end());
+    return uops.size() != before;
+}
+
+bool
+fuseCmpAssert(UopVec &uops)
+{
+    bool changed = false;
+    // For each flags definition, collect its reader indices.
+    int def_idx = -1;
+    std::vector<int> readers;
+    std::vector<std::pair<int, int>> fusable; // (cmp index, assert index)
+
+    auto consider = [&]() {
+        if (def_idx < 0 || readers.size() != 1)
+            return;
+        const Uop &def = uops[def_idx].uop;
+        const Uop &use = uops[readers[0]].uop;
+        if ((def.kind == UopKind::Cmp || def.kind == UopKind::CmpImm) &&
+            (use.kind == UopKind::AssertTaken ||
+             use.kind == UopKind::AssertNotTaken)) {
+            fusable.emplace_back(def_idx, readers[0]);
+        }
+    };
+
+    for (std::size_t i = 0; i < uops.size(); ++i) {
+        const Uop &uop = uops[i].uop;
+        if (isa::readsFlags(uop.kind))
+            readers.push_back(static_cast<int>(i));
+        if (isa::writesFlags(uop.kind)) {
+            consider();
+            def_idx = static_cast<int>(i);
+            readers.clear();
+        }
+    }
+    consider();
+
+    if (fusable.empty())
+        return false;
+
+    std::vector<bool> remove(uops.size(), false);
+    for (auto [cmp_idx, assert_idx] : fusable) {
+        const Uop cmp = uops[cmp_idx].uop;
+        const Uop asrt = uops[assert_idx].uop;
+        const bool taken = (asrt.kind == UopKind::AssertTaken);
+        // The fused uop evaluates the comparison at the compare's
+        // original position, where its sources are live.
+        Uop fused;
+        fused.kind = taken ? UopKind::AssertCmpTaken
+                           : UopKind::AssertCmpNotTaken;
+        fused.src1 = cmp.src1;
+        fused.src2 = cmp.src2;
+        fused.imm = cmp.imm;
+        fused.assertTarget = asrt.assertTarget;
+        uops[cmp_idx].uop = fused;
+        remove[assert_idx] = true;
+        changed = true;
+    }
+
+    UopVec kept;
+    kept.reserve(uops.size());
+    for (std::size_t i = 0; i < uops.size(); ++i) {
+        if (!remove[i])
+            kept.push_back(uops[i]);
+    }
+    uops = std::move(kept);
+    return changed;
+}
+
+bool
+fuseMulAdd(UopVec &uops)
+{
+    const std::size_t n = uops.size();
+    if (n < 2)
+        return false;
+
+    // def-use over plain registers: for each position, where is each
+    // register's current definition and how many readers has it had.
+    std::vector<int> def_of(n, -1);       // for FpAdd i: index of FpMul def
+    std::vector<int> reader_count(n, 0);  // readers of each def
+    std::vector<bool> src_invalidated(n, false); // mul srcs redefined?
+    std::vector<int> redefined_after(n, -1); // next redefinition of dst
+
+    int cur_def[isa::numArchRegs];
+    std::fill(std::begin(cur_def), std::end(cur_def), -1);
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const Uop &uop = uops[i].uop;
+        RegId srcs[4];
+        unsigned n_srcs = uop.sources(srcs);
+        for (unsigned s = 0; s < n_srcs; ++s) {
+            int d = cur_def[srcs[s]];
+            if (d >= 0)
+                ++reader_count[d];
+        }
+
+        if (uop.kind == UopKind::FpAdd && uop.src1 != invalidReg &&
+            uop.src2 != invalidReg) {
+            // Candidate: one operand produced by a live FpMul def.
+            for (RegId operand : {uop.src1, uop.src2}) {
+                int d = cur_def[operand];
+                if (d >= 0 && uops[d].uop.kind == UopKind::FpMul) {
+                    def_of[i] = d;
+                    break;
+                }
+            }
+        }
+
+        RegId dsts[2] = {invalidReg, invalidReg};
+        unsigned n_dsts = 0;
+        if (uop.hasDst())
+            dsts[n_dsts++] = uop.effectiveDst();
+        if (uop.dst2 != invalidReg)
+            dsts[n_dsts++] = uop.dst2;
+        for (unsigned d = 0; d < n_dsts; ++d) {
+            int old = cur_def[dsts[d]];
+            if (old >= 0 && redefined_after[old] < 0)
+                redefined_after[old] = static_cast<int>(i);
+            cur_def[dsts[d]] = static_cast<int>(i);
+        }
+
+        // Invalidate muls whose sources are being redefined: they can
+        // no longer be recomputed later at the add's position.
+        for (std::size_t m = 0; m < i; ++m) {
+            if (uops[m].uop.kind != UopKind::FpMul)
+                continue;
+            for (unsigned d = 0; d < n_dsts; ++d) {
+                if (dsts[d] == uops[m].uop.src1 ||
+                    dsts[d] == uops[m].uop.src2) {
+                    src_invalidated[m] = true;
+                }
+            }
+        }
+    }
+
+    std::vector<bool> remove(n, false);
+    bool changed = false;
+    for (std::size_t i = 0; i < n; ++i) {
+        int d = def_of[i];
+        if (d < 0 || remove[d] || src_invalidated[d])
+            continue;
+        const Uop add = uops[i].uop;
+        const Uop mul = uops[d].uop;
+        // The product must have exactly one reader (this add) and be
+        // dead afterwards (redefined later, possibly by the add itself).
+        if (reader_count[d] != 1)
+            continue;
+        // The def is still current at i, so any recorded redefinition
+        // necessarily comes after the add (or is the add itself).
+        const bool product_dead =
+            (add.dst == mul.dst) || (redefined_after[d] >= 0);
+        if (!product_dead)
+            continue;
+        if (src_invalidated[d])
+            continue;
+
+        RegId addend = (add.src1 == mul.dst) ? add.src2 : add.src1;
+        if (addend == mul.dst)
+            continue; // add of product with itself: leave alone
+        uops[i].uop = isa::makeFpMulAdd(add.dst, mul.src1, mul.src2,
+                                        addend);
+        remove[d] = true;
+        changed = true;
+    }
+
+    if (changed) {
+        UopVec kept;
+        kept.reserve(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            if (!remove[i])
+                kept.push_back(uops[i]);
+        }
+        uops = std::move(kept);
+    }
+    return changed;
+}
+
+bool
+reduceStrength(UopVec &uops)
+{
+    bool changed = false;
+    // Constant values of registers, tracked from MovImm definitions.
+    bool is_const[isa::numArchRegs] = {};
+    std::int64_t const_val[isa::numArchRegs] = {};
+
+    auto pow2_exp = [](std::int64_t v) -> int {
+        if (v < 2)
+            return -1;
+        auto u = static_cast<std::uint64_t>(v);
+        if ((u & (u - 1)) != 0)
+            return -1;
+        int k = 0;
+        while (u > 1) {
+            u >>= 1;
+            ++k;
+        }
+        return k;
+    };
+
+    for (TraceUop &tu : uops) {
+        Uop &uop = tu.uop;
+        if (uop.kind == UopKind::Mul) {
+            // x * 2^k == x << k exactly, under two's-complement
+            // wraparound (both mod 2^64).
+            int k = -1;
+            RegId other = invalidReg;
+            if (uop.src2 != invalidReg && is_const[uop.src2] &&
+                (k = pow2_exp(const_val[uop.src2])) >= 0) {
+                other = uop.src1;
+            } else if (uop.src1 != invalidReg && is_const[uop.src1] &&
+                       (k = pow2_exp(const_val[uop.src1])) >= 0) {
+                other = uop.src2;
+            }
+            if (k >= 0 && other != invalidReg) {
+                uop = isa::makeAluImm(UopKind::ShlImm, uop.dst, other, k);
+                changed = true;
+            }
+        }
+
+        RegId dsts[2] = {invalidReg, invalidReg};
+        unsigned n_dsts = 0;
+        if (uop.hasDst())
+            dsts[n_dsts++] = uop.effectiveDst();
+        if (uop.dst2 != invalidReg)
+            dsts[n_dsts++] = uop.dst2;
+        for (unsigned d = 0; d < n_dsts; ++d)
+            is_const[dsts[d]] = false;
+        if (uop.kind == UopKind::MovImm) {
+            is_const[uop.dst] = true;
+            const_val[uop.dst] = uop.imm;
+        }
+    }
+    return changed;
+}
+
+bool
+forwardMemory(UopVec &uops)
+{
+    bool changed = false;
+
+    // Register value versions (bumped on every write).
+    std::uint32_t version[isa::numArchRegs] = {};
+
+    // Known memory words: (base reg, base version, displacement) holds
+    // the value of (value reg @ value version).
+    struct Known
+    {
+        RegId base;
+        std::uint32_t baseVersion;
+        std::int64_t imm;
+        RegId valueReg;
+        std::uint32_t valueVersion;
+    };
+    std::vector<Known> known;
+
+    auto bump = [&](RegId r) {
+        if (r != invalidReg)
+            ++version[r];
+    };
+
+    for (TraceUop &tu : uops) {
+        Uop &uop = tu.uop;
+
+        if (uop.kind == UopKind::Store) {
+            const RegId base = uop.src2;
+            // Kill everything that may alias: only same-base-value
+            // entries with a *different* displacement provably don't.
+            known.erase(
+                std::remove_if(known.begin(), known.end(),
+                               [&](const Known &k) {
+                                   bool same_base =
+                                       k.base == base &&
+                                       k.baseVersion == version[base];
+                                   return !(same_base && k.imm != uop.imm);
+                               }),
+                known.end());
+            known.push_back(Known{base, version[base], uop.imm, uop.src1,
+                                  version[uop.src1]});
+            continue;
+        }
+
+        if (uop.kind == UopKind::Load) {
+            const RegId base = uop.src1;
+            const std::uint32_t base_ver = version[base];
+            bool forwarded = false;
+            for (const Known &k : known) {
+                if (k.base == base && k.baseVersion == base_ver &&
+                    k.imm == uop.imm &&
+                    version[k.valueReg] == k.valueVersion) {
+                    uop = isa::makeMov(uop.dst, k.valueReg);
+                    bump(uop.dst);
+                    forwarded = true;
+                    changed = true;
+                    break;
+                }
+            }
+            if (!forwarded) {
+                RegId dst = uop.dst;
+                bump(dst);
+                // A pointer-chase load (dst == base) clobbers its own
+                // address register; its word is not re-addressable.
+                if (dst != base) {
+                    known.push_back(Known{base, base_ver, uop.imm, dst,
+                                          version[dst]});
+                }
+            }
+            continue;
+        }
+
+        if (uop.hasDst())
+            bump(uop.effectiveDst());
+        if (uop.dst2 != invalidReg)
+            bump(uop.dst2);
+    }
+    return changed;
+}
+
+bool
+simdifyPairs(UopVec &uops)
+{
+    static constexpr unsigned window = 6;
+    /** Maximum ASAP-time skew between packed lanes: pairing uops of
+     * different criticality drags the earlier lane's consumers onto
+     * the later lane's input chain; across an unrolled loop body that
+     * compounds per iteration, so only near-equal-readiness lanes may
+     * pack. */
+    static constexpr unsigned maxLaneSkew = 1;
+    const std::size_t n = uops.size();
+    std::vector<bool> remove(n, false);
+    std::vector<bool> packed(n, false);
+    bool changed = false;
+
+    // Latency-weighted ASAP issue times on the original order.
+    std::vector<unsigned> asap(n, 0);
+    {
+        unsigned ready_at[isa::numArchRegs] = {};
+        for (std::size_t i = 0; i < n; ++i) {
+            const Uop &uop = uops[i].uop;
+            unsigned t = 0;
+            RegId srcs[4];
+            unsigned n_srcs = uop.sources(srcs);
+            for (unsigned s = 0; s < n_srcs; ++s)
+                t = std::max(t, ready_at[srcs[s]]);
+            asap[i] = t;
+            unsigned done = t + isa::uopLatency(uop);
+            if (uop.hasDst())
+                ready_at[uop.effectiveDst()] = done;
+            if (uop.dst2 != invalidReg)
+                ready_at[uop.dst2] = done;
+        }
+    }
+
+    auto eligible = [](const Uop &uop) {
+        switch (uop.kind) {
+          case UopKind::Add:
+          case UopKind::Sub:
+          case UopKind::And:
+          case UopKind::Or:
+          case UopKind::Xor:
+          case UopKind::AddImm:
+          case UopKind::ShlImm:
+          case UopKind::ShrImm:
+          case UopKind::FpAdd:
+          case UopKind::FpMul:
+            return uop.dst != invalidReg;
+          default:
+            return false;
+        }
+    };
+
+    auto writes_reg = [](const Uop &uop, RegId r) {
+        return (uop.hasDst() && uop.effectiveDst() == r) ||
+               (uop.dst2 != invalidReg && uop.dst2 == r);
+    };
+    auto reads_reg = [](const Uop &uop, RegId r) {
+        RegId srcs[4];
+        unsigned n_srcs = uop.sources(srcs);
+        for (unsigned s = 0; s < n_srcs; ++s) {
+            if (srcs[s] == r)
+                return true;
+        }
+        return false;
+    };
+
+    for (std::size_t i = 0; i < n; ++i) {
+        if (remove[i] || packed[i] || !eligible(uops[i].uop))
+            continue;
+        const Uop a = uops[i].uop;
+
+        for (std::size_t j = i + 1; j < n && j <= i + window; ++j) {
+            if (remove[j] || packed[j])
+                continue;
+            const Uop b = uops[j].uop;
+            if (b.kind != a.kind || b.imm != a.imm)
+                continue;
+            if (b.dst == a.dst)
+                continue;
+            // Only pack lanes of comparable criticality.
+            unsigned skew = asap[i] > asap[j] ? asap[i] - asap[j]
+                                              : asap[j] - asap[i];
+            if (skew > maxLaneSkew)
+                continue;
+
+            // Lane b must be movable to position i: nothing in [i, j)
+            // may write b's sources, and nothing in (i, j) may read or
+            // write b's destination; b itself must not read a's dst.
+            bool movable = !reads_reg(b, a.dst);
+            for (std::size_t k = i; movable && k < j; ++k) {
+                if (remove[k])
+                    continue;
+                const Uop &mid = uops[k].uop;
+                RegId b_srcs[4];
+                unsigned nb = b.sources(b_srcs);
+                for (unsigned s = 0; s < nb && movable; ++s) {
+                    if (writes_reg(mid, b_srcs[s]))
+                        movable = false;
+                }
+                if (k > i && (writes_reg(mid, b.dst) ||
+                              reads_reg(mid, b.dst))) {
+                    movable = false;
+                }
+            }
+            if (!movable)
+                continue;
+
+            uops[i].uop = isa::makeSimdPair(a.kind, a, b);
+            packed[i] = true;
+            remove[j] = true;
+            changed = true;
+            break;
+        }
+    }
+
+    if (changed) {
+        UopVec kept;
+        kept.reserve(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            if (!remove[i])
+                kept.push_back(uops[i]);
+        }
+        uops = std::move(kept);
+    }
+    return changed;
+}
+
+bool
+scheduleCriticalPath(UopVec &uops)
+{
+    const std::size_t n = uops.size();
+    if (n < 2)
+        return false;
+
+    DependencyGraph graph(uops);
+
+    std::vector<unsigned> preds_left(n);
+    for (unsigned i = 0; i < n; ++i)
+        preds_left[i] = graph.preds(i).size();
+
+    // Greedy list scheduling: among ready nodes pick the most critical
+    // (greatest height), breaking ties by original order.
+    std::vector<unsigned> order;
+    order.reserve(n);
+    std::vector<bool> scheduled(n, false);
+
+    for (std::size_t step = 0; step < n; ++step) {
+        int best = -1;
+        for (unsigned i = 0; i < n; ++i) {
+            if (scheduled[i] || preds_left[i] != 0)
+                continue;
+            if (best < 0 || graph.height(i) >
+                                graph.height(static_cast<unsigned>(best)))
+                best = static_cast<int>(i);
+        }
+        PARROT_ASSERT(best >= 0, "scheduler: no ready node (cycle?)");
+        unsigned node = static_cast<unsigned>(best);
+        scheduled[node] = true;
+        order.push_back(node);
+        for (unsigned s : graph.succs(node)) {
+            PARROT_ASSERT(preds_left[s] > 0, "scheduler bookkeeping");
+            --preds_left[s];
+        }
+    }
+
+    PARROT_ASSERT(graph.isTopological(order),
+                  "scheduler produced a non-topological order");
+
+    UopVec reordered;
+    reordered.reserve(n);
+    for (unsigned idx : order)
+        reordered.push_back(uops[idx]);
+    bool changed = false;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (order[i] != i) {
+            changed = true;
+            break;
+        }
+    }
+    uops = std::move(reordered);
+    return changed;
+}
+
+} // namespace parrot::optimizer

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Individual optimization passes over a trace's uop sequence.
+ *
+ * Classification follows §2.4 of the paper:
+ *  - general purpose: constant/copy propagation, logic simplification,
+ *    dead-code elimination;
+ *  - core-specific: uop fusion (compare+assert, multiply+add),
+ *    SIMDification and dynamic-critical-path scheduling.
+ *
+ * All passes preserve the trace's sequential architectural semantics on
+ * every register except flags, which are dead at atomic trace
+ * boundaries by trace-semantics convention, plus all memory stores.
+ */
+
+#ifndef PARROT_OPTIMIZER_PASSES_HH
+#define PARROT_OPTIMIZER_PASSES_HH
+
+#include <vector>
+
+#include "tracecache/trace.hh"
+
+namespace parrot::optimizer
+{
+
+using UopVec = std::vector<tracecache::TraceUop>;
+
+/**
+ * Forward dataflow pass combining copy propagation, constant folding
+ * and algebraic simplification (x^x, x&x, +0, <<0, *1, *0 ...).
+ * @return true when anything changed.
+ */
+bool propagateAndSimplify(UopVec &uops);
+
+/**
+ * Backward dead-code elimination. Live-out is every architectural
+ * register except flags; stores and control uops are side effects.
+ * @return true when uops were removed.
+ */
+bool eliminateDeadCode(UopVec &uops);
+
+/**
+ * Branch promotion for unconditional flow: internal direct jumps (and
+ * nops left by earlier passes) carry no information inside an atomic
+ * trace and are removed.
+ * @return true when uops were removed.
+ */
+bool removeInternalJumps(UopVec &uops);
+
+/**
+ * Fuse Cmp/CmpImm with its unique Assert consumer into a single
+ * compare-and-assert uop (placed at the compare's position, where its
+ * sources are guaranteed current).
+ * @return true when fusions happened.
+ */
+bool fuseCmpAssert(UopVec &uops);
+
+/**
+ * Fuse FpMul feeding a single FpAdd into FpMulAdd when the product
+ * register is provably dead after the addition.
+ * @return true when fusions happened.
+ */
+bool fuseMulAdd(UopVec &uops);
+
+/**
+ * Strength reduction: multiplications by power-of-two constants become
+ * shifts (exact under two's-complement wraparound semantics).
+ * @return true when anything changed.
+ */
+bool reduceStrength(UopVec &uops);
+
+/**
+ * Memory redundancy elimination within the trace: a load that provably
+ * reads the address of an earlier store (same base-register value and
+ * displacement, no possibly-aliasing store in between) becomes a
+ * register move; a load that repeats an earlier load likewise reuses
+ * the first result. Aliasing is judged conservatively: any intervening
+ * store with a different base value kills all memory knowledge.
+ * @return true when loads were eliminated.
+ */
+bool forwardMemory(UopVec &uops);
+
+/**
+ * Pack pairs of independent, same-operation ALU/FP uops into two-lane
+ * SIMD uops within a small window.
+ * @return true when pairs were packed.
+ */
+bool simdifyPairs(UopVec &uops);
+
+/**
+ * Dynamic-critical-path list scheduling: reorder uops (topologically
+ * w.r.t. the dependence graph) so the longest chains issue first.
+ * @return true (always reorders deterministically).
+ */
+bool scheduleCriticalPath(UopVec &uops);
+
+} // namespace parrot::optimizer
+
+#endif // PARROT_OPTIMIZER_PASSES_HH

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Umbrella header: the full public API of the PARROT reproduction.
+ *
+ * Typical use:
+ * @code
+ *   #include "parrot/parrot.hh"
+ *
+ *   auto entry = parrot::workload::findApp("swim");
+ *   parrot::sim::SuiteRunner runner;
+ *   auto result = runner.runOne("TON", entry);
+ *   std::printf("IPC %.3f  energy %.3g\n", result.ipc,
+ *               result.totalEnergy);
+ * @endcode
+ */
+
+#ifndef PARROT_PARROT_HH
+#define PARROT_PARROT_HH
+
+#include "common/bitutil.hh"
+#include "common/counters.hh"
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "common/types.hh"
+
+#include "stats/stats.hh"
+#include "stats/table.hh"
+
+#include "isa/arch_state.hh"
+#include "isa/inst.hh"
+#include "isa/opcodes.hh"
+#include "isa/registers.hh"
+#include "isa/uop.hh"
+
+#include "workload/apps.hh"
+#include "workload/dyninst.hh"
+#include "workload/executor.hh"
+#include "workload/generator.hh"
+#include "workload/profile.hh"
+#include "workload/program.hh"
+
+#include "memory/cache.hh"
+#include "memory/hierarchy.hh"
+
+#include "frontend/branch_predictor.hh"
+#include "frontend/decoder.hh"
+
+#include "cpu/core_config.hh"
+#include "cpu/ooo_core.hh"
+
+#include "tracecache/constructor.hh"
+#include "tracecache/filter.hh"
+#include "tracecache/predictor.hh"
+#include "tracecache/selector.hh"
+#include "tracecache/tid.hh"
+#include "tracecache/trace.hh"
+#include "tracecache/trace_cache.hh"
+
+#include "optimizer/dep_graph.hh"
+#include "optimizer/equivalence.hh"
+#include "optimizer/optimizer.hh"
+#include "optimizer/passes.hh"
+
+#include "power/account.hh"
+#include "power/energy_model.hh"
+#include "power/events.hh"
+
+#include "sim/config_file.hh"
+#include "sim/model_config.hh"
+#include "sim/result.hh"
+#include "sim/runner.hh"
+#include "sim/simulator.hh"
+
+#endif // PARROT_PARROT_HH

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Event-count accumulation and energy summation.
+ */
+
+#ifndef PARROT_POWER_ACCOUNT_HH
+#define PARROT_POWER_ACCOUNT_HH
+
+#include <array>
+
+#include "common/types.hh"
+#include "power/energy_model.hh"
+#include "power/events.hh"
+
+namespace parrot::power
+{
+
+/**
+ * A flat array of event counters. The timing simulator records events
+ * here; the energy model turns counts into joules at reporting time.
+ * Separate accounts can be kept per core (split-core designs) and
+ * evaluated against different EnergyModels.
+ */
+class EnergyAccount
+{
+  public:
+    EnergyAccount() { counts.fill(0); }
+
+    /** Record n occurrences of an event. */
+    void
+    record(PowerEvent e, Counter n = 1)
+    {
+        counts[static_cast<unsigned>(e)] += n;
+    }
+
+    /** Count of one event. */
+    Counter
+    count(PowerEvent e) const
+    {
+        return counts[static_cast<unsigned>(e)];
+    }
+
+    /** Total dynamic energy under the given model (model pJ). */
+    double
+    dynamicEnergy(const EnergyModel &model) const
+    {
+        double total = 0.0;
+        for (unsigned i = 0; i < numPowerEvents; ++i) {
+            total += static_cast<double>(counts[i]) *
+                     model.energyOf(static_cast<PowerEvent>(i));
+        }
+        return total;
+    }
+
+    /** Dynamic energy grouped by reporting unit (Figure 4.11). */
+    std::array<double, numPowerUnits>
+    unitBreakdown(const EnergyModel &model) const
+    {
+        std::array<double, numPowerUnits> out{};
+        for (unsigned i = 0; i < numPowerEvents; ++i) {
+            auto e = static_cast<PowerEvent>(i);
+            out[static_cast<unsigned>(unitOf(e))] +=
+                static_cast<double>(counts[i]) * model.energyOf(e);
+        }
+        return out;
+    }
+
+    /** Merge another account into this one. */
+    void
+    merge(const EnergyAccount &other)
+    {
+        for (unsigned i = 0; i < numPowerEvents; ++i)
+            counts[i] += other.counts[i];
+    }
+
+    /** Zero all counters. */
+    void reset() { counts.fill(0); }
+
+  private:
+    std::array<Counter, numPowerEvents> counts;
+};
+
+} // namespace parrot::power
+
+#endif // PARROT_POWER_ACCOUNT_HH

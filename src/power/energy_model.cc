@@ -1,0 +1,128 @@
+#include "power/energy_model.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace parrot::power
+{
+
+namespace
+{
+
+/** Base (4-wide, 128-ROB, 32-IQ) per-event energies in model pJ. */
+double
+baseEnergy(PowerEvent e)
+{
+    switch (e) {
+      case PowerEvent::IcacheRead:    return 40.0;
+      case PowerEvent::IcacheMiss:    return 20.0;
+      case PowerEvent::BpLookup:      return 8.0;
+      case PowerEvent::BpUpdate:      return 4.0;
+      case PowerEvent::BtbAccess:     return 6.0;
+      case PowerEvent::DecodeWeight:  return 30.0;
+
+      case PowerEvent::TcRead:        return 6.0;
+      case PowerEvent::TcWrite:       return 9.0;
+      case PowerEvent::TpLookup:      return 6.0;
+      case PowerEvent::TpUpdate:      return 3.0;
+      case PowerEvent::HotFilter:     return 2.0;
+      case PowerEvent::BlazeFilter:   return 2.0;
+      case PowerEvent::TraceBuildUop: return 3.0;
+      case PowerEvent::OptimizerUop:  return 6.0;
+
+      case PowerEvent::Rename:        return 12.0;
+      case PowerEvent::RobWrite:      return 8.0;
+      case PowerEvent::RobRead:       return 6.0;
+      case PowerEvent::IqInsert:      return 8.0;
+      case PowerEvent::IqWakeup:      return 2.0;
+      case PowerEvent::IqSelect:      return 10.0;
+      case PowerEvent::RegRead:       return 6.0;
+      case PowerEvent::RegWrite:      return 8.0;
+
+      case PowerEvent::AluOp:         return 10.0;
+      case PowerEvent::MulOp:         return 30.0;
+      case PowerEvent::DivOp:         return 45.0;
+      case PowerEvent::FpOp:          return 25.0;
+      case PowerEvent::SimdOp:        return 30.0;
+      case PowerEvent::CtrlOp:        return 6.0;
+      case PowerEvent::AguOp:         return 8.0;
+
+      case PowerEvent::DcacheRead:    return 45.0;
+      case PowerEvent::DcacheWrite:   return 50.0;
+      case PowerEvent::DcacheMiss:    return 30.0;
+      case PowerEvent::L2Access:      return 180.0;
+      case PowerEvent::MemAccess:     return 600.0;
+
+      case PowerEvent::Commit:        return 4.0;
+      case PowerEvent::PipeFlush:     return 100.0;
+      case PowerEvent::StateSwitch:   return 120.0;
+
+      default:
+        PARROT_PANIC("baseEnergy: bad event %d", static_cast<int>(e));
+    }
+}
+
+/** True when the event's hardware is ported proportionally to width. */
+bool
+scalesWithWidth(PowerEvent e)
+{
+    switch (e) {
+      case PowerEvent::Rename:
+      case PowerEvent::IqInsert:
+      case PowerEvent::IqWakeup:
+      case PowerEvent::IqSelect:
+      case PowerEvent::RegRead:
+      case PowerEvent::RegWrite:
+      case PowerEvent::RobWrite:
+      case PowerEvent::RobRead:
+      case PowerEvent::Commit:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace
+
+EnergyModel::EnergyModel(const CoreScaling &scaling) : scale(scaling)
+{
+    PARROT_ASSERT(scale.width >= 1 && scale.robSize >= 8 &&
+                  scale.iqSize >= 4,
+                  "EnergyModel: bad core scaling");
+    const double width_factor =
+        std::pow(scale.width / 4.0, CoreScaling::widthExponent);
+    const double decode_factor =
+        std::pow(scale.width / 4.0, CoreScaling::decodeExponent);
+    const double rob_factor = std::sqrt(scale.robSize / 128.0);
+    const double iq_factor = std::sqrt(scale.iqSize / 32.0);
+
+    for (unsigned i = 0; i < numPowerEvents; ++i) {
+        auto e = static_cast<PowerEvent>(i);
+        double v = baseEnergy(e);
+        if (scalesWithWidth(e))
+            v *= width_factor;
+        if (e == PowerEvent::DecodeWeight)
+            v *= decode_factor;
+        if (e == PowerEvent::RobWrite || e == PowerEvent::RobRead)
+            v *= rob_factor;
+        if (e == PowerEvent::IqInsert || e == PowerEvent::IqWakeup ||
+            e == PowerEvent::IqSelect) {
+            v *= iq_factor;
+        }
+        table[i] = v;
+    }
+}
+
+double
+cubicMipsPerWatt(double insts, double cycles, double energy)
+{
+    PARROT_ASSERT(insts > 0 && cycles > 0 && energy > 0,
+                  "cubicMipsPerWatt: non-positive inputs");
+    const double seconds = cycles * 1e-9;       // 1 GHz reference clock
+    const double mips = insts / 1e6 / seconds;
+    const double watts = energy * 1e-12 / seconds;
+    return mips * mips * mips / watts;
+}
+
+} // namespace parrot::power

@@ -1,0 +1,135 @@
+#include "power/events.hh"
+
+#include "common/logging.hh"
+
+namespace parrot::power
+{
+
+const char *
+powerEventName(PowerEvent e)
+{
+    switch (e) {
+      case PowerEvent::IcacheRead:    return "icache_read";
+      case PowerEvent::IcacheMiss:    return "icache_miss";
+      case PowerEvent::BpLookup:      return "bp_lookup";
+      case PowerEvent::BpUpdate:      return "bp_update";
+      case PowerEvent::BtbAccess:     return "btb_access";
+      case PowerEvent::DecodeWeight:  return "decode_weight";
+      case PowerEvent::TcRead:        return "tc_read";
+      case PowerEvent::TcWrite:       return "tc_write";
+      case PowerEvent::TpLookup:      return "tp_lookup";
+      case PowerEvent::TpUpdate:      return "tp_update";
+      case PowerEvent::HotFilter:     return "hot_filter";
+      case PowerEvent::BlazeFilter:   return "blaze_filter";
+      case PowerEvent::TraceBuildUop: return "trace_build_uop";
+      case PowerEvent::OptimizerUop:  return "optimizer_uop";
+      case PowerEvent::Rename:        return "rename";
+      case PowerEvent::RobWrite:      return "rob_write";
+      case PowerEvent::RobRead:       return "rob_read";
+      case PowerEvent::IqInsert:      return "iq_insert";
+      case PowerEvent::IqWakeup:      return "iq_wakeup";
+      case PowerEvent::IqSelect:      return "iq_select";
+      case PowerEvent::RegRead:       return "reg_read";
+      case PowerEvent::RegWrite:      return "reg_write";
+      case PowerEvent::AluOp:         return "alu_op";
+      case PowerEvent::MulOp:         return "mul_op";
+      case PowerEvent::DivOp:         return "div_op";
+      case PowerEvent::FpOp:          return "fp_op";
+      case PowerEvent::SimdOp:        return "simd_op";
+      case PowerEvent::CtrlOp:        return "ctrl_op";
+      case PowerEvent::AguOp:         return "agu_op";
+      case PowerEvent::DcacheRead:    return "dcache_read";
+      case PowerEvent::DcacheWrite:   return "dcache_write";
+      case PowerEvent::DcacheMiss:    return "dcache_miss";
+      case PowerEvent::L2Access:      return "l2_access";
+      case PowerEvent::MemAccess:     return "mem_access";
+      case PowerEvent::Commit:        return "commit";
+      case PowerEvent::PipeFlush:     return "pipe_flush";
+      case PowerEvent::StateSwitch:   return "state_switch";
+      default:                        return "<bad>";
+    }
+}
+
+const char *
+powerUnitName(PowerUnit u)
+{
+    switch (u) {
+      case PowerUnit::FrontEnd:  return "front-end";
+      case PowerUnit::TraceUnit: return "trace-unit";
+      case PowerUnit::Rename:    return "rename";
+      case PowerUnit::Window:    return "window";
+      case PowerUnit::RegFile:   return "regfile";
+      case PowerUnit::Exec:      return "exec";
+      case PowerUnit::RobCommit: return "rob+commit";
+      case PowerUnit::L1D:       return "l1d";
+      case PowerUnit::L2:        return "l2";
+      case PowerUnit::Leakage:   return "leakage";
+      default:                   return "<bad>";
+    }
+}
+
+PowerUnit
+unitOf(PowerEvent e)
+{
+    switch (e) {
+      case PowerEvent::IcacheRead:
+      case PowerEvent::IcacheMiss:
+      case PowerEvent::BpLookup:
+      case PowerEvent::BpUpdate:
+      case PowerEvent::BtbAccess:
+      case PowerEvent::DecodeWeight:
+        return PowerUnit::FrontEnd;
+
+      case PowerEvent::TcRead:
+      case PowerEvent::TcWrite:
+      case PowerEvent::TpLookup:
+      case PowerEvent::TpUpdate:
+      case PowerEvent::HotFilter:
+      case PowerEvent::BlazeFilter:
+      case PowerEvent::TraceBuildUop:
+      case PowerEvent::OptimizerUop:
+        return PowerUnit::TraceUnit;
+
+      case PowerEvent::Rename:
+        return PowerUnit::Rename;
+
+      case PowerEvent::IqInsert:
+      case PowerEvent::IqWakeup:
+      case PowerEvent::IqSelect:
+        return PowerUnit::Window;
+
+      case PowerEvent::RegRead:
+      case PowerEvent::RegWrite:
+        return PowerUnit::RegFile;
+
+      case PowerEvent::AluOp:
+      case PowerEvent::MulOp:
+      case PowerEvent::DivOp:
+      case PowerEvent::FpOp:
+      case PowerEvent::SimdOp:
+      case PowerEvent::CtrlOp:
+      case PowerEvent::AguOp:
+        return PowerUnit::Exec;
+
+      case PowerEvent::RobWrite:
+      case PowerEvent::RobRead:
+      case PowerEvent::Commit:
+      case PowerEvent::PipeFlush:
+      case PowerEvent::StateSwitch:
+        return PowerUnit::RobCommit;
+
+      case PowerEvent::DcacheRead:
+      case PowerEvent::DcacheWrite:
+      case PowerEvent::DcacheMiss:
+        return PowerUnit::L1D;
+
+      case PowerEvent::L2Access:
+      case PowerEvent::MemAccess:
+        return PowerUnit::L2;
+
+      default:
+        PARROT_PANIC("unitOf: bad event %d", static_cast<int>(e));
+    }
+}
+
+} // namespace parrot::power

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * The power-event vocabulary: every energy-consuming microarchitectural
+ * action the performance simulation can emit. WATTCH-style accounting
+ * (§3.2 of the paper) counts these events and multiplies by a per-event
+ * energy matrix.
+ */
+
+#ifndef PARROT_POWER_EVENTS_HH
+#define PARROT_POWER_EVENTS_HH
+
+#include <cstdint>
+
+namespace parrot::power
+{
+
+/** One countable energy event. */
+enum class PowerEvent : std::uint8_t
+{
+    // Cold front-end.
+    IcacheRead,
+    IcacheMiss,
+    BpLookup,
+    BpUpdate,
+    BtbAccess,
+    DecodeWeight,   //!< per unit of decode weight (serial CISC decode)
+
+    // Hot front-end / trace unit.
+    TcRead,         //!< trace-cache read (per uop delivered)
+    TcWrite,        //!< trace-cache write (per uop inserted)
+    TpLookup,
+    TpUpdate,
+    HotFilter,
+    BlazeFilter,
+    TraceBuildUop,  //!< trace-construction buffer work, per uop
+    OptimizerUop,   //!< optimizer work, per uop per pass
+
+    // Backend, per uop.
+    Rename,
+    RobWrite,
+    RobRead,
+    IqInsert,
+    IqWakeup,       //!< per tag broadcast match
+    IqSelect,
+    RegRead,        //!< per source operand
+    RegWrite,       //!< per destination operand
+
+    // Execution, per uop.
+    AluOp,
+    MulOp,
+    DivOp,
+    FpOp,
+    SimdOp,
+    CtrlOp,
+    AguOp,          //!< address generation for loads/stores
+
+    // Data-side memory.
+    DcacheRead,
+    DcacheWrite,
+    DcacheMiss,
+    L2Access,
+    MemAccess,
+
+    // Retirement and recovery.
+    Commit,
+    PipeFlush,      //!< full pipeline flush (mispredict/assert fail)
+    StateSwitch,    //!< split-core register state transfer
+
+    NumEvents
+};
+
+/** Number of distinct power events. */
+inline constexpr unsigned numPowerEvents =
+    static_cast<unsigned>(PowerEvent::NumEvents);
+
+/** Human-readable event name. */
+const char *powerEventName(PowerEvent e);
+
+/**
+ * Reporting unit for the Figure 4.11 energy breakdown. Every event maps
+ * onto exactly one unit.
+ */
+enum class PowerUnit : std::uint8_t
+{
+    FrontEnd,   //!< icache, predictors, decode
+    TraceUnit,  //!< trace cache, trace predictor, filters, optimizer
+    Rename,
+    Window,     //!< issue queue (wakeup/select)
+    RegFile,
+    Exec,       //!< functional units
+    RobCommit,  //!< ROB and retirement
+    L1D,
+    L2,
+    Leakage,
+    NumUnits
+};
+
+/** Number of reporting units. */
+inline constexpr unsigned numPowerUnits =
+    static_cast<unsigned>(PowerUnit::NumUnits);
+
+/** Human-readable unit name. */
+const char *powerUnitName(PowerUnit u);
+
+/** The reporting unit an event belongs to. */
+PowerUnit unitOf(PowerEvent e);
+
+} // namespace parrot::power
+
+#endif // PARROT_POWER_EVENTS_HH

@@ -1,0 +1,342 @@
+#include "sim/config_file.hh"
+
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace parrot::sim
+{
+
+namespace
+{
+
+/** Trim leading/trailing whitespace. */
+std::string
+trim(const std::string &s)
+{
+    auto begin = s.find_first_not_of(" \t\r");
+    if (begin == std::string::npos)
+        return "";
+    auto end = s.find_last_not_of(" \t\r");
+    return s.substr(begin, end - begin + 1);
+}
+
+unsigned
+parseUnsigned(const std::string &value, const std::string &key,
+              const std::string &origin)
+{
+    char *end = nullptr;
+    unsigned long v = std::strtoul(value.c_str(), &end, 0);
+    if (end == value.c_str() || *end != '\0')
+        PARROT_FATAL("%s: bad unsigned value '%s' for key '%s'",
+                     origin.c_str(), value.c_str(), key.c_str());
+    return static_cast<unsigned>(v);
+}
+
+double
+parseDouble(const std::string &value, const std::string &key,
+            const std::string &origin)
+{
+    char *end = nullptr;
+    double v = std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end != '\0')
+        PARROT_FATAL("%s: bad number '%s' for key '%s'", origin.c_str(),
+                     value.c_str(), key.c_str());
+    return v;
+}
+
+bool
+parseBool(const std::string &value, const std::string &key,
+          const std::string &origin)
+{
+    if (value == "true" || value == "yes" || value == "1")
+        return true;
+    if (value == "false" || value == "no" || value == "0")
+        return false;
+    PARROT_FATAL("%s: bad boolean '%s' for key '%s'", origin.c_str(),
+                 value.c_str(), key.c_str());
+}
+
+/** The key table: one entry per settable field. */
+using Setter = std::function<void(ModelConfig &, const std::string &,
+                                  const std::string &,
+                                  const std::string &)>;
+
+const std::map<std::string, Setter> &
+keyTable()
+{
+    static const std::map<std::string, Setter> table = {
+        {"name",
+         [](ModelConfig &c, const std::string &v, const std::string &,
+            const std::string &) { c.name = v; }},
+
+        // Feature switches.
+        {"trace_cache.enabled",
+         [](ModelConfig &c, const std::string &v, const std::string &k,
+            const std::string &o) { c.hasTraceCache = parseBool(v, k, o); }},
+        {"optimizer.enabled",
+         [](ModelConfig &c, const std::string &v, const std::string &k,
+            const std::string &o) { c.hasOptimizer = parseBool(v, k, o); }},
+        {"split_core",
+         [](ModelConfig &c, const std::string &v, const std::string &k,
+            const std::string &o) { c.splitCore = parseBool(v, k, o); }},
+
+        // Cold (or unified) core.
+        {"core.width",
+         [](ModelConfig &c, const std::string &v, const std::string &k,
+            const std::string &o) {
+             c.coldCore.width = parseUnsigned(v, k, o);
+             c.coldCore.issueWidth = c.coldCore.width;
+         }},
+        {"core.rob",
+         [](ModelConfig &c, const std::string &v, const std::string &k,
+            const std::string &o) { c.coldCore.robSize = parseUnsigned(v, k, o); }},
+        {"core.iq",
+         [](ModelConfig &c, const std::string &v, const std::string &k,
+            const std::string &o) { c.coldCore.iqSize = parseUnsigned(v, k, o); }},
+        {"core.alu",
+         [](ModelConfig &c, const std::string &v, const std::string &k,
+            const std::string &o) { c.coldCore.numAlu = parseUnsigned(v, k, o); }},
+        {"core.fp",
+         [](ModelConfig &c, const std::string &v, const std::string &k,
+            const std::string &o) { c.coldCore.numFp = parseUnsigned(v, k, o); }},
+        {"core.mem_ports",
+         [](ModelConfig &c, const std::string &v, const std::string &k,
+            const std::string &o) { c.coldCore.numMem = parseUnsigned(v, k, o); }},
+        {"core.muldiv",
+         [](ModelConfig &c, const std::string &v, const std::string &k,
+            const std::string &o) { c.coldCore.numMulDiv = parseUnsigned(v, k, o); }},
+        {"core.mshrs",
+         [](ModelConfig &c, const std::string &v, const std::string &k,
+            const std::string &o) { c.coldCore.numMshrs = parseUnsigned(v, k, o); }},
+        {"core.mispredict_penalty",
+         [](ModelConfig &c, const std::string &v, const std::string &k,
+            const std::string &o) {
+             c.coldCore.mispredictPenalty = parseUnsigned(v, k, o);
+         }},
+
+        // Hot core (split configurations).
+        {"hot_core.width",
+         [](ModelConfig &c, const std::string &v, const std::string &k,
+            const std::string &o) {
+             c.hotCore.width = parseUnsigned(v, k, o);
+             c.hotCore.issueWidth = c.hotCore.width;
+         }},
+        {"hot_core.rob",
+         [](ModelConfig &c, const std::string &v, const std::string &k,
+            const std::string &o) { c.hotCore.robSize = parseUnsigned(v, k, o); }},
+        {"hot_core.iq",
+         [](ModelConfig &c, const std::string &v, const std::string &k,
+            const std::string &o) { c.hotCore.iqSize = parseUnsigned(v, k, o); }},
+
+        // Front end.
+        {"fetch.bytes",
+         [](ModelConfig &c, const std::string &v, const std::string &k,
+            const std::string &o) { c.decoder.fetchBytes = parseUnsigned(v, k, o); }},
+        {"decode.width",
+         [](ModelConfig &c, const std::string &v, const std::string &k,
+            const std::string &o) { c.decoder.width = parseUnsigned(v, k, o); }},
+        {"decode.weight_limit",
+         [](ModelConfig &c, const std::string &v, const std::string &k,
+            const std::string &o) { c.decoder.weightLimit = parseUnsigned(v, k, o); }},
+        {"branch_predictor.entries",
+         [](ModelConfig &c, const std::string &v, const std::string &k,
+            const std::string &o) {
+             c.branchPredictor.numEntries = parseUnsigned(v, k, o);
+         }},
+        {"btb.entries",
+         [](ModelConfig &c, const std::string &v, const std::string &k,
+            const std::string &o) {
+             c.branchPredictor.btbEntries = parseUnsigned(v, k, o);
+         }},
+
+        // Trace unit.
+        {"trace_cache.entries",
+         [](ModelConfig &c, const std::string &v, const std::string &k,
+            const std::string &o) { c.traceCache.numEntries = parseUnsigned(v, k, o); }},
+        {"trace_cache.assoc",
+         [](ModelConfig &c, const std::string &v, const std::string &k,
+            const std::string &o) { c.traceCache.assoc = parseUnsigned(v, k, o); }},
+        {"trace_predictor.entries",
+         [](ModelConfig &c, const std::string &v, const std::string &k,
+            const std::string &o) {
+             c.tracePredictor.numEntries = parseUnsigned(v, k, o);
+         }},
+        {"hot_filter.entries",
+         [](ModelConfig &c, const std::string &v, const std::string &k,
+            const std::string &o) { c.hotFilter.entries = parseUnsigned(v, k, o); }},
+        {"hot_filter.threshold",
+         [](ModelConfig &c, const std::string &v, const std::string &k,
+            const std::string &o) { c.hotFilter.threshold = parseUnsigned(v, k, o); }},
+        {"blaze_filter.entries",
+         [](ModelConfig &c, const std::string &v, const std::string &k,
+            const std::string &o) { c.blazeFilter.entries = parseUnsigned(v, k, o); }},
+        {"blaze_filter.threshold",
+         [](ModelConfig &c, const std::string &v, const std::string &k,
+            const std::string &o) { c.blazeFilter.threshold = parseUnsigned(v, k, o); }},
+        {"optimizer.latency",
+         [](ModelConfig &c, const std::string &v, const std::string &k,
+            const std::string &o) {
+             c.optimizer.latencyCycles = parseUnsigned(v, k, o);
+         }},
+
+        // Memory hierarchy.
+        {"l1i.kb",
+         [](ModelConfig &c, const std::string &v, const std::string &k,
+            const std::string &o) {
+             c.memory.l1i.sizeBytes = parseUnsigned(v, k, o) * 1024ull;
+         }},
+        {"l1d.kb",
+         [](ModelConfig &c, const std::string &v, const std::string &k,
+            const std::string &o) {
+             c.memory.l1d.sizeBytes = parseUnsigned(v, k, o) * 1024ull;
+         }},
+        {"l2.kb",
+         [](ModelConfig &c, const std::string &v, const std::string &k,
+            const std::string &o) {
+             c.memory.l2.sizeBytes = parseUnsigned(v, k, o) * 1024ull;
+         }},
+        {"l1d.prefetch",
+         [](ModelConfig &c, const std::string &v, const std::string &k,
+            const std::string &o) {
+             c.memory.l1dNextLinePrefetch = parseBool(v, k, o);
+         }},
+        {"l1i.prefetch",
+         [](ModelConfig &c, const std::string &v, const std::string &k,
+            const std::string &o) {
+             c.memory.l1iNextLinePrefetch = parseBool(v, k, o);
+         }},
+        {"mem.latency",
+         [](ModelConfig &c, const std::string &v, const std::string &k,
+            const std::string &o) { c.memory.memLatency = parseUnsigned(v, k, o); }},
+
+        // Leakage.
+        {"area_factor",
+         [](ModelConfig &c, const std::string &v, const std::string &k,
+            const std::string &o) { c.coreAreaFactor = parseDouble(v, k, o); }},
+    };
+    return table;
+}
+
+} // namespace
+
+ModelConfig
+parseModelConfig(const std::string &text, const std::string &origin)
+{
+    ModelConfig cfg = ModelConfig::make("N");
+    bool first_directive = true;
+
+    std::istringstream in(text);
+    std::string line;
+    int line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line = line.substr(0, hash);
+        line = trim(line);
+        if (line.empty())
+            continue;
+
+        auto eq = line.find('=');
+        if (eq == std::string::npos)
+            PARROT_FATAL("%s:%d: expected 'key = value', got '%s'",
+                         origin.c_str(), line_no, line.c_str());
+        std::string key = trim(line.substr(0, eq));
+        std::string value = trim(line.substr(eq + 1));
+
+        if (key == "base") {
+            if (!first_directive)
+                PARROT_FATAL("%s:%d: 'base' must be the first directive",
+                             origin.c_str(), line_no);
+            cfg = ModelConfig::make(value);
+            first_directive = false;
+            continue;
+        }
+        first_directive = false;
+
+        auto it = keyTable().find(key);
+        if (it == keyTable().end())
+            PARROT_FATAL("%s:%d: unknown key '%s'", origin.c_str(),
+                         line_no, key.c_str());
+        it->second(cfg, value, key, origin);
+    }
+
+    cfg.validate();
+    return cfg;
+}
+
+ModelConfig
+loadModelConfig(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        PARROT_FATAL("cannot open config file '%s'", path.c_str());
+    std::ostringstream text;
+    text << in.rdbuf();
+    return parseModelConfig(text.str(), path);
+}
+
+std::string
+renderModelConfig(const ModelConfig &cfg)
+{
+    std::ostringstream out;
+    out << "name = " << cfg.name << "\n";
+    out << "trace_cache.enabled = "
+        << (cfg.hasTraceCache ? "true" : "false") << "\n";
+    out << "optimizer.enabled = "
+        << (cfg.hasOptimizer ? "true" : "false") << "\n";
+    out << "split_core = " << (cfg.splitCore ? "true" : "false") << "\n";
+    out << "core.width = " << cfg.coldCore.width << "\n";
+    out << "core.rob = " << cfg.coldCore.robSize << "\n";
+    out << "core.iq = " << cfg.coldCore.iqSize << "\n";
+    out << "core.alu = " << cfg.coldCore.numAlu << "\n";
+    out << "core.fp = " << cfg.coldCore.numFp << "\n";
+    out << "core.mem_ports = " << cfg.coldCore.numMem << "\n";
+    out << "core.muldiv = " << cfg.coldCore.numMulDiv << "\n";
+    out << "core.mshrs = " << cfg.coldCore.numMshrs << "\n";
+    out << "core.mispredict_penalty = " << cfg.coldCore.mispredictPenalty
+        << "\n";
+    out << "hot_core.width = " << cfg.hotCore.width << "\n";
+    out << "hot_core.rob = " << cfg.hotCore.robSize << "\n";
+    out << "hot_core.iq = " << cfg.hotCore.iqSize << "\n";
+    out << "fetch.bytes = " << cfg.decoder.fetchBytes << "\n";
+    out << "decode.width = " << cfg.decoder.width << "\n";
+    out << "decode.weight_limit = " << cfg.decoder.weightLimit << "\n";
+    out << "branch_predictor.entries = "
+        << cfg.branchPredictor.numEntries << "\n";
+    out << "btb.entries = " << cfg.branchPredictor.btbEntries << "\n";
+    if (cfg.hasTraceCache) {
+        out << "trace_cache.entries = " << cfg.traceCache.numEntries
+            << "\n";
+        out << "trace_cache.assoc = " << cfg.traceCache.assoc << "\n";
+        out << "trace_predictor.entries = "
+            << cfg.tracePredictor.numEntries << "\n";
+        out << "hot_filter.entries = " << cfg.hotFilter.entries << "\n";
+        out << "hot_filter.threshold = " << cfg.hotFilter.threshold
+            << "\n";
+        out << "blaze_filter.entries = " << cfg.blazeFilter.entries
+            << "\n";
+        out << "blaze_filter.threshold = " << cfg.blazeFilter.threshold
+            << "\n";
+    }
+    if (cfg.hasOptimizer)
+        out << "optimizer.latency = " << cfg.optimizer.latencyCycles
+            << "\n";
+    out << "l1i.kb = " << cfg.memory.l1i.sizeBytes / 1024 << "\n";
+    out << "l1d.kb = " << cfg.memory.l1d.sizeBytes / 1024 << "\n";
+    out << "l2.kb = " << cfg.memory.l2.sizeBytes / 1024 << "\n";
+    out << "l1d.prefetch = "
+        << (cfg.memory.l1dNextLinePrefetch ? "true" : "false") << "\n";
+    out << "l1i.prefetch = "
+        << (cfg.memory.l1iNextLinePrefetch ? "true" : "false") << "\n";
+    out << "mem.latency = " << cfg.memory.memLatency << "\n";
+    out << "area_factor = " << cfg.coreAreaFactor << "\n";
+    return out.str();
+}
+
+} // namespace parrot::sim

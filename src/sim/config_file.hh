@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Text configuration files for machine models.
+ *
+ * Format: one `key = value` per line, `#` comments, blank lines
+ * ignored. A `base = <model>` line (first, optional) starts from one of
+ * the named models; every other key overrides one field. Example:
+ *
+ * ```
+ * # ton_bigtc.cfg — TON with a 4x trace cache
+ * base = TON
+ * name = TON-big
+ * trace_cache.entries = 2048
+ * hot_filter.threshold = 8
+ * core.width = 4
+ * ```
+ *
+ * Unknown keys and malformed values are hard errors (fatal), so a typo
+ * cannot silently run the wrong experiment.
+ */
+
+#ifndef PARROT_SIM_CONFIG_FILE_HH
+#define PARROT_SIM_CONFIG_FILE_HH
+
+#include <string>
+
+#include "sim/model_config.hh"
+
+namespace parrot::sim
+{
+
+/** Parse a model configuration from file contents (fatal on errors). */
+ModelConfig parseModelConfig(const std::string &text,
+                             const std::string &origin = "<string>");
+
+/** Load and parse a model configuration file (fatal on errors). */
+ModelConfig loadModelConfig(const std::string &path);
+
+/** Render a configuration back to the file format (round-trippable for
+ * all keys the parser understands). */
+std::string renderModelConfig(const ModelConfig &cfg);
+
+} // namespace parrot::sim
+
+#endif // PARROT_SIM_CONFIG_FILE_HH

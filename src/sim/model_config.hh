@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The seven machine models of the paper's configuration space
+ * (Tables 3.1/3.2): N, W, TN, TW, TON, TOW and the split-core TOS.
+ */
+
+#ifndef PARROT_SIM_MODEL_CONFIG_HH
+#define PARROT_SIM_MODEL_CONFIG_HH
+
+#include <string>
+#include <vector>
+
+#include "cpu/core_config.hh"
+#include "frontend/branch_predictor.hh"
+#include "frontend/decoder.hh"
+#include "memory/hierarchy.hh"
+#include "optimizer/optimizer.hh"
+#include "tracecache/filter.hh"
+#include "tracecache/predictor.hh"
+#include "tracecache/trace_cache.hh"
+
+namespace parrot::sim
+{
+
+/** Complete description of one simulated machine. */
+struct ModelConfig
+{
+    std::string name = "N";
+
+    bool hasTraceCache = false; //!< the T dimension
+    bool hasOptimizer = false;  //!< the O dimension
+    bool splitCore = false;     //!< TOS only
+
+    cpu::CoreConfig coldCore;   //!< also the unified core
+    cpu::CoreConfig hotCore;    //!< used only when splitCore
+
+    frontend::BranchPredictorConfig branchPredictor;
+    frontend::DecoderConfig decoder;
+
+    tracecache::TraceCacheConfig traceCache;
+    tracecache::FilterConfig hotFilter;
+    tracecache::FilterConfig blazeFilter;
+    tracecache::TracePredictorConfig tracePredictor;
+    optimizer::OptimizerConfig optimizer;
+
+    memory::HierarchyConfig memory;
+
+    /** Core area relative to the standard 4-wide core (leakage K). */
+    double coreAreaFactor = 1.0;
+
+    /** Extra cycles charged on a taken CTI whose target misses in the
+     * BTB (decode-stage redirect). */
+    unsigned btbMissBubble = 3;
+
+    /** Cycles to transfer live state between split cores. */
+    unsigned stateSwitchPenalty = 2;
+
+    /** Build one of the named models: N W TN TW TON TOW TOS. */
+    static ModelConfig make(const std::string &model_name);
+
+    /** All seven model names in presentation order. */
+    static std::vector<std::string> allNames();
+
+    void validate() const;
+};
+
+} // namespace parrot::sim
+
+#endif // PARROT_SIM_MODEL_CONFIG_HH

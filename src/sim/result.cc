@@ -1,0 +1,59 @@
+#include "sim/result.hh"
+
+#include <string>
+
+namespace parrot::sim
+{
+
+void
+exportToRegistry(const SimResult &result, stats::Registry &registry,
+                 bool prefix_identity)
+{
+    const std::string prefix = prefix_identity
+        ? result.model + "." + result.app + "." : "";
+    auto put = [&](const char *key, double v) {
+        registry.set(prefix + key, v);
+    };
+
+    put("perf.insts", static_cast<double>(result.insts));
+    put("perf.uops", static_cast<double>(result.uops));
+    put("perf.cycles", static_cast<double>(result.cycles));
+    put("perf.ipc", result.ipc);
+    put("perf.upc", result.upc);
+
+    put("trace.coverage", result.coverage);
+    put("trace.inserted", static_cast<double>(result.tracesInserted));
+    put("trace.executions",
+        static_cast<double>(result.traceExecutions));
+    put("trace.predictions",
+        static_cast<double>(result.tracePredictions));
+    put("trace.aborts", static_cast<double>(result.traceMispredicts));
+    put("trace.abort_rate", result.traceMispredRate);
+
+    put("frontend.cold_branches",
+        static_cast<double>(result.coldCondBranches));
+    put("frontend.cold_mispredict_rate", result.coldBranchMispredRate);
+
+    put("optimizer.traces", static_cast<double>(result.tracesOptimized));
+    put("optimizer.uop_reduction", result.dynamicUopReduction);
+    put("optimizer.dep_reduction", result.avgDepReduction);
+    put("optimizer.utilization", result.optimizerUtilization);
+
+    put("energy.dynamic", result.dynamicEnergy);
+    put("energy.leakage", result.leakageEnergy);
+    put("energy.total", result.totalEnergy);
+    put("energy.per_cycle", result.energyPerCycle);
+    put("power.cmpw", result.cmpw);
+    for (unsigned u = 0; u < power::numPowerUnits; ++u) {
+        registry.set(prefix + "energy.unit." +
+                         power::powerUnitName(
+                             static_cast<power::PowerUnit>(u)),
+                     result.unitEnergy[u]);
+    }
+
+    put("cache.l1i_miss", result.l1iMissRate);
+    put("cache.l1d_miss", result.l1dMissRate);
+    put("cache.l2_miss", result.l2MissRate);
+}
+
+} // namespace parrot::sim

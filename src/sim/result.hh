@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The metrics one simulation run produces — everything the paper's
+ * figures need.
+ */
+
+#ifndef PARROT_SIM_RESULT_HH
+#define PARROT_SIM_RESULT_HH
+
+#include <array>
+#include <string>
+
+#include "power/energy_model.hh"
+#include "power/events.hh"
+#include "stats/stats.hh"
+
+namespace parrot::sim
+{
+
+/** All measurements from one (model, application) simulation. */
+struct SimResult
+{
+    std::string model;
+    std::string app;
+
+    // --- performance ---
+    std::uint64_t insts = 0;   //!< committed macro-instructions
+    std::uint64_t uops = 0;    //!< committed (useful) uops
+    std::uint64_t cycles = 0;
+    double ipc = 0.0;
+    double upc = 0.0;          //!< uops per cycle
+
+    // --- coverage (Figure 4.8) ---
+    std::uint64_t uopsFromTraceCache = 0;
+    std::uint64_t uopsFromColdPipe = 0;
+    double coverage = 0.0; //!< fraction of work fed by the trace cache
+
+    // --- front-end (Figure 4.7) ---
+    std::uint64_t coldCondBranches = 0;
+    std::uint64_t coldBranchMispredicts = 0;
+    std::uint64_t tracePredictions = 0;
+    std::uint64_t traceMispredicts = 0;
+    std::uint64_t tpLookups = 0;      //!< fetch-time predictor consults
+    std::uint64_t tpHits = 0;         //!< predictor produced a TID
+    std::uint64_t tcMissAfterPredict = 0; //!< predicted TID absent in TC
+    std::uint64_t candidatesSeen = 0; //!< selector emissions
+    double coldBranchMispredRate = 0.0;
+    double traceMispredRate = 0.0;
+
+    // --- trace unit ---
+    std::uint64_t tracesInserted = 0;
+    std::uint64_t traceExecutions = 0;
+
+    // --- optimizer (Figures 4.9 / 4.10) ---
+    std::uint64_t tracesOptimized = 0;
+    double avgUopReduction = 0.0;  //!< static, averaged over opt. traces
+    double avgDepReduction = 0.0;
+    std::uint64_t optimizedTraceExecutions = 0;
+    double optimizerUtilization = 0.0; //!< executions per optimized trace
+    double dynamicUopReduction = 0.0;  //!< weighted by execution counts
+
+    // --- energy (Figures 4.2 / 4.5 / 4.11) ---
+    double dynamicEnergy = 0.0;
+    double leakageEnergy = 0.0;
+    double totalEnergy = 0.0;
+    double energyPerCycle = 0.0; //!< dynamic only (Pmax calibration)
+    std::array<double, power::numPowerUnits> unitEnergy{};
+
+    // --- power awareness (Figures 4.3 / 4.6) ---
+    double cmpw = 0.0;
+
+    // --- caches ---
+    double l1iMissRate = 0.0;
+    double l1dMissRate = 0.0;
+    double l2MissRate = 0.0;
+};
+
+/**
+ * Publish every SimResult metric into a stats registry under dotted
+ * keys ("perf.ipc", "energy.total", "trace.coverage", ...), prefixed by
+ * "<model>.<app>." when prefix_identity is true. Gives harnesses and
+ * external tooling a uniform, name-addressable view of a run.
+ */
+void exportToRegistry(const SimResult &result,
+                      class parrot::stats::Registry &registry,
+                      bool prefix_identity = false);
+
+} // namespace parrot::sim
+
+#endif // PARROT_SIM_RESULT_HH

@@ -1,0 +1,105 @@
+#include "sim/runner.hh"
+
+#include "common/logging.hh"
+#include "stats/stats.hh"
+
+namespace parrot::sim
+{
+
+SuiteRunner::SuiteRunner(RunOptions options) : opts(options) {}
+
+Workload &
+SuiteRunner::workloadFor(const workload::SuiteEntry &entry)
+{
+    auto it = programCache.find(entry.profile.name);
+    if (it == programCache.end()) {
+        it = programCache.emplace(entry.profile.name,
+                                  loadWorkload(entry)).first;
+    }
+    return it->second;
+}
+
+double
+SuiteRunner::pmax()
+{
+    if (pmaxReady)
+        return pmaxValue;
+    if (opts.noLeakage) {
+        pmaxValue = 0.0;
+    } else if (opts.pmaxPerCycle > 0.0) {
+        pmaxValue = opts.pmaxPerCycle;
+    } else {
+        // §3.2: Pmax is the per-cycle dynamic power of the hottest
+        // application (swim) on the base OOO model N.
+        auto entry = workload::findApp("swim");
+        ParrotSimulator sim(ModelConfig::make("N"), workloadFor(entry));
+        SimResult r = sim.run(opts.instBudget, 0.0);
+        pmaxValue = r.energyPerCycle;
+    }
+    pmaxReady = true;
+    return pmaxValue;
+}
+
+SimResult
+SuiteRunner::runOne(const std::string &model_name,
+                    const workload::SuiteEntry &entry)
+{
+    double pmax_per_cycle = opts.noLeakage ? 0.0 : pmax();
+    ParrotSimulator sim(ModelConfig::make(model_name), workloadFor(entry));
+    return sim.run(opts.instBudget, pmax_per_cycle);
+}
+
+std::vector<SimResult>
+SuiteRunner::runSuite(const std::string &model_name,
+                      const std::vector<workload::SuiteEntry> &suite)
+{
+    std::vector<SimResult> out;
+    out.reserve(suite.size());
+    for (const auto &entry : suite)
+        out.push_back(runOne(model_name, entry));
+    return out;
+}
+
+GroupSummary
+summarizeByGroup(const std::vector<SimResult> &results,
+                 const std::function<double(const SimResult &)> &metric)
+{
+    GroupSummary summary;
+    std::vector<double> all;
+
+    for (unsigned g = 0;
+         g < static_cast<unsigned>(workload::BenchGroup::NumGroups); ++g) {
+        auto group = static_cast<workload::BenchGroup>(g);
+        std::vector<double> vals;
+        for (const auto &r : results) {
+            // Group membership comes from the suite definition.
+            auto entry_group =
+                workload::findApp(r.app).profile.group;
+            if (entry_group == group)
+                vals.push_back(metric(r));
+        }
+        if (vals.empty())
+            continue;
+        summary.labels.push_back(workload::benchGroupName(group));
+        summary.values.push_back(stats::geomean(vals));
+        for (double v : vals)
+            all.push_back(v);
+    }
+
+    PARROT_ASSERT(!all.empty(), "summarizeByGroup: no results");
+    summary.labels.push_back("All");
+    summary.values.push_back(stats::geomean(all));
+    return summary;
+}
+
+const SimResult &
+findResult(const std::vector<SimResult> &results, const std::string &app)
+{
+    for (const auto &r : results) {
+        if (r.app == app)
+            return r;
+    }
+    PARROT_FATAL("no result for application '%s'", app.c_str());
+}
+
+} // namespace parrot::sim

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Suite runner: drives (model x application) simulations, handles the
+ * Pmax leakage calibration (§3.2: Pmax is the per-cycle dynamic power
+ * of the hottest application — swim — on the base N model) and
+ * aggregates per-group geometric means the way the paper reports them.
+ */
+
+#ifndef PARROT_SIM_RUNNER_HH
+#define PARROT_SIM_RUNNER_HH
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/model_config.hh"
+#include "sim/result.hh"
+#include "sim/simulator.hh"
+
+namespace parrot::sim
+{
+
+/** Options controlling a suite run. */
+struct RunOptions
+{
+    std::uint64_t instBudget = 300000; //!< per application
+    /** Pmax for leakage; 0 = calibrate automatically from swim on N. */
+    double pmaxPerCycle = 0.0;
+    /** Skip calibration entirely (leakage = 0). */
+    bool noLeakage = false;
+};
+
+/**
+ * Runs simulations and caches generated programs across models.
+ */
+class SuiteRunner
+{
+  public:
+    explicit SuiteRunner(RunOptions options = {});
+
+    /** Simulate one application on one model. */
+    SimResult runOne(const std::string &model_name,
+                     const workload::SuiteEntry &entry);
+
+    /** Simulate a set of applications on one model. */
+    std::vector<SimResult> runSuite(
+        const std::string &model_name,
+        const std::vector<workload::SuiteEntry> &suite);
+
+    /**
+     * The calibrated Pmax (model pJ per cycle). Triggers the
+     * calibration run on first use.
+     */
+    double pmax();
+
+    const RunOptions &options() const { return opts; }
+
+  private:
+    Workload &workloadFor(const workload::SuiteEntry &entry);
+
+    RunOptions opts;
+    double pmaxValue = 0.0;
+    bool pmaxReady = false;
+    std::map<std::string, Workload> programCache;
+};
+
+/** Per-group (plus overall) geometric means of a metric. */
+struct GroupSummary
+{
+    /** Ordered labels: the five groups then "All". */
+    std::vector<std::string> labels;
+    /** Geomean of the metric per label. */
+    std::vector<double> values;
+};
+
+/**
+ * Aggregate a per-app metric into per-group geometric means, paper
+ * style (plus the overall mean as the final entry).
+ *
+ * @param results one result per application.
+ * @param metric extracts the (strictly positive) metric.
+ */
+GroupSummary summarizeByGroup(
+    const std::vector<SimResult> &results,
+    const std::function<double(const SimResult &)> &metric);
+
+/** Look up the result for one app name; fatal()s when missing. */
+const SimResult &findResult(const std::vector<SimResult> &results,
+                            const std::string &app);
+
+} // namespace parrot::sim
+
+#endif // PARROT_SIM_RUNNER_HH

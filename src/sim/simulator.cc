@@ -1,0 +1,727 @@
+#include "sim/simulator.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace parrot::sim
+{
+
+using power::PowerEvent;
+using tracecache::Tid;
+using tracecache::Trace;
+using tracecache::TraceCandidate;
+using workload::DynInst;
+
+Workload
+loadWorkload(const workload::SuiteEntry &entry)
+{
+    Workload w;
+    w.profile = entry.profile;
+    w.program = workload::generateProgram(entry.profile);
+    return w;
+}
+
+ParrotSimulator::ParrotSimulator(const ModelConfig &config,
+                                 const Workload &workload)
+    : cfg(config), load(workload)
+{
+    cfg.validate();
+    PARROT_ASSERT(load.program != nullptr, "simulator: missing program");
+
+    executor = std::make_unique<workload::Executor>(*load.program,
+                                                    load.profile);
+    hierarchy = std::make_unique<memory::Hierarchy>(cfg.memory);
+    splitMode = cfg.splitCore;
+
+    coldCorePtr = std::make_unique<cpu::OooCore>(cfg.coldCore,
+                                                 hierarchy.get(),
+                                                 &coldAcct);
+    if (splitMode) {
+        hotCorePtr = std::make_unique<cpu::OooCore>(cfg.hotCore,
+                                                    hierarchy.get(),
+                                                    &hotAcct);
+    }
+
+    branchPredictor =
+        std::make_unique<frontend::BranchPredictor>(cfg.branchPredictor);
+    decoder = std::make_unique<frontend::Decoder>(cfg.decoder);
+
+    if (cfg.hasTraceCache) {
+        selector = std::make_unique<tracecache::TraceSelector>();
+        hotFilter = std::make_unique<tracecache::CounterFilter>(
+            cfg.hotFilter);
+        blazeFilter = std::make_unique<tracecache::CounterFilter>(
+            cfg.blazeFilter);
+        traceCache = std::make_unique<tracecache::TraceCache>(
+            cfg.traceCache);
+        tracePredictor = std::make_unique<tracecache::TracePredictor>(
+            cfg.tracePredictor);
+    }
+    if (cfg.hasOptimizer) {
+        traceOptimizer =
+            std::make_unique<optimizer::TraceOptimizer>(cfg.optimizer);
+    }
+}
+
+void
+ParrotSimulator::refillLookahead(std::size_t target)
+{
+    while (lookahead.size() < target) {
+        DynInst dyn;
+        if (!executor->next(dyn))
+            break;
+        lookahead.push_back(dyn);
+    }
+}
+
+void
+ParrotSimulator::recordFrontEndFetch(Addr pc)
+{
+    auto access = hierarchy->fetchInst(pc);
+    coldAcct.record(PowerEvent::IcacheRead);
+    if (!access.l1Hit) {
+        coldAcct.record(PowerEvent::IcacheMiss);
+        coldAcct.record(PowerEvent::L2Access);
+        if (!access.l2Hit)
+            coldAcct.record(PowerEvent::MemAccess);
+        // Fetch stalls for the time beyond the pipelined L1 access.
+        Cycle stall_end = cycle + access.latency - cfg.memory.l1i.hitLatency;
+        resumeAt = std::max(resumeAt, stall_end);
+    }
+}
+
+void
+ParrotSimulator::stallOnToken(cpu::OooCore &core, cpu::UopToken token,
+                              unsigned penalty)
+{
+    pendingResolve = PendingResolve{&core, token, penalty};
+}
+
+void
+ParrotSimulator::markDirty(const isa::Uop &uop)
+{
+    auto mark = [&](RegId r) {
+        if (r != invalidReg && !dirtySinceSwitch[r]) {
+            dirtySinceSwitch[r] = true;
+            ++dirtyCount;
+        }
+    };
+    if (uop.hasDst())
+        mark(uop.effectiveDst());
+    if (uop.dst2 != invalidReg)
+        mark(uop.dst2);
+}
+
+void
+ParrotSimulator::chargeSideSwitch(Side side)
+{
+    if (!splitMode)
+        return;
+    if (lastSide != side && lastSide != Side::None) {
+        // Forward every register written since the last switch to the
+        // other core (§2.3's writer/reader tracking), a few per cycle.
+        const unsigned transfer_width = 8;
+        unsigned beats = (dirtyCount + transfer_width - 1) /
+                         transfer_width;
+        if (beats == 0)
+            beats = 1;
+        hotAcct.record(PowerEvent::StateSwitch, beats);
+        resumeAt = std::max(resumeAt,
+                            cycle + cfg.stateSwitchPenalty + beats - 1);
+        dirtyCount = 0;
+        std::fill(std::begin(dirtySinceSwitch),
+                  std::end(dirtySinceSwitch), false);
+    }
+    lastSide = side;
+}
+
+void
+ParrotSimulator::feedSelector(const DynInst &dyn)
+{
+    if (!cfg.hasTraceCache)
+        return;
+    selector->feed(dyn);
+    TraceCandidate cand;
+    while (selector->pop(cand))
+        onCandidate(cand);
+}
+
+void
+ParrotSimulator::onCandidate(const TraceCandidate &cand)
+{
+    auto &acct = hotAccount();
+    ++candidateCount;
+
+    // Continuous trace-predictor training on the committed TID stream.
+    // Key on the two-back candidate: that is exactly the context the
+    // fetch selector will have when this TID's start address comes up.
+    tracePredictor->train(trainPrevPrevTid, cand.tid.startPc, cand.tid);
+    acct.record(PowerEvent::TpUpdate);
+    trainPrevPrevTid = trainPrevTid;
+    trainPrevTid = cand.tid;
+
+    // Gradual filtering: only TIDs that pass the hot filter are
+    // constructed and inserted into the trace cache.
+    unsigned count = hotFilter->bump(cand.tid);
+    acct.record(PowerEvent::HotFilter);
+    if (!hotFilter->promoted(count))
+        return;
+    if (traceCache->peek(cand.tid) != nullptr)
+        return; // already cached
+
+    Trace trace = tracecache::constructTrace(cand);
+    acct.record(PowerEvent::TraceBuildUop, trace.uops.size());
+    acct.record(PowerEvent::TcWrite, trace.uops.size());
+    traceCache->insert(std::move(trace));
+    hotFilter->reset(cand.tid);
+    ++tracesInsertedCount;
+}
+
+void
+ParrotSimulator::onTraceExecuted(Trace &trace)
+{
+    auto &acct = hotAccount();
+    ++trace.execCount;
+    ++traceExecutionsCount;
+    hotExecUops += trace.uops.size();
+    hotExecOrigUops += trace.originalUopCount;
+    if (trace.optimized)
+        ++optimizedTraceExecs;
+
+    if (!cfg.hasOptimizer || trace.optimized)
+        return;
+
+    unsigned count = blazeFilter->bump(trace.tid);
+    acct.record(PowerEvent::BlazeFilter);
+    if (!blazeFilter->promoted(count))
+        return;
+    if (optJob.has_value())
+        return; // optimizer busy; the trace stays blazing and retries
+
+    // Copy the trace into the (non-pipelined) optimizer; the rewritten
+    // version is written back when the modelled latency elapses.
+    OptJob job;
+    job.trace = trace;
+    job.doneAt = cycle + cfg.optimizer.latencyCycles;
+    optJob = std::move(job);
+    blazeFilter->reset(trace.tid);
+}
+
+void
+ParrotSimulator::processBackground()
+{
+    if (optJob.has_value() && cycle >= optJob->doneAt) {
+        Trace trace = std::move(optJob->trace);
+        optJob.reset();
+        auto result = traceOptimizer->optimize(trace);
+        auto &acct = hotAccount();
+        acct.record(PowerEvent::OptimizerUop,
+                    static_cast<Counter>(result.uopsBefore) *
+                        result.passesRun);
+        acct.record(PowerEvent::TcWrite, trace.uops.size());
+        ++tracesOptimizedCount;
+        sumUopReduction += result.uopReduction();
+        sumDepReduction += result.depReduction();
+        traceCache->insert(std::move(trace));
+    }
+}
+
+bool
+ParrotSimulator::tryStartHotTrace()
+{
+    if (!cfg.hasTraceCache || lookahead.empty())
+        return false;
+
+    auto &acct = hotAccount();
+    const Addr pc = lookahead.front().pc();
+    Tid predicted;
+    acct.record(PowerEvent::TpLookup);
+    ++tpLookupCount;
+    if (!tracePredictor->predict(trainPrevTid, pc, predicted))
+        return false;
+    ++tpHitCount;
+
+    auto trace = traceCache->lookup(predicted);
+    if (!trace) {
+        ++tcMissAfterPredictCount;
+        return false;
+    }
+
+    ++tracePredictionsMade;
+
+    // Verify the predicted trace against the actual committed stream.
+    const std::size_t path_len = trace->path.size();
+    refillLookahead(std::max<std::size_t>(path_len + 8, 96));
+    std::size_t match = 0;
+    while (match < path_len && match < lookahead.size()) {
+        const auto &ref = trace->path[match];
+        const auto &dyn = lookahead[match];
+        if (dyn.inst != ref.inst ||
+            (ref.inst->isCti() && dyn.taken != ref.taken)) {
+            break;
+        }
+        ++match;
+    }
+
+    activeTrace = trace;
+    hotUopIdx = 0;
+    mode = Mode::Hot;
+    hotEndRedirect = false;
+    hotEndBranchSeen = false;
+
+    // Special case: everything matched except the *final* conditional
+    // branch's direction (e.g. a loop exit). The trace still executes
+    // and commits in full — only the subsequent fetch was mispredicted.
+    if (match == path_len - 1) {
+        const auto &ref = trace->path[match];
+        const auto &dyn = lookahead[match];
+        if (dyn.inst == ref.inst &&
+            ref.inst->cti == isa::CtiType::CondBranch) {
+            hotEndRedirect = true;
+            ++traceEndRedirects;
+            match = path_len;
+        }
+    }
+
+    if (match == path_len) {
+        // Full match: the trace executes and commits atomically.
+        hotAborted = false;
+        hotUopLimit = trace->uops.size();
+        activeWindow.assign(lookahead.begin(),
+                            lookahead.begin() +
+                                static_cast<std::ptrdiff_t>(path_len));
+        lookahead.erase(lookahead.begin(),
+                        lookahead.begin() +
+                            static_cast<std::ptrdiff_t>(path_len));
+    } else {
+        // Assert failure: execute the poisoned prefix, then flush and
+        // restore — the stream is *not* consumed; the cold pipeline
+        // re-executes from the trace's start address.
+        ++traceMispredictsSeen;
+        tracePredictor->mispredict(trainPrevTid, pc);
+        ++trace->abortCount;
+        // A trace that keeps aborting embeds an unstable path; evict
+        // it so the fetch selector stops gambling on it (it can
+        // re-earn admission through the hot filter later).
+        if (trace->abortCount >= 4 &&
+            trace->abortCount * 2 >= trace->execCount) {
+            traceCache->remove(trace->tid);
+            hotFilter->reset(trace->tid);
+        }
+        hotAborted = true;
+        activeWindow.assign(lookahead.begin(),
+                            lookahead.begin() +
+                                static_cast<std::ptrdiff_t>(match));
+        // The failing check is the assert carrying the diverging
+        // instruction's direction. Work dispatched up to that point is
+        // poisoned; everything younger is squashed at dispatch (it
+        // never enters the machine). The abort resolves when the
+        // failing assert executes.
+        hotUopLimit = 0;
+        for (std::size_t i = 0; i < trace->uops.size(); ++i) {
+            if (static_cast<std::size_t>(trace->uops[i].instIdx) == match &&
+                isa::isCti(trace->uops[i].uop.kind)) {
+                hotUopLimit = i + 1;
+                break;
+            }
+        }
+        if (hotUopLimit == 0) {
+            // Divergence without an assert (e.g. an inlined return
+            // leaving for a different caller): charge the prefix up to
+            // the diverging instruction.
+            for (std::size_t i = 0; i < trace->uops.size(); ++i) {
+                if (static_cast<std::size_t>(trace->uops[i].instIdx) <=
+                        match) {
+                    hotUopLimit = i + 1;
+                }
+            }
+        }
+        if (hotUopLimit == 0)
+            hotUopLimit = std::min<std::size_t>(1, trace->uops.size());
+    }
+    return true;
+}
+
+void
+ParrotSimulator::hotDispatchCycle()
+{
+    cpu::OooCore &core = hotCore();
+    auto &acct = hotAccount();
+    unsigned budget = core.config().width;
+
+    if (hotUopIdx == 0) {
+        chargeSideSwitch(Side::HotSide);
+        if (cycle < resumeAt)
+            return; // state transfer in progress
+    }
+
+    while (budget > 0 && hotUopIdx < hotUopLimit && core.canDispatch()) {
+        const tracecache::TraceUop &tu = activeTrace->uops[hotUopIdx];
+        Addr mem_addr = 0;
+        if (tu.uop.kind == isa::UopKind::Load ||
+            tu.uop.kind == isa::UopKind::Store) {
+            const auto idx = static_cast<std::size_t>(tu.instIdx);
+            if (idx < activeWindow.size()) {
+                mem_addr = activeWindow[idx].memAddr[tu.uopIdx];
+            } else {
+                // Wrong-path access beyond the divergence point:
+                // deterministic pseudo-address (cache pollution model).
+                mem_addr = workload::dataRegionBase +
+                           (mix64(tu.uop.imm + tu.instIdx * 64) &
+                            0x3ffff & ~7ull);
+            }
+        }
+        acct.record(PowerEvent::TcRead);
+        if (splitMode)
+            markDirty(tu.uop);
+        lastHotToken = core.dispatch(tu.uop, mem_addr, false, hotAborted);
+        if (hotEndRedirect && isa::isCti(tu.uop.kind) &&
+            static_cast<std::size_t>(tu.instIdx) + 1 ==
+                activeTrace->path.size()) {
+            hotEndBranchToken = lastHotToken;
+            hotEndBranchSeen = true;
+        }
+        ++hotUopIdx;
+        --budget;
+    }
+
+    if (hotUopIdx < hotUopLimit)
+        return; // continue next cycle
+
+    // Dispatch finished: close out the trace.
+    uopsFromTraceCacheDispatched += hotUopLimit;
+    if (!hotAborted) {
+        pendingTraceCommits.push_back(
+            TraceCommit{lastHotToken, activeTrace->path.size()});
+        instsFromTraceCache += activeTrace->path.size();
+        onTraceExecuted(*activeTrace);
+        // Keep the cold front-end's return-address stack coherent with
+        // the calls and returns the trace executed (otherwise every
+        // cold return after a hot region would mispredict).
+        for (const auto &ref : activeTrace->path) {
+            if (ref.inst->cti == isa::CtiType::Call)
+                branchPredictor->rasPush(ref.inst->nextPc());
+            else if (ref.inst->cti == isa::CtiType::Return)
+                branchPredictor->rasPop();
+        }
+        for (const auto &dyn : activeWindow)
+            feedSelector(dyn);
+        if (hotEndRedirect) {
+            // Next-fetch misprediction: wait for the final branch to
+            // resolve, then refill.
+            cpu::UopToken token =
+                hotEndBranchSeen ? hotEndBranchToken : lastHotToken;
+            stallOnToken(core, token, core.config().mispredictPenalty);
+        }
+    } else {
+        // Atomic abort: flush, restore, and redirect to cold.
+        acct.record(PowerEvent::PipeFlush);
+        stallOnToken(core, lastHotToken,
+                     core.config().mispredictPenalty);
+    }
+    activeTrace.reset();
+    activeWindow.clear();
+    mode = Mode::Cold;
+}
+
+void
+ParrotSimulator::coldCycle()
+{
+    if (lookahead.empty())
+        return;
+    if (tryStartHotTrace()) {
+        if (cycle >= resumeAt)
+            hotDispatchCycle();
+        return;
+    }
+
+    cpu::OooCore &core = coldCore();
+    auto &acct = coldAcct;
+
+    // Assemble this cycle's fetch group: up to decoder throughput,
+    // ending at the first taken CTI.
+    std::vector<const isa::MacroInst *> window;
+    for (const auto &dyn : lookahead) {
+        window.push_back(dyn.inst);
+        if (window.size() >= cfg.decoder.width * 2)
+            break;
+        if (dyn.isCti() && dyn.taken)
+            break;
+    }
+    unsigned group = decoder->throughput(window);
+
+    Addr last_line = ~0ull;
+    const unsigned line_bytes = cfg.memory.l1i.lineBytes;
+
+    unsigned dispatched_insts = 0;
+    unsigned uop_budget = core.config().width;
+
+    while (dispatched_insts < group && !lookahead.empty()) {
+        const DynInst dyn = lookahead.front();
+        const isa::MacroInst &inst = *dyn.inst;
+        const unsigned n_uops = inst.uops.size();
+
+        if (n_uops > uop_budget || !core.canDispatch(n_uops))
+            break; // rename width or window space exhausted
+
+        // Instruction-cache access, once per line.
+        Addr line = inst.pc / line_bytes;
+        if (line != last_line) {
+            recordFrontEndFetch(inst.pc);
+            last_line = line;
+            if (resumeAt > cycle)
+                break; // I-cache miss: group ends, fetch stalls
+        }
+
+        acct.record(PowerEvent::DecodeWeight, inst.decodeWeight());
+        if (splitMode && dispatched_insts == 0) {
+            chargeSideSwitch(Side::ColdSide);
+            if (cycle < resumeAt)
+                break; // state transfer in progress
+        }
+
+        // Dispatch the whole instruction.
+        cpu::UopToken branch_token = 0;
+        bool have_branch_token = false;
+        for (unsigned u = 0; u < n_uops; ++u) {
+            const isa::Uop &uop = inst.uops[u];
+            if (splitMode)
+                markDirty(uop);
+            cpu::UopToken tok =
+                core.dispatch(uop, dyn.memAddr[u],
+                              /*counts_as_inst=*/u + 1 == n_uops,
+                              /*poisoned=*/false);
+            if (isa::isCti(uop.kind)) {
+                branch_token = tok;
+                have_branch_token = true;
+            }
+        }
+        uop_budget -= n_uops;
+        uopsFromColdDispatched += n_uops;
+        ++dispatched_insts;
+        lookahead.pop_front();
+        feedSelector(dyn);
+
+        // Control handling on the cold pipeline.
+        if (inst.isCondBranch()) {
+            ++coldCondBranches;
+            acct.record(PowerEvent::BpLookup);
+            acct.record(PowerEvent::BpUpdate);
+            bool pred = branchPredictor->predict(inst.pc);
+            branchPredictor->update(inst.pc, dyn.taken);
+            if (pred != dyn.taken) {
+                ++coldBranchMispredicts;
+                PARROT_ASSERT(have_branch_token, "branch without token");
+                stallOnToken(core, branch_token,
+                             core.config().mispredictPenalty);
+                break;
+            }
+            if (dyn.taken) {
+                acct.record(PowerEvent::BtbAccess);
+                Addr target;
+                if (!branchPredictor->btbLookup(inst.pc, target)) {
+                    branchPredictor->btbInsert(inst.pc, inst.takenTarget);
+                    resumeAt = std::max(resumeAt,
+                                        cycle + cfg.btbMissBubble);
+                    break;
+                }
+            }
+        } else if (inst.cti == isa::CtiType::Jump) {
+            acct.record(PowerEvent::BtbAccess);
+            Addr target;
+            if (!branchPredictor->btbLookup(inst.pc, target)) {
+                branchPredictor->btbInsert(inst.pc, inst.takenTarget);
+                resumeAt = std::max(resumeAt, cycle + cfg.btbMissBubble);
+                break;
+            }
+        } else if (inst.cti == isa::CtiType::Call) {
+            branchPredictor->rasPush(inst.nextPc());
+            acct.record(PowerEvent::BtbAccess);
+            Addr target;
+            if (!branchPredictor->btbLookup(inst.pc, target)) {
+                branchPredictor->btbInsert(inst.pc, inst.takenTarget);
+                resumeAt = std::max(resumeAt, cycle + cfg.btbMissBubble);
+                break;
+            }
+        } else if (inst.cti == isa::CtiType::Return) {
+            Addr predicted = branchPredictor->rasPop();
+            if (predicted != dyn.nextPc) {
+                ++coldBranchMispredicts;
+                PARROT_ASSERT(have_branch_token, "return without token");
+                stallOnToken(core, branch_token,
+                             core.config().mispredictPenalty);
+                break;
+            }
+        } else if (inst.cti == isa::CtiType::JumpInd) {
+            // Indirect jump: BTB provides the only target guess.
+            acct.record(PowerEvent::BtbAccess);
+            Addr target = 0;
+            bool hit = branchPredictor->btbLookup(inst.pc, target);
+            branchPredictor->btbInsert(inst.pc, dyn.nextPc);
+            if (!hit || target != dyn.nextPc) {
+                ++coldBranchMispredicts;
+                PARROT_ASSERT(have_branch_token, "indirect without token");
+                stallOnToken(core, branch_token,
+                             core.config().mispredictPenalty);
+                break;
+            }
+        }
+
+        if (dyn.isCti() && dyn.taken)
+            break; // taken CTI ends the fetch group
+    }
+}
+
+void
+ParrotSimulator::reapTraceCommits()
+{
+    while (!pendingTraceCommits.empty() &&
+           hotCore().retired(pendingTraceCommits.front().lastToken)) {
+        hotInstsCommitted += pendingTraceCommits.front().insts;
+        pendingTraceCommits.pop_front();
+    }
+}
+
+void
+ParrotSimulator::stepCycle()
+{
+    refillLookahead();
+    processBackground();
+
+    // Resolve pending control stalls.
+    if (pendingResolve.has_value()) {
+        if (pendingResolve->core->completed(pendingResolve->token)) {
+            resumeAt = std::max(resumeAt,
+                                cycle + pendingResolve->penalty);
+            pendingResolve.reset();
+        }
+    }
+
+    if (!pendingResolve.has_value() && cycle >= resumeAt) {
+        if (mode == Mode::Hot)
+            hotDispatchCycle();
+        else
+            coldCycle();
+    }
+
+    coldCore().tick();
+    if (splitMode)
+        hotCorePtr->tick();
+    ++cycle;
+    reapTraceCommits();
+}
+
+SimResult
+ParrotSimulator::run(std::uint64_t inst_budget, double pmax_per_cycle)
+{
+    PARROT_ASSERT(inst_budget > 0, "run: zero instruction budget");
+
+    const std::uint64_t cycle_cap = inst_budget * 40 + 200000;
+    auto committed = [&]() {
+        std::uint64_t cold = coldCore().committedInsts();
+        return cold + hotInstsCommitted;
+    };
+
+    while (committed() < inst_budget && cycle < cycle_cap)
+        stepCycle();
+
+    if (cycle >= cycle_cap)
+        PARROT_WARN("model %s on %s hit the cycle cap (possible stall)",
+                    cfg.name.c_str(), load.profile.name.c_str());
+
+    // Drain in-flight work so commit counts are consistent.
+    unsigned drain = 0;
+    while ((!coldCore().drained() ||
+            (splitMode && !hotCorePtr->drained())) &&
+           drain++ < 4096) {
+        coldCore().tick();
+        if (splitMode)
+            hotCorePtr->tick();
+        ++cycle;
+        reapTraceCommits();
+    }
+
+    // --- assemble the result ---
+    SimResult r;
+    r.model = cfg.name;
+    r.app = load.profile.name;
+    r.insts = committed();
+    r.uops = coldCore().committedUops() +
+             (splitMode ? hotCorePtr->committedUops() : 0);
+    r.cycles = cycle;
+    r.ipc = static_cast<double>(r.insts) / static_cast<double>(r.cycles);
+    r.upc = static_cast<double>(r.uops) / static_cast<double>(r.cycles);
+
+    r.uopsFromTraceCache = uopsFromTraceCacheDispatched;
+    r.uopsFromColdPipe = uopsFromColdDispatched;
+    r.coverage = (instsFromTraceCache == 0)
+        ? 0.0
+        : static_cast<double>(instsFromTraceCache) /
+              static_cast<double>(r.insts);
+
+    r.coldCondBranches = coldCondBranches;
+    r.coldBranchMispredicts = coldBranchMispredicts;
+    r.coldBranchMispredRate = coldCondBranches == 0
+        ? 0.0
+        : static_cast<double>(coldBranchMispredicts) / coldCondBranches;
+    r.tracePredictions = tracePredictionsMade;
+    r.traceMispredicts = traceMispredictsSeen;
+    r.tpLookups = tpLookupCount;
+    r.tpHits = tpHitCount;
+    r.tcMissAfterPredict = tcMissAfterPredictCount;
+    r.candidatesSeen = candidateCount;
+    r.traceMispredRate = tracePredictionsMade == 0
+        ? 0.0
+        : static_cast<double>(traceMispredictsSeen) /
+              tracePredictionsMade;
+
+    r.tracesInserted = tracesInsertedCount;
+    r.traceExecutions = traceExecutionsCount;
+    r.tracesOptimized = tracesOptimizedCount;
+    r.avgUopReduction = tracesOptimizedCount == 0
+        ? 0.0 : sumUopReduction / tracesOptimizedCount;
+    r.avgDepReduction = tracesOptimizedCount == 0
+        ? 0.0 : sumDepReduction / tracesOptimizedCount;
+    r.optimizedTraceExecutions = optimizedTraceExecs;
+    r.optimizerUtilization = tracesOptimizedCount == 0
+        ? 0.0
+        : static_cast<double>(optimizedTraceExecs) / tracesOptimizedCount;
+    r.dynamicUopReduction = hotExecOrigUops == 0
+        ? 0.0
+        : 1.0 - static_cast<double>(hotExecUops) /
+                    static_cast<double>(hotExecOrigUops);
+
+    // --- energy ---
+    power::EnergyModel cold_model(cfg.coldCore.scaling());
+    power::EnergyModel hot_model(splitMode ? cfg.hotCore.scaling()
+                                           : cfg.coldCore.scaling());
+    r.dynamicEnergy = coldAcct.dynamicEnergy(cold_model) +
+                      hotAcct.dynamicEnergy(hot_model);
+    r.energyPerCycle = r.dynamicEnergy / static_cast<double>(r.cycles);
+
+    power::LeakageModel leak;
+    leak.pmaxPerCycle = pmax_per_cycle;
+    leak.l2MegaBytes = cfg.memory.l2MegaBytes();
+    leak.coreAreaFactor = cfg.coreAreaFactor;
+    r.leakageEnergy = leak.leakageEnergy(static_cast<double>(r.cycles));
+    r.totalEnergy = r.dynamicEnergy + r.leakageEnergy;
+
+    auto cold_units = coldAcct.unitBreakdown(cold_model);
+    auto hot_units = hotAcct.unitBreakdown(hot_model);
+    for (unsigned u = 0; u < power::numPowerUnits; ++u)
+        r.unitEnergy[u] = cold_units[u] + hot_units[u];
+    r.unitEnergy[static_cast<unsigned>(power::PowerUnit::Leakage)] =
+        r.leakageEnergy;
+
+    r.cmpw = power::cubicMipsPerWatt(static_cast<double>(r.insts),
+                                     static_cast<double>(r.cycles),
+                                     r.totalEnergy);
+
+    r.l1iMissRate = hierarchy->l1i().missRatio();
+    r.l1dMissRate = hierarchy->l1d().missRatio();
+    r.l2MissRate = hierarchy->l2().missRatio();
+    return r;
+}
+
+} // namespace parrot::sim

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * The PARROT machine simulator: cold pipeline (fetch/decode/dispatch
+ * from the instruction cache), hot pipeline (trace fetch from the trace
+ * cache with atomic assert semantics), the fetch selector between them,
+ * and the background post-processing phases (trace selection, hot and
+ * blazing filtering, trace construction, dynamic optimization).
+ *
+ * Trace-driven: the committed instruction stream comes from the
+ * functional workload executor; control mispredictions are modelled by
+ * stalling dispatch until the resolving uop executes plus a refill
+ * penalty, and trace aborts additionally execute the poisoned prefix.
+ */
+
+#ifndef PARROT_SIM_SIMULATOR_HH
+#define PARROT_SIM_SIMULATOR_HH
+
+#include <deque>
+#include <memory>
+#include <optional>
+
+#include "cpu/ooo_core.hh"
+#include "frontend/branch_predictor.hh"
+#include "frontend/decoder.hh"
+#include "memory/hierarchy.hh"
+#include "optimizer/optimizer.hh"
+#include "power/account.hh"
+#include "sim/model_config.hh"
+#include "sim/result.hh"
+#include "tracecache/constructor.hh"
+#include "tracecache/filter.hh"
+#include "tracecache/predictor.hh"
+#include "tracecache/selector.hh"
+#include "tracecache/trace_cache.hh"
+#include "workload/apps.hh"
+#include "workload/executor.hh"
+#include "workload/generator.hh"
+
+namespace parrot::sim
+{
+
+/** A generated application ready to simulate (program is shareable). */
+struct Workload
+{
+    workload::AppProfile profile;
+    std::shared_ptr<workload::Program> program;
+};
+
+/** Generate (or reuse) the program for a suite entry. */
+Workload loadWorkload(const workload::SuiteEntry &entry);
+
+/**
+ * One (model, application) simulation.
+ */
+class ParrotSimulator
+{
+  public:
+    ParrotSimulator(const ModelConfig &config, const Workload &workload);
+
+    /**
+     * Simulate until the given number of macro-instructions commit.
+     * @param inst_budget committed-instruction target (> 0).
+     * @param pmax_per_cycle Pmax for the leakage formula; pass 0 to
+     *        skip leakage (used during the calibration run itself).
+     */
+    SimResult run(std::uint64_t inst_budget, double pmax_per_cycle);
+
+  private:
+    enum class Mode { Cold, Hot };
+
+    /** @name Cycle phases. @{ */
+    void stepCycle();
+    void coldCycle();
+    void hotDispatchCycle();
+    bool tryStartHotTrace();
+    void processBackground();
+    void reapTraceCommits();
+    /** @} */
+
+    /** Top up the committed-stream lookahead buffer. */
+    void refillLookahead(std::size_t target = 96);
+
+    /** Feed one committed instruction to trace selection + training. */
+    void feedSelector(const workload::DynInst &dyn);
+
+    /** Handle an emitted trace candidate (train, filter, construct). */
+    void onCandidate(const tracecache::TraceCandidate &cand);
+
+    /** Account a trace execution (blazing filter, optimizer trigger). */
+    void onTraceExecuted(tracecache::Trace &trace);
+
+    /** Record data-side events for a hierarchy access result. */
+    void recordFrontEndFetch(Addr pc);
+
+    /** Begin a misprediction-style stall resolved by a uop token. */
+    void stallOnToken(cpu::OooCore &core, cpu::UopToken token,
+                      unsigned penalty);
+
+    /** The core hot uops run on (hot core when split, else unified). */
+    cpu::OooCore &hotCore() { return splitMode ? *hotCorePtr : *coldCorePtr; }
+    cpu::OooCore &coldCore() { return *coldCorePtr; }
+
+    /** Power account for hot-side / trace-unit events. */
+    power::EnergyAccount &hotAccount()
+    {
+        return splitMode ? hotAcct : coldAcct;
+    }
+
+    ModelConfig cfg;
+    Workload load;
+
+    std::unique_ptr<workload::Executor> executor;
+    std::deque<workload::DynInst> lookahead;
+
+    std::unique_ptr<memory::Hierarchy> hierarchy;
+    power::EnergyAccount coldAcct;
+    power::EnergyAccount hotAcct; //!< used only in split mode
+    std::unique_ptr<cpu::OooCore> coldCorePtr;
+    std::unique_ptr<cpu::OooCore> hotCorePtr; //!< split mode only
+    bool splitMode = false;
+
+    std::unique_ptr<frontend::BranchPredictor> branchPredictor;
+    std::unique_ptr<frontend::Decoder> decoder;
+
+    // Trace unit (present when cfg.hasTraceCache).
+    std::unique_ptr<tracecache::TraceSelector> selector;
+    std::unique_ptr<tracecache::CounterFilter> hotFilter;
+    std::unique_ptr<tracecache::CounterFilter> blazeFilter;
+    std::unique_ptr<tracecache::TraceCache> traceCache;
+    std::unique_ptr<tracecache::TracePredictor> tracePredictor;
+    std::unique_ptr<optimizer::TraceOptimizer> traceOptimizer;
+
+    /** Split-core state tracking: which pipeline dispatched last and
+     * which architectural registers were written since the last
+     * cross-core switch (those are the values the switch mechanism of
+     * §2.3 must forward to the other core). */
+    enum class Side { None, ColdSide, HotSide };
+    Side lastSide = Side::None;
+    bool dirtySinceSwitch[isa::numArchRegs] = {};
+    unsigned dirtyCount = 0;
+
+    /** Note a register write for split-core switch accounting. */
+    void markDirty(const isa::Uop &uop);
+
+    /** Charge a cross-core switch if the dispatch side changes. */
+    void chargeSideSwitch(Side side);
+
+    // --- fetch state ---
+    Mode mode = Mode::Cold;
+    Cycle cycle = 0;
+    Cycle resumeAt = 0; //!< fetch bubble / refill end
+    struct PendingResolve
+    {
+        cpu::OooCore *core;
+        cpu::UopToken token;
+        unsigned penalty;
+    };
+    std::optional<PendingResolve> pendingResolve;
+
+    // --- active hot trace ---
+    std::shared_ptr<tracecache::Trace> activeTrace;
+    std::vector<workload::DynInst> activeWindow; //!< matched stream insts
+    std::size_t hotUopIdx = 0;
+    std::size_t hotUopLimit = 0;
+    bool hotAborted = false;
+    /** The trace fully matched except its final branch direction: it
+     * commits, but the next fetch must wait for that branch to
+     * resolve (ordinary misprediction, not an atomic abort). */
+    bool hotEndRedirect = false;
+    cpu::UopToken hotEndBranchToken = 0;
+    bool hotEndBranchSeen = false;
+    cpu::UopToken lastHotToken = 0;
+
+    // --- deferred instruction credit for atomic traces ---
+    struct TraceCommit
+    {
+        cpu::UopToken lastToken;
+        std::uint64_t insts;
+    };
+    std::deque<TraceCommit> pendingTraceCommits;
+    std::uint64_t hotInstsCommitted = 0;
+
+    // --- optimizer occupancy ---
+    struct OptJob
+    {
+        tracecache::Trace trace;
+        Cycle doneAt;
+    };
+    std::optional<OptJob> optJob;
+
+    /** Predictor context. Candidate emission lags execution by one
+     * candidate (the selector's joining stage holds one pending trace),
+     * so at the moment a trace's start address is *fetched*, the last
+     * emitted candidate is the one TWO before it in program order.
+     * Lookups therefore key on the last emitted candidate, and training
+     * keys each candidate on its predecessor's predecessor. */
+    tracecache::Tid trainPrevTid;     //!< last emitted candidate
+    tracecache::Tid trainPrevPrevTid; //!< the one before that
+
+    // --- statistics ---
+    std::uint64_t coldCondBranches = 0;
+    std::uint64_t coldBranchMispredicts = 0;
+    std::uint64_t tracePredictionsMade = 0;
+    std::uint64_t traceMispredictsSeen = 0;
+    std::uint64_t traceEndRedirects = 0;
+    std::uint64_t tpLookupCount = 0;
+    std::uint64_t tpHitCount = 0;
+    std::uint64_t tcMissAfterPredictCount = 0;
+    std::uint64_t candidateCount = 0;
+    std::uint64_t instsFromTraceCache = 0;
+    std::uint64_t uopsFromTraceCacheDispatched = 0;
+    std::uint64_t uopsFromColdDispatched = 0;
+    std::uint64_t tracesInsertedCount = 0;
+    std::uint64_t tracesOptimizedCount = 0;
+    double sumUopReduction = 0.0;
+    double sumDepReduction = 0.0;
+    std::uint64_t traceExecutionsCount = 0;
+    std::uint64_t optimizedTraceExecs = 0;
+    std::uint64_t hotExecUops = 0;
+    std::uint64_t hotExecOrigUops = 0;
+};
+
+} // namespace parrot::sim
+
+#endif // PARROT_SIM_SIMULATOR_HH

@@ -1,0 +1,30 @@
+#include "stats/stats.hh"
+
+#include <cmath>
+
+namespace parrot::stats
+{
+
+double
+geomean(const std::vector<double> &xs)
+{
+    PARROT_ASSERT(!xs.empty(), "geomean of empty vector");
+    double log_sum = 0.0;
+    for (double x : xs) {
+        PARROT_ASSERT(x > 0.0, "geomean requires positive values, got %f", x);
+        log_sum += std::log(x);
+    }
+    return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+double
+mean(const std::vector<double> &xs)
+{
+    PARROT_ASSERT(!xs.empty(), "mean of empty vector");
+    double sum = 0.0;
+    for (double x : xs)
+        sum += x;
+    return sum / static_cast<double>(xs.size());
+}
+
+} // namespace parrot::stats

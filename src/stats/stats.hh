@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Lightweight statistics package: named scalars, ratios and histograms
+ * collected into a registry, plus aggregate helpers (geometric mean)
+ * used by the benchmark harness to report per-group numbers the way the
+ * paper does.
+ */
+
+#ifndef PARROT_STATS_STATS_HH
+#define PARROT_STATS_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace parrot::stats
+{
+
+/** A named monotonically increasing scalar counter. */
+class Scalar
+{
+  public:
+    Scalar() = default;
+    explicit Scalar(std::string stat_name) : statName(std::move(stat_name)) {}
+
+    /** Increment by n (default 1). */
+    void add(Counter n = 1) { total += n; }
+
+    /** Current value. */
+    Counter value() const { return total; }
+
+    /** Reset to zero. */
+    void reset() { total = 0; }
+
+    /** Stat name (may be empty for anonymous counters). */
+    const std::string &name() const { return statName; }
+
+  private:
+    std::string statName;
+    Counter total = 0;
+};
+
+/** A numerator/denominator pair reported as a ratio. */
+class Ratio
+{
+  public:
+    Ratio() = default;
+    explicit Ratio(std::string stat_name) : statName(std::move(stat_name)) {}
+
+    /** Record one observation: hit increments both, miss only the base. */
+    void
+    sample(bool success)
+    {
+        ++denomCount;
+        if (success)
+            ++numerCount;
+    }
+
+    /** Add to numerator and denominator explicitly. */
+    void
+    add(Counter numer, Counter denom)
+    {
+        numerCount += numer;
+        denomCount += denom;
+    }
+
+    Counter numerator() const { return numerCount; }
+    Counter denominator() const { return denomCount; }
+
+    /** Ratio value; 0 when no samples have been recorded. */
+    double
+    value() const
+    {
+        return denomCount == 0
+            ? 0.0
+            : static_cast<double>(numerCount) / static_cast<double>(denomCount);
+    }
+
+    void reset() { numerCount = denomCount = 0; }
+
+    const std::string &name() const { return statName; }
+
+  private:
+    std::string statName;
+    Counter numerCount = 0;
+    Counter denomCount = 0;
+};
+
+/** A fixed-bucket histogram over [0, buckets*bucketWidth). */
+class Histogram
+{
+  public:
+    Histogram() : Histogram("", 16, 1) {}
+
+    /**
+     * @param stat_name stat name.
+     * @param num_buckets number of buckets; an extra overflow bucket is kept.
+     * @param bucket_width width of each bucket.
+     */
+    Histogram(std::string stat_name, unsigned num_buckets,
+              std::uint64_t bucket_width)
+        : statName(std::move(stat_name)),
+          counts(num_buckets + 1, 0),
+          width(bucket_width)
+    {
+        PARROT_ASSERT(num_buckets >= 1 && bucket_width >= 1,
+                      "Histogram needs at least one bucket of width >= 1");
+    }
+
+    /** Record one sample. */
+    void
+    sample(std::uint64_t v)
+    {
+        std::uint64_t idx = v / width;
+        if (idx >= counts.size() - 1)
+            idx = counts.size() - 1; // overflow bucket
+        ++counts[idx];
+        sum += v;
+        ++samples;
+        if (v > maxSeen)
+            maxSeen = v;
+    }
+
+    Counter totalSamples() const { return samples; }
+    std::uint64_t maxValue() const { return maxSeen; }
+
+    /** Mean of all samples (0 when empty). */
+    double
+    mean() const
+    {
+        return samples == 0
+            ? 0.0 : static_cast<double>(sum) / static_cast<double>(samples);
+    }
+
+    /** Count in bucket i (the last bucket collects overflow). */
+    Counter bucket(unsigned i) const { return counts.at(i); }
+
+    /**
+     * Approximate p-quantile (p in [0,1]): the upper edge of the first
+     * bucket whose cumulative count reaches p of all samples. Returns 0
+     * when empty.
+     */
+    std::uint64_t
+    percentile(double p) const
+    {
+        PARROT_ASSERT(p >= 0.0 && p <= 1.0, "percentile out of range");
+        if (samples == 0)
+            return 0;
+        const Counter target = static_cast<Counter>(
+            p * static_cast<double>(samples));
+        Counter seen = 0;
+        for (unsigned i = 0; i < counts.size(); ++i) {
+            seen += counts[i];
+            if (seen > target || (p >= 1.0 && seen == samples))
+                return (i + 1 == counts.size()) ? maxSeen
+                                                : (i + 1) * width;
+        }
+        return maxSeen;
+    }
+
+    unsigned numBuckets() const { return counts.size(); }
+    std::uint64_t bucketWidth() const { return width; }
+
+    void
+    reset()
+    {
+        std::fill(counts.begin(), counts.end(), 0);
+        sum = samples = maxSeen = 0;
+    }
+
+    const std::string &name() const { return statName; }
+
+  private:
+    std::string statName;
+    std::vector<Counter> counts;
+    std::uint64_t width;
+    std::uint64_t sum = 0;
+    Counter samples = 0;
+    std::uint64_t maxSeen = 0;
+};
+
+/**
+ * A registry of named double-valued results; the simulator publishes final
+ * metrics here and harnesses query them generically.
+ */
+class Registry
+{
+  public:
+    /** Publish (or overwrite) a named value. */
+    void set(const std::string &key, double v) { values[key] = v; }
+
+    /** True when the key has been published. */
+    bool has(const std::string &key) const { return values.count(key) > 0; }
+
+    /** Fetch a value; panics when missing (indicates a harness bug). */
+    double
+    get(const std::string &key) const
+    {
+        auto it = values.find(key);
+        PARROT_ASSERT(it != values.end(), "missing stat '%s'", key.c_str());
+        return it->second;
+    }
+
+    /** All published values, sorted by key. */
+    const std::map<std::string, double> &all() const { return values; }
+
+  private:
+    std::map<std::string, double> values;
+};
+
+/** Geometric mean of strictly positive values. @pre xs non-empty. */
+double geomean(const std::vector<double> &xs);
+
+/** Arithmetic mean. @pre xs non-empty. */
+double mean(const std::vector<double> &xs);
+
+} // namespace parrot::stats
+
+#endif // PARROT_STATS_STATS_HH

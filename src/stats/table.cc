@@ -1,0 +1,73 @@
+#include "stats/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace parrot::stats
+{
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    rows.push_back(std::move(cells));
+}
+
+std::string
+TextTable::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+TextTable::pct(double fraction, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%+.*f%%", precision, fraction * 100.0);
+    return buf;
+}
+
+std::string
+TextTable::render() const
+{
+    if (rows.empty())
+        return "";
+
+    size_t num_cols = 0;
+    for (const auto &row : rows)
+        num_cols = std::max(num_cols, row.size());
+
+    std::vector<size_t> widths(num_cols, 0);
+    for (const auto &row : rows) {
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    std::ostringstream out;
+    for (size_t r = 0; r < rows.size(); ++r) {
+        const auto &row = rows[r];
+        for (size_t c = 0; c < row.size(); ++c) {
+            // Left-align the first column, right-align the rest.
+            if (c == 0) {
+                out << row[c]
+                    << std::string(widths[c] - row[c].size(), ' ');
+            } else {
+                out << "  "
+                    << std::string(widths[c] - row[c].size(), ' ')
+                    << row[c];
+            }
+        }
+        out << '\n';
+        if (r == 0) {
+            size_t total = 0;
+            for (size_t c = 0; c < num_cols; ++c)
+                total += widths[c] + (c ? 2 : 0);
+            out << std::string(total, '-') << '\n';
+        }
+    }
+    return out.str();
+}
+
+} // namespace parrot::stats

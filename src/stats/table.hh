@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Plain-text table formatter used by benches and examples to print
+ * paper-style rows (one row per model/benchmark-group, one column per
+ * metric).
+ */
+
+#ifndef PARROT_STATS_TABLE_HH
+#define PARROT_STATS_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace parrot::stats
+{
+
+/**
+ * A simple column-aligned text table. Collect rows of strings, then
+ * render with aligned columns. The first added row is treated as the
+ * header and separated by a rule.
+ */
+class TextTable
+{
+  public:
+    /** Add a row of cells; rows may have differing lengths. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format a double with the given precision. */
+    static std::string num(double v, int precision = 3);
+
+    /** Convenience: format a value as a signed percentage ("+12.3%"). */
+    static std::string pct(double fraction, int precision = 1);
+
+    /** Render the table to a string. */
+    std::string render() const;
+
+  private:
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace parrot::stats
+
+#endif // PARROT_STATS_TABLE_HH

@@ -1,0 +1,82 @@
+#include "tracecache/constructor.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "isa/registers.hh"
+
+namespace parrot::tracecache
+{
+
+Trace
+constructTrace(const TraceCandidate &candidate)
+{
+    PARROT_ASSERT(!candidate.path.empty(), "constructTrace: empty path");
+    PARROT_ASSERT(candidate.uopCount <= maxTraceUops,
+                  "constructTrace: candidate exceeds frame capacity");
+
+    Trace trace;
+    trace.tid = candidate.tid;
+    trace.path = candidate.path;
+    trace.uops.reserve(candidate.uopCount);
+
+    const std::size_t last = candidate.path.size() - 1;
+    for (std::size_t i = 0; i < candidate.path.size(); ++i) {
+        const TraceInstRef &ref = candidate.path[i];
+        const auto &uops = ref.inst->uops;
+        for (std::size_t j = 0; j < uops.size(); ++j) {
+            TraceUop tu;
+            tu.instIdx = static_cast<std::int16_t>(i);
+            tu.uopIdx = static_cast<std::int8_t>(j);
+            if (uops[j].kind == isa::UopKind::Branch && i != last) {
+                // Internal conditional branch -> assert with the
+                // embedded direction; a dynamic mismatch aborts the
+                // whole trace. The *final* CTI stays a plain branch:
+                // no later work in this trace depends on it, so a
+                // wrong direction is an ordinary next-fetch
+                // misprediction, not an atomic abort.
+                tu.uop = isa::makeAssert(ref.taken,
+                                         ref.inst->takenTarget);
+            } else {
+                tu.uop = uops[j];
+            }
+            trace.uops.push_back(tu);
+        }
+    }
+
+    trace.originalUopCount = static_cast<std::uint16_t>(trace.uops.size());
+    trace.originalDepHeight =
+        static_cast<std::uint16_t>(computeDepHeight(trace.uops));
+    trace.depHeight = trace.originalDepHeight;
+    return trace;
+}
+
+unsigned
+computeDepHeight(const std::vector<TraceUop> &uops)
+{
+    // Longest latency-weighted path through register dependences;
+    // height[r] is the completion depth of the latest writer of r.
+    // Latency weighting (rather than uop counting) makes the metric
+    // agree with what the scheduler and SIMDifier actually optimize.
+    unsigned height[isa::numArchRegs] = {};
+    unsigned longest = 0;
+
+    for (const TraceUop &tu : uops) {
+        const isa::Uop &uop = tu.uop;
+        unsigned depth = 0;
+        RegId srcs[4];
+        unsigned n = uop.sources(srcs);
+        for (unsigned i = 0; i < n; ++i)
+            depth = std::max(depth, height[srcs[i]]);
+        depth += isa::uopLatency(uop);
+
+        if (uop.hasDst())
+            height[uop.effectiveDst()] = depth;
+        if (uop.dst2 != invalidReg)
+            height[uop.dst2] = depth;
+        longest = std::max(longest, depth);
+    }
+    return longest;
+}
+
+} // namespace parrot::tracecache

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Trace construction: turn a selected candidate (macro-instruction path
+ * with directions) into an executable atomic trace.
+ *
+ * Internal conditional branches become assert uops carrying the
+ * embedded direction (§2.3: atomicity is "manifested by assert
+ * operations"); all other uops are copied with provenance so dynamic
+ * memory addresses can be recovered from the committed stream.
+ */
+
+#ifndef PARROT_TRACECACHE_CONSTRUCTOR_HH
+#define PARROT_TRACECACHE_CONSTRUCTOR_HH
+
+#include "tracecache/selector.hh"
+#include "tracecache/trace.hh"
+
+namespace parrot::tracecache
+{
+
+/** Build an executable (unoptimized) trace from a candidate. */
+Trace constructTrace(const TraceCandidate &candidate);
+
+/**
+ * Length of the longest register-dependence chain through the uops,
+ * weighted by execution latency. Used for the paper's
+ * dependence-reduction statistics (Figure 4.9).
+ */
+unsigned computeDepHeight(const std::vector<TraceUop> &uops);
+
+} // namespace parrot::tracecache
+
+#endif // PARROT_TRACECACHE_CONSTRUCTOR_HH

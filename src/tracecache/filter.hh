@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Counter-cache filters: the gradual promotion machinery of PARROT.
+ *
+ * Both the hot filter (cold TID -> trace-cache insertion) and the
+ * blazing filter (cached trace -> optimizer) are small set-associative
+ * caches of saturating access counters keyed by TID (§2.3).
+ */
+
+#ifndef PARROT_TRACECACHE_FILTER_HH
+#define PARROT_TRACECACHE_FILTER_HH
+
+#include <vector>
+
+#include "common/bitutil.hh"
+#include "common/logging.hh"
+#include "tracecache/tid.hh"
+
+namespace parrot::tracecache
+{
+
+/** Configuration of one counter filter. */
+struct FilterConfig
+{
+    unsigned entries = 256;
+    unsigned assoc = 4;
+    unsigned threshold = 16; //!< promotion count
+
+    void
+    validate() const
+    {
+        if (entries == 0 || assoc == 0 || entries % assoc != 0)
+            PARROT_FATAL("filter: entries must be a multiple of assoc");
+        if (!isPowerOfTwo(entries / assoc))
+            PARROT_FATAL("filter: set count must be a power of two");
+        if (threshold < 1)
+            PARROT_FATAL("filter: threshold must be >= 1");
+    }
+};
+
+/**
+ * Set-associative counter cache with LRU replacement.
+ */
+class CounterFilter
+{
+  public:
+    explicit CounterFilter(const FilterConfig &config) : cfg(config)
+    {
+        cfg.validate();
+        table.resize(cfg.entries);
+        numSets = cfg.entries / cfg.assoc;
+    }
+
+    /**
+     * Record one occurrence of tid.
+     * @return the counter value after the increment (>= 1). A missing
+     *         TID allocates an entry with count 1, evicting LRU.
+     */
+    unsigned
+    bump(const Tid &tid)
+    {
+        const std::uint64_t key = tid.hash();
+        const std::uint64_t set = key & (numSets - 1);
+        Entry *way = &table[set * cfg.assoc];
+        Entry *victim = way;
+        for (unsigned w = 0; w < cfg.assoc; ++w) {
+            Entry &entry = way[w];
+            if (entry.valid && entry.key == key) {
+                entry.lru = ++stamp;
+                if (entry.count < ~0u)
+                    ++entry.count;
+                return entry.count;
+            }
+            if (!entry.valid)
+                victim = &entry;
+            else if (victim->valid && entry.lru < victim->lru)
+                victim = &entry;
+        }
+        victim->valid = true;
+        victim->key = key;
+        victim->count = 1;
+        victim->lru = ++stamp;
+        return 1;
+    }
+
+    /** Current counter value (0 when absent). No LRU update. */
+    unsigned
+    read(const Tid &tid) const
+    {
+        const std::uint64_t key = tid.hash();
+        const std::uint64_t set = key & (numSets - 1);
+        const Entry *way = &table[set * cfg.assoc];
+        for (unsigned w = 0; w < cfg.assoc; ++w) {
+            if (way[w].valid && way[w].key == key)
+                return way[w].count;
+        }
+        return 0;
+    }
+
+    /** True when the count has reached the promotion threshold. */
+    bool promoted(unsigned count) const { return count >= cfg.threshold; }
+
+    /** Reset the count for tid (after a promotion is acted upon). */
+    void
+    reset(const Tid &tid)
+    {
+        const std::uint64_t key = tid.hash();
+        const std::uint64_t set = key & (numSets - 1);
+        Entry *way = &table[set * cfg.assoc];
+        for (unsigned w = 0; w < cfg.assoc; ++w) {
+            if (way[w].valid && way[w].key == key) {
+                way[w].count = 0;
+                return;
+            }
+        }
+    }
+
+    const FilterConfig &config() const { return cfg; }
+
+  private:
+    struct Entry
+    {
+        std::uint64_t key = 0;
+        unsigned count = 0;
+        std::uint64_t lru = 0;
+        bool valid = false;
+    };
+
+    FilterConfig cfg;
+    std::vector<Entry> table;
+    std::uint64_t numSets = 1;
+    std::uint64_t stamp = 0;
+};
+
+} // namespace parrot::tracecache
+
+#endif // PARROT_TRACECACHE_FILTER_HH

@@ -1,0 +1,102 @@
+#include "tracecache/predictor.hh"
+
+namespace parrot::tracecache
+{
+
+TracePredictor::TracePredictor(const TracePredictorConfig &config)
+    : cfg(config)
+{
+    cfg.validate();
+    table.resize(cfg.numEntries);
+    anchor.resize(cfg.numEntries / 2);
+    maxConfidence = (1u << cfg.counterBits) - 1;
+}
+
+std::uint64_t
+TracePredictor::anchorIndexOf(Addr next_pc) const
+{
+    return mix64(next_pc) & (anchor.size() - 1);
+}
+
+bool
+TracePredictor::predictEntry(const Entry &entry, Addr next_pc,
+                             Tid &out) const
+{
+    if (!entry.valid || entry.value.startPc != next_pc)
+        return false;
+    if (entry.confidence < maxConfidence)
+        return false; // predict only at full confidence
+    out = entry.value;
+    return true;
+}
+
+void
+TracePredictor::trainEntry(Entry &entry, const Tid &actual)
+{
+    if (entry.valid && entry.value == actual) {
+        if (entry.confidence < maxConfidence)
+            ++entry.confidence;
+        return;
+    }
+    if (entry.valid && entry.confidence > 0) {
+        --entry.confidence; // hysteresis before displacement
+        return;
+    }
+    entry.key = 0;
+    entry.value = actual;
+    // Start well below the prediction threshold: a fresh path must
+    // recur several times before it is trusted, so alternating paths
+    // never ping-pong the hot pipeline into repeated aborts.
+    entry.confidence = maxConfidence / 2;
+    entry.valid = true;
+}
+
+std::uint64_t
+TracePredictor::indexOf(const Tid &prev, Addr next_pc) const
+{
+    // Precise context: the previous trace's full identity (start
+    // address plus direction string) distinguishes e.g. the phases of
+    // pattern-following paths; the anchor component (pc-only) catches
+    // everything this fragments.
+    std::uint64_t key = hashCombine(prev.valid() ? prev.hash() : 0,
+                                    mix64(next_pc));
+    return key & (cfg.numEntries - 1);
+}
+
+bool
+TracePredictor::predict(const Tid &prev, Addr next_pc, Tid &out)
+{
+    // The contextual component has priority; the anchor component
+    // catches targets whose predecessor varies.
+    if (predictEntry(table[indexOf(prev, next_pc)], next_pc, out) ||
+        predictEntry(anchor[anchorIndexOf(next_pc)], next_pc, out)) {
+        nPredictions.add();
+        return true;
+    }
+    return false;
+}
+
+void
+TracePredictor::train(const Tid &prev, Addr next_pc, const Tid &actual)
+{
+    trainEntry(table[indexOf(prev, next_pc)], actual);
+    trainEntry(anchor[anchorIndexOf(next_pc)], actual);
+}
+
+void
+TracePredictor::mispredict(const Tid &prev, Addr next_pc)
+{
+    // Strong negative: an abort is expensive, so a failing path must
+    // re-earn confidence over several occurrences. Paths with inherent
+    // direction variance therefore rarely run hot — the selectivity at
+    // the heart of the PARROT concept.
+    for (Entry *entry : {&table[indexOf(prev, next_pc)],
+                         &anchor[anchorIndexOf(next_pc)]}) {
+        if (!entry->valid)
+            continue;
+        entry->confidence = entry->confidence > 3
+            ? entry->confidence - 3 : 0;
+    }
+}
+
+} // namespace parrot::tracecache

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The trace predictor: predicts the next TID (start address plus the
+ * full internal branch-direction string) from the previous trace and
+ * the upcoming fetch address. A successful prediction steers fetch to
+ * the hot pipeline (§2.3's fetch selector gives it priority over the
+ * branch predictor).
+ */
+
+#ifndef PARROT_TRACECACHE_PREDICTOR_HH
+#define PARROT_TRACECACHE_PREDICTOR_HH
+
+#include <vector>
+
+#include "common/bitutil.hh"
+#include "common/logging.hh"
+#include "stats/stats.hh"
+#include "tracecache/tid.hh"
+
+namespace parrot::tracecache
+{
+
+/** Trace predictor configuration. */
+struct TracePredictorConfig
+{
+    unsigned numEntries = 2048; //!< paper: 2K entries in the TON model
+    /** Hysteresis on replacement (a new path must recur
+     * before it displaces an established prediction). */
+    unsigned counterBits = 3;
+
+    void
+    validate() const
+    {
+        if (!isPowerOfTwo(numEntries))
+            PARROT_FATAL("trace predictor entries must be a power of two");
+    }
+};
+
+/**
+ * Hybrid next-TID predictor with hysteresis: a path-contextual
+ * component (keyed by previous-trace start address + fetch address)
+ * backed by an anchor component keyed by the fetch address alone. The
+ * contextual component wins when confident; the anchor catches trace
+ * starts whose predecessor varies (e.g. procedure entries reached from
+ * many call sites).
+ */
+class TracePredictor
+{
+  public:
+    explicit TracePredictor(const TracePredictorConfig &config);
+
+    /**
+     * Predict the TID starting at next_pc following trace prev.
+     * @return true and fills out on a confident prediction.
+     */
+    bool predict(const Tid &prev, Addr next_pc, Tid &out);
+
+    /** Train with the TID that actually followed. */
+    void train(const Tid &prev, Addr next_pc, const Tid &actual);
+
+    /** Negative feedback after a trace abort: lose confidence in the
+     * prediction made for this context so fetch falls back to the cold
+     * pipeline instead of re-predicting the same wrong trace. */
+    void mispredict(const Tid &prev, Addr next_pc);
+
+    /** Lookups that produced a prediction. */
+    Counter predictions() const { return nPredictions.value(); }
+
+    const TracePredictorConfig &config() const { return cfg; }
+
+  private:
+    struct Entry
+    {
+        std::uint64_t key = 0;
+        Tid value;
+        unsigned confidence = 0;
+        bool valid = false;
+    };
+
+    std::uint64_t indexOf(const Tid &prev, Addr next_pc) const;
+    std::uint64_t anchorIndexOf(Addr next_pc) const;
+
+    /** Shared predict/train/mispredict logic on one entry. */
+    bool predictEntry(const Entry &entry, Addr next_pc, Tid &out) const;
+    void trainEntry(Entry &entry, const Tid &actual);
+
+    TracePredictorConfig cfg;
+    std::vector<Entry> table;       //!< contextual component
+    std::vector<Entry> anchor;      //!< pc-only component
+    unsigned maxConfidence;
+
+    stats::Scalar nPredictions{"tp_predictions"};
+};
+
+} // namespace parrot::tracecache
+
+#endif // PARROT_TRACECACHE_PREDICTOR_HH

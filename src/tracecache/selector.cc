@@ -1,0 +1,143 @@
+#include "tracecache/selector.hh"
+
+#include "common/logging.hh"
+
+namespace parrot::tracecache
+{
+
+void
+TraceSelector::feed(const workload::DynInst &dyn)
+{
+    const isa::MacroInst &inst = *dyn.inst;
+    const unsigned n_uops = inst.uops.size();
+
+    // Capacity cut: close before adding when the frame would overflow
+    // (this is the "extremely large basic block" escape hatch plus the
+    // normal frame limit).
+    if (!current.path.empty() &&
+        (current.uopCount + n_uops > maxTraceUops ||
+         (inst.isCondBranch() && current.tid.numDirs >= 64))) {
+        closeCurrent();
+    }
+
+    if (current.path.empty()) {
+        current.tid.startPc = inst.pc;
+        contextCounter = 0;
+    }
+
+    current.path.push_back(TraceInstRef{&inst, dyn.taken});
+    current.uopCount += n_uops;
+    if (inst.isCondBranch())
+        current.tid.pushDir(dyn.taken);
+
+    bool terminate = false;
+    switch (inst.cti) {
+      case isa::CtiType::None:
+        break;
+      case isa::CtiType::CondBranch:
+        // Backward-taken branches cut traces at iteration boundaries.
+        if (dyn.taken && inst.takenTarget <= inst.pc)
+            terminate = true;
+        break;
+      case isa::CtiType::Jump:
+        break; // traces extend over unconditional direct jumps
+      case isa::CtiType::JumpInd:
+        terminate = true; // indirect jumps always terminate
+        break;
+      case isa::CtiType::Call:
+        ++contextCounter;
+        break;
+      case isa::CtiType::Return:
+        if (contextCounter > 0) {
+            --contextCounter; // inlined return: target is implicit
+        } else {
+            terminate = true; // exits the outermost context
+        }
+        break;
+    }
+
+    if (terminate)
+        closeCurrent();
+}
+
+void
+TraceSelector::closeCurrent()
+{
+    if (current.path.empty())
+        return;
+
+    TraceCandidate unit = std::move(current);
+    current = TraceCandidate{};
+
+    if (hasPending) {
+        const bool fits =
+            pending.uopCount + unit.uopCount <= maxTraceUops &&
+            pending.tid.numDirs + unit.tid.numDirs <= 64;
+        if (fits && unitMatchesPending(unit)) {
+            // Join: append another identical iteration (unrolling).
+            for (const auto &ref : unit.path)
+                pending.path.push_back(ref);
+            for (unsigned d = 0; d < unit.tid.numDirs; ++d)
+                pending.tid.pushDir((unit.tid.dirBits >> d) & 1);
+            pending.uopCount += unit.uopCount;
+            ++pending.unrollFactor;
+            return;
+        }
+        emitPending();
+    }
+
+    pending = std::move(unit);
+    pendingUnitInsts = pending.path.size();
+    pendingUnitDirs = pending.tid.numDirs;
+    pendingUnitUops = pending.uopCount;
+    hasPending = true;
+}
+
+bool
+TraceSelector::unitMatchesPending(const TraceCandidate &unit) const
+{
+    if (unit.path.size() != pendingUnitInsts ||
+        unit.tid.numDirs != pendingUnitDirs ||
+        unit.uopCount != pendingUnitUops ||
+        unit.tid.startPc != pending.tid.startPc) {
+        return false;
+    }
+    for (unsigned i = 0; i < pendingUnitInsts; ++i) {
+        if (unit.path[i].inst != pending.path[i].inst ||
+            unit.path[i].taken != pending.path[i].taken) {
+            return false;
+        }
+    }
+    return true;
+}
+
+void
+TraceSelector::emitPending()
+{
+    if (!hasPending)
+        return;
+    ready.push_back(std::move(pending));
+    hasPending = false;
+    ++nEmitted;
+}
+
+bool
+TraceSelector::pop(TraceCandidate &out)
+{
+    if (ready.empty())
+        return false;
+    out = std::move(ready.front());
+    ready.pop_front();
+    return true;
+}
+
+void
+TraceSelector::flush()
+{
+    closeCurrent();
+    emitPending();
+    current = TraceCandidate{};
+    contextCounter = 0;
+}
+
+} // namespace parrot::tracecache

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Deterministic trace selection (§2.2 of the paper).
+ *
+ * The selector watches the committed instruction stream and carves it
+ * into trace candidates using the paper's criteria:
+ *   - capacity limit of 64 uops per frame;
+ *   - traces terminate on CTIs (complete basic blocks), except when an
+ *     extremely large block forces a capacity cut;
+ *   - indirect jumps terminate traces; RETURNs terminate only when they
+ *     exit the outermost procedure context entered within the trace
+ *     (tracked by a context counter — the procedure-inlining effect);
+ *   - backward-taken branches terminate traces (loop iteration cuts);
+ *   - consecutive identical traces are joined up to capacity (the
+ *     loop-unrolling effect).
+ */
+
+#ifndef PARROT_TRACECACHE_SELECTOR_HH
+#define PARROT_TRACECACHE_SELECTOR_HH
+
+#include <deque>
+#include <vector>
+
+#include "workload/dyninst.hh"
+#include "tracecache/trace.hh"
+
+namespace parrot::tracecache
+{
+
+/** A selected (not yet constructed) trace candidate. */
+struct TraceCandidate
+{
+    Tid tid;
+    std::vector<TraceInstRef> path;
+    unsigned uopCount = 0;
+    unsigned unrollFactor = 1; //!< how many identical units were joined
+};
+
+/**
+ * Streaming trace selector. Feed committed instructions in order; pop
+ * completed candidates (emission lags by one candidate because of the
+ * joining rule).
+ */
+class TraceSelector
+{
+  public:
+    TraceSelector() = default;
+
+    /** Observe one committed instruction. */
+    void feed(const workload::DynInst &dyn);
+
+    /** Pop the next completed candidate; false when none is ready. */
+    bool pop(TraceCandidate &out);
+
+    /** Flush any partially built state (e.g. at end of simulation). */
+    void flush();
+
+    /** Candidates emitted so far. */
+    std::uint64_t emitted() const { return nEmitted; }
+
+  private:
+    /** Close the in-progress trace and run the joining stage. */
+    void closeCurrent();
+
+    /** Emit the pending (possibly joined) candidate to the queue. */
+    void emitPending();
+
+    /** True when `unit` is a repetition of pending's base unit. */
+    bool unitMatchesPending(const TraceCandidate &unit) const;
+
+    TraceCandidate current;
+    int contextCounter = 0;
+
+    bool hasPending = false;
+    TraceCandidate pending;
+    unsigned pendingUnitInsts = 0; //!< path length of the base unit
+    unsigned pendingUnitDirs = 0;
+    unsigned pendingUnitUops = 0;
+
+    std::deque<TraceCandidate> ready;
+    std::uint64_t nEmitted = 0;
+};
+
+} // namespace parrot::tracecache
+
+#endif // PARROT_TRACECACHE_SELECTOR_HH

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Trace identifiers (TIDs).
+ *
+ * Per §2.2 of the paper, the deterministic selection criteria let a
+ * unique trace be identified by its starting address plus the sequence
+ * of taken/not-taken directions of its internal conditional branches
+ * (the only indirect CTI inside a trace is an inlined RETURN, whose
+ * target is implicit in the trace context).
+ */
+
+#ifndef PARROT_TRACECACHE_TID_HH
+#define PARROT_TRACECACHE_TID_HH
+
+#include <cstdint>
+
+#include "common/bitutil.hh"
+#include "common/types.hh"
+
+namespace parrot::tracecache
+{
+
+/** Compact trace identifier: start address + branch-direction string. */
+struct Tid
+{
+    Addr startPc = 0;
+    std::uint64_t dirBits = 0; //!< LSB-first conditional directions
+    std::uint8_t numDirs = 0;  //!< number of valid direction bits
+
+    bool
+    operator==(const Tid &other) const
+    {
+        return startPc == other.startPc && dirBits == other.dirBits &&
+               numDirs == other.numDirs;
+    }
+
+    bool operator!=(const Tid &other) const { return !(*this == other); }
+
+    /** True for the default-constructed "no trace" value. */
+    bool valid() const { return startPc != 0; }
+
+    /** Well-distributed hash for indexing filter/predictor tables. */
+    std::uint64_t
+    hash() const
+    {
+        return hashCombine(hashCombine(mix64(startPc), dirBits), numDirs);
+    }
+
+    /** Append one direction bit (caller enforces the 64-bit cap). */
+    void
+    pushDir(bool taken)
+    {
+        dirBits |= (taken ? 1ull : 0ull) << numDirs;
+        ++numDirs;
+    }
+};
+
+} // namespace parrot::tracecache
+
+#endif // PARROT_TRACECACHE_TID_HH

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The stored trace: a macro-instruction path plus its executable
+ * (possibly optimized) uop sequence with atomic assert semantics.
+ */
+
+#ifndef PARROT_TRACECACHE_TRACE_HH
+#define PARROT_TRACECACHE_TRACE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/inst.hh"
+#include "tracecache/tid.hh"
+
+namespace parrot::tracecache
+{
+
+/** Maximum uops in one trace frame (§2.2: capacity limitation). */
+inline constexpr unsigned maxTraceUops = 64;
+
+/** One step of the trace's macro-instruction path. */
+struct TraceInstRef
+{
+    const isa::MacroInst *inst = nullptr;
+    bool taken = false; //!< embedded direction for CTIs
+};
+
+/**
+ * One executable uop of a trace with provenance back to the macro
+ * instruction it came from (needed to recover dynamic memory addresses
+ * from the committed stream and to account per-instruction work).
+ */
+struct TraceUop
+{
+    isa::Uop uop;
+    std::int16_t instIdx = -1; //!< index into Trace::path
+    std::int8_t uopIdx = -1;   //!< uop index within that instruction
+};
+
+/**
+ * A constructed trace. The path records the original instructions and
+ * directions; uops is what the hot pipeline actually executes —
+ * internal conditional branches appear as assert uops.
+ */
+struct Trace
+{
+    Tid tid;
+    std::vector<TraceInstRef> path;
+    std::vector<TraceUop> uops;
+
+    bool optimized = false;
+    std::uint32_t execCount = 0;       //!< completed hot executions
+    std::uint32_t abortCount = 0;      //!< assert-failure aborts
+    std::uint16_t originalUopCount = 0; //!< before optimization
+    std::uint16_t originalDepHeight = 0;
+    std::uint16_t depHeight = 0;
+
+    /** Number of macro-instructions on the path. */
+    unsigned numInsts() const { return path.size(); }
+
+    /** Number of executable uops. */
+    unsigned numUops() const { return uops.size(); }
+
+    /** Uop reduction achieved by optimization, in [0,1). */
+    double
+    uopReduction() const
+    {
+        if (originalUopCount == 0)
+            return 0.0;
+        return 1.0 - static_cast<double>(uops.size()) / originalUopCount;
+    }
+};
+
+} // namespace parrot::tracecache
+
+#endif // PARROT_TRACECACHE_TRACE_HH

@@ -1,0 +1,110 @@
+#include "tracecache/trace_cache.hh"
+
+namespace parrot::tracecache
+{
+
+TraceCache::TraceCache(const TraceCacheConfig &config) : cfg(config)
+{
+    cfg.validate();
+    table.resize(cfg.numEntries);
+    numSets = cfg.numEntries / cfg.assoc;
+}
+
+std::shared_ptr<Trace>
+TraceCache::lookup(const Tid &tid)
+{
+    const std::uint64_t key = tid.hash();
+    const std::uint64_t set = key & (numSets - 1);
+    Entry *way = &table[set * cfg.assoc];
+    for (unsigned w = 0; w < cfg.assoc; ++w) {
+        Entry &entry = way[w];
+        if (entry.trace && entry.key == key && entry.trace->tid == tid) {
+            entry.lru = ++stamp;
+            hitRatio.sample(true);
+            return entry.trace;
+        }
+    }
+    hitRatio.sample(false);
+    return nullptr;
+}
+
+const Trace *
+TraceCache::peek(const Tid &tid) const
+{
+    const std::uint64_t key = tid.hash();
+    const std::uint64_t set = key & (numSets - 1);
+    const Entry *way = &table[set * cfg.assoc];
+    for (unsigned w = 0; w < cfg.assoc; ++w) {
+        const Entry &entry = way[w];
+        if (entry.trace && entry.key == key && entry.trace->tid == tid)
+            return entry.trace.get();
+    }
+    return nullptr;
+}
+
+void
+TraceCache::insert(Trace trace)
+{
+    const std::uint64_t key = trace.tid.hash();
+    const std::uint64_t set = key & (numSets - 1);
+    Entry *way = &table[set * cfg.assoc];
+
+    // Replace an existing entry with the same TID (optimized rewrite).
+    for (unsigned w = 0; w < cfg.assoc; ++w) {
+        Entry &entry = way[w];
+        if (entry.trace && entry.key == key && entry.trace->tid == trace.tid) {
+            if (trace.optimized)
+                nOptReplaced.add();
+            // Replace the object, not its contents: in-flight readers
+            // keep their shared_ptr to the old version.
+            entry.trace = std::make_shared<Trace>(std::move(trace));
+            entry.lru = ++stamp;
+            nInsertions.add();
+            return;
+        }
+    }
+
+    Entry *victim = way;
+    for (unsigned w = 0; w < cfg.assoc; ++w) {
+        Entry &entry = way[w];
+        if (!entry.trace) {
+            victim = &entry;
+            break;
+        }
+        if (victim->trace && entry.lru < victim->lru)
+            victim = &entry;
+    }
+    if (victim->trace)
+        nEvictions.add();
+    victim->trace = std::make_shared<Trace>(std::move(trace));
+    victim->key = key;
+    victim->lru = ++stamp;
+    nInsertions.add();
+}
+
+void
+TraceCache::remove(const Tid &tid)
+{
+    const std::uint64_t key = tid.hash();
+    const std::uint64_t set = key & (numSets - 1);
+    Entry *way = &table[set * cfg.assoc];
+    for (unsigned w = 0; w < cfg.assoc; ++w) {
+        Entry &entry = way[w];
+        if (entry.trace && entry.key == key && entry.trace->tid == tid) {
+            entry.trace.reset();
+            nEvictions.add();
+            return;
+        }
+    }
+}
+
+unsigned
+TraceCache::occupancy() const
+{
+    unsigned n = 0;
+    for (const auto &entry : table)
+        n += (entry.trace != nullptr);
+    return n;
+}
+
+} // namespace parrot::tracecache

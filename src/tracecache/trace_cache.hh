@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The decoded, optimized trace cache: a set-associative store of trace
+ * frames keyed by TID.
+ */
+
+#ifndef PARROT_TRACECACHE_TRACE_CACHE_HH
+#define PARROT_TRACECACHE_TRACE_CACHE_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/bitutil.hh"
+#include "common/logging.hh"
+#include "stats/stats.hh"
+#include "tracecache/trace.hh"
+
+namespace parrot::tracecache
+{
+
+/** Trace-cache geometry (each entry holds one <=64-uop frame). */
+struct TraceCacheConfig
+{
+    unsigned numEntries = 512;
+    unsigned assoc = 4;
+
+    void
+    validate() const
+    {
+        if (numEntries == 0 || assoc == 0 || numEntries % assoc != 0)
+            PARROT_FATAL("trace cache: entries must be multiple of assoc");
+        if (!isPowerOfTwo(numEntries / assoc))
+            PARROT_FATAL("trace cache: set count must be a power of two");
+    }
+};
+
+/**
+ * Set-associative trace storage with LRU replacement.
+ */
+class TraceCache
+{
+  public:
+    explicit TraceCache(const TraceCacheConfig &config);
+
+    /**
+     * Look up a trace by TID; updates LRU on hit.
+     * @return the stored trace or nullptr. The shared pointer keeps an
+     *         in-flight trace alive across evictions and rewrites.
+     */
+    std::shared_ptr<Trace> lookup(const Tid &tid);
+
+    /** Probe without LRU update. */
+    const Trace *peek(const Tid &tid) const;
+
+    /** Insert (or replace) a trace; evicts the set's LRU entry. */
+    void insert(Trace trace);
+
+    /** Remove a trace (e.g. one that keeps aborting). No-op on miss. */
+    void remove(const Tid &tid);
+
+    /** Number of currently stored traces. */
+    unsigned occupancy() const;
+
+    /** @name Statistics. @{ */
+    Counter lookups() const { return hitRatio.denominator(); }
+    Counter hits() const { return hitRatio.numerator(); }
+    Counter insertions() const { return nInsertions.value(); }
+    Counter evictions() const { return nEvictions.value(); }
+    Counter optimizedReplacements() const { return nOptReplaced.value(); }
+    /** @} */
+
+    const TraceCacheConfig &config() const { return cfg; }
+
+    /** Visit every stored trace (stats/debug). */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (const auto &entry : table) {
+            if (entry.trace)
+                fn(*entry.trace);
+        }
+    }
+
+  private:
+    struct Entry
+    {
+        std::shared_ptr<Trace> trace;
+        std::uint64_t key = 0;
+        std::uint64_t lru = 0;
+    };
+
+    TraceCacheConfig cfg;
+    std::vector<Entry> table;
+    std::uint64_t numSets = 1;
+    std::uint64_t stamp = 0;
+
+    stats::Ratio hitRatio{"tc_hits"};
+    stats::Scalar nInsertions{"tc_insertions"};
+    stats::Scalar nEvictions{"tc_evictions"};
+    stats::Scalar nOptReplaced{"tc_opt_replacements"};
+};
+
+} // namespace parrot::tracecache
+
+#endif // PARROT_TRACECACHE_TRACE_CACHE_HH

@@ -1,0 +1,378 @@
+#include "workload/apps.hh"
+
+#include <algorithm>
+
+#include "common/bitutil.hh"
+#include "common/logging.hh"
+#include "common/random.hh"
+
+namespace parrot::workload
+{
+
+namespace
+{
+
+/** Deterministic per-app seed derived from the application name. */
+std::uint64_t
+nameSeed(const std::string &name)
+{
+    std::uint64_t h = 0x51ed270b0a5e3ull;
+    for (char c : name)
+        h = hashCombine(h, static_cast<std::uint64_t>(c));
+    return h | 1;
+}
+
+/** Apply a deterministic +-jitter of the given relative width. */
+double
+jitter(Rng &rng, double v, double rel)
+{
+    return v * (1.0 + rel * (rng.uniform() * 2.0 - 1.0));
+}
+
+/** Clamp helper for post-jitter probabilities. */
+double
+clamp01(double v)
+{
+    return std::clamp(v, 0.0, 0.98);
+}
+
+/** Base profile for a group; per-app jitter personalizes it. */
+AppProfile
+groupTemplate(BenchGroup g)
+{
+    AppProfile p;
+    p.group = g;
+    switch (g) {
+      case BenchGroup::SpecInt:
+        p.numHotProcs = 3;
+        p.numColdProcs = 30;
+        p.blocksPerProc = 14;
+        p.avgBlockInsts = 5.0;
+        p.avgInstBytes = 3.2;
+        p.hotness = 0.87;
+        p.branchBias = 0.78;
+        p.patternFraction = 0.25;
+        p.loopFraction = 0.50;
+        p.avgLoopTrips = 14.0;
+        p.loopTripJitter = 0.22;
+        p.steadyBranchFraction = 0.78;
+        p.callFraction = 0.08;
+        p.indirectFraction = 0.02;
+        p.loadRatio = 0.24;
+        p.storeRatio = 0.11;
+        p.fpRatio = 0.0;
+        p.mulDivRatio = 0.03;
+        p.dataKb = 128.0;
+        p.strideRatio = 0.60;
+        p.pointerChaseRatio = 0.06;
+        p.ilp = 2.6;
+        p.deadCodeRatio = 0.04;
+        p.constChainRatio = 0.04;
+        p.trivialOpRatio = 0.03;
+        p.simdPairRatio = 0.01;
+        break;
+      case BenchGroup::SpecFp:
+        p.numHotProcs = 3;
+        p.numColdProcs = 14;
+        p.blocksPerProc = 10;
+        p.avgBlockInsts = 8.0;
+        p.avgInstBytes = 4.0;
+        p.hotness = 0.95;
+        p.branchBias = 0.95;
+        p.patternFraction = 0.60;
+        p.loopFraction = 0.70;
+        p.avgLoopTrips = 48.0;
+        p.loopTripJitter = 0.05;
+        p.steadyBranchFraction = 0.92;
+        p.callFraction = 0.03;
+        p.indirectFraction = 0.002;
+        p.loadRatio = 0.26;
+        p.storeRatio = 0.10;
+        p.fpRatio = 0.50;
+        p.mulDivRatio = 0.02;
+        p.dataKb = 1024.0;
+        p.strideRatio = 0.93;
+        p.pointerChaseRatio = 0.01;
+        p.ilp = 3.6;
+        p.deadCodeRatio = 0.04;
+        p.constChainRatio = 0.03;
+        p.trivialOpRatio = 0.02;
+        p.simdPairRatio = 0.10;
+        break;
+      case BenchGroup::Office:
+        p.numHotProcs = 3;
+        p.numColdProcs = 36;
+        p.blocksPerProc = 16;
+        p.avgBlockInsts = 5.5;
+        p.avgInstBytes = 3.4;
+        p.hotness = 0.87;
+        p.branchBias = 0.82;
+        p.patternFraction = 0.30;
+        p.loopFraction = 0.48;
+        p.avgLoopTrips = 16.0;
+        p.loopTripJitter = 0.18;
+        p.steadyBranchFraction = 0.80;
+        p.callFraction = 0.10;
+        p.indirectFraction = 0.02;
+        p.loadRatio = 0.25;
+        p.storeRatio = 0.12;
+        p.fpRatio = 0.02;
+        p.mulDivRatio = 0.02;
+        p.dataKb = 192.0;
+        p.strideRatio = 0.65;
+        p.pointerChaseRatio = 0.05;
+        p.ilp = 2.6;
+        p.deadCodeRatio = 0.045;
+        p.constChainRatio = 0.045;
+        p.trivialOpRatio = 0.03;
+        p.simdPairRatio = 0.02;
+        break;
+      case BenchGroup::Multimedia:
+        p.numHotProcs = 3;
+        p.numColdProcs = 18;
+        p.blocksPerProc = 12;
+        p.avgBlockInsts = 7.0;
+        p.avgInstBytes = 3.8;
+        p.hotness = 0.93;
+        p.branchBias = 0.88;
+        p.patternFraction = 0.50;
+        p.loopFraction = 0.68;
+        p.avgLoopTrips = 30.0;
+        p.loopTripJitter = 0.08;
+        p.steadyBranchFraction = 0.85;
+        p.callFraction = 0.05;
+        p.indirectFraction = 0.01;
+        p.loadRatio = 0.24;
+        p.storeRatio = 0.12;
+        p.fpRatio = 0.30;
+        p.mulDivRatio = 0.08;
+        p.dataKb = 256.0;
+        p.strideRatio = 0.85;
+        p.pointerChaseRatio = 0.02;
+        p.ilp = 3.4;
+        p.deadCodeRatio = 0.045;
+        p.constChainRatio = 0.04;
+        p.trivialOpRatio = 0.025;
+        p.simdPairRatio = 0.08;
+        break;
+      case BenchGroup::DotNet:
+        p.numHotProcs = 3;
+        p.numColdProcs = 24;
+        p.blocksPerProc = 12;
+        p.avgBlockInsts = 5.0;
+        p.avgInstBytes = 3.3;
+        p.hotness = 0.88;
+        p.branchBias = 0.80;
+        p.patternFraction = 0.35;
+        p.loopFraction = 0.55;
+        p.avgLoopTrips = 18.0;
+        p.loopTripJitter = 0.16;
+        p.steadyBranchFraction = 0.78;
+        p.callFraction = 0.12;
+        p.indirectFraction = 0.03;
+        p.loadRatio = 0.25;
+        p.storeRatio = 0.11;
+        p.fpRatio = 0.15;
+        p.mulDivRatio = 0.04;
+        p.dataKb = 192.0;
+        p.strideRatio = 0.65;
+        p.pointerChaseRatio = 0.05;
+        p.ilp = 2.8;
+        p.deadCodeRatio = 0.06;   // JIT-compiled code leaves more slack
+        p.constChainRatio = 0.055;
+        p.trivialOpRatio = 0.035;
+        p.simdPairRatio = 0.025;
+        break;
+      default:
+        PARROT_PANIC("groupTemplate: bad group");
+    }
+    return p;
+}
+
+/** Build one application: group template + deterministic jitter. */
+SuiteEntry
+makeApp(const std::string &name, BenchGroup g)
+{
+    AppProfile p = groupTemplate(g);
+    p.name = name;
+    p.seed = nameSeed(name);
+    Rng rng(p.seed ^ 0x5eedf00dull);
+
+    p.blocksPerProc = std::max(6, static_cast<int>(
+        jitter(rng, p.blocksPerProc, 0.25)));
+    p.avgBlockInsts = std::clamp(jitter(rng, p.avgBlockInsts, 0.2),
+                                 3.0, 14.0);
+    p.hotness = std::clamp(jitter(rng, p.hotness, 0.06), 0.5, 0.97);
+    p.branchBias = std::clamp(jitter(rng, p.branchBias, 0.06), 0.55, 0.97);
+    p.patternFraction = clamp01(jitter(rng, p.patternFraction, 0.2));
+    p.loopFraction = clamp01(jitter(rng, p.loopFraction, 0.15));
+    p.avgLoopTrips = std::max(2.0, jitter(rng, p.avgLoopTrips, 0.3));
+    p.loadRatio = std::clamp(jitter(rng, p.loadRatio, 0.12), 0.05, 0.4);
+    p.storeRatio = std::clamp(jitter(rng, p.storeRatio, 0.12), 0.02, 0.25);
+    p.fpRatio = clamp01(jitter(rng, p.fpRatio, 0.2));
+    p.dataKb = std::clamp(jitter(rng, p.dataKb, 0.5), 16.0, 8192.0);
+    p.strideRatio = clamp01(jitter(rng, p.strideRatio, 0.15));
+    p.pointerChaseRatio = clamp01(jitter(rng, p.pointerChaseRatio, 0.3));
+    p.ilp = std::clamp(jitter(rng, p.ilp, 0.2), 1.2, 4.5);
+    p.deadCodeRatio = clamp01(jitter(rng, p.deadCodeRatio, 0.25));
+    p.constChainRatio = clamp01(jitter(rng, p.constChainRatio, 0.25));
+    p.trivialOpRatio = clamp01(jitter(rng, p.trivialOpRatio, 0.25));
+    p.simdPairRatio = clamp01(jitter(rng, p.simdPairRatio, 0.25));
+
+    SuiteEntry entry;
+    entry.profile = p;
+    entry.defaultInstBudget = 300000;
+    return entry;
+}
+
+/** Per-app flavor adjustments for the notable applications. */
+void
+personalize(AppProfile &p)
+{
+    if (p.name == "gcc") {
+        // Huge static footprint, comparatively flat profile.
+        p.numColdProcs = 45;
+        p.blocksPerProc = 20;
+        p.hotness = 0.74;
+        p.avgLoopTrips = 8.0;
+    } else if (p.name == "perlbench") {
+        // Killer app: interpreter dispatch loop — very hot, branchy,
+        // rich in removable work once traces linearize the dispatch.
+        p.hotness = 0.93;
+        p.avgLoopTrips = 20.0;
+        p.indirectFraction = 0.02;
+        p.deadCodeRatio = 0.08;
+        p.constChainRatio = 0.08;
+        p.trivialOpRatio = 0.05;
+    } else if (p.name == "swim") {
+        // The paper's peak-power application: wide FP loops streaming
+        // through a large working set.
+        p.fpRatio = 0.60;
+        p.dataKb = 4096.0;
+        p.avgLoopTrips = 96.0;
+        p.hotness = 0.97;
+        p.simdPairRatio = 0.13;
+        p.ilp = 3.6;
+    } else if (p.name == "wupwise") {
+        // Killer app: dense FP kernels, massive SIMD/fusion headroom.
+        p.hotness = 0.96;
+        p.avgLoopTrips = 64.0;
+        p.simdPairRatio = 0.14;
+        p.deadCodeRatio = 0.07;
+        p.constChainRatio = 0.06;
+        p.ilp = 3.4;
+    } else if (p.name == "flash") {
+        // Killer app: multimedia interpreter with hot render kernels.
+        p.hotness = 0.95;
+        p.avgLoopTrips = 40.0;
+        p.deadCodeRatio = 0.09;
+        p.constChainRatio = 0.075;
+        p.trivialOpRatio = 0.055;
+        p.simdPairRatio = 0.11;
+    } else if (p.name == "art") {
+        p.dataKb = 3072.0;  // cache-hostile neural simulation
+        p.strideRatio = 0.6;
+    } else if (p.name == "crafty") {
+        p.mulDivRatio = 0.05; // bitboard population work
+        p.ilp = 2.4;
+    } else if (p.name == "vpr" || p.name == "twolf") {
+        p.pointerChaseRatio = 0.10; // placement graph walking
+    } else if (p.name == "virusscan") {
+        p.loadRatio = 0.30; // scanning streams
+        p.strideRatio = 0.85;
+    }
+}
+
+const char *const specIntNames[] = {
+    "bzip", "crafty", "eon", "gap", "gcc", "gzip", "parser", "perlbench",
+    "twolf", "vortex", "vpr",
+};
+const char *const specFpNames[] = {
+    "ammp", "apsi", "art", "equake", "facerec", "fma3d", "lucas", "mesa",
+    "sixtrack", "swim", "wupwise",
+};
+const char *const officeNames[] = {
+    "excel", "office", "powerpoint", "virusscan", "winzip", "word",
+};
+const char *const multimediaNames[] = {
+    "flash", "photoshop", "dragon", "lightwave", "quake3",
+    "3dsmax-light", "3dsmax-aniso", "3dsmax-raster", "3dsmax-geom",
+    "flask-mpeg4-a", "flask-mpeg4-b",
+};
+const char *const dotnetNames[] = {
+    "dotnet-image", "dotnet-num-a", "dotnet-num-b", "dotnet-phong-a",
+    "dotnet-phong-b",
+};
+
+void
+appendGroup(std::vector<SuiteEntry> &out, BenchGroup g,
+            const char *const *names, std::size_t count)
+{
+    for (std::size_t i = 0; i < count; ++i) {
+        SuiteEntry entry = makeApp(names[i], g);
+        personalize(entry.profile);
+        entry.profile.validate();
+        out.push_back(std::move(entry));
+    }
+}
+
+} // namespace
+
+std::vector<SuiteEntry>
+fullSuite()
+{
+    std::vector<SuiteEntry> out;
+    appendGroup(out, BenchGroup::SpecInt, specIntNames,
+                std::size(specIntNames));
+    appendGroup(out, BenchGroup::SpecFp, specFpNames,
+                std::size(specFpNames));
+    appendGroup(out, BenchGroup::Office, officeNames,
+                std::size(officeNames));
+    appendGroup(out, BenchGroup::Multimedia, multimediaNames,
+                std::size(multimediaNames));
+    appendGroup(out, BenchGroup::DotNet, dotnetNames,
+                std::size(dotnetNames));
+    return out;
+}
+
+std::vector<SuiteEntry>
+groupSuite(BenchGroup group)
+{
+    std::vector<SuiteEntry> out;
+    for (auto &entry : fullSuite()) {
+        if (entry.profile.group == group)
+            out.push_back(std::move(entry));
+    }
+    return out;
+}
+
+std::vector<SuiteEntry>
+smallSuite()
+{
+    static const char *const names[] = {
+        "gcc", "perlbench", "swim", "wupwise", "word", "flash",
+        "dotnet-num-a",
+    };
+    std::vector<SuiteEntry> out;
+    for (const char *name : names)
+        out.push_back(findApp(name));
+    return out;
+}
+
+SuiteEntry
+findApp(const std::string &name)
+{
+    for (auto &entry : fullSuite()) {
+        if (entry.profile.name == name)
+            return entry;
+    }
+    PARROT_FATAL("unknown application '%s'", name.c_str());
+}
+
+std::vector<SuiteEntry>
+killerApps()
+{
+    return {findApp("flash"), findApp("wupwise"), findApp("perlbench")};
+}
+
+} // namespace parrot::workload

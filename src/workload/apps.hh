@@ -1,0 +1,38 @@
+/**
+ * @file
+ * The benchmark suite: the paper's 44 applications in five groups,
+ * expressed as calibrated AppProfiles for the synthetic generator.
+ */
+
+#ifndef PARROT_WORKLOAD_APPS_HH
+#define PARROT_WORKLOAD_APPS_HH
+
+#include <string>
+#include <vector>
+
+#include "workload/profile.hh"
+
+namespace parrot::workload
+{
+
+/** The full 44-application suite, grouped as in the paper (§3.4). */
+std::vector<SuiteEntry> fullSuite();
+
+/** Only the applications of one group. */
+std::vector<SuiteEntry> groupSuite(BenchGroup group);
+
+/**
+ * A reduced suite (a few representative apps per group) for quick runs
+ * and tests.
+ */
+std::vector<SuiteEntry> smallSuite();
+
+/** Look up one application by name; fatal()s when unknown. */
+SuiteEntry findApp(const std::string &name);
+
+/** The paper's three "killer applications": flash, wupwise, perlbench. */
+std::vector<SuiteEntry> killerApps();
+
+} // namespace parrot::workload
+
+#endif // PARROT_WORKLOAD_APPS_HH

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * The dynamic-instruction record flowing from the workload executor into
+ * the timing simulator (the "trace" of trace-driven simulation).
+ */
+
+#ifndef PARROT_WORKLOAD_DYNINST_HH
+#define PARROT_WORKLOAD_DYNINST_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hh"
+#include "isa/inst.hh"
+
+namespace parrot::workload
+{
+
+/**
+ * One committed macro-instruction with its resolved dynamic behaviour.
+ *
+ * The static payload (uops, length, CTI class) is reached through the
+ * inst pointer, which stays valid for the lifetime of the Program.
+ */
+struct DynInst
+{
+    const isa::MacroInst *inst = nullptr;
+
+    /** Dynamic sequence number (0-based). */
+    std::uint64_t seq = 0;
+
+    /** Resolved direction for conditional CTIs; true for taken CTIs. */
+    bool taken = false;
+
+    /** Address of the next dynamic instruction. */
+    Addr nextPc = 0;
+
+    /** Per-uop effective addresses (valid for Load/Store uops). */
+    std::array<Addr, isa::maxUopsPerInst> memAddr = {};
+
+    Addr pc() const { return inst->pc; }
+    bool isCti() const { return inst->isCti(); }
+    unsigned numUops() const { return inst->uops.size(); }
+};
+
+} // namespace parrot::workload
+
+#endif // PARROT_WORKLOAD_DYNINST_HH

@@ -1,0 +1,216 @@
+#include "workload/executor.hh"
+
+#include "common/logging.hh"
+
+namespace parrot::workload
+{
+
+Executor::Executor(const Program &program, const AppProfile &profile)
+    : prog(program), prof(profile), rng(profile.seed ^ 0xabcdef123456ull)
+{
+    PARROT_ASSERT(!prog.procs.empty(), "Executor: empty program");
+    reset();
+}
+
+void
+Executor::reset()
+{
+    state = isa::ArchState{};
+    callStack.clear();
+    callStack.push_back(Frame{0, 0, {}});
+    curProc = 0;
+    curBlock = 0;
+    curInst = 0;
+    patternPos.clear();
+    seq = 0;
+    uops = 0;
+    hotInsts = 0;
+    rng.reseed(prof.seed ^ 0xabcdef123456ull);
+}
+
+double
+Executor::hotFraction() const
+{
+    return seq == 0 ? 0.0
+                    : static_cast<double>(hotInsts) /
+                          static_cast<double>(seq);
+}
+
+Addr
+Executor::upcomingPc() const
+{
+    const Block &block = prog.procs[curProc].blocks[curBlock];
+    return block.insts[curInst].pc;
+}
+
+void
+Executor::advance(const BlockTerm &term, bool &taken, Addr &next_pc)
+{
+    const Procedure &proc = prog.procs[curProc];
+    taken = false;
+
+    auto goto_block = [&](int b) {
+        curBlock = b;
+        curInst = 0;
+        next_pc = prog.procs[curProc].blocks[b].insts.front().pc;
+    };
+
+    switch (term.kind) {
+      case TermKind::FallThrough:
+        goto_block(term.fallBlock);
+        break;
+
+      case TermKind::Cond: {
+        const isa::MacroInst &br = proc.blocks[curBlock].insts.back();
+        if (term.patternLen > 0) {
+            std::uint32_t pos = patternPos[br.pc]++;
+            taken = (term.patternBits >> (pos % term.patternLen)) & 1;
+        } else {
+            taken = rng.chance(term.takenBias);
+        }
+        goto_block(taken ? term.takenBlock : term.fallBlock);
+        break;
+      }
+
+      case TermKind::LoopBack: {
+        Frame &frame = callStack.back();
+        auto it = frame.loopTrips.find(curBlock);
+        if (it == frame.loopTrips.end()) {
+            // Most loop entries reuse the loop's static trip count;
+            // data-dependent bounds re-draw with profile probability.
+            std::uint64_t trips;
+            if (term.avgTrips >= 1e9) {
+                trips = static_cast<std::uint64_t>(term.avgTrips);
+            } else if (rng.chance(prof.loopTripJitter)) {
+                double cap = std::max(2.0, term.avgTrips * 4.0);
+                trips = static_cast<std::uint64_t>(
+                    rng.positiveAround(term.avgTrips,
+                                       static_cast<int>(
+                                           std::min(cap, 2.1e9))));
+            } else {
+                trips = static_cast<std::uint64_t>(
+                    std::max(1.0, term.avgTrips + 0.5));
+            }
+            it = frame.loopTrips.emplace(curBlock, trips).first;
+        }
+        if (it->second > 1) {
+            --it->second;
+            taken = true;
+            goto_block(term.takenBlock);
+        } else {
+            frame.loopTrips.erase(it);
+            taken = false;
+            goto_block(term.fallBlock);
+        }
+        break;
+      }
+
+      case TermKind::Jump:
+        taken = true;
+        goto_block(term.takenBlock);
+        break;
+
+      case TermKind::Switch: {
+        taken = true;
+        // Skewed target selection: the first case dominates.
+        std::size_t n = term.switchTargets.size();
+        std::size_t pick = rng.chance(0.7)
+            ? 0 : 1 + rng.below(std::max<std::size_t>(1, n - 1));
+        if (pick >= n)
+            pick = n - 1;
+        goto_block(term.switchTargets[pick]);
+        break;
+      }
+
+      case TermKind::Call: {
+        taken = true;
+        if (callStack.size() >= maxCallDepth) {
+            // Depth cap: skip the call, continue at the return point.
+            goto_block(term.fallBlock);
+            break;
+        }
+        callStack.back().block = term.fallBlock;
+        callStack.push_back(Frame{term.calleeProc, 0, {}});
+        curProc = term.calleeProc;
+        curBlock = 0;
+        curInst = 0;
+        next_pc = prog.procs[curProc].blocks[0].insts.front().pc;
+        break;
+      }
+
+      case TermKind::Ret: {
+        taken = true;
+        if (callStack.size() <= 1) {
+            // Main returned (unreachable in generated programs):
+            // restart main for robustness.
+            callStack.clear();
+            callStack.push_back(Frame{0, 0, {}});
+            curProc = 0;
+            curBlock = 0;
+            curInst = 0;
+            next_pc = prog.procs[0].blocks[0].insts.front().pc;
+            break;
+        }
+        callStack.pop_back();
+        curProc = callStack.back().proc;
+        curBlock = callStack.back().block;
+        curInst = 0;
+        next_pc = prog.procs[curProc].blocks[curBlock].insts.front().pc;
+        break;
+      }
+
+      default:
+        PARROT_PANIC("Executor: bad terminator kind");
+    }
+}
+
+bool
+Executor::next(DynInst &out)
+{
+    const Procedure &proc = prog.procs[curProc];
+    const Block &block = proc.blocks[curBlock];
+    const isa::MacroInst &inst = block.insts[curInst];
+
+    out = DynInst{};
+    out.inst = &inst;
+    out.seq = seq;
+
+    // Functionally execute the uops, recording memory addresses.
+    for (std::size_t i = 0; i < inst.uops.size(); ++i) {
+        auto info = isa::executeUop(inst.uops[i], state);
+        if (info.accessedMem)
+            out.memAddr[i] = info.addr;
+    }
+    uops += inst.uops.size();
+    if (proc.isHot)
+        ++hotInsts;
+    ++seq;
+
+    // Resolve where execution goes next.
+    const bool is_last = (curInst + 1 == block.insts.size());
+    if (!is_last) {
+        ++curInst;
+        out.taken = false;
+        out.nextPc = inst.nextPc();
+    } else {
+        bool taken = false;
+        Addr next_pc = inst.nextPc();
+        if (inst.isCti() || block.term.kind == TermKind::FallThrough) {
+            advance(block.term, taken, next_pc);
+        } else {
+            // Block ends without a CTI and without explicit
+            // fall-through metadata; treat as fall-through.
+            BlockTerm ft;
+            ft.kind = TermKind::FallThrough;
+            ft.fallBlock = block.term.fallBlock;
+            advance(ft, taken, next_pc);
+        }
+        out.taken = inst.isCti() ? taken : false;
+        out.nextPc = (inst.isCti() && !taken) ? inst.nextPc() : next_pc;
+        // For a not-taken CTI the stream continues at the fall-through
+        // block, whose first instruction must sit at inst.nextPc().
+    }
+    return true;
+}
+
+} // namespace parrot::workload

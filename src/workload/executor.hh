@@ -1,0 +1,103 @@
+/**
+ * @file
+ * The functional workload executor: walks a generated Program,
+ * functionally executing every uop (real register and memory dataflow)
+ * and resolving control statistically per the profile, producing the
+ * committed dynamic-instruction stream that drives the trace-driven
+ * timing simulators.
+ */
+
+#ifndef PARROT_WORKLOAD_EXECUTOR_HH
+#define PARROT_WORKLOAD_EXECUTOR_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.hh"
+#include "isa/arch_state.hh"
+#include "workload/dyninst.hh"
+#include "workload/profile.hh"
+#include "workload/program.hh"
+
+namespace parrot::workload
+{
+
+/**
+ * Streaming executor over a static Program.
+ *
+ * Deterministic: the same (program, seed) pair always yields the same
+ * dynamic stream. Branch directions come from per-branch bias or
+ * pattern metadata; loop trip counts are drawn per loop entry; data
+ * values flow through real uop semantics.
+ */
+class Executor
+{
+  public:
+    /**
+     * @param program the static program (must outlive the executor).
+     * @param profile the profile it was generated from (for the seed).
+     */
+    Executor(const Program &program, const AppProfile &profile);
+
+    /**
+     * Produce the next committed macro-instruction.
+     * @return false when the program would leave main (never happens in
+     *         generated programs; the caller stops at its budget).
+     */
+    bool next(DynInst &out);
+
+    /** Restart execution from the beginning (state cleared). */
+    void reset();
+
+    /** Dynamic instructions executed so far. */
+    std::uint64_t instsExecuted() const { return seq; }
+
+    /** Dynamic uops executed so far. */
+    std::uint64_t uopsExecuted() const { return uops; }
+
+    /** Fraction of dynamic instructions executed in hot procedures. */
+    double hotFraction() const;
+
+    /** Read-only view of the architectural state (for tests). */
+    const isa::ArchState &archState() const { return state; }
+
+  private:
+    struct Frame
+    {
+        int proc;
+        int block;
+        /** Remaining trips for active loops, keyed by loop-branch
+         * block index. */
+        std::unordered_map<int, std::uint64_t> loopTrips;
+    };
+
+    /** Resolve the terminator of the current block; updates position. */
+    void advance(const BlockTerm &term, bool &taken, Addr &next_pc);
+
+    /** Address of the instruction that will execute next. */
+    Addr upcomingPc() const;
+
+    const Program &prog;
+    const AppProfile prof;
+    Rng rng;
+
+    isa::ArchState state;
+    std::vector<Frame> callStack;
+    int curProc = 0;
+    int curBlock = 0;
+    std::size_t curInst = 0;
+
+    /** Occurrence counters for pattern branches (keyed by branch pc). */
+    std::unordered_map<Addr, std::uint32_t> patternPos;
+
+    std::uint64_t seq = 0;
+    std::uint64_t uops = 0;
+    std::uint64_t hotInsts = 0;
+
+    static constexpr std::size_t maxCallDepth = 48;
+};
+
+} // namespace parrot::workload
+
+#endif // PARROT_WORKLOAD_EXECUTOR_HH

@@ -1,0 +1,882 @@
+#include "workload/generator.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "isa/registers.hh"
+
+namespace parrot::workload
+{
+
+using isa::CtiType;
+using isa::MacroInst;
+using isa::Uop;
+using isa::UopKind;
+
+namespace
+{
+
+/** Round up to the next power of two. */
+std::uint64_t
+nextPow2(std::uint64_t x)
+{
+    std::uint64_t p = 1;
+    while (p < x)
+        p <<= 1;
+    return p;
+}
+
+} // namespace
+
+const char *
+benchGroupName(BenchGroup g)
+{
+    switch (g) {
+      case BenchGroup::SpecInt:    return "SpecInt";
+      case BenchGroup::SpecFp:     return "SpecFP";
+      case BenchGroup::Office:     return "Office";
+      case BenchGroup::Multimedia: return "Multimedia";
+      case BenchGroup::DotNet:     return "DotNet";
+      default:                     return "<bad>";
+    }
+}
+
+void
+AppProfile::validate() const
+{
+    auto in01 = [](double v) { return v >= 0.0 && v <= 1.0; };
+    if (name.empty())
+        PARROT_FATAL("AppProfile: empty name");
+    if (numHotProcs < 1 || numColdProcs < 1 || blocksPerProc < 3)
+        PARROT_FATAL("AppProfile %s: bad structural counts", name.c_str());
+    if (avgBlockInsts < 2.0 || avgBlockInsts > 24.0)
+        PARROT_FATAL("AppProfile %s: avgBlockInsts out of range",
+                     name.c_str());
+    if (!in01(hotness) || !in01(branchBias) || !in01(patternFraction) ||
+        !in01(loopFraction) || !in01(callFraction) ||
+        !in01(indirectFraction) || !in01(loadRatio) || !in01(storeRatio) ||
+        !in01(fpRatio) || !in01(mulDivRatio) || !in01(strideRatio) ||
+        !in01(pointerChaseRatio) || !in01(deadCodeRatio) ||
+        !in01(constChainRatio) || !in01(trivialOpRatio) ||
+        !in01(simdPairRatio)) {
+        PARROT_FATAL("AppProfile %s: probability out of [0,1]",
+                     name.c_str());
+    }
+    if (loadRatio + storeRatio > 0.7)
+        PARROT_FATAL("AppProfile %s: memory ratios too large", name.c_str());
+    if (dataKb < 1.0 || dataKb > 64 * 1024.0)
+        PARROT_FATAL("AppProfile %s: dataKb out of range", name.c_str());
+    if (ilp < 1.0 || ilp > 8.0)
+        PARROT_FATAL("AppProfile %s: ilp out of range", name.c_str());
+    if (avgLoopTrips < 1.0)
+        PARROT_FATAL("AppProfile %s: avgLoopTrips < 1", name.c_str());
+}
+
+/** Per-block generation bookkeeping. */
+struct ProgramGenerator::BlockBuildState
+{
+    /** Most recently written integer temps (newest last). */
+    std::vector<RegId> recentInt;
+    /** Most recently written FP regs (newest last). */
+    std::vector<RegId> recentFp;
+    /** Which scratch register the next dead write should target. */
+    bool scratchToggle = false;
+    /** Static strided-base offset assigned to this block. */
+    std::int64_t blockDataOffset = 0;
+    /** Running sub-offset for consecutive strided accesses. */
+    std::int64_t strideCursor = 0;
+
+    void
+    noteIntWrite(RegId r)
+    {
+        recentInt.push_back(r);
+        if (recentInt.size() > 8)
+            recentInt.erase(recentInt.begin());
+    }
+
+    void
+    noteFpWrite(RegId r)
+    {
+        recentFp.push_back(r);
+        if (recentFp.size() > 6)
+            recentFp.erase(recentFp.begin());
+    }
+};
+
+ProgramGenerator::ProgramGenerator(const AppProfile &profile)
+    : prof(profile), rng(profile.seed)
+{
+    prof.validate();
+    wsMask = nextPow2(static_cast<std::uint64_t>(prof.dataKb * 1024.0)) - 1;
+}
+
+std::unique_ptr<Program>
+ProgramGenerator::generate()
+{
+    auto prog = std::make_unique<Program>();
+    Addr pc = codeRegionBase;
+
+    const int num_procs = 1 + prof.numHotProcs + prof.numColdProcs;
+    prog->procs.reserve(num_procs);
+
+    // Procedure 0 (main) is built last because it needs the callee list,
+    // but it must occupy index 0; reserve a placeholder.
+    prog->procs.emplace_back();
+
+    // The last 40% of cold procedures are call-free leaves; everyone
+    // else calls only leaves. This keeps per-call work bounded (no
+    // exponential call cascades) so the hot/cold work calibration in
+    // buildMain stays solvable.
+    const int num_leaves = std::max(1, (prof.numColdProcs * 2) / 5);
+    const int first_leaf =
+        1 + prof.numHotProcs + (prof.numColdProcs - num_leaves);
+
+    // Hot procedures: indices [1, numHotProcs]. They call only later
+    // hot procedures (a chain bounded by the small hot set), so hot
+    // time stays hot.
+    for (int i = 0; i < prof.numHotProcs; ++i) {
+        int idx = 1 + i;
+        int callees = prof.numHotProcs - i - 1;
+        prog->procs.push_back(
+            buildProcedure(pc, true, callees, idx + 1));
+    }
+    // Cold procedures: indices [numHotProcs+1, end).
+    for (int i = 0; i < prof.numColdProcs; ++i) {
+        int idx = 1 + prof.numHotProcs + i;
+        bool is_leaf = idx >= first_leaf;
+        prog->procs.push_back(
+            buildProcedure(pc, false, is_leaf ? 0 : num_leaves,
+                           first_leaf));
+    }
+
+    prog->procs[0] = buildMain(pc, prog->procs);
+
+    resolveTargets(*prog);
+    prog->buildIndex();
+    return prog;
+}
+
+void
+ProgramGenerator::emitPrologue(Block &block, Addr &pc, std::uint64_t ws_mask)
+{
+    auto emit_movi = [&](RegId dst, std::int64_t imm) {
+        MacroInst inst;
+        inst.pc = pc;
+        inst.uops.push_back(isa::makeMovImm(dst, imm));
+        inst.length = drawInstLength(1);
+        pc += inst.length;
+        block.insts.push_back(std::move(inst));
+    };
+    emit_movi(regconv::regMask, static_cast<std::int64_t>(ws_mask & ~7ull));
+    emit_movi(regconv::regConst,
+              static_cast<std::int64_t>(rng.below((ws_mask >> 1) + 1) & ~7ull));
+    emit_movi(regconv::regChase,
+              static_cast<std::int64_t>(rng.below(ws_mask + 1) & ~7ull));
+    emit_movi(regconv::regStride,
+              static_cast<std::int64_t>(rng.below(ws_mask + 1) & ~7ull));
+}
+
+RegId
+ProgramGenerator::pickSource(BlockBuildState &bbs)
+{
+    // With probability 1/ilp chain on the most recent write (serial
+    // dataflow); otherwise draw an arbitrary live temp.
+    if (!bbs.recentInt.empty() && rng.chance(1.0 / prof.ilp))
+        return bbs.recentInt.back();
+    if (!bbs.recentInt.empty() && rng.chance(0.7))
+        return bbs.recentInt[rng.below(bbs.recentInt.size())];
+    // Fall back to the stable per-procedure constant register.
+    return regconv::regConst;
+}
+
+RegId
+ProgramGenerator::pickDest(BlockBuildState &bbs)
+{
+    RegId r = static_cast<RegId>(
+        regconv::firstTemp +
+        rng.below(regconv::lastTemp - regconv::firstTemp + 1));
+    bbs.noteIntWrite(r);
+    return r;
+}
+
+std::uint8_t
+ProgramGenerator::drawInstLength(unsigned num_uops)
+{
+    double mean = prof.avgInstBytes + 2.0 * (num_uops > 1 ? num_uops - 1 : 0);
+    int len = rng.positiveAround(mean, isa::maxInstBytes);
+    return static_cast<std::uint8_t>(std::clamp(len, 1,
+        static_cast<int>(isa::maxInstBytes)));
+}
+
+std::int64_t
+ProgramGenerator::drawDataOffset(BlockBuildState &bbs)
+{
+    if (rng.chance(prof.strideRatio)) {
+        // Strided: walk 8-byte words from the block's static offset.
+        std::int64_t off = (bbs.blockDataOffset + bbs.strideCursor) &
+                           static_cast<std::int64_t>(wsMask & ~7ull);
+        bbs.strideCursor += 8;
+        return off;
+    }
+    return static_cast<std::int64_t>(rng.below((wsMask >> 1) + 1) & ~7ull);
+}
+
+void
+ProgramGenerator::emitBodyInst(Block &block, Addr &pc, BlockBuildState &bbs,
+                               bool hot)
+{
+    MacroInst inst;
+    inst.pc = pc;
+
+    const double u = rng.uniform();
+    double acc = 0.0;
+    auto in_band = [&](double p) {
+        acc += p;
+        return u < acc;
+    };
+
+    const bool fp_app = prof.fpRatio > 0.0;
+    // Hot code carries slightly more planted optimization opportunity:
+    // the blazing traces are exactly where the paper's optimizer works.
+    const double opt_boost = hot ? 1.0 : 0.5;
+
+    if (in_band(prof.loadRatio * prof.pointerChaseRatio)) {
+        // Pointer-chase step: ld r14, [r14 + base]; and r14, r14, mask.
+        inst.uops.push_back(isa::makeLoad(
+            regconv::regChase, regconv::regChase,
+            static_cast<std::int64_t>(dataRegionBase)));
+        Uop mask = isa::makeAlu(UopKind::And, regconv::regChase,
+                                regconv::regChase, regconv::regMask);
+        inst.uops.push_back(mask);
+        bbs.noteIntWrite(regconv::regChase);
+    } else if (in_band(prof.loadRatio * prof.strideRatio * 0.4)) {
+        // Stride walk: addi r15, r15, 8; and r15, r15, mask.
+        inst.uops.push_back(isa::makeAluImm(UopKind::AddImm,
+                                            regconv::regStride,
+                                            regconv::regStride, 8));
+        inst.uops.push_back(isa::makeAlu(UopKind::And, regconv::regStride,
+                                         regconv::regStride,
+                                         regconv::regMask));
+    } else if (in_band(prof.loadRatio * 0.75)) {
+        // Plain load, possibly into an FP register for FP apps.
+        bool to_fp = fp_app && rng.chance(prof.fpRatio);
+        RegId dst;
+        if (to_fp) {
+            dst = static_cast<RegId>(isa::firstFpReg +
+                                     rng.below(isa::numFpRegs));
+            bbs.noteFpWrite(dst);
+        } else {
+            dst = pickDest(bbs);
+        }
+        RegId base = rng.chance(0.5) ? regconv::regStride
+                                     : regconv::regConst;
+        if (rng.chance(prof.pointerChaseRatio))
+            base = regconv::regChase;
+        inst.uops.push_back(isa::makeLoad(
+            dst, base,
+            static_cast<std::int64_t>(dataRegionBase) +
+                drawDataOffset(bbs)));
+        // Occasionally a CISC load-op: fold a dependent ALU op in.
+        if (!to_fp && rng.chance(0.3)) {
+            RegId dst2 = pickDest(bbs);
+            inst.uops.push_back(isa::makeAlu(UopKind::Add, dst2, dst,
+                                             pickSource(bbs)));
+        }
+    } else if (in_band(prof.storeRatio)) {
+        RegId val;
+        if (fp_app && !bbs.recentFp.empty() && rng.chance(prof.fpRatio))
+            val = bbs.recentFp.back();
+        else
+            val = bbs.recentInt.empty() ? regconv::regConst
+                                        : bbs.recentInt.back();
+        RegId base = rng.chance(0.5) ? regconv::regStride
+                                     : regconv::regConst;
+        inst.uops.push_back(isa::makeStore(
+            val, base,
+            static_cast<std::int64_t>(dataRegionBase) +
+                drawDataOffset(bbs)));
+    } else if (fp_app && in_band(prof.fpRatio * 0.55)) {
+        // FP arithmetic; pairs of independent ops model SIMDifiable and
+        // fusable (mul+add) sequences.
+        auto pick_fp = [&]() -> RegId {
+            if (!bbs.recentFp.empty() && rng.chance(0.7))
+                return bbs.recentFp[rng.below(bbs.recentFp.size())];
+            return static_cast<RegId>(isa::firstFpReg +
+                                      rng.below(isa::numFpRegs));
+        };
+        double k = rng.uniform();
+        UopKind kind = k < 0.45 ? UopKind::FpAdd
+                     : k < 0.85 ? UopKind::FpMul
+                     : k < 0.90 ? UopKind::FpDiv
+                                : UopKind::FpMov;
+        RegId dst = static_cast<RegId>(isa::firstFpReg +
+                                       rng.below(isa::numFpRegs));
+        inst.uops.push_back(isa::makeFp(kind, dst, pick_fp(), pick_fp()));
+        bbs.noteFpWrite(dst);
+        if (rng.chance(prof.simdPairRatio * opt_boost * 2.0) &&
+            (kind == UopKind::FpAdd || kind == UopKind::FpMul)) {
+            // Emit the independent twin as a second macro-instruction.
+            block.insts.push_back(inst);
+            inst.length = drawInstLength(inst.uops.size());
+            block.insts.back().length = inst.length;
+            pc += inst.length;
+
+            MacroInst twin;
+            twin.pc = pc;
+            RegId dst2 = static_cast<RegId>(isa::firstFpReg +
+                                            rng.below(isa::numFpRegs));
+            while (dst2 == dst) {
+                dst2 = static_cast<RegId>(isa::firstFpReg +
+                                          rng.below(isa::numFpRegs));
+            }
+            twin.uops.push_back(isa::makeFp(kind, dst2, pick_fp(),
+                                            pick_fp()));
+            bbs.noteFpWrite(dst2);
+            twin.length = drawInstLength(1);
+            pc += twin.length;
+            block.insts.push_back(std::move(twin));
+            return;
+        }
+    } else if (in_band(prof.mulDivRatio)) {
+        UopKind kind = rng.chance(0.8) ? UopKind::Mul : UopKind::Div;
+        inst.uops.push_back(isa::makeAlu(kind, pickDest(bbs),
+                                         pickSource(bbs), pickSource(bbs)));
+    } else if (in_band(prof.constChainRatio * opt_boost)) {
+        // Foldable chain: movi tA, c1; addi tB, tA, c2 (+ optional xor).
+        RegId a = pickDest(bbs);
+        inst.uops.push_back(isa::makeMovImm(a, rng.range(1, 4096)));
+        inst.length = drawInstLength(1);
+        pc += inst.length;
+        block.insts.push_back(inst);
+
+        MacroInst second;
+        second.pc = pc;
+        RegId b = pickDest(bbs);
+        second.uops.push_back(isa::makeAluImm(UopKind::AddImm, b, a,
+                                              rng.range(1, 256)));
+        second.length = drawInstLength(1);
+        pc += second.length;
+        block.insts.push_back(std::move(second));
+
+        if (rng.chance(0.5)) {
+            MacroInst third;
+            third.pc = pc;
+            RegId c = pickDest(bbs);
+            third.uops.push_back(isa::makeAlu(UopKind::Xor, c, a, b));
+            third.length = drawInstLength(1);
+            pc += third.length;
+            block.insts.push_back(std::move(third));
+        }
+        return;
+    } else if (in_band(prof.trivialOpRatio * opt_boost)) {
+        // Algebraically trivial patterns the optimizer can simplify.
+        double k = rng.uniform();
+        if (k < 0.35) {
+            // xor t, s, s  ->  movi t, 0
+            RegId s = pickSource(bbs);
+            inst.uops.push_back(isa::makeAlu(UopKind::Xor, pickDest(bbs),
+                                             s, s));
+        } else if (k < 0.6) {
+            // and t, s, s  ->  mov t, s
+            RegId s = pickSource(bbs);
+            inst.uops.push_back(isa::makeAlu(UopKind::And, pickDest(bbs),
+                                             s, s));
+        } else if (k < 0.8) {
+            // addi t, s, 0  ->  mov t, s
+            inst.uops.push_back(isa::makeAluImm(UopKind::AddImm,
+                                                pickDest(bbs),
+                                                pickSource(bbs), 0));
+        } else {
+            // shli t, s, 0  ->  mov t, s
+            inst.uops.push_back(isa::makeAluImm(UopKind::ShlImm,
+                                                pickDest(bbs),
+                                                pickSource(bbs), 0));
+        }
+    } else if (in_band(prof.deadCodeRatio * opt_boost)) {
+        // Dead computation: scratch registers are never read, so all but
+        // the trace-final write to them is removable.
+        RegId scratch = bbs.scratchToggle ? regconv::regScratch1
+                                          : regconv::regScratch0;
+        bbs.scratchToggle = !bbs.scratchToggle;
+        UopKind kind = rng.chance(0.5) ? UopKind::Add : UopKind::Xor;
+        inst.uops.push_back(isa::makeAlu(kind, scratch, pickSource(bbs),
+                                         pickSource(bbs)));
+    } else if (in_band(prof.simdPairRatio * opt_boost)) {
+        // Independent same-op integer pair (SIMDifiable).
+        UopKind kind = rng.chance(0.5) ? UopKind::Add : UopKind::Xor;
+        RegId d1 = pickDest(bbs);
+        RegId s1 = pickSource(bbs);
+        RegId s2 = pickSource(bbs);
+        inst.uops.push_back(isa::makeAlu(kind, d1, s1, s2));
+        inst.length = drawInstLength(1);
+        pc += inst.length;
+        block.insts.push_back(inst);
+
+        MacroInst twin;
+        twin.pc = pc;
+        RegId d2 = pickDest(bbs);
+        while (d2 == d1)
+            d2 = pickDest(bbs);
+        RegId s3 = pickSource(bbs);
+        RegId s4 = pickSource(bbs);
+        twin.uops.push_back(isa::makeAlu(kind, d2, s3, s4));
+        twin.length = drawInstLength(1);
+        pc += twin.length;
+        block.insts.push_back(std::move(twin));
+        return;
+    } else {
+        // Plain integer ALU operation.
+        static const UopKind alu_kinds[] = {
+            UopKind::Add, UopKind::Sub, UopKind::And, UopKind::Or,
+            UopKind::Xor, UopKind::Lea,
+        };
+        UopKind kind = alu_kinds[rng.below(std::size(alu_kinds))];
+        if (rng.chance(0.25)) {
+            UopKind ik = rng.chance(0.6) ? UopKind::AddImm
+                        : rng.chance(0.5) ? UopKind::ShlImm
+                                          : UopKind::ShrImm;
+            inst.uops.push_back(isa::makeAluImm(ik, pickDest(bbs),
+                                                pickSource(bbs),
+                                                rng.range(1, 31)));
+        } else if (kind == UopKind::Lea) {
+            inst.uops.push_back(isa::makeLea(pickDest(bbs), pickSource(bbs),
+                                             pickSource(bbs),
+                                             rng.range(0, 64)));
+        } else {
+            inst.uops.push_back(isa::makeAlu(kind, pickDest(bbs),
+                                             pickSource(bbs),
+                                             pickSource(bbs)));
+        }
+    }
+
+    PARROT_ASSERT(!inst.uops.empty() &&
+                  inst.uops.size() <= isa::maxUopsPerInst,
+                  "generated bad uop count");
+    inst.length = drawInstLength(inst.uops.size());
+    pc += inst.length;
+    block.insts.push_back(std::move(inst));
+}
+
+void
+ProgramGenerator::fillBlock(Block &block, Addr &pc, int n_insts, bool hot)
+{
+    BlockBuildState bbs;
+    bbs.blockDataOffset = static_cast<std::int64_t>(
+        rng.below(wsMask + 1) & ~7ull);
+    for (int i = 0; i < n_insts; ++i)
+        emitBodyInst(block, pc, bbs, hot);
+}
+
+void
+ProgramGenerator::emitCondBranch(Block &block, Addr &pc,
+                                 BlockBuildState &bbs)
+{
+    MacroInst cmp;
+    cmp.pc = pc;
+    cmp.uops.push_back(isa::makeCmpImm(pickSource(bbs), rng.range(0, 64)));
+    cmp.length = drawInstLength(1);
+    pc += cmp.length;
+    block.insts.push_back(std::move(cmp));
+
+    MacroInst br;
+    br.pc = pc;
+    br.cti = CtiType::CondBranch;
+    br.uops.push_back(isa::makeBranch());
+    br.length = static_cast<std::uint8_t>(rng.range(2, 6));
+    pc += br.length;
+    block.insts.push_back(std::move(br));
+}
+
+void
+ProgramGenerator::emitCti(Block &block, Addr &pc, CtiType type)
+{
+    MacroInst inst;
+    inst.pc = pc;
+    inst.cti = type;
+    switch (type) {
+      case CtiType::Jump:
+        inst.uops.push_back(isa::makeJump());
+        break;
+      case CtiType::JumpInd:
+        inst.uops.push_back(isa::makeJumpInd(regconv::regConst));
+        break;
+      case CtiType::Call:
+        inst.uops.push_back(isa::makeCall());
+        break;
+      case CtiType::Return:
+        inst.uops.push_back(isa::makeReturn());
+        break;
+      default:
+        PARROT_PANIC("emitCti: bad type");
+    }
+    inst.length = static_cast<std::uint8_t>(rng.range(1, 5));
+    pc += inst.length;
+    block.insts.push_back(std::move(inst));
+}
+
+Procedure
+ProgramGenerator::buildProcedure(Addr &pc, bool hot, int num_callees,
+                                 int first_callee)
+{
+    Procedure proc;
+    proc.isHot = hot;
+    const Addr proc_start = pc;
+
+    auto draw_bias = [&]() {
+        double b;
+        if (rng.chance(prof.steadyBranchFraction)) {
+            // Near-deterministic branch (error paths, range checks...):
+            // the majority case in real code, and the reason traces
+            // repeat identically enough to be worth caching.
+            b = 0.96 + rng.uniform() * 0.035;
+        } else {
+            double center = prof.branchBias;
+            b = 0.5 + (center - 0.5) * (0.5 + rng.uniform());
+            b = std::clamp(b, 0.02, 0.98);
+        }
+        // Half the branches are biased toward fall-through instead.
+        if (rng.chance(0.5))
+            b = 1.0 - b;
+        return b;
+    };
+
+    auto configure_cond = [&](BlockTerm &term) {
+        term.kind = TermKind::Cond;
+        term.takenBias = draw_bias();
+        if (rng.chance(prof.patternFraction)) {
+            term.patternLen = static_cast<std::uint8_t>(rng.range(2, 6));
+            term.patternBits = static_cast<std::uint8_t>(
+                rng.below(1u << term.patternLen));
+        }
+    };
+
+    auto block_len = [&]() {
+        return rng.positiveAround(prof.avgBlockInsts, 20);
+    };
+
+    int remaining = prof.blocksPerProc + static_cast<int>(rng.below(5));
+    while (remaining > 0) {
+        double u = rng.uniform();
+        if (u < prof.loopFraction * 0.45 && remaining >= 2) {
+            // Loop: head..body blocks, the last one looping back.
+            int body_blocks = static_cast<int>(rng.range(1, 3));
+            body_blocks = std::min(body_blocks, remaining);
+            int head = static_cast<int>(proc.blocks.size());
+            for (int b = 0; b < body_blocks; ++b) {
+                Block block;
+                fillBlock(block, pc, block_len(), hot);
+                BlockBuildState bbs;
+                if (b + 1 < body_blocks) {
+                    // Internal block: biased forward branch into the
+                    // next block (target == fall-through distinct blocks
+                    // would need a diamond; keep a plain fall-through or
+                    // a highly biased skip of one block when room).
+                    block.term.kind = TermKind::FallThrough;
+                    block.term.fallBlock = head + b + 1;
+                } else {
+                    emitCondBranch(block, pc, bbs);
+                    block.term.kind = TermKind::LoopBack;
+                    block.term.takenBlock = head;
+                    block.term.fallBlock = head + body_blocks;
+                    // Each static loop gets its own (mostly stable)
+                    // trip count drawn around the profile mean.
+                    double mean = std::max(1.0, prof.avgLoopTrips *
+                                                    (hot ? 1.0 : 0.35));
+                    int cap = static_cast<int>(4.0 * mean) + 2;
+                    block.term.avgTrips =
+                        rng.positiveAround(mean, cap);
+                }
+                proc.blocks.push_back(std::move(block));
+            }
+            remaining -= body_blocks;
+        } else if (u < prof.loopFraction * 0.45 + 0.18 && remaining >= 3) {
+            // Diamond: A cond-> C (skipping B); B falls into C.
+            int a = static_cast<int>(proc.blocks.size());
+            Block blk_a;
+            fillBlock(blk_a, pc, block_len(), hot);
+            BlockBuildState bbs;
+            emitCondBranch(blk_a, pc, bbs);
+            configure_cond(blk_a.term);
+            blk_a.term.takenBlock = a + 2;
+            blk_a.term.fallBlock = a + 1;
+            proc.blocks.push_back(std::move(blk_a));
+
+            Block blk_b;
+            fillBlock(blk_b, pc, std::max(2, block_len() / 2), hot);
+            blk_b.term.kind = TermKind::FallThrough;
+            blk_b.term.fallBlock = a + 2;
+            proc.blocks.push_back(std::move(blk_b));
+
+            Block blk_c;
+            fillBlock(blk_c, pc, block_len(), hot);
+            blk_c.term.kind = TermKind::FallThrough;
+            blk_c.term.fallBlock = a + 3;
+            proc.blocks.push_back(std::move(blk_c));
+            remaining -= 3;
+        } else if (u < prof.loopFraction * 0.45 + 0.18 +
+                           prof.callFraction &&
+                   num_callees > 0 && remaining >= 1) {
+            // Call block.
+            Block block;
+            fillBlock(block, pc, std::max(2, block_len() / 2), hot);
+            emitCti(block, pc, CtiType::Call);
+            block.term.kind = TermKind::Call;
+            block.term.calleeProc =
+                first_callee + static_cast<int>(rng.below(num_callees));
+            block.term.fallBlock =
+                static_cast<int>(proc.blocks.size()) + 1;
+            proc.blocks.push_back(std::move(block));
+            remaining -= 1;
+        } else if (u < prof.loopFraction * 0.45 + 0.18 +
+                           prof.callFraction + prof.indirectFraction &&
+                   remaining >= 4) {
+            // Switch: indirect jump to one of 2-3 case blocks, each of
+            // which jumps to the common join block.
+            int cases = static_cast<int>(rng.range(2, 3));
+            int sw = static_cast<int>(proc.blocks.size());
+            Block block;
+            fillBlock(block, pc, std::max(2, block_len() / 2), hot);
+            emitCti(block, pc, CtiType::JumpInd);
+            block.term.kind = TermKind::Switch;
+            for (int c = 0; c < cases; ++c)
+                block.term.switchTargets.push_back(sw + 1 + c);
+            proc.blocks.push_back(std::move(block));
+            for (int c = 0; c < cases; ++c) {
+                Block case_block;
+                fillBlock(case_block, pc, std::max(2, block_len() / 2),
+                          hot);
+                emitCti(case_block, pc, CtiType::Jump);
+                case_block.term.kind = TermKind::Jump;
+                case_block.term.takenBlock = sw + 1 + cases;
+                proc.blocks.push_back(std::move(case_block));
+            }
+            Block join;
+            fillBlock(join, pc, block_len(), hot);
+            join.term.kind = TermKind::FallThrough;
+            join.term.fallBlock = sw + cases + 2;
+            proc.blocks.push_back(std::move(join));
+            remaining -= cases + 2;
+        } else {
+            // Plain block ending in a biased forward conditional branch
+            // to the next block's successor (a skip of nothing: both
+            // edges reach the next block) — realistic cmp/jcc density
+            // without changing the path; or a pure fall-through.
+            Block block;
+            fillBlock(block, pc, block_len(), hot);
+            if (rng.chance(0.4) &&
+                static_cast<int>(proc.blocks.size()) + 1 < remaining +
+                    static_cast<int>(proc.blocks.size())) {
+                BlockBuildState bbs;
+                emitCondBranch(block, pc, bbs);
+                configure_cond(block.term);
+                int next = static_cast<int>(proc.blocks.size()) + 1;
+                block.term.takenBlock = next;
+                block.term.fallBlock = next;
+            } else {
+                block.term.kind = TermKind::FallThrough;
+                block.term.fallBlock =
+                    static_cast<int>(proc.blocks.size()) + 1;
+            }
+            proc.blocks.push_back(std::move(block));
+            remaining -= 1;
+        }
+    }
+
+    // Prepend the prologue to the entry block (addresses are re-laid
+    // out for the whole procedure below).
+    {
+        Block &entry = proc.blocks.front();
+        Block with_prologue;
+        with_prologue.term = entry.term;
+        Addr dummy_pc = 0;
+        emitPrologue(with_prologue, dummy_pc, wsMask);
+        for (auto &inst : entry.insts)
+            with_prologue.insts.push_back(std::move(inst));
+        entry = std::move(with_prologue);
+    }
+
+    // Terminal return block.
+    Block ret_block;
+    {
+        BlockBuildState bbs;
+        fillBlock(ret_block, pc, 2, hot);
+        emitCti(ret_block, pc, CtiType::Return);
+        ret_block.term.kind = TermKind::Ret;
+    }
+    // Fix dangling fall-through edges (any fallBlock beyond the last
+    // block funnels into the return block).
+    int ret_idx = static_cast<int>(proc.blocks.size());
+    proc.blocks.push_back(std::move(ret_block));
+    for (auto &block : proc.blocks) {
+        auto clampIdx = [&](int idx) {
+            return (idx < 0 || idx > ret_idx) ? ret_idx : idx;
+        };
+        block.term.fallBlock = clampIdx(block.term.fallBlock);
+        if (block.term.kind == TermKind::Cond ||
+            block.term.kind == TermKind::LoopBack ||
+            block.term.kind == TermKind::Jump) {
+            block.term.takenBlock = clampIdx(block.term.takenBlock);
+        }
+        for (auto &t : block.term.switchTargets)
+            t = clampIdx(t);
+    }
+
+    // Lay out the whole procedure contiguously from its start address.
+    Addr cursor = proc_start;
+    for (auto &block : proc.blocks) {
+        for (auto &inst : block.insts) {
+            inst.pc = cursor;
+            cursor += inst.length;
+        }
+    }
+    pc = cursor;
+    return proc;
+}
+
+Procedure
+ProgramGenerator::buildMain(Addr &pc, const std::vector<Procedure> &procs)
+{
+    Procedure proc;
+    proc.isHot = true;
+
+    // Exact expected work per call of every already-built procedure:
+    // loop bodies execute avgTrips times and callees contribute their
+    // own work. Procedures only call higher-indexed procedures, so one
+    // reverse sweep resolves call chains exactly. Main (index 0) is a
+    // placeholder at this point and is skipped.
+    std::vector<double> work(procs.size(), 0.0);
+    for (std::size_t p = procs.size(); p-- > 1;) {
+        const Procedure &callee_proc = procs[p];
+        std::vector<double> weight(callee_proc.blocks.size(), 1.0);
+        for (std::size_t b = 0; b < callee_proc.blocks.size(); ++b) {
+            const BlockTerm &term = callee_proc.blocks[b].term;
+            if (term.kind == TermKind::LoopBack) {
+                for (int k = term.takenBlock;
+                     k <= static_cast<int>(b); ++k) {
+                    weight[k] *= std::max(1.0, term.avgTrips);
+                }
+            }
+        }
+        for (std::size_t b = 0; b < callee_proc.blocks.size(); ++b) {
+            const Block &block = callee_proc.blocks[b];
+            work[p] += weight[b] * block.insts.size();
+            if (block.term.kind == TermKind::Call)
+                work[p] += weight[b] * work[block.term.calleeProc];
+        }
+    }
+
+    double hot_work_per_call = 0.0;
+    double cold_work_total = 0.0;
+    for (int i = 0; i < prof.numHotProcs; ++i)
+        hot_work_per_call += work[1 + i];
+    hot_work_per_call /= std::max(1, prof.numHotProcs);
+    for (int i = 0; i < prof.numColdProcs; ++i)
+        cold_work_total += work[1 + prof.numHotProcs + i];
+
+    // Solve hot_calls*hotWork / (hot_calls*hotWork + coldWork) =
+    // hotness, with every cold procedure called once per outer-loop
+    // iteration of main.
+    double target = prof.hotness / std::max(1e-6, 1.0 - prof.hotness);
+    int hot_sites = static_cast<int>(std::ceil(
+        target * cold_work_total / std::max(1.0, hot_work_per_call)));
+    hot_sites = std::clamp(hot_sites, 2 * prof.numHotProcs, 1024);
+
+    std::vector<int> schedule;
+    for (int i = 0; i < hot_sites; ++i)
+        schedule.push_back(1 + static_cast<int>(
+            rng.below(prof.numHotProcs)));
+    for (int i = 0; i < prof.numColdProcs; ++i)
+        schedule.push_back(1 + prof.numHotProcs + i);
+    // Deterministic shuffle so hot and cold calls interleave.
+    for (std::size_t i = schedule.size(); i > 1; --i)
+        std::swap(schedule[i - 1], schedule[rng.below(i)]);
+
+    // Entry block: prologue only.
+    {
+        Block entry;
+        Addr entry_pc = pc;
+        emitPrologue(entry, entry_pc, wsMask);
+        pc = entry_pc;
+        entry.term.kind = TermKind::FallThrough;
+        entry.term.fallBlock = 1;
+        proc.blocks.push_back(std::move(entry));
+    }
+
+    for (std::size_t i = 0; i < schedule.size(); ++i) {
+        Block block;
+        fillBlock(block, pc, 2, false);
+        emitCti(block, pc, CtiType::Call);
+        block.term.kind = TermKind::Call;
+        block.term.calleeProc = schedule[i];
+        block.term.fallBlock = static_cast<int>(proc.blocks.size()) + 1;
+        proc.blocks.push_back(std::move(block));
+    }
+
+    // Closing block: loop back to the first call site, effectively
+    // forever (the executor's instruction budget ends the run).
+    {
+        Block block;
+        fillBlock(block, pc, 2, false);
+        BlockBuildState bbs;
+        emitCondBranch(block, pc, bbs);
+        block.term.kind = TermKind::LoopBack;
+        block.term.takenBlock = 1;
+        block.term.fallBlock = static_cast<int>(proc.blocks.size()) + 1;
+        block.term.avgTrips = 1e12;
+        proc.blocks.push_back(std::move(block));
+    }
+    // Unreached return block keeps the procedure well-formed.
+    {
+        Block ret_block;
+        fillBlock(ret_block, pc, 1, false);
+        emitCti(ret_block, pc, CtiType::Return);
+        ret_block.term.kind = TermKind::Ret;
+        proc.blocks.push_back(std::move(ret_block));
+    }
+    return proc;
+}
+
+void
+ProgramGenerator::resolveTargets(Program &prog)
+{
+    for (auto &proc : prog.procs) {
+        for (auto &block : proc.blocks) {
+            auto &term = block.term;
+            isa::MacroInst &last = block.insts.back();
+            switch (term.kind) {
+              case TermKind::Cond:
+              case TermKind::LoopBack:
+                PARROT_ASSERT(last.cti == CtiType::CondBranch,
+                              "terminator mismatch (cond)");
+                last.takenTarget =
+                    proc.blocks[term.takenBlock].insts.front().pc;
+                break;
+              case TermKind::Jump:
+                PARROT_ASSERT(last.cti == CtiType::Jump,
+                              "terminator mismatch (jump)");
+                last.takenTarget =
+                    proc.blocks[term.takenBlock].insts.front().pc;
+                break;
+              case TermKind::Call:
+                PARROT_ASSERT(last.cti == CtiType::Call,
+                              "terminator mismatch (call)");
+                last.takenTarget =
+                    prog.procs[term.calleeProc].entryPc();
+                break;
+              case TermKind::Switch:
+              case TermKind::Ret:
+              case TermKind::FallThrough:
+                break;
+            }
+        }
+    }
+}
+
+std::unique_ptr<Program>
+generateProgram(const AppProfile &profile)
+{
+    return ProgramGenerator(profile).generate();
+}
+
+} // namespace parrot::workload

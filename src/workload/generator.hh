@@ -1,0 +1,118 @@
+/**
+ * @file
+ * The synthetic program generator.
+ *
+ * Given an AppProfile, deterministically synthesizes a static Program
+ * whose dynamic behaviour (under the companion Executor) reproduces the
+ * profile's statistics: hot/cold concentration, branch predictability,
+ * loop structure, instruction mix, memory locality and — critically for
+ * the PARROT optimizer — *real* register dataflow with planted-but-
+ * genuine optimization opportunities (dead code, foldable constant
+ * chains, algebraically trivial operations, SIMDifiable pairs).
+ */
+
+#ifndef PARROT_WORKLOAD_GENERATOR_HH
+#define PARROT_WORKLOAD_GENERATOR_HH
+
+#include <memory>
+
+#include "common/random.hh"
+#include "workload/profile.hh"
+#include "workload/program.hh"
+
+namespace parrot::workload
+{
+
+/** Register conventions the generator plants at each procedure entry. */
+namespace regconv
+{
+/** Scratch constant source (per-procedure random value). */
+inline constexpr RegId regConst = 0;
+/** Working-set address mask (power-of-two working set minus one). */
+inline constexpr RegId regMask = 1;
+/** Pointer-chase cursor (holds a data-region *offset*). */
+inline constexpr RegId regChase = 14;
+/** Stride-walk cursor (holds a data-region *offset*). */
+inline constexpr RegId regStride = 15;
+/** First/last general temp registers available to generated code. */
+inline constexpr RegId firstTemp = 2;
+inline constexpr RegId lastTemp = 11;
+/** Scratch registers: written but never read by generated code, so
+ * every non-final write to them is genuinely dead within a trace. */
+inline constexpr RegId regScratch0 = 12;
+inline constexpr RegId regScratch1 = 13;
+} // namespace regconv
+
+/** Base virtual address of the shared data region. */
+inline constexpr Addr dataRegionBase = 0x10000000;
+
+/** Base virtual address of the code segment. */
+inline constexpr Addr codeRegionBase = 0x400000;
+
+/**
+ * Deterministic profile-driven program synthesizer.
+ *
+ * The same profile (including seed) always produces the identical
+ * program, so every experiment is reproducible bit-for-bit.
+ */
+class ProgramGenerator
+{
+  public:
+    explicit ProgramGenerator(const AppProfile &profile);
+
+    /** Build the program (procedure 0 is the driver loop). */
+    std::unique_ptr<Program> generate();
+
+  private:
+    struct BlockBuildState;
+
+    /** Append the register-convention prologue to a procedure entry. */
+    void emitPrologue(Block &block, Addr &pc, std::uint64_t ws_mask);
+
+    /** Generate the straight-line body of one block. */
+    void fillBlock(Block &block, Addr &pc, int n_insts, bool hot);
+
+    /** Generate one non-CTI macro-instruction into the block. */
+    void emitBodyInst(Block &block, Addr &pc, BlockBuildState &bbs,
+                      bool hot);
+
+    /** Append a Cmp/CmpImm + conditional-branch instruction pair. */
+    void emitCondBranch(Block &block, Addr &pc, BlockBuildState &bbs);
+
+    /** Append a single-uop CTI macro-instruction of the given type. */
+    void emitCti(Block &block, Addr &pc, isa::CtiType type);
+
+    /** Build one procedure (structured regions: runs, diamonds, loops). */
+    Procedure buildProcedure(Addr &pc, bool hot, int num_callees,
+                             int first_callee);
+
+    /** Build the main driver procedure calling the others (needs the
+     * already-built procedures to calibrate hot/cold call counts). */
+    Procedure buildMain(Addr &pc, const std::vector<Procedure> &procs);
+
+    /** Fix up CTI taken-target addresses once block layout is known. */
+    void resolveTargets(Program &prog);
+
+    /** Pick a source register with ILP-aware recency preference. */
+    RegId pickSource(BlockBuildState &bbs);
+
+    /** Pick a destination temp register. */
+    RegId pickDest(BlockBuildState &bbs);
+
+    /** Draw a macro-instruction byte length around the profile mean. */
+    std::uint8_t drawInstLength(unsigned num_uops);
+
+    /** Draw a strided or random 8-byte-aligned data offset. */
+    std::int64_t drawDataOffset(BlockBuildState &bbs);
+
+    const AppProfile prof;
+    Rng rng;
+    std::uint64_t wsMask = 0;
+};
+
+/** Convenience: generate the program for a profile. */
+std::unique_ptr<Program> generateProgram(const AppProfile &profile);
+
+} // namespace parrot::workload
+
+#endif // PARROT_WORKLOAD_GENERATOR_HH

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Application profiles: the statistical knobs from which the synthetic
+ * workload generator builds each benchmark.
+ *
+ * The paper evaluates 44 IA32 application traces in five groups
+ * (SpecInt, SpecFP, Office, Multimedia, DotNet). We cannot ship those
+ * traces, so each application is described by the statistical properties
+ * that drive the paper's results — hot/cold concentration, branch
+ * predictability, basic-block size, ILP, memory behaviour and
+ * optimization opportunity — and a seeded generator synthesizes a
+ * program with real dataflow exhibiting those properties.
+ */
+
+#ifndef PARROT_WORKLOAD_PROFILE_HH
+#define PARROT_WORKLOAD_PROFILE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace parrot::workload
+{
+
+/** Benchmark group, exactly the paper's five classes. */
+enum class BenchGroup : std::uint8_t
+{
+    SpecInt,
+    SpecFp,
+    Office,
+    Multimedia,
+    DotNet,
+    NumGroups
+};
+
+/** Human-readable group name ("SpecInt", ...). */
+const char *benchGroupName(BenchGroup g);
+
+/**
+ * The statistical description of one application.
+ *
+ * All probabilities are in [0,1]; structural counts are positive.
+ */
+struct AppProfile
+{
+    std::string name;                    //!< e.g. "gcc", "swim"
+    BenchGroup group = BenchGroup::SpecInt;
+    std::uint64_t seed = 1;              //!< generator + executor seed
+
+    // --- static program shape ---
+    int numHotProcs = 4;        //!< procedures carrying the hot code
+    int numColdProcs = 24;      //!< procedures carrying the cold tail
+    int blocksPerProc = 12;     //!< basic blocks per procedure (mean)
+    double avgBlockInsts = 6.0; //!< macro-instructions per block (mean)
+    double avgInstBytes = 3.5;  //!< macro-instruction length (mean)
+
+    // --- dynamic behaviour ---
+    double hotness = 0.90;      //!< fraction of execution in hot procs
+    double branchBias = 0.85;   //!< mean taken-direction bias of branches
+    double patternFraction = 0.3; //!< branches following a fixed pattern
+    double loopFraction = 0.5;  //!< fraction of blocks inside loops
+    double avgLoopTrips = 12.0; //!< mean loop trip count
+    /** Probability a loop entry re-draws its trip count instead of
+     * using the loop's static one (data-dependent loop bounds). */
+    double loopTripJitter = 0.2;
+    /** Fraction of conditional branches that are near-deterministic
+     * (taken or not taken ~97% of the time), as in real code. */
+    double steadyBranchFraction = 0.55;
+    double callFraction = 0.06; //!< fraction of blocks ending in a call
+    double indirectFraction = 0.01; //!< blocks ending in indirect jumps
+
+    // --- instruction mix ---
+    double loadRatio = 0.22;    //!< fraction of uops that are loads
+    double storeRatio = 0.10;   //!< fraction of uops that are stores
+    double fpRatio = 0.0;       //!< fraction of ALU work that is FP
+    double mulDivRatio = 0.04;  //!< fraction of ALU work that is mul/div
+
+    // --- memory behaviour ---
+    double dataKb = 64.0;       //!< data working set (KB)
+    double strideRatio = 0.6;   //!< fraction of strided (vs random) access
+    double pointerChaseRatio = 0.05; //!< loads whose result feeds a base
+
+    // --- dataflow shape ---
+    double ilp = 2.0;           //!< target independent chains per block
+
+    // --- optimization opportunity (planted, as real code) ---
+    double deadCodeRatio = 0.10;   //!< dynamically dead computation
+    double constChainRatio = 0.10; //!< foldable immediate chains
+    double trivialOpRatio = 0.06;  //!< algebraically simplifiable ops
+    double simdPairRatio = 0.08;   //!< adjacent independent same-op pairs
+
+    /** Validate ranges; fatal()s on nonsense configurations. */
+    void validate() const;
+};
+
+/** Identifier for the per-group sub-suites. */
+struct SuiteEntry
+{
+    AppProfile profile;
+    std::uint64_t defaultInstBudget; //!< paper: 30M or 100M; scaled here
+};
+
+} // namespace parrot::workload
+
+#endif // PARROT_WORKLOAD_PROFILE_HH

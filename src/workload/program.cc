@@ -1,0 +1,55 @@
+#include "workload/program.hh"
+
+namespace parrot::workload
+{
+
+std::size_t
+Program::numStaticInsts() const
+{
+    std::size_t n = 0;
+    for (const auto &proc : procs)
+        for (const auto &block : proc.blocks)
+            n += block.insts.size();
+    return n;
+}
+
+std::size_t
+Program::codeBytes() const
+{
+    std::size_t n = 0;
+    for (const auto &proc : procs)
+        for (const auto &block : proc.blocks)
+            for (const auto &inst : block.insts)
+                n += inst.length;
+    return n;
+}
+
+std::size_t
+Program::numStaticUops() const
+{
+    std::size_t n = 0;
+    for (const auto &proc : procs)
+        for (const auto &block : proc.blocks)
+            for (const auto &inst : block.insts)
+                n += inst.uops.size();
+    return n;
+}
+
+const isa::MacroInst *
+Program::instAt(Addr pc) const
+{
+    auto it = pcIndex.find(pc);
+    return it == pcIndex.end() ? nullptr : it->second;
+}
+
+void
+Program::buildIndex()
+{
+    pcIndex.clear();
+    for (const auto &proc : procs)
+        for (const auto &block : proc.blocks)
+            for (const auto &inst : block.insts)
+                pcIndex.emplace(inst.pc, &inst);
+}
+
+} // namespace parrot::workload

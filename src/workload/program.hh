@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The static program image: procedures of basic blocks with real uop
+ * dataflow, plus the control-flow metadata the functional executor uses
+ * to drive execution statistically.
+ */
+
+#ifndef PARROT_WORKLOAD_PROGRAM_HH
+#define PARROT_WORKLOAD_PROGRAM_HH
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/inst.hh"
+
+namespace parrot::workload
+{
+
+/** How a basic block transfers control when it finishes. */
+enum class TermKind : std::uint8_t
+{
+    FallThrough, //!< no CTI; continue to the next block
+    Cond,        //!< biased conditional branch (forward)
+    LoopBack,    //!< backward conditional branch closing a loop
+    Jump,        //!< unconditional direct jump
+    Switch,      //!< indirect jump over a target table
+    Call,        //!< call a procedure, then continue at fallBlock
+    Ret          //!< return from the procedure
+};
+
+/** Control-flow metadata attached to a block's terminator. */
+struct BlockTerm
+{
+    TermKind kind = TermKind::FallThrough;
+    int takenBlock = -1;   //!< target block (Cond/LoopBack/Jump)
+    int fallBlock = -1;    //!< fall-through block (-1: procedure end)
+    int calleeProc = -1;   //!< callee (Call)
+    double takenBias = 0.5; //!< P(taken) for Cond
+    double avgTrips = 8.0;  //!< mean iterations for LoopBack
+    std::vector<int> switchTargets; //!< candidate blocks for Switch
+
+    /** For history-correlated Cond branches: a repeating direction
+     * pattern of patternLen bits (LSB first); 0 means purely biased. */
+    std::uint8_t patternLen = 0;
+    std::uint8_t patternBits = 0;
+};
+
+/**
+ * A basic block: straight-line macro-instructions, the last of which may
+ * be a CTI whose behaviour is described by term.
+ */
+struct Block
+{
+    std::vector<isa::MacroInst> insts;
+    BlockTerm term;
+
+    /** Static address of the block's first instruction. */
+    Addr startPc() const { return insts.front().pc; }
+};
+
+/** A procedure: blocks indexed from 0 (the entry block). */
+struct Procedure
+{
+    std::vector<Block> blocks;
+    bool isHot = false; //!< belongs to the intended hot working set
+
+    /** Entry address. */
+    Addr entryPc() const { return blocks.front().startPc(); }
+};
+
+/**
+ * A complete static program. Procedure 0 is "main": an endless outer
+ * loop of call sites through which the executor drives the run.
+ */
+class Program
+{
+  public:
+    std::vector<Procedure> procs;
+
+    /** Total static macro-instruction count. */
+    std::size_t numStaticInsts() const;
+
+    /** Total static code bytes (the instruction-cache footprint). */
+    std::size_t codeBytes() const;
+
+    /** Total static uop count. */
+    std::size_t numStaticUops() const;
+
+    /**
+     * Look up the instruction at a code address.
+     * @return nullptr when pc does not start an instruction.
+     */
+    const isa::MacroInst *instAt(Addr pc) const;
+
+    /** (Re)build the pc -> instruction index after construction. */
+    void buildIndex();
+
+  private:
+    std::unordered_map<Addr, const isa::MacroInst *> pcIndex;
+};
+
+} // namespace parrot::workload
+
+#endif // PARROT_WORKLOAD_PROGRAM_HH

@@ -1,0 +1,72 @@
+/** @file Unit tests for the bench result store (cache round-trip). */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "bench_util.hh"
+
+namespace
+{
+
+using namespace parrot;
+using namespace parrot::bench;
+
+TEST(ResultStoreTest, MemoizesAcrossInstances)
+{
+    const std::string path = "test_bench_cache.tmp";
+    std::remove(path.c_str());
+    setenv("PARROT_BENCH_INSTS", "20000", 1);
+
+    auto entry = workload::findApp("word");
+    sim::SimResult first;
+    {
+        ResultStore store(path);
+        first = store.get("N", entry);
+        EXPECT_GT(first.ipc, 0.0);
+    }
+    // A fresh instance must read the same result from disk (without
+    // re-simulating: identical to the last digit).
+    {
+        ResultStore store(path);
+        sim::SimResult second = store.get("N", entry);
+        EXPECT_EQ(second.cycles, first.cycles);
+        EXPECT_DOUBLE_EQ(second.ipc, first.ipc);
+        EXPECT_DOUBLE_EQ(second.totalEnergy, first.totalEnergy);
+        EXPECT_DOUBLE_EQ(second.cmpw, first.cmpw);
+        EXPECT_EQ(second.model, "N");
+        EXPECT_EQ(second.app, "word");
+        for (unsigned u = 0; u < power::numPowerUnits; ++u)
+            EXPECT_DOUBLE_EQ(second.unitEnergy[u], first.unitEnergy[u]);
+    }
+    std::remove(path.c_str());
+    unsetenv("PARROT_BENCH_INSTS");
+}
+
+TEST(ResultStoreTest, CorruptLinesIgnored)
+{
+    const std::string path = "test_bench_cache2.tmp";
+    {
+        std::ofstream out(path);
+        out << "garbage line without tab\n";
+        out << "key/with/tab\tnot numbers at all\n";
+    }
+    setenv("PARROT_BENCH_INSTS", "20000", 1);
+    ResultStore store(path); // must not crash
+    auto entry = workload::findApp("word");
+    sim::SimResult r = store.get("N", entry);
+    EXPECT_GT(r.ipc, 0.0);
+    std::remove(path.c_str());
+    unsetenv("PARROT_BENCH_INSTS");
+}
+
+TEST(BenchBudgetTest, EnvOverride)
+{
+    setenv("PARROT_BENCH_INSTS", "12345", 1);
+    EXPECT_EQ(benchInstBudget(), 12345u);
+    unsetenv("PARROT_BENCH_INSTS");
+    EXPECT_EQ(benchInstBudget(), 600000u);
+}
+
+} // namespace

@@ -1,0 +1,64 @@
+/** @file Unit tests for bit utilities. */
+
+#include <gtest/gtest.h>
+
+#include "common/bitutil.hh"
+
+namespace
+{
+
+using namespace parrot;
+
+TEST(BitUtilTest, IsPowerOfTwo)
+{
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(2));
+    EXPECT_FALSE(isPowerOfTwo(3));
+    EXPECT_TRUE(isPowerOfTwo(1ull << 63));
+    EXPECT_FALSE(isPowerOfTwo((1ull << 63) + 1));
+}
+
+TEST(BitUtilTest, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(1024), 10u);
+    EXPECT_EQ(floorLog2(1ull << 63), 63u);
+}
+
+TEST(BitUtilTest, CeilLog2)
+{
+    EXPECT_EQ(ceilLog2(1), 0u);
+    EXPECT_EQ(ceilLog2(2), 1u);
+    EXPECT_EQ(ceilLog2(3), 2u);
+    EXPECT_EQ(ceilLog2(1025), 11u);
+}
+
+TEST(BitUtilTest, BitsExtraction)
+{
+    EXPECT_EQ(bits(0xff00, 15, 8), 0xffull);
+    EXPECT_EQ(bits(0xdeadbeef, 7, 0), 0xefull);
+    EXPECT_EQ(bits(~0ull, 63, 0), ~0ull);
+}
+
+TEST(BitUtilTest, Mix64Distributes)
+{
+    // Consecutive inputs must map to well-separated outputs.
+    EXPECT_NE(mix64(1), mix64(2));
+    EXPECT_EQ(mix64(0), 0u) << "0 is the murmur finalizer's fixed point";
+    EXPECT_NE(mix64(1), 1u);
+    std::uint64_t x = mix64(100), y = mix64(101);
+    int differing = __builtin_popcountll(x ^ y);
+    EXPECT_GT(differing, 16);
+}
+
+TEST(BitUtilTest, HashCombineOrderSensitive)
+{
+    auto a = hashCombine(hashCombine(0, 1), 2);
+    auto b = hashCombine(hashCombine(0, 2), 1);
+    EXPECT_NE(a, b);
+}
+
+} // namespace

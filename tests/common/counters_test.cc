@@ -1,0 +1,84 @@
+/** @file Unit tests for saturating counters and history registers. */
+
+#include <gtest/gtest.h>
+
+#include "common/counters.hh"
+
+namespace
+{
+
+using parrot::HistoryRegister;
+using parrot::SatCounter;
+
+TEST(SatCounterTest, SaturatesHigh)
+{
+    SatCounter c(2);
+    for (int i = 0; i < 10; ++i)
+        c.increment();
+    EXPECT_EQ(c.read(), 3u);
+    EXPECT_TRUE(c.isMax());
+}
+
+TEST(SatCounterTest, SaturatesLow)
+{
+    SatCounter c(2, 1);
+    c.decrement();
+    c.decrement();
+    c.decrement();
+    EXPECT_EQ(c.read(), 0u);
+}
+
+TEST(SatCounterTest, IsSetThreshold)
+{
+    SatCounter c(2); // values 0..3; set when > 1
+    EXPECT_FALSE(c.isSet());
+    c.increment();
+    EXPECT_FALSE(c.isSet());
+    c.increment();
+    EXPECT_TRUE(c.isSet());
+}
+
+TEST(SatCounterTest, WidthOne)
+{
+    SatCounter c(1);
+    c.increment();
+    EXPECT_TRUE(c.isMax());
+    EXPECT_EQ(c.max(), 1u);
+}
+
+TEST(SatCounterTest, ResetClears)
+{
+    SatCounter c(3, 5);
+    c.reset();
+    EXPECT_EQ(c.read(), 0u);
+}
+
+TEST(HistoryRegisterTest, PushAndMask)
+{
+    HistoryRegister h(4);
+    h.push(true);
+    h.push(false);
+    h.push(true);
+    h.push(true);
+    EXPECT_EQ(h.value(), 0b1011u);
+    h.push(false);
+    EXPECT_EQ(h.value(), 0b0110u); // oldest bit shifted out
+}
+
+TEST(HistoryRegisterTest, FullWidth64)
+{
+    HistoryRegister h(64);
+    for (int i = 0; i < 64; ++i)
+        h.push(true);
+    EXPECT_EQ(h.value(), ~0ull);
+}
+
+TEST(HistoryRegisterTest, ResetClears)
+{
+    HistoryRegister h(8);
+    h.push(true);
+    h.reset();
+    EXPECT_EQ(h.value(), 0u);
+}
+
+} // namespace

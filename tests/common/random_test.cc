@@ -1,0 +1,112 @@
+/** @file Unit tests for the deterministic PRNG. */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+
+namespace
+{
+
+using parrot::Rng;
+
+TEST(RngTest, DeterministicFromSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, ReseedRestartsSequence)
+{
+    Rng a(7);
+    std::uint64_t first = a.next();
+    a.next();
+    a.reseed(7);
+    EXPECT_EQ(a.next(), first);
+}
+
+TEST(RngTest, BelowRespectsBound)
+{
+    Rng rng(3);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(RngTest, BelowCoversRange)
+{
+    Rng rng(5);
+    bool seen[8] = {};
+    for (int i = 0; i < 1000; ++i)
+        seen[rng.below(8)] = true;
+    for (bool s : seen)
+        EXPECT_TRUE(s);
+}
+
+TEST(RngTest, RangeInclusive)
+{
+    Rng rng(11);
+    bool lo = false, hi = false;
+    for (int i = 0; i < 5000; ++i) {
+        auto v = rng.range(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        lo |= (v == -3);
+        hi |= (v == 3);
+    }
+    EXPECT_TRUE(lo);
+    EXPECT_TRUE(hi);
+}
+
+TEST(RngTest, UniformInUnitInterval)
+{
+    Rng rng(13);
+    double sum = 0.0;
+    for (int i = 0; i < 20000; ++i) {
+        double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 20000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, ChanceMatchesProbability)
+{
+    Rng rng(17);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i)
+        hits += rng.chance(0.3);
+    EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(RngTest, PositiveAroundMeanAndCap)
+{
+    Rng rng(19);
+    double sum = 0.0;
+    for (int i = 0; i < 20000; ++i) {
+        int v = rng.positiveAround(8.0, 32);
+        ASSERT_GE(v, 1);
+        ASSERT_LE(v, 32);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / 20000.0, 8.0, 1.0);
+}
+
+TEST(RngTest, PositiveAroundHugeMeanHitsCap)
+{
+    Rng rng(23);
+    // A mean far beyond the cap must not overflow and must return cap.
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(rng.positiveAround(1e12, 1000), 1000);
+}
+
+} // namespace

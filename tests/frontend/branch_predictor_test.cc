@@ -1,0 +1,134 @@
+/** @file Unit tests for the tournament branch predictor, BTB and RAS. */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "frontend/branch_predictor.hh"
+
+namespace
+{
+
+using namespace parrot;
+using namespace parrot::frontend;
+
+BranchPredictorConfig
+smallConfig()
+{
+    BranchPredictorConfig cfg;
+    cfg.numEntries = 256;
+    cfg.historyBits = 8;
+    cfg.btbEntries = 64;
+    cfg.rasEntries = 4;
+    return cfg;
+}
+
+TEST(BranchPredictorTest, LearnsAlwaysTaken)
+{
+    BranchPredictor bp(smallConfig());
+    for (int i = 0; i < 64; ++i) {
+        bool p = bp.predict(0x4000);
+        bp.update(0x4000, true);
+        if (i > 4)
+            EXPECT_TRUE(p) << "iteration " << i;
+    }
+}
+
+TEST(BranchPredictorTest, LearnsAlwaysNotTaken)
+{
+    BranchPredictor bp(smallConfig());
+    for (int i = 0; i < 64; ++i) {
+        bool p = bp.predict(0x4000);
+        bp.update(0x4000, false);
+        if (i > 4)
+            EXPECT_FALSE(p);
+    }
+}
+
+TEST(BranchPredictorTest, HighAccuracyOnBiasedBranches)
+{
+    BranchPredictor bp(smallConfig());
+    Rng rng(99);
+    for (int i = 0; i < 20000; ++i) {
+        Addr pc = 0x4000 + (rng.below(16) * 8);
+        bool taken = rng.chance(0.95);
+        bp.predict(pc);
+        bp.update(pc, taken);
+    }
+    EXPECT_LT(bp.mispredictRatio(), 0.10);
+}
+
+TEST(BranchPredictorTest, GshareLearnsGlobalPattern)
+{
+    // A single branch alternating T/NT is perfectly predictable with
+    // history; the tournament must beat the bimodal-only floor (~50%).
+    BranchPredictor bp(smallConfig());
+    for (int i = 0; i < 4000; ++i) {
+        bool taken = (i % 2) == 0;
+        bp.predict(0x4000);
+        bp.update(0x4000, taken);
+    }
+    EXPECT_LT(bp.mispredictRatio(), 0.10);
+}
+
+TEST(BranchPredictorTest, StatsCountPredictions)
+{
+    BranchPredictor bp(smallConfig());
+    for (int i = 0; i < 10; ++i) {
+        bp.predict(0x10);
+        bp.update(0x10, true);
+    }
+    EXPECT_EQ(bp.predictions(), 10u);
+    EXPECT_EQ(bp.mispredictions(),
+              bp.predictions() -
+                  (bp.predictions() - bp.mispredictions()));
+}
+
+TEST(BtbTest, MissThenHitAfterInsert)
+{
+    BranchPredictor bp(smallConfig());
+    Addr target = 0;
+    EXPECT_FALSE(bp.btbLookup(0x4000, target));
+    bp.btbInsert(0x4000, 0x5000);
+    ASSERT_TRUE(bp.btbLookup(0x4000, target));
+    EXPECT_EQ(target, 0x5000u);
+}
+
+TEST(BtbTest, TagMismatchMisses)
+{
+    BranchPredictorConfig cfg = smallConfig();
+    BranchPredictor bp(cfg);
+    bp.btbInsert(0x4000, 0x5000);
+    Addr target = 0;
+    // A pc aliasing to another index (or same index, different tag)
+    // must not produce a false hit.
+    EXPECT_FALSE(bp.btbLookup(0x4001, target));
+}
+
+TEST(RasTest, LifoOrder)
+{
+    BranchPredictor bp(smallConfig());
+    bp.rasPush(0x100);
+    bp.rasPush(0x200);
+    EXPECT_EQ(bp.rasPop(), 0x200u);
+    EXPECT_EQ(bp.rasPop(), 0x100u);
+}
+
+TEST(RasTest, UnderflowReturnsZero)
+{
+    BranchPredictor bp(smallConfig());
+    EXPECT_EQ(bp.rasPop(), 0u);
+}
+
+TEST(RasTest, OverflowDropsOldest)
+{
+    BranchPredictor bp(smallConfig()); // 4 entries
+    for (Addr a = 1; a <= 5; ++a)
+        bp.rasPush(a * 0x10);
+    EXPECT_EQ(bp.rasPop(), 0x50u);
+    EXPECT_EQ(bp.rasPop(), 0x40u);
+    EXPECT_EQ(bp.rasPop(), 0x30u);
+    EXPECT_EQ(bp.rasPop(), 0x20u);
+    EXPECT_EQ(bp.rasPop(), 0u) << "oldest entry was dropped";
+}
+
+} // namespace

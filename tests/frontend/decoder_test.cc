@@ -1,0 +1,76 @@
+/** @file Unit tests for the variable-length decode bandwidth model. */
+
+#include <gtest/gtest.h>
+
+#include "frontend/decoder.hh"
+#include "isa/uop.hh"
+
+namespace
+{
+
+using namespace parrot;
+using namespace parrot::frontend;
+
+isa::MacroInst
+makeInst(unsigned length, unsigned uops)
+{
+    isa::MacroInst inst;
+    inst.length = static_cast<std::uint8_t>(length);
+    for (unsigned i = 0; i < uops; ++i)
+        inst.uops.push_back(isa::makeMovImm(2, 1));
+    return inst;
+}
+
+TEST(DecoderTest, SimpleInstsFillWidth)
+{
+    Decoder dec(DecoderConfig{4, 6, 16});
+    auto a = makeInst(3, 1);
+    std::vector<const isa::MacroInst *> window{&a, &a, &a, &a, &a};
+    EXPECT_EQ(dec.throughput(window), 4u);
+}
+
+TEST(DecoderTest, WeightLimitThrottlesComplexInsts)
+{
+    Decoder dec(DecoderConfig{4, 6, 64});
+    auto complex = makeInst(10, 3); // weight 1+1+1 = 3
+    std::vector<const isa::MacroInst *> window{&complex, &complex,
+                                               &complex};
+    // 3 + 3 = 6 fits; a third would exceed the weight limit.
+    EXPECT_EQ(dec.throughput(window), 2u);
+}
+
+TEST(DecoderTest, FetchWindowLimitsBytes)
+{
+    Decoder dec(DecoderConfig{8, 64, 16});
+    auto fat = makeInst(7, 1);
+    std::vector<const isa::MacroInst *> window{&fat, &fat, &fat, &fat};
+    // 7 + 7 = 14 <= 16; adding a third (21) exceeds the fetch window.
+    EXPECT_EQ(dec.throughput(window), 2u);
+}
+
+TEST(DecoderTest, FirstInstructionAlwaysDecodes)
+{
+    Decoder dec(DecoderConfig{4, 2, 4});
+    auto huge = makeInst(15, 4); // weight exceeds any limit
+    std::vector<const isa::MacroInst *> window{&huge, &huge};
+    EXPECT_EQ(dec.throughput(window), 1u)
+        << "a lone oversized instruction must not stall forever";
+}
+
+TEST(DecoderTest, EmptyWindowDecodesNothing)
+{
+    Decoder dec(DecoderConfig{});
+    EXPECT_EQ(dec.throughput({}), 0u);
+}
+
+TEST(DecoderTest, DecodeWeightReflectsComplexity)
+{
+    auto simple = makeInst(3, 1);
+    auto long_inst = makeInst(12, 1);
+    auto multi = makeInst(3, 3);
+    EXPECT_EQ(Decoder::cost(simple), 1u);
+    EXPECT_EQ(Decoder::cost(long_inst), 2u);
+    EXPECT_EQ(Decoder::cost(multi), 2u);
+}
+
+} // namespace

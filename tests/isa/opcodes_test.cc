@@ -1,0 +1,72 @@
+/** @file Unit tests for opcode classification. */
+
+#include <gtest/gtest.h>
+
+#include "isa/opcodes.hh"
+
+namespace
+{
+
+using namespace parrot::isa;
+
+TEST(OpcodesTest, ExecClassMapping)
+{
+    EXPECT_EQ(execClassOf(UopKind::Add), ExecClass::IntAlu);
+    EXPECT_EQ(execClassOf(UopKind::Mul), ExecClass::IntMul);
+    EXPECT_EQ(execClassOf(UopKind::Div), ExecClass::IntDiv);
+    EXPECT_EQ(execClassOf(UopKind::Load), ExecClass::MemLoad);
+    EXPECT_EQ(execClassOf(UopKind::Store), ExecClass::MemStore);
+    EXPECT_EQ(execClassOf(UopKind::Branch), ExecClass::Ctrl);
+    EXPECT_EQ(execClassOf(UopKind::FpMulAdd), ExecClass::FpMul);
+    EXPECT_EQ(execClassOf(UopKind::SimdInt), ExecClass::Simd);
+    EXPECT_EQ(execClassOf(UopKind::AssertTaken), ExecClass::Ctrl);
+}
+
+TEST(OpcodesTest, EveryKindHasAClassAndName)
+{
+    for (int k = 0; k < static_cast<int>(UopKind::NumKinds); ++k) {
+        auto kind = static_cast<UopKind>(k);
+        EXPECT_NE(std::string(uopKindName(kind)), "<bad>")
+            << "kind " << k;
+        ExecClass cls = execClassOf(kind);
+        EXPECT_LT(static_cast<int>(cls),
+                  static_cast<int>(ExecClass::NumClasses));
+        EXPECT_GE(execLatency(cls), 1u);
+    }
+}
+
+TEST(OpcodesTest, CtiClassification)
+{
+    EXPECT_TRUE(isCti(UopKind::Branch));
+    EXPECT_TRUE(isCti(UopKind::Return));
+    EXPECT_TRUE(isCti(UopKind::AssertNotTaken));
+    EXPECT_FALSE(isCti(UopKind::Add));
+    EXPECT_FALSE(isCti(UopKind::Load));
+}
+
+TEST(OpcodesTest, AssertClassification)
+{
+    EXPECT_TRUE(isAssert(UopKind::AssertTaken));
+    EXPECT_TRUE(isAssert(UopKind::AssertCmpNotTaken));
+    EXPECT_FALSE(isAssert(UopKind::Branch));
+}
+
+TEST(OpcodesTest, FlagsDataflow)
+{
+    EXPECT_TRUE(writesFlags(UopKind::Cmp));
+    EXPECT_TRUE(writesFlags(UopKind::CmpImm));
+    EXPECT_FALSE(writesFlags(UopKind::Add));
+    EXPECT_TRUE(readsFlags(UopKind::Branch));
+    EXPECT_TRUE(readsFlags(UopKind::AssertTaken));
+    EXPECT_FALSE(readsFlags(UopKind::AssertCmpTaken))
+        << "fused compare-asserts read registers, not flags";
+}
+
+TEST(OpcodesTest, LatencyOrdering)
+{
+    EXPECT_LT(execLatency(ExecClass::IntAlu), execLatency(ExecClass::IntMul));
+    EXPECT_LT(execLatency(ExecClass::IntMul), execLatency(ExecClass::IntDiv));
+    EXPECT_LT(execLatency(ExecClass::FpMul), execLatency(ExecClass::FpDiv));
+}
+
+} // namespace

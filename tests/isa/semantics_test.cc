@@ -1,0 +1,179 @@
+/** @file Unit tests for functional uop semantics. */
+
+#include <gtest/gtest.h>
+
+#include "isa/arch_state.hh"
+#include "isa/uop.hh"
+
+namespace
+{
+
+using namespace parrot::isa;
+using parrot::RegId;
+
+class SemanticsTest : public ::testing::Test
+{
+  protected:
+    ArchState st;
+};
+
+TEST_F(SemanticsTest, AddSubAndOrXor)
+{
+    st.setReg(1, 10);
+    st.setReg(2, 3);
+    executeUop(makeAlu(UopKind::Add, 3, 1, 2), st);
+    EXPECT_EQ(st.reg(3), 13);
+    executeUop(makeAlu(UopKind::Sub, 4, 1, 2), st);
+    EXPECT_EQ(st.reg(4), 7);
+    executeUop(makeAlu(UopKind::And, 5, 1, 2), st);
+    EXPECT_EQ(st.reg(5), 2);
+    executeUop(makeAlu(UopKind::Or, 6, 1, 2), st);
+    EXPECT_EQ(st.reg(6), 11);
+    executeUop(makeAlu(UopKind::Xor, 7, 1, 2), st);
+    EXPECT_EQ(st.reg(7), 9);
+}
+
+TEST_F(SemanticsTest, Shifts)
+{
+    st.setReg(1, 0b1010);
+    executeUop(makeAluImm(UopKind::ShlImm, 2, 1, 2), st);
+    EXPECT_EQ(st.reg(2), 0b101000);
+    executeUop(makeAluImm(UopKind::ShrImm, 3, 1, 1), st);
+    EXPECT_EQ(st.reg(3), 0b101);
+}
+
+TEST_F(SemanticsTest, ShrIsLogical)
+{
+    st.setReg(1, -1);
+    executeUop(makeAluImm(UopKind::ShrImm, 2, 1, 1), st);
+    EXPECT_EQ(static_cast<std::uint64_t>(st.reg(2)), ~0ull >> 1);
+}
+
+TEST_F(SemanticsTest, MovAndMovImm)
+{
+    executeUop(makeMovImm(1, -99), st);
+    EXPECT_EQ(st.reg(1), -99);
+    executeUop(makeMov(2, 1), st);
+    EXPECT_EQ(st.reg(2), -99);
+}
+
+TEST_F(SemanticsTest, LeaCombinesThreeTerms)
+{
+    st.setReg(1, 100);
+    st.setReg(2, 20);
+    executeUop(makeLea(3, 1, 2, 3), st);
+    EXPECT_EQ(st.reg(3), 123);
+}
+
+TEST_F(SemanticsTest, MulDivAndDivByZero)
+{
+    st.setReg(1, 6);
+    st.setReg(2, 7);
+    executeUop(makeAlu(UopKind::Mul, 3, 1, 2), st);
+    EXPECT_EQ(st.reg(3), 42);
+    executeUop(makeAlu(UopKind::Div, 4, 3, 1), st);
+    EXPECT_EQ(st.reg(4), 7);
+    st.setReg(5, 0);
+    executeUop(makeAlu(UopKind::Div, 6, 3, 5), st);
+    EXPECT_EQ(st.reg(6), 0) << "div-by-zero must yield 0, not trap";
+}
+
+TEST_F(SemanticsTest, CmpSetsFlagsSign)
+{
+    st.setReg(1, 5);
+    st.setReg(2, 9);
+    executeUop(makeCmp(1, 2), st);
+    EXPECT_EQ(st.reg(regFlags), -1);
+    executeUop(makeCmp(2, 1), st);
+    EXPECT_EQ(st.reg(regFlags), 1);
+    executeUop(makeCmp(1, 1), st);
+    EXPECT_EQ(st.reg(regFlags), 0);
+    executeUop(makeCmpImm(1, 5), st);
+    EXPECT_EQ(st.reg(regFlags), 0);
+}
+
+TEST_F(SemanticsTest, LoadStoreRoundTrip)
+{
+    st.setReg(1, 0x1000);
+    st.setReg(2, 777);
+    auto info = executeUop(makeStore(2, 1, 8), st);
+    EXPECT_TRUE(info.accessedMem);
+    EXPECT_TRUE(info.isStore);
+    EXPECT_EQ(info.addr, 0x1008u);
+    info = executeUop(makeLoad(3, 1, 8), st);
+    EXPECT_TRUE(info.accessedMem);
+    EXPECT_FALSE(info.isStore);
+    EXPECT_EQ(st.reg(3), 777);
+}
+
+TEST_F(SemanticsTest, UntouchedMemoryIsDeterministicHash)
+{
+    SparseMemory m;
+    auto v1 = m.read(0x4242);
+    auto v2 = m.read(0x4242);
+    EXPECT_EQ(v1, v2);
+    EXPECT_NE(m.read(0x4242), m.read(0x4243));
+    EXPECT_EQ(m.writtenWords(), 0u);
+}
+
+TEST_F(SemanticsTest, CtiUopsDoNotTouchState)
+{
+    st.setReg(1, 11);
+    ArchState before = st;
+    executeUop(makeBranch(), st);
+    executeUop(makeJump(), st);
+    executeUop(makeCall(), st);
+    executeUop(makeReturn(), st);
+    executeUop(makeAssert(true, 0x10), st);
+    for (unsigned r = 0; r < numArchRegs; ++r)
+        EXPECT_EQ(st.reg(r), before.reg(r));
+}
+
+TEST_F(SemanticsTest, AssertCmpDoesNotWriteFlags)
+{
+    st.setReg(regFlags, 42);
+    st.setReg(1, 1);
+    st.setReg(2, 2);
+    executeUop(makeAssertCmp(true, 1, 2, 0), st);
+    EXPECT_EQ(st.reg(regFlags), 42);
+}
+
+TEST_F(SemanticsTest, FpMulAddFusedResult)
+{
+    st.setReg(16, 3);
+    st.setReg(17, 4);
+    st.setReg(18, 5);
+    executeUop(makeFpMulAdd(19, 16, 17, 18), st);
+    EXPECT_EQ(st.reg(19), 17);
+}
+
+TEST_F(SemanticsTest, SimdPairExecutesBothLanes)
+{
+    st.setReg(1, 10);
+    st.setReg(2, 1);
+    st.setReg(3, 20);
+    st.setReg(4, 2);
+    Uop a = makeAlu(UopKind::Add, 5, 1, 2);
+    Uop b = makeAlu(UopKind::Add, 6, 3, 4);
+    executeUop(makeSimdPair(UopKind::Add, a, b), st);
+    EXPECT_EQ(st.reg(5), 11);
+    EXPECT_EQ(st.reg(6), 22);
+}
+
+TEST_F(SemanticsTest, SimdEquivalentToScalarSequence)
+{
+    ArchState s1, s2;
+    for (RegId r = 0; r < 8; ++r) {
+        s1.setReg(r, r * 3 + 1);
+        s2.setReg(r, r * 3 + 1);
+    }
+    Uop a = makeAlu(UopKind::Xor, 5, 1, 2);
+    Uop b = makeAlu(UopKind::Xor, 6, 3, 4);
+    executeUop(a, s1);
+    executeUop(b, s1);
+    executeUop(makeSimdPair(UopKind::Xor, a, b), s2);
+    for (unsigned r = 0; r < numArchRegs; ++r)
+        EXPECT_EQ(s1.reg(r), s2.reg(r));
+}
+
+} // namespace

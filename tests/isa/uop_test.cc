@@ -1,0 +1,97 @@
+/** @file Unit tests for uop construction and introspection. */
+
+#include <gtest/gtest.h>
+
+#include "isa/uop.hh"
+
+namespace
+{
+
+using namespace parrot::isa;
+using parrot::invalidReg;
+using parrot::RegId;
+
+TEST(UopTest, AluBuilder)
+{
+    Uop u = makeAlu(UopKind::Add, 3, 1, 2);
+    EXPECT_EQ(u.kind, UopKind::Add);
+    EXPECT_EQ(u.dst, 3);
+    EXPECT_EQ(u.src1, 1);
+    EXPECT_EQ(u.src2, 2);
+    EXPECT_TRUE(u.hasDst());
+    EXPECT_EQ(u.effectiveDst(), 3);
+}
+
+TEST(UopTest, CmpWritesFlagsAsEffectiveDst)
+{
+    Uop u = makeCmp(1, 2);
+    EXPECT_EQ(u.dst, invalidReg);
+    EXPECT_TRUE(u.hasDst());
+    EXPECT_EQ(u.effectiveDst(), regFlags);
+}
+
+TEST(UopTest, BranchReadsFlags)
+{
+    Uop u = makeBranch();
+    RegId srcs[4];
+    ASSERT_EQ(u.sources(srcs), 1u);
+    EXPECT_EQ(srcs[0], regFlags);
+    EXPECT_FALSE(u.hasDst());
+}
+
+TEST(UopTest, LoadStoreShape)
+{
+    Uop ld = makeLoad(4, 5, 16);
+    EXPECT_EQ(ld.kind, UopKind::Load);
+    EXPECT_EQ(ld.numSources(), 1u);
+    Uop st = makeStore(4, 5, 16);
+    EXPECT_EQ(st.kind, UopKind::Store);
+    EXPECT_EQ(st.numSources(), 2u);
+    EXPECT_FALSE(st.hasDst());
+}
+
+TEST(UopTest, FpMulAddReadsThreeSources)
+{
+    Uop u = makeFpMulAdd(16, 17, 18, 19);
+    EXPECT_EQ(u.numSources(), 3u);
+    EXPECT_EQ(u.dst, 16);
+}
+
+TEST(UopTest, SimdPairCarriesBothLanes)
+{
+    Uop a = makeAlu(UopKind::Add, 3, 1, 2);
+    Uop b = makeAlu(UopKind::Add, 6, 4, 5);
+    Uop s = makeSimdPair(UopKind::Add, a, b);
+    EXPECT_EQ(s.kind, UopKind::SimdInt);
+    EXPECT_EQ(s.laneKind, UopKind::Add);
+    EXPECT_EQ(s.dst, 3);
+    EXPECT_EQ(s.dst2, 6);
+    EXPECT_EQ(s.numSources(), 4u);
+}
+
+TEST(UopTest, SimdPairFpClassification)
+{
+    Uop a = makeFp(UopKind::FpMul, 16, 17, 18);
+    Uop b = makeFp(UopKind::FpMul, 19, 20, 21);
+    Uop s = makeSimdPair(UopKind::FpMul, a, b);
+    EXPECT_EQ(s.kind, UopKind::SimdFp);
+}
+
+TEST(UopTest, AssertCarriesTargetAndDirection)
+{
+    Uop t = makeAssert(true, 0x1234);
+    EXPECT_EQ(t.kind, UopKind::AssertTaken);
+    EXPECT_EQ(t.assertTarget, 0x1234u);
+    Uop nt = makeAssert(false, 0);
+    EXPECT_EQ(nt.kind, UopKind::AssertNotTaken);
+}
+
+TEST(UopTest, ToStringContainsMnemonic)
+{
+    Uop u = makeAluImm(UopKind::AddImm, 2, 3, 42);
+    auto s = u.toString();
+    EXPECT_NE(s.find("addi"), std::string::npos);
+    EXPECT_NE(s.find("42"), std::string::npos);
+}
+
+} // namespace

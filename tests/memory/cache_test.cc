@@ -1,0 +1,169 @@
+/** @file Unit tests for the set-associative cache model. */
+
+#include <gtest/gtest.h>
+
+#include "memory/cache.hh"
+#include "memory/hierarchy.hh"
+
+namespace
+{
+
+using namespace parrot;
+using namespace parrot::memory;
+
+CacheConfig
+smallConfig()
+{
+    CacheConfig cfg;
+    cfg.name = "test";
+    cfg.sizeBytes = 1024; // 4 sets x 4 ways x 64B
+    cfg.assoc = 4;
+    cfg.lineBytes = 64;
+    cfg.hitLatency = 2;
+    return cfg;
+}
+
+TEST(CacheTest, GeometryDerivation)
+{
+    CacheConfig cfg = smallConfig();
+    EXPECT_EQ(cfg.numSets(), 4u);
+    cfg.validate();
+}
+
+TEST(CacheTest, ColdMissThenHit)
+{
+    Cache cache(smallConfig());
+    EXPECT_FALSE(cache.access(0x1000, false).hit);
+    EXPECT_TRUE(cache.access(0x1000, false).hit);
+    EXPECT_EQ(cache.missCount(), 1u);
+    EXPECT_EQ(cache.hitCount(), 1u);
+}
+
+TEST(CacheTest, SameLineDifferentBytesHit)
+{
+    Cache cache(smallConfig());
+    cache.access(0x1000, false);
+    EXPECT_TRUE(cache.access(0x103f, false).hit) << "same 64B line";
+    EXPECT_FALSE(cache.access(0x1040, false).hit) << "next line";
+}
+
+TEST(CacheTest, LruEviction)
+{
+    Cache cache(smallConfig());
+    // Fill one set (set stride = 4 sets * 64B = 256B).
+    for (int w = 0; w < 4; ++w)
+        cache.access(0x1000 + w * 256, false);
+    // Touch way 0 so way 1 becomes LRU.
+    cache.access(0x1000, false);
+    // A fifth line in the set must evict the LRU (0x1100).
+    cache.access(0x1000 + 4 * 256, false);
+    EXPECT_TRUE(cache.contains(0x1000));
+    EXPECT_FALSE(cache.contains(0x1100));
+    EXPECT_TRUE(cache.contains(0x1200));
+}
+
+TEST(CacheTest, DirtyWritebackOnEviction)
+{
+    Cache cache(smallConfig());
+    cache.access(0x1000, true); // dirty
+    for (int w = 1; w <= 4; ++w)
+        cache.access(0x1000 + w * 256, false);
+    EXPECT_EQ(cache.writebackCount(), 1u);
+}
+
+TEST(CacheTest, CleanEvictionNoWriteback)
+{
+    Cache cache(smallConfig());
+    for (int w = 0; w <= 4; ++w)
+        cache.access(0x1000 + w * 256, false);
+    EXPECT_EQ(cache.writebackCount(), 0u);
+}
+
+TEST(CacheTest, FlushInvalidatesEverything)
+{
+    Cache cache(smallConfig());
+    cache.access(0x1000, false);
+    cache.flush();
+    EXPECT_FALSE(cache.contains(0x1000));
+}
+
+TEST(CacheTest, MissRatio)
+{
+    Cache cache(smallConfig());
+    cache.access(0x0, false);
+    cache.access(0x0, false);
+    cache.access(0x0, false);
+    cache.access(0x0, false);
+    EXPECT_DOUBLE_EQ(cache.missRatio(), 0.25);
+    cache.resetStats();
+    EXPECT_DOUBLE_EQ(cache.missRatio(), 0.0);
+}
+
+TEST(CacheTest, FullyAssociativeWorks)
+{
+    CacheConfig cfg = smallConfig();
+    cfg.assoc = 16;
+    cfg.sizeBytes = 16 * 64;
+    Cache cache(cfg);
+    for (int i = 0; i < 16; ++i)
+        cache.access(i * 64, false);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_TRUE(cache.contains(i * 64));
+}
+
+TEST(CacheTest, WorkingSetLargerThanCacheThrashes)
+{
+    Cache cache(smallConfig()); // 1KB
+    for (int pass = 0; pass < 4; ++pass)
+        for (Addr a = 0; a < 8 * 1024; a += 64)
+            cache.access(a, false);
+    EXPECT_GT(cache.missRatio(), 0.9);
+}
+
+} // namespace
+
+namespace
+{
+
+using namespace parrot;
+using namespace parrot::memory;
+
+TEST(PrefetchTest, FillAllocatesWithoutStats)
+{
+    CacheConfig cfg{"pf", 1024, 4, 64, 2};
+    Cache cache(cfg);
+    EXPECT_TRUE(cache.fill(0x1000));
+    EXPECT_TRUE(cache.contains(0x1000));
+    EXPECT_EQ(cache.accesses(), 0u) << "fills are not demand accesses";
+    EXPECT_FALSE(cache.fill(0x1000)) << "already present";
+}
+
+TEST(PrefetchTest, HierarchyNextLinePrefetch)
+{
+    HierarchyConfig cfg;
+    cfg.l1dNextLinePrefetch = true;
+    Hierarchy mem(cfg);
+    mem.accessData(0x10000, false); // miss: prefetches 0x10040
+    EXPECT_EQ(mem.prefetches(), 1u);
+    auto next = mem.accessData(0x10040, false);
+    EXPECT_TRUE(next.l1Hit) << "next line must have been prefetched";
+}
+
+TEST(PrefetchTest, DisabledByDefault)
+{
+    Hierarchy mem{HierarchyConfig{}};
+    mem.accessData(0x10000, false);
+    EXPECT_EQ(mem.prefetches(), 0u);
+    EXPECT_FALSE(mem.l1d().contains(0x10040));
+}
+
+TEST(PrefetchTest, InstructionSidePrefetch)
+{
+    HierarchyConfig cfg;
+    cfg.l1iNextLinePrefetch = true;
+    Hierarchy mem(cfg);
+    mem.fetchInst(0x400000);
+    EXPECT_TRUE(mem.l1i().contains(0x400040));
+}
+
+} // namespace

@@ -1,0 +1,82 @@
+/** @file Unit tests for the L1/L2/memory hierarchy. */
+
+#include <gtest/gtest.h>
+
+#include "memory/hierarchy.hh"
+
+namespace
+{
+
+using namespace parrot;
+using namespace parrot::memory;
+
+TEST(HierarchyTest, DefaultConfigValidates)
+{
+    HierarchyConfig cfg;
+    cfg.validate();
+    EXPECT_DOUBLE_EQ(cfg.l2MegaBytes(), 1.0);
+}
+
+TEST(HierarchyTest, InstFetchLatencies)
+{
+    HierarchyConfig cfg;
+    Hierarchy mem(cfg);
+    // Cold: L1 miss, L2 miss -> full path.
+    auto first = mem.fetchInst(0x400000);
+    EXPECT_FALSE(first.l1Hit);
+    EXPECT_FALSE(first.l2Hit);
+    EXPECT_EQ(first.latency,
+              cfg.l1i.hitLatency + cfg.l2.hitLatency + cfg.memLatency);
+    // Warm: L1 hit.
+    auto second = mem.fetchInst(0x400000);
+    EXPECT_TRUE(second.l1Hit);
+    EXPECT_EQ(second.latency, cfg.l1i.hitLatency);
+}
+
+TEST(HierarchyTest, L2CatchesL1Evictions)
+{
+    HierarchyConfig cfg;
+    cfg.l1d = CacheConfig{"l1d", 1024, 4, 64, 3};
+    Hierarchy mem(cfg);
+    // Touch enough lines to overflow L1D (16 lines) but not L2.
+    for (Addr a = 0; a < 64 * 64; a += 64)
+        mem.accessData(0x100000 + a, false);
+    // Re-touch the first line: L1 miss but L2 hit.
+    auto access = mem.accessData(0x100000, false);
+    EXPECT_FALSE(access.l1Hit);
+    EXPECT_TRUE(access.l2Hit);
+    EXPECT_EQ(access.latency, cfg.l1d.hitLatency + cfg.l2.hitLatency);
+}
+
+TEST(HierarchyTest, MemAccessCounted)
+{
+    HierarchyConfig cfg;
+    Hierarchy mem(cfg);
+    EXPECT_EQ(mem.memAccesses(), 0u);
+    mem.accessData(0x5000, false);
+    EXPECT_EQ(mem.memAccesses(), 1u);
+    mem.accessData(0x5000, false);
+    EXPECT_EQ(mem.memAccesses(), 1u) << "second access hits L1";
+}
+
+TEST(HierarchyTest, InstAndDataShareL2)
+{
+    HierarchyConfig cfg;
+    Hierarchy mem(cfg);
+    mem.fetchInst(0x400000);
+    // The same line fetched as data must now hit in the shared L2.
+    auto access = mem.accessData(0x400000, false);
+    EXPECT_FALSE(access.l1Hit);
+    EXPECT_TRUE(access.l2Hit);
+}
+
+TEST(HierarchyTest, StatsResetClearsCounters)
+{
+    Hierarchy mem(HierarchyConfig{});
+    mem.accessData(0x1000, true);
+    mem.resetStats();
+    EXPECT_EQ(mem.l1d().accesses(), 0u);
+    EXPECT_EQ(mem.memAccesses(), 0u);
+}
+
+} // namespace

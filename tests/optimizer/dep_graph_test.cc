@@ -1,0 +1,123 @@
+/** @file Unit tests for the trace dependence graph. */
+
+#include <gtest/gtest.h>
+
+#include "optimizer/dep_graph.hh"
+
+namespace
+{
+
+using namespace parrot;
+using namespace parrot::optimizer;
+using namespace parrot::isa;
+using tracecache::TraceUop;
+
+TraceUop
+tu(const Uop &uop)
+{
+    TraceUop t;
+    t.uop = uop;
+    return t;
+}
+
+TEST(DepGraphTest, RawEdge)
+{
+    std::vector<TraceUop> uops{
+        tu(makeMovImm(2, 1)),
+        tu(makeAluImm(UopKind::AddImm, 3, 2, 1)),
+    };
+    DependencyGraph g(uops);
+    ASSERT_EQ(g.numNodes(), 2u);
+    ASSERT_EQ(g.succs(0).size(), 1u);
+    EXPECT_EQ(g.succs(0)[0], 1u);
+    EXPECT_EQ(g.preds(1)[0], 0u);
+}
+
+TEST(DepGraphTest, WawEdge)
+{
+    std::vector<TraceUop> uops{
+        tu(makeMovImm(2, 1)),
+        tu(makeMovImm(2, 5)),
+    };
+    DependencyGraph g(uops);
+    ASSERT_EQ(g.succs(0).size(), 1u);
+    EXPECT_EQ(g.succs(0)[0], 1u);
+}
+
+TEST(DepGraphTest, WarEdge)
+{
+    std::vector<TraceUop> uops{
+        tu(makeAluImm(UopKind::AddImm, 3, 2, 1)), // reads r2
+        tu(makeMovImm(2, 5)),                     // writes r2 after
+    };
+    DependencyGraph g(uops);
+    ASSERT_EQ(g.succs(0).size(), 1u);
+    EXPECT_EQ(g.succs(0)[0], 1u);
+}
+
+TEST(DepGraphTest, IndependentNodesNoEdges)
+{
+    std::vector<TraceUop> uops{
+        tu(makeMovImm(2, 1)),
+        tu(makeMovImm(3, 2)),
+    };
+    DependencyGraph g(uops);
+    EXPECT_TRUE(g.succs(0).empty());
+    EXPECT_TRUE(g.preds(1).empty());
+}
+
+TEST(DepGraphTest, MemoryChainIsTotalOrder)
+{
+    std::vector<TraceUop> uops{
+        tu(makeLoad(2, 8, 0)),
+        tu(makeStore(3, 9, 0)),
+        tu(makeLoad(4, 10, 0)),
+    };
+    DependencyGraph g(uops);
+    ASSERT_GE(g.succs(0).size(), 1u);
+    EXPECT_EQ(g.succs(0)[0], 1u);
+    ASSERT_GE(g.succs(1).size(), 1u);
+    EXPECT_EQ(g.succs(1)[0], 2u);
+}
+
+TEST(DepGraphTest, HeightsAreChainLengths)
+{
+    std::vector<TraceUop> uops{
+        tu(makeMovImm(2, 1)),
+        tu(makeAluImm(UopKind::AddImm, 2, 2, 1)),
+        tu(makeAluImm(UopKind::AddImm, 2, 2, 1)),
+        tu(makeMovImm(9, 0)), // independent
+    };
+    DependencyGraph g(uops);
+    EXPECT_EQ(g.height(0), 3u);
+    EXPECT_EQ(g.height(1), 2u);
+    EXPECT_EQ(g.height(2), 1u);
+    EXPECT_EQ(g.height(3), 1u);
+}
+
+TEST(DepGraphTest, IsTopologicalAcceptsIdentity)
+{
+    std::vector<TraceUop> uops{
+        tu(makeMovImm(2, 1)),
+        tu(makeAluImm(UopKind::AddImm, 3, 2, 1)),
+        tu(makeMovImm(4, 9)),
+    };
+    DependencyGraph g(uops);
+    EXPECT_TRUE(g.isTopological({0, 1, 2}));
+    EXPECT_TRUE(g.isTopological({0, 2, 1}));
+    EXPECT_TRUE(g.isTopological({2, 0, 1}));
+}
+
+TEST(DepGraphTest, IsTopologicalRejectsViolations)
+{
+    std::vector<TraceUop> uops{
+        tu(makeMovImm(2, 1)),
+        tu(makeAluImm(UopKind::AddImm, 3, 2, 1)),
+    };
+    DependencyGraph g(uops);
+    EXPECT_FALSE(g.isTopological({1, 0}));
+    EXPECT_FALSE(g.isTopological({0}));
+    EXPECT_FALSE(g.isTopological({0, 0}));
+}
+
+} // namespace

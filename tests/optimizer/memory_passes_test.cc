@@ -1,0 +1,210 @@
+/** @file Unit tests for strength reduction and in-trace memory
+ * forwarding. */
+
+#include <gtest/gtest.h>
+
+#include "optimizer/equivalence.hh"
+#include "optimizer/passes.hh"
+
+namespace
+{
+
+using namespace parrot;
+using namespace parrot::optimizer;
+using namespace parrot::isa;
+using tracecache::TraceUop;
+
+TraceUop
+tu(const Uop &uop)
+{
+    TraceUop t;
+    t.uop = uop;
+    return t;
+}
+
+void
+expectEquivalent(const UopVec &before, const UopVec &after)
+{
+    for (std::uint64_t seed : {3ull, 77ull, 0xfeedull}) {
+        std::string why;
+        EXPECT_TRUE(equivalent(before, after, seed, &why)) << why;
+    }
+}
+
+TEST(StrengthTest, MulByPowerOfTwoBecomesShift)
+{
+    UopVec uops{
+        tu(makeMovImm(2, 8)),
+        tu(makeAlu(UopKind::Mul, 3, 4, 2)),
+    };
+    UopVec before = uops;
+    EXPECT_TRUE(reduceStrength(uops));
+    EXPECT_EQ(uops[1].uop.kind, UopKind::ShlImm);
+    EXPECT_EQ(uops[1].uop.imm, 3);
+    EXPECT_EQ(uops[1].uop.src1, 4);
+    expectEquivalent(before, uops);
+}
+
+TEST(StrengthTest, ConstOnEitherSide)
+{
+    UopVec uops{
+        tu(makeMovImm(2, 16)),
+        tu(makeAlu(UopKind::Mul, 3, 2, 5)), // const on the left
+    };
+    UopVec before = uops;
+    EXPECT_TRUE(reduceStrength(uops));
+    EXPECT_EQ(uops[1].uop.kind, UopKind::ShlImm);
+    EXPECT_EQ(uops[1].uop.src1, 5);
+    expectEquivalent(before, uops);
+}
+
+TEST(StrengthTest, NonPowerOfTwoUntouched)
+{
+    UopVec uops{
+        tu(makeMovImm(2, 12)),
+        tu(makeAlu(UopKind::Mul, 3, 4, 2)),
+    };
+    EXPECT_FALSE(reduceStrength(uops));
+    EXPECT_EQ(uops[1].uop.kind, UopKind::Mul);
+}
+
+TEST(StrengthTest, StaleConstNotUsed)
+{
+    UopVec uops{
+        tu(makeMovImm(2, 8)),
+        tu(makeLoad(2, 5, 0)), // clobbers the constant
+        tu(makeAlu(UopKind::Mul, 3, 4, 2)),
+    };
+    EXPECT_FALSE(reduceStrength(uops));
+}
+
+TEST(StrengthTest, NegativeValuesExact)
+{
+    // -5 * 8 must equal -5 << 3 under wraparound semantics.
+    UopVec uops{
+        tu(makeMovImm(4, -5)),
+        tu(makeMovImm(2, 8)),
+        tu(makeAlu(UopKind::Mul, 3, 4, 2)),
+    };
+    UopVec before = uops;
+    reduceStrength(uops);
+    expectEquivalent(before, uops);
+}
+
+TEST(MemForwardTest, StoreToLoadForwarding)
+{
+    UopVec uops{
+        tu(makeStore(3, 8, 16)),  // mem[r8+16] = r3
+        tu(makeLoad(4, 8, 16)),   // r4 = mem[r8+16]
+    };
+    UopVec before = uops;
+    EXPECT_TRUE(forwardMemory(uops));
+    EXPECT_EQ(uops[1].uop.kind, UopKind::Mov);
+    EXPECT_EQ(uops[1].uop.src1, 3);
+    expectEquivalent(before, uops);
+}
+
+TEST(MemForwardTest, RedundantLoadElimination)
+{
+    UopVec uops{
+        tu(makeLoad(4, 8, 16)),
+        tu(makeLoad(5, 8, 16)), // same word, no intervening store
+    };
+    UopVec before = uops;
+    EXPECT_TRUE(forwardMemory(uops));
+    EXPECT_EQ(uops[1].uop.kind, UopKind::Mov);
+    EXPECT_EQ(uops[1].uop.src1, 4);
+    expectEquivalent(before, uops);
+}
+
+TEST(MemForwardTest, DifferentDisplacementNotForwarded)
+{
+    UopVec uops{
+        tu(makeStore(3, 8, 16)),
+        tu(makeLoad(4, 8, 24)),
+    };
+    EXPECT_FALSE(forwardMemory(uops));
+    EXPECT_EQ(uops[1].uop.kind, UopKind::Load);
+}
+
+TEST(MemForwardTest, BaseRedefinitionKillsKnowledge)
+{
+    UopVec uops{
+        tu(makeStore(3, 8, 16)),
+        tu(makeAluImm(UopKind::AddImm, 8, 8, 64)), // base moves
+        tu(makeLoad(4, 8, 16)),                    // different address!
+    };
+    UopVec before = uops;
+    EXPECT_FALSE(forwardMemory(uops));
+    expectEquivalent(before, uops);
+}
+
+TEST(MemForwardTest, AliasingStoreKills)
+{
+    UopVec uops{
+        tu(makeStore(3, 8, 16)),
+        tu(makeStore(5, 9, 0)), // unknown address: may alias
+        tu(makeLoad(4, 8, 16)),
+    };
+    EXPECT_FALSE(forwardMemory(uops));
+    EXPECT_EQ(uops[2].uop.kind, UopKind::Load);
+}
+
+TEST(MemForwardTest, SameBaseDifferentOffsetStoreDoesNotKill)
+{
+    UopVec uops{
+        tu(makeStore(3, 8, 16)),
+        tu(makeStore(5, 8, 24)), // provably distinct word
+        tu(makeLoad(4, 8, 16)),
+    };
+    UopVec before = uops;
+    EXPECT_TRUE(forwardMemory(uops));
+    EXPECT_EQ(uops[2].uop.kind, UopKind::Mov);
+    EXPECT_EQ(uops[2].uop.src1, 3);
+    expectEquivalent(before, uops);
+}
+
+TEST(MemForwardTest, StaleValueRegisterNotForwarded)
+{
+    UopVec uops{
+        tu(makeStore(3, 8, 16)),
+        tu(makeMovImm(3, 99)), // the stored value's register changed
+        tu(makeLoad(4, 8, 16)),
+    };
+    UopVec before = uops;
+    EXPECT_FALSE(forwardMemory(uops));
+    expectEquivalent(before, uops);
+}
+
+TEST(MemForwardTest, ChaseLoadNotRecorded)
+{
+    // ld r8, [r8+0]; ld r4, [r8+0] — the second load uses the NEW r8;
+    // forwarding the first result would be wrong.
+    UopVec uops{
+        tu(makeLoad(8, 8, 0)),
+        tu(makeLoad(4, 8, 0)),
+    };
+    UopVec before = uops;
+    EXPECT_FALSE(forwardMemory(uops));
+    expectEquivalent(before, uops);
+}
+
+TEST(MemForwardTest, ForwardingFeedsDownstreamPasses)
+{
+    // After forwarding, the load's result is a copy that propagation
+    // can chase and DCE can clean up.
+    UopVec uops{
+        tu(makeStore(3, 8, 16)),
+        tu(makeLoad(4, 8, 16)),
+        tu(makeAlu(UopKind::Add, 5, 4, 4)),
+        tu(makeMovImm(4, 0)), // kills r4: the Mov becomes dead
+    };
+    UopVec before = uops;
+    forwardMemory(uops);
+    propagateAndSimplify(uops);
+    eliminateDeadCode(uops);
+    EXPECT_EQ(uops.size(), 3u) << "forward + propagate + DCE";
+    expectEquivalent(before, uops);
+}
+
+} // namespace

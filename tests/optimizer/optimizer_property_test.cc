@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Property tests for the dynamic optimizer: for every application in
+ * the suite, harvest real trace candidates from the workload stream,
+ * optimize them, and verify the invariants that every pass must uphold:
+ *
+ *  1. semantic equivalence (registers except flags + memory) under
+ *     multiple random initial states;
+ *  2. the uop count never grows;
+ *  3. Load/Store provenance stays valid (dynamic addresses recoverable);
+ *  4. stores are never added or removed;
+ *  5. optimization is idempotent in effect (re-optimizing an optimized
+ *     trace keeps semantics).
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "optimizer/equivalence.hh"
+#include "optimizer/optimizer.hh"
+#include "tracecache/constructor.hh"
+#include "tracecache/selector.hh"
+#include "workload/apps.hh"
+#include "workload/executor.hh"
+#include "workload/generator.hh"
+
+namespace
+{
+
+using namespace parrot;
+using namespace parrot::optimizer;
+using namespace parrot::tracecache;
+
+/** Harvested candidates plus the program that owns their pointers. */
+struct Harvest
+{
+    std::shared_ptr<workload::Program> program;
+    std::vector<TraceCandidate> candidates;
+
+    std::size_t size() const { return candidates.size(); }
+    auto begin() const { return candidates.begin(); }
+    auto end() const { return candidates.end(); }
+    bool empty() const { return candidates.empty(); }
+    const TraceCandidate &front() const { return candidates.front(); }
+};
+
+/** Harvest up to n distinct trace candidates from an application. */
+Harvest
+harvest(const workload::AppProfile &profile, std::size_t max_candidates,
+        std::uint64_t insts)
+{
+    std::shared_ptr<workload::Program> prog =
+        workload::generateProgram(profile);
+    workload::Executor ex(*prog, profile);
+    TraceSelector sel;
+    std::map<std::uint64_t, TraceCandidate> unique;
+    workload::DynInst d;
+    TraceCandidate c;
+    for (std::uint64_t i = 0; i < insts; ++i) {
+        ex.next(d);
+        sel.feed(d);
+        while (sel.pop(c)) {
+            if (unique.size() < max_candidates)
+                unique.emplace(c.tid.hash(), c);
+        }
+    }
+    Harvest out;
+    out.program = std::move(prog);
+    for (auto &[hash, cand] : unique)
+        out.candidates.push_back(std::move(cand));
+    return out;
+}
+
+unsigned
+countStores(const std::vector<TraceUop> &uops)
+{
+    unsigned n = 0;
+    for (const auto &tu : uops)
+        n += (tu.uop.kind == isa::UopKind::Store);
+    return n;
+}
+
+class OptimizerPropertyTest
+    : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(OptimizerPropertyTest, OptimizationPreservesSemantics)
+{
+    auto entry = workload::findApp(GetParam());
+    auto candidates = harvest(entry.profile, 60, 40000);
+    ASSERT_GT(candidates.size(), 5u);
+
+    TraceOptimizer opt{OptimizerConfig{}};
+    unsigned optimized_count = 0;
+    for (const auto &cand : candidates) {
+        Trace trace = constructTrace(cand);
+        const auto original = trace.uops;
+        const unsigned stores_before = countStores(original);
+
+        auto result = opt.optimize(trace);
+        ++optimized_count;
+
+        // (1) semantics under several initial states.
+        for (std::uint64_t seed : {7ull, 99ull, 123456ull}) {
+            std::string why;
+            ASSERT_TRUE(equivalent(original, trace.uops, seed, &why))
+                << entry.profile.name << " trace @0x" << std::hex
+                << cand.tid.startPc << ": " << why;
+        }
+
+        // (2) never grows.
+        EXPECT_LE(trace.uops.size(), original.size());
+        EXPECT_EQ(result.uopsAfter, trace.uops.size());
+
+        // (3) provenance of memory uops remains valid.
+        for (const auto &tu : trace.uops) {
+            if (tu.uop.kind == isa::UopKind::Load ||
+                tu.uop.kind == isa::UopKind::Store) {
+                ASSERT_GE(tu.instIdx, 0);
+                ASSERT_LT(static_cast<std::size_t>(tu.instIdx),
+                          trace.path.size());
+                const auto &inst = *trace.path[tu.instIdx].inst;
+                ASSERT_GE(tu.uopIdx, 0);
+                ASSERT_LT(static_cast<std::size_t>(tu.uopIdx),
+                          inst.uops.size());
+                auto orig_kind = inst.uops[tu.uopIdx].kind;
+                EXPECT_EQ(orig_kind, tu.uop.kind)
+                    << "memory uops must keep their original identity";
+            }
+        }
+
+        // (4) stores preserved exactly.
+        EXPECT_EQ(countStores(trace.uops), stores_before);
+
+        // (5) re-optimization keeps semantics.
+        Trace twice = trace;
+        opt.optimize(twice);
+        std::string why;
+        EXPECT_TRUE(equivalent(original, twice.uops, 31337, &why)) << why;
+    }
+    EXPECT_GT(optimized_count, 0u);
+}
+
+TEST_P(OptimizerPropertyTest, ReductionWithinPlausibleBand)
+{
+    auto entry = workload::findApp(GetParam());
+    auto candidates = harvest(entry.profile, 40, 40000);
+    ASSERT_GT(candidates.size(), 3u);
+
+    TraceOptimizer opt{OptimizerConfig{}};
+    double total_before = 0, total_after = 0;
+    for (const auto &cand : candidates) {
+        Trace trace = constructTrace(cand);
+        auto result = opt.optimize(trace);
+        total_before += result.uopsBefore;
+        total_after += result.uopsAfter;
+        // Dependence height essentially never increases (SIMD lane
+        // merging may add a node to an off-critical chain within its
+        // bounded skew).
+        EXPECT_LE(result.depAfter, result.depBefore + 3)
+            << "passes must not materially lengthen the critical path";
+    }
+    double reduction = 1.0 - total_after / total_before;
+    EXPECT_GT(reduction, 0.02) << "optimizer should find planted slack";
+    EXPECT_LT(reduction, 0.55) << "reduction beyond this is suspicious";
+}
+
+TEST_P(OptimizerPropertyTest, GenericSubsetOfFull)
+{
+    // The generic-only configuration must reduce no more than the full
+    // one on aggregate (core-specific passes only remove more).
+    auto entry = workload::findApp(GetParam());
+    auto candidates = harvest(entry.profile, 30, 30000);
+    TraceOptimizer full{OptimizerConfig{}};
+    TraceOptimizer generic{OptimizerConfig::genericOnly()};
+    double full_after = 0, generic_after = 0, before = 0;
+    for (const auto &cand : candidates) {
+        Trace a = constructTrace(cand);
+        Trace b = a;
+        before += a.uops.size();
+        full.optimize(a);
+        generic.optimize(b);
+        full_after += a.uops.size();
+        generic_after += b.uops.size();
+        // And generic alone is also semantics-preserving.
+        std::string why;
+        Trace original = constructTrace(cand);
+        EXPECT_TRUE(optimizer::equivalent(original.uops, b.uops, 5, &why))
+            << why;
+    }
+    EXPECT_LE(full_after, generic_after);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Apps, OptimizerPropertyTest,
+    ::testing::Values("gcc", "gzip", "perlbench", "swim", "wupwise",
+                      "lucas", "word", "excel", "flash", "quake3",
+                      "dotnet-num-a", "dotnet-phong-b"),
+    [](const ::testing::TestParamInfo<const char *> &info) {
+        std::string name = info.param;
+        for (char &c : name)
+            if (c == '-')
+                c = '_';
+        return name;
+    });
+
+TEST(OptimizerConfigTest, DisabledDoesNothing)
+{
+    auto entry = workload::findApp("swim");
+    auto candidates = harvest(entry.profile, 5, 20000);
+    ASSERT_FALSE(candidates.empty());
+    TraceOptimizer off{OptimizerConfig::disabled()};
+    Trace trace = constructTrace(candidates.front());
+    auto before = trace.uops.size();
+    auto result = off.optimize(trace);
+    EXPECT_EQ(trace.uops.size(), before);
+    EXPECT_EQ(result.passesRun, 0u);
+    EXPECT_TRUE(trace.optimized) << "still marked to avoid re-queueing";
+}
+
+} // namespace

@@ -1,0 +1,372 @@
+/** @file Unit tests for individual optimizer passes. */
+
+#include <gtest/gtest.h>
+
+#include "optimizer/equivalence.hh"
+#include "optimizer/passes.hh"
+
+namespace
+{
+
+using namespace parrot;
+using namespace parrot::optimizer;
+using namespace parrot::isa;
+using tracecache::TraceUop;
+
+TraceUop
+tu(const Uop &uop)
+{
+    TraceUop t;
+    t.uop = uop;
+    return t;
+}
+
+/** Every pass must preserve semantics; check with multiple seeds. */
+void
+expectEquivalent(const UopVec &before, const UopVec &after)
+{
+    for (std::uint64_t seed : {1ull, 42ull, 0xdeadbeefull}) {
+        std::string why;
+        EXPECT_TRUE(equivalent(before, after, seed, &why)) << why;
+    }
+}
+
+TEST(PropagateTest, FoldsConstantChain)
+{
+    UopVec uops{
+        tu(makeMovImm(2, 10)),
+        tu(makeAluImm(UopKind::AddImm, 3, 2, 5)),
+        tu(makeAlu(UopKind::Add, 4, 2, 3)),
+    };
+    UopVec before = uops;
+    EXPECT_TRUE(propagateAndSimplify(uops));
+    EXPECT_EQ(uops[1].uop.kind, UopKind::MovImm);
+    EXPECT_EQ(uops[1].uop.imm, 15);
+    EXPECT_EQ(uops[2].uop.kind, UopKind::MovImm);
+    EXPECT_EQ(uops[2].uop.imm, 25);
+    expectEquivalent(before, uops);
+}
+
+TEST(PropagateTest, XorSelfBecomesZero)
+{
+    UopVec uops{tu(makeAlu(UopKind::Xor, 3, 5, 5))};
+    UopVec before = uops;
+    EXPECT_TRUE(propagateAndSimplify(uops));
+    EXPECT_EQ(uops[0].uop.kind, UopKind::MovImm);
+    EXPECT_EQ(uops[0].uop.imm, 0);
+    expectEquivalent(before, uops);
+}
+
+TEST(PropagateTest, AndSelfBecomesMov)
+{
+    UopVec uops{tu(makeAlu(UopKind::And, 3, 5, 5))};
+    UopVec before = uops;
+    EXPECT_TRUE(propagateAndSimplify(uops));
+    EXPECT_EQ(uops[0].uop.kind, UopKind::Mov);
+    EXPECT_EQ(uops[0].uop.src1, 5);
+    expectEquivalent(before, uops);
+}
+
+TEST(PropagateTest, AddZeroImmBecomesMov)
+{
+    UopVec uops{tu(makeAluImm(UopKind::AddImm, 3, 5, 0))};
+    UopVec before = uops;
+    EXPECT_TRUE(propagateAndSimplify(uops));
+    EXPECT_EQ(uops[0].uop.kind, UopKind::Mov);
+    expectEquivalent(before, uops);
+}
+
+TEST(PropagateTest, MulByConstantOneAndZero)
+{
+    UopVec uops{
+        tu(makeMovImm(2, 1)),
+        tu(makeAlu(UopKind::Mul, 3, 4, 2)), // x*1 -> mov
+        tu(makeMovImm(5, 0)),
+        tu(makeAlu(UopKind::Mul, 6, 4, 5)), // x*0 -> 0
+    };
+    UopVec before = uops;
+    EXPECT_TRUE(propagateAndSimplify(uops));
+    EXPECT_EQ(uops[1].uop.kind, UopKind::Mov);
+    EXPECT_EQ(uops[3].uop.kind, UopKind::MovImm);
+    EXPECT_EQ(uops[3].uop.imm, 0);
+    expectEquivalent(before, uops);
+}
+
+TEST(PropagateTest, CopyPropagationRewiresSources)
+{
+    UopVec uops{
+        tu(makeMov(3, 2)),
+        tu(makeAlu(UopKind::Add, 4, 3, 3)),
+    };
+    UopVec before = uops;
+    EXPECT_TRUE(propagateAndSimplify(uops));
+    EXPECT_EQ(uops[1].uop.src1, 2);
+    EXPECT_EQ(uops[1].uop.src2, 2);
+    expectEquivalent(before, uops);
+}
+
+TEST(PropagateTest, CopyInvalidatedByRedefinition)
+{
+    UopVec uops{
+        tu(makeMov(3, 2)),
+        tu(makeMovImm(2, 99)),             // kills the copy source
+        tu(makeAlu(UopKind::Add, 4, 3, 3)), // must NOT become r2+r2
+    };
+    UopVec before = uops;
+    propagateAndSimplify(uops);
+    EXPECT_EQ(uops[2].uop.src1, 3);
+    expectEquivalent(before, uops);
+}
+
+TEST(PropagateTest, LoadBlocksConstness)
+{
+    UopVec uops{
+        tu(makeMovImm(2, 8)),
+        tu(makeLoad(2, 3, 0)),              // overwrites const
+        tu(makeAluImm(UopKind::AddImm, 4, 2, 1)), // must not fold
+    };
+    UopVec before = uops;
+    propagateAndSimplify(uops);
+    EXPECT_EQ(uops[2].uop.kind, UopKind::AddImm);
+    expectEquivalent(before, uops);
+}
+
+TEST(DceTest, RemovesOverwrittenValue)
+{
+    UopVec uops{
+        tu(makeMovImm(2, 1)), // dead: overwritten before any read
+        tu(makeMovImm(2, 2)),
+    };
+    UopVec before = uops;
+    EXPECT_TRUE(eliminateDeadCode(uops));
+    ASSERT_EQ(uops.size(), 1u);
+    EXPECT_EQ(uops[0].uop.imm, 2);
+    expectEquivalent(before, uops);
+}
+
+TEST(DceTest, KeepsLiveOutValues)
+{
+    UopVec uops{tu(makeMovImm(2, 1))};
+    EXPECT_FALSE(eliminateDeadCode(uops));
+    EXPECT_EQ(uops.size(), 1u) << "live-out registers are conservative";
+}
+
+TEST(DceTest, KeepsStoresAndCtis)
+{
+    UopVec uops{
+        tu(makeStore(2, 3, 0)),
+        tu(makeAssert(true, 0)),
+    };
+    EXPECT_FALSE(eliminateDeadCode(uops));
+    EXPECT_EQ(uops.size(), 2u);
+}
+
+TEST(DceTest, FlagsDeadAtTraceExit)
+{
+    // A cmp whose flags nobody reads is removable.
+    UopVec uops{tu(makeCmpImm(2, 5))};
+    EXPECT_TRUE(eliminateDeadCode(uops));
+    EXPECT_TRUE(uops.empty());
+}
+
+TEST(DceTest, FlagsLiveWhenAssertReads)
+{
+    UopVec uops{
+        tu(makeCmpImm(2, 5)),
+        tu(makeAssert(true, 0)),
+    };
+    EXPECT_FALSE(eliminateDeadCode(uops));
+    EXPECT_EQ(uops.size(), 2u);
+}
+
+TEST(DceTest, RemovesDeadLoad)
+{
+    UopVec uops{
+        tu(makeLoad(2, 3, 8)),
+        tu(makeMovImm(2, 1)),
+    };
+    UopVec before = uops;
+    EXPECT_TRUE(eliminateDeadCode(uops));
+    ASSERT_EQ(uops.size(), 1u);
+    expectEquivalent(before, uops);
+}
+
+TEST(DceTest, TransitiveDeadChain)
+{
+    // b feeds only a dead value; two DCE rounds remove both.
+    UopVec uops{
+        tu(makeMovImm(2, 7)),               // read only by dead op
+        tu(makeAlu(UopKind::Add, 3, 2, 2)), // dead: overwritten
+        tu(makeMovImm(3, 1)),
+        tu(makeMovImm(2, 1)),
+    };
+    eliminateDeadCode(uops);
+    eliminateDeadCode(uops);
+    EXPECT_EQ(uops.size(), 2u);
+}
+
+TEST(PromoteTest, RemovesInternalJumpsAndNops)
+{
+    UopVec uops{
+        tu(makeMovImm(2, 1)),
+        tu(makeJump()),
+        tu(makeNop()),
+        tu(makeMovImm(3, 2)),
+    };
+    EXPECT_TRUE(removeInternalJumps(uops));
+    EXPECT_EQ(uops.size(), 2u);
+}
+
+TEST(FuseCmpTest, FusesSingleUseCompare)
+{
+    UopVec uops{
+        tu(makeCmpImm(2, 5)),
+        tu(makeAssert(true, 0x40)),
+    };
+    UopVec before = uops;
+    EXPECT_TRUE(fuseCmpAssert(uops));
+    ASSERT_EQ(uops.size(), 1u);
+    EXPECT_EQ(uops[0].uop.kind, UopKind::AssertCmpTaken);
+    EXPECT_EQ(uops[0].uop.imm, 5);
+    EXPECT_EQ(uops[0].uop.assertTarget, 0x40u);
+    expectEquivalent(before, uops);
+}
+
+TEST(FuseCmpTest, DoesNotFuseDoubleReader)
+{
+    UopVec uops{
+        tu(makeCmp(2, 3)),
+        tu(makeAssert(true, 0)),
+        tu(makeBranch()), // second flags reader
+    };
+    EXPECT_FALSE(fuseCmpAssert(uops));
+}
+
+TEST(FuseCmpTest, FusesAcrossInterveningWork)
+{
+    UopVec uops{
+        tu(makeCmp(2, 3)),
+        tu(makeAlu(UopKind::Add, 4, 5, 6)),
+        tu(makeAssert(false, 0x99)),
+    };
+    UopVec before = uops;
+    EXPECT_TRUE(fuseCmpAssert(uops));
+    ASSERT_EQ(uops.size(), 2u);
+    EXPECT_EQ(uops[0].uop.kind, UopKind::AssertCmpNotTaken);
+    expectEquivalent(before, uops);
+}
+
+TEST(FuseFpTest, FusesMulIntoAdd)
+{
+    UopVec uops{
+        tu(makeFp(UopKind::FpMul, 18, 16, 17)),
+        tu(makeFp(UopKind::FpAdd, 18, 18, 19)), // product dies here
+    };
+    UopVec before = uops;
+    EXPECT_TRUE(fuseMulAdd(uops));
+    ASSERT_EQ(uops.size(), 1u);
+    EXPECT_EQ(uops[0].uop.kind, UopKind::FpMulAdd);
+    expectEquivalent(before, uops);
+}
+
+TEST(FuseFpTest, KeepsMulWithSecondUse)
+{
+    UopVec uops{
+        tu(makeFp(UopKind::FpMul, 18, 16, 17)),
+        tu(makeFp(UopKind::FpAdd, 20, 18, 19)),
+        tu(makeFp(UopKind::FpAdd, 21, 18, 19)), // second use of product
+    };
+    EXPECT_FALSE(fuseMulAdd(uops));
+}
+
+TEST(FuseFpTest, KeepsLiveOutProduct)
+{
+    UopVec uops{
+        tu(makeFp(UopKind::FpMul, 18, 16, 17)),
+        tu(makeFp(UopKind::FpAdd, 20, 18, 19)), // product still live-out
+    };
+    EXPECT_FALSE(fuseMulAdd(uops));
+}
+
+TEST(SimdTest, PacksIndependentPair)
+{
+    UopVec uops{
+        tu(makeAlu(UopKind::Add, 4, 2, 3)),
+        tu(makeAlu(UopKind::Add, 7, 5, 6)),
+    };
+    UopVec before = uops;
+    EXPECT_TRUE(simdifyPairs(uops));
+    ASSERT_EQ(uops.size(), 1u);
+    EXPECT_EQ(uops[0].uop.kind, UopKind::SimdInt);
+    expectEquivalent(before, uops);
+}
+
+TEST(SimdTest, RefusesDependentPair)
+{
+    UopVec uops{
+        tu(makeAlu(UopKind::Add, 4, 2, 3)),
+        tu(makeAlu(UopKind::Add, 5, 4, 3)), // reads lane-a's dst
+    };
+    EXPECT_FALSE(simdifyPairs(uops));
+}
+
+TEST(SimdTest, RefusesWhenIntermediateReadsLaneB)
+{
+    UopVec uops{
+        tu(makeAlu(UopKind::Add, 4, 2, 3)),
+        tu(makeAlu(UopKind::Sub, 8, 7, 2)), // reads r7 = b's OLD value
+        tu(makeAlu(UopKind::Add, 7, 5, 6)),
+    };
+    // Packing b at a's position would make the Sub read the new r7.
+    UopVec before = uops;
+    simdifyPairs(uops);
+    expectEquivalent(before, uops);
+}
+
+TEST(SimdTest, RefusesMixedCriticality)
+{
+    // Lane b waits on a long divide; lane a is ready immediately.
+    UopVec uops{
+        tu(makeAlu(UopKind::Div, 9, 2, 3)),
+        tu(makeAlu(UopKind::Add, 4, 2, 3)),
+        tu(makeAlu(UopKind::Add, 7, 9, 6)), // depends on the divide
+    };
+    EXPECT_FALSE(simdifyPairs(uops))
+        << "lanes of very different readiness must not be packed";
+}
+
+TEST(ScheduleTest, PreservesSemantics)
+{
+    UopVec uops{
+        tu(makeMovImm(2, 1)),
+        tu(makeAlu(UopKind::Div, 3, 2, 2)),
+        tu(makeMovImm(4, 7)),
+        tu(makeAlu(UopKind::Add, 5, 3, 4)),
+        tu(makeStore(5, 2, 0)),
+        tu(makeLoad(6, 2, 0)),
+    };
+    UopVec before = uops;
+    scheduleCriticalPath(uops);
+    EXPECT_EQ(uops.size(), before.size());
+    expectEquivalent(before, uops);
+}
+
+TEST(ScheduleTest, CriticalChainMovesForward)
+{
+    // The long dependence chain should be scheduled ahead of the
+    // independent filler that originally preceded it.
+    UopVec uops{
+        tu(makeMovImm(8, 1)),               // independent filler
+        tu(makeMovImm(9, 2)),               // independent filler
+        tu(makeMovImm(2, 3)),               // chain head
+        tu(makeAlu(UopKind::Mul, 3, 2, 2)),
+        tu(makeAlu(UopKind::Mul, 4, 3, 3)),
+        tu(makeAlu(UopKind::Mul, 5, 4, 4)),
+    };
+    UopVec before = uops;
+    scheduleCriticalPath(uops);
+    EXPECT_EQ(uops[0].uop.dst, 2) << "chain head should lead";
+    expectEquivalent(before, uops);
+}
+
+} // namespace

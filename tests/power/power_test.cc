@@ -1,0 +1,168 @@
+/** @file Unit tests for the energy model, accounting and metrics. */
+
+#include <gtest/gtest.h>
+
+#include "power/account.hh"
+#include "power/energy_model.hh"
+#include "power/events.hh"
+
+namespace
+{
+
+using namespace parrot;
+using namespace parrot::power;
+
+TEST(EventsTest, EveryEventHasNameAndUnit)
+{
+    for (unsigned i = 0; i < numPowerEvents; ++i) {
+        auto e = static_cast<PowerEvent>(i);
+        EXPECT_NE(std::string(powerEventName(e)), "<bad>") << i;
+        auto u = unitOf(e);
+        EXPECT_LT(static_cast<unsigned>(u), numPowerUnits);
+        EXPECT_NE(std::string(powerUnitName(u)), "<bad>");
+    }
+}
+
+TEST(EnergyModelTest, AllEnergiesPositive)
+{
+    EnergyModel model(CoreScaling{});
+    for (unsigned i = 0; i < numPowerEvents; ++i)
+        EXPECT_GT(model.energyOf(static_cast<PowerEvent>(i)), 0.0) << i;
+}
+
+TEST(EnergyModelTest, WidthScalingMonotonic)
+{
+    EnergyModel narrow(CoreScaling{4, 128, 32});
+    EnergyModel wide(CoreScaling{8, 128, 32});
+    // Ported structures get more expensive with width...
+    EXPECT_GT(wide.energyOf(PowerEvent::Rename),
+              narrow.energyOf(PowerEvent::Rename));
+    EXPECT_GT(wide.energyOf(PowerEvent::IqSelect),
+              narrow.energyOf(PowerEvent::IqSelect));
+    EXPECT_GT(wide.energyOf(PowerEvent::DecodeWeight),
+              narrow.energyOf(PowerEvent::DecodeWeight));
+    // ...while workload-proportional events stay put.
+    EXPECT_DOUBLE_EQ(wide.energyOf(PowerEvent::AluOp),
+                     narrow.energyOf(PowerEvent::AluOp));
+    EXPECT_DOUBLE_EQ(wide.energyOf(PowerEvent::DcacheRead),
+                     narrow.energyOf(PowerEvent::DcacheRead));
+}
+
+TEST(EnergyModelTest, StructureSizeScaling)
+{
+    EnergyModel small(CoreScaling{4, 128, 32});
+    EnergyModel big_rob(CoreScaling{4, 512, 32});
+    EnergyModel big_iq(CoreScaling{4, 128, 128});
+    EXPECT_GT(big_rob.energyOf(PowerEvent::RobWrite),
+              small.energyOf(PowerEvent::RobWrite));
+    EXPECT_GT(big_iq.energyOf(PowerEvent::IqWakeup),
+              small.energyOf(PowerEvent::IqWakeup));
+}
+
+TEST(EnergyModelTest, MemoryHierarchyOrdering)
+{
+    EnergyModel model(CoreScaling{});
+    EXPECT_LT(model.energyOf(PowerEvent::DcacheRead),
+              model.energyOf(PowerEvent::L2Access));
+    EXPECT_LT(model.energyOf(PowerEvent::L2Access),
+              model.energyOf(PowerEvent::MemAccess));
+}
+
+TEST(AccountTest, RecordAndCount)
+{
+    EnergyAccount acct;
+    acct.record(PowerEvent::AluOp);
+    acct.record(PowerEvent::AluOp, 9);
+    EXPECT_EQ(acct.count(PowerEvent::AluOp), 10u);
+    EXPECT_EQ(acct.count(PowerEvent::FpOp), 0u);
+}
+
+TEST(AccountTest, DynamicEnergyIsDotProduct)
+{
+    EnergyAccount acct;
+    EnergyModel model(CoreScaling{});
+    acct.record(PowerEvent::AluOp, 3);
+    acct.record(PowerEvent::Commit, 2);
+    double expect = 3 * model.energyOf(PowerEvent::AluOp) +
+                    2 * model.energyOf(PowerEvent::Commit);
+    EXPECT_DOUBLE_EQ(acct.dynamicEnergy(model), expect);
+}
+
+TEST(AccountTest, UnitBreakdownSumsToTotal)
+{
+    EnergyAccount acct;
+    EnergyModel model(CoreScaling{});
+    for (unsigned i = 0; i < numPowerEvents; ++i)
+        acct.record(static_cast<PowerEvent>(i), i + 1);
+    auto units = acct.unitBreakdown(model);
+    double sum = 0;
+    for (double v : units)
+        sum += v;
+    EXPECT_NEAR(sum, acct.dynamicEnergy(model), 1e-9);
+    EXPECT_DOUBLE_EQ(
+        units[static_cast<unsigned>(PowerUnit::Leakage)], 0.0)
+        << "dynamic breakdown must not include leakage";
+}
+
+TEST(AccountTest, MergeAdds)
+{
+    EnergyAccount a, b;
+    a.record(PowerEvent::AluOp, 2);
+    b.record(PowerEvent::AluOp, 3);
+    b.record(PowerEvent::FpOp, 1);
+    a.merge(b);
+    EXPECT_EQ(a.count(PowerEvent::AluOp), 5u);
+    EXPECT_EQ(a.count(PowerEvent::FpOp), 1u);
+}
+
+TEST(AccountTest, ResetZeroes)
+{
+    EnergyAccount acct;
+    acct.record(PowerEvent::Commit, 5);
+    acct.reset();
+    EXPECT_EQ(acct.count(PowerEvent::Commit), 0u);
+}
+
+TEST(LeakageTest, PaperFormula)
+{
+    // LE = Pmax * (0.05*M + 0.4*K) * CYC
+    LeakageModel leak;
+    leak.pmaxPerCycle = 100.0;
+    leak.l2MegaBytes = 2.0;
+    leak.coreAreaFactor = 1.5;
+    double expect = 100.0 * (0.05 * 2.0 + 0.4 * 1.5) * 1000.0;
+    EXPECT_DOUBLE_EQ(leak.leakageEnergy(1000.0), expect);
+}
+
+TEST(LeakageTest, ZeroPmaxMeansNoLeakage)
+{
+    LeakageModel leak;
+    EXPECT_DOUBLE_EQ(leak.leakageEnergy(1e6), 0.0);
+}
+
+TEST(CmpwTest, ScalesAsCube)
+{
+    // Doubling MIPS at equal power multiplies CMPW by 8.
+    double base = cubicMipsPerWatt(1e6, 1e6, 1e9);
+    double fast = cubicMipsPerWatt(2e6, 1e6, 2e9);
+    // fast: 2x MIPS, 2x power -> 8/2 = 4x CMPW.
+    EXPECT_NEAR(fast / base, 4.0, 1e-9);
+}
+
+TEST(CmpwTest, LowerEnergyIsBetter)
+{
+    double hungry = cubicMipsPerWatt(1e6, 1e6, 2e9);
+    double frugal = cubicMipsPerWatt(1e6, 1e6, 1e9);
+    EXPECT_GT(frugal, hungry);
+}
+
+TEST(CmpwTest, FrequencyNormalizationConsistent)
+{
+    // Same IPC and same energy-per-instruction at twice the length run
+    // yields identical CMPW.
+    double a = cubicMipsPerWatt(1e6, 2e6, 1e9);
+    double b = cubicMipsPerWatt(2e6, 4e6, 2e9);
+    EXPECT_NEAR(a / b, 1.0, 1e-9);
+}
+
+} // namespace

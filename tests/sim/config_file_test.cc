@@ -1,0 +1,113 @@
+/** @file Unit tests for the model configuration file format. */
+
+#include <gtest/gtest.h>
+
+#include "sim/config_file.hh"
+
+namespace
+{
+
+using namespace parrot::sim;
+
+TEST(ConfigFileTest, EmptyTextIsBaselineN)
+{
+    ModelConfig cfg = parseModelConfig("");
+    EXPECT_EQ(cfg.coldCore.width, 4u);
+    EXPECT_FALSE(cfg.hasTraceCache);
+}
+
+TEST(ConfigFileTest, BaseDirectiveSelectsModel)
+{
+    ModelConfig cfg = parseModelConfig("base = TON\n");
+    EXPECT_TRUE(cfg.hasTraceCache);
+    EXPECT_TRUE(cfg.hasOptimizer);
+    EXPECT_EQ(cfg.name, "TON");
+}
+
+TEST(ConfigFileTest, OverridesApply)
+{
+    ModelConfig cfg = parseModelConfig(
+        "base = TON\n"
+        "name = TON-big\n"
+        "trace_cache.entries = 2048\n"
+        "hot_filter.threshold = 8\n"
+        "core.width = 4\n"
+        "l2.kb = 2048\n");
+    EXPECT_EQ(cfg.name, "TON-big");
+    EXPECT_EQ(cfg.traceCache.numEntries, 2048u);
+    EXPECT_EQ(cfg.hotFilter.threshold, 8u);
+    EXPECT_DOUBLE_EQ(cfg.memory.l2MegaBytes(), 2.0);
+}
+
+TEST(ConfigFileTest, CommentsAndBlankLines)
+{
+    ModelConfig cfg = parseModelConfig(
+        "# a comment\n"
+        "\n"
+        "base = W   # trailing comment\n"
+        "   \n"
+        "core.rob = 256\n");
+    EXPECT_EQ(cfg.coldCore.width, 8u);
+    EXPECT_EQ(cfg.coldCore.robSize, 256u);
+}
+
+TEST(ConfigFileTest, WidthAlsoSetsIssueWidth)
+{
+    ModelConfig cfg = parseModelConfig("core.width = 8\ncore.alu = 6\n");
+    EXPECT_EQ(cfg.coldCore.issueWidth, 8u);
+}
+
+TEST(ConfigFileTest, UnknownKeyIsFatal)
+{
+    EXPECT_DEATH(parseModelConfig("core.widht = 4\n"), "unknown key");
+}
+
+TEST(ConfigFileTest, MalformedValueIsFatal)
+{
+    EXPECT_DEATH(parseModelConfig("core.rob = many\n"), "bad unsigned");
+}
+
+TEST(ConfigFileTest, MissingEqualsIsFatal)
+{
+    EXPECT_DEATH(parseModelConfig("core.rob 128\n"), "expected");
+}
+
+TEST(ConfigFileTest, LateBaseIsFatal)
+{
+    EXPECT_DEATH(parseModelConfig("core.rob = 128\nbase = W\n"),
+                 "must be the first");
+}
+
+TEST(ConfigFileTest, InvalidResultingConfigIsFatal)
+{
+    // A trace-cache set count that is not a power of two fails the
+    // final validation.
+    EXPECT_DEATH(parseModelConfig("base = TON\ntrace_cache.entries = 100\n"),
+                 "power of two");
+}
+
+TEST(ConfigFileTest, RenderRoundTrips)
+{
+    for (const auto &name : ModelConfig::allNames()) {
+        ModelConfig original = ModelConfig::make(name);
+        std::string text = renderModelConfig(original);
+        ModelConfig reparsed = parseModelConfig(
+            "base = " + name + "\n" + text);
+        EXPECT_EQ(reparsed.coldCore.width, original.coldCore.width);
+        EXPECT_EQ(reparsed.coldCore.robSize, original.coldCore.robSize);
+        EXPECT_EQ(reparsed.decoder.fetchBytes,
+                  original.decoder.fetchBytes);
+        EXPECT_EQ(reparsed.hasTraceCache, original.hasTraceCache);
+        EXPECT_EQ(reparsed.hasOptimizer, original.hasOptimizer);
+        EXPECT_DOUBLE_EQ(reparsed.coreAreaFactor,
+                         original.coreAreaFactor);
+        if (original.hasTraceCache) {
+            EXPECT_EQ(reparsed.traceCache.numEntries,
+                      original.traceCache.numEntries);
+            EXPECT_EQ(reparsed.hotFilter.threshold,
+                      original.hotFilter.threshold);
+        }
+    }
+}
+
+} // namespace

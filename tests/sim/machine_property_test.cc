@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Machine-level property sweeps: invariants that must hold for every
+ * (model, application) combination — budget reached, energy accounting
+ * consistent, coverage only where a trace cache exists, committed work
+ * conserved across models.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "sim/simulator.hh"
+#include "workload/apps.hh"
+
+namespace
+{
+
+using namespace parrot;
+using namespace parrot::sim;
+
+constexpr std::uint64_t kBudget = 50000;
+
+/** One shared workload per app (programs are expensive to generate). */
+Workload &
+workloadFor(const std::string &app)
+{
+    static std::map<std::string, Workload> cache;
+    auto it = cache.find(app);
+    if (it == cache.end()) {
+        it = cache.emplace(app, loadWorkload(workload::findApp(app)))
+                 .first;
+    }
+    return it->second;
+}
+
+using Combo = std::tuple<const char *, const char *>; // model, app
+
+class MachinePropertyTest : public ::testing::TestWithParam<Combo>
+{
+};
+
+TEST_P(MachinePropertyTest, UniversalInvariants)
+{
+    const auto &[model, app] = GetParam();
+    ParrotSimulator sim(ModelConfig::make(model), workloadFor(app));
+    SimResult r = sim.run(kBudget, 100.0);
+
+    // Budget reached, sane rates.
+    EXPECT_GE(r.insts, kBudget);
+    EXPECT_GT(r.ipc, 0.2);
+    EXPECT_LT(r.ipc, 8.0);
+
+    // Work accounting: without the optimizer every instruction is at
+    // least one uop; the optimizer legitimately pushes committed uops
+    // *below* one per instruction on hot code — that is its point.
+    if (!ModelConfig::make(model).hasOptimizer) {
+        EXPECT_GE(r.uops, r.insts);
+        EXPECT_GE(r.upc, r.ipc);
+    } else {
+        EXPECT_GT(r.uops, r.insts / 2);
+    }
+
+    // Energy accounting.
+    EXPECT_GT(r.dynamicEnergy, 0.0);
+    EXPECT_GT(r.leakageEnergy, 0.0);
+    EXPECT_NEAR(r.totalEnergy, r.dynamicEnergy + r.leakageEnergy,
+                r.totalEnergy * 1e-9);
+    double unit_sum = 0.0;
+    for (double v : r.unitEnergy)
+        unit_sum += v;
+    EXPECT_NEAR(unit_sum, r.totalEnergy, r.totalEnergy * 1e-9);
+    EXPECT_GT(r.cmpw, 0.0);
+
+    // Trace machinery only on trace models.
+    ModelConfig cfg = ModelConfig::make(model);
+    if (cfg.hasTraceCache) {
+        EXPECT_LE(r.coverage, 1.0);
+        EXPECT_LE(r.traceMispredicts, r.tracePredictions);
+        EXPECT_LE(r.tpHits, r.tpLookups);
+    } else {
+        EXPECT_DOUBLE_EQ(r.coverage, 0.0);
+        EXPECT_EQ(r.tracePredictions, 0u);
+        EXPECT_EQ(r.tracesInserted, 0u);
+        EXPECT_EQ(static_cast<std::uint64_t>(
+                      r.unitEnergy[static_cast<unsigned>(
+                          power::PowerUnit::TraceUnit)]),
+                  0u);
+    }
+    if (!cfg.hasOptimizer) {
+        EXPECT_EQ(r.tracesOptimized, 0u);
+        EXPECT_DOUBLE_EQ(r.dynamicUopReduction, 0.0);
+    }
+}
+
+TEST_P(MachinePropertyTest, DeterministicReplay)
+{
+    const auto &[model, app] = GetParam();
+    ParrotSimulator a(ModelConfig::make(model), workloadFor(app));
+    ParrotSimulator b(ModelConfig::make(model), workloadFor(app));
+    SimResult ra = a.run(kBudget, 50.0);
+    SimResult rb = b.run(kBudget, 50.0);
+    EXPECT_EQ(ra.cycles, rb.cycles);
+    EXPECT_EQ(ra.uops, rb.uops);
+    EXPECT_DOUBLE_EQ(ra.totalEnergy, rb.totalEnergy);
+    EXPECT_EQ(ra.traceMispredicts, rb.traceMispredicts);
+    EXPECT_EQ(ra.coldBranchMispredicts, rb.coldBranchMispredicts);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, MachinePropertyTest,
+    ::testing::Combine(::testing::Values("N", "W", "TN", "TON", "TOW",
+                                         "TOS"),
+                       ::testing::Values("gzip", "swim", "word",
+                                         "flash")),
+    [](const ::testing::TestParamInfo<Combo> &info) {
+        std::string name = std::string(std::get<0>(info.param)) + "_" +
+                           std::get<1>(info.param);
+        return name;
+    });
+
+/** Cross-model conservation: optimization must not create work. */
+TEST(CrossModelTest, OptimizationOnlyRemovesUops)
+{
+    for (const char *app : {"swim", "word", "gzip"}) {
+        ParrotSimulator n(ModelConfig::make("N"), workloadFor(app));
+        ParrotSimulator ton(ModelConfig::make("TON"), workloadFor(app));
+        SimResult rn = n.run(kBudget, 0.0);
+        SimResult rton = ton.run(kBudget, 0.0);
+        EXPECT_LE(rton.uops, rn.uops)
+            << app << ": TON commits at most as many uops as N";
+        EXPECT_NEAR(static_cast<double>(rton.insts),
+                    static_cast<double>(rn.insts), 1500.0)
+            << app << ": same committed instructions";
+    }
+}
+
+/** Width dominance: W never slower than N on identical work. */
+TEST(CrossModelTest, WideNeverSlower)
+{
+    for (const char *app : {"swim", "word", "gzip", "flash"}) {
+        ParrotSimulator n(ModelConfig::make("N"), workloadFor(app));
+        ParrotSimulator w(ModelConfig::make("W"), workloadFor(app));
+        EXPECT_GE(w.run(kBudget, 0.0).ipc * 1.02,
+                  n.run(kBudget, 0.0).ipc)
+            << app;
+    }
+}
+
+} // namespace

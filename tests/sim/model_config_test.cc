@@ -1,0 +1,95 @@
+/** @file Unit tests for the seven machine-model configurations. */
+
+#include <gtest/gtest.h>
+
+#include "sim/model_config.hh"
+
+namespace
+{
+
+using namespace parrot::sim;
+
+TEST(ModelConfigTest, AllSevenModelsExist)
+{
+    auto names = ModelConfig::allNames();
+    ASSERT_EQ(names.size(), 7u);
+    for (const auto &name : names) {
+        ModelConfig cfg = ModelConfig::make(name);
+        EXPECT_EQ(cfg.name, name);
+        cfg.validate();
+    }
+}
+
+TEST(ModelConfigTest, TableThreeOneDimensions)
+{
+    // The T dimension.
+    EXPECT_FALSE(ModelConfig::make("N").hasTraceCache);
+    EXPECT_FALSE(ModelConfig::make("W").hasTraceCache);
+    EXPECT_TRUE(ModelConfig::make("TN").hasTraceCache);
+    EXPECT_TRUE(ModelConfig::make("TW").hasTraceCache);
+    // The O dimension.
+    EXPECT_FALSE(ModelConfig::make("TN").hasOptimizer);
+    EXPECT_FALSE(ModelConfig::make("TW").hasOptimizer);
+    EXPECT_TRUE(ModelConfig::make("TON").hasOptimizer);
+    EXPECT_TRUE(ModelConfig::make("TOW").hasOptimizer);
+    // The split dimension.
+    EXPECT_TRUE(ModelConfig::make("TOS").splitCore);
+    EXPECT_FALSE(ModelConfig::make("TOW").splitCore);
+}
+
+TEST(ModelConfigTest, WidthsPerModel)
+{
+    EXPECT_EQ(ModelConfig::make("N").coldCore.width, 4u);
+    EXPECT_EQ(ModelConfig::make("W").coldCore.width, 8u);
+    EXPECT_EQ(ModelConfig::make("TON").coldCore.width, 4u);
+    EXPECT_EQ(ModelConfig::make("TOW").coldCore.width, 8u);
+    auto tos = ModelConfig::make("TOS");
+    EXPECT_EQ(tos.coldCore.width, 4u);
+    EXPECT_EQ(tos.hotCore.width, 8u);
+}
+
+TEST(ModelConfigTest, PredictorSizesMatchPaper)
+{
+    // §4.2: baseline 4K-entry branch predictor; PARROT models use 2K
+    // branch + 2K trace predictor.
+    EXPECT_EQ(ModelConfig::make("N").branchPredictor.numEntries, 4096u);
+    auto ton = ModelConfig::make("TON");
+    EXPECT_EQ(ton.branchPredictor.numEntries, 2048u);
+    EXPECT_EQ(ton.tracePredictor.numEntries, 2048u);
+}
+
+TEST(ModelConfigTest, AreaFactorsOrdered)
+{
+    // Leakage area: N < TN <= TON < W < TW <= TOW <= TOS.
+    double n = ModelConfig::make("N").coreAreaFactor;
+    double tn = ModelConfig::make("TN").coreAreaFactor;
+    double ton = ModelConfig::make("TON").coreAreaFactor;
+    double w = ModelConfig::make("W").coreAreaFactor;
+    double tow = ModelConfig::make("TOW").coreAreaFactor;
+    double tos = ModelConfig::make("TOS").coreAreaFactor;
+    EXPECT_LT(n, tn);
+    EXPECT_LE(tn, ton);
+    EXPECT_LT(ton, w);
+    EXPECT_LT(w, tow);
+    EXPECT_LE(tow, tos);
+}
+
+TEST(ModelConfigTest, UnknownModelIsFatal)
+{
+    EXPECT_DEATH(ModelConfig::make("X"), "unknown model");
+}
+
+TEST(ModelConfigTest, FilterThresholdsGradual)
+{
+    auto cfg = ModelConfig::make("TON");
+    EXPECT_LT(cfg.hotFilter.threshold, cfg.blazeFilter.threshold)
+        << "blazing promotion must be rarer than hot promotion";
+}
+
+TEST(ModelConfigTest, WideFetchWiderThanNarrow)
+{
+    EXPECT_GT(ModelConfig::make("W").decoder.fetchBytes,
+              ModelConfig::make("N").decoder.fetchBytes);
+}
+
+} // namespace

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Regression guards for the *reproduction itself*: the paper's
+ * qualitative results (who wins, and in which direction) must keep
+ * holding on a fast representative subset. If one of these fails after
+ * a change, the repository no longer reproduces the paper — even if
+ * every other unit test passes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/runner.hh"
+#include "stats/stats.hh"
+#include "workload/apps.hh"
+
+namespace
+{
+
+using namespace parrot;
+using namespace parrot::sim;
+
+/** Run the small suite once per model and cache across tests. */
+class Shapes : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        RunOptions opts;
+        opts.instBudget = 150000;
+        runner = new SuiteRunner(opts);
+        suite = new std::vector<workload::SuiteEntry>(
+            workload::smallSuite());
+        for (const char *model :
+             {"N", "W", "TN", "TON", "TOW"}) {
+            (*results)[model] = runner->runSuite(model, *suite);
+        }
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete runner;
+        delete suite;
+        results->clear();
+    }
+
+    static double
+    geo(const std::string &model,
+        const std::function<double(const SimResult &)> &metric)
+    {
+        std::vector<double> vals;
+        for (const auto &r : (*results)[model])
+            vals.push_back(metric(r));
+        return stats::geomean(vals);
+    }
+
+    static SuiteRunner *runner;
+    static std::vector<workload::SuiteEntry> *suite;
+    static std::map<std::string, std::vector<SimResult>> *results;
+};
+
+SuiteRunner *Shapes::runner = nullptr;
+std::vector<workload::SuiteEntry> *Shapes::suite = nullptr;
+std::map<std::string, std::vector<SimResult>> *Shapes::results =
+    new std::map<std::string, std::vector<SimResult>>();
+
+double
+ipcOf(const SimResult &r)
+{
+    return r.ipc;
+}
+
+double
+energyOf(const SimResult &r)
+{
+    return r.totalEnergy;
+}
+
+double
+cmpwOf(const SimResult &r)
+{
+    return r.cmpw;
+}
+
+TEST_F(Shapes, WideningHelpsPerformance)
+{
+    EXPECT_GT(geo("W", ipcOf), geo("N", ipcOf) * 1.03);
+}
+
+TEST_F(Shapes, WideningIsEnergyHungry)
+{
+    // Paper: W costs ~60-70% more energy than N.
+    EXPECT_GT(geo("W", energyOf), geo("N", energyOf) * 1.35);
+    EXPECT_LT(geo("W", energyOf), geo("N", energyOf) * 2.0);
+}
+
+TEST_F(Shapes, TraceCacheAloneIsRoughlyNeutralOnNarrow)
+{
+    // Paper: TN ~ +2% over N.
+    double ratio = geo("TN", ipcOf) / geo("N", ipcOf);
+    EXPECT_GT(ratio, 0.93);
+    EXPECT_LT(ratio, 1.15);
+}
+
+TEST_F(Shapes, OptimizationIsTheDominantContributor)
+{
+    EXPECT_GT(geo("TON", ipcOf), geo("TN", ipcOf) * 1.04)
+        << "TON must clearly beat TN (the optimizer's contribution)";
+}
+
+TEST_F(Shapes, TonRivalsWAtMuchLowerEnergy)
+{
+    // The paper's headline: comparable performance, far less energy.
+    EXPECT_GT(geo("TON", ipcOf), geo("W", ipcOf) * 0.92);
+    EXPECT_LT(geo("TON", energyOf), geo("W", energyOf) * 0.75);
+}
+
+TEST_F(Shapes, TonImprovesPowerAwareness)
+{
+    EXPECT_GT(geo("TON", cmpwOf), geo("N", cmpwOf) * 1.15);
+    EXPECT_LT(geo("W", cmpwOf), geo("N", cmpwOf))
+        << "mere widening must hurt CMPW";
+}
+
+TEST_F(Shapes, TowIsTheFastestMachine)
+{
+    for (const char *other : {"N", "W", "TN", "TON"})
+        EXPECT_GT(geo("TOW", ipcOf), geo(other, ipcOf)) << other;
+}
+
+TEST_F(Shapes, FpCoverageFarAboveInt)
+{
+    double fp = 0, in = 0;
+    int nfp = 0, nin = 0;
+    for (const auto &r : (*results)["TON"]) {
+        auto group = workload::findApp(r.app).profile.group;
+        if (group == workload::BenchGroup::SpecFp) {
+            fp += r.coverage;
+            ++nfp;
+        }
+        if (group == workload::BenchGroup::SpecInt) {
+            in += r.coverage;
+            ++nin;
+        }
+    }
+    ASSERT_GT(nfp, 0);
+    ASSERT_GT(nin, 0);
+    EXPECT_GT(fp / nfp, in / nin + 0.2)
+        << "regular FP code must be far better covered";
+}
+
+TEST_F(Shapes, HotTracesMorePredictableThanColdResidue)
+{
+    std::uint64_t t_mis = 0, t_all = 0, b_mis = 0, b_all = 0;
+    for (const auto &r : (*results)["TON"]) {
+        t_mis += r.traceMispredicts;
+        t_all += r.tracePredictions;
+        b_mis += r.coldBranchMispredicts;
+        b_all += r.coldCondBranches;
+    }
+    ASSERT_GT(t_all, 0u);
+    ASSERT_GT(b_all, 0u);
+    EXPECT_LT(static_cast<double>(t_mis) / t_all,
+              static_cast<double>(b_mis) / b_all);
+}
+
+TEST_F(Shapes, OptimizerReductionInPaperBallpark)
+{
+    double red = 0;
+    int n = 0;
+    for (const auto &r : (*results)["TOW"]) {
+        if (r.tracesOptimized > 0) {
+            red += r.dynamicUopReduction;
+            ++n;
+        }
+    }
+    ASSERT_GT(n, 0);
+    red /= n;
+    EXPECT_GT(red, 0.10);
+    EXPECT_LT(red, 0.55);
+}
+
+TEST_F(Shapes, RegistryExportExposesEverything)
+{
+    stats::Registry reg;
+    exportToRegistry((*results)["TON"].front(), reg);
+    EXPECT_TRUE(reg.has("perf.ipc"));
+    EXPECT_TRUE(reg.has("trace.coverage"));
+    EXPECT_TRUE(reg.has("energy.total"));
+    EXPECT_TRUE(reg.has("power.cmpw"));
+    EXPECT_TRUE(reg.has("energy.unit.front-end"));
+    EXPECT_DOUBLE_EQ(reg.get("perf.ipc"),
+                     (*results)["TON"].front().ipc);
+
+    stats::Registry prefixed;
+    exportToRegistry((*results)["TON"].front(), prefixed, true);
+    const auto &r = (*results)["TON"].front();
+    EXPECT_TRUE(prefixed.has(r.model + "." + r.app + ".perf.ipc"));
+}
+
+} // namespace

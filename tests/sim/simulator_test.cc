@@ -1,0 +1,197 @@
+/** @file Integration tests: the full PARROT machine end to end. */
+
+#include <gtest/gtest.h>
+
+#include "sim/runner.hh"
+#include "sim/simulator.hh"
+#include "workload/apps.hh"
+
+namespace
+{
+
+using namespace parrot;
+using namespace parrot::sim;
+
+constexpr std::uint64_t kBudget = 60000;
+
+SimResult
+runModel(const std::string &model, const std::string &app,
+         std::uint64_t budget = kBudget)
+{
+    auto entry = workload::findApp(app);
+    Workload w = loadWorkload(entry);
+    ParrotSimulator sim(ModelConfig::make(model), w);
+    return sim.run(budget, 0.0);
+}
+
+TEST(SimulatorTest, BaselineReachesBudget)
+{
+    SimResult r = runModel("N", "gzip");
+    EXPECT_GE(r.insts, kBudget);
+    EXPECT_LT(r.insts, kBudget + 1000);
+    EXPECT_GT(r.ipc, 0.3);
+    EXPECT_LT(r.ipc, 4.0);
+    EXPECT_DOUBLE_EQ(r.coverage, 0.0);
+    EXPECT_EQ(r.tracePredictions, 0u);
+}
+
+TEST(SimulatorTest, DeterministicRuns)
+{
+    SimResult a = runModel("TON", "word");
+    SimResult b = runModel("TON", "word");
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.insts, b.insts);
+    EXPECT_EQ(a.uops, b.uops);
+    EXPECT_DOUBLE_EQ(a.dynamicEnergy, b.dynamicEnergy);
+    EXPECT_EQ(a.traceMispredicts, b.traceMispredicts);
+}
+
+TEST(SimulatorTest, TraceModelsDevelopCoverage)
+{
+    SimResult r = runModel("TON", "swim", 120000);
+    EXPECT_GT(r.coverage, 0.5);
+    EXPECT_GT(r.tracesInserted, 0u);
+    EXPECT_GT(r.traceExecutions, 0u);
+    EXPECT_GT(r.uopsFromTraceCache, 0u);
+}
+
+TEST(SimulatorTest, OptimizerOnlyRunsWhenEnabled)
+{
+    SimResult tn = runModel("TN", "swim", 120000);
+    SimResult ton = runModel("TON", "swim", 120000);
+    EXPECT_EQ(tn.tracesOptimized, 0u);
+    EXPECT_DOUBLE_EQ(tn.dynamicUopReduction, 0.0);
+    EXPECT_GT(ton.tracesOptimized, 0u);
+    EXPECT_GT(ton.dynamicUopReduction, 0.02);
+}
+
+TEST(SimulatorTest, OptimizationReducesCommittedUops)
+{
+    SimResult n = runModel("N", "swim", 120000);
+    SimResult ton = runModel("TON", "swim", 120000);
+    // Same committed instructions, fewer committed uops.
+    EXPECT_NEAR(static_cast<double>(ton.insts),
+                static_cast<double>(n.insts), 2000.0);
+    EXPECT_LT(ton.uops, n.uops);
+}
+
+TEST(SimulatorTest, WideMachineFasterAndHungrier)
+{
+    SimResult n = runModel("N", "flash");
+    SimResult w = runModel("W", "flash");
+    EXPECT_GT(w.ipc, n.ipc);
+    EXPECT_GT(w.dynamicEnergy, n.dynamicEnergy * 1.3);
+}
+
+TEST(SimulatorTest, EnergyBreakdownConsistent)
+{
+    SimResult r = runModel("TON", "word");
+    double sum = 0;
+    for (double v : r.unitEnergy)
+        sum += v;
+    EXPECT_NEAR(sum, r.totalEnergy, r.totalEnergy * 1e-9);
+    EXPECT_GT(r.dynamicEnergy, 0.0);
+    EXPECT_DOUBLE_EQ(r.leakageEnergy, 0.0) << "pmax 0 disables leakage";
+}
+
+TEST(SimulatorTest, LeakageFollowsPaperFormula)
+{
+    auto entry = workload::findApp("gzip");
+    Workload w = loadWorkload(entry);
+    ModelConfig cfg = ModelConfig::make("N");
+    ParrotSimulator sim(cfg, w);
+    const double pmax = 250.0;
+    SimResult r = sim.run(kBudget, pmax);
+    double expect = pmax *
+                    (0.05 * cfg.memory.l2MegaBytes() +
+                     0.4 * cfg.coreAreaFactor) *
+                    static_cast<double>(r.cycles);
+    EXPECT_NEAR(r.leakageEnergy, expect, 1e-6);
+    EXPECT_NEAR(r.totalEnergy, r.dynamicEnergy + r.leakageEnergy, 1e-6);
+}
+
+TEST(SimulatorTest, TraceUnitEnergyOnlyOnTraceModels)
+{
+    SimResult n = runModel("N", "swim");
+    SimResult ton = runModel("TON", "swim", 120000);
+    unsigned tu = static_cast<unsigned>(power::PowerUnit::TraceUnit);
+    EXPECT_DOUBLE_EQ(n.unitEnergy[tu], 0.0);
+    EXPECT_GT(ton.unitEnergy[tu], 0.0);
+}
+
+TEST(SimulatorTest, FrontEndEnergyShrinksWithCoverage)
+{
+    SimResult n = runModel("N", "swim", 120000);
+    SimResult ton = runModel("TON", "swim", 120000);
+    unsigned fe = static_cast<unsigned>(power::PowerUnit::FrontEnd);
+    EXPECT_LT(ton.unitEnergy[fe], n.unitEnergy[fe] * 0.6)
+        << "decoded trace fetch must slash decode energy";
+}
+
+TEST(SimulatorTest, ColdMispredictsTracked)
+{
+    SimResult r = runModel("N", "gcc");
+    EXPECT_GT(r.coldCondBranches, 1000u);
+    EXPECT_GT(r.coldBranchMispredRate, 0.0);
+    EXPECT_LT(r.coldBranchMispredRate, 0.5);
+}
+
+TEST(SimulatorTest, SplitCoreModelRuns)
+{
+    SimResult r = runModel("TOS", "flash", 100000);
+    EXPECT_GE(r.insts, 100000u);
+    EXPECT_GT(r.ipc, 0.3);
+    EXPECT_GT(r.coverage, 0.2);
+    EXPECT_GT(r.dynamicEnergy, 0.0);
+}
+
+TEST(SimulatorTest, AbortsAreCountedAndBounded)
+{
+    SimResult r = runModel("TON", "gcc", 120000);
+    EXPECT_GT(r.tracePredictions, 0u);
+    EXPECT_LE(r.traceMispredicts, r.tracePredictions);
+    EXPECT_LT(r.traceMispredRate, 0.5);
+}
+
+TEST(SimulatorTest, CyclesAdvanceReasonably)
+{
+    SimResult r = runModel("N", "word");
+    // IPC between 0.25 and 4 implies cycles within sane bounds.
+    EXPECT_GT(r.cycles, r.insts / 4);
+    EXPECT_LT(r.cycles, r.insts * 4);
+}
+
+TEST(RunnerTest, PmaxCalibrationPositive)
+{
+    RunOptions opts;
+    opts.instBudget = 40000;
+    SuiteRunner runner(opts);
+    EXPECT_GT(runner.pmax(), 0.0);
+}
+
+TEST(RunnerTest, SummaryCoversAllGroupsPlusOverall)
+{
+    RunOptions opts;
+    opts.instBudget = 20000;
+    opts.noLeakage = true;
+    SuiteRunner runner(opts);
+    auto results = runner.runSuite("N", workload::smallSuite());
+    auto summary = summarizeByGroup(
+        results, [](const SimResult &r) { return r.ipc; });
+    ASSERT_EQ(summary.labels.size(), 6u);
+    EXPECT_EQ(summary.labels.back(), "All");
+    for (double v : summary.values)
+        EXPECT_GT(v, 0.0);
+}
+
+TEST(RunnerTest, FindResultLocatesApp)
+{
+    RunOptions opts;
+    opts.instBudget = 20000;
+    opts.noLeakage = true;
+    SuiteRunner runner(opts);
+    auto results = runner.runSuite("N", workload::killerApps());
+    EXPECT_EQ(findResult(results, "wupwise").app, "wupwise");
+}
+
+} // namespace

@@ -1,0 +1,132 @@
+/** @file Unit tests for the statistics package. */
+
+#include <gtest/gtest.h>
+
+#include "stats/stats.hh"
+
+namespace
+{
+
+using namespace parrot::stats;
+
+TEST(ScalarTest, AddAndReset)
+{
+    Scalar s("x");
+    s.add();
+    s.add(4);
+    EXPECT_EQ(s.value(), 5u);
+    s.reset();
+    EXPECT_EQ(s.value(), 0u);
+    EXPECT_EQ(s.name(), "x");
+}
+
+TEST(RatioTest, SampleBasedRatio)
+{
+    Ratio r("hit");
+    r.sample(true);
+    r.sample(true);
+    r.sample(false);
+    r.sample(false);
+    EXPECT_DOUBLE_EQ(r.value(), 0.5);
+    EXPECT_EQ(r.numerator(), 2u);
+    EXPECT_EQ(r.denominator(), 4u);
+}
+
+TEST(RatioTest, EmptyRatioIsZero)
+{
+    Ratio r;
+    EXPECT_DOUBLE_EQ(r.value(), 0.0);
+}
+
+TEST(RatioTest, ExplicitAdd)
+{
+    Ratio r;
+    r.add(3, 10);
+    r.add(1, 10);
+    EXPECT_DOUBLE_EQ(r.value(), 0.2);
+}
+
+TEST(HistogramTest, BucketsAndOverflow)
+{
+    Histogram h("lat", 4, 10); // buckets [0,10) [10,20) [20,30) [30,40) +ovf
+    h.sample(0);
+    h.sample(9);
+    h.sample(10);
+    h.sample(39);
+    h.sample(1000);
+    EXPECT_EQ(h.bucket(0), 2u);
+    EXPECT_EQ(h.bucket(1), 1u);
+    EXPECT_EQ(h.bucket(3), 1u);
+    EXPECT_EQ(h.bucket(4), 1u); // overflow
+    EXPECT_EQ(h.totalSamples(), 5u);
+    EXPECT_EQ(h.maxValue(), 1000u);
+}
+
+TEST(HistogramTest, MeanTracksSamples)
+{
+    Histogram h("x", 8, 1);
+    h.sample(2);
+    h.sample(4);
+    EXPECT_DOUBLE_EQ(h.mean(), 3.0);
+    h.reset();
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_EQ(h.totalSamples(), 0u);
+}
+
+TEST(RegistryTest, SetGetHas)
+{
+    Registry reg;
+    EXPECT_FALSE(reg.has("ipc"));
+    reg.set("ipc", 1.5);
+    EXPECT_TRUE(reg.has("ipc"));
+    EXPECT_DOUBLE_EQ(reg.get("ipc"), 1.5);
+    reg.set("ipc", 2.0); // overwrite
+    EXPECT_DOUBLE_EQ(reg.get("ipc"), 2.0);
+    EXPECT_EQ(reg.all().size(), 1u);
+}
+
+TEST(AggregateTest, Geomean)
+{
+    EXPECT_DOUBLE_EQ(geomean({4.0}), 4.0);
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geomean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+}
+
+TEST(AggregateTest, Mean)
+{
+    EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+} // namespace
+
+namespace
+{
+
+using parrot::stats::Histogram;
+
+TEST(HistogramPercentileTest, EmptyIsZero)
+{
+    Histogram h("x", 8, 10);
+    EXPECT_EQ(h.percentile(0.5), 0u);
+}
+
+TEST(HistogramPercentileTest, MedianOfUniform)
+{
+    Histogram h("x", 10, 10);
+    for (int v = 0; v < 100; ++v)
+        h.sample(v);
+    // Median falls in the [50,60) bucket -> upper edge 60.
+    EXPECT_EQ(h.percentile(0.5), 60u);
+    EXPECT_EQ(h.percentile(0.0), 10u);
+    EXPECT_EQ(h.percentile(1.0), 100u);
+}
+
+TEST(HistogramPercentileTest, OverflowBucketReportsMax)
+{
+    Histogram h("x", 4, 10);
+    h.sample(5);
+    h.sample(5000);
+    EXPECT_EQ(h.percentile(1.0), 5000u);
+}
+
+} // namespace

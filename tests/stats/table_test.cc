@@ -1,0 +1,54 @@
+/** @file Unit tests for the text table formatter. */
+
+#include <gtest/gtest.h>
+
+#include "stats/table.hh"
+
+namespace
+{
+
+using parrot::stats::TextTable;
+
+TEST(TextTableTest, EmptyRendersEmpty)
+{
+    TextTable t;
+    EXPECT_EQ(t.render(), "");
+}
+
+TEST(TextTableTest, HeaderRuleAndAlignment)
+{
+    TextTable t;
+    t.addRow({"model", "ipc"});
+    t.addRow({"N", "1.25"});
+    t.addRow({"TON", "1.50"});
+    std::string out = t.render();
+    EXPECT_NE(out.find("model"), std::string::npos);
+    EXPECT_NE(out.find("---"), std::string::npos);
+    // Numbers right-aligned under the same column.
+    auto pos_ipc = out.find("ipc");
+    auto pos_125 = out.find("1.25");
+    EXPECT_NE(pos_ipc, std::string::npos);
+    EXPECT_NE(pos_125, std::string::npos);
+}
+
+TEST(TextTableTest, NumFormatting)
+{
+    EXPECT_EQ(TextTable::num(1.23456, 2), "1.23");
+    EXPECT_EQ(TextTable::num(2.0, 0), "2");
+}
+
+TEST(TextTableTest, PctFormatting)
+{
+    EXPECT_EQ(TextTable::pct(0.171, 1), "+17.1%");
+    EXPECT_EQ(TextTable::pct(-0.05, 1), "-5.0%");
+}
+
+TEST(TextTableTest, RaggedRowsHandled)
+{
+    TextTable t;
+    t.addRow({"a", "b", "c"});
+    t.addRow({"only-one"});
+    EXPECT_FALSE(t.render().empty());
+}
+
+} // namespace

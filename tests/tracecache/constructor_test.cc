@@ -1,0 +1,118 @@
+/** @file Unit tests for trace construction (assert conversion,
+ * provenance, dependence height). */
+
+#include <gtest/gtest.h>
+
+#include "tracecache/constructor.hh"
+#include "stream_helper.hh"
+
+namespace
+{
+
+using namespace parrot;
+using namespace parrot::tracecache;
+using testhelper::MiniProgram;
+
+TraceCandidate
+candidateFrom(const std::vector<workload::DynInst> &stream)
+{
+    TraceSelector sel;
+    for (const auto &d : stream)
+        sel.feed(d);
+    sel.flush();
+    TraceCandidate c;
+    EXPECT_TRUE(sel.pop(c));
+    return c;
+}
+
+TEST(ConstructorTest, CopiesUopsWithProvenance)
+{
+    MiniProgram prog;
+    auto *a = prog.addMultiUop(0x100, 3);
+    auto *b = prog.addAlu(0x106);
+    auto cand = candidateFrom({MiniProgram::dyn(a), MiniProgram::dyn(b)});
+    Trace trace = constructTrace(cand);
+    ASSERT_EQ(trace.numUops(), 4u);
+    EXPECT_EQ(trace.uops[0].instIdx, 0);
+    EXPECT_EQ(trace.uops[0].uopIdx, 0);
+    EXPECT_EQ(trace.uops[2].instIdx, 0);
+    EXPECT_EQ(trace.uops[2].uopIdx, 2);
+    EXPECT_EQ(trace.uops[3].instIdx, 1);
+    EXPECT_EQ(trace.originalUopCount, 4u);
+}
+
+TEST(ConstructorTest, InternalBranchesBecomeAsserts)
+{
+    // Two unrolled iterations: the first backward branch is internal
+    // (assert), the second terminates the trace (plain branch — its
+    // direction only steers the next fetch, so no atomic protection
+    // is needed).
+    MiniProgram prog;
+    auto *a = prog.addAlu(0x100);
+    auto *br = prog.addBranch(0x104, 0x100);
+    auto cand = candidateFrom({
+        MiniProgram::dyn(a), MiniProgram::dyn(br, true),
+        MiniProgram::dyn(a), MiniProgram::dyn(br, true),
+    });
+    Trace trace = constructTrace(cand);
+    ASSERT_EQ(trace.numUops(), 4u);
+    EXPECT_EQ(trace.uops[1].uop.kind, isa::UopKind::AssertTaken);
+    EXPECT_EQ(trace.uops[1].uop.assertTarget, 0x100u);
+    EXPECT_EQ(trace.uops[3].uop.kind, isa::UopKind::Branch)
+        << "the trace-final CTI must stay a plain branch";
+}
+
+TEST(ConstructorTest, NotTakenBranchesBecomeNotTakenAsserts)
+{
+    MiniProgram prog;
+    auto *a = prog.addAlu(0x100);
+    auto *br = prog.addBranch(0x104, 0x100);
+    auto *b = prog.addAlu(0x106);
+    auto *ind = prog.addJumpInd(0x10a);
+    auto cand = candidateFrom({
+        MiniProgram::dyn(a), MiniProgram::dyn(br, false),
+        MiniProgram::dyn(b), MiniProgram::dyn(ind, true),
+    });
+    Trace trace = constructTrace(cand);
+    EXPECT_EQ(trace.uops[1].uop.kind, isa::UopKind::AssertNotTaken);
+    // The terminating indirect jump is kept as-is.
+    EXPECT_EQ(trace.uops.back().uop.kind, isa::UopKind::JumpInd);
+}
+
+TEST(DepHeightTest, SerialChain)
+{
+    std::vector<TraceUop> uops;
+    for (int i = 0; i < 5; ++i) {
+        TraceUop tu;
+        tu.uop = isa::makeAluImm(isa::UopKind::AddImm, 2, 2, 1);
+        uops.push_back(tu);
+    }
+    EXPECT_EQ(computeDepHeight(uops), 5u);
+}
+
+TEST(DepHeightTest, IndependentOpsHeightOne)
+{
+    std::vector<TraceUop> uops;
+    for (int i = 0; i < 5; ++i) {
+        TraceUop tu;
+        tu.uop = isa::makeMovImm(static_cast<RegId>(2 + i), i);
+        uops.push_back(tu);
+    }
+    EXPECT_EQ(computeDepHeight(uops), 1u);
+}
+
+TEST(DepHeightTest, FlagsChainCounted)
+{
+    std::vector<TraceUop> uops(3);
+    uops[0].uop = isa::makeMovImm(2, 1);
+    uops[1].uop = isa::makeCmpImm(2, 0);
+    uops[2].uop = isa::makeBranch();
+    EXPECT_EQ(computeDepHeight(uops), 3u);
+}
+
+TEST(DepHeightTest, EmptyTraceIsZero)
+{
+    EXPECT_EQ(computeDepHeight({}), 0u);
+}
+
+} // namespace

@@ -1,0 +1,90 @@
+/** @file Unit tests for the hot/blazing counter filters. */
+
+#include <gtest/gtest.h>
+
+#include "tracecache/filter.hh"
+
+namespace
+{
+
+using namespace parrot::tracecache;
+
+Tid
+tidOf(parrot::Addr pc, std::uint64_t dirs = 0, unsigned n = 0)
+{
+    Tid t;
+    t.startPc = pc;
+    t.dirBits = dirs;
+    t.numDirs = static_cast<std::uint8_t>(n);
+    return t;
+}
+
+TEST(FilterTest, CountsAccumulate)
+{
+    CounterFilter filter(FilterConfig{64, 4, 8});
+    Tid t = tidOf(0x100);
+    for (unsigned i = 1; i <= 10; ++i)
+        EXPECT_EQ(filter.bump(t), i);
+    EXPECT_EQ(filter.read(t), 10u);
+}
+
+TEST(FilterTest, ThresholdPromotion)
+{
+    CounterFilter filter(FilterConfig{64, 4, 3});
+    Tid t = tidOf(0x200);
+    EXPECT_FALSE(filter.promoted(filter.bump(t)));
+    EXPECT_FALSE(filter.promoted(filter.bump(t)));
+    EXPECT_TRUE(filter.promoted(filter.bump(t)));
+}
+
+TEST(FilterTest, DistinctTidsDistinctCounters)
+{
+    CounterFilter filter(FilterConfig{64, 4, 8});
+    Tid a = tidOf(0x100, 0b01, 2);
+    Tid b = tidOf(0x100, 0b10, 2); // same pc, different path
+    filter.bump(a);
+    filter.bump(a);
+    EXPECT_EQ(filter.bump(b), 1u) << "path variants count separately";
+}
+
+TEST(FilterTest, ResetClearsCount)
+{
+    CounterFilter filter(FilterConfig{64, 4, 4});
+    Tid t = tidOf(0x300);
+    for (int i = 0; i < 4; ++i)
+        filter.bump(t);
+    filter.reset(t);
+    EXPECT_EQ(filter.read(t), 0u);
+    EXPECT_EQ(filter.bump(t), 1u);
+}
+
+TEST(FilterTest, MissingTidReadsZero)
+{
+    CounterFilter filter(FilterConfig{64, 4, 4});
+    EXPECT_EQ(filter.read(tidOf(0xdead)), 0u);
+}
+
+TEST(FilterTest, LruEvictionUnderPressure)
+{
+    // A tiny 1-set filter: flooding it with many TIDs evicts old ones.
+    CounterFilter filter(FilterConfig{4, 4, 100});
+    Tid victim = tidOf(0x1000);
+    filter.bump(victim);
+    for (parrot::Addr pc = 0x2000; pc < 0x2000 + 0x40 * 64; pc += 0x40)
+        filter.bump(tidOf(pc));
+    EXPECT_EQ(filter.read(victim), 0u) << "victim must have been evicted";
+}
+
+TEST(FilterTest, HotEntriesSurviveWhenRetouched)
+{
+    CounterFilter filter(FilterConfig{4, 4, 100});
+    Tid hot = tidOf(0x1000);
+    for (int wave = 0; wave < 16; ++wave) {
+        filter.bump(hot); // keep it most-recently used
+        filter.bump(tidOf(0x2000 + wave * 0x40));
+        filter.bump(tidOf(0x8000 + wave * 0x40));
+    }
+    EXPECT_GE(filter.read(hot), 10u);
+}
+
+} // namespace

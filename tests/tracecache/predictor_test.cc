@@ -1,0 +1,148 @@
+/** @file Unit tests for the hybrid trace predictor. */
+
+#include <gtest/gtest.h>
+
+#include "tracecache/predictor.hh"
+
+namespace
+{
+
+using namespace parrot;
+using namespace parrot::tracecache;
+
+Tid
+tidOf(Addr pc, std::uint64_t dirs = 0, unsigned n = 0)
+{
+    Tid t;
+    t.startPc = pc;
+    t.dirBits = dirs;
+    t.numDirs = static_cast<std::uint8_t>(n);
+    return t;
+}
+
+class TracePredictorTest : public ::testing::Test
+{
+  protected:
+    TracePredictorTest() : tp(TracePredictorConfig{256, 3}) {}
+
+    /** Train the same transition n times. */
+    void
+    trainN(const Tid &prev, const Tid &next, int n)
+    {
+        for (int i = 0; i < n; ++i)
+            tp.train(prev, next.startPc, next);
+    }
+
+    TracePredictor tp;
+};
+
+TEST_F(TracePredictorTest, UntrainedDoesNotPredict)
+{
+    Tid out;
+    EXPECT_FALSE(tp.predict(tidOf(0x100), 0x200, out));
+}
+
+TEST_F(TracePredictorTest, SingleTrainingIsNotTrusted)
+{
+    Tid prev = tidOf(0x100), next = tidOf(0x200, 0b1, 1);
+    tp.train(prev, next.startPc, next);
+    Tid out;
+    EXPECT_FALSE(tp.predict(prev, 0x200, out))
+        << "one occurrence must not reach prediction confidence";
+}
+
+TEST_F(TracePredictorTest, RepetitionBuildsConfidence)
+{
+    Tid prev = tidOf(0x100), next = tidOf(0x200, 0b1, 1);
+    trainN(prev, next, 8);
+    Tid out;
+    ASSERT_TRUE(tp.predict(prev, 0x200, out));
+    EXPECT_EQ(out, next);
+    EXPECT_EQ(tp.predictions(), 1u);
+}
+
+TEST_F(TracePredictorTest, PredictionRequiresMatchingStartPc)
+{
+    Tid prev = tidOf(0x100), next = tidOf(0x200, 0b1, 1);
+    trainN(prev, next, 8);
+    Tid out;
+    EXPECT_FALSE(tp.predict(prev, 0x300, out));
+}
+
+TEST_F(TracePredictorTest, AnchorCatchesVaryingPredecessors)
+{
+    // Train the same successor after many different predecessors: the
+    // contextual entries fragment, but the pc-anchored component
+    // accumulates confidence.
+    Tid next = tidOf(0x200, 0b11, 2);
+    for (int i = 0; i < 12; ++i)
+        tp.train(tidOf(0x1000 + i * 0x40), next.startPc, next);
+    Tid out;
+    EXPECT_TRUE(tp.predict(tidOf(0x9999), 0x200, out))
+        << "anchor component must predict for an unseen predecessor";
+    EXPECT_EQ(out, next);
+}
+
+TEST_F(TracePredictorTest, ContextDistinguishesPaths)
+{
+    // After A the successor is X; after B it is Y. With enough
+    // training the contextual component should keep them apart even
+    // though both start at the same pc.
+    Tid a = tidOf(0x100, 0b0, 1), b = tidOf(0x100, 0b1, 1);
+    Tid x = tidOf(0x200, 0b0, 1), y = tidOf(0x200, 0b1, 1);
+    for (int i = 0; i < 16; ++i) {
+        tp.train(a, 0x200, x);
+        tp.train(b, 0x200, y);
+    }
+    Tid out;
+    ASSERT_TRUE(tp.predict(a, 0x200, out));
+    EXPECT_EQ(out, x);
+    ASSERT_TRUE(tp.predict(b, 0x200, out));
+    EXPECT_EQ(out, y);
+}
+
+TEST_F(TracePredictorTest, MispredictSuppressesRePrediction)
+{
+    Tid prev = tidOf(0x100), next = tidOf(0x200, 0b1, 1);
+    trainN(prev, next, 10);
+    Tid out;
+    ASSERT_TRUE(tp.predict(prev, 0x200, out));
+    tp.mispredict(prev, 0x200);
+    EXPECT_FALSE(tp.predict(prev, 0x200, out))
+        << "an abort must drop confidence below the prediction bar";
+}
+
+TEST_F(TracePredictorTest, RecoversAfterMispredict)
+{
+    Tid prev = tidOf(0x100), next = tidOf(0x200, 0b1, 1);
+    trainN(prev, next, 10);
+    tp.mispredict(prev, 0x200);
+    trainN(prev, next, 4);
+    Tid out;
+    EXPECT_TRUE(tp.predict(prev, 0x200, out));
+}
+
+TEST_F(TracePredictorTest, HysteresisProtectsEstablishedPaths)
+{
+    Tid prev = tidOf(0x100);
+    Tid stable = tidOf(0x200, 0b1, 1);
+    Tid intruder = tidOf(0x200, 0b0, 1);
+    trainN(prev, stable, 10);
+    // A couple of stray occurrences of another path must not displace
+    // the established prediction.
+    tp.train(prev, 0x200, intruder);
+    tp.train(prev, 0x200, intruder);
+    trainN(prev, stable, 3);
+    Tid out;
+    ASSERT_TRUE(tp.predict(prev, 0x200, out));
+    EXPECT_EQ(out, stable);
+}
+
+TEST(TracePredictorConfigTest, ValidatesPowerOfTwo)
+{
+    TracePredictorConfig cfg;
+    cfg.numEntries = 2048;
+    cfg.validate();
+}
+
+} // namespace

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Property tests for trace selection over *real* workload streams: for
+ * a spread of applications, every emitted candidate must satisfy the
+ * §2.2 selection rules, and the concatenated candidates must exactly
+ * re-tile the committed instruction stream.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tracecache/selector.hh"
+#include "workload/apps.hh"
+#include "workload/executor.hh"
+#include "workload/generator.hh"
+
+namespace
+{
+
+using namespace parrot;
+using namespace parrot::tracecache;
+
+class SelectorPropertyTest : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(SelectorPropertyTest, CandidatesSatisfySelectionRules)
+{
+    auto entry = workload::findApp(GetParam());
+    auto program = workload::generateProgram(entry.profile);
+    workload::Executor ex(*program, entry.profile);
+    TraceSelector sel;
+
+    workload::DynInst d;
+    TraceCandidate c;
+    unsigned checked = 0;
+    for (int i = 0; i < 60000; ++i) {
+        ex.next(d);
+        sel.feed(d);
+        while (sel.pop(c)) {
+            ++checked;
+            SCOPED_TRACE("candidate @" + std::to_string(c.tid.startPc));
+
+            // Capacity limit.
+            ASSERT_LE(c.uopCount, maxTraceUops);
+            ASSERT_FALSE(c.path.empty());
+            ASSERT_EQ(c.tid.startPc, c.path.front().inst->pc);
+
+            unsigned uops = 0, dirs = 0;
+            int context = 0;
+            for (std::size_t k = 0; k < c.path.size(); ++k) {
+                const auto &ref = c.path[k];
+                uops += ref.inst->uops.size();
+                const bool is_last = (k + 1 == c.path.size());
+                switch (ref.inst->cti) {
+                  case isa::CtiType::CondBranch: {
+                    ++dirs;
+                    // Backward-taken branches terminate traces.
+                    bool backward_taken =
+                        ref.taken &&
+                        ref.inst->takenTarget <= ref.inst->pc;
+                    if (backward_taken && !is_last) {
+                        // ...unless this is a join boundary of an
+                        // unrolled trace (the next path entry restarts
+                        // the unit at the trace's start pc).
+                        ASSERT_EQ(c.path[k + 1].inst->pc,
+                                  c.tid.startPc)
+                            << "internal backward-taken branch that is "
+                               "not an unroll seam";
+                    }
+                    break;
+                  }
+                  case isa::CtiType::JumpInd:
+                    ASSERT_TRUE(is_last)
+                        << "indirect jumps must terminate traces";
+                    break;
+                  case isa::CtiType::Call:
+                    ++context;
+                    break;
+                  case isa::CtiType::Return:
+                    if (context > 0) {
+                        --context; // inlined
+                    } else {
+                        ASSERT_TRUE(is_last)
+                            << "outermost return must terminate";
+                    }
+                    break;
+                  default:
+                    break;
+                }
+            }
+            ASSERT_EQ(uops, c.uopCount);
+            ASSERT_EQ(dirs, c.tid.numDirs);
+            // Unused direction bits must be zero (TID compaction).
+            if (c.tid.numDirs < 64) {
+                ASSERT_EQ(c.tid.dirBits >> c.tid.numDirs, 0u);
+            }
+        }
+    }
+    EXPECT_GT(checked, 100u);
+}
+
+TEST_P(SelectorPropertyTest, CandidatesTileTheStreamExactly)
+{
+    auto entry = workload::findApp(GetParam());
+    auto program = workload::generateProgram(entry.profile);
+
+    // Reference stream.
+    workload::Executor ref(*program, entry.profile);
+    std::vector<const isa::MacroInst *> stream;
+    std::vector<bool> taken;
+    workload::DynInst d;
+    const int n = 30000;
+    for (int i = 0; i < n; ++i) {
+        ref.next(d);
+        stream.push_back(d.inst);
+        taken.push_back(d.taken);
+    }
+
+    // Selected candidates, concatenated, must reproduce the stream.
+    workload::Executor ex(*program, entry.profile);
+    TraceSelector sel;
+    std::size_t pos = 0;
+    TraceCandidate c;
+    for (int i = 0; i < n; ++i) {
+        ex.next(d);
+        sel.feed(d);
+        while (sel.pop(c)) {
+            for (const auto &ref_inst : c.path) {
+                ASSERT_LT(pos, stream.size());
+                ASSERT_EQ(ref_inst.inst, stream[pos]);
+                ASSERT_EQ(ref_inst.taken, taken[pos]);
+                ++pos;
+            }
+        }
+    }
+    sel.flush();
+    while (sel.pop(c)) {
+        for (const auto &ref_inst : c.path) {
+            ASSERT_LT(pos, stream.size());
+            ASSERT_EQ(ref_inst.inst, stream[pos]);
+            ++pos;
+        }
+    }
+    EXPECT_EQ(pos, stream.size())
+        << "selection must partition the committed stream exactly";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Apps, SelectorPropertyTest,
+    ::testing::Values("gcc", "gzip", "swim", "word", "flash",
+                      "dotnet-phong-a", "eon", "lucas"),
+    [](const ::testing::TestParamInfo<const char *> &info) {
+        std::string name = info.param;
+        for (char &ch : name)
+            if (ch == '-')
+                ch = '_';
+        return name;
+    });
+
+} // namespace

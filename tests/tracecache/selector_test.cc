@@ -1,0 +1,208 @@
+/** @file Unit tests for the deterministic trace selector (§2.2 rules). */
+
+#include <gtest/gtest.h>
+
+#include "tracecache/selector.hh"
+#include "stream_helper.hh"
+
+namespace
+{
+
+using namespace parrot;
+using namespace parrot::tracecache;
+using testhelper::MiniProgram;
+
+class SelectorTest : public ::testing::Test
+{
+  protected:
+    /** Feed a list of dyninsts, flush, and collect all candidates. */
+    std::vector<TraceCandidate>
+    collect(const std::vector<workload::DynInst> &stream)
+    {
+        for (const auto &d : stream)
+            selector.feed(d);
+        selector.flush();
+        std::vector<TraceCandidate> out;
+        TraceCandidate c;
+        while (selector.pop(c))
+            out.push_back(c);
+        return out;
+    }
+
+    MiniProgram prog;
+    TraceSelector selector;
+};
+
+TEST_F(SelectorTest, BackwardTakenBranchTerminates)
+{
+    auto *a = prog.addAlu(0x100);
+    auto *br = prog.addBranch(0x104, 0x100); // backward
+    auto candidates = collect({
+        MiniProgram::dyn(a), MiniProgram::dyn(br, true),
+        MiniProgram::dyn(a), MiniProgram::dyn(br, false),
+        MiniProgram::dyn(a),
+    });
+    // Iteration 1 terminates at the backward-taken branch; the exit
+    // iteration (not-taken) continues and is flushed separately.
+    ASSERT_EQ(candidates.size(), 2u);
+    EXPECT_EQ(candidates[0].path.size(), 2u);
+    EXPECT_EQ(candidates[0].tid.startPc, 0x100u);
+    EXPECT_EQ(candidates[0].tid.numDirs, 1u);
+    EXPECT_EQ(candidates[0].tid.dirBits, 1u);
+    EXPECT_EQ(candidates[1].path.size(), 3u);
+}
+
+TEST_F(SelectorTest, ForwardTakenBranchDoesNotTerminate)
+{
+    auto *a = prog.addAlu(0x100);
+    auto *br = prog.addBranch(0x104, 0x200); // forward
+    auto *b = prog.addAlu(0x200);
+    auto candidates = collect({
+        MiniProgram::dyn(a), MiniProgram::dyn(br, true),
+        MiniProgram::dyn(b),
+    });
+    ASSERT_EQ(candidates.size(), 1u);
+    EXPECT_EQ(candidates[0].path.size(), 3u)
+        << "forward taken branches extend the trace";
+}
+
+TEST_F(SelectorTest, IndirectJumpTerminates)
+{
+    auto *a = prog.addAlu(0x100);
+    auto *ind = prog.addJumpInd(0x104);
+    auto *b = prog.addAlu(0x300);
+    auto candidates = collect({
+        MiniProgram::dyn(a), MiniProgram::dyn(ind, true),
+        MiniProgram::dyn(b),
+    });
+    ASSERT_EQ(candidates.size(), 2u);
+    EXPECT_EQ(candidates[0].path.size(), 2u);
+}
+
+TEST_F(SelectorTest, ReturnTerminatesOnlyOutermostContext)
+{
+    // call f; (in f) ret  -> inlined, trace continues.
+    // A bare ret (no call seen in this trace) terminates.
+    auto *a = prog.addAlu(0x100);
+    auto *call = prog.addCall(0x104, 0x500);
+    auto *f_body = prog.addAlu(0x500);
+    auto *f_ret = prog.addReturn(0x504);
+    auto *b = prog.addAlu(0x108);
+    auto *outer_ret = prog.addReturn(0x10c);
+    auto *c = prog.addAlu(0x700);
+
+    auto candidates = collect({
+        MiniProgram::dyn(a), MiniProgram::dyn(call, true),
+        MiniProgram::dyn(f_body), MiniProgram::dyn(f_ret, true),
+        MiniProgram::dyn(b), MiniProgram::dyn(outer_ret, true),
+        MiniProgram::dyn(c),
+    });
+    ASSERT_EQ(candidates.size(), 2u);
+    EXPECT_EQ(candidates[0].path.size(), 6u)
+        << "call/ret pair must be inlined into one trace";
+    EXPECT_EQ(candidates[0].path.back().inst, outer_ret);
+}
+
+TEST_F(SelectorTest, CapacityLimitSplitsLargeBlocks)
+{
+    // 20 four-uop instructions = 80 uops > 64: must split.
+    auto *fat = prog.addMultiUop(0x100, 4);
+    std::vector<workload::DynInst> stream;
+    for (int i = 0; i < 20; ++i)
+        stream.push_back(MiniProgram::dyn(fat));
+    auto candidates = collect(stream);
+    ASSERT_GE(candidates.size(), 2u);
+    for (const auto &cand : candidates)
+        EXPECT_LE(cand.uopCount, maxTraceUops);
+}
+
+TEST_F(SelectorTest, ConsecutiveIdenticalTracesJoin)
+{
+    // A 2-inst loop body iterated 4 times: the 3 backward-taken
+    // iterations join into one unrolled candidate.
+    auto *a = prog.addAlu(0x100);
+    auto *br = prog.addBranch(0x104, 0x100);
+    std::vector<workload::DynInst> stream;
+    for (int i = 0; i < 3; ++i) {
+        stream.push_back(MiniProgram::dyn(a));
+        stream.push_back(MiniProgram::dyn(br, true));
+    }
+    stream.push_back(MiniProgram::dyn(a));
+    stream.push_back(MiniProgram::dyn(br, false)); // exit
+    auto candidates = collect(stream);
+    ASSERT_EQ(candidates.size(), 2u);
+    EXPECT_EQ(candidates[0].unrollFactor, 3u);
+    EXPECT_EQ(candidates[0].path.size(), 6u);
+    EXPECT_EQ(candidates[0].tid.numDirs, 3u);
+    EXPECT_EQ(candidates[0].tid.dirBits, 0b111u);
+}
+
+TEST_F(SelectorTest, JoiningStopsAtCapacity)
+{
+    // 24-uop iterations: only two fit in a 64-uop frame.
+    auto *fat = prog.addMultiUop(0x100, 4);
+    auto *fat2 = prog.addMultiUop(0x106, 4);
+    auto *fat3 = prog.addMultiUop(0x10c, 4);
+    auto *fat4 = prog.addMultiUop(0x112, 4);
+    auto *fat5 = prog.addMultiUop(0x118, 4);
+    auto *fat6 = prog.addMultiUop(0x11e, 4);
+    auto *br = prog.addBranch(0x124, 0x100);
+    std::vector<workload::DynInst> stream;
+    for (int i = 0; i < 6; ++i) {
+        for (auto *inst : {fat, fat2, fat3, fat4, fat5, fat6})
+            stream.push_back(MiniProgram::dyn(inst));
+        stream.push_back(MiniProgram::dyn(br, true));
+    }
+    auto candidates = collect(stream);
+    for (const auto &cand : candidates) {
+        EXPECT_LE(cand.uopCount, maxTraceUops);
+        EXPECT_LE(cand.unrollFactor, 2u);
+    }
+    ASSERT_GE(candidates.size(), 2u);
+    EXPECT_EQ(candidates[0].unrollFactor, 2u);
+}
+
+TEST_F(SelectorTest, DifferentDirectionsDoNotJoin)
+{
+    auto *a = prog.addAlu(0x100);
+    auto *br = prog.addBranch(0x104, 0x100);
+    auto candidates = collect({
+        MiniProgram::dyn(a), MiniProgram::dyn(br, true),
+        MiniProgram::dyn(a), MiniProgram::dyn(br, true),
+        MiniProgram::dyn(a), MiniProgram::dyn(br, false),
+        MiniProgram::dyn(a), MiniProgram::dyn(br, true),
+    });
+    // Joined 2x (taken,taken), then the exit path, then the new
+    // iteration.
+    ASSERT_GE(candidates.size(), 2u);
+    EXPECT_EQ(candidates[0].unrollFactor, 2u);
+}
+
+TEST_F(SelectorTest, TidsDifferForDifferentPaths)
+{
+    auto *a = prog.addAlu(0x100);
+    auto *br = prog.addBranch(0x104, 0x100);
+    auto c1 = collect({MiniProgram::dyn(a), MiniProgram::dyn(br, true)});
+    TraceSelector other;
+    other.feed(MiniProgram::dyn(a));
+    other.feed(MiniProgram::dyn(br, false));
+    other.flush();
+    TraceCandidate c2;
+    ASSERT_TRUE(other.pop(c2));
+    ASSERT_EQ(c1.size(), 1u);
+    EXPECT_NE(c1[0].tid, c2.tid);
+    EXPECT_NE(c1[0].tid.hash(), c2.tid.hash());
+}
+
+TEST_F(SelectorTest, FlushEmitsPartialTrace)
+{
+    auto *a = prog.addAlu(0x100);
+    selector.feed(MiniProgram::dyn(a));
+    selector.flush();
+    TraceCandidate c;
+    ASSERT_TRUE(selector.pop(c));
+    EXPECT_EQ(c.path.size(), 1u);
+    EXPECT_EQ(selector.emitted(), 1u);
+}
+
+} // namespace

@@ -1,0 +1,105 @@
+/** @file Helpers to build tiny synthetic instruction streams for
+ * trace-selection tests. */
+
+#ifndef PARROT_TESTS_TRACECACHE_STREAM_HELPER_HH
+#define PARROT_TESTS_TRACECACHE_STREAM_HELPER_HH
+
+#include <memory>
+#include <vector>
+
+#include "isa/inst.hh"
+#include "isa/uop.hh"
+#include "workload/dyninst.hh"
+
+namespace testhelper
+{
+
+using parrot::Addr;
+using parrot::isa::CtiType;
+using parrot::isa::MacroInst;
+
+/** Owns a small static "program" of hand-built instructions. */
+class MiniProgram
+{
+  public:
+    /** Append a plain single-uop ALU instruction. */
+    const MacroInst *
+    addAlu(Addr pc, unsigned length = 4)
+    {
+        return add(pc, length, CtiType::None, 0,
+                   {parrot::isa::makeAluImm(parrot::isa::UopKind::AddImm,
+                                            2, 3, 1)});
+    }
+
+    /** Append a multi-uop instruction. */
+    const MacroInst *
+    addMultiUop(Addr pc, unsigned n_uops, unsigned length = 6)
+    {
+        std::vector<parrot::isa::Uop> uops;
+        for (unsigned i = 0; i < n_uops; ++i)
+            uops.push_back(parrot::isa::makeMovImm(2, i));
+        return add(pc, length, CtiType::None, 0, uops);
+    }
+
+    /** Append a conditional branch (cmp omitted for brevity). */
+    const MacroInst *
+    addBranch(Addr pc, Addr target, unsigned length = 2)
+    {
+        return add(pc, length, CtiType::CondBranch, target,
+                   {parrot::isa::makeBranch()});
+    }
+
+    const MacroInst *
+    addJumpInd(Addr pc)
+    {
+        return add(pc, 2, CtiType::JumpInd, 0,
+                   {parrot::isa::makeJumpInd(3)});
+    }
+
+    const MacroInst *
+    addCall(Addr pc, Addr target)
+    {
+        return add(pc, 3, CtiType::Call, target,
+                   {parrot::isa::makeCall()});
+    }
+
+    const MacroInst *
+    addReturn(Addr pc)
+    {
+        return add(pc, 1, CtiType::Return, 0,
+                   {parrot::isa::makeReturn()});
+    }
+
+    /** Make a DynInst executing the given instruction. */
+    static parrot::workload::DynInst
+    dyn(const MacroInst *inst, bool taken = false)
+    {
+        parrot::workload::DynInst d;
+        d.inst = inst;
+        d.taken = taken;
+        d.nextPc = (taken && inst->takenTarget) ? inst->takenTarget
+                                                : inst->nextPc();
+        return d;
+    }
+
+  private:
+    const MacroInst *
+    add(Addr pc, unsigned length, CtiType cti, Addr target,
+        std::vector<parrot::isa::Uop> uops)
+    {
+        auto inst = std::make_unique<MacroInst>();
+        inst->pc = pc;
+        inst->length = static_cast<std::uint8_t>(length);
+        inst->cti = cti;
+        inst->takenTarget = target;
+        inst->uops = std::move(uops);
+        insts.push_back(std::move(inst));
+        return insts.back().get();
+    }
+
+    std::vector<std::unique_ptr<MacroInst>> insts;
+};
+
+} // namespace testhelper
+
+#endif

@@ -1,0 +1,123 @@
+/** @file Unit tests for the trace cache. */
+
+#include <gtest/gtest.h>
+
+#include "tracecache/trace_cache.hh"
+
+namespace
+{
+
+using namespace parrot;
+using namespace parrot::tracecache;
+
+Trace
+makeTrace(Addr pc, unsigned n_uops = 4, std::uint64_t dirs = 0,
+          unsigned n_dirs = 0)
+{
+    Trace t;
+    t.tid.startPc = pc;
+    t.tid.dirBits = dirs;
+    t.tid.numDirs = static_cast<std::uint8_t>(n_dirs);
+    for (unsigned i = 0; i < n_uops; ++i) {
+        TraceUop tu;
+        tu.uop = isa::makeMovImm(2, i);
+        t.uops.push_back(tu);
+    }
+    t.originalUopCount = static_cast<std::uint16_t>(n_uops);
+    return t;
+}
+
+TEST(TraceCacheTest, InsertLookupRoundTrip)
+{
+    TraceCache tc(TraceCacheConfig{64, 4});
+    Trace t = makeTrace(0x100);
+    tc.insert(t);
+    auto found = tc.lookup(t.tid);
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(found->tid, t.tid);
+    EXPECT_EQ(found->numUops(), 4u);
+}
+
+TEST(TraceCacheTest, LookupMissReturnsNull)
+{
+    TraceCache tc(TraceCacheConfig{64, 4});
+    Tid t;
+    t.startPc = 0xabc;
+    EXPECT_EQ(tc.lookup(t), nullptr);
+    EXPECT_EQ(tc.hits(), 0u);
+    EXPECT_EQ(tc.lookups(), 1u);
+}
+
+TEST(TraceCacheTest, PathVariantsCoexist)
+{
+    TraceCache tc(TraceCacheConfig{64, 4});
+    tc.insert(makeTrace(0x100, 4, 0b0, 1));
+    tc.insert(makeTrace(0x100, 4, 0b1, 1));
+    Tid a;
+    a.startPc = 0x100;
+    a.dirBits = 0;
+    a.numDirs = 1;
+    Tid b = a;
+    b.dirBits = 1;
+    EXPECT_NE(tc.lookup(a), nullptr);
+    EXPECT_NE(tc.lookup(b), nullptr);
+    EXPECT_EQ(tc.occupancy(), 2u);
+}
+
+TEST(TraceCacheTest, SameTidReplacesInPlace)
+{
+    TraceCache tc(TraceCacheConfig{64, 4});
+    tc.insert(makeTrace(0x100, 8));
+    Trace optimized = makeTrace(0x100, 5);
+    optimized.optimized = true;
+    tc.insert(optimized);
+    EXPECT_EQ(tc.occupancy(), 1u);
+    EXPECT_EQ(tc.optimizedReplacements(), 1u);
+    auto found = tc.lookup(optimized.tid);
+    ASSERT_NE(found, nullptr);
+    EXPECT_TRUE(found->optimized);
+    EXPECT_EQ(found->numUops(), 5u);
+}
+
+TEST(TraceCacheTest, InFlightTraceSurvivesRewrite)
+{
+    TraceCache tc(TraceCacheConfig{64, 4});
+    tc.insert(makeTrace(0x100, 8));
+    Tid tid = makeTrace(0x100).tid;
+    auto in_flight = tc.lookup(tid);
+    ASSERT_NE(in_flight, nullptr);
+    Trace optimized = makeTrace(0x100, 5);
+    optimized.optimized = true;
+    tc.insert(optimized);
+    // The old shared_ptr still sees the pre-rewrite version.
+    EXPECT_EQ(in_flight->numUops(), 8u);
+    EXPECT_FALSE(in_flight->optimized);
+}
+
+TEST(TraceCacheTest, EvictionWhenSetFull)
+{
+    TraceCache tc(TraceCacheConfig{4, 4}); // one set
+    for (Addr pc = 0x100; pc < 0x100 + 5 * 0x40; pc += 0x40)
+        tc.insert(makeTrace(pc));
+    EXPECT_EQ(tc.occupancy(), 4u);
+    EXPECT_EQ(tc.evictions(), 1u);
+}
+
+TEST(TraceCacheTest, UopReductionAccounting)
+{
+    Trace t = makeTrace(0x100, 6);
+    t.originalUopCount = 8;
+    EXPECT_NEAR(t.uopReduction(), 0.25, 1e-12);
+}
+
+TEST(TraceCacheTest, ForEachVisitsAll)
+{
+    TraceCache tc(TraceCacheConfig{64, 4});
+    tc.insert(makeTrace(0x100));
+    tc.insert(makeTrace(0x200));
+    unsigned count = 0;
+    tc.forEach([&](const Trace &) { ++count; });
+    EXPECT_EQ(count, 2u);
+}
+
+} // namespace

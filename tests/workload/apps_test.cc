@@ -1,0 +1,158 @@
+/** @file Unit tests for the 44-application benchmark suite. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/apps.hh"
+#include "workload/executor.hh"
+#include "workload/generator.hh"
+
+namespace
+{
+
+using namespace parrot::workload;
+
+TEST(AppsTest, SuiteHas44Applications)
+{
+    auto suite = fullSuite();
+    EXPECT_EQ(suite.size(), 44u);
+}
+
+TEST(AppsTest, GroupSizesMatchPaper)
+{
+    EXPECT_EQ(groupSuite(BenchGroup::SpecInt).size(), 11u);
+    EXPECT_EQ(groupSuite(BenchGroup::SpecFp).size(), 11u);
+    EXPECT_EQ(groupSuite(BenchGroup::Office).size(), 6u);
+    EXPECT_EQ(groupSuite(BenchGroup::Multimedia).size(), 11u);
+    EXPECT_EQ(groupSuite(BenchGroup::DotNet).size(), 5u);
+}
+
+TEST(AppsTest, NamesUnique)
+{
+    std::set<std::string> names;
+    for (const auto &entry : fullSuite())
+        EXPECT_TRUE(names.insert(entry.profile.name).second)
+            << "duplicate app " << entry.profile.name;
+}
+
+TEST(AppsTest, AllProfilesValidate)
+{
+    for (const auto &entry : fullSuite()) {
+        SCOPED_TRACE(entry.profile.name);
+        entry.profile.validate(); // fatal()s on failure
+        EXPECT_GT(entry.defaultInstBudget, 0u);
+    }
+}
+
+TEST(AppsTest, SeedsAreDistinct)
+{
+    std::set<std::uint64_t> seeds;
+    for (const auto &entry : fullSuite())
+        EXPECT_TRUE(seeds.insert(entry.profile.seed).second);
+}
+
+TEST(AppsTest, KillerAppsPresent)
+{
+    auto killers = killerApps();
+    ASSERT_EQ(killers.size(), 3u);
+    EXPECT_EQ(killers[0].profile.name, "flash");
+    EXPECT_EQ(killers[1].profile.name, "wupwise");
+    EXPECT_EQ(killers[2].profile.name, "perlbench");
+}
+
+TEST(AppsTest, FindAppReturnsRequested)
+{
+    EXPECT_EQ(findApp("swim").profile.name, "swim");
+    EXPECT_EQ(findApp("swim").profile.group, BenchGroup::SpecFp);
+}
+
+TEST(AppsTest, SmallSuiteCoversEveryGroup)
+{
+    std::set<BenchGroup> groups;
+    for (const auto &entry : smallSuite())
+        groups.insert(entry.profile.group);
+    EXPECT_EQ(groups.size(), 5u);
+}
+
+TEST(AppsTest, FpGroupMoreRegularThanInt)
+{
+    // The paper's key workload asymmetry: FP code is more predictable,
+    // loopier and hotter than INT code.
+    auto fp = groupSuite(BenchGroup::SpecFp);
+    auto in = groupSuite(BenchGroup::SpecInt);
+    double fp_bias = 0, in_bias = 0, fp_hot = 0, in_hot = 0;
+    double fp_trips = 0, in_trips = 0;
+    for (const auto &e : fp) {
+        fp_bias += e.profile.branchBias;
+        fp_hot += e.profile.hotness;
+        fp_trips += e.profile.avgLoopTrips;
+    }
+    for (const auto &e : in) {
+        in_bias += e.profile.branchBias;
+        in_hot += e.profile.hotness;
+        in_trips += e.profile.avgLoopTrips;
+    }
+    EXPECT_GT(fp_bias / fp.size(), in_bias / in.size());
+    EXPECT_GT(fp_hot / fp.size(), in_hot / in.size());
+    EXPECT_GT(fp_trips / fp.size(), in_trips / in.size());
+}
+
+TEST(AppsTest, EveryAppGeneratesAndRuns)
+{
+    // Smoke: all 44 apps generate and stream without panicking.
+    for (const auto &entry : fullSuite()) {
+        SCOPED_TRACE(entry.profile.name);
+        auto prog = generateProgram(entry.profile);
+        ASSERT_GT(prog->numStaticInsts(), 100u);
+        Executor ex(*prog, entry.profile);
+        DynInst d;
+        for (int i = 0; i < 3000; ++i)
+            ASSERT_TRUE(ex.next(d));
+    }
+}
+
+} // namespace
+
+namespace
+{
+
+using namespace parrot::workload;
+
+class HotnessCalibrationTest
+    : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(HotnessCalibrationTest, MeasuredHotFractionTracksProfile)
+{
+    auto entry = findApp(GetParam());
+    auto prog = generateProgram(entry.profile);
+    Executor ex(*prog, entry.profile);
+    DynInst d;
+    for (int i = 0; i < 150000; ++i)
+        ex.next(d);
+    // The work-based call-site calibration should land the measured
+    // hot fraction near the profile target (generous band: trip-count
+    // draws and 150K-instruction sampling add noise; overshoot is
+    // bounded by construction).
+    EXPECT_GT(ex.hotFraction(), entry.profile.hotness - 0.15)
+        << "hotness undershoot";
+    EXPECT_LT(ex.hotFraction(), std::min(1.01, entry.profile.hotness
+                                                   + 0.15))
+        << "hotness overshoot";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Apps, HotnessCalibrationTest,
+    ::testing::Values("gcc", "gzip", "vortex", "swim", "lucas", "word",
+                      "excel", "flash", "quake3", "dotnet-num-a"),
+    [](const ::testing::TestParamInfo<const char *> &info) {
+        std::string name = info.param;
+        for (char &c : name)
+            if (c == '-')
+                c = '_';
+        return name;
+    });
+
+} // namespace

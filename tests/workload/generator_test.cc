@@ -1,0 +1,243 @@
+/** @file Unit tests for the synthetic program generator. */
+
+#include <gtest/gtest.h>
+
+#include "isa/registers.hh"
+#include "workload/apps.hh"
+#include "workload/generator.hh"
+
+namespace
+{
+
+using namespace parrot;
+using namespace parrot::workload;
+
+AppProfile
+tinyProfile()
+{
+    AppProfile p;
+    p.name = "tiny";
+    p.seed = 1234;
+    p.numHotProcs = 2;
+    p.numColdProcs = 4;
+    p.blocksPerProc = 8;
+    return p;
+}
+
+TEST(GeneratorTest, DeterministicFromSeed)
+{
+    auto a = generateProgram(tinyProfile());
+    auto b = generateProgram(tinyProfile());
+    ASSERT_EQ(a->procs.size(), b->procs.size());
+    EXPECT_EQ(a->numStaticInsts(), b->numStaticInsts());
+    EXPECT_EQ(a->codeBytes(), b->codeBytes());
+    // Compare instruction streams structurally.
+    for (std::size_t p = 0; p < a->procs.size(); ++p) {
+        ASSERT_EQ(a->procs[p].blocks.size(), b->procs[p].blocks.size());
+        for (std::size_t blk = 0; blk < a->procs[p].blocks.size(); ++blk) {
+            const auto &ba = a->procs[p].blocks[blk];
+            const auto &bb = b->procs[p].blocks[blk];
+            ASSERT_EQ(ba.insts.size(), bb.insts.size());
+            for (std::size_t i = 0; i < ba.insts.size(); ++i) {
+                EXPECT_EQ(ba.insts[i].pc, bb.insts[i].pc);
+                EXPECT_EQ(ba.insts[i].uops.size(),
+                          bb.insts[i].uops.size());
+            }
+        }
+    }
+}
+
+TEST(GeneratorTest, ProcedureCountMatchesProfile)
+{
+    auto prog = generateProgram(tinyProfile());
+    EXPECT_EQ(prog->procs.size(), 1u + 2u + 4u);
+    EXPECT_TRUE(prog->procs[0].isHot);  // main
+    EXPECT_TRUE(prog->procs[1].isHot);
+    EXPECT_FALSE(prog->procs[3].isHot);
+}
+
+TEST(GeneratorTest, AddressesContiguousWithinProcedure)
+{
+    auto prog = generateProgram(tinyProfile());
+    for (const auto &proc : prog->procs) {
+        Addr expect = proc.blocks.front().insts.front().pc;
+        for (const auto &block : proc.blocks) {
+            for (const auto &inst : block.insts) {
+                EXPECT_EQ(inst.pc, expect);
+                expect = inst.pc + inst.length;
+            }
+        }
+    }
+}
+
+TEST(GeneratorTest, AddressesGloballyUnique)
+{
+    auto prog = generateProgram(tinyProfile());
+    std::unordered_map<Addr, int> seen;
+    for (const auto &proc : prog->procs)
+        for (const auto &block : proc.blocks)
+            for (const auto &inst : block.insts)
+                EXPECT_EQ(seen[inst.pc]++, 0) << "duplicate pc";
+}
+
+TEST(GeneratorTest, InstLengthsWithinIsaBounds)
+{
+    auto prog = generateProgram(tinyProfile());
+    for (const auto &proc : prog->procs) {
+        for (const auto &block : proc.blocks) {
+            for (const auto &inst : block.insts) {
+                EXPECT_GE(inst.length, 1);
+                EXPECT_LE(inst.length, isa::maxInstBytes);
+                EXPECT_GE(inst.uops.size(), 1u);
+                EXPECT_LE(inst.uops.size(), isa::maxUopsPerInst);
+            }
+        }
+    }
+}
+
+TEST(GeneratorTest, CtiOnlyAsBlockTerminator)
+{
+    auto prog = generateProgram(tinyProfile());
+    for (const auto &proc : prog->procs) {
+        for (const auto &block : proc.blocks) {
+            for (std::size_t i = 0; i + 1 < block.insts.size(); ++i)
+                EXPECT_FALSE(block.insts[i].isCti())
+                    << "CTI in the middle of a block";
+        }
+    }
+}
+
+TEST(GeneratorTest, TerminatorMetadataConsistent)
+{
+    auto prog = generateProgram(tinyProfile());
+    for (const auto &proc : prog->procs) {
+        int n = static_cast<int>(proc.blocks.size());
+        for (const auto &block : proc.blocks) {
+            const auto &t = block.term;
+            switch (t.kind) {
+              case TermKind::Cond:
+              case TermKind::LoopBack:
+                EXPECT_EQ(block.insts.back().cti, isa::CtiType::CondBranch);
+                EXPECT_GE(t.takenBlock, 0);
+                EXPECT_LT(t.takenBlock, n);
+                EXPECT_GE(t.fallBlock, 0);
+                EXPECT_LT(t.fallBlock, n);
+                break;
+              case TermKind::Call:
+                EXPECT_EQ(block.insts.back().cti, isa::CtiType::Call);
+                EXPECT_GT(t.calleeProc, 0);
+                EXPECT_LT(t.calleeProc,
+                          static_cast<int>(prog->procs.size()));
+                break;
+              case TermKind::Switch:
+                EXPECT_EQ(block.insts.back().cti, isa::CtiType::JumpInd);
+                EXPECT_GE(t.switchTargets.size(), 2u);
+                for (int tgt : t.switchTargets) {
+                    EXPECT_GE(tgt, 0);
+                    EXPECT_LT(tgt, n);
+                }
+                break;
+              case TermKind::Ret:
+                EXPECT_EQ(block.insts.back().cti, isa::CtiType::Return);
+                break;
+              case TermKind::Jump:
+                EXPECT_EQ(block.insts.back().cti, isa::CtiType::Jump);
+                break;
+              case TermKind::FallThrough:
+                EXPECT_FALSE(block.insts.back().isCti());
+                EXPECT_GE(t.fallBlock, 0);
+                EXPECT_LT(t.fallBlock, n);
+                break;
+            }
+        }
+    }
+}
+
+TEST(GeneratorTest, LoopBackBranchesAreBackward)
+{
+    auto prog = generateProgram(tinyProfile());
+    for (const auto &proc : prog->procs) {
+        for (const auto &block : proc.blocks) {
+            if (block.term.kind == TermKind::LoopBack) {
+                const auto &br = block.insts.back();
+                EXPECT_LT(br.takenTarget, br.pc)
+                    << "loop-back branch must target backward";
+            }
+            if (block.term.kind == TermKind::Cond &&
+                block.term.takenBlock != block.term.fallBlock) {
+                const auto &br = block.insts.back();
+                EXPECT_GT(br.takenTarget, br.pc)
+                    << "diamond branches must target forward";
+            }
+        }
+    }
+}
+
+TEST(GeneratorTest, TakenTargetsResolveToBlockStarts)
+{
+    auto prog = generateProgram(tinyProfile());
+    for (const auto &proc : prog->procs) {
+        for (const auto &block : proc.blocks) {
+            const auto &t = block.term;
+            const auto &last = block.insts.back();
+            if (t.kind == TermKind::Cond || t.kind == TermKind::LoopBack ||
+                t.kind == TermKind::Jump) {
+                EXPECT_EQ(last.takenTarget,
+                          proc.blocks[t.takenBlock].startPc());
+            } else if (t.kind == TermKind::Call) {
+                EXPECT_EQ(last.takenTarget,
+                          prog->procs[t.calleeProc].entryPc());
+            }
+        }
+    }
+}
+
+TEST(GeneratorTest, PcIndexFindsEveryInstruction)
+{
+    auto prog = generateProgram(tinyProfile());
+    for (const auto &proc : prog->procs)
+        for (const auto &block : proc.blocks)
+            for (const auto &inst : block.insts)
+                EXPECT_EQ(prog->instAt(inst.pc), &inst);
+    EXPECT_EQ(prog->instAt(0xdeadbeef), nullptr);
+}
+
+TEST(GeneratorTest, ScratchRegistersNeverRead)
+{
+    // The dead-code guarantee: generated code never reads the scratch
+    // registers, so intra-trace overwrites are provably dead.
+    auto prog = generateProgram(findApp("gcc").profile);
+    for (const auto &proc : prog->procs) {
+        for (const auto &block : proc.blocks) {
+            for (const auto &inst : block.insts) {
+                for (const auto &uop : inst.uops) {
+                    RegId srcs[4];
+                    unsigned n = uop.sources(srcs);
+                    for (unsigned i = 0; i < n; ++i) {
+                        EXPECT_NE(srcs[i], regconv::regScratch0);
+                        EXPECT_NE(srcs[i], regconv::regScratch1);
+                    }
+                }
+            }
+        }
+    }
+}
+
+TEST(GeneratorTest, MainCallsBothHotAndColdProcs)
+{
+    auto prog = generateProgram(tinyProfile());
+    const auto &main_proc = prog->procs[0];
+    bool calls_hot = false, calls_cold = false;
+    for (const auto &block : main_proc.blocks) {
+        if (block.term.kind == TermKind::Call) {
+            if (prog->procs[block.term.calleeProc].isHot)
+                calls_hot = true;
+            else
+                calls_cold = true;
+        }
+    }
+    EXPECT_TRUE(calls_hot);
+    EXPECT_TRUE(calls_cold);
+}
+
+} // namespace
