@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_runlength.dir/bench_ablation_runlength.cc.o"
+  "CMakeFiles/bench_ablation_runlength.dir/bench_ablation_runlength.cc.o.d"
+  "bench_ablation_runlength"
+  "bench_ablation_runlength.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_runlength.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_tcsize.dir/bench_ablation_tcsize.cc.o"
+  "CMakeFiles/bench_ablation_tcsize.dir/bench_ablation_tcsize.cc.o.d"
+  "bench_ablation_tcsize"
+  "bench_ablation_tcsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_tcsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

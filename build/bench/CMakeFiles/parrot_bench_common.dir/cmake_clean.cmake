@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parrot_bench_common.dir/common/bench_util.cc.o"
+  "CMakeFiles/parrot_bench_common.dir/common/bench_util.cc.o.d"
+  "libparrot_bench_common.a"
+  "libparrot_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parrot_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

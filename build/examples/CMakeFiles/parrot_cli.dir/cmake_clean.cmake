@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parrot_cli.dir/parrot_cli.cpp.o"
+  "CMakeFiles/parrot_cli.dir/parrot_cli.cpp.o.d"
+  "parrot_cli"
+  "parrot_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parrot_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tracelab.dir/tracelab.cpp.o"
+  "CMakeFiles/tracelab.dir/tracelab.cpp.o.d"
+  "tracelab"
+  "tracelab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tracelab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

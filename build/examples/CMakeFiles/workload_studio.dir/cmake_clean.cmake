@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_studio.dir/workload_studio.cpp.o"
+  "CMakeFiles/workload_studio.dir/workload_studio.cpp.o.d"
+  "workload_studio"
+  "workload_studio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_studio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parrot_common.dir/logging.cc.o"
+  "CMakeFiles/parrot_common.dir/logging.cc.o.d"
+  "libparrot_common.a"
+  "libparrot_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parrot_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/ooo_core.cc" "src/cpu/CMakeFiles/parrot_cpu.dir/ooo_core.cc.o" "gcc" "src/cpu/CMakeFiles/parrot_cpu.dir/ooo_core.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/parrot_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/parrot_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/parrot_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/parrot_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/parrot_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parrot_cpu.dir/ooo_core.cc.o"
+  "CMakeFiles/parrot_cpu.dir/ooo_core.cc.o.d"
+  "libparrot_cpu.a"
+  "libparrot_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parrot_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libparrot_cpu.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parrot_frontend.dir/branch_predictor.cc.o"
+  "CMakeFiles/parrot_frontend.dir/branch_predictor.cc.o.d"
+  "libparrot_frontend.a"
+  "libparrot_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parrot_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parrot_isa.dir/arch_state.cc.o"
+  "CMakeFiles/parrot_isa.dir/arch_state.cc.o.d"
+  "CMakeFiles/parrot_isa.dir/opcodes.cc.o"
+  "CMakeFiles/parrot_isa.dir/opcodes.cc.o.d"
+  "CMakeFiles/parrot_isa.dir/uop.cc.o"
+  "CMakeFiles/parrot_isa.dir/uop.cc.o.d"
+  "libparrot_isa.a"
+  "libparrot_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parrot_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parrot_memory.dir/cache.cc.o"
+  "CMakeFiles/parrot_memory.dir/cache.cc.o.d"
+  "CMakeFiles/parrot_memory.dir/hierarchy.cc.o"
+  "CMakeFiles/parrot_memory.dir/hierarchy.cc.o.d"
+  "libparrot_memory.a"
+  "libparrot_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parrot_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

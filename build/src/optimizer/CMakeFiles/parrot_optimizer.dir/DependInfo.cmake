@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/optimizer/dep_graph.cc" "src/optimizer/CMakeFiles/parrot_optimizer.dir/dep_graph.cc.o" "gcc" "src/optimizer/CMakeFiles/parrot_optimizer.dir/dep_graph.cc.o.d"
+  "/root/repo/src/optimizer/equivalence.cc" "src/optimizer/CMakeFiles/parrot_optimizer.dir/equivalence.cc.o" "gcc" "src/optimizer/CMakeFiles/parrot_optimizer.dir/equivalence.cc.o.d"
+  "/root/repo/src/optimizer/optimizer.cc" "src/optimizer/CMakeFiles/parrot_optimizer.dir/optimizer.cc.o" "gcc" "src/optimizer/CMakeFiles/parrot_optimizer.dir/optimizer.cc.o.d"
+  "/root/repo/src/optimizer/passes.cc" "src/optimizer/CMakeFiles/parrot_optimizer.dir/passes.cc.o" "gcc" "src/optimizer/CMakeFiles/parrot_optimizer.dir/passes.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/parrot_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/parrot_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/tracecache/CMakeFiles/parrot_tracecache.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/parrot_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/parrot_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

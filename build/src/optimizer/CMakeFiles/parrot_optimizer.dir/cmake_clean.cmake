@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parrot_optimizer.dir/dep_graph.cc.o"
+  "CMakeFiles/parrot_optimizer.dir/dep_graph.cc.o.d"
+  "CMakeFiles/parrot_optimizer.dir/equivalence.cc.o"
+  "CMakeFiles/parrot_optimizer.dir/equivalence.cc.o.d"
+  "CMakeFiles/parrot_optimizer.dir/optimizer.cc.o"
+  "CMakeFiles/parrot_optimizer.dir/optimizer.cc.o.d"
+  "CMakeFiles/parrot_optimizer.dir/passes.cc.o"
+  "CMakeFiles/parrot_optimizer.dir/passes.cc.o.d"
+  "libparrot_optimizer.a"
+  "libparrot_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parrot_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

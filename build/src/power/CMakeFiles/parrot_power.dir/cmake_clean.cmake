@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parrot_power.dir/energy_model.cc.o"
+  "CMakeFiles/parrot_power.dir/energy_model.cc.o.d"
+  "CMakeFiles/parrot_power.dir/events.cc.o"
+  "CMakeFiles/parrot_power.dir/events.cc.o.d"
+  "libparrot_power.a"
+  "libparrot_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parrot_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parrot_sim.dir/config_file.cc.o"
+  "CMakeFiles/parrot_sim.dir/config_file.cc.o.d"
+  "CMakeFiles/parrot_sim.dir/model_config.cc.o"
+  "CMakeFiles/parrot_sim.dir/model_config.cc.o.d"
+  "CMakeFiles/parrot_sim.dir/result.cc.o"
+  "CMakeFiles/parrot_sim.dir/result.cc.o.d"
+  "CMakeFiles/parrot_sim.dir/runner.cc.o"
+  "CMakeFiles/parrot_sim.dir/runner.cc.o.d"
+  "CMakeFiles/parrot_sim.dir/simulator.cc.o"
+  "CMakeFiles/parrot_sim.dir/simulator.cc.o.d"
+  "libparrot_sim.a"
+  "libparrot_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parrot_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parrot_stats.dir/stats.cc.o"
+  "CMakeFiles/parrot_stats.dir/stats.cc.o.d"
+  "CMakeFiles/parrot_stats.dir/table.cc.o"
+  "CMakeFiles/parrot_stats.dir/table.cc.o.d"
+  "libparrot_stats.a"
+  "libparrot_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parrot_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

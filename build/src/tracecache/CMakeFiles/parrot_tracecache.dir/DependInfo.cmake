@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tracecache/constructor.cc" "src/tracecache/CMakeFiles/parrot_tracecache.dir/constructor.cc.o" "gcc" "src/tracecache/CMakeFiles/parrot_tracecache.dir/constructor.cc.o.d"
+  "/root/repo/src/tracecache/predictor.cc" "src/tracecache/CMakeFiles/parrot_tracecache.dir/predictor.cc.o" "gcc" "src/tracecache/CMakeFiles/parrot_tracecache.dir/predictor.cc.o.d"
+  "/root/repo/src/tracecache/selector.cc" "src/tracecache/CMakeFiles/parrot_tracecache.dir/selector.cc.o" "gcc" "src/tracecache/CMakeFiles/parrot_tracecache.dir/selector.cc.o.d"
+  "/root/repo/src/tracecache/trace_cache.cc" "src/tracecache/CMakeFiles/parrot_tracecache.dir/trace_cache.cc.o" "gcc" "src/tracecache/CMakeFiles/parrot_tracecache.dir/trace_cache.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/parrot_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/parrot_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/parrot_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/parrot_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parrot_tracecache.dir/constructor.cc.o"
+  "CMakeFiles/parrot_tracecache.dir/constructor.cc.o.d"
+  "CMakeFiles/parrot_tracecache.dir/predictor.cc.o"
+  "CMakeFiles/parrot_tracecache.dir/predictor.cc.o.d"
+  "CMakeFiles/parrot_tracecache.dir/selector.cc.o"
+  "CMakeFiles/parrot_tracecache.dir/selector.cc.o.d"
+  "CMakeFiles/parrot_tracecache.dir/trace_cache.cc.o"
+  "CMakeFiles/parrot_tracecache.dir/trace_cache.cc.o.d"
+  "libparrot_tracecache.a"
+  "libparrot_tracecache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parrot_tracecache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

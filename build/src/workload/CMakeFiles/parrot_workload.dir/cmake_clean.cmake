@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parrot_workload.dir/apps.cc.o"
+  "CMakeFiles/parrot_workload.dir/apps.cc.o.d"
+  "CMakeFiles/parrot_workload.dir/executor.cc.o"
+  "CMakeFiles/parrot_workload.dir/executor.cc.o.d"
+  "CMakeFiles/parrot_workload.dir/generator.cc.o"
+  "CMakeFiles/parrot_workload.dir/generator.cc.o.d"
+  "CMakeFiles/parrot_workload.dir/program.cc.o"
+  "CMakeFiles/parrot_workload.dir/program.cc.o.d"
+  "libparrot_workload.a"
+  "libparrot_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parrot_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/isa/opcodes_test.cc" "tests/CMakeFiles/test_isa.dir/isa/opcodes_test.cc.o" "gcc" "tests/CMakeFiles/test_isa.dir/isa/opcodes_test.cc.o.d"
+  "/root/repo/tests/isa/semantics_test.cc" "tests/CMakeFiles/test_isa.dir/isa/semantics_test.cc.o" "gcc" "tests/CMakeFiles/test_isa.dir/isa/semantics_test.cc.o.d"
+  "/root/repo/tests/isa/uop_test.cc" "tests/CMakeFiles/test_isa.dir/isa/uop_test.cc.o" "gcc" "tests/CMakeFiles/test_isa.dir/isa/uop_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/parrot_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/parrot_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/parrot_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/parrot_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/optimizer/CMakeFiles/parrot_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/tracecache/CMakeFiles/parrot_tracecache.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/parrot_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/parrot_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/parrot_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/parrot_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/parrot_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

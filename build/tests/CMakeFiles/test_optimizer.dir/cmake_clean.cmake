@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_optimizer.dir/optimizer/dep_graph_test.cc.o"
+  "CMakeFiles/test_optimizer.dir/optimizer/dep_graph_test.cc.o.d"
+  "CMakeFiles/test_optimizer.dir/optimizer/memory_passes_test.cc.o"
+  "CMakeFiles/test_optimizer.dir/optimizer/memory_passes_test.cc.o.d"
+  "CMakeFiles/test_optimizer.dir/optimizer/optimizer_property_test.cc.o"
+  "CMakeFiles/test_optimizer.dir/optimizer/optimizer_property_test.cc.o.d"
+  "CMakeFiles/test_optimizer.dir/optimizer/passes_test.cc.o"
+  "CMakeFiles/test_optimizer.dir/optimizer/passes_test.cc.o.d"
+  "test_optimizer"
+  "test_optimizer.pdb"
+  "test_optimizer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

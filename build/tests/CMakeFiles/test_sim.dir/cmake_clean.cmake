@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim.dir/sim/config_file_test.cc.o"
+  "CMakeFiles/test_sim.dir/sim/config_file_test.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/machine_property_test.cc.o"
+  "CMakeFiles/test_sim.dir/sim/machine_property_test.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/model_config_test.cc.o"
+  "CMakeFiles/test_sim.dir/sim/model_config_test.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/reproduction_shapes_test.cc.o"
+  "CMakeFiles/test_sim.dir/sim/reproduction_shapes_test.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/simulator_test.cc.o"
+  "CMakeFiles/test_sim.dir/sim/simulator_test.cc.o.d"
+  "test_sim"
+  "test_sim.pdb"
+  "test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tracecache.dir/tracecache/constructor_test.cc.o"
+  "CMakeFiles/test_tracecache.dir/tracecache/constructor_test.cc.o.d"
+  "CMakeFiles/test_tracecache.dir/tracecache/filter_test.cc.o"
+  "CMakeFiles/test_tracecache.dir/tracecache/filter_test.cc.o.d"
+  "CMakeFiles/test_tracecache.dir/tracecache/predictor_test.cc.o"
+  "CMakeFiles/test_tracecache.dir/tracecache/predictor_test.cc.o.d"
+  "CMakeFiles/test_tracecache.dir/tracecache/selector_property_test.cc.o"
+  "CMakeFiles/test_tracecache.dir/tracecache/selector_property_test.cc.o.d"
+  "CMakeFiles/test_tracecache.dir/tracecache/selector_test.cc.o"
+  "CMakeFiles/test_tracecache.dir/tracecache/selector_test.cc.o.d"
+  "CMakeFiles/test_tracecache.dir/tracecache/trace_cache_test.cc.o"
+  "CMakeFiles/test_tracecache.dir/tracecache/trace_cache_test.cc.o.d"
+  "test_tracecache"
+  "test_tracecache.pdb"
+  "test_tracecache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tracecache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
