@@ -16,11 +16,16 @@
 #include "stats/table.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace parrot;
+    bench::parseBenchArgs(argc, argv);
     const auto suite = workload::smallSuite();
-    const std::uint64_t insts = bench::benchInstBudget();
+
+    sim::RunOptions opts;
+    opts.instBudget = bench::benchInstBudget();
+    opts.noLeakage = true;
+    sim::SuiteRunner runner(opts);
 
     std::printf("Ablation: hot-filter threshold sweep (TON, %zu apps)\n",
                 suite.size());
@@ -28,13 +33,11 @@ main()
     hot_table.addRow({"hot-thr", "coverage", "IPC", "inserted",
                       "abort-rate", "dynE(uJ)"});
     for (unsigned thr : {2u, 4u, 6u, 12u, 24u, 48u}) {
+        auto cfg = sim::ModelConfig::make("TON");
+        cfg.hotFilter.threshold = thr;
         double cov = 0, ipc = 0, inserted = 0, aborts = 0, preds = 0;
         double energy = 0;
-        for (const auto &entry : suite) {
-            auto cfg = sim::ModelConfig::make("TON");
-            cfg.hotFilter.threshold = thr;
-            sim::ParrotSimulator s(cfg, sim::loadWorkload(entry));
-            auto r = s.run(insts, 0.0);
+        for (const auto &r : runner.runSuite(cfg, suite)) {
             cov += r.coverage;
             ipc += r.ipc;
             inserted += static_cast<double>(r.tracesInserted);
@@ -59,12 +62,10 @@ main()
     blaze_table.addRow({"blaze-thr", "optimized", "utilization", "IPC",
                         "uop-red(dyn)"});
     for (unsigned thr : {6u, 12u, 24u, 48u, 96u}) {
+        auto cfg = sim::ModelConfig::make("TON");
+        cfg.blazeFilter.threshold = thr;
         double opt = 0, util = 0, ipc = 0, red = 0;
-        for (const auto &entry : suite) {
-            auto cfg = sim::ModelConfig::make("TON");
-            cfg.blazeFilter.threshold = thr;
-            sim::ParrotSimulator s(cfg, sim::loadWorkload(entry));
-            auto r = s.run(insts, 0.0);
+        for (const auto &r : runner.runSuite(cfg, suite)) {
             opt += static_cast<double>(r.tracesOptimized);
             util += r.optimizerUtilization;
             ipc += r.ipc;

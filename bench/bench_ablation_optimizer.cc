@@ -15,13 +15,17 @@
 #include "stats/table.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace parrot;
+    bench::parseBenchArgs(argc, argv);
     auto suite = workload::killerApps();
     auto more = workload::smallSuite();
     suite.insert(suite.end(), more.begin(), more.end());
-    const std::uint64_t insts = bench::benchInstBudget();
+    sim::RunOptions opts;
+    opts.instBudget = bench::benchInstBudget();
+    opts.noLeakage = true;
+    sim::SuiteRunner runner(opts);
 
     struct Variant
     {
@@ -40,12 +44,10 @@ main()
     table.addRow({"passes", "IPC", "uop-red(dyn)", "dep-red",
                   "dynE(uJ)"});
     for (const auto &variant : variants) {
+        auto cfg = sim::ModelConfig::make("TON");
+        cfg.optimizer = variant.cfg;
         double ipc = 0, red = 0, dep = 0, energy = 0;
-        for (const auto &entry : suite) {
-            auto cfg = sim::ModelConfig::make("TON");
-            cfg.optimizer = variant.cfg;
-            sim::ParrotSimulator s(cfg, sim::loadWorkload(entry));
-            auto r = s.run(insts, 0.0);
+        for (const auto &r : runner.runSuite(cfg, suite)) {
             ipc += r.ipc;
             red += r.dynamicUopReduction;
             dep += r.avgDepReduction;

@@ -11,11 +11,16 @@
 #include "stats/table.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace parrot;
+    bench::parseBenchArgs(argc, argv);
     const auto suite = workload::smallSuite();
-    const std::uint64_t insts = bench::benchInstBudget();
+
+    sim::RunOptions opts;
+    opts.instBudget = bench::benchInstBudget();
+    opts.noLeakage = true;
+    sim::SuiteRunner runner(opts);
 
     std::printf("Ablation: next-line L1D/L1I prefetch (%zu apps)\n",
                 suite.size());
@@ -27,9 +32,7 @@ main()
             cfg.memory.l1dNextLinePrefetch = prefetch;
             cfg.memory.l1iNextLinePrefetch = prefetch;
             double ipc = 0, miss = 0, energy = 0;
-            for (const auto &entry : suite) {
-                sim::ParrotSimulator s(cfg, sim::loadWorkload(entry));
-                auto r = s.run(insts, 0.0);
+            for (const auto &r : runner.runSuite(cfg, suite)) {
                 ipc += r.ipc;
                 miss += r.l1dMissRate;
                 energy += r.dynamicEnergy;

@@ -14,9 +14,10 @@
 #include "stats/table.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace parrot;
+    bench::parseBenchArgs(argc, argv);
     const auto suite = workload::smallSuite();
 
     std::printf("Ablation: instruction budget vs coverage (TON, %zu "
@@ -25,16 +26,17 @@ main()
     table.addRow({"insts", "coverage", "IPC", "TON-vs-N IPC"});
     for (std::uint64_t insts :
          {100000ull, 200000ull, 400000ull, 800000ull}) {
+        sim::RunOptions opts;
+        opts.instBudget = insts;
+        opts.noLeakage = true;
+        sim::SuiteRunner runner(opts);
+        auto ton_results = runner.runSuite("TON", suite);
+        auto n_results = runner.runSuite("N", suite);
         double cov = 0, ipc = 0, base_ipc = 0;
-        for (const auto &entry : suite) {
-            auto w = sim::loadWorkload(entry);
-            sim::ParrotSimulator ton(sim::ModelConfig::make("TON"), w);
-            auto r = ton.run(insts, 0.0);
-            sim::ParrotSimulator n(sim::ModelConfig::make("N"), w);
-            auto rn = n.run(insts, 0.0);
-            cov += r.coverage;
-            ipc += r.ipc;
-            base_ipc += rn.ipc;
+        for (std::size_t i = 0; i < suite.size(); ++i) {
+            cov += ton_results[i].coverage;
+            ipc += ton_results[i].ipc;
+            base_ipc += n_results[i].ipc;
         }
         const double k = static_cast<double>(suite.size());
         table.addRow({

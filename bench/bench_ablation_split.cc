@@ -15,19 +15,22 @@
 #include "stats/table.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace parrot;
+    bench::parseBenchArgs(argc, argv);
     const auto suite = workload::smallSuite();
-    const std::uint64_t insts = bench::benchInstBudget();
+
+    sim::RunOptions opts;
+    opts.instBudget = bench::benchInstBudget();
+    opts.noLeakage = true;
+    sim::SuiteRunner runner(opts);
 
     auto run_avg = [&](const sim::ModelConfig &cfg, double &ipc,
                        double &energy) {
         ipc = 0.0;
         energy = 0.0;
-        for (const auto &entry : suite) {
-            sim::ParrotSimulator s(cfg, sim::loadWorkload(entry));
-            auto r = s.run(insts, 0.0);
+        for (const auto &r : runner.runSuite(cfg, suite)) {
             ipc += r.ipc;
             energy += r.dynamicEnergy;
         }

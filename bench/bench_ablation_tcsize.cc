@@ -14,11 +14,16 @@
 #include "stats/table.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace parrot;
+    bench::parseBenchArgs(argc, argv);
     const auto suite = workload::smallSuite();
-    const std::uint64_t insts = bench::benchInstBudget();
+
+    sim::RunOptions opts;
+    opts.instBudget = bench::benchInstBudget();
+    opts.noLeakage = true;
+    sim::SuiteRunner runner(opts);
 
     std::printf("Ablation: trace-cache frames vs coverage (TON, %zu "
                 "apps)\n", suite.size());
@@ -26,16 +31,13 @@ main()
     table.addRow({"frames", "coverage", "IPC", "evictions",
                   "dynE(uJ)"});
     for (unsigned frames : {64u, 128u, 256u, 512u, 1024u, 2048u}) {
-        double cov = 0, ipc = 0, evict = 0, energy = 0;
-        for (const auto &entry : suite) {
-            auto cfg = sim::ModelConfig::make("TON");
-            cfg.traceCache.numEntries = frames;
-            sim::ParrotSimulator s(cfg, sim::loadWorkload(entry));
-            auto r = s.run(insts, 0.0);
+        auto cfg = sim::ModelConfig::make("TON");
+        cfg.traceCache.numEntries = frames;
+        double cov = 0, ipc = 0, energy = 0;
+        for (const auto &r : runner.runSuite(cfg, suite)) {
             cov += r.coverage;
             ipc += r.ipc;
             energy += r.dynamicEnergy;
-            (void)evict;
         }
         const double n = static_cast<double>(suite.size());
         table.addRow({

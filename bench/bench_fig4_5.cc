@@ -9,9 +9,10 @@
 #include "common/bench_util.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace parrot;
+    bench::parseBenchArgs(argc, argv);
     bench::ResultStore store;
     auto suite = workload::fullSuite();
     bench::printRelativeFigure(

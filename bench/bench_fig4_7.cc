@@ -17,9 +17,10 @@
 #include "stats/table.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace parrot;
+    bench::parseBenchArgs(argc, argv);
     bench::ResultStore store;
     auto suite = workload::fullSuite();
 

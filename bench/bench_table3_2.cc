@@ -5,13 +5,15 @@
 
 #include <cstdio>
 
+#include "common/bench_util.hh"
 #include "sim/model_config.hh"
 #include "stats/table.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace parrot;
+    bench::parseBenchArgs(argc, argv);
     stats::TextTable table;
     table.addRow({"model", "fetch", "decode", "core", "ROB", "IQ",
                   "bp", "tc-frames", "tp", "hot-thr", "blaze-thr",

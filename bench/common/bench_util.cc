@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
@@ -20,6 +21,40 @@ benchInstBudget()
     if (const char *env = std::getenv("PARROT_BENCH_INSTS"))
         return std::strtoull(env, nullptr, 10);
     return 600000;
+}
+
+unsigned
+benchJobs()
+{
+    return sim::resolveJobs(0);
+}
+
+void
+parseBenchArgs(int argc, char **argv)
+{
+    auto need_value = [&](int &i) -> const char * {
+        if (i + 1 >= argc) {
+            std::fprintf(stderr, "missing value for %s\n", argv[i]);
+            std::exit(2);
+        }
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (!std::strcmp(arg, "--jobs")) {
+            setenv("PARROT_JOBS", need_value(i), 1);
+        } else if (!std::strcmp(arg, "--insts")) {
+            setenv("PARROT_BENCH_INSTS", need_value(i), 1);
+        } else if (!std::strcmp(arg, "--no-cache")) {
+            setenv("PARROT_BENCH_NO_CACHE", "1", 1);
+        } else {
+            std::fprintf(stderr,
+                         "unknown option '%s' (supported: --jobs N, "
+                         "--insts N, --no-cache)\n",
+                         arg);
+            std::exit(2);
+        }
+    }
 }
 
 namespace
@@ -74,13 +109,25 @@ deserialize(const std::string &line, SimResult &r)
 
 } // namespace
 
-ResultStore::ResultStore(const std::string &cache_path) : path(cache_path)
+namespace
+{
+
+sim::RunOptions
+benchRunOptions()
+{
+    sim::RunOptions opts;
+    opts.instBudget = benchInstBudget();
+    opts.jobs = benchJobs();
+    return opts;
+}
+
+} // namespace
+
+ResultStore::ResultStore(const std::string &cache_path)
+    : path(cache_path), runner(benchRunOptions())
 {
     if (std::getenv("PARROT_BENCH_NO_CACHE"))
         enabled = false;
-    sim::RunOptions opts;
-    opts.instBudget = benchInstBudget();
-    runner = sim::SuiteRunner(opts);
     if (enabled)
         load();
 }
@@ -131,10 +178,12 @@ ResultStore::pmax()
     if (pmaxReady)
         return pmaxValue;
     // Memoize Pmax as a pseudo-result under a reserved key.
-    std::string key = keyOf("_pmax", "swim", benchInstBudget());
+    std::string key = keyOf("_pmax", "swim", runner.options().instBudget);
     auto it = memo.find(key);
     if (it != memo.end()) {
         pmaxValue = it->second.energyPerCycle;
+        // Skip the runner's own calibration run.
+        runner.setPmax(pmaxValue);
     } else {
         pmaxValue = runner.pmax();
         SimResult marker;
@@ -150,16 +199,15 @@ SimResult
 ResultStore::get(const std::string &model,
                  const workload::SuiteEntry &entry)
 {
-    std::string key = keyOf(model, entry.profile.name, benchInstBudget());
+    std::string key =
+        keyOf(model, entry.profile.name, runner.options().instBudget);
     auto it = memo.find(key);
     if (it != memo.end())
         return it->second;
 
     // Ensure the leakage calibration happened (and is cached) first.
-    double pmax_per_cycle = pmax();
-    sim::ParrotSimulator simulator(sim::ModelConfig::make(model),
-                                   sim::loadWorkload(entry));
-    SimResult r = simulator.run(benchInstBudget(), pmax_per_cycle);
+    pmax();
+    SimResult r = runner.runOne(model, entry);
     memo.emplace(key, r);
     append(key, r);
     std::fprintf(stderr, "  [ran %s/%s]\n", model.c_str(),
@@ -171,10 +219,33 @@ std::vector<SimResult>
 ResultStore::getSuite(const std::string &model,
                       const std::vector<workload::SuiteEntry> &suite)
 {
+    // Dispatch only the entries the memo doesn't cover onto the
+    // runner's worker pool, then fold them back (and into the cache
+    // file) in suite order so output stays deterministic.
+    std::vector<workload::SuiteEntry> missing;
+    for (const auto &entry : suite) {
+        if (!memo.count(keyOf(model, entry.profile.name,
+                              runner.options().instBudget)))
+            missing.push_back(entry);
+    }
+    if (!missing.empty()) {
+        pmax();
+        auto fresh = runner.runSuite(model, missing);
+        for (std::size_t i = 0; i < missing.size(); ++i) {
+            std::string key = keyOf(model, missing[i].profile.name,
+                                    runner.options().instBudget);
+            memo.emplace(key, fresh[i]);
+            append(key, fresh[i]);
+            std::fprintf(stderr, "  [ran %s/%s]\n", model.c_str(),
+                         missing[i].profile.name.c_str());
+        }
+    }
+
     std::vector<SimResult> out;
     out.reserve(suite.size());
     for (const auto &entry : suite)
-        out.push_back(get(model, entry));
+        out.push_back(memo.at(keyOf(model, entry.profile.name,
+                                    runner.options().instBudget)));
     return out;
 }
 

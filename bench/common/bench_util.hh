@@ -8,6 +8,11 @@
  * first bench pays and the rest reuse. Delete the file (or set
  * PARROT_BENCH_NO_CACHE=1) to force fresh runs. The instruction budget
  * can be overridden with PARROT_BENCH_INSTS.
+ *
+ * Uncached simulations dispatch onto the suite runner's worker pool;
+ * the job count comes from --jobs / PARROT_JOBS (default
+ * hardware_concurrency) and never changes the results — see
+ * sim::SuiteRunner.
  */
 
 #ifndef PARROT_BENCH_COMMON_BENCH_UTIL_HH
@@ -27,6 +32,19 @@ namespace parrot::bench
 /** Instruction budget for bench runs (PARROT_BENCH_INSTS override). */
 std::uint64_t benchInstBudget();
 
+/** Worker-pool size for bench runs (PARROT_JOBS override; 0 = auto). */
+unsigned benchJobs();
+
+/**
+ * Parse the common bench flags every driver accepts and publish them
+ * to the environment the helpers above read:
+ *   --jobs N    worker threads (PARROT_JOBS)
+ *   --insts N   instruction budget (PARROT_BENCH_INSTS)
+ *   --no-cache  ignore/skip the result cache (PARROT_BENCH_NO_CACHE)
+ * Unknown flags are fatal. Call first thing in main().
+ */
+void parseBenchArgs(int argc, char **argv);
+
 /**
  * A persistent memo of simulation results keyed by
  * (model, app, instruction budget).
@@ -41,7 +59,11 @@ class ResultStore
     sim::SimResult get(const std::string &model,
                        const workload::SuiteEntry &entry);
 
-    /** Fetch or compute the full suite for one model. */
+    /**
+     * Fetch or compute the full suite for one model. Uncached entries
+     * run concurrently on the runner's worker pool; results (and the
+     * cache file) are identical to serial runs.
+     */
     std::vector<sim::SimResult> getSuite(
         const std::string &model,
         const std::vector<workload::SuiteEntry> &suite);

@@ -13,6 +13,8 @@
  *     --group NAME        run a whole group (SpecInt SpecFP Office
  *                         Multimedia DotNet) or "all"
  *     --insts N           committed-instruction budget (default 300000)
+ *     --jobs N            worker threads for multi-app runs
+ *                         (default: PARROT_JOBS or all hardware threads)
  *     --pmax X            leakage Pmax per cycle (default: calibrate)
  *     --no-leakage        disable the leakage model
  *     --kv                key=value output (for scripts)
@@ -88,6 +90,7 @@ main(int argc, char **argv)
     std::vector<std::string> apps;
     std::string group;
     std::uint64_t insts = 300000;
+    unsigned jobs = 0;
     double pmax = 0.0;
     bool no_leakage = false;
     bool kv = false;
@@ -113,6 +116,9 @@ main(int argc, char **argv)
             group = need_value(i);
         } else if (!std::strcmp(arg, "--insts")) {
             insts = std::strtoull(need_value(i), nullptr, 10);
+        } else if (!std::strcmp(arg, "--jobs")) {
+            jobs = static_cast<unsigned>(
+                std::strtoul(need_value(i), nullptr, 10));
         } else if (!std::strcmp(arg, "--pmax")) {
             pmax = std::strtod(need_value(i), nullptr);
         } else if (!std::strcmp(arg, "--no-leakage")) {
@@ -169,18 +175,17 @@ main(int argc, char **argv)
     if (suite.empty())
         suite.push_back(workload::findApp("swim"));
 
-    // Leakage calibration (unless given or disabled).
-    if (!no_leakage && pmax <= 0.0) {
-        sim::RunOptions opts;
-        opts.instBudget = insts;
-        sim::SuiteRunner calibrator(opts);
-        pmax = calibrator.pmax();
-    }
-
-    for (const auto &entry : suite) {
-        sim::ParrotSimulator simulator(cfg, sim::loadWorkload(entry));
-        sim::SimResult r =
-            simulator.run(insts, no_leakage ? 0.0 : pmax);
+    // The runner calibrates Pmax up front (unless given or disabled)
+    // and fans the apps out over its worker pool; results come back in
+    // suite order regardless of the job count.
+    sim::RunOptions opts;
+    opts.instBudget = insts;
+    opts.pmaxPerCycle = pmax;
+    opts.noLeakage = no_leakage;
+    opts.jobs = jobs;
+    sim::SuiteRunner runner(opts);
+    auto results = runner.runSuite(cfg, suite);
+    for (const auto &r : results) {
         if (kv)
             printKv(r);
         else

@@ -1,16 +1,79 @@
 #include "sim/runner.hh"
 
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+
 #include "common/logging.hh"
 #include "stats/stats.hh"
 
 namespace parrot::sim
 {
 
+unsigned
+resolveJobs(unsigned requested)
+{
+    if (requested > 0)
+        return requested;
+    if (const char *env = std::getenv("PARROT_JOBS")) {
+        long v = std::strtol(env, nullptr, 10);
+        if (v > 0)
+            return static_cast<unsigned>(v);
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+void
+parallelFor(std::size_t count, unsigned jobs,
+            const std::function<void(std::size_t)> &body)
+{
+    std::size_t pool_size = resolveJobs(jobs);
+    if (pool_size > count)
+        pool_size = count;
+    if (pool_size <= 1) {
+        for (std::size_t i = 0; i < count; ++i)
+            body(i);
+        return;
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::mutex error_mutex;
+    std::exception_ptr error;
+    auto worker = [&] {
+        for (;;) {
+            std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= count)
+                return;
+            try {
+                body(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(error_mutex);
+                if (!error)
+                    error = std::current_exception();
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(pool_size);
+    for (std::size_t t = 0; t < pool_size; ++t)
+        pool.emplace_back(worker);
+    for (auto &thread : pool)
+        thread.join();
+    if (error)
+        std::rethrow_exception(error);
+}
+
 SuiteRunner::SuiteRunner(RunOptions options) : opts(options) {}
 
 Workload &
 SuiteRunner::workloadFor(const workload::SuiteEntry &entry)
 {
+    // Generation happens under the lock so the same app is never
+    // generated twice; std::map references stay valid across later
+    // insertions, so handing the reference out is safe.
+    std::lock_guard<std::mutex> lock(cacheMutex);
     auto it = programCache.find(entry.profile.name);
     if (it == programCache.end()) {
         it = programCache.emplace(entry.profile.name,
@@ -19,44 +82,91 @@ SuiteRunner::workloadFor(const workload::SuiteEntry &entry)
     return it->second;
 }
 
+void
+SuiteRunner::prepare(const std::vector<workload::SuiteEntry> &suite)
+{
+    {
+        std::lock_guard<std::mutex> lock(pmaxMutex);
+        if (!pmaxReady) {
+            if (opts.noLeakage) {
+                pmaxValue = 0.0;
+            } else if (opts.pmaxPerCycle > 0.0) {
+                pmaxValue = opts.pmaxPerCycle;
+            } else {
+                // §3.2: Pmax is the per-cycle dynamic power of the
+                // hottest application (swim) on the base OOO model N.
+                auto entry = workload::findApp("swim");
+                ParrotSimulator sim(ModelConfig::make("N"),
+                                    workloadFor(entry));
+                SimResult r = sim.run(opts.instBudget, 0.0);
+                pmaxValue = r.energyPerCycle;
+            }
+            pmaxReady = true;
+        }
+    }
+    for (const auto &entry : suite)
+        workloadFor(entry);
+}
+
 double
 SuiteRunner::pmax()
 {
-    if (pmaxReady)
-        return pmaxValue;
-    if (opts.noLeakage) {
-        pmaxValue = 0.0;
-    } else if (opts.pmaxPerCycle > 0.0) {
-        pmaxValue = opts.pmaxPerCycle;
-    } else {
-        // §3.2: Pmax is the per-cycle dynamic power of the hottest
-        // application (swim) on the base OOO model N.
-        auto entry = workload::findApp("swim");
-        ParrotSimulator sim(ModelConfig::make("N"), workloadFor(entry));
-        SimResult r = sim.run(opts.instBudget, 0.0);
-        pmaxValue = r.energyPerCycle;
-    }
-    pmaxReady = true;
+    prepare();
     return pmaxValue;
+}
+
+void
+SuiteRunner::setPmax(double pmax_per_cycle)
+{
+    std::lock_guard<std::mutex> lock(pmaxMutex);
+    pmaxValue = pmax_per_cycle;
+    pmaxReady = true;
+}
+
+SimResult
+SuiteRunner::runPrepared(const ModelConfig &config,
+                         const workload::SuiteEntry &entry)
+{
+    double pmax_per_cycle = opts.noLeakage ? 0.0 : pmaxValue;
+    ParrotSimulator sim(config, workloadFor(entry));
+    return sim.run(opts.instBudget, pmax_per_cycle);
 }
 
 SimResult
 SuiteRunner::runOne(const std::string &model_name,
                     const workload::SuiteEntry &entry)
 {
-    double pmax_per_cycle = opts.noLeakage ? 0.0 : pmax();
-    ParrotSimulator sim(ModelConfig::make(model_name), workloadFor(entry));
-    return sim.run(opts.instBudget, pmax_per_cycle);
+    return runOne(ModelConfig::make(model_name), entry);
+}
+
+SimResult
+SuiteRunner::runOne(const ModelConfig &config,
+                    const workload::SuiteEntry &entry)
+{
+    prepare();
+    return runPrepared(config, entry);
 }
 
 std::vector<SimResult>
 SuiteRunner::runSuite(const std::string &model_name,
                       const std::vector<workload::SuiteEntry> &suite)
 {
-    std::vector<SimResult> out;
-    out.reserve(suite.size());
-    for (const auto &entry : suite)
-        out.push_back(runOne(model_name, entry));
+    return runSuite(ModelConfig::make(model_name), suite);
+}
+
+std::vector<SimResult>
+SuiteRunner::runSuite(const ModelConfig &config,
+                      const std::vector<workload::SuiteEntry> &suite)
+{
+    // All shared-state mutation (Pmax calibration, workload
+    // generation) happens here, before any worker starts; the workers
+    // then only read shared state and write their own result slot, so
+    // the output is bit-identical to the serial path.
+    prepare(suite);
+    std::vector<SimResult> out(suite.size());
+    parallelFor(suite.size(), opts.jobs, [&](std::size_t i) {
+        out[i] = runPrepared(config, suite[i]);
+    });
     return out;
 }
 
@@ -64,20 +174,30 @@ GroupSummary
 summarizeByGroup(const std::vector<SimResult> &results,
                  const std::function<double(const SimResult &)> &metric)
 {
+    constexpr auto num_groups =
+        static_cast<unsigned>(workload::BenchGroup::NumGroups);
+
+    // Resolve each app's group once; findApp is a linear scan over
+    // the full suite, so doing it per (group x result) pair is
+    // quadratic in practice.
+    std::map<std::string, workload::BenchGroup> group_of;
+    for (const auto &entry : workload::fullSuite())
+        group_of.emplace(entry.profile.name, entry.profile.group);
+
+    std::vector<std::vector<double>> by_group(num_groups);
+    for (const auto &r : results) {
+        auto it = group_of.find(r.app);
+        PARROT_ASSERT(it != group_of.end(),
+                      "summarizeByGroup: unknown app '%s'",
+                      r.app.c_str());
+        by_group[static_cast<unsigned>(it->second)].push_back(metric(r));
+    }
+
     GroupSummary summary;
     std::vector<double> all;
-
-    for (unsigned g = 0;
-         g < static_cast<unsigned>(workload::BenchGroup::NumGroups); ++g) {
+    for (unsigned g = 0; g < num_groups; ++g) {
         auto group = static_cast<workload::BenchGroup>(g);
-        std::vector<double> vals;
-        for (const auto &r : results) {
-            // Group membership comes from the suite definition.
-            auto entry_group =
-                workload::findApp(r.app).profile.group;
-            if (entry_group == group)
-                vals.push_back(metric(r));
-        }
+        const auto &vals = by_group[g];
         if (vals.empty())
             continue;
         summary.labels.push_back(workload::benchGroupName(group));

@@ -4,6 +4,15 @@
  * Pmax leakage calibration (§3.2: Pmax is the per-cycle dynamic power
  * of the hottest application — swim — on the base N model) and
  * aggregates per-group geometric means the way the paper reports them.
+ *
+ * Suites run on a small worker pool (`RunOptions::jobs`, the
+ * PARROT_JOBS environment variable, or hardware_concurrency): every
+ * (model, application) simulation is independent, so the runner
+ * calibrates Pmax and pre-generates the workloads up front
+ * (prepare()), then dispatches simulations to worker threads that
+ * write into pre-sized result slots. Output is therefore
+ * bit-identical to the serial path regardless of the job count;
+ * `jobs = 1` degenerates to the plain serial loop.
  */
 
 #ifndef PARROT_SIM_RUNNER_HH
@@ -11,6 +20,7 @@
 
 #include <functional>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -29,39 +39,103 @@ struct RunOptions
     double pmaxPerCycle = 0.0;
     /** Skip calibration entirely (leakage = 0). */
     bool noLeakage = false;
+    /**
+     * Worker threads for runSuite. 0 = take the PARROT_JOBS
+     * environment variable, falling back to hardware_concurrency.
+     */
+    unsigned jobs = 0;
 };
 
 /**
+ * Resolve a requested job count: a positive request wins, else the
+ * PARROT_JOBS environment variable, else hardware_concurrency
+ * (minimum 1).
+ */
+unsigned resolveJobs(unsigned requested);
+
+/**
+ * Run body(0..count-1) on a pool of `jobs` worker threads (resolved
+ * via resolveJobs; clamped to count). Indices are handed out through
+ * an atomic counter, so the body must be safe to run concurrently for
+ * distinct indices; jobs <= 1 runs the plain serial loop. Blocks until
+ * every index completed; the first exception thrown by a body is
+ * rethrown after the pool drains.
+ */
+void parallelFor(std::size_t count, unsigned jobs,
+                 const std::function<void(std::size_t)> &body);
+
+/**
  * Runs simulations and caches generated programs across models.
+ *
+ * Thread safety: prepare() / setPmax() / the implicit first pmax()
+ * computation serialize internally, and the workload cache is
+ * mutex-guarded, so concurrent runOne() calls are safe. runSuite()
+ * prepares eagerly and then fans the suite out over its own worker
+ * pool. The runner is intentionally non-copyable (it owns mutexes and
+ * a workload cache); keep one per sweep.
  */
 class SuiteRunner
 {
   public:
     explicit SuiteRunner(RunOptions options = {});
 
+    SuiteRunner(const SuiteRunner &) = delete;
+    SuiteRunner &operator=(const SuiteRunner &) = delete;
+
+    /**
+     * Eagerly perform every shared-state mutation a run needs: the
+     * Pmax calibration (one swim-on-N simulation, unless leakage is
+     * disabled or an explicit Pmax was given) and generation of the
+     * given suite's workloads into the program cache. Idempotent:
+     * repeated or concurrent calls calibrate exactly once and reuse
+     * cached workloads.
+     */
+    void prepare(const std::vector<workload::SuiteEntry> &suite = {});
+
     /** Simulate one application on one model. */
     SimResult runOne(const std::string &model_name,
                      const workload::SuiteEntry &entry);
 
-    /** Simulate a set of applications on one model. */
+    /** Simulate one application on an explicit model configuration. */
+    SimResult runOne(const ModelConfig &config,
+                     const workload::SuiteEntry &entry);
+
+    /** Simulate a set of applications on one model (worker pool). */
     std::vector<SimResult> runSuite(
         const std::string &model_name,
         const std::vector<workload::SuiteEntry> &suite);
 
+    /** Same, for an explicit model configuration. */
+    std::vector<SimResult> runSuite(
+        const ModelConfig &config,
+        const std::vector<workload::SuiteEntry> &suite);
+
     /**
      * The calibrated Pmax (model pJ per cycle). Triggers the
-     * calibration run on first use.
+     * calibration run (via prepare()) on first use.
      */
     double pmax();
+
+    /**
+     * Inject an externally memoized Pmax, skipping the calibration
+     * run (used by the bench result cache).
+     */
+    void setPmax(double pmax_per_cycle);
 
     const RunOptions &options() const { return opts; }
 
   private:
     Workload &workloadFor(const workload::SuiteEntry &entry);
 
+    /** One simulation; requires prepare() to have run. */
+    SimResult runPrepared(const ModelConfig &config,
+                          const workload::SuiteEntry &entry);
+
     RunOptions opts;
+    std::mutex pmaxMutex; //!< guards the calibration state below
     double pmaxValue = 0.0;
     bool pmaxReady = false;
+    std::mutex cacheMutex; //!< guards programCache
     std::map<std::string, Workload> programCache;
 };
 

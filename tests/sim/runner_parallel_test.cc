@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Determinism regression tests for the parallel suite runner: a
+ * worker-pool run must be byte-identical to the serial path, and the
+ * shared pmax/workload state must behave under concurrent callers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "sim/runner.hh"
+#include "workload/apps.hh"
+
+namespace
+{
+
+using namespace parrot;
+using namespace parrot::sim;
+
+constexpr std::uint64_t kBudget = 20000;
+
+RunOptions
+testOptions(unsigned jobs, bool no_leakage = true)
+{
+    RunOptions opts;
+    opts.instBudget = kBudget;
+    opts.noLeakage = no_leakage;
+    opts.jobs = jobs;
+    return opts;
+}
+
+/** Field-exact comparison (EXPECT_EQ on doubles is bitwise-strict). */
+void
+expectIdentical(const SimResult &a, const SimResult &b)
+{
+    EXPECT_EQ(a.model, b.model);
+    EXPECT_EQ(a.app, b.app);
+    EXPECT_EQ(a.insts, b.insts);
+    EXPECT_EQ(a.uops, b.uops);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.ipc, b.ipc);
+    EXPECT_EQ(a.upc, b.upc);
+    EXPECT_EQ(a.coverage, b.coverage);
+    EXPECT_EQ(a.tracePredictions, b.tracePredictions);
+    EXPECT_EQ(a.traceMispredicts, b.traceMispredicts);
+    EXPECT_EQ(a.tracesInserted, b.tracesInserted);
+    EXPECT_EQ(a.tracesOptimized, b.tracesOptimized);
+    EXPECT_EQ(a.dynamicUopReduction, b.dynamicUopReduction);
+    EXPECT_EQ(a.dynamicEnergy, b.dynamicEnergy);
+    EXPECT_EQ(a.leakageEnergy, b.leakageEnergy);
+    EXPECT_EQ(a.totalEnergy, b.totalEnergy);
+    EXPECT_EQ(a.energyPerCycle, b.energyPerCycle);
+    EXPECT_EQ(a.cmpw, b.cmpw);
+    for (std::size_t u = 0; u < a.unitEnergy.size(); ++u)
+        EXPECT_EQ(a.unitEnergy[u], b.unitEnergy[u]) << "unit " << u;
+}
+
+TEST(RunnerParallelTest, ParallelSuiteMatchesSerialBitExact)
+{
+    auto suite = workload::smallSuite();
+    for (const char *model : {"N", "TON"}) {
+        SuiteRunner serial(testOptions(1));
+        SuiteRunner parallel(testOptions(4));
+        auto a = serial.runSuite(model, suite);
+        auto b = parallel.runSuite(model, suite);
+        ASSERT_EQ(a.size(), suite.size());
+        ASSERT_EQ(b.size(), suite.size());
+        for (std::size_t i = 0; i < suite.size(); ++i) {
+            SCOPED_TRACE(std::string(model) + "/" +
+                         suite[i].profile.name);
+            expectIdentical(a[i], b[i]);
+        }
+    }
+}
+
+TEST(RunnerParallelTest, ParallelMatchesSerialWithLeakageCalibration)
+{
+    // With leakage on, the calibration run (swim on N) feeds every
+    // result; it must be computed once up front, not raced mid-suite.
+    auto suite = workload::killerApps();
+    SuiteRunner serial(testOptions(1, /*no_leakage=*/false));
+    SuiteRunner parallel(testOptions(4, /*no_leakage=*/false));
+    auto a = serial.runSuite("TON", suite);
+    auto b = parallel.runSuite("TON", suite);
+    EXPECT_EQ(serial.pmax(), parallel.pmax());
+    EXPECT_GT(parallel.pmax(), 0.0);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        SCOPED_TRACE(suite[i].profile.name);
+        EXPECT_GT(a[i].leakageEnergy, 0.0);
+        expectIdentical(a[i], b[i]);
+    }
+}
+
+TEST(RunnerParallelTest, RepeatedSuitesReuseTheSamePmax)
+{
+    SuiteRunner runner(testOptions(2, /*no_leakage=*/false));
+    auto suite = workload::killerApps();
+    double before = runner.pmax();
+    auto a = runner.runSuite("N", suite);
+    auto b = runner.runSuite("N", suite);
+    EXPECT_EQ(runner.pmax(), before);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        expectIdentical(a[i], b[i]);
+}
+
+TEST(RunnerParallelTest, ConcurrentRunOneCallersAreSafe)
+{
+    // Hammer runOne from several external threads without a prior
+    // prepare(); the runner must calibrate exactly once and serve the
+    // shared workload cache without tearing.
+    SuiteRunner runner(testOptions(1, /*no_leakage=*/false));
+    auto entry = workload::findApp("word");
+    constexpr int kThreads = 4;
+    std::vector<SimResult> results(kThreads);
+    std::vector<std::thread> pool;
+    for (int t = 0; t < kThreads; ++t) {
+        pool.emplace_back([&, t] {
+            results[t] = runner.runOne("TON", entry);
+        });
+    }
+    for (auto &th : pool)
+        th.join();
+    for (int t = 1; t < kThreads; ++t)
+        expectIdentical(results[0], results[t]);
+}
+
+TEST(RunnerParallelTest, ExplicitPmaxSkipsCalibration)
+{
+    SuiteRunner runner(testOptions(1, /*no_leakage=*/false));
+    runner.setPmax(123.5);
+    EXPECT_EQ(runner.pmax(), 123.5);
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce)
+{
+    constexpr std::size_t kCount = 257;
+    std::vector<std::atomic<int>> hits(kCount);
+    parallelFor(kCount, 4, [&](std::size_t i) { hits[i]++; });
+    for (std::size_t i = 0; i < kCount; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ParallelForTest, SerialDegenerateCaseRunsInOrder)
+{
+    std::vector<std::size_t> order;
+    parallelFor(5, 1, [&](std::size_t i) { order.push_back(i); });
+    ASSERT_EQ(order.size(), 5u);
+    for (std::size_t i = 0; i < order.size(); ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(ParallelForTest, PropagatesBodyExceptions)
+{
+    EXPECT_THROW(parallelFor(8, 4,
+                             [](std::size_t i) {
+                                 if (i == 5)
+                                     throw std::runtime_error("boom");
+                             }),
+                 std::runtime_error);
+}
+
+} // namespace
