@@ -83,6 +83,10 @@ serialize(const SimResult &r)
         << ' ' << r.l1dMissRate << ' ' << r.l2MissRate;
     for (double v : r.unitEnergy)
         out << ' ' << v;
+    // Cosim counters were appended after the initial cache format;
+    // deserialize() tolerates their absence in old cache lines.
+    out << ' ' << (r.cosimEnabled ? 1 : 0) << ' ' << r.cosimColdCommits
+        << ' ' << r.cosimTraceCommits << ' ' << r.cosimMismatches;
     return out.str();
 }
 
@@ -104,7 +108,18 @@ deserialize(const std::string &line, SimResult &r)
         r.l1dMissRate >> r.l2MissRate;
     for (double &v : r.unitEnergy)
         in >> v;
-    return !in.fail();
+    if (in.fail())
+        return false;
+    // Trailing cosim fields (newer cache lines only).
+    int cosim_enabled = 0;
+    if (in >> cosim_enabled) {
+        r.cosimEnabled = cosim_enabled != 0;
+        in >> r.cosimColdCommits >> r.cosimTraceCommits >>
+            r.cosimMismatches;
+        if (in.fail())
+            return false;
+    }
+    return true;
 }
 
 } // namespace

@@ -88,7 +88,10 @@ main(int argc, char **argv)
          optimizer::propagateAndSimplify},
         {"memory forwarding", optimizer::forwardMemory},
         {"propagate (post-forward)", optimizer::propagateAndSimplify},
-        {"dead-code elimination", optimizer::eliminateDeadCode},
+        {"dead-code elimination",
+         [](optimizer::UopVec &uops) {
+             return optimizer::eliminateDeadCode(uops);
+         }},
         {"jump promotion", optimizer::removeInternalJumps},
         {"strength reduction", optimizer::reduceStrength},
         {"cmp+assert fusion", optimizer::fuseCmpAssert},

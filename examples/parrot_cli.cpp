@@ -17,6 +17,9 @@
  *                         (default: PARROT_JOBS or all hardware threads)
  *     --pmax X            leakage Pmax per cycle (default: calibrate)
  *     --no-leakage        disable the leakage model
+ *     --cosim             run the differential co-simulation oracle
+ *                         alongside the timing simulation; non-zero
+ *                         mismatch counts make the exit status 1
  *     --kv                key=value output (for scripts)
  *     --dump-config       print the effective model configuration
  *     --list-apps         list the 44 applications and exit
@@ -54,6 +57,14 @@ printKv(const sim::SimResult &r)
                 static_cast<unsigned long long>(r.tracesInserted),
                 static_cast<unsigned long long>(r.tracesOptimized),
                 r.dynamicUopReduction, r.l1dMissRate);
+    if (r.cosimEnabled) {
+        std::printf("cosim model=%s app=%s cold_commits=%llu "
+                    "trace_commits=%llu mismatches=%llu\n",
+                    r.model.c_str(), r.app.c_str(),
+                    static_cast<unsigned long long>(r.cosimColdCommits),
+                    static_cast<unsigned long long>(r.cosimTraceCommits),
+                    static_cast<unsigned long long>(r.cosimMismatches));
+    }
 }
 
 void
@@ -76,6 +87,14 @@ printHuman(const sim::SimResult &r)
                     100.0 * r.traceMispredRate,
                     100.0 * r.dynamicUopReduction);
     }
+    if (r.cosimEnabled) {
+        std::printf("  cosim: %llu cold + %llu trace commits checked, "
+                    "%llu mismatches%s\n",
+                    static_cast<unsigned long long>(r.cosimColdCommits),
+                    static_cast<unsigned long long>(r.cosimTraceCommits),
+                    static_cast<unsigned long long>(r.cosimMismatches),
+                    r.cosimMismatches == 0 ? " (clean)" : "");
+    }
 }
 
 } // namespace
@@ -95,6 +114,7 @@ main(int argc, char **argv)
     bool no_leakage = false;
     bool kv = false;
     bool dump_config = false;
+    bool cosim = false;
 
     auto need_value = [&](int &i) -> const char * {
         if (i + 1 >= argc) {
@@ -123,6 +143,8 @@ main(int argc, char **argv)
             pmax = std::strtod(need_value(i), nullptr);
         } else if (!std::strcmp(arg, "--no-leakage")) {
             no_leakage = true;
+        } else if (!std::strcmp(arg, "--cosim")) {
+            cosim = true;
         } else if (!std::strcmp(arg, "--kv")) {
             kv = true;
         } else if (!std::strcmp(arg, "--dump-config")) {
@@ -146,6 +168,8 @@ main(int argc, char **argv)
     sim::ModelConfig cfg = config_path.empty()
         ? sim::ModelConfig::make(model)
         : sim::loadModelConfig(config_path);
+    if (cosim)
+        cfg.cosim = true;
     if (dump_config) {
         std::printf("%s", sim::renderModelConfig(cfg).c_str());
         return 0;
@@ -185,11 +209,13 @@ main(int argc, char **argv)
     opts.jobs = jobs;
     sim::SuiteRunner runner(opts);
     auto results = runner.runSuite(cfg, suite);
+    std::uint64_t cosim_mismatches = 0;
     for (const auto &r : results) {
         if (kv)
             printKv(r);
         else
             printHuman(r);
+        cosim_mismatches += r.cosimMismatches;
     }
-    return 0;
+    return cosim_mismatches == 0 ? 0 : 1;
 }

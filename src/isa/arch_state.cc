@@ -1,5 +1,7 @@
 #include "isa/arch_state.hh"
 
+#include <limits>
+
 #include "common/logging.hh"
 
 namespace parrot::isa
@@ -15,14 +17,47 @@ compareValues(std::int64_t a, std::int64_t b)
     return (a < b) ? -1 : (a > b) ? 1 : 0;
 }
 
+/** Two's-complement wrap-around arithmetic (machine semantics; signed
+ * overflow is UB in C++, so compute in unsigned and cast back). */
+std::int64_t
+wrapAdd(std::int64_t a, std::int64_t b)
+{
+    return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) +
+                                     static_cast<std::uint64_t>(b));
+}
+
+std::int64_t
+wrapSub(std::int64_t a, std::int64_t b)
+{
+    return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) -
+                                     static_cast<std::uint64_t>(b));
+}
+
+std::int64_t
+wrapMul(std::int64_t a, std::int64_t b)
+{
+    return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) *
+                                     static_cast<std::uint64_t>(b));
+}
+
+std::int64_t
+wrapDiv(std::int64_t a, std::int64_t b)
+{
+    // Division by zero and INT64_MIN / -1 (the one overflowing case)
+    // are defined to produce zero.
+    if (b == 0 || (b == -1 && a == std::numeric_limits<std::int64_t>::min()))
+        return 0;
+    return a / b;
+}
+
 /** Apply a two-source scalar operation. */
 std::int64_t
 applyScalar(UopKind kind, std::int64_t a, std::int64_t b, std::int64_t imm)
 {
     switch (kind) {
-      case UopKind::Add:    return a + b;
-      case UopKind::AddImm: return a + imm;
-      case UopKind::Sub:    return a - b;
+      case UopKind::Add:    return wrapAdd(a, b);
+      case UopKind::AddImm: return wrapAdd(a, imm);
+      case UopKind::Sub:    return wrapSub(a, b);
       case UopKind::And:    return a & b;
       case UopKind::Or:     return a | b;
       case UopKind::Xor:    return a ^ b;
@@ -34,14 +69,14 @@ applyScalar(UopKind kind, std::int64_t a, std::int64_t b, std::int64_t imm)
             static_cast<std::uint64_t>(a) >> (imm & 63));
       case UopKind::Mov:    return a;
       case UopKind::MovImm: return imm;
-      case UopKind::Lea:    return a + b + imm;
-      case UopKind::Mul:    return a * b;
-      case UopKind::Div:    return (b == 0) ? 0 : a / b;
+      case UopKind::Lea:    return wrapAdd(wrapAdd(a, b), imm);
+      case UopKind::Mul:    return wrapMul(a, b);
+      case UopKind::Div:    return wrapDiv(a, b);
       // FP semantics are modelled on the integer bits: exactness is what
       // matters for equivalence checking, not IEEE behaviour.
-      case UopKind::FpAdd:  return a + b;
-      case UopKind::FpMul:  return a * b;
-      case UopKind::FpDiv:  return (b == 0) ? 0 : a / b;
+      case UopKind::FpAdd:  return wrapAdd(a, b);
+      case UopKind::FpMul:  return wrapMul(a, b);
+      case UopKind::FpDiv:  return wrapDiv(a, b);
       case UopKind::FpMov:  return a;
       default:
         PARROT_PANIC("applyScalar: bad kind %s", uopKindName(kind));
@@ -82,21 +117,23 @@ executeUop(const Uop &uop, ArchState &state)
 
       case UopKind::Load: {
         info.accessedMem = true;
-        info.addr = static_cast<Addr>(state.reg(uop.src1) + uop.imm);
+        info.addr = static_cast<Addr>(wrapAdd(state.reg(uop.src1), uop.imm));
         state.setReg(uop.dst, state.mem.read(info.addr));
         break;
       }
       case UopKind::Store: {
         info.accessedMem = true;
         info.isStore = true;
-        info.addr = static_cast<Addr>(state.reg(uop.src2) + uop.imm);
+        info.addr = static_cast<Addr>(wrapAdd(state.reg(uop.src2), uop.imm));
         state.mem.write(info.addr, state.reg(uop.src1));
         break;
       }
 
       case UopKind::FpMulAdd:
-        state.setReg(uop.dst, state.reg(uop.src1) * state.reg(uop.src2) +
-                              state.reg(uop.src1b));
+        state.setReg(uop.dst,
+                     wrapAdd(wrapMul(state.reg(uop.src1),
+                                     state.reg(uop.src2)),
+                             state.reg(uop.src1b)));
         break;
 
       case UopKind::SimdInt:

@@ -76,4 +76,31 @@ equivalent(const std::vector<tracecache::TraceUop> &a,
            compare_mem(sb.mem, sa.mem, "b-side");
 }
 
+bool
+equivalentSweep(const std::vector<tracecache::TraceUop> &a,
+                const std::vector<tracecache::TraceUop> &b,
+                std::uint64_t base_seed, unsigned num_seeds,
+                std::string *why, std::uint64_t *failing_seed)
+{
+    for (unsigned i = 0; i < num_seeds; ++i) {
+        // Decorrelate the sweep: neighbouring base seeds must not
+        // produce overlapping initial register files.
+        const std::uint64_t seed =
+            mix64(base_seed + i * 0x9e3779b97f4a7c15ull);
+        std::string inner;
+        if (!equivalent(a, b, seed, why ? &inner : nullptr)) {
+            if (why) {
+                char buf[64];
+                std::snprintf(buf, sizeof(buf), "seed %llu: ",
+                              static_cast<unsigned long long>(seed));
+                *why = buf + inner;
+            }
+            if (failing_seed)
+                *failing_seed = seed;
+            return false;
+        }
+    }
+    return true;
+}
+
 } // namespace parrot::optimizer

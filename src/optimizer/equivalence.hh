@@ -39,6 +39,31 @@ bool equivalent(const std::vector<tracecache::TraceUop> &a,
                 const std::vector<tracecache::TraceUop> &b,
                 std::uint64_t seed, std::string *why = nullptr);
 
+/**
+ * Compare two uop sequences across a sweep of derived seeds.
+ *
+ * A single seed can mask value-dependent bugs (e.g. constant folding
+ * that happens to agree with one lucky initial register file), so the
+ * property tests and the trace fuzzer sweep at least
+ * `defaultEquivalenceSeeds` initial states per comparison.
+ *
+ * @param base_seed the sweep derives its seeds deterministically from
+ *        this value.
+ * @param num_seeds how many initial states to try (>= 1).
+ * @param why when non-null, receives the mismatch report of the first
+ *        failing seed, prefixed with that seed.
+ * @param failing_seed when non-null, receives the first failing seed.
+ * @return true when every seed agrees.
+ */
+bool equivalentSweep(const std::vector<tracecache::TraceUop> &a,
+                     const std::vector<tracecache::TraceUop> &b,
+                     std::uint64_t base_seed, unsigned num_seeds,
+                     std::string *why = nullptr,
+                     std::uint64_t *failing_seed = nullptr);
+
+/** The sweep width used by the fuzzer and the property tests. */
+inline constexpr unsigned defaultEquivalenceSeeds = 8;
+
 } // namespace parrot::optimizer
 
 #endif // PARROT_OPTIMIZER_EQUIVALENCE_HH

@@ -56,7 +56,7 @@ TraceOptimizer::optimize(tracecache::Trace &trace) const
     }
     if (cfg.dce) {
         ++result.passesRun;
-        eliminateDeadCode(trace.uops);
+        eliminateDeadCode(trace.uops, cfg.debugBreakDce);
     }
     if (cfg.promote) {
         ++result.passesRun;

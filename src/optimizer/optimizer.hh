@@ -34,6 +34,11 @@ struct OptimizerConfig
     unsigned latencyCycles = 100; //!< occupancy per optimized trace
     unsigned propagateRounds = 2; //!< propagation fixpoint iterations
 
+    /** Test hook: make DCE unsound (drops live r3 writes) so the
+     * fuzzer/oracle layer can prove it detects real bugs. Never set in
+     * production configurations. */
+    bool debugBreakDce = false;
+
     /** Generic-only configuration (the paper's general-purpose class). */
     static OptimizerConfig genericOnly();
 

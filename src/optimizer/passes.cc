@@ -265,12 +265,14 @@ propagateAndSimplify(UopVec &uops)
 }
 
 bool
-eliminateDeadCode(UopVec &uops)
+eliminateDeadCode(UopVec &uops, bool debug_drop_live)
 {
     bool live[isa::numArchRegs];
     std::fill(std::begin(live), std::end(live), true);
     // Trace semantics: flags are dead at atomic boundaries.
     live[isa::regFlags] = false;
+    if (debug_drop_live)
+        live[3] = false; // deliberate soundness bug (fuzzer test hook)
 
     std::vector<bool> keep(uops.size(), true);
     bool changed = false;

@@ -35,9 +35,15 @@ bool propagateAndSimplify(UopVec &uops);
 /**
  * Backward dead-code elimination. Live-out is every architectural
  * register except flags; stores and control uops are side effects.
+ *
+ * @param debug_drop_live test hook for the fuzzer's oracle validation:
+ *        when true, register r3 is (incorrectly) treated as dead at the
+ *        trace exit, making the pass delete live code. Never set
+ *        outside tests — it exists so `parrot_fuzz --inject-dce-bug`
+ *        can prove the differential oracle and the minimizer work.
  * @return true when uops were removed.
  */
-bool eliminateDeadCode(UopVec &uops);
+bool eliminateDeadCode(UopVec &uops, bool debug_drop_live = false);
 
 /**
  * Branch promotion for unconditional flow: internal direct jumps (and

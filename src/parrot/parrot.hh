@@ -61,6 +61,10 @@
 #include "optimizer/optimizer.hh"
 #include "optimizer/passes.hh"
 
+#include "verify/corpus.hh"
+#include "verify/cosim.hh"
+#include "verify/fuzzer.hh"
+
 #include "power/account.hh"
 #include "power/energy_model.hh"
 #include "power/events.hh"

@@ -84,6 +84,9 @@ keyTable()
         {"split_core",
          [](ModelConfig &c, const std::string &v, const std::string &k,
             const std::string &o) { c.splitCore = parseBool(v, k, o); }},
+        {"cosim",
+         [](ModelConfig &c, const std::string &v, const std::string &k,
+            const std::string &o) { c.cosim = parseBool(v, k, o); }},
 
         // Cold (or unified) core.
         {"core.width",
@@ -291,6 +294,7 @@ renderModelConfig(const ModelConfig &cfg)
     out << "optimizer.enabled = "
         << (cfg.hasOptimizer ? "true" : "false") << "\n";
     out << "split_core = " << (cfg.splitCore ? "true" : "false") << "\n";
+    out << "cosim = " << (cfg.cosim ? "true" : "false") << "\n";
     out << "core.width = " << cfg.coldCore.width << "\n";
     out << "core.rob = " << cfg.coldCore.robSize << "\n";
     out << "core.iq = " << cfg.coldCore.iqSize << "\n";

@@ -55,6 +55,12 @@ struct ModelConfig
     /** Cycles to transfer live state between split cores. */
     unsigned stateSwitchPenalty = 2;
 
+    /** Run the differential co-simulation oracle alongside the timing
+     * simulation (verify/cosim.hh). Purely a checking feature: it never
+     * changes timing or energy results. Also enabled by setting the
+     * PARROT_COSIM environment variable to a non-zero value. */
+    bool cosim = false;
+
     /** Build one of the named models: N W TN TW TON TOW TOS. */
     static ModelConfig make(const std::string &model_name);
 

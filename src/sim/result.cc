@@ -54,6 +54,15 @@ exportToRegistry(const SimResult &result, stats::Registry &registry,
     put("cache.l1i_miss", result.l1iMissRate);
     put("cache.l1d_miss", result.l1dMissRate);
     put("cache.l2_miss", result.l2MissRate);
+
+    if (result.cosimEnabled) {
+        put("cosim.cold_commits",
+            static_cast<double>(result.cosimColdCommits));
+        put("cosim.trace_commits",
+            static_cast<double>(result.cosimTraceCommits));
+        put("cosim.mismatches",
+            static_cast<double>(result.cosimMismatches));
+    }
 }
 
 } // namespace parrot::sim

@@ -73,6 +73,12 @@ struct SimResult
     double l1iMissRate = 0.0;
     double l1dMissRate = 0.0;
     double l2MissRate = 0.0;
+
+    // --- co-simulation oracle (present when the run had --cosim) ---
+    bool cosimEnabled = false;
+    std::uint64_t cosimColdCommits = 0;  //!< cold boundaries compared
+    std::uint64_t cosimTraceCommits = 0; //!< trace boundaries compared
+    std::uint64_t cosimMismatches = 0;   //!< divergence events
 };
 
 /**

@@ -1,6 +1,7 @@
 #include "sim/simulator.hh"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "common/logging.hh"
 
@@ -61,6 +62,12 @@ ParrotSimulator::ParrotSimulator(const ModelConfig &config,
     if (cfg.hasOptimizer) {
         traceOptimizer =
             std::make_unique<optimizer::TraceOptimizer>(cfg.optimizer);
+    }
+
+    const char *cosim_env = std::getenv("PARROT_COSIM");
+    if (cfg.cosim ||
+        (cosim_env && cosim_env[0] != '\0' && cosim_env[0] != '0')) {
+        cosim = std::make_unique<verify::CosimOracle>();
     }
 }
 
@@ -395,6 +402,8 @@ ParrotSimulator::hotDispatchCycle()
         pendingTraceCommits.push_back(
             TraceCommit{lastHotToken, activeTrace->path.size()});
         instsFromTraceCache += activeTrace->path.size();
+        if (cosim)
+            cosim->onTraceCommit(*activeTrace, activeWindow);
         onTraceExecuted(*activeTrace);
         // Keep the cold front-end's return-address stack coherent with
         // the calls and returns the trace executed (otherwise every
@@ -501,6 +510,8 @@ ParrotSimulator::coldCycle()
         uopsFromColdDispatched += n_uops;
         ++dispatched_insts;
         lookahead.pop_front();
+        if (cosim)
+            cosim->onColdCommit(dyn);
         feedSelector(dyn);
 
         // Control handling on the cold pipeline.
@@ -721,6 +732,13 @@ ParrotSimulator::run(std::uint64_t inst_budget, double pmax_per_cycle)
     r.l1iMissRate = hierarchy->l1i().missRatio();
     r.l1dMissRate = hierarchy->l1d().missRatio();
     r.l2MissRate = hierarchy->l2().missRatio();
+
+    if (cosim) {
+        r.cosimEnabled = true;
+        r.cosimColdCommits = cosim->stats().coldCommits;
+        r.cosimTraceCommits = cosim->stats().traceCommits;
+        r.cosimMismatches = cosim->stats().mismatches;
+    }
     return r;
 }
 

@@ -32,6 +32,7 @@
 #include "tracecache/predictor.hh"
 #include "tracecache/selector.hh"
 #include "tracecache/trace_cache.hh"
+#include "verify/cosim.hh"
 #include "workload/apps.hh"
 #include "workload/executor.hh"
 #include "workload/generator.hh"
@@ -129,6 +130,10 @@ class ParrotSimulator
     std::unique_ptr<tracecache::TraceCache> traceCache;
     std::unique_ptr<tracecache::TracePredictor> tracePredictor;
     std::unique_ptr<optimizer::TraceOptimizer> traceOptimizer;
+
+    /** Differential oracle (enabled by ModelConfig::cosim or the
+     * PARROT_COSIM environment variable). */
+    std::unique_ptr<verify::CosimOracle> cosim;
 
     /** Split-core state tracking: which pipeline dispatched last and
      * which architectural registers were written since the last

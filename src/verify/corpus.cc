@@ -1,0 +1,158 @@
+#include "verify/corpus.hh"
+
+#include <fstream>
+#include <sstream>
+
+namespace parrot::verify
+{
+
+isa::UopKind
+uopKindFromName(const std::string &name)
+{
+    for (unsigned k = 0; k < static_cast<unsigned>(isa::UopKind::NumKinds);
+         ++k) {
+        auto kind = static_cast<isa::UopKind>(k);
+        if (name == isa::uopKindName(kind))
+            return kind;
+    }
+    return isa::UopKind::NumKinds;
+}
+
+std::string
+renderCorpus(const CorpusEntry &entry)
+{
+    std::ostringstream out;
+    out << "parrot-trace-corpus v1\n";
+    if (!entry.comment.empty())
+        out << "# " << entry.comment << "\n";
+    out << "passmask 0x" << std::hex << entry.passMask << std::dec << "\n";
+    out << "seed " << entry.seed << "\n";
+    for (const auto &tu : entry.uops) {
+        const isa::Uop &u = tu.uop;
+        out << "uop " << isa::uopKindName(u.kind) << ' '
+            << static_cast<unsigned>(u.dst) << ' '
+            << static_cast<unsigned>(u.src1) << ' '
+            << static_cast<unsigned>(u.src2) << ' ' << u.imm << ' '
+            << static_cast<unsigned>(u.dst2) << ' '
+            << static_cast<unsigned>(u.src1b) << ' '
+            << static_cast<unsigned>(u.src2b) << ' '
+            << isa::uopKindName(u.laneKind) << ' ' << u.assertTarget
+            << "\n";
+    }
+    return out.str();
+}
+
+bool
+parseCorpus(const std::string &text, CorpusEntry &out, std::string *error)
+{
+    out = CorpusEntry{};
+    auto fail = [&](const std::string &msg, int line_no) {
+        if (error) {
+            std::ostringstream e;
+            e << "corpus line " << line_no << ": " << msg;
+            *error = e.str();
+        }
+        out.uops.clear();
+        return false;
+    };
+
+    std::istringstream in(text);
+    std::string line;
+    int line_no = 0;
+    bool saw_magic = false;
+    while (std::getline(in, line)) {
+        ++line_no;
+        auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line = line.substr(0, hash);
+        std::istringstream fields(line);
+        std::string head;
+        if (!(fields >> head))
+            continue; // blank / comment-only line
+
+        if (!saw_magic) {
+            std::string version;
+            if (head != "parrot-trace-corpus" || !(fields >> version) ||
+                version != "v1") {
+                return fail("expected 'parrot-trace-corpus v1' header",
+                            line_no);
+            }
+            saw_magic = true;
+            continue;
+        }
+
+        if (head == "passmask") {
+            std::string v;
+            if (!(fields >> v))
+                return fail("missing passmask value", line_no);
+            out.passMask = static_cast<unsigned>(
+                std::strtoul(v.c_str(), nullptr, 0));
+        } else if (head == "seed") {
+            if (!(fields >> out.seed))
+                return fail("missing seed value", line_no);
+        } else if (head == "uop") {
+            std::string kind_name, lane_name;
+            unsigned dst, src1, src2, dst2, src1b, src2b;
+            std::int64_t imm;
+            Addr target;
+            if (!(fields >> kind_name >> dst >> src1 >> src2 >> imm >>
+                  dst2 >> src1b >> src2b >> lane_name >> target)) {
+                return fail("malformed uop line", line_no);
+            }
+            isa::UopKind kind = uopKindFromName(kind_name);
+            isa::UopKind lane = uopKindFromName(lane_name);
+            if (kind == isa::UopKind::NumKinds)
+                return fail("unknown uop kind '" + kind_name + "'",
+                            line_no);
+            if (lane == isa::UopKind::NumKinds)
+                return fail("unknown lane kind '" + lane_name + "'",
+                            line_no);
+            tracecache::TraceUop tu;
+            tu.uop.kind = kind;
+            tu.uop.dst = static_cast<RegId>(dst);
+            tu.uop.src1 = static_cast<RegId>(src1);
+            tu.uop.src2 = static_cast<RegId>(src2);
+            tu.uop.imm = imm;
+            tu.uop.dst2 = static_cast<RegId>(dst2);
+            tu.uop.src1b = static_cast<RegId>(src1b);
+            tu.uop.src2b = static_cast<RegId>(src2b);
+            tu.uop.laneKind = lane;
+            tu.uop.assertTarget = target;
+            tu.instIdx = 0;
+            tu.uopIdx = 0;
+            out.uops.push_back(tu);
+        } else {
+            return fail("unknown directive '" + head + "'", line_no);
+        }
+    }
+    if (!saw_magic)
+        return fail("missing header", line_no);
+    return true;
+}
+
+bool
+loadCorpusFile(const std::string &path, CorpusEntry &out,
+               std::string *error)
+{
+    std::ifstream in(path);
+    if (!in) {
+        if (error)
+            *error = "cannot open corpus file '" + path + "'";
+        return false;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    return parseCorpus(text.str(), out, error);
+}
+
+bool
+writeCorpusFile(const std::string &path, const CorpusEntry &entry)
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << renderCorpus(entry);
+    return static_cast<bool>(out);
+}
+
+} // namespace parrot::verify

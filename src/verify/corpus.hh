@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Corpus files: a plain-text, diff-friendly serialization of a trace
+ * uop sequence plus the fuzzing context that produced it (pass mask,
+ * failing equivalence seed). The optimizer fuzzer dumps minimized
+ * failing traces in this format under `tests/optimizer/corpus/`, and
+ * the corpus-replay test re-runs every file through the full pass
+ * pipeline on each CI run, so a once-found optimizer bug can never
+ * silently return.
+ *
+ * Format (one directive or uop per line, `#` comments):
+ *
+ * ```
+ * parrot-trace-corpus v1
+ * passmask 0x1ff          # optimizer pass subset that failed
+ * seed 42                 # equivalence seed that exposed it
+ * uop add 3 1 2 0 255 255 255 nop 0
+ * uop ld 4 3 0 16 255 255 255 nop 0
+ * ```
+ *
+ * A `uop` line is: kind dst src1 src2 imm dst2 src1b src2b laneKind
+ * assertTarget (registers as decimal ids, 255 = invalid).
+ */
+
+#ifndef PARROT_VERIFY_CORPUS_HH
+#define PARROT_VERIFY_CORPUS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tracecache/trace.hh"
+
+namespace parrot::verify
+{
+
+/** One corpus entry: a uop sequence plus reproduction context. */
+struct CorpusEntry
+{
+    std::vector<tracecache::TraceUop> uops;
+    unsigned passMask = ~0u;      //!< optimizer pass subset (bit per pass)
+    std::uint64_t seed = 0;       //!< equivalence seed that failed
+    std::string comment;          //!< free-form provenance note
+};
+
+/** Render an entry to the corpus text format. */
+std::string renderCorpus(const CorpusEntry &entry);
+
+/**
+ * Parse corpus text.
+ * @param text file contents.
+ * @param error when non-null, receives a message on failure.
+ * @return the entry, with empty uops on a parse error.
+ */
+bool parseCorpus(const std::string &text, CorpusEntry &out,
+                 std::string *error = nullptr);
+
+/** Load and parse one corpus file. */
+bool loadCorpusFile(const std::string &path, CorpusEntry &out,
+                    std::string *error = nullptr);
+
+/** Write an entry to a file; returns false on I/O failure. */
+bool writeCorpusFile(const std::string &path, const CorpusEntry &entry);
+
+/** Parse a uop kind mnemonic ("add", "simd.i", ...); NumKinds on failure. */
+isa::UopKind uopKindFromName(const std::string &name);
+
+} // namespace parrot::verify
+
+#endif // PARROT_VERIFY_CORPUS_HH

@@ -1,0 +1,114 @@
+#include "verify/cosim.hh"
+
+#include <cstdio>
+
+#include "common/logging.hh"
+#include "isa/registers.hh"
+
+namespace parrot::verify
+{
+
+CosimOracle::CosimOracle(const CosimConfig &config) : cfg(config)
+{
+    touched.reserve(2 * tracecache::maxTraceUops);
+}
+
+void
+CosimOracle::onColdCommit(const workload::DynInst &dyn)
+{
+    touched.clear();
+    for (const isa::Uop &uop : dyn.inst->uops) {
+        auto ri = isa::executeUop(uop, ref);
+        auto di = isa::executeUop(uop, dut);
+        st.uopsExecuted += 2;
+        if (ri.isStore)
+            touched.push_back(ri.addr);
+        if (di.isStore && (!ri.isStore || di.addr != ri.addr))
+            touched.push_back(di.addr);
+    }
+    ++st.coldCommits;
+    compareAt("cold", dyn.pc(), /*ignore_flags=*/false);
+}
+
+void
+CosimOracle::onTraceCommit(const tracecache::Trace &trace,
+                           const std::vector<workload::DynInst> &window)
+{
+    touched.clear();
+    // Reference side: the sequential machine executes the original
+    // uops of every instruction on the committed path, in order.
+    for (const auto &dyn : window) {
+        for (const isa::Uop &uop : dyn.inst->uops) {
+            auto info = isa::executeUop(uop, ref);
+            ++st.uopsExecuted;
+            if (info.isStore)
+                touched.push_back(info.addr);
+        }
+    }
+    // Machine side: exactly the uop sequence the hot pipeline
+    // dispatched — the stored, possibly optimized trace.
+    for (const auto &tu : trace.uops) {
+        auto info = isa::executeUop(tu.uop, dut);
+        ++st.uopsExecuted;
+        if (info.isStore)
+            touched.push_back(info.addr);
+    }
+    ++st.traceCommits;
+    compareAt(trace.optimized ? "optimized-trace" : "trace",
+              trace.tid.startPc, /*ignore_flags=*/true);
+    // Flags are dead at atomic trace boundaries (the optimizer may
+    // legally kill them, e.g. by fusing Cmp+Assert); resynchronize so
+    // later cold boundaries stay exact.
+    dut.setReg(isa::regFlags, ref.reg(isa::regFlags));
+}
+
+void
+CosimOracle::compareAt(const char *where, Addr pc, bool ignore_flags)
+{
+    const char *detail = nullptr;
+    char buf[160];
+
+    for (unsigned r = 0; r < isa::numArchRegs && !detail; ++r) {
+        if (ignore_flags && r == isa::regFlags)
+            continue;
+        auto rv = ref.reg(static_cast<RegId>(r));
+        auto dv = dut.reg(static_cast<RegId>(r));
+        if (rv != dv) {
+            std::snprintf(buf, sizeof(buf),
+                          "r%u = %lld (machine) vs %lld (reference)", r,
+                          static_cast<long long>(dv),
+                          static_cast<long long>(rv));
+            detail = buf;
+        }
+    }
+    for (std::size_t i = 0; i < touched.size() && !detail; ++i) {
+        const Addr addr = touched[i];
+        if (ref.mem.read(addr) != dut.mem.read(addr)) {
+            std::snprintf(buf, sizeof(buf),
+                          "mem[0x%llx] = %lld (machine) vs %lld "
+                          "(reference)",
+                          static_cast<unsigned long long>(addr),
+                          static_cast<long long>(dut.mem.read(addr)),
+                          static_cast<long long>(ref.mem.read(addr)));
+            detail = buf;
+        }
+    }
+    if (!detail)
+        return;
+
+    ++st.mismatches;
+    if (st.mismatches <= cfg.maxMismatchReports) {
+        char report[256];
+        std::snprintf(report, sizeof(report),
+                      "cosim mismatch #%llu at %s commit pc=0x%llx: %s",
+                      static_cast<unsigned long long>(st.mismatches),
+                      where, static_cast<unsigned long long>(pc), detail);
+        if (st.firstMismatch.empty())
+            st.firstMismatch = report;
+        PARROT_WARN("%s", report);
+    }
+    if (cfg.resyncOnMismatch)
+        dut = ref; // count one divergence event, then continue checking
+}
+
+} // namespace parrot::verify

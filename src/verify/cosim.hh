@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Differential co-simulation oracle for the PARROT machine.
+ *
+ * The paper's §2 contract is that optimized traces are architecturally
+ * transparent: the hot pipeline must commit exactly what a simple
+ * sequential machine executing the original macro-instructions would.
+ * The oracle enforces that end to end while the timing simulator runs:
+ * it keeps two functional `isa::ArchState`s in lock-step with the
+ * committed stream —
+ *
+ *  - the *reference* state executes the original uops of every
+ *    committed macro-instruction in program order (the sequential
+ *    machine);
+ *  - the *machine* state executes exactly what the pipelines
+ *    dispatched and committed: the same original uops on the cold
+ *    path, and the trace's stored (possibly optimized) uop sequence
+ *    on hot-trace commits —
+ *
+ * and compares the full architectural register file plus all memory
+ * words written since the previous boundary at every commit boundary.
+ * Flags are excluded (and re-synchronized) at atomic-trace boundaries,
+ * where the trace-semantics convention makes them dead; everywhere
+ * else the comparison is exact. Aborted traces never commit
+ * architecturally and are therefore never fed to the oracle.
+ */
+
+#ifndef PARROT_VERIFY_COSIM_HH
+#define PARROT_VERIFY_COSIM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/arch_state.hh"
+#include "tracecache/trace.hh"
+#include "workload/dyninst.hh"
+
+namespace parrot::verify
+{
+
+/** Oracle knobs. */
+struct CosimConfig
+{
+    /** Stop composing mismatch reports after this many (counting
+     * continues; reports are the expensive part). */
+    unsigned maxMismatchReports = 8;
+    /** Re-synchronize the machine state to the reference after a
+     * mismatch so one divergence is counted once, not once per
+     * subsequent commit. */
+    bool resyncOnMismatch = true;
+};
+
+/** Oracle counters, exported into SimResult after a run. */
+struct CosimStats
+{
+    std::uint64_t coldCommits = 0;   //!< cold boundaries compared
+    std::uint64_t traceCommits = 0;  //!< atomic-trace boundaries compared
+    std::uint64_t uopsExecuted = 0;  //!< functional uops run (both sides)
+    std::uint64_t mismatches = 0;    //!< divergence events detected
+    std::string firstMismatch;       //!< human-readable first report
+};
+
+/**
+ * The lock-step differential oracle. Create one per simulation; feed
+ * every architectural commit in program order.
+ */
+class CosimOracle
+{
+  public:
+    explicit CosimOracle(const CosimConfig &config = {});
+
+    /** One cold-pipeline macro-instruction committed. */
+    void onColdCommit(const workload::DynInst &dyn);
+
+    /**
+     * One atomic trace committed: `window` is the committed
+     * macro-instruction stream the trace covered (same length as
+     * trace.path); the machine side executes trace.uops.
+     */
+    void onTraceCommit(const tracecache::Trace &trace,
+                       const std::vector<workload::DynInst> &window);
+
+    const CosimStats &stats() const { return st; }
+
+    /** True while no divergence has been observed. */
+    bool clean() const { return st.mismatches == 0; }
+
+    /** Read-only views for tests. */
+    const isa::ArchState &referenceState() const { return ref; }
+    const isa::ArchState &machineState() const { return dut; }
+
+  private:
+    /** Compare states at a boundary; record + optionally resync. */
+    void compareAt(const char *where, Addr pc, bool ignore_flags);
+
+    CosimConfig cfg;
+    CosimStats st;
+
+    isa::ArchState ref; //!< sequential reference machine
+    isa::ArchState dut; //!< what the pipelines actually executed
+
+    /** Memory words written by either side since the last compare. */
+    std::vector<Addr> touched;
+};
+
+} // namespace parrot::verify
+
+#endif // PARROT_VERIFY_COSIM_HH

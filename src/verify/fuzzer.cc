@@ -1,0 +1,543 @@
+#include "verify/fuzzer.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <map>
+
+#include "common/logging.hh"
+#include "tracecache/constructor.hh"
+#include "tracecache/selector.hh"
+#include "workload/apps.hh"
+#include "workload/executor.hh"
+#include "workload/generator.hh"
+
+namespace parrot::verify
+{
+
+namespace
+{
+
+/** Integer temp registers the generator plays with. */
+constexpr RegId firstIntReg = 0;
+constexpr RegId lastIntReg = 15;
+/** FP register window. */
+constexpr RegId firstFpReg = 16;
+constexpr RegId lastFpReg = 23;
+
+/** Opcode kinds the synthesizer may emit directly (executable ones). */
+constexpr isa::UopKind synthKinds[] = {
+    isa::UopKind::Nop,     isa::UopKind::Add,    isa::UopKind::AddImm,
+    isa::UopKind::Sub,     isa::UopKind::And,    isa::UopKind::Or,
+    isa::UopKind::Xor,     isa::UopKind::ShlImm, isa::UopKind::ShrImm,
+    isa::UopKind::Mov,     isa::UopKind::MovImm, isa::UopKind::Lea,
+    isa::UopKind::Cmp,     isa::UopKind::CmpImm, isa::UopKind::Mul,
+    isa::UopKind::Div,     isa::UopKind::Load,   isa::UopKind::Store,
+    isa::UopKind::Jump,    isa::UopKind::Branch, isa::UopKind::FpAdd,
+    isa::UopKind::FpMul,   isa::UopKind::FpDiv,  isa::UopKind::FpMov,
+    isa::UopKind::AssertTaken, isa::UopKind::AssertNotTaken,
+    isa::UopKind::FpMulAdd, isa::UopKind::SimdInt, isa::UopKind::SimdFp,
+};
+
+std::uint32_t
+pairKey(isa::UopKind a, isa::UopKind b)
+{
+    constexpr std::uint32_t n =
+        static_cast<std::uint32_t>(isa::UopKind::NumKinds) + 1;
+    return static_cast<std::uint32_t>(a) * n + static_cast<std::uint32_t>(b);
+}
+
+/** Bucket the uop reduction for pass-outcome coverage. */
+unsigned
+reductionBucket(unsigned before, unsigned after)
+{
+    const unsigned removed = before > after ? before - after : 0;
+    return std::min(7u, removed);
+}
+
+} // namespace
+
+optimizer::OptimizerConfig
+applyPassMask(optimizer::OptimizerConfig base, unsigned mask)
+{
+    base.propagate = mask & (1u << 0);
+    base.memForward = mask & (1u << 1);
+    base.dce = mask & (1u << 2);
+    base.promote = mask & (1u << 3);
+    base.strength = mask & (1u << 4);
+    base.fuseCmp = mask & (1u << 5);
+    base.fuseFp = mask & (1u << 6);
+    base.simdify = mask & (1u << 7);
+    base.schedule = mask & (1u << 8);
+    return base;
+}
+
+TraceFuzzer::TraceFuzzer(const FuzzOptions &options)
+    : opts(options), rng(options.seed)
+{
+    PARROT_ASSERT(opts.seedsPerCheck >= 1, "need at least one seed");
+    PARROT_ASSERT(opts.maxUops >= 1 &&
+                      opts.maxUops <= tracecache::maxTraceUops,
+                  "maxUops out of range");
+}
+
+void
+TraceFuzzer::harvestPool()
+{
+    // A few representative apps, each re-seeded from the campaign seed
+    // so different campaigns see different (but reproducible) programs.
+    for (const char *name : {"swim", "gcc", "flash"}) {
+        auto entry = workload::findApp(name);
+        entry.profile.seed = rng.next() | 1;
+        auto prog = workload::generateProgram(entry.profile);
+        workload::Executor ex(*prog, entry.profile);
+        tracecache::TraceSelector sel;
+        std::map<std::uint64_t, tracecache::TraceCandidate> unique;
+        workload::DynInst d;
+        tracecache::TraceCandidate c;
+        for (std::uint64_t i = 0; i < 20000 && unique.size() < 12; ++i) {
+            ex.next(d);
+            sel.feed(d);
+            while (sel.pop(c))
+                unique.emplace(c.tid.hash(), c);
+        }
+        for (auto &[hash, cand] : unique) {
+            tracecache::Trace trace = tracecache::constructTrace(cand);
+            if (!trace.uops.empty() && trace.uops.size() <= opts.maxUops) {
+                // Pool entries must be self-contained: drop provenance,
+                // the fuzzer never needs the backing program again.
+                for (auto &tu : trace.uops) {
+                    tu.instIdx = -1;
+                    tu.uopIdx = -1;
+                }
+                pool.push_back(trace.uops);
+                ++stats.harvested;
+            }
+        }
+    }
+}
+
+isa::Uop
+TraceFuzzer::randomUop()
+{
+    // Bias toward the globally least-seen opcodes one time in three so
+    // coverage keeps growing even late in a campaign.
+    isa::UopKind kind;
+    if (rng.chance(1.0 / 3.0)) {
+        kind = synthKinds[0];
+        std::uint64_t best = opcodeSeen[static_cast<std::size_t>(kind)];
+        for (isa::UopKind k : synthKinds) {
+            const auto seen = opcodeSeen[static_cast<std::size_t>(k)];
+            if (seen < best || (seen == best && rng.chance(0.5))) {
+                best = seen;
+                kind = k;
+            }
+        }
+    } else {
+        kind = synthKinds[rng.below(std::size(synthKinds))];
+    }
+
+    auto intReg = [&] {
+        return static_cast<RegId>(
+            rng.range(firstIntReg, lastIntReg));
+    };
+    auto fpReg = [&] {
+        return static_cast<RegId>(rng.range(firstFpReg, lastFpReg));
+    };
+    auto imm = [&] { return rng.range(-4096, 4096); };
+
+    using isa::UopKind;
+    switch (kind) {
+      case UopKind::Nop:
+        return isa::makeNop();
+      case UopKind::Add: case UopKind::Sub: case UopKind::And:
+      case UopKind::Or: case UopKind::Xor: case UopKind::Mul:
+      case UopKind::Div:
+        return isa::makeAlu(kind, intReg(), intReg(), intReg());
+      case UopKind::AddImm: case UopKind::ShlImm: case UopKind::ShrImm:
+        return isa::makeAluImm(kind, intReg(), intReg(),
+                               kind == UopKind::AddImm
+                                   ? imm() : rng.range(0, 8));
+      case UopKind::Mov:
+        return isa::makeMov(intReg(), intReg());
+      case UopKind::MovImm:
+        // Powers of two and small constants feed strength reduction and
+        // algebraic simplification; large values feed folding.
+        switch (rng.below(4)) {
+          case 0: return isa::makeMovImm(intReg(), 0);
+          case 1: return isa::makeMovImm(intReg(), 1);
+          case 2:
+            return isa::makeMovImm(intReg(),
+                                   std::int64_t{1} << rng.below(16));
+          default: return isa::makeMovImm(intReg(), imm());
+        }
+      case UopKind::Lea:
+        return isa::makeLea(intReg(), intReg(), intReg(), imm());
+      case UopKind::Cmp:
+        return isa::makeCmp(intReg(), intReg());
+      case UopKind::CmpImm:
+        return isa::makeCmpImm(intReg(), imm());
+      case UopKind::Load:
+        return isa::makeLoad(intReg(), intReg(), imm() & ~7ll);
+      case UopKind::Store:
+        return isa::makeStore(intReg(), intReg(), imm() & ~7ll);
+      case UopKind::Jump:
+        return isa::makeJump();
+      case UopKind::Branch:
+        return isa::makeBranch();
+      case UopKind::FpAdd: case UopKind::FpMul: case UopKind::FpDiv:
+        return isa::makeFp(kind, fpReg(), fpReg(), fpReg());
+      case UopKind::FpMov:
+        return isa::makeFp(UopKind::FpMov, fpReg(), fpReg(), invalidReg);
+      case UopKind::AssertTaken:
+      case UopKind::AssertNotTaken:
+        return isa::makeAssert(kind == UopKind::AssertTaken,
+                               0x400000 + (rng.next() & 0xffff));
+      case UopKind::FpMulAdd:
+        return isa::makeFpMulAdd(fpReg(), fpReg(), fpReg(), fpReg());
+      case UopKind::SimdInt: case UopKind::SimdFp: {
+        const bool fp = kind == UopKind::SimdFp;
+        const UopKind lane = fp
+            ? (rng.chance(0.5) ? UopKind::FpAdd : UopKind::FpMul)
+            : (rng.chance(0.5) ? UopKind::Add : UopKind::Xor);
+        auto mk = [&] {
+            return fp ? isa::makeFp(lane, fpReg(), fpReg(), fpReg())
+                      : isa::makeAlu(lane, intReg(), intReg(), intReg());
+        };
+        isa::Uop a = mk(), b = mk();
+        // Lanes must write distinct registers to be a valid pack.
+        while (b.dst == a.dst)
+            b.dst = fp ? fpReg() : intReg();
+        return isa::makeSimdPair(lane, a, b);
+      }
+      default:
+        return isa::makeNop();
+    }
+}
+
+std::vector<tracecache::TraceUop>
+TraceFuzzer::synthesize()
+{
+    const unsigned len =
+        1 + static_cast<unsigned>(rng.below(opts.maxUops));
+    std::vector<tracecache::TraceUop> out;
+    out.reserve(len);
+    for (unsigned i = 0; i < len; ++i) {
+        tracecache::TraceUop tu;
+        tu.uop = randomUop();
+        out.push_back(tu);
+    }
+    return out;
+}
+
+std::vector<tracecache::TraceUop>
+TraceFuzzer::mutate(const std::vector<tracecache::TraceUop> &in)
+{
+    std::vector<tracecache::TraceUop> out = in;
+    const unsigned n_mutations = 1 + static_cast<unsigned>(rng.below(3));
+    for (unsigned m = 0; m < n_mutations; ++m) {
+        if (out.empty())
+            break;
+        switch (rng.below(5)) {
+          case 0: { // perturb one uop's immediate
+            auto &u = out[rng.below(out.size())].uop;
+            u.imm += rng.range(-16, 16);
+            break;
+          }
+          case 1: { // retarget one register field
+            auto &u = out[rng.below(out.size())].uop;
+            RegId r = static_cast<RegId>(rng.range(0, lastFpReg));
+            switch (rng.below(3)) {
+              case 0: if (u.dst != invalidReg) u.dst = r; break;
+              case 1: if (u.src1 != invalidReg) u.src1 = r; break;
+              default: if (u.src2 != invalidReg) u.src2 = r; break;
+            }
+            break;
+          }
+          case 2: { // insert a fresh uop
+            if (out.size() < opts.maxUops) {
+                tracecache::TraceUop tu;
+                tu.uop = randomUop();
+                out.insert(out.begin() + rng.below(out.size() + 1), tu);
+            }
+            break;
+          }
+          case 3: { // drop a slice
+            const std::size_t at = rng.below(out.size());
+            const std::size_t len =
+                1 + rng.below(std::min<std::size_t>(4, out.size() - at));
+            out.erase(out.begin() + at, out.begin() + at + len);
+            break;
+          }
+          default: { // splice a window from another pool entry
+            if (!pool.empty()) {
+                const auto &other = pool[rng.below(pool.size())];
+                if (!other.empty()) {
+                    const std::size_t at = rng.below(other.size());
+                    const std::size_t len = 1 +
+                        rng.below(std::min<std::size_t>(8,
+                                                        other.size() - at));
+                    out.insert(out.begin() + rng.below(out.size() + 1),
+                               other.begin() + at,
+                               other.begin() + at + len);
+                }
+            }
+            break;
+          }
+        }
+    }
+    if (out.size() > opts.maxUops)
+        out.resize(opts.maxUops);
+    if (out.empty()) {
+        tracecache::TraceUop tu;
+        tu.uop = randomUop();
+        out.push_back(tu);
+    }
+    return out;
+}
+
+std::vector<tracecache::TraceUop>
+TraceFuzzer::generate()
+{
+    if (!pool.empty() && rng.chance(0.45)) {
+        ++stats.mutated;
+        return mutate(pool[rng.below(pool.size())]);
+    }
+    ++stats.synthesized;
+    return synthesize();
+}
+
+unsigned
+TraceFuzzer::pickMask(std::uint64_t iteration)
+{
+    // Sweep every single-pass configuration first — pinning a failure
+    // to one pass makes the minimized reproducer far more useful — then
+    // alternate between the full pipeline and random subsets (pass
+    // *interactions* are where the subtle bugs live).
+    if (iteration < numTogglablePasses)
+        return 1u << iteration;
+    if (rng.chance(0.4))
+        return fullPassMask;
+    return static_cast<unsigned>(rng.next()) & fullPassMask;
+}
+
+bool
+TraceFuzzer::check(const std::vector<tracecache::TraceUop> &uops,
+                   unsigned pass_mask, std::uint64_t eq_seed,
+                   std::string *why, std::uint64_t *failing_seed)
+{
+    tracecache::Trace trace;
+    trace.uops = uops;
+    trace.originalUopCount = static_cast<std::uint16_t>(uops.size());
+    optimizer::TraceOptimizer opt{applyPassMask(opts.base, pass_mask)};
+    opt.optimize(trace);
+    stats.equivalenceChecks += opts.seedsPerCheck;
+    return optimizer::equivalentSweep(uops, trace.uops, eq_seed,
+                                      opts.seedsPerCheck, why,
+                                      failing_seed);
+}
+
+bool
+TraceFuzzer::replay(const CorpusEntry &entry, std::string *why)
+{
+    return check(entry.uops, entry.passMask, entry.seed, why);
+}
+
+bool
+TraceFuzzer::recordCoverage(const std::vector<tracecache::TraceUop> &uops,
+                            unsigned mask, unsigned uops_before,
+                            unsigned uops_after)
+{
+    bool fresh = false;
+    auto prev = isa::UopKind::NumKinds; // sentinel: sequence start
+    for (const auto &tu : uops) {
+        ++opcodeSeen[static_cast<std::size_t>(tu.uop.kind)];
+        fresh |= pairCoverage.insert(pairKey(prev, tu.uop.kind)).second;
+        prev = tu.uop.kind;
+    }
+    const std::uint32_t outcome =
+        mask * 16u + reductionBucket(uops_before, uops_after);
+    fresh |= outcomeCoverage.insert(outcome).second;
+    return fresh;
+}
+
+std::vector<tracecache::TraceUop>
+TraceFuzzer::minimize(std::vector<tracecache::TraceUop> uops,
+                      unsigned pass_mask, std::uint64_t eq_seed)
+{
+    // ddmin over uop subsequences: still-failing subsets shrink the
+    // input; granularity doubles when no chunk can be removed.
+    auto still_fails = [&](const std::vector<tracecache::TraceUop> &u) {
+        return !u.empty() && !check(u, pass_mask, eq_seed);
+    };
+    PARROT_ASSERT(still_fails(uops), "minimize needs a failing input");
+
+    std::size_t granularity = 2;
+    while (uops.size() >= 2) {
+        const std::size_t chunk =
+            std::max<std::size_t>(1, uops.size() / granularity);
+        bool shrunk = false;
+        for (std::size_t at = 0; at < uops.size(); at += chunk) {
+            std::vector<tracecache::TraceUop> candidate = uops;
+            const auto end =
+                std::min(at + chunk, candidate.size());
+            candidate.erase(candidate.begin() + at,
+                            candidate.begin() + end);
+            if (still_fails(candidate)) {
+                uops = std::move(candidate);
+                shrunk = true;
+                break; // restart the scan on the smaller input
+            }
+        }
+        if (shrunk) {
+            granularity = std::max<std::size_t>(2, granularity - 1);
+            continue;
+        }
+        if (chunk == 1)
+            break; // 1-minimal
+        granularity *= 2;
+    }
+    return uops;
+}
+
+FuzzStats
+TraceFuzzer::run()
+{
+    harvestPool();
+    // Harvested traces participate directly: real traces exercise the
+    // provenance-carrying paths synthetic inputs cannot reach.
+    std::size_t next_harvest = 0;
+
+    for (std::uint64_t i = 0; i < opts.iterations; ++i) {
+        ++stats.iterations;
+
+        std::vector<tracecache::TraceUop> input;
+        if (next_harvest < pool.size() && i % 7 == 0) {
+            input = pool[next_harvest++];
+        } else {
+            input = generate();
+        }
+        const unsigned mask = pickMask(i);
+
+        tracecache::Trace trace;
+        trace.uops = input;
+        trace.originalUopCount =
+            static_cast<std::uint16_t>(input.size());
+        optimizer::TraceOptimizer opt{applyPassMask(opts.base, mask)};
+        opt.optimize(trace);
+
+        if (recordCoverage(input, mask,
+                           static_cast<unsigned>(input.size()),
+                           static_cast<unsigned>(trace.uops.size()))) {
+            ++stats.coverageInputs;
+            if (pool.size() < 512)
+                pool.push_back(input);
+            else
+                pool[rng.below(pool.size())] = input;
+        }
+
+        std::string why;
+        std::uint64_t bad_seed = 0;
+        stats.equivalenceChecks += opts.seedsPerCheck;
+        if (optimizer::equivalentSweep(input, trace.uops, opts.seed + i,
+                                       opts.seedsPerCheck, &why,
+                                       &bad_seed))
+            continue;
+
+        // Failure: minimize and record.
+        FuzzFailure fail;
+        fail.originalUops = input.size();
+        fail.entry.uops = minimize(std::move(input), mask, opts.seed + i);
+        fail.entry.passMask = mask;
+        fail.entry.seed = opts.seed + i;
+        std::string min_why;
+        check(fail.entry.uops, mask, fail.entry.seed, &min_why);
+        fail.why = min_why.empty() ? why : min_why;
+        char buf[160];
+        std::snprintf(buf, sizeof(buf),
+                      "iteration %llu passmask 0x%x: %s",
+                      static_cast<unsigned long long>(i), mask,
+                      fail.why.c_str());
+        fail.entry.comment = buf;
+
+        if (!opts.corpusDir.empty()) {
+            std::error_code ec;
+            std::filesystem::create_directories(opts.corpusDir, ec);
+            char name[96];
+            std::snprintf(name, sizeof(name),
+                          "fail-%03zu-seed%llu-mask0x%x.trace",
+                          stats.failures.size(),
+                          static_cast<unsigned long long>(opts.seed),
+                          mask);
+            const std::string path =
+                (std::filesystem::path(opts.corpusDir) / name).string();
+            if (writeCorpusFile(path, fail.entry))
+                fail.file = path;
+            else
+                PARROT_WARN("fuzzer: cannot write corpus file %s",
+                            path.c_str());
+        }
+        if (opts.verbose) {
+            std::fprintf(stderr,
+                         "parrot_fuzz: FAIL %s (minimized %zu -> %zu "
+                         "uops)%s%s\n",
+                         fail.entry.comment.c_str(), fail.originalUops,
+                         fail.entry.uops.size(),
+                         fail.file.empty() ? "" : " -> ",
+                         fail.file.c_str());
+        }
+        stats.failures.push_back(std::move(fail));
+        if (stats.failures.size() >= opts.maxFailures)
+            break;
+    }
+
+    stats.opcodePairsCovered = pairCoverage.size();
+    stats.passOutcomesCovered = outcomeCoverage.size();
+    stats.poolSize = pool.size();
+    return stats;
+}
+
+ReplayResult
+replayCorpusDir(const std::string &dir,
+                const optimizer::OptimizerConfig &base,
+                unsigned seeds_per_check)
+{
+    ReplayResult result;
+    std::error_code ec;
+    std::filesystem::directory_iterator it(dir, ec);
+    if (ec)
+        return result; // missing directory == empty corpus
+
+    std::vector<std::string> paths;
+    for (const auto &entry : it) {
+        if (entry.is_regular_file() &&
+            entry.path().extension() == ".trace")
+            paths.push_back(entry.path().string());
+    }
+    std::sort(paths.begin(), paths.end());
+
+    FuzzOptions opts;
+    opts.base = base;
+    opts.seedsPerCheck = seeds_per_check;
+    TraceFuzzer fuzzer(opts);
+
+    for (const auto &path : paths) {
+        CorpusEntry entry;
+        std::string error;
+        if (!loadCorpusFile(path, entry, &error)) {
+            ++result.total;
+            ++result.failed;
+            result.reports.push_back(path + ": parse error: " + error);
+            continue;
+        }
+        ++result.total;
+        std::string why;
+        if (!fuzzer.replay(entry, &why)) {
+            ++result.failed;
+            result.reports.push_back(path + ": " + why);
+        }
+    }
+    return result;
+}
+
+} // namespace parrot::verify

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Coverage-guided differential fuzzer for the trace optimizer.
+ *
+ * Each iteration draws a uop sequence — harvested from real synthetic
+ * workloads, mutated from a pool of coverage-increasing inputs, or
+ * synthesized from scratch with a bias toward rarely-seen opcodes —
+ * picks a subset of optimizer passes, runs the full
+ * optimizer::TraceOptimizer pipeline and checks semantic equivalence
+ * against the unoptimized sequence across a sweep of random initial
+ * states. Failing inputs are minimized (ddmin over uops) and dumped as
+ * corpus files so the bug stays reproducible forever.
+ *
+ * Coverage has two dimensions, both used to steer generation:
+ *  - opcode-pair coverage: which adjacent (kind, kind) pairs have been
+ *    fed to the optimizer;
+ *  - pass-outcome coverage: which (pass mask, uop-reduction bucket)
+ *    combinations have been observed.
+ * An input discovering either kind of new coverage enters the mutation
+ * pool.
+ */
+
+#ifndef PARROT_VERIFY_FUZZER_HH
+#define PARROT_VERIFY_FUZZER_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/random.hh"
+#include "optimizer/equivalence.hh"
+#include "optimizer/optimizer.hh"
+#include "verify/corpus.hh"
+
+namespace parrot::verify
+{
+
+/** Number of independently togglable optimizer passes (mask width). */
+inline constexpr unsigned numTogglablePasses = 9;
+
+/** Mask with every optimizer pass enabled. */
+inline constexpr unsigned fullPassMask = (1u << numTogglablePasses) - 1;
+
+/**
+ * Apply a pass-subset mask to a base configuration. Bit order matches
+ * the pipeline: propagate, memForward, dce, promote, strength, fuseCmp,
+ * fuseFp, simdify, schedule. Non-pass knobs (latency, rounds, the
+ * debugBreakDce hook) are preserved from the base.
+ */
+optimizer::OptimizerConfig applyPassMask(optimizer::OptimizerConfig base,
+                                         unsigned mask);
+
+/** Fuzzing campaign parameters. */
+struct FuzzOptions
+{
+    std::uint64_t iterations = 1000;
+    std::uint64_t seed = 1;
+    unsigned maxUops = tracecache::maxTraceUops;
+    unsigned seedsPerCheck = optimizer::defaultEquivalenceSeeds;
+    std::string corpusDir; //!< dump minimized failures here ("" = don't)
+    optimizer::OptimizerConfig base; //!< base optimizer configuration
+    bool verbose = false;
+    unsigned maxFailures = 10; //!< stop the campaign after this many
+};
+
+/** One equivalence failure, minimized. */
+struct FuzzFailure
+{
+    CorpusEntry entry;          //!< minimized reproducer
+    std::string why;            //!< mismatch report (includes seed)
+    std::string file;           //!< corpus path written, if any
+    std::size_t originalUops = 0; //!< size before minimization
+};
+
+/** Campaign statistics. */
+struct FuzzStats
+{
+    std::uint64_t iterations = 0;
+    std::uint64_t harvested = 0;   //!< inputs taken from workload traces
+    std::uint64_t synthesized = 0; //!< inputs generated from scratch
+    std::uint64_t mutated = 0;     //!< inputs mutated from the pool
+    std::uint64_t equivalenceChecks = 0; //!< individual seed comparisons
+    std::uint64_t coverageInputs = 0; //!< inputs that found new coverage
+    std::size_t opcodePairsCovered = 0;
+    std::size_t passOutcomesCovered = 0;
+    std::size_t poolSize = 0;
+    std::vector<FuzzFailure> failures;
+
+    bool clean() const { return failures.empty(); }
+};
+
+/** Outcome of replaying a corpus directory. */
+struct ReplayResult
+{
+    unsigned total = 0;  //!< corpus files found
+    unsigned failed = 0; //!< files whose check no longer passes
+    std::vector<std::string> reports; //!< one line per failing file
+};
+
+/** The fuzzer. One instance = one deterministic campaign. */
+class TraceFuzzer
+{
+  public:
+    explicit TraceFuzzer(const FuzzOptions &options);
+
+    /** Run the campaign; deterministic in FuzzOptions. */
+    FuzzStats run();
+
+    /**
+     * One differential check: optimize a copy of `uops` under the
+     * masked configuration and sweep equivalence seeds.
+     * @return true when the optimized trace is equivalent.
+     */
+    bool check(const std::vector<tracecache::TraceUop> &uops,
+               unsigned pass_mask, std::uint64_t eq_seed,
+               std::string *why = nullptr,
+               std::uint64_t *failing_seed = nullptr);
+
+    /** Re-check one corpus entry (used by replay and tests). */
+    bool replay(const CorpusEntry &entry, std::string *why = nullptr);
+
+    /**
+     * Shrink a failing input with ddmin-style chunk removal until no
+     * strict subsequence still fails the masked check.
+     */
+    std::vector<tracecache::TraceUop>
+    minimize(std::vector<tracecache::TraceUop> uops, unsigned pass_mask,
+             std::uint64_t eq_seed);
+
+  private:
+    /** Seed the mutation pool with traces harvested from workloads. */
+    void harvestPool();
+
+    /** Generate the next input (harvest / mutate / synthesize). */
+    std::vector<tracecache::TraceUop> generate();
+
+    /** Random uop sequence biased toward uncovered opcodes. */
+    std::vector<tracecache::TraceUop> synthesize();
+
+    /** Mutate one pool entry (splice, perturb, duplicate, drop). */
+    std::vector<tracecache::TraceUop>
+    mutate(const std::vector<tracecache::TraceUop> &in);
+
+    /** One random, executable uop. */
+    isa::Uop randomUop();
+
+    /** Pick the pass mask for this iteration. */
+    unsigned pickMask(std::uint64_t iteration);
+
+    /** Record coverage; returns true when anything new was seen. */
+    bool recordCoverage(const std::vector<tracecache::TraceUop> &uops,
+                        unsigned mask, unsigned uops_before,
+                        unsigned uops_after);
+
+    FuzzOptions opts;
+    Rng rng;
+    FuzzStats stats;
+    std::vector<std::vector<tracecache::TraceUop>> pool;
+    std::unordered_set<std::uint32_t> pairCoverage;
+    std::unordered_set<std::uint32_t> outcomeCoverage;
+    std::array<std::uint64_t,
+               static_cast<std::size_t>(isa::UopKind::NumKinds)>
+        opcodeSeen{};
+};
+
+/**
+ * Replay every `*.trace` corpus file in a directory through the full
+ * check (each file's own pass mask and seed, swept across
+ * `seeds_per_check` derived initial states).
+ */
+ReplayResult replayCorpusDir(const std::string &dir,
+                             const optimizer::OptimizerConfig &base,
+                             unsigned seeds_per_check =
+                                 optimizer::defaultEquivalenceSeeds);
+
+} // namespace parrot::verify
+
+#endif // PARROT_VERIFY_FUZZER_HH

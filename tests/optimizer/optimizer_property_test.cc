@@ -102,12 +102,18 @@ TEST_P(OptimizerPropertyTest, OptimizationPreservesSemantics)
         auto result = opt.optimize(trace);
         ++optimized_count;
 
-        // (1) semantics under several initial states.
-        for (std::uint64_t seed : {7ull, 99ull, 123456ull}) {
+        // (1) semantics under a sweep of random initial states; the
+        // failing seed is surfaced so a mismatch is reproducible with
+        // equivalent(original, optimized, failing_seed).
+        {
             std::string why;
-            ASSERT_TRUE(equivalent(original, trace.uops, seed, &why))
+            std::uint64_t failing_seed = 0;
+            ASSERT_TRUE(equivalentSweep(original, trace.uops, 7,
+                                        defaultEquivalenceSeeds, &why,
+                                        &failing_seed))
                 << entry.profile.name << " trace @0x" << std::hex
-                << cand.tid.startPc << ": " << why;
+                << cand.tid.startPc << std::dec << " (failing seed "
+                << failing_seed << "): " << why;
         }
 
         // (2) never grows.
@@ -138,7 +144,11 @@ TEST_P(OptimizerPropertyTest, OptimizationPreservesSemantics)
         Trace twice = trace;
         opt.optimize(twice);
         std::string why;
-        EXPECT_TRUE(equivalent(original, twice.uops, 31337, &why)) << why;
+        std::uint64_t failing_seed = 0;
+        EXPECT_TRUE(equivalentSweep(original, twice.uops, 31337,
+                                    defaultEquivalenceSeeds, &why,
+                                    &failing_seed))
+            << "(failing seed " << failing_seed << "): " << why;
     }
     EXPECT_GT(optimized_count, 0u);
 }
@@ -186,9 +196,12 @@ TEST_P(OptimizerPropertyTest, GenericSubsetOfFull)
         generic_after += b.uops.size();
         // And generic alone is also semantics-preserving.
         std::string why;
+        std::uint64_t failing_seed = 0;
         Trace original = constructTrace(cand);
-        EXPECT_TRUE(optimizer::equivalent(original.uops, b.uops, 5, &why))
-            << why;
+        EXPECT_TRUE(optimizer::equivalentSweep(
+            original.uops, b.uops, 5, optimizer::defaultEquivalenceSeeds,
+            &why, &failing_seed))
+            << "(failing seed " << failing_seed << "): " << why;
     }
     EXPECT_LE(full_after, generic_after);
 }

@@ -86,6 +86,73 @@ TEST(ConfigFileTest, InvalidResultingConfigIsFatal)
                  "power of two");
 }
 
+// ---------------------------------------------------------------------
+// Error-path coverage: every rejection names the offending key/value so
+// a bad experiment config dies loudly rather than silently simulating
+// the wrong machine.
+// ---------------------------------------------------------------------
+
+TEST(ConfigFileErrorTest, UnknownKeyNamesTheKey)
+{
+    EXPECT_DEATH(parseModelConfig("trace_cache.entires = 512\n"),
+                 "unknown key 'trace_cache.entires'");
+}
+
+TEST(ConfigFileErrorTest, MalformedUnsignedNamesValueAndKey)
+{
+    EXPECT_DEATH(parseModelConfig("core.width = wide\n"),
+                 "bad unsigned value 'wide' for key 'core.width'");
+    // Trailing junk after the number is not silently dropped.
+    EXPECT_DEATH(parseModelConfig("core.rob = 128x\n"), "bad unsigned");
+}
+
+TEST(ConfigFileErrorTest, MalformedDoubleIsFatal)
+{
+    EXPECT_DEATH(parseModelConfig("area_factor = big\n"),
+                 "bad number 'big' for key");
+}
+
+TEST(ConfigFileErrorTest, MalformedBooleanIsFatal)
+{
+    EXPECT_DEATH(parseModelConfig("cosim = maybe\n"),
+                 "bad boolean 'maybe' for key 'cosim'");
+    EXPECT_DEATH(parseModelConfig("trace_cache.enabled = 2\n"),
+                 "bad boolean");
+}
+
+TEST(ConfigFileErrorTest, CosimKeyParses)
+{
+    EXPECT_FALSE(parseModelConfig("base = TON\n").cosim);
+    EXPECT_TRUE(parseModelConfig("base = TON\ncosim = true\n").cosim);
+    EXPECT_FALSE(parseModelConfig("cosim = false\n").cosim);
+}
+
+TEST(ConfigFileErrorTest, OutOfRangeWidthFailsValidation)
+{
+    // width = 0 parses fine but must die in the final machine
+    // validation, not produce a zero-wide core.
+    EXPECT_DEATH(parseModelConfig("core.width = 0\n"),
+                 "width must be >= 1");
+}
+
+TEST(ConfigFileErrorTest, RobTooSmallForWidthFailsValidation)
+{
+    EXPECT_DEATH(parseModelConfig("core.width = 8\ncore.rob = 4\n"),
+                 "ROB/IQ too small for width");
+}
+
+TEST(ConfigFileErrorTest, ZeroFilterThresholdFailsValidation)
+{
+    EXPECT_DEATH(parseModelConfig("base = TON\nhot_filter.threshold = 0\n"),
+                 "threshold must be >= 1");
+}
+
+TEST(ConfigFileErrorTest, MissingFileIsFatal)
+{
+    EXPECT_DEATH(loadModelConfig("/nonexistent/parrot-model.conf"),
+                 "cannot open config file");
+}
+
 TEST(ConfigFileTest, RenderRoundTrips)
 {
     for (const auto &name : ModelConfig::allNames()) {

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+
+#include "common/random.hh"
 #include "tracecache/filter.hh"
 
 namespace
@@ -85,6 +88,91 @@ TEST(FilterTest, HotEntriesSurviveWhenRetouched)
         filter.bump(tidOf(0x8000 + wave * 0x40));
     }
     EXPECT_GE(filter.read(hot), 10u);
+}
+
+// ---------------------------------------------------------------------
+// Promotion invariants. The filter gates trace-cache insertion, so the
+// load-bearing property is one-sided: whatever eviction pressure does,
+// a TID must NEVER look promoted before it truly recurred `threshold`
+// times. (The converse — a genuinely hot TID may be delayed by
+// eviction — is an allowed, power-motivated under-approximation.)
+// ---------------------------------------------------------------------
+
+TEST(FilterPropertyTest, NeverPromotedBeforeThresholdOccurrences)
+{
+    // A deliberately tiny filter (heavy conflict pressure) hammered by
+    // a random TID stream drawn from a pool larger than its capacity.
+    const unsigned threshold = 5;
+    CounterFilter filter(FilterConfig{8, 2, threshold});
+    parrot::Rng rng(0xf117e5);
+    std::map<std::uint64_t, unsigned> occurrences; // ground truth
+    for (unsigned step = 0; step < 20000; ++step) {
+        Tid t = tidOf(0x1000 + rng.below(48) * 0x40, rng.below(4), 2);
+        unsigned truth = ++occurrences[t.hash()];
+        unsigned count = filter.bump(t);
+        // The cached count can lag the true recurrence count (an
+        // eviction restarts it at 1) but can never lead it.
+        ASSERT_LE(count, truth);
+        if (filter.promoted(count)) {
+            ASSERT_GE(truth, threshold)
+                << "TID promoted after only " << truth << " occurrences";
+        }
+    }
+}
+
+TEST(FilterPropertyTest, PromotionMonotoneWhileResident)
+{
+    // Once a resident TID reaches the threshold, every further bump
+    // keeps it promoted: counts only move up while the entry lives, so
+    // promotion cannot flap without an explicit reset() or eviction.
+    const unsigned threshold = 4;
+    CounterFilter filter(FilterConfig{64, 4, threshold});
+    parrot::Rng rng(0xcafe);
+    Tid t = tidOf(0x4000, 0b101, 3);
+    bool was_promoted = false;
+    unsigned prev_count = 0;
+    for (unsigned step = 0; step < 64; ++step) {
+        unsigned count = filter.bump(t);
+        ASSERT_EQ(count, prev_count + 1) << "resident counts are exact";
+        prev_count = count;
+        bool now = filter.promoted(count);
+        ASSERT_TRUE(!was_promoted || now)
+            << "promotion regressed at count " << count;
+        was_promoted = now;
+        // Unrelated traffic in other sets must not disturb this entry.
+        filter.bump(tidOf(0x9000 + rng.below(16) * 0x40));
+    }
+    EXPECT_TRUE(was_promoted);
+    filter.reset(t);
+    EXPECT_FALSE(filter.promoted(filter.read(t)))
+        << "reset must demote (the promotion was acted upon)";
+}
+
+TEST(FilterPropertyTest, EvictionOnlyLowersCounts)
+{
+    // Random interleaving of bumps, resets and flood-evictions: read()
+    // must never exceed the true occurrence count, for any TID, at any
+    // point. This is the safety half of LRU replacement: losing an
+    // entry may only delay promotion, never fabricate hotness.
+    const unsigned threshold = 6;
+    CounterFilter filter(FilterConfig{16, 4, threshold});
+    parrot::Rng rng(0xbeefcafe);
+    std::map<std::uint64_t, unsigned> occurrences;
+    std::vector<Tid> pool;
+    for (unsigned i = 0; i < 24; ++i)
+        pool.push_back(tidOf(0x100 + i * 0x80, i & 1, i & 1));
+    for (unsigned step = 0; step < 30000; ++step) {
+        const Tid &t = pool[rng.below(pool.size())];
+        if (rng.chance(0.02)) {
+            filter.reset(t);
+            occurrences[t.hash()] = 0;
+        } else {
+            ++occurrences[t.hash()];
+            filter.bump(t);
+        }
+        const Tid &probe = pool[rng.below(pool.size())];
+        ASSERT_LE(filter.read(probe), occurrences[probe.hash()]);
+    }
 }
 
 } // namespace

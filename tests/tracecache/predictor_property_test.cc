@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Property tests for the trace predictor's confidence machinery. The
+ * hot pipeline pays dearly for a wrong prediction (a full trace abort),
+ * so the properties all bound WHEN the predictor is allowed to speak:
+ * never without training, never below full confidence, and not again
+ * right after an abort.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/random.hh"
+#include "tracecache/predictor.hh"
+
+namespace
+{
+
+using namespace parrot::tracecache;
+
+Tid
+tidOf(parrot::Addr pc, std::uint64_t dirs = 0, unsigned n = 0)
+{
+    Tid t;
+    t.startPc = pc;
+    t.dirBits = dirs;
+    t.numDirs = static_cast<std::uint8_t>(n);
+    return t;
+}
+
+/** Trainings needed from scratch until a prediction may fire: the
+ * fresh-entry confidence is maxConfidence/2 and each confirming
+ * training adds one, so 1 (allocate) + ceil(max - max/2) more. */
+unsigned
+trainingsToConfidence(const TracePredictorConfig &cfg)
+{
+    unsigned max = (1u << cfg.counterBits) - 1;
+    return 1 + (max - max / 2);
+}
+
+TEST(PredictorPropertyTest, UntrainedNeverPredicts)
+{
+    TracePredictor pred(TracePredictorConfig{});
+    parrot::Rng rng(11);
+    Tid out;
+    for (unsigned i = 0; i < 5000; ++i) {
+        Tid prev = tidOf(0x1000 + rng.below(256) * 0x10, rng.below(8), 3);
+        parrot::Addr pc = 0x8000 + rng.below(1024) * 0x4;
+        ASSERT_FALSE(pred.predict(prev, pc, out));
+    }
+    EXPECT_EQ(pred.predictions(), 0u);
+}
+
+TEST(PredictorPropertyTest, ConfidenceMustBuildBeforePrediction)
+{
+    // Training the same (context -> actual) pair: no prediction may
+    // appear before the hysteresis counter saturates, and once it does
+    // the predicted TID is exactly the trained one.
+    TracePredictorConfig cfg;
+    TracePredictor pred(cfg);
+    const unsigned needed = trainingsToConfidence(cfg);
+    Tid prev = tidOf(0x1000, 0b11, 2);
+    Tid actual = tidOf(0x2000, 0b1, 1);
+    const parrot::Addr pc = actual.startPc;
+    Tid out;
+    for (unsigned n = 1; n <= needed + 4; ++n) {
+        pred.train(prev, pc, actual);
+        bool predicted = pred.predict(prev, pc, out);
+        if (n < needed) {
+            ASSERT_FALSE(predicted)
+                << "predicted after only " << n << " trainings";
+        } else {
+            ASSERT_TRUE(predicted) << "still silent after " << n;
+            ASSERT_TRUE(out == actual);
+        }
+    }
+}
+
+TEST(PredictorPropertyTest, PredictionOnlyForTrainedFetchAddress)
+{
+    TracePredictorConfig cfg;
+    TracePredictor pred(cfg);
+    Tid prev = tidOf(0x1000);
+    Tid actual = tidOf(0x2000, 0b10, 2);
+    for (unsigned n = 0; n < 2 * trainingsToConfidence(cfg); ++n)
+        pred.train(prev, actual.startPc, actual);
+    Tid out;
+    EXPECT_TRUE(pred.predict(prev, actual.startPc, out));
+    // A different fetch address must stay silent even though it aliases
+    // nothing: the stored startPc is checked, not just the table index.
+    EXPECT_FALSE(pred.predict(prev, actual.startPc + 0x40, out));
+}
+
+TEST(PredictorPropertyTest, MispredictSuppressesImmediateReprediction)
+{
+    // After an abort the same context must fall cold again and re-earn
+    // its confidence over several confirming occurrences.
+    TracePredictorConfig cfg;
+    TracePredictor pred(cfg);
+    Tid prev = tidOf(0x1000);
+    Tid actual = tidOf(0x3000, 0b101, 3);
+    const parrot::Addr pc = actual.startPc;
+    for (unsigned n = 0; n < 2 * trainingsToConfidence(cfg); ++n)
+        pred.train(prev, pc, actual);
+    Tid out;
+    ASSERT_TRUE(pred.predict(prev, pc, out));
+
+    pred.mispredict(prev, pc);
+    EXPECT_FALSE(pred.predict(prev, pc, out))
+        << "an aborted path must not be re-predicted immediately";
+
+    // Re-earning: strictly more than one confirmation is required (the
+    // penalty is stronger than one training step), and confidence does
+    // come back under a steady path.
+    unsigned recoveries = 0;
+    while (!pred.predict(prev, pc, out)) {
+        pred.train(prev, pc, actual);
+        ASSERT_LT(++recoveries, 16u) << "never recovered";
+    }
+    EXPECT_GT(recoveries, 1u);
+    ASSERT_TRUE(out == actual);
+}
+
+TEST(PredictorPropertyTest, AlternatingPathsStaySilent)
+{
+    // A context that alternates between two successors has no stable
+    // hot path; hysteresis must keep the predictor quiet rather than
+    // ping-ponging the hot pipeline into repeated aborts. This is the
+    // selectivity property at the heart of PARROT's power story.
+    TracePredictor pred(TracePredictorConfig{});
+    Tid prev = tidOf(0x1000);
+    const parrot::Addr pc = 0x2000;
+    Tid a = tidOf(pc, 0b0, 1);
+    Tid b = tidOf(pc, 0b1, 1);
+    Tid out;
+    for (unsigned n = 0; n < 200; ++n) {
+        pred.train(prev, pc, n & 1 ? a : b);
+        ASSERT_FALSE(pred.predict(prev, pc, out))
+            << "alternating path predicted at step " << n;
+    }
+    EXPECT_EQ(pred.predictions(), 0u);
+}
+
+TEST(PredictorPropertyTest, RandomStreamNeverPredictsUnseenTid)
+{
+    // Fuzz-style sweep: whatever interleaving of train/mispredict the
+    // stream produces, a fired prediction must be a TID that was
+    // actually trained for that fetch address at some point.
+    TracePredictor pred(TracePredictorConfig{256, 3});
+    parrot::Rng rng(0x5eed);
+    std::vector<Tid> tids;
+    for (unsigned i = 0; i < 8; ++i)
+        tids.push_back(tidOf(0x4000 + i * 0x100, i, i % 4));
+    std::set<std::uint64_t> trained;
+    Tid out;
+    for (unsigned step = 0; step < 20000; ++step) {
+        const Tid &prev = tids[rng.below(tids.size())];
+        const Tid &actual = tids[rng.below(tids.size())];
+        if (pred.predict(prev, actual.startPc, out)) {
+            ASSERT_EQ(out.startPc, actual.startPc)
+                << "prediction for a fetch address it was not made for";
+            ASSERT_TRUE(trained.count(out.hash()))
+                << "predicted a TID that was never trained";
+        }
+        if (rng.chance(0.1)) {
+            pred.mispredict(prev, actual.startPc);
+        } else {
+            pred.train(prev, actual.startPc, actual);
+            trained.insert(actual.hash());
+        }
+    }
+}
+
+} // namespace

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Tests for the differential co-simulation oracle: unit-level checks
+ * that it accepts transparent traces, rejects corrupted ones and
+ * recovers after a divergence — then the integration property the
+ * subsystem exists for: full timing runs of every hot model stay
+ * mismatch-free while actually exercising both commit paths.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <tuple>
+
+#include "isa/registers.hh"
+#include "sim/simulator.hh"
+#include "verify/cosim.hh"
+#include "workload/apps.hh"
+
+namespace
+{
+
+using namespace parrot;
+using namespace parrot::verify;
+
+/** Build a static macro-instruction from bare uops. */
+isa::MacroInst
+makeInst(Addr pc, std::vector<isa::Uop> uops)
+{
+    isa::MacroInst inst;
+    inst.pc = pc;
+    inst.uops = std::move(uops);
+    return inst;
+}
+
+workload::DynInst
+dynOf(const isa::MacroInst &inst)
+{
+    workload::DynInst d;
+    d.inst = &inst;
+    d.nextPc = inst.pc + inst.length;
+    return d;
+}
+
+tracecache::Trace
+traceOf(Addr start_pc, const std::vector<isa::Uop> &uops)
+{
+    tracecache::Trace t;
+    t.tid.startPc = start_pc;
+    for (const auto &u : uops)
+        t.uops.push_back(tracecache::TraceUop{u, -1, -1});
+    t.optimized = true;
+    return t;
+}
+
+TEST(CosimOracleTest, IdenticalColdStreamIsClean)
+{
+    CosimOracle oracle;
+    auto a = makeInst(0x100, {isa::makeMovImm(1, 5),
+                              isa::makeAlu(isa::UopKind::Add, 2, 1, 1)});
+    auto b = makeInst(0x104, {isa::makeStore(2, 1, 8)});
+    oracle.onColdCommit(dynOf(a));
+    oracle.onColdCommit(dynOf(b));
+    EXPECT_TRUE(oracle.clean());
+    EXPECT_EQ(oracle.stats().coldCommits, 2u);
+    EXPECT_EQ(oracle.stats().uopsExecuted, 6u);
+    EXPECT_EQ(oracle.referenceState().reg(2), 10);
+}
+
+TEST(CosimOracleTest, TransparentOptimizedTraceIsClean)
+{
+    // A constant-propagated trace: different uops, same architectural
+    // effect. The window carries the original two instructions.
+    CosimOracle oracle;
+    auto i0 = makeInst(0x200, {isa::makeMovImm(1, 7)});
+    auto i1 = makeInst(0x204, {isa::makeMov(2, 1)});
+    tracecache::Trace trace = traceOf(
+        0x200, {isa::makeMovImm(1, 7), isa::makeMovImm(2, 7)});
+    oracle.onTraceCommit(trace, {dynOf(i0), dynOf(i1)});
+    EXPECT_TRUE(oracle.clean());
+    EXPECT_EQ(oracle.stats().traceCommits, 1u);
+    EXPECT_EQ(oracle.machineState().reg(2), 7);
+}
+
+TEST(CosimOracleTest, DeadFlagsAtTraceBoundaryAreForgiven)
+{
+    // The optimizer may kill a compare whose flags die inside the
+    // trace (e.g. Cmp+Assert fusion); the boundary comparison must
+    // ignore flags and then resync them so later cold commits compare
+    // exactly.
+    CosimOracle oracle;
+    auto i0 = makeInst(0x300, {isa::makeCmpImm(1, 3)});
+    auto i1 = makeInst(0x304, {isa::makeMovImm(4, 9)});
+    tracecache::Trace trace = traceOf(0x300, {isa::makeMovImm(4, 9)});
+    oracle.onTraceCommit(trace, {dynOf(i0), dynOf(i1)});
+    EXPECT_TRUE(oracle.clean());
+    // Post-resync, an exact cold boundary stays clean too.
+    auto i2 = makeInst(0x308, {isa::makeAluImm(isa::UopKind::Add, 5, 4, 1)});
+    oracle.onColdCommit(dynOf(i2));
+    EXPECT_TRUE(oracle.clean());
+}
+
+TEST(CosimOracleTest, RegisterCorruptionIsDetectedOnce)
+{
+    // An unsound "optimization" (wrong constant) must be flagged at
+    // the trace boundary it commits, and — thanks to the resync — be
+    // counted as ONE divergence event, not re-reported forever.
+    CosimOracle oracle;
+    auto i0 = makeInst(0x400, {isa::makeMovImm(3, 11)});
+    tracecache::Trace bad = traceOf(0x400, {isa::makeMovImm(3, 12)});
+    oracle.onTraceCommit(bad, {dynOf(i0)});
+    EXPECT_FALSE(oracle.clean());
+    EXPECT_EQ(oracle.stats().mismatches, 1u);
+    EXPECT_NE(oracle.stats().firstMismatch.find("r3"), std::string::npos)
+        << oracle.stats().firstMismatch;
+
+    auto i1 = makeInst(0x404, {isa::makeMov(4, 3)});
+    oracle.onColdCommit(dynOf(i1));
+    EXPECT_EQ(oracle.stats().mismatches, 1u)
+        << "resync must stop the divergence from echoing";
+}
+
+TEST(CosimOracleTest, MemoryCorruptionIsDetected)
+{
+    // A dropped (or value-corrupted) store diverges memory, not
+    // registers; the touched-address comparison must catch it.
+    CosimOracle oracle;
+    auto setup = makeInst(
+        0x500, {isa::makeMovImm(1, 0x1000), isa::makeMovImm(2, 42)});
+    oracle.onColdCommit(dynOf(setup));
+    ASSERT_TRUE(oracle.clean());
+
+    auto store = makeInst(0x508, {isa::makeStore(2, 1, 0)});
+    tracecache::Trace bad = traceOf(0x508, {isa::makeNop()});
+    oracle.onTraceCommit(bad, {dynOf(store)});
+    EXPECT_FALSE(oracle.clean());
+    EXPECT_NE(oracle.stats().firstMismatch.find("mem"), std::string::npos)
+        << oracle.stats().firstMismatch;
+}
+
+// ---------------------------------------------------------------------
+// Integration: the oracle rides along full timing simulations.
+// ---------------------------------------------------------------------
+
+class CosimIntegrationTest
+    : public ::testing::TestWithParam<std::tuple<const char *, const char *>>
+{
+};
+
+TEST_P(CosimIntegrationTest, FullRunHasNoMismatches)
+{
+    const auto [model, app] = GetParam();
+    auto entry = workload::findApp(app);
+    sim::Workload w = sim::loadWorkload(entry);
+    sim::ModelConfig cfg = sim::ModelConfig::make(model);
+    cfg.cosim = true;
+    sim::ParrotSimulator s(cfg, w);
+    sim::SimResult r = s.run(80000, 0.0);
+
+    ASSERT_TRUE(r.cosimEnabled);
+    EXPECT_EQ(r.cosimMismatches, 0u);
+    EXPECT_GT(r.cosimColdCommits, 0u) << "oracle saw no cold commits";
+    if (cfg.hasTraceCache)
+        EXPECT_GT(r.cosimTraceCommits, 0u)
+            << "hot model never exercised the trace-commit check";
+    else
+        EXPECT_EQ(r.cosimTraceCommits, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModelsTimesApps, CosimIntegrationTest,
+    ::testing::Combine(::testing::Values("N", "TN", "TON", "TOS"),
+                       ::testing::Values("swim", "gcc", "word")),
+    [](const auto &info) {
+        return std::string(std::get<0>(info.param)) + "_" +
+               std::get<1>(info.param);
+    });
+
+TEST(CosimIntegrationTest, EnvVarEnablesOracle)
+{
+    auto entry = workload::findApp("swim");
+    sim::Workload w = sim::loadWorkload(entry);
+    setenv("PARROT_COSIM", "1", 1);
+    sim::ParrotSimulator s(sim::ModelConfig::make("TON"), w);
+    unsetenv("PARROT_COSIM");
+    sim::SimResult r = s.run(30000, 0.0);
+    EXPECT_TRUE(r.cosimEnabled);
+    EXPECT_EQ(r.cosimMismatches, 0u);
+}
+
+TEST(CosimIntegrationTest, DisabledByDefault)
+{
+    auto entry = workload::findApp("word");
+    sim::Workload w = sim::loadWorkload(entry);
+    sim::ParrotSimulator s(sim::ModelConfig::make("TON"), w);
+    sim::SimResult r = s.run(20000, 0.0);
+    EXPECT_FALSE(r.cosimEnabled);
+    EXPECT_EQ(r.cosimColdCommits, 0u);
+}
+
+} // namespace

@@ -1,0 +1,266 @@
+/**
+ * @file
+ * Tests for the coverage-guided optimizer fuzzer and the corpus
+ * machinery. The central acceptance property lives here: against a
+ * deliberately broken dead-code-elimination pass the fuzzer must find
+ * the bug, minimize the reproducer to a handful of uops, and the
+ * written corpus file must keep failing on replay until the bug is
+ * gone — at which point the committed corpus becomes a regression
+ * guard that always passes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "verify/corpus.hh"
+#include "verify/fuzzer.hh"
+
+namespace
+{
+
+using namespace parrot;
+using namespace parrot::verify;
+
+tracecache::TraceUop
+tuOf(const isa::Uop &u)
+{
+    return tracecache::TraceUop{u, -1, -1};
+}
+
+TEST(FuzzerTest, CleanOptimizerSurvivesCampaign)
+{
+    FuzzOptions opts;
+    opts.iterations = 200;
+    opts.seed = 7;
+    TraceFuzzer fuzzer(opts);
+    FuzzStats stats = fuzzer.run();
+    EXPECT_TRUE(stats.clean())
+        << "first failure: "
+        << (stats.failures.empty() ? "" : stats.failures[0].why);
+    EXPECT_EQ(stats.iterations, 200u);
+    EXPECT_GT(stats.equivalenceChecks, 200u);
+    // The campaign must actually explore: all three generation modes
+    // used, and coverage accumulated.
+    EXPECT_GT(stats.harvested, 0u);
+    EXPECT_GT(stats.synthesized, 0u);
+    EXPECT_GT(stats.mutated, 0u);
+    EXPECT_GT(stats.opcodePairsCovered, 20u);
+    EXPECT_GT(stats.passOutcomesCovered, 9u);
+    EXPECT_GT(stats.poolSize, 0u);
+}
+
+TEST(FuzzerTest, CampaignIsDeterministic)
+{
+    FuzzOptions opts;
+    opts.iterations = 60;
+    opts.seed = 99;
+    FuzzStats a = TraceFuzzer(opts).run();
+    FuzzStats b = TraceFuzzer(opts).run();
+    EXPECT_EQ(a.equivalenceChecks, b.equivalenceChecks);
+    EXPECT_EQ(a.opcodePairsCovered, b.opcodePairsCovered);
+    EXPECT_EQ(a.passOutcomesCovered, b.passOutcomesCovered);
+    EXPECT_EQ(a.coverageInputs, b.coverageInputs);
+    EXPECT_EQ(a.failures.size(), b.failures.size());
+}
+
+TEST(FuzzerTest, InjectedDceBugIsFoundAndMinimized)
+{
+    // The acceptance gate of the whole subsystem: break dead-code
+    // elimination (r3 treated dead at trace exit) and the fuzzer must
+    // catch it and shrink the reproducer to <= 8 uops.
+    FuzzOptions opts;
+    opts.iterations = 400;
+    opts.seed = 1;
+    opts.base.debugBreakDce = true;
+    TraceFuzzer fuzzer(opts);
+    FuzzStats stats = fuzzer.run();
+    ASSERT_FALSE(stats.clean()) << "fuzzer missed an injected bug";
+    for (const FuzzFailure &fail : stats.failures) {
+        EXPECT_LE(fail.entry.uops.size(), 8u)
+            << "reproducer not minimal: " << renderCorpus(fail.entry);
+        EXPECT_LE(fail.entry.uops.size(), fail.originalUops);
+        EXPECT_FALSE(fail.why.empty());
+        // The minimized entry still reproduces under the same fuzzer.
+        std::string why;
+        EXPECT_FALSE(fuzzer.replay(fail.entry, &why))
+            << "minimized reproducer no longer fails";
+    }
+    // And the same entries PASS once the bug is fixed — the property
+    // that makes the dumped corpus a meaningful regression suite.
+    FuzzOptions fixed = opts;
+    fixed.base.debugBreakDce = false;
+    TraceFuzzer fixed_fuzzer(fixed);
+    for (const FuzzFailure &fail : stats.failures)
+        EXPECT_TRUE(fixed_fuzzer.replay(fail.entry));
+}
+
+TEST(FuzzerTest, MinimizeShrinksToTheEssentialUop)
+{
+    // Hand-built input for the injected bug: only the final write to
+    // r3 matters; padding around it must be stripped.
+    FuzzOptions opts;
+    opts.base.debugBreakDce = true;
+    TraceFuzzer fuzzer(opts);
+    std::vector<tracecache::TraceUop> uops = {
+        tuOf(isa::makeMovImm(1, 4)),
+        tuOf(isa::makeAlu(isa::UopKind::Add, 2, 1, 1)),
+        tuOf(isa::makeMovImm(3, 17)),
+        tuOf(isa::makeAlu(isa::UopKind::Xor, 5, 2, 1)),
+        tuOf(isa::makeAluImm(isa::UopKind::AddImm, 6, 5, 1)),
+    };
+    const unsigned dce_only = 1u << 2; // pass-mask bit 2 = DCE
+    std::string why;
+    ASSERT_FALSE(fuzzer.check(uops, dce_only, 42, &why))
+        << "injected DCE bug should delete the live r3 write";
+    auto minimal = fuzzer.minimize(uops, dce_only, 42);
+    ASSERT_EQ(minimal.size(), 1u);
+    EXPECT_EQ(minimal[0].uop.kind, isa::UopKind::MovImm);
+    EXPECT_EQ(minimal[0].uop.dst, 3);
+    EXPECT_FALSE(fuzzer.check(minimal, dce_only, 42));
+}
+
+// ---------------------------------------------------------------------
+// Corpus format.
+// ---------------------------------------------------------------------
+
+TEST(CorpusTest, RenderParseRoundTrip)
+{
+    CorpusEntry entry;
+    entry.passMask = 0x1ff;
+    entry.seed = 1234567;
+    entry.comment = "round-trip fixture";
+    entry.uops.push_back(tuOf(isa::makeMovImm(3, -9)));
+    entry.uops.push_back(tuOf(isa::makeLoad(4, 3, 16)));
+    entry.uops.push_back(tuOf(isa::makeStore(4, 3, 24)));
+    entry.uops.push_back(tuOf(isa::makeFpMulAdd(17, 16, 17, 18)));
+    entry.uops.push_back(tuOf(isa::makeSimdPair(
+        isa::UopKind::Add, isa::makeAlu(isa::UopKind::Add, 5, 1, 2),
+        isa::makeAlu(isa::UopKind::Add, 6, 2, 1))));
+
+    CorpusEntry parsed;
+    std::string error;
+    ASSERT_TRUE(parseCorpus(renderCorpus(entry), parsed, &error)) << error;
+    EXPECT_EQ(parsed.passMask, entry.passMask);
+    EXPECT_EQ(parsed.seed, entry.seed);
+    ASSERT_EQ(parsed.uops.size(), entry.uops.size());
+    for (std::size_t i = 0; i < entry.uops.size(); ++i) {
+        const isa::Uop &a = entry.uops[i].uop;
+        const isa::Uop &b = parsed.uops[i].uop;
+        EXPECT_EQ(a.kind, b.kind) << "uop " << i;
+        EXPECT_EQ(a.dst, b.dst);
+        EXPECT_EQ(a.src1, b.src1);
+        EXPECT_EQ(a.src2, b.src2);
+        EXPECT_EQ(a.imm, b.imm);
+        EXPECT_EQ(a.dst2, b.dst2);
+        EXPECT_EQ(a.src1b, b.src1b);
+        EXPECT_EQ(a.src2b, b.src2b);
+        EXPECT_EQ(a.laneKind, b.laneKind);
+    }
+}
+
+TEST(CorpusTest, ParseRejectsGarbage)
+{
+    CorpusEntry out;
+    std::string error;
+    EXPECT_FALSE(parseCorpus("", out, &error));
+    EXPECT_FALSE(parseCorpus("not-a-corpus\n", out, &error));
+    EXPECT_NE(error.find("header"), std::string::npos) << error;
+    EXPECT_FALSE(parseCorpus("parrot-trace-corpus v1\n"
+                             "uop frobnicate 0 0 0 0 0 0 0 nop 0\n",
+                             out, &error));
+    EXPECT_NE(error.find("unknown uop kind"), std::string::npos) << error;
+    EXPECT_FALSE(parseCorpus("parrot-trace-corpus v1\nuop add 1\n", out));
+    EXPECT_FALSE(
+        parseCorpus("parrot-trace-corpus v1\nwibble = 3\n", out, &error));
+    EXPECT_NE(error.find("unknown directive"), std::string::npos);
+}
+
+TEST(CorpusTest, FileRoundTripAndDirectoryReplay)
+{
+    namespace fs = std::filesystem;
+    const fs::path dir =
+        fs::path(::testing::TempDir()) / "parrot-corpus-test";
+    fs::create_directories(dir);
+
+    CorpusEntry entry;
+    entry.passMask = 1u << 2; // DCE only
+    entry.seed = 42;
+    entry.uops.push_back(tuOf(isa::makeMovImm(3, 17)));
+    ASSERT_TRUE(writeCorpusFile((dir / "r3.trace").string(), entry));
+
+    CorpusEntry loaded;
+    std::string error;
+    ASSERT_TRUE(loadCorpusFile((dir / "r3.trace").string(), loaded, &error))
+        << error;
+    ASSERT_EQ(loaded.uops.size(), 1u);
+
+    // Replay against a sound optimizer: the regression guard passes.
+    optimizer::OptimizerConfig sound;
+    ReplayResult good = replayCorpusDir(dir.string(), sound);
+    EXPECT_EQ(good.total, 1u);
+    EXPECT_EQ(good.failed, 0u);
+
+    // Replay against the broken one: the guard trips.
+    optimizer::OptimizerConfig broken;
+    broken.debugBreakDce = true;
+    ReplayResult bad = replayCorpusDir(dir.string(), broken);
+    EXPECT_EQ(bad.total, 1u);
+    EXPECT_EQ(bad.failed, 1u);
+    ASSERT_EQ(bad.reports.size(), 1u);
+
+    // Unparseable corpus files count as failures, loudly.
+    ASSERT_TRUE([&] {
+        std::ofstream junk(dir / "junk.trace");
+        junk << "parrot-trace-corpus v0\n";
+        return static_cast<bool>(junk);
+    }());
+    ReplayResult with_junk = replayCorpusDir(dir.string(), sound);
+    EXPECT_EQ(with_junk.total, 2u);
+    EXPECT_EQ(with_junk.failed, 1u);
+
+    fs::remove_all(dir);
+}
+
+TEST(CorpusTest, CommittedCorpusReplaysClean)
+{
+    // The corpus checked into the repository must pass under the
+    // production optimizer configuration — this is the "once found,
+    // never again" regression property, also enforced in CI via
+    // `parrot_fuzz --replay`.
+    ReplayResult r =
+        replayCorpusDir(PARROT_CORPUS_DIR, optimizer::OptimizerConfig{});
+    EXPECT_GT(r.total, 0u) << "seed corpus missing from " PARROT_CORPUS_DIR;
+    EXPECT_EQ(r.failed, 0u);
+    for (const auto &line : r.reports)
+        ADD_FAILURE() << line;
+}
+
+TEST(FuzzerTest, ApplyPassMaskTogglesEachPass)
+{
+    optimizer::OptimizerConfig base;
+    base.debugBreakDce = true; // non-pass knob: must survive masking
+    auto none = applyPassMask(base, 0);
+    EXPECT_FALSE(none.propagate);
+    EXPECT_FALSE(none.dce);
+    EXPECT_FALSE(none.schedule);
+    EXPECT_TRUE(none.debugBreakDce);
+    auto all = applyPassMask(base, fullPassMask);
+    EXPECT_TRUE(all.propagate);
+    EXPECT_TRUE(all.memForward);
+    EXPECT_TRUE(all.dce);
+    EXPECT_TRUE(all.promote);
+    EXPECT_TRUE(all.strength);
+    EXPECT_TRUE(all.fuseCmp);
+    EXPECT_TRUE(all.fuseFp);
+    EXPECT_TRUE(all.simdify);
+    EXPECT_TRUE(all.schedule);
+    auto dce_only = applyPassMask(base, 1u << 2);
+    EXPECT_FALSE(dce_only.propagate);
+    EXPECT_TRUE(dce_only.dce);
+    EXPECT_FALSE(dce_only.simdify);
+}
+
+} // namespace

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * parrot_fuzz — the coverage-guided differential fuzzer for the trace
+ * optimizer, as a CLI tool for CI and interactive bug hunting.
+ *
+ * Usage:
+ *   parrot_fuzz [options]
+ *     --iterations N      fuzzing iterations (default 1000)
+ *     --seed N            campaign seed (default 1); a fixed seed makes
+ *                         the whole campaign deterministic
+ *     --max-uops N        cap generated trace length (default 64)
+ *     --seeds-per-check N equivalence initial states per input
+ *                         (default 8)
+ *     --corpus-dir DIR    dump minimized failing traces here
+ *     --replay DIR        replay every *.trace file in DIR instead of
+ *                         fuzzing (regression mode); exits 1 when any
+ *                         corpus entry fails its check again
+ *     --inject-dce-bug    deliberately break dead-code elimination (the
+ *                         oracle-validation hook); the campaign is then
+ *                         EXPECTED to find failures
+ *     --verbose           print each failure as it is found
+ *
+ * Exit status: 0 when the campaign (or replay) is clean, 1 when any
+ * failure was found, 2 on bad usage.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "parrot/parrot.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace parrot;
+
+    verify::FuzzOptions opts;
+    std::string replay_dir;
+
+    auto need_value = [&](int &i) -> const char * {
+        if (i + 1 >= argc) {
+            std::fprintf(stderr, "missing value for %s\n", argv[i]);
+            std::exit(2);
+        }
+        return argv[++i];
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (!std::strcmp(arg, "--iterations")) {
+            opts.iterations = std::strtoull(need_value(i), nullptr, 10);
+        } else if (!std::strcmp(arg, "--seed")) {
+            opts.seed = std::strtoull(need_value(i), nullptr, 10);
+        } else if (!std::strcmp(arg, "--max-uops")) {
+            opts.maxUops = static_cast<unsigned>(
+                std::strtoul(need_value(i), nullptr, 10));
+        } else if (!std::strcmp(arg, "--seeds-per-check")) {
+            opts.seedsPerCheck = static_cast<unsigned>(
+                std::strtoul(need_value(i), nullptr, 10));
+        } else if (!std::strcmp(arg, "--corpus-dir")) {
+            opts.corpusDir = need_value(i);
+        } else if (!std::strcmp(arg, "--replay")) {
+            replay_dir = need_value(i);
+        } else if (!std::strcmp(arg, "--inject-dce-bug")) {
+            opts.base.debugBreakDce = true;
+        } else if (!std::strcmp(arg, "--verbose")) {
+            opts.verbose = true;
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n", arg);
+            return 2;
+        }
+    }
+
+    if (!replay_dir.empty()) {
+        auto result = verify::replayCorpusDir(replay_dir, opts.base,
+                                              opts.seedsPerCheck);
+        for (const auto &line : result.reports)
+            std::fprintf(stderr, "parrot_fuzz: replay FAIL %s\n",
+                         line.c_str());
+        std::printf("parrot_fuzz replay: %u corpus files, %u failed\n",
+                    result.total, result.failed);
+        return result.failed == 0 ? 0 : 1;
+    }
+
+    verify::TraceFuzzer fuzzer(opts);
+    auto stats = fuzzer.run();
+
+    std::printf(
+        "parrot_fuzz: %llu iterations (%llu harvested, %llu mutated, "
+        "%llu synthesized)\n",
+        static_cast<unsigned long long>(stats.iterations),
+        static_cast<unsigned long long>(stats.harvested),
+        static_cast<unsigned long long>(stats.mutated),
+        static_cast<unsigned long long>(stats.synthesized));
+    std::printf(
+        "parrot_fuzz: coverage %zu opcode pairs, %zu pass outcomes; "
+        "%llu coverage inputs, pool %zu; %llu equivalence checks\n",
+        stats.opcodePairsCovered, stats.passOutcomesCovered,
+        static_cast<unsigned long long>(stats.coverageInputs),
+        stats.poolSize,
+        static_cast<unsigned long long>(stats.equivalenceChecks));
+
+    for (const auto &fail : stats.failures) {
+        std::printf("parrot_fuzz: FAILURE %s (minimized %zu -> %zu "
+                    "uops)%s%s\n",
+                    fail.entry.comment.c_str(), fail.originalUops,
+                    fail.entry.uops.size(),
+                    fail.file.empty() ? "" : ", corpus: ",
+                    fail.file.c_str());
+    }
+    std::printf("parrot_fuzz: %zu failure(s)\n", stats.failures.size());
+    return stats.clean() ? 0 : 1;
+}
