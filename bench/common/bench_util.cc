@@ -6,7 +6,9 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/cli.hh"
 #include "common/logging.hh"
+#include "sim/result.hh"
 #include "stats/stats.hh"
 #include "stats/table.hh"
 
@@ -19,7 +21,7 @@ std::uint64_t
 benchInstBudget()
 {
     if (const char *env = std::getenv("PARROT_BENCH_INSTS"))
-        return std::strtoull(env, nullptr, 10);
+        return cli::parseU64("PARROT_BENCH_INSTS", env);
     return 600000;
 }
 
@@ -32,19 +34,19 @@ benchJobs()
 void
 parseBenchArgs(int argc, char **argv)
 {
-    auto need_value = [&](int &i) -> const char * {
-        if (i + 1 >= argc) {
-            std::fprintf(stderr, "missing value for %s\n", argv[i]);
-            std::exit(2);
-        }
-        return argv[++i];
-    };
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
         if (!std::strcmp(arg, "--jobs")) {
-            setenv("PARROT_JOBS", need_value(i), 1);
+            // Validate eagerly so a typo fails at the command line,
+            // not deep inside the first helper reading the env var.
+            unsigned jobs =
+                cli::parseU32(arg, cli::needValue(argc, argv, i));
+            setenv("PARROT_JOBS", std::to_string(jobs).c_str(), 1);
         } else if (!std::strcmp(arg, "--insts")) {
-            setenv("PARROT_BENCH_INSTS", need_value(i), 1);
+            std::uint64_t insts =
+                cli::parseU64(arg, cli::needValue(argc, argv, i));
+            setenv("PARROT_BENCH_INSTS",
+                   std::to_string(insts).c_str(), 1);
         } else if (!std::strcmp(arg, "--no-cache")) {
             setenv("PARROT_BENCH_NO_CACHE", "1", 1);
         } else {
@@ -60,33 +62,36 @@ parseBenchArgs(int argc, char **argv)
 namespace
 {
 
-/** Serialize a SimResult as whitespace-separated fields (one line). */
+/**
+ * The cache-file header: format version plus the full ordered field
+ * list. Loading compares it verbatim, so renaming, reordering, adding
+ * or removing any SimResult field makes every old cache stale at once
+ * — there is deliberately no migration path for mixed-format files.
+ */
+std::string
+cacheHeader()
+{
+    std::string h = "# parrot-bench-cache v2";
+    for (const auto &f : sim::resultFields()) {
+        h += ' ';
+        h += f.key;
+    }
+    return h;
+}
+
+/** Serialize a SimResult as self-describing key=value pairs. */
 std::string
 serialize(const SimResult &r)
 {
     std::ostringstream out;
-    out.precision(17);
-    out << r.insts << ' ' << r.uops << ' ' << r.cycles << ' ' << r.ipc
-        << ' ' << r.upc << ' ' << r.uopsFromTraceCache << ' '
-        << r.uopsFromColdPipe << ' ' << r.coverage << ' '
-        << r.coldCondBranches << ' ' << r.coldBranchMispredicts << ' '
-        << r.tracePredictions << ' ' << r.traceMispredicts << ' '
-        << r.tpLookups << ' ' << r.tpHits << ' ' << r.tcMissAfterPredict
-        << ' ' << r.candidatesSeen << ' ' << r.coldBranchMispredRate
-        << ' ' << r.traceMispredRate << ' ' << r.tracesInserted << ' '
-        << r.traceExecutions << ' ' << r.tracesOptimized << ' '
-        << r.avgUopReduction << ' ' << r.avgDepReduction << ' '
-        << r.optimizedTraceExecutions << ' ' << r.optimizerUtilization
-        << ' ' << r.dynamicUopReduction << ' ' << r.dynamicEnergy << ' '
-        << r.leakageEnergy << ' ' << r.totalEnergy << ' '
-        << r.energyPerCycle << ' ' << r.cmpw << ' ' << r.l1iMissRate
-        << ' ' << r.l1dMissRate << ' ' << r.l2MissRate;
-    for (double v : r.unitEnergy)
-        out << ' ' << v;
-    // Cosim counters were appended after the initial cache format;
-    // deserialize() tolerates their absence in old cache lines.
-    out << ' ' << (r.cosimEnabled ? 1 : 0) << ' ' << r.cosimColdCommits
-        << ' ' << r.cosimTraceCommits << ' ' << r.cosimMismatches;
+    out.precision(17); // round-trips doubles exactly
+    bool first = true;
+    for (const auto &f : sim::resultFields()) {
+        if (!first)
+            out << ' ';
+        first = false;
+        out << f.key << '=' << f.get(r);
+    }
     return out.str();
 }
 
@@ -94,32 +99,27 @@ bool
 deserialize(const std::string &line, SimResult &r)
 {
     std::istringstream in(line);
-    in >> r.insts >> r.uops >> r.cycles >> r.ipc >> r.upc >>
-        r.uopsFromTraceCache >> r.uopsFromColdPipe >> r.coverage >>
-        r.coldCondBranches >> r.coldBranchMispredicts >>
-        r.tracePredictions >> r.traceMispredicts >> r.tpLookups >>
-        r.tpHits >> r.tcMissAfterPredict >> r.candidatesSeen >>
-        r.coldBranchMispredRate >> r.traceMispredRate >>
-        r.tracesInserted >> r.traceExecutions >> r.tracesOptimized >>
-        r.avgUopReduction >> r.avgDepReduction >>
-        r.optimizedTraceExecutions >> r.optimizerUtilization >>
-        r.dynamicUopReduction >> r.dynamicEnergy >> r.leakageEnergy >>
-        r.totalEnergy >> r.energyPerCycle >> r.cmpw >> r.l1iMissRate >>
-        r.l1dMissRate >> r.l2MissRate;
-    for (double &v : r.unitEnergy)
-        in >> v;
-    if (in.fail())
-        return false;
-    // Trailing cosim fields (newer cache lines only).
-    int cosim_enabled = 0;
-    if (in >> cosim_enabled) {
-        r.cosimEnabled = cosim_enabled != 0;
-        in >> r.cosimColdCommits >> r.cosimTraceCommits >>
-            r.cosimMismatches;
-        if (in.fail())
+    std::string token;
+    std::size_t seen = 0;
+    while (in >> token) {
+        auto eq = token.find('=');
+        if (eq == std::string::npos)
             return false;
+        const sim::ResultField *f =
+            sim::findResultField(token.substr(0, eq));
+        if (!f)
+            return false;
+        const std::string text = token.substr(eq + 1);
+        char *end = nullptr;
+        double v = std::strtod(text.c_str(), &end);
+        if (end == text.c_str() || *end != '\0')
+            return false;
+        f->set(r, v);
+        ++seen;
     }
-    return true;
+    // The header pins the field set, but a line can still be cut short
+    // by a killed run; demand every field rather than half a result.
+    return seen == sim::resultFields().size();
 }
 
 } // namespace
@@ -158,7 +158,23 @@ void
 ResultStore::load()
 {
     std::ifstream in(path);
+    if (!in)
+        return;
     std::string line;
+    if (!std::getline(in, line))
+        return; // empty file: append() will write the header
+    if (line != cacheHeader()) {
+        // Stale version or foreign field set. Discard the whole file
+        // and let the benches regenerate; salvaging lines from a
+        // mixed-format cache risks figures built from stale metrics.
+        in.close();
+        std::fprintf(stderr,
+                     "[bench cache] %s: format/version mismatch, "
+                     "discarding and regenerating\n",
+                     path.c_str());
+        std::remove(path.c_str());
+        return;
+    }
     while (std::getline(in, line)) {
         auto tab = line.find('\t');
         if (tab == std::string::npos)
@@ -184,6 +200,8 @@ ResultStore::append(const std::string &key, const SimResult &r)
     if (!enabled)
         return;
     std::ofstream out(path, std::ios::app);
+    if (out.tellp() == 0)
+        out << cacheHeader() << '\n';
     out << key << '\t' << serialize(r) << '\n';
 }
 

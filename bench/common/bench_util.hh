@@ -5,7 +5,11 @@
  * Every bench binary needs the same expensive grid of
  * (model x application) simulations; ResultStore memoizes finished
  * SimResults in a plain-text cache file in the working directory so the
- * first bench pays and the rest reuse. Delete the file (or set
+ * first bench pays and the rest reuse. The file is self-describing:
+ * a version header lists the exact ordered field keys (from
+ * sim::resultFields()) and every record is key=value pairs, so any
+ * change to the SimResult schema invalidates the cache wholesale and
+ * it silently regenerates. Delete the file (or set
  * PARROT_BENCH_NO_CACHE=1) to force fresh runs. The instruction budget
  * can be overridden with PARROT_BENCH_INSTS.
  *

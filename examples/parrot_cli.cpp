@@ -20,6 +20,12 @@
  *     --cosim             run the differential co-simulation oracle
  *                         alongside the timing simulation; non-zero
  *                         mismatch counts make the exit status 1
+ *     --stats-interval N  sample the stats tree every N cycles into a
+ *                         windowed time-series (0 = off, the default);
+ *                         sampling never changes simulation results
+ *     --stats-out FILE    write the sampled time-series to FILE as a
+ *                         JSON array of run objects, or as CSV when
+ *                         FILE ends in .csv (requires --stats-interval)
  *     --kv                key=value output (for scripts)
  *     --dump-config       print the effective model configuration
  *     --list-apps         list the 44 applications and exit
@@ -28,9 +34,11 @@
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
+#include "common/cli.hh"
 #include "parrot/parrot.hh"
 #include "sim/config_file.hh"
 
@@ -39,21 +47,39 @@ namespace
 
 using namespace parrot;
 
+/**
+ * Render a ratio whose denominator never incremented as "-" instead
+ * of a misleading 0 (a model without a trace cache has no abort rate,
+ * it just never predicted).
+ */
+std::string
+ratioOrDash(double value, std::uint64_t denom, const char *format)
+{
+    if (denom == 0)
+        return "-";
+    char buf[32];
+    std::snprintf(buf, sizeof buf, format, value);
+    return buf;
+}
+
 void
 printKv(const sim::SimResult &r)
 {
     std::printf("model=%s app=%s insts=%llu cycles=%llu ipc=%.6f "
                 "upc=%.6f coverage=%.6f dynamic_energy=%.6e "
                 "leakage_energy=%.6e total_energy=%.6e cmpw=%.6e "
-                "branch_mispredict=%.6f trace_mispredict=%.6f "
+                "branch_mispredict=%s trace_mispredict=%s "
                 "traces_inserted=%llu traces_optimized=%llu "
                 "uop_reduction=%.6f l1d_miss=%.6f\n",
                 r.model.c_str(), r.app.c_str(),
                 static_cast<unsigned long long>(r.insts),
                 static_cast<unsigned long long>(r.cycles), r.ipc, r.upc,
                 r.coverage, r.dynamicEnergy, r.leakageEnergy,
-                r.totalEnergy, r.cmpw, r.coldBranchMispredRate,
-                r.traceMispredRate,
+                r.totalEnergy, r.cmpw,
+                ratioOrDash(r.coldBranchMispredRate, r.coldCondBranches,
+                            "%.6f").c_str(),
+                ratioOrDash(r.traceMispredRate, r.tracePredictions,
+                            "%.6f").c_str(),
                 static_cast<unsigned long long>(r.tracesInserted),
                 static_cast<unsigned long long>(r.tracesOptimized),
                 r.dynamicUopReduction, r.l1dMissRate);
@@ -80,12 +106,13 @@ printHuman(const sim::SimResult &r)
                 r.totalEnergy * 1e-6, r.dynamicEnergy * 1e-6,
                 r.leakageEnergy * 1e-6, r.cmpw);
     if (r.tracesInserted > 0) {
+        std::string abort_pct = ratioOrDash(
+            100.0 * r.traceMispredRate, r.tracePredictions, "%.1f%%");
         std::printf("  traces: %llu cached, %llu optimized, abort rate "
-                    "%.1f%%, uop reduction %.1f%%\n",
+                    "%s, uop reduction %.1f%%\n",
                     static_cast<unsigned long long>(r.tracesInserted),
                     static_cast<unsigned long long>(r.tracesOptimized),
-                    100.0 * r.traceMispredRate,
-                    100.0 * r.dynamicUopReduction);
+                    abort_pct.c_str(), 100.0 * r.dynamicUopReduction);
     }
     if (r.cosimEnabled) {
         std::printf("  cosim: %llu cold + %llu trace commits checked, "
@@ -115,13 +142,11 @@ main(int argc, char **argv)
     bool kv = false;
     bool dump_config = false;
     bool cosim = false;
+    unsigned stats_interval = 0;
+    std::string stats_out;
 
     auto need_value = [&](int &i) -> const char * {
-        if (i + 1 >= argc) {
-            std::fprintf(stderr, "missing value for %s\n", argv[i]);
-            std::exit(2);
-        }
-        return argv[++i];
+        return cli::needValue(argc, argv, i);
     };
 
     for (int i = 1; i < argc; ++i) {
@@ -135,12 +160,15 @@ main(int argc, char **argv)
         } else if (!std::strcmp(arg, "--group")) {
             group = need_value(i);
         } else if (!std::strcmp(arg, "--insts")) {
-            insts = std::strtoull(need_value(i), nullptr, 10);
+            insts = cli::parseU64(arg, need_value(i));
         } else if (!std::strcmp(arg, "--jobs")) {
-            jobs = static_cast<unsigned>(
-                std::strtoul(need_value(i), nullptr, 10));
+            jobs = cli::parseU32(arg, need_value(i));
         } else if (!std::strcmp(arg, "--pmax")) {
-            pmax = std::strtod(need_value(i), nullptr);
+            pmax = cli::parseF64(arg, need_value(i));
+        } else if (!std::strcmp(arg, "--stats-interval")) {
+            stats_interval = cli::parseU32(arg, need_value(i));
+        } else if (!std::strcmp(arg, "--stats-out")) {
+            stats_out = need_value(i);
         } else if (!std::strcmp(arg, "--no-leakage")) {
             no_leakage = true;
         } else if (!std::strcmp(arg, "--cosim")) {
@@ -165,11 +193,19 @@ main(int argc, char **argv)
         }
     }
 
+    if (!stats_out.empty() && stats_interval == 0) {
+        std::fprintf(stderr,
+                     "--stats-out requires --stats-interval N\n");
+        return 2;
+    }
+
     sim::ModelConfig cfg = config_path.empty()
         ? sim::ModelConfig::make(model)
         : sim::loadModelConfig(config_path);
     if (cosim)
         cfg.cosim = true;
+    if (stats_interval > 0)
+        cfg.statsInterval = stats_interval;
     if (dump_config) {
         std::printf("%s", sim::renderModelConfig(cfg).c_str());
         return 0;
@@ -216,6 +252,39 @@ main(int argc, char **argv)
         else
             printHuman(r);
         cosim_mismatches += r.cosimMismatches;
+    }
+
+    if (!stats_out.empty()) {
+        std::ofstream out(stats_out);
+        if (!out) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         stats_out.c_str());
+            return 2;
+        }
+        bool csv = stats_out.size() >= 4 &&
+                   stats_out.compare(stats_out.size() - 4, 4, ".csv")
+                       == 0;
+        bool first = true;
+        if (csv) {
+            for (const auto &r : results) {
+                if (!r.series)
+                    continue;
+                r.series->writeCsv(out, r.model, r.app, first);
+                first = false;
+            }
+        } else {
+            out << "[\n";
+            for (const auto &r : results) {
+                if (!r.series)
+                    continue;
+                if (!first)
+                    out << ",\n";
+                first = false;
+                r.series->writeJson(out, r.model, r.app,
+                                    stats_interval);
+            }
+            out << "\n]\n";
+        }
     }
     return cosim_mismatches == 0 ? 0 : 1;
 }

@@ -1,0 +1,71 @@
+#include "common/cli.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+
+namespace parrot::cli
+{
+
+namespace
+{
+
+[[noreturn]] void
+badValue(const char *flag, const char *text, const char *expected)
+{
+    std::fprintf(stderr, "bad value '%s' for %s: expected %s\n", text,
+                 flag, expected);
+    std::exit(2);
+}
+
+} // namespace
+
+const char *
+needValue(int argc, char **argv, int &i)
+{
+    if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", argv[i]);
+        std::exit(2);
+    }
+    return argv[++i];
+}
+
+std::uint64_t
+parseU64(const char *flag, const char *text)
+{
+    // strtoull silently wraps negatives and stops at the first junk
+    // character; reject both so "--jobs -2" and "--insts 1e6" fail
+    // loudly instead of becoming surprising numbers.
+    errno = 0;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(text, &end, 10);
+    if (end == text || *end != '\0' || std::strchr(text, '-') ||
+        errno == ERANGE) {
+        badValue(flag, text, "a non-negative integer");
+    }
+    return v;
+}
+
+unsigned
+parseU32(const char *flag, const char *text)
+{
+    std::uint64_t v = parseU64(flag, text);
+    if (v > std::numeric_limits<unsigned>::max())
+        badValue(flag, text, "an integer that fits in 32 bits");
+    return static_cast<unsigned>(v);
+}
+
+double
+parseF64(const char *flag, const char *text)
+{
+    errno = 0;
+    char *end = nullptr;
+    double v = std::strtod(text, &end);
+    if (end == text || *end != '\0' || errno == ERANGE)
+        badValue(flag, text, "a number");
+    return v;
+}
+
+} // namespace parrot::cli

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Strict command-line argument parsing shared by every driver binary
+ * (parrot_cli and the figure benches). One definition of "what does
+ * --jobs 0x take" so the tools cannot drift apart: a malformed value
+ * is a usage error that exits with status 2 and a message naming the
+ * flag, never a silent zero.
+ */
+
+#ifndef PARROT_COMMON_CLI_HH
+#define PARROT_COMMON_CLI_HH
+
+#include <cstdint>
+
+namespace parrot::cli
+{
+
+/**
+ * Return the value argument following the flag at argv[i], advancing
+ * i past it. Exits with status 2 when the flag is the last argument.
+ */
+const char *needValue(int argc, char **argv, int &i);
+
+/**
+ * @name Strict numeric parsers.
+ * The entire string must parse as a number of the requested type and
+ * range; anything else ("", "12x", "-3" for unsigned, out-of-range)
+ * prints a message naming `flag` and exits with status 2. `flag` is
+ * only used for the message, so environment-variable names work too.
+ * @{
+ */
+std::uint64_t parseU64(const char *flag, const char *text);
+unsigned parseU32(const char *flag, const char *text);
+double parseF64(const char *flag, const char *text);
+/** @} */
+
+} // namespace parrot::cli
+
+#endif // PARROT_COMMON_CLI_HH

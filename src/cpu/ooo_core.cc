@@ -213,7 +213,7 @@ OooCore::issuePhase()
 
         ++pool_used[pool_idx];
         ++issued;
-        ++nIssuedUops;
+        nIssuedUops.add();
         entry.inIq = false;
         it = iq.erase(it);
         entry.state = State::Issued;
@@ -296,9 +296,9 @@ OooCore::commitPhase()
         energy->record(PowerEvent::Commit);
         energy->record(PowerEvent::RobRead);
         if (!entry.poisoned) {
-            ++nCommittedUops;
+            nCommittedUops.add();
             if (entry.countsAsInst)
-                ++nCommittedInsts;
+                nCommittedInsts.add();
         }
         ++headSeq;
         ++committed;

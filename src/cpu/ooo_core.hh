@@ -29,6 +29,8 @@
 #include "isa/uop.hh"
 #include "memory/hierarchy.hh"
 #include "power/account.hh"
+#include "stats/group.hh"
+#include "stats/stats.hh"
 
 namespace parrot::cpu
 {
@@ -90,10 +92,19 @@ class OooCore
     }
 
     /** @name Retirement statistics. @{ */
-    Counter committedUops() const { return nCommittedUops; }
-    Counter committedInsts() const { return nCommittedInsts; }
-    Counter issuedUops() const { return nIssuedUops; }
+    Counter committedUops() const { return nCommittedUops.value(); }
+    Counter committedInsts() const { return nCommittedInsts.value(); }
+    Counter issuedUops() const { return nIssuedUops.value(); }
     /** @} */
+
+    /** Register retirement counters into a stats-tree group. */
+    void
+    regStats(stats::Group &group)
+    {
+        group.add(&nCommittedUops);
+        group.add(&nCommittedInsts);
+        group.add(&nIssuedUops);
+    }
 
     const CoreConfig &config() const { return cfg; }
 
@@ -158,9 +169,9 @@ class OooCore
     Cycle curCycle = 0;
     unsigned outstandingMisses = 0;
 
-    Counter nCommittedUops = 0;
-    Counter nCommittedInsts = 0;
-    Counter nIssuedUops = 0;
+    stats::Scalar nCommittedUops{"committed_uops"};
+    stats::Scalar nCommittedInsts{"committed_insts"};
+    stats::Scalar nIssuedUops{"issued_uops"};
 };
 
 } // namespace parrot::cpu

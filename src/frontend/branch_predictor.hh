@@ -12,6 +12,7 @@
 #include "common/bitutil.hh"
 #include "common/counters.hh"
 #include "common/types.hh"
+#include "stats/group.hh"
 #include "stats/stats.hh"
 
 namespace parrot::frontend
@@ -71,6 +72,15 @@ class BranchPredictor
     const BranchPredictorConfig &config() const { return cfg; }
 
     void resetStats() { correct.reset(); }
+
+    /** Register the direction-accuracy ratio into a stats-tree group. */
+    void
+    regStats(stats::Group &group)
+    {
+        group.add(&correct);
+        group.addFormula("mispredict_ratio",
+                         [this] { return mispredictRatio(); });
+    }
 
   private:
     std::uint64_t bimodalIndex(Addr pc) const;

@@ -134,4 +134,13 @@ Cache::resetStats()
     writebacks.reset();
 }
 
+void
+Cache::regStats(stats::Group &group)
+{
+    group.add(&hits);
+    group.add(&misses);
+    group.add(&writebacks);
+    group.addFormula("miss_ratio", [this] { return missRatio(); });
+}
+
 } // namespace parrot::memory

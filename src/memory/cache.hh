@@ -18,6 +18,7 @@
 #include "common/bitutil.hh"
 #include "common/logging.hh"
 #include "common/types.hh"
+#include "stats/group.hh"
 #include "stats/stats.hh"
 
 namespace parrot::memory
@@ -96,6 +97,9 @@ class Cache
 
     /** Reset statistics (contents retained). */
     void resetStats();
+
+    /** Register this cache's stats into a stats-tree group. */
+    void regStats(stats::Group &group);
 
   private:
     struct Line

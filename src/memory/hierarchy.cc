@@ -60,6 +60,16 @@ Hierarchy::accessData(Addr addr, bool write)
 }
 
 void
+Hierarchy::regStats(stats::Group &group)
+{
+    l1iCache->regStats(group.subgroup("l1i"));
+    l1dCache->regStats(group.subgroup("l1d"));
+    l2Cache->regStats(group.subgroup("l2"));
+    group.add(&memCount);
+    group.add(&prefetchCount);
+}
+
+void
 Hierarchy::resetStats()
 {
     l1iCache->resetStats();

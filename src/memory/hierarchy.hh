@@ -77,6 +77,10 @@ class Hierarchy
     /** Reset statistics on every level. */
     void resetStats();
 
+    /** Register per-level subgroups (l1i/l1d/l2) plus hierarchy-wide
+     * counters into a stats-tree group. */
+    void regStats(stats::Group &group);
+
   private:
     /** Handle an L1 miss through L2/memory; returns added latency. */
     unsigned missToL2(Addr addr, bool write, HierarchyAccess &out);

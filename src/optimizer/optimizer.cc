@@ -33,7 +33,7 @@ OptimizerConfig::disabled()
 }
 
 OptimizeResult
-TraceOptimizer::optimize(tracecache::Trace &trace) const
+TraceOptimizer::optimize(tracecache::Trace &trace)
 {
     OptimizeResult result;
     result.uopsBefore = trace.uops.size();
@@ -91,6 +91,11 @@ TraceOptimizer::optimize(tracecache::Trace &trace) const
     trace.optimized = true;
     trace.depHeight = static_cast<std::uint16_t>(result.depAfter);
     // originalUopCount / originalDepHeight were set at construction.
+
+    nOptimized.add();
+    if (result.uopsAfter < result.uopsBefore)
+        nUopsRemoved.add(result.uopsBefore - result.uopsAfter);
+    nPassesRun.add(result.passesRun);
     return result;
 }
 

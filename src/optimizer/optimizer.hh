@@ -11,6 +11,7 @@
 #ifndef PARROT_OPTIMIZER_OPTIMIZER_HH
 #define PARROT_OPTIMIZER_OPTIMIZER_HH
 
+#include "stats/group.hh"
 #include "stats/stats.hh"
 #include "tracecache/constructor.hh"
 #include "tracecache/trace.hh"
@@ -71,7 +72,8 @@ struct OptimizeResult
 };
 
 /**
- * The optimizer. Stateless between traces (the sim models occupancy).
+ * The optimizer. Stateless between traces apart from the cumulative
+ * statistics below (the sim models occupancy).
  */
 class TraceOptimizer
 {
@@ -82,12 +84,31 @@ class TraceOptimizer
      * Optimize the trace in place; sets trace.optimized and the
      * dependence-height bookkeeping.
      */
-    OptimizeResult optimize(tracecache::Trace &trace) const;
+    OptimizeResult optimize(tracecache::Trace &trace);
+
+    /** @name Cumulative statistics over all optimize() calls. @{ */
+    Counter tracesOptimized() const { return nOptimized.value(); }
+    Counter uopsRemoved() const { return nUopsRemoved.value(); }
+    Counter passesRun() const { return nPassesRun.value(); }
+    /** @} */
+
+    /** Register cumulative optimization counters into a stats group. */
+    void
+    regStats(stats::Group &group)
+    {
+        group.add(&nOptimized);
+        group.add(&nUopsRemoved);
+        group.add(&nPassesRun);
+    }
 
     const OptimizerConfig &config() const { return cfg; }
 
   private:
     OptimizerConfig cfg;
+
+    stats::Scalar nOptimized{"traces_optimized"};
+    stats::Scalar nUopsRemoved{"uops_removed"};
+    stats::Scalar nPassesRun{"passes_run"};
 };
 
 } // namespace parrot::optimizer

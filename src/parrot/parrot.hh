@@ -23,8 +23,10 @@
 #include "common/random.hh"
 #include "common/types.hh"
 
+#include "stats/group.hh"
 #include "stats/stats.hh"
 #include "stats/table.hh"
+#include "stats/timeseries.hh"
 
 #include "isa/arch_state.hh"
 #include "isa/inst.hh"

@@ -11,6 +11,7 @@
 #include "common/types.hh"
 #include "power/energy_model.hh"
 #include "power/events.hh"
+#include "stats/group.hh"
 
 namespace parrot::power
 {
@@ -75,6 +76,21 @@ class EnergyAccount
 
     /** Zero all counters. */
     void reset() { counts.fill(0); }
+
+    /** Register one formula per power event under an "events" child
+     * group (the raw counts; joules are derived by the owner, which
+     * knows which EnergyModel prices this account). */
+    void
+    regStats(stats::Group &group)
+    {
+        auto &events = group.subgroup("events");
+        for (unsigned i = 0; i < numPowerEvents; ++i) {
+            const auto e = static_cast<PowerEvent>(i);
+            events.addFormula(powerEventName(e), [this, e] {
+                return static_cast<double>(count(e));
+            });
+        }
+    }
 
   private:
     std::array<Counter, numPowerEvents> counts;

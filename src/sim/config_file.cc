@@ -87,6 +87,11 @@ keyTable()
         {"cosim",
          [](ModelConfig &c, const std::string &v, const std::string &k,
             const std::string &o) { c.cosim = parseBool(v, k, o); }},
+        {"stats_interval",
+         [](ModelConfig &c, const std::string &v, const std::string &k,
+            const std::string &o) {
+             c.statsInterval = parseUnsigned(v, k, o);
+         }},
 
         // Cold (or unified) core.
         {"core.width",
@@ -295,6 +300,7 @@ renderModelConfig(const ModelConfig &cfg)
         << (cfg.hasOptimizer ? "true" : "false") << "\n";
     out << "split_core = " << (cfg.splitCore ? "true" : "false") << "\n";
     out << "cosim = " << (cfg.cosim ? "true" : "false") << "\n";
+    out << "stats_interval = " << cfg.statsInterval << "\n";
     out << "core.width = " << cfg.coldCore.width << "\n";
     out << "core.rob = " << cfg.coldCore.robSize << "\n";
     out << "core.iq = " << cfg.coldCore.iqSize << "\n";

@@ -61,6 +61,11 @@ struct ModelConfig
      * PARROT_COSIM environment variable to a non-zero value. */
     bool cosim = false;
 
+    /** Sample the stats tree every this many cycles into a windowed
+     * time-series (0 = sampling off). Purely observational: sampling
+     * never changes timing, energy or end-of-run results. */
+    unsigned statsInterval = 0;
+
     /** Build one of the named models: N W TN TW TON TOW TOS. */
     static ModelConfig make(const std::string &model_name);
 

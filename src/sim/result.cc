@@ -1,9 +1,158 @@
 #include "sim/result.hh"
 
+#include <map>
 #include <string>
+
+#include "common/logging.hh"
 
 namespace parrot::sim
 {
+
+namespace
+{
+
+/** Descriptor for a double field. */
+ResultField
+fieldOf(const char *key, double SimResult::*member)
+{
+    return ResultField{
+        key,
+        [member](const SimResult &r) { return r.*member; },
+        [member](SimResult &r, double v) { r.*member = v; },
+    };
+}
+
+/** Descriptor for a uint64 field (doubles are exact to 2^53, far
+ * beyond any counter a simulation run produces). */
+ResultField
+fieldOf(const char *key, std::uint64_t SimResult::*member)
+{
+    return ResultField{
+        key,
+        [member](const SimResult &r) {
+            return static_cast<double>(r.*member);
+        },
+        [member](SimResult &r, double v) {
+            r.*member = static_cast<std::uint64_t>(v);
+        },
+    };
+}
+
+/** Descriptor for one unit-energy array slot. */
+ResultField
+unitFieldOf(unsigned u)
+{
+    return ResultField{
+        std::string("energy.unit.") +
+            power::powerUnitName(static_cast<power::PowerUnit>(u)),
+        [u](const SimResult &r) { return r.unitEnergy[u]; },
+        [u](SimResult &r, double v) { r.unitEnergy[u] = v; },
+    };
+}
+
+std::vector<ResultField>
+buildFields()
+{
+    std::vector<ResultField> f;
+
+    f.push_back(fieldOf("perf.insts", &SimResult::insts));
+    f.push_back(fieldOf("perf.uops", &SimResult::uops));
+    f.push_back(fieldOf("perf.cycles", &SimResult::cycles));
+    f.push_back(fieldOf("perf.ipc", &SimResult::ipc));
+    f.push_back(fieldOf("perf.upc", &SimResult::upc));
+
+    f.push_back(fieldOf("trace.uops_from_tc",
+                        &SimResult::uopsFromTraceCache));
+    f.push_back(fieldOf("trace.uops_from_cold",
+                        &SimResult::uopsFromColdPipe));
+    f.push_back(fieldOf("trace.coverage", &SimResult::coverage));
+    f.push_back(fieldOf("trace.predictions",
+                        &SimResult::tracePredictions));
+    f.push_back(fieldOf("trace.aborts", &SimResult::traceMispredicts));
+    f.push_back(fieldOf("trace.abort_rate", &SimResult::traceMispredRate));
+    f.push_back(fieldOf("trace.inserted", &SimResult::tracesInserted));
+    f.push_back(fieldOf("trace.executions", &SimResult::traceExecutions));
+
+    f.push_back(fieldOf("frontend.cold_branches",
+                        &SimResult::coldCondBranches));
+    f.push_back(fieldOf("frontend.cold_mispredicts",
+                        &SimResult::coldBranchMispredicts));
+    f.push_back(fieldOf("frontend.cold_mispredict_rate",
+                        &SimResult::coldBranchMispredRate));
+    f.push_back(fieldOf("frontend.tp_lookups", &SimResult::tpLookups));
+    f.push_back(fieldOf("frontend.tp_hits", &SimResult::tpHits));
+    f.push_back(fieldOf("frontend.tc_miss_after_predict",
+                        &SimResult::tcMissAfterPredict));
+    f.push_back(fieldOf("frontend.candidates", &SimResult::candidatesSeen));
+
+    f.push_back(fieldOf("optimizer.traces", &SimResult::tracesOptimized));
+    f.push_back(fieldOf("optimizer.static_uop_reduction",
+                        &SimResult::avgUopReduction));
+    f.push_back(fieldOf("optimizer.static_dep_reduction",
+                        &SimResult::avgDepReduction));
+    f.push_back(fieldOf("optimizer.optimized_executions",
+                        &SimResult::optimizedTraceExecutions));
+    f.push_back(fieldOf("optimizer.utilization",
+                        &SimResult::optimizerUtilization));
+    f.push_back(fieldOf("optimizer.dynamic_uop_reduction",
+                        &SimResult::dynamicUopReduction));
+
+    f.push_back(fieldOf("energy.dynamic", &SimResult::dynamicEnergy));
+    f.push_back(fieldOf("energy.leakage", &SimResult::leakageEnergy));
+    f.push_back(fieldOf("energy.total", &SimResult::totalEnergy));
+    f.push_back(fieldOf("energy.per_cycle", &SimResult::energyPerCycle));
+    for (unsigned u = 0; u < power::numPowerUnits; ++u)
+        f.push_back(unitFieldOf(u));
+
+    f.push_back(fieldOf("power.cmpw", &SimResult::cmpw));
+
+    f.push_back(fieldOf("memory.l1i.miss_ratio", &SimResult::l1iMissRate));
+    f.push_back(fieldOf("memory.l1d.miss_ratio", &SimResult::l1dMissRate));
+    f.push_back(fieldOf("memory.l2.miss_ratio", &SimResult::l2MissRate));
+
+    f.push_back(ResultField{
+        "cosim.enabled",
+        [](const SimResult &r) { return r.cosimEnabled ? 1.0 : 0.0; },
+        [](SimResult &r, double v) { r.cosimEnabled = v != 0.0; },
+    });
+    f.push_back(fieldOf("cosim.cold_commits", &SimResult::cosimColdCommits));
+    f.push_back(fieldOf("cosim.trace_commits",
+                        &SimResult::cosimTraceCommits));
+    f.push_back(fieldOf("cosim.mismatches", &SimResult::cosimMismatches));
+
+    return f;
+}
+
+} // namespace
+
+const std::vector<ResultField> &
+resultFields()
+{
+    static const std::vector<ResultField> fields = buildFields();
+    return fields;
+}
+
+const ResultField *
+findResultField(const std::string &key)
+{
+    static const std::map<std::string, const ResultField *> index = [] {
+        std::map<std::string, const ResultField *> m;
+        for (const auto &f : resultFields())
+            m.emplace(f.key, &f);
+        return m;
+    }();
+    auto it = index.find(key);
+    return it == index.end() ? nullptr : it->second;
+}
+
+void
+materializeResult(SimResult &out, const stats::Snapshot &snap)
+{
+    // Snapshot::get() fatals on a missing path, so any SimResult field
+    // whose tree path was never wired up fails loudly here.
+    for (const auto &f : resultFields())
+        f.set(out, snap.get(f.key));
+}
 
 void
 exportToRegistry(const SimResult &result, stats::Registry &registry,
@@ -11,57 +160,10 @@ exportToRegistry(const SimResult &result, stats::Registry &registry,
 {
     const std::string prefix = prefix_identity
         ? result.model + "." + result.app + "." : "";
-    auto put = [&](const char *key, double v) {
-        registry.set(prefix + key, v);
-    };
-
-    put("perf.insts", static_cast<double>(result.insts));
-    put("perf.uops", static_cast<double>(result.uops));
-    put("perf.cycles", static_cast<double>(result.cycles));
-    put("perf.ipc", result.ipc);
-    put("perf.upc", result.upc);
-
-    put("trace.coverage", result.coverage);
-    put("trace.inserted", static_cast<double>(result.tracesInserted));
-    put("trace.executions",
-        static_cast<double>(result.traceExecutions));
-    put("trace.predictions",
-        static_cast<double>(result.tracePredictions));
-    put("trace.aborts", static_cast<double>(result.traceMispredicts));
-    put("trace.abort_rate", result.traceMispredRate);
-
-    put("frontend.cold_branches",
-        static_cast<double>(result.coldCondBranches));
-    put("frontend.cold_mispredict_rate", result.coldBranchMispredRate);
-
-    put("optimizer.traces", static_cast<double>(result.tracesOptimized));
-    put("optimizer.uop_reduction", result.dynamicUopReduction);
-    put("optimizer.dep_reduction", result.avgDepReduction);
-    put("optimizer.utilization", result.optimizerUtilization);
-
-    put("energy.dynamic", result.dynamicEnergy);
-    put("energy.leakage", result.leakageEnergy);
-    put("energy.total", result.totalEnergy);
-    put("energy.per_cycle", result.energyPerCycle);
-    put("power.cmpw", result.cmpw);
-    for (unsigned u = 0; u < power::numPowerUnits; ++u) {
-        registry.set(prefix + "energy.unit." +
-                         power::powerUnitName(
-                             static_cast<power::PowerUnit>(u)),
-                     result.unitEnergy[u]);
-    }
-
-    put("cache.l1i_miss", result.l1iMissRate);
-    put("cache.l1d_miss", result.l1dMissRate);
-    put("cache.l2_miss", result.l2MissRate);
-
-    if (result.cosimEnabled) {
-        put("cosim.cold_commits",
-            static_cast<double>(result.cosimColdCommits));
-        put("cosim.trace_commits",
-            static_cast<double>(result.cosimTraceCommits));
-        put("cosim.mismatches",
-            static_cast<double>(result.cosimMismatches));
+    for (const auto &f : resultFields()) {
+        if (!result.cosimEnabled && f.key.rfind("cosim.", 0) == 0)
+            continue;
+        registry.set(prefix + f.key, f.get(result));
     }
 }
 

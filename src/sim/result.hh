@@ -2,17 +2,31 @@
  * @file
  * The metrics one simulation run produces — everything the paper's
  * figures need.
+ *
+ * SimResult is a thin typed view over the simulator's hierarchical
+ * stats tree: every numeric field corresponds to one dotted stats-tree
+ * path, listed in the resultFields() descriptor table. That table is
+ * the single source of truth driving generic materialization from a
+ * tree snapshot, the self-describing key=value bench-cache format and
+ * the registry export — so a field added to SimResult without a
+ * descriptor (or a descriptor without a tree path) is caught
+ * structurally, not silently dropped.
  */
 
 #ifndef PARROT_SIM_RESULT_HH
 #define PARROT_SIM_RESULT_HH
 
 #include <array>
+#include <functional>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "power/energy_model.hh"
 #include "power/events.hh"
+#include "stats/group.hh"
 #include "stats/stats.hh"
+#include "stats/timeseries.hh"
 
 namespace parrot::sim
 {
@@ -79,13 +93,44 @@ struct SimResult
     std::uint64_t cosimColdCommits = 0;  //!< cold boundaries compared
     std::uint64_t cosimTraceCommits = 0; //!< trace boundaries compared
     std::uint64_t cosimMismatches = 0;   //!< divergence events
+
+    /** Windowed time-series sampled every ModelConfig::statsInterval
+     * cycles; null when sampling was off. Never serialized. */
+    std::shared_ptr<const stats::TimeSeries> series;
 };
 
 /**
- * Publish every SimResult metric into a stats registry under dotted
- * keys ("perf.ipc", "energy.total", "trace.coverage", ...), prefixed by
- * "<model>.<app>." when prefix_identity is true. Gives harnesses and
- * external tooling a uniform, name-addressable view of a run.
+ * One entry of the SimResult field-descriptor table: the dotted
+ * stats-tree path the field is materialized from (also its
+ * serialization key and registry key) plus typed accessors.
+ */
+struct ResultField
+{
+    std::string key;
+    std::function<double(const SimResult &)> get;
+    std::function<void(SimResult &, double)> set;
+};
+
+/** The descriptor table: one entry per numeric SimResult field, in
+ * declaration order. Built once; never mutated. */
+const std::vector<ResultField> &resultFields();
+
+/** Find a descriptor by key; nullptr when unknown. */
+const ResultField *findResultField(const std::string &key);
+
+/**
+ * Fill every numeric field of `out` from a stats-tree snapshot. The
+ * snapshot must contain every descriptor key (a missing path is a
+ * wiring bug and fatal()s) — this is the structural anti-drift check
+ * between SimResult and the stats tree.
+ */
+void materializeResult(SimResult &out, const stats::Snapshot &snap);
+
+/**
+ * Publish every SimResult metric into a stats registry under its
+ * descriptor key ("perf.ipc", "energy.total", "trace.coverage", ...),
+ * prefixed by "<model>.<app>." when prefix_identity is true. The
+ * cosim.* keys are published only when the run had the oracle enabled.
  */
 void exportToRegistry(const SimResult &result,
                       class parrot::stats::Registry &registry,

@@ -25,7 +25,10 @@ loadWorkload(const workload::SuiteEntry &entry)
 
 ParrotSimulator::ParrotSimulator(const ModelConfig &config,
                                  const Workload &workload)
-    : cfg(config), load(workload)
+    : cfg(config), load(workload),
+      coldModel(config.coldCore.scaling()),
+      hotModel(config.splitCore ? config.hotCore.scaling()
+                                : config.coldCore.scaling())
 {
     cfg.validate();
     PARROT_ASSERT(load.program != nullptr, "simulator: missing program");
@@ -68,6 +71,201 @@ ParrotSimulator::ParrotSimulator(const ModelConfig &config,
     if (cfg.cosim ||
         (cosim_env && cosim_env[0] != '\0' && cosim_env[0] != '0')) {
         cosim = std::make_unique<verify::CosimOracle>();
+    }
+
+    regStats();
+}
+
+std::uint64_t
+ParrotSimulator::committedInsts() const
+{
+    return coldCorePtr->committedInsts() + hotInstsCommitted;
+}
+
+void
+ParrotSimulator::regStats()
+{
+    // perf.* — top-level derived metrics. The formulas reproduce the
+    // exact floating-point expressions the pre-tree result assembly
+    // used, so materialized SimResults stay bit-identical.
+    auto &perf = statsRoot.subgroup("perf");
+    auto insts_fn = [this] {
+        return static_cast<double>(committedInsts());
+    };
+    auto uops_fn = [this] {
+        return static_cast<double>(
+            coldCore().committedUops() +
+            (splitMode ? hotCorePtr->committedUops() : 0));
+    };
+    auto cycles_fn = [this] { return static_cast<double>(cycle); };
+    perf.addFormula("insts", insts_fn);
+    perf.addFormula("uops", uops_fn);
+    perf.addFormula("cycles", cycles_fn);
+    perf.addFormula("ipc", [this, insts_fn, cycles_fn] {
+        return cycle == 0 ? 0.0 : insts_fn() / cycles_fn();
+    });
+    perf.addFormula("upc", [this, uops_fn, cycles_fn] {
+        return cycle == 0 ? 0.0 : uops_fn() / cycles_fn();
+    });
+
+    // core.cold / core.hot — per-core retirement counters and raw
+    // power-event counts.
+    auto &core_group = statsRoot.subgroup("core");
+    auto &cold_group = core_group.subgroup("cold");
+    coldCorePtr->regStats(cold_group);
+    coldAcct.regStats(cold_group);
+    if (splitMode) {
+        auto &hot_group = core_group.subgroup("hot");
+        hotCorePtr->regStats(hot_group);
+        hotAcct.regStats(hot_group);
+    }
+
+    // frontend.* — cold fetch-side counters plus the branch predictor.
+    auto &fe = statsRoot.subgroup("frontend");
+    fe.add(&st.coldCondBranches);
+    fe.add(&st.coldBranchMispredicts);
+    fe.addFormula("cold_mispredict_rate", [this] {
+        return st.coldCondBranches.value() == 0
+            ? 0.0
+            : static_cast<double>(st.coldBranchMispredicts.value()) /
+                  st.coldCondBranches.value();
+    });
+    fe.add(&st.tpLookupCount);
+    fe.add(&st.tpHitCount);
+    fe.add(&st.tcMissAfterPredictCount);
+    fe.add(&st.candidateCount);
+    branchPredictor->regStats(fe.subgroup("bp"));
+
+    // memory.* — the cache hierarchy.
+    hierarchy->regStats(statsRoot.subgroup("memory"));
+
+    // trace.* — trace-unit counters; component subgroups exist only on
+    // models that have the trace unit, but the simulator-owned scalars
+    // (and so every SimResult path) exist on every model.
+    auto &tr = statsRoot.subgroup("trace");
+    tr.add(&st.uopsFromTraceCacheDispatched);
+    tr.add(&st.uopsFromColdDispatched);
+    tr.add(&st.instsFromTraceCache);
+    tr.addFormula("coverage", [this, insts_fn] {
+        return st.instsFromTraceCache.value() == 0
+            ? 0.0
+            : static_cast<double>(st.instsFromTraceCache.value()) /
+                  insts_fn();
+    });
+    tr.add(&st.tracePredictionsMade);
+    tr.add(&st.traceMispredictsSeen);
+    tr.addFormula("abort_rate", [this] {
+        return st.tracePredictionsMade.value() == 0
+            ? 0.0
+            : static_cast<double>(st.traceMispredictsSeen.value()) /
+                  st.tracePredictionsMade.value();
+    });
+    tr.add(&st.traceEndRedirects);
+    tr.add(&st.tracesInsertedCount);
+    tr.add(&st.traceExecutionsCount);
+    if (cfg.hasTraceCache) {
+        traceCache->regStats(tr.subgroup("cache"));
+        tracePredictor->regStats(tr.subgroup("predictor"));
+        selector->regStats(tr.subgroup("selector"));
+        hotFilter->regStats(tr.subgroup("hot_filter"));
+        blazeFilter->regStats(tr.subgroup("blaze_filter"));
+    }
+
+    // optimizer.* — run-level outcome stats plus the optimizer's own
+    // pass counters when present.
+    auto &opt = statsRoot.subgroup("optimizer");
+    opt.add(&st.tracesOptimizedCount);
+    opt.addFormula("static_uop_reduction", [this] {
+        return st.tracesOptimizedCount.value() == 0
+            ? 0.0
+            : st.sumUopReduction / st.tracesOptimizedCount.value();
+    });
+    opt.addFormula("static_dep_reduction", [this] {
+        return st.tracesOptimizedCount.value() == 0
+            ? 0.0
+            : st.sumDepReduction / st.tracesOptimizedCount.value();
+    });
+    opt.add(&st.optimizedTraceExecs);
+    opt.addFormula("utilization", [this] {
+        return st.tracesOptimizedCount.value() == 0
+            ? 0.0
+            : static_cast<double>(st.optimizedTraceExecs.value()) /
+                  st.tracesOptimizedCount.value();
+    });
+    opt.add(&st.hotExecUops);
+    opt.add(&st.hotExecOrigUops);
+    opt.addFormula("dynamic_uop_reduction", [this] {
+        return st.hotExecOrigUops.value() == 0
+            ? 0.0
+            : 1.0 - static_cast<double>(st.hotExecUops.value()) /
+                        static_cast<double>(st.hotExecOrigUops.value());
+    });
+    if (cfg.hasOptimizer)
+        traceOptimizer->regStats(opt.subgroup("unit"));
+
+    // energy.* — joules under the per-core energy models. Leakage needs
+    // the externally calibrated Pmax, which run() stores before any
+    // snapshot is taken.
+    auto &en = statsRoot.subgroup("energy");
+    auto dynamic_fn = [this] {
+        return coldAcct.dynamicEnergy(coldModel) +
+               hotAcct.dynamicEnergy(hotModel);
+    };
+    auto leakage_fn = [this] {
+        power::LeakageModel leak;
+        leak.pmaxPerCycle = pmaxPerCycle;
+        leak.l2MegaBytes = cfg.memory.l2MegaBytes();
+        leak.coreAreaFactor = cfg.coreAreaFactor;
+        return leak.leakageEnergy(static_cast<double>(cycle));
+    };
+    auto total_fn = [dynamic_fn, leakage_fn] {
+        return dynamic_fn() + leakage_fn();
+    };
+    en.addFormula("dynamic", dynamic_fn);
+    en.addFormula("leakage", leakage_fn);
+    en.addFormula("total", total_fn);
+    en.addFormula("per_cycle", [this, dynamic_fn] {
+        return cycle == 0
+            ? 0.0 : dynamic_fn() / static_cast<double>(cycle);
+    });
+    auto &unit = en.subgroup("unit");
+    for (unsigned u = 0; u < power::numPowerUnits; ++u) {
+        const auto pu = static_cast<power::PowerUnit>(u);
+        if (pu == power::PowerUnit::Leakage) {
+            unit.addFormula(power::powerUnitName(pu), leakage_fn);
+            continue;
+        }
+        unit.addFormula(power::powerUnitName(pu), [this, u] {
+            return coldAcct.unitBreakdown(coldModel)[u] +
+                   hotAcct.unitBreakdown(hotModel)[u];
+        });
+    }
+
+    // power.* — the paper's power-awareness figure of merit. Undefined
+    // until work has happened (mid-run window snapshots can observe
+    // the cycle-0 state); cubicMipsPerWatt asserts on zero inputs.
+    statsRoot.subgroup("power").addFormula(
+        "cmpw", [this, insts_fn, cycles_fn, total_fn] {
+            const double insts = insts_fn();
+            const double cycles = cycles_fn();
+            const double total = total_fn();
+            if (insts <= 0 || cycles <= 0 || total <= 0)
+                return 0.0;
+            return power::cubicMipsPerWatt(insts, cycles, total);
+        });
+
+    // cosim.* — oracle counters; zeros when the oracle is off so the
+    // paths (and the materialized SimResult fields) always exist.
+    auto &co = statsRoot.subgroup("cosim");
+    co.addFormula("enabled", [this] { return cosim ? 1.0 : 0.0; });
+    if (cosim) {
+        cosim->regStats(co);
+    } else {
+        for (const char *name :
+             {"cold_commits", "trace_commits", "uops_executed",
+              "mismatches"}) {
+            co.addFormula(name, [] { return 0.0; });
+        }
     }
 }
 
@@ -158,7 +356,7 @@ void
 ParrotSimulator::onCandidate(const TraceCandidate &cand)
 {
     auto &acct = hotAccount();
-    ++candidateCount;
+    st.candidateCount.add();
 
     // Continuous trace-predictor training on the committed TID stream.
     // Key on the two-back candidate: that is exactly the context the
@@ -182,7 +380,7 @@ ParrotSimulator::onCandidate(const TraceCandidate &cand)
     acct.record(PowerEvent::TcWrite, trace.uops.size());
     traceCache->insert(std::move(trace));
     hotFilter->reset(cand.tid);
-    ++tracesInsertedCount;
+    st.tracesInsertedCount.add();
 }
 
 void
@@ -190,11 +388,11 @@ ParrotSimulator::onTraceExecuted(Trace &trace)
 {
     auto &acct = hotAccount();
     ++trace.execCount;
-    ++traceExecutionsCount;
-    hotExecUops += trace.uops.size();
-    hotExecOrigUops += trace.originalUopCount;
+    st.traceExecutionsCount.add();
+    st.hotExecUops.add(trace.uops.size());
+    st.hotExecOrigUops.add(trace.originalUopCount);
     if (trace.optimized)
-        ++optimizedTraceExecs;
+        st.optimizedTraceExecs.add();
 
     if (!cfg.hasOptimizer || trace.optimized)
         return;
@@ -227,9 +425,9 @@ ParrotSimulator::processBackground()
                     static_cast<Counter>(result.uopsBefore) *
                         result.passesRun);
         acct.record(PowerEvent::TcWrite, trace.uops.size());
-        ++tracesOptimizedCount;
-        sumUopReduction += result.uopReduction();
-        sumDepReduction += result.depReduction();
+        st.tracesOptimizedCount.add();
+        st.sumUopReduction += result.uopReduction();
+        st.sumDepReduction += result.depReduction();
         traceCache->insert(std::move(trace));
     }
 }
@@ -244,18 +442,18 @@ ParrotSimulator::tryStartHotTrace()
     const Addr pc = lookahead.front().pc();
     Tid predicted;
     acct.record(PowerEvent::TpLookup);
-    ++tpLookupCount;
+    st.tpLookupCount.add();
     if (!tracePredictor->predict(trainPrevTid, pc, predicted))
         return false;
-    ++tpHitCount;
+    st.tpHitCount.add();
 
     auto trace = traceCache->lookup(predicted);
     if (!trace) {
-        ++tcMissAfterPredictCount;
+        st.tcMissAfterPredictCount.add();
         return false;
     }
 
-    ++tracePredictionsMade;
+    st.tracePredictionsMade.add();
 
     // Verify the predicted trace against the actual committed stream.
     const std::size_t path_len = trace->path.size();
@@ -286,7 +484,7 @@ ParrotSimulator::tryStartHotTrace()
         if (dyn.inst == ref.inst &&
             ref.inst->cti == isa::CtiType::CondBranch) {
             hotEndRedirect = true;
-            ++traceEndRedirects;
+            st.traceEndRedirects.add();
             match = path_len;
         }
     }
@@ -305,7 +503,7 @@ ParrotSimulator::tryStartHotTrace()
         // Assert failure: execute the poisoned prefix, then flush and
         // restore — the stream is *not* consumed; the cold pipeline
         // re-executes from the trace's start address.
-        ++traceMispredictsSeen;
+        st.traceMispredictsSeen.add();
         tracePredictor->mispredict(trainPrevTid, pc);
         ++trace->abortCount;
         // A trace that keeps aborting embeds an unstable path; evict
@@ -397,11 +595,11 @@ ParrotSimulator::hotDispatchCycle()
         return; // continue next cycle
 
     // Dispatch finished: close out the trace.
-    uopsFromTraceCacheDispatched += hotUopLimit;
+    st.uopsFromTraceCacheDispatched.add(hotUopLimit);
     if (!hotAborted) {
         pendingTraceCommits.push_back(
             TraceCommit{lastHotToken, activeTrace->path.size()});
-        instsFromTraceCache += activeTrace->path.size();
+        st.instsFromTraceCache.add(activeTrace->path.size());
         if (cosim)
             cosim->onTraceCommit(*activeTrace, activeWindow);
         onTraceExecuted(*activeTrace);
@@ -507,7 +705,7 @@ ParrotSimulator::coldCycle()
             }
         }
         uop_budget -= n_uops;
-        uopsFromColdDispatched += n_uops;
+        st.uopsFromColdDispatched.add(n_uops);
         ++dispatched_insts;
         lookahead.pop_front();
         if (cosim)
@@ -516,13 +714,13 @@ ParrotSimulator::coldCycle()
 
         // Control handling on the cold pipeline.
         if (inst.isCondBranch()) {
-            ++coldCondBranches;
+            st.coldCondBranches.add();
             acct.record(PowerEvent::BpLookup);
             acct.record(PowerEvent::BpUpdate);
             bool pred = branchPredictor->predict(inst.pc);
             branchPredictor->update(inst.pc, dyn.taken);
             if (pred != dyn.taken) {
-                ++coldBranchMispredicts;
+                st.coldBranchMispredicts.add();
                 PARROT_ASSERT(have_branch_token, "branch without token");
                 stallOnToken(core, branch_token,
                              core.config().mispredictPenalty);
@@ -558,7 +756,7 @@ ParrotSimulator::coldCycle()
         } else if (inst.cti == isa::CtiType::Return) {
             Addr predicted = branchPredictor->rasPop();
             if (predicted != dyn.nextPc) {
-                ++coldBranchMispredicts;
+                st.coldBranchMispredicts.add();
                 PARROT_ASSERT(have_branch_token, "return without token");
                 stallOnToken(core, branch_token,
                              core.config().mispredictPenalty);
@@ -571,7 +769,7 @@ ParrotSimulator::coldCycle()
             bool hit = branchPredictor->btbLookup(inst.pc, target);
             branchPredictor->btbInsert(inst.pc, dyn.nextPc);
             if (!hit || target != dyn.nextPc) {
-                ++coldBranchMispredicts;
+                st.coldBranchMispredicts.add();
                 PARROT_ASSERT(have_branch_token, "indirect without token");
                 stallOnToken(core, branch_token,
                              core.config().mispredictPenalty);
@@ -623,19 +821,70 @@ ParrotSimulator::stepCycle()
     reapTraceCommits();
 }
 
+/** Column schema of the sampled time-series. "w_"-prefixed columns
+ * are per-window deltas; the rest are cumulative values at the window
+ * boundary (so `coverage` ramps from 0 toward the run's final value). */
+static const std::vector<std::string> kWindowColumns = {
+    "cycle",          "w_cycles",        "w_insts",
+    "w_ipc",          "insts",           "coverage",
+    "w_coverage",     "w_uops_tc",       "w_uops_cold",
+    "traces_inserted", "traces_optimized",
+    "w_dynamic_energy", "dynamic_energy",
+};
+
+void
+ParrotSimulator::sampleWindow(stats::Snapshot &prev,
+                              stats::TimeSeries &series)
+{
+    stats::Snapshot snap = statsRoot.snapshot();
+    const double w_cycles = snap.delta(prev, "perf.cycles");
+    const double w_insts = snap.delta(prev, "perf.insts");
+    const double w_insts_tc = snap.delta(prev, "trace.insts_from_tc");
+    series.append({
+        snap.get("perf.cycles"),
+        w_cycles,
+        w_insts,
+        w_cycles == 0.0 ? 0.0 : w_insts / w_cycles,
+        snap.get("perf.insts"),
+        snap.get("trace.coverage"),
+        w_insts == 0.0 ? 0.0 : w_insts_tc / w_insts,
+        snap.delta(prev, "trace.uops_from_tc"),
+        snap.delta(prev, "trace.uops_from_cold"),
+        snap.get("trace.inserted"),
+        snap.get("optimizer.traces"),
+        snap.delta(prev, "energy.dynamic"),
+        snap.get("energy.dynamic"),
+    });
+    prev = std::move(snap);
+}
+
 SimResult
 ParrotSimulator::run(std::uint64_t inst_budget, double pmax_per_cycle)
 {
     PARROT_ASSERT(inst_budget > 0, "run: zero instruction budget");
 
-    const std::uint64_t cycle_cap = inst_budget * 40 + 200000;
-    auto committed = [&]() {
-        std::uint64_t cold = coldCore().committedInsts();
-        return cold + hotInstsCommitted;
-    };
+    // The leakage/total-energy formulas read this member; it must be in
+    // place before the first snapshot (window sampling included).
+    pmaxPerCycle = pmax_per_cycle;
 
-    while (committed() < inst_budget && cycle < cycle_cap)
+    const std::uint64_t cycle_cap = inst_budget * 40 + 200000;
+
+    // Windowed sampling: diff successive tree snapshots every
+    // statsInterval cycles. Purely observational — it reads the same
+    // counters and formulas the final result is materialized from.
+    const std::uint64_t interval = cfg.statsInterval;
+    std::shared_ptr<stats::TimeSeries> series;
+    stats::Snapshot prevWindow;
+    if (interval > 0) {
+        series = std::make_shared<stats::TimeSeries>(kWindowColumns);
+        prevWindow = statsRoot.snapshot();
+    }
+
+    while (committedInsts() < inst_budget && cycle < cycle_cap) {
         stepCycle();
+        if (interval > 0 && cycle % interval == 0)
+            sampleWindow(prevWindow, *series);
+    }
 
     if (cycle >= cycle_cap)
         PARROT_WARN("model %s on %s hit the cycle cap (possible stall)",
@@ -653,91 +902,15 @@ ParrotSimulator::run(std::uint64_t inst_budget, double pmax_per_cycle)
         reapTraceCommits();
     }
 
-    // --- assemble the result ---
+    // --- materialize the result from the stats tree ---
     SimResult r;
     r.model = cfg.name;
     r.app = load.profile.name;
-    r.insts = committed();
-    r.uops = coldCore().committedUops() +
-             (splitMode ? hotCorePtr->committedUops() : 0);
-    r.cycles = cycle;
-    r.ipc = static_cast<double>(r.insts) / static_cast<double>(r.cycles);
-    r.upc = static_cast<double>(r.uops) / static_cast<double>(r.cycles);
-
-    r.uopsFromTraceCache = uopsFromTraceCacheDispatched;
-    r.uopsFromColdPipe = uopsFromColdDispatched;
-    r.coverage = (instsFromTraceCache == 0)
-        ? 0.0
-        : static_cast<double>(instsFromTraceCache) /
-              static_cast<double>(r.insts);
-
-    r.coldCondBranches = coldCondBranches;
-    r.coldBranchMispredicts = coldBranchMispredicts;
-    r.coldBranchMispredRate = coldCondBranches == 0
-        ? 0.0
-        : static_cast<double>(coldBranchMispredicts) / coldCondBranches;
-    r.tracePredictions = tracePredictionsMade;
-    r.traceMispredicts = traceMispredictsSeen;
-    r.tpLookups = tpLookupCount;
-    r.tpHits = tpHitCount;
-    r.tcMissAfterPredict = tcMissAfterPredictCount;
-    r.candidatesSeen = candidateCount;
-    r.traceMispredRate = tracePredictionsMade == 0
-        ? 0.0
-        : static_cast<double>(traceMispredictsSeen) /
-              tracePredictionsMade;
-
-    r.tracesInserted = tracesInsertedCount;
-    r.traceExecutions = traceExecutionsCount;
-    r.tracesOptimized = tracesOptimizedCount;
-    r.avgUopReduction = tracesOptimizedCount == 0
-        ? 0.0 : sumUopReduction / tracesOptimizedCount;
-    r.avgDepReduction = tracesOptimizedCount == 0
-        ? 0.0 : sumDepReduction / tracesOptimizedCount;
-    r.optimizedTraceExecutions = optimizedTraceExecs;
-    r.optimizerUtilization = tracesOptimizedCount == 0
-        ? 0.0
-        : static_cast<double>(optimizedTraceExecs) / tracesOptimizedCount;
-    r.dynamicUopReduction = hotExecOrigUops == 0
-        ? 0.0
-        : 1.0 - static_cast<double>(hotExecUops) /
-                    static_cast<double>(hotExecOrigUops);
-
-    // --- energy ---
-    power::EnergyModel cold_model(cfg.coldCore.scaling());
-    power::EnergyModel hot_model(splitMode ? cfg.hotCore.scaling()
-                                           : cfg.coldCore.scaling());
-    r.dynamicEnergy = coldAcct.dynamicEnergy(cold_model) +
-                      hotAcct.dynamicEnergy(hot_model);
-    r.energyPerCycle = r.dynamicEnergy / static_cast<double>(r.cycles);
-
-    power::LeakageModel leak;
-    leak.pmaxPerCycle = pmax_per_cycle;
-    leak.l2MegaBytes = cfg.memory.l2MegaBytes();
-    leak.coreAreaFactor = cfg.coreAreaFactor;
-    r.leakageEnergy = leak.leakageEnergy(static_cast<double>(r.cycles));
-    r.totalEnergy = r.dynamicEnergy + r.leakageEnergy;
-
-    auto cold_units = coldAcct.unitBreakdown(cold_model);
-    auto hot_units = hotAcct.unitBreakdown(hot_model);
-    for (unsigned u = 0; u < power::numPowerUnits; ++u)
-        r.unitEnergy[u] = cold_units[u] + hot_units[u];
-    r.unitEnergy[static_cast<unsigned>(power::PowerUnit::Leakage)] =
-        r.leakageEnergy;
-
-    r.cmpw = power::cubicMipsPerWatt(static_cast<double>(r.insts),
-                                     static_cast<double>(r.cycles),
-                                     r.totalEnergy);
-
-    r.l1iMissRate = hierarchy->l1i().missRatio();
-    r.l1dMissRate = hierarchy->l1d().missRatio();
-    r.l2MissRate = hierarchy->l2().missRatio();
-
-    if (cosim) {
-        r.cosimEnabled = true;
-        r.cosimColdCommits = cosim->stats().coldCommits;
-        r.cosimTraceCommits = cosim->stats().traceCommits;
-        r.cosimMismatches = cosim->stats().mismatches;
+    materializeResult(r, statsRoot.snapshot());
+    if (interval > 0) {
+        // Final (possibly partial) window, including the drain cycles.
+        sampleWindow(prevWindow, *series);
+        r.series = series;
     }
     return r;
 }

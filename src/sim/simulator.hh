@@ -27,6 +27,8 @@
 #include "power/account.hh"
 #include "sim/model_config.hh"
 #include "sim/result.hh"
+#include "stats/group.hh"
+#include "stats/timeseries.hh"
 #include "tracecache/constructor.hh"
 #include "tracecache/filter.hh"
 #include "tracecache/predictor.hh"
@@ -65,6 +67,10 @@ class ParrotSimulator
      *        skip leakage (used during the calibration run itself).
      */
     SimResult run(std::uint64_t inst_budget, double pmax_per_cycle);
+
+    /** The per-simulation stats tree. Every metric SimResult carries is
+     * a path in this tree; reporting layers read it via snapshot(). */
+    const stats::Group &statsTree() const { return statsRoot; }
 
   private:
     enum class Mode { Cold, Hot };
@@ -203,26 +209,50 @@ class ParrotSimulator
     tracecache::Tid trainPrevPrevTid; //!< the one before that
 
     // --- statistics ---
-    std::uint64_t coldCondBranches = 0;
-    std::uint64_t coldBranchMispredicts = 0;
-    std::uint64_t tracePredictionsMade = 0;
-    std::uint64_t traceMispredictsSeen = 0;
-    std::uint64_t traceEndRedirects = 0;
-    std::uint64_t tpLookupCount = 0;
-    std::uint64_t tpHitCount = 0;
-    std::uint64_t tcMissAfterPredictCount = 0;
-    std::uint64_t candidateCount = 0;
-    std::uint64_t instsFromTraceCache = 0;
-    std::uint64_t uopsFromTraceCacheDispatched = 0;
-    std::uint64_t uopsFromColdDispatched = 0;
-    std::uint64_t tracesInsertedCount = 0;
-    std::uint64_t tracesOptimizedCount = 0;
-    double sumUopReduction = 0.0;
-    double sumDepReduction = 0.0;
-    std::uint64_t traceExecutionsCount = 0;
-    std::uint64_t optimizedTraceExecs = 0;
-    std::uint64_t hotExecUops = 0;
-    std::uint64_t hotExecOrigUops = 0;
+    /** Simulator-owned counters, registered into the stats tree by
+     * regStats(). Derived metrics (rates, energy, IPC) live in the tree
+     * as formulas over these and the component-owned stats. */
+    struct SimStats
+    {
+        stats::Scalar coldCondBranches{"cold_branches"};
+        stats::Scalar coldBranchMispredicts{"cold_mispredicts"};
+        stats::Scalar tracePredictionsMade{"predictions"};
+        stats::Scalar traceMispredictsSeen{"aborts"};
+        stats::Scalar traceEndRedirects{"end_redirects"};
+        stats::Scalar tpLookupCount{"tp_lookups"};
+        stats::Scalar tpHitCount{"tp_hits"};
+        stats::Scalar tcMissAfterPredictCount{"tc_miss_after_predict"};
+        stats::Scalar candidateCount{"candidates"};
+        stats::Scalar instsFromTraceCache{"insts_from_tc"};
+        stats::Scalar uopsFromTraceCacheDispatched{"uops_from_tc"};
+        stats::Scalar uopsFromColdDispatched{"uops_from_cold"};
+        stats::Scalar tracesInsertedCount{"inserted"};
+        stats::Scalar tracesOptimizedCount{"traces"};
+        stats::Scalar traceExecutionsCount{"executions"};
+        stats::Scalar optimizedTraceExecs{"optimized_executions"};
+        stats::Scalar hotExecUops{"hot_exec_uops"};
+        stats::Scalar hotExecOrigUops{"hot_exec_orig_uops"};
+        double sumUopReduction = 0.0;
+        double sumDepReduction = 0.0;
+    };
+    SimStats st;
+
+    /** Total committed macro-instructions (cold core + atomic traces). */
+    std::uint64_t committedInsts() const;
+
+    /** Build the stats tree: register every component's stats plus the
+     * derived formulas SimResult is materialized from. Called once at
+     * the end of construction. */
+    void regStats();
+
+    /** Append one window row (deltas against `prev`) to `series`. */
+    void sampleWindow(stats::Snapshot &prev, stats::TimeSeries &series);
+
+    stats::Group statsRoot;
+    power::EnergyModel coldModel;
+    power::EnergyModel hotModel;
+    /** Pmax for the leakage formulas; set by run() before sampling. */
+    double pmaxPerCycle = 0.0;
 };
 
 } // namespace parrot::sim

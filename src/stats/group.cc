@@ -1,0 +1,237 @@
+#include "stats/group.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace parrot::stats
+{
+
+double
+Snapshot::get(const std::string &path) const
+{
+    auto it = index.find(path);
+    PARROT_ASSERT(it != index.end(), "snapshot: no stat at path '%s'",
+                  path.c_str());
+    return entries[it->second].second;
+}
+
+double
+Snapshot::delta(const Snapshot &earlier, const std::string &path) const
+{
+    return get(path) - earlier.get(path);
+}
+
+Group &
+Group::subgroup(const std::string &name)
+{
+    PARROT_ASSERT(!name.empty() && name.find('.') == std::string::npos,
+                  "subgroup name '%s' must be non-empty and dot-free",
+                  name.c_str());
+    for (auto &child : children) {
+        if (child->groupName == name)
+            return *child;
+    }
+    children.emplace_back(new Group(this, name));
+    return *children.back();
+}
+
+std::string
+Group::path() const
+{
+    if (parent == nullptr)
+        return groupName; // root: usually ""
+    std::string prefix = parent->path();
+    return prefix.empty() ? groupName : prefix + "." + groupName;
+}
+
+std::string
+Group::pathOf(const std::string &stat_name) const
+{
+    std::string p = path();
+    return p.empty() ? stat_name : p + "." + stat_name;
+}
+
+void
+Group::checkName(const std::string &name) const
+{
+    PARROT_ASSERT(!name.empty(),
+                  "stat registered into group '%s' needs a name",
+                  path().c_str());
+    for (const auto &reg : stats) {
+        PARROT_ASSERT(reg.name != name,
+                      "duplicate stat '%s' in group '%s'", name.c_str(),
+                      path().c_str());
+    }
+}
+
+void
+Group::add(const Scalar *s, const std::string &name)
+{
+    Registered reg;
+    reg.kind = Kind::ScalarStat;
+    reg.name = name.empty() ? s->name() : name;
+    reg.scalar = s;
+    checkName(reg.name);
+    stats.push_back(std::move(reg));
+}
+
+void
+Group::add(const Ratio *r, const std::string &name)
+{
+    Registered reg;
+    reg.kind = Kind::RatioStat;
+    reg.name = name.empty() ? r->name() : name;
+    reg.ratio = r;
+    checkName(reg.name);
+    stats.push_back(std::move(reg));
+}
+
+void
+Group::add(const Histogram *h, const std::string &name)
+{
+    Registered reg;
+    reg.kind = Kind::HistogramStat;
+    reg.name = name.empty() ? h->name() : name;
+    reg.histogram = h;
+    checkName(reg.name);
+    stats.push_back(std::move(reg));
+}
+
+void
+Group::addFormula(const std::string &name, std::function<double()> fn)
+{
+    Registered reg;
+    reg.kind = Kind::FormulaStat;
+    reg.name = name;
+    reg.formula = std::move(fn);
+    checkName(reg.name);
+    stats.push_back(std::move(reg));
+}
+
+void
+Group::visitImpl(Visitor &v, const std::string &prefix) const
+{
+    auto join = [&](const std::string &name) {
+        return prefix.empty() ? name : prefix + "." + name;
+    };
+    for (const auto &reg : stats) {
+        const std::string p = join(reg.name);
+        switch (reg.kind) {
+          case Kind::ScalarStat:
+            v.onScalar(p, *reg.scalar);
+            break;
+          case Kind::RatioStat:
+            v.onRatio(p, *reg.ratio);
+            break;
+          case Kind::HistogramStat:
+            v.onHistogram(p, *reg.histogram);
+            break;
+          case Kind::FormulaStat:
+            v.onFormula(p, reg.formula());
+            break;
+        }
+    }
+    for (const auto &child : children)
+        child->visitImpl(v, join(child->groupName));
+}
+
+void
+Group::visit(Visitor &v) const
+{
+    visitImpl(v, groupName);
+}
+
+Snapshot
+Group::snapshot() const
+{
+    struct Flattener : Visitor
+    {
+        Snapshot snap;
+
+        void
+        onScalar(const std::string &path, const Scalar &s) override
+        {
+            snap.add(path, static_cast<double>(s.value()));
+        }
+
+        void
+        onRatio(const std::string &path, const Ratio &r) override
+        {
+            snap.add(path, r.value());
+            snap.add(path + ".num",
+                     static_cast<double>(r.numerator()));
+            snap.add(path + ".den",
+                     static_cast<double>(r.denominator()));
+        }
+
+        void
+        onHistogram(const std::string &path, const Histogram &h) override
+        {
+            snap.add(path + ".samples",
+                     static_cast<double>(h.totalSamples()));
+            snap.add(path + ".mean", h.mean());
+            snap.add(path + ".max",
+                     static_cast<double>(h.maxValue()));
+        }
+
+        void
+        onFormula(const std::string &path, double value) override
+        {
+            snap.add(path, value);
+        }
+    };
+
+    Flattener flat;
+    visit(flat);
+    return std::move(flat.snap);
+}
+
+std::string
+Group::dump() const
+{
+    struct Printer : Visitor
+    {
+        std::ostringstream out;
+
+        Printer() { out.precision(6); }
+
+        void
+        onScalar(const std::string &path, const Scalar &s) override
+        {
+            out << path << " " << s.value() << "\n";
+        }
+
+        void
+        onRatio(const std::string &path, const Ratio &r) override
+        {
+            // An unsampled ratio is unknown, not zero.
+            if (!r.valid()) {
+                out << path << " -\n";
+            } else {
+                out << path << " " << r.value() << " (" << r.numerator()
+                    << "/" << r.denominator() << ")\n";
+            }
+        }
+
+        void
+        onHistogram(const std::string &path, const Histogram &h) override
+        {
+            out << path << " samples=" << h.totalSamples()
+                << " mean=" << h.mean() << " max=" << h.maxValue()
+                << "\n";
+        }
+
+        void
+        onFormula(const std::string &path, double value) override
+        {
+            out << path << " " << value << "\n";
+        }
+    };
+
+    Printer printer;
+    visit(printer);
+    return printer.out.str();
+}
+
+} // namespace parrot::stats

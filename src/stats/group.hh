@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Hierarchical statistics: a gem5-style tree of named groups, each
+ * owning references to the component-resident Scalar/Ratio/Histogram
+ * stats plus derived Formula stats, addressable by dotted path
+ * ("core.cold.committed_uops", "trace.optimizer.uop_reduction").
+ *
+ * Ownership model: the *components* own their counters (so the hot
+ * paths touch plain members); a Group holds non-owning pointers plus
+ * the registration name. Formulas (arbitrary double-valued closures
+ * over those counters) are owned by the group. The per-simulation root
+ * group is the single source of truth every reporting layer —
+ * SimResult materialization, the bench cache, the CLI printers and the
+ * time-series sampler — reads through `snapshot()`.
+ */
+
+#ifndef PARROT_STATS_GROUP_HH
+#define PARROT_STATS_GROUP_HH
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "stats/stats.hh"
+
+namespace parrot::stats
+{
+
+/**
+ * A flattened, ordered view of a stats tree: (dotted path, value)
+ * pairs in registration order, with an index for name addressing.
+ * Scalars and formulas contribute one entry; a Ratio contributes its
+ * value plus ".num" / ".den" raw counters (so window deltas can
+ * recompute the ratio over any interval); a Histogram contributes
+ * ".samples", ".mean" and ".max".
+ */
+class Snapshot
+{
+  public:
+    void
+    add(const std::string &path, double v)
+    {
+        index.emplace(path, entries.size());
+        entries.emplace_back(path, v);
+    }
+
+    bool has(const std::string &path) const { return index.count(path); }
+
+    /** Value by path; panics when absent (a wiring bug). */
+    double get(const std::string &path) const;
+
+    /** This snapshot's value minus an earlier snapshot's (window
+     * delta). The path must exist in both. */
+    double delta(const Snapshot &earlier, const std::string &path) const;
+
+    const std::vector<std::pair<std::string, double>> &all() const
+    {
+        return entries;
+    }
+
+    bool empty() const { return entries.empty(); }
+
+  private:
+    std::vector<std::pair<std::string, double>> entries;
+    std::map<std::string, std::size_t> index;
+};
+
+/**
+ * One node of the stats tree. Groups form a tree by name; stats are
+ * registered into a group and visited depth-first in registration
+ * order. Non-copyable: components hand out pointers to their counters.
+ */
+class Group
+{
+  public:
+    /** Construct a root group (empty path). */
+    Group() = default;
+
+    Group(const Group &) = delete;
+    Group &operator=(const Group &) = delete;
+
+    /**
+     * Find or create the named child group. The name must be non-empty
+     * and free of '.' (paths are built by nesting, not by punning).
+     */
+    Group &subgroup(const std::string &name);
+
+    /** @name Registration.
+     * The stat object must outlive the group. The registered name
+     * defaults to the stat's own name and must be unique within the
+     * group (duplicate registration is a wiring bug and fatal()s).
+     * @{ */
+    void add(const Scalar *s, const std::string &name = "");
+    void add(const Ratio *r, const std::string &name = "");
+    void add(const Histogram *h, const std::string &name = "");
+    /** @} */
+
+    /** Register a derived stat: `fn` is evaluated at visit/snapshot
+     * time. The closure must outlive-safely capture its inputs. */
+    void addFormula(const std::string &name, std::function<double()> fn);
+
+    /** Depth-first visitation: own stats in registration order, then
+     * child groups in creation order. */
+    struct Visitor
+    {
+        virtual ~Visitor() = default;
+        virtual void onScalar(const std::string &path, const Scalar &s) = 0;
+        virtual void onRatio(const std::string &path, const Ratio &r) = 0;
+        virtual void onHistogram(const std::string &path,
+                                 const Histogram &h) = 0;
+        virtual void onFormula(const std::string &path, double value) = 0;
+    };
+    void visit(Visitor &v) const;
+
+    /** Flatten the subtree into a Snapshot (see Snapshot docs). */
+    Snapshot snapshot() const;
+
+    /**
+     * Human-readable dump, one "path value" line per stat. Ratios with
+     * no samples render as "-" (unsampled, not zero); sampled ratios
+     * also show the raw numerator/denominator.
+     */
+    std::string dump() const;
+
+    const std::string &name() const { return groupName; }
+
+  private:
+    Group(Group *parent_group, std::string group_name)
+        : groupName(std::move(group_name)), parent(parent_group)
+    {
+    }
+
+    /** Full dotted path of this group ("" for the root). */
+    std::string path() const;
+
+    /** Join this group's path with a stat name. */
+    std::string pathOf(const std::string &stat_name) const;
+
+    void visitImpl(Visitor &v, const std::string &prefix) const;
+
+    /** Reject empty/duplicate names. */
+    void checkName(const std::string &name) const;
+
+    enum class Kind { ScalarStat, RatioStat, HistogramStat, FormulaStat };
+    struct Registered
+    {
+        Kind kind;
+        std::string name;
+        const Scalar *scalar = nullptr;
+        const Ratio *ratio = nullptr;
+        const Histogram *histogram = nullptr;
+        std::function<double()> formula;
+    };
+
+    std::string groupName; //!< empty for the root
+    Group *parent = nullptr;
+    std::vector<Registered> stats;
+    std::vector<std::unique_ptr<Group>> children;
+};
+
+} // namespace parrot::stats
+
+#endif // PARROT_STATS_GROUP_HH

@@ -71,7 +71,16 @@ class Ratio
     Counter numerator() const { return numerCount; }
     Counter denominator() const { return denomCount; }
 
-    /** Ratio value; 0 when no samples have been recorded. */
+    /**
+     * True when at least one sample has been recorded. An unsampled
+     * ratio has no meaningful value — printers must render it as "-"
+     * rather than conflating it with a true 0.0 (e.g. an abort rate of
+     * zero aborts out of many predictions).
+     */
+    bool valid() const { return denomCount > 0; }
+
+    /** Ratio value; 0 when no samples have been recorded — check
+     * valid() to distinguish that case from a genuine 0.0. */
     double
     value() const
     {

@@ -1,0 +1,104 @@
+#include "stats/timeseries.hh"
+
+#include <cmath>
+#include <cstdint>
+#include <ostream>
+
+#include "common/logging.hh"
+
+namespace parrot::stats
+{
+
+namespace
+{
+
+/** Print a double as JSON (no NaN/Inf in JSON: emit null). */
+void
+jsonNumber(std::ostream &out, double v)
+{
+    if (!std::isfinite(v)) {
+        out << "null";
+        return;
+    }
+    // Integral values print without exponent noise; the rest with
+    // round-trippable precision.
+    if (v == static_cast<double>(static_cast<std::int64_t>(v)) &&
+        v >= -9.0e15 && v <= 9.0e15) {
+        out << static_cast<std::int64_t>(v);
+        return;
+    }
+    auto old = out.precision(17);
+    out << v;
+    out.precision(old);
+}
+
+} // namespace
+
+TimeSeries::TimeSeries(std::vector<std::string> column_names)
+    : cols(std::move(column_names))
+{
+    PARROT_ASSERT(!cols.empty(), "time series needs columns");
+}
+
+void
+TimeSeries::append(const std::vector<double> &row)
+{
+    PARROT_ASSERT(row.size() == cols.size(),
+                  "time series row has %zu cells, schema has %zu",
+                  row.size(), cols.size());
+    rows.push_back(row);
+}
+
+std::size_t
+TimeSeries::columnIndex(const std::string &name) const
+{
+    for (std::size_t i = 0; i < cols.size(); ++i) {
+        if (cols[i] == name)
+            return i;
+    }
+    PARROT_FATAL("time series has no column '%s'", name.c_str());
+}
+
+void
+TimeSeries::writeJson(std::ostream &out, const std::string &model,
+                      const std::string &app,
+                      std::uint64_t interval) const
+{
+    out << "{\"model\":\"" << model << "\",\"app\":\"" << app
+        << "\",\"interval\":" << interval << ",\"columns\":[";
+    for (std::size_t i = 0; i < cols.size(); ++i)
+        out << (i ? "," : "") << "\"" << cols[i] << "\"";
+    out << "],\"windows\":[";
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        out << (r ? ",[" : "[");
+        for (std::size_t c = 0; c < rows[r].size(); ++c) {
+            if (c)
+                out << ",";
+            jsonNumber(out, rows[r][c]);
+        }
+        out << "]";
+    }
+    out << "]}";
+}
+
+void
+TimeSeries::writeCsv(std::ostream &out, const std::string &model,
+                     const std::string &app, bool with_header) const
+{
+    if (with_header) {
+        out << "model,app";
+        for (const auto &c : cols)
+            out << "," << c;
+        out << "\n";
+    }
+    for (const auto &row : rows) {
+        out << model << "," << app;
+        for (double v : row) {
+            out << ",";
+            jsonNumber(out, v);
+        }
+        out << "\n";
+    }
+}
+
+} // namespace parrot::stats

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Windowed time-series of simulation metrics.
+ *
+ * The sampling layer of the stats architecture: every N cycles the
+ * simulator snapshots its stats tree, turns the snapshot delta into
+ * one row of derived per-window metrics, and appends it here. A
+ * TimeSeries is just named columns plus rows of doubles; the writers
+ * emit machine-readable JSON or CSV so the cold -> hot -> blazed
+ * coverage and energy ramp can be plotted per window.
+ */
+
+#ifndef PARROT_STATS_TIMESERIES_HH
+#define PARROT_STATS_TIMESERIES_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace parrot::stats
+{
+
+/** A fixed-column table of per-window samples. */
+class TimeSeries
+{
+  public:
+    TimeSeries() = default;
+
+    /** @param column_names the row schema (fixed at construction). */
+    explicit TimeSeries(std::vector<std::string> column_names);
+
+    /** Append one row; must match the column count. */
+    void append(const std::vector<double> &row);
+
+    const std::vector<std::string> &columns() const { return cols; }
+    std::size_t numWindows() const { return rows.size(); }
+    bool empty() const { return rows.empty(); }
+
+    /** Row by window index. */
+    const std::vector<double> &window(std::size_t i) const
+    {
+        return rows.at(i);
+    }
+
+    /** Column index by name; fatal()s when unknown. */
+    std::size_t columnIndex(const std::string &name) const;
+
+    /** One cell. */
+    double at(std::size_t window_idx, const std::string &column) const
+    {
+        return rows.at(window_idx).at(columnIndex(column));
+    }
+
+    /**
+     * Write one JSON object:
+     *   {"model":..,"app":..,"interval":N,
+     *    "columns":[..],"windows":[[..],..]}
+     * Doubles are printed with enough precision to round-trip.
+     */
+    void writeJson(std::ostream &out, const std::string &model,
+                   const std::string &app, std::uint64_t interval) const;
+
+    /** Write CSV: "model,app" prefix columns, then the series columns,
+     * one header line then one line per window. */
+    void writeCsv(std::ostream &out, const std::string &model,
+                  const std::string &app, bool with_header) const;
+
+  private:
+    std::vector<std::string> cols;
+    std::vector<std::vector<double>> rows;
+};
+
+} // namespace parrot::stats
+
+#endif // PARROT_STATS_TIMESERIES_HH

@@ -14,6 +14,8 @@
 
 #include "common/bitutil.hh"
 #include "common/logging.hh"
+#include "stats/group.hh"
+#include "stats/stats.hh"
 #include "tracecache/tid.hh"
 
 namespace parrot::tracecache
@@ -59,6 +61,7 @@ class CounterFilter
     unsigned
     bump(const Tid &tid)
     {
+        nBumps.add();
         const std::uint64_t key = tid.hash();
         const std::uint64_t set = key & (numSets - 1);
         Entry *way = &table[set * cfg.assoc];
@@ -110,9 +113,20 @@ class CounterFilter
         for (unsigned w = 0; w < cfg.assoc; ++w) {
             if (way[w].valid && way[w].key == key) {
                 way[w].count = 0;
+                nResets.add();
                 return;
             }
         }
+    }
+
+    /** Register filter-pressure counters into a stats-tree group. A
+     * reset follows each acted-upon promotion, so `resets` counts
+     * promotions that actually fired. */
+    void
+    regStats(stats::Group &group)
+    {
+        group.add(&nBumps);
+        group.add(&nResets);
     }
 
     const FilterConfig &config() const { return cfg; }
@@ -130,6 +144,9 @@ class CounterFilter
     std::vector<Entry> table;
     std::uint64_t numSets = 1;
     std::uint64_t stamp = 0;
+
+    stats::Scalar nBumps{"bumps"};
+    stats::Scalar nResets{"resets"};
 };
 
 } // namespace parrot::tracecache

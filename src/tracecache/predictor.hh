@@ -14,6 +14,7 @@
 
 #include "common/bitutil.hh"
 #include "common/logging.hh"
+#include "stats/group.hh"
 #include "stats/stats.hh"
 #include "tracecache/tid.hh"
 
@@ -65,6 +66,9 @@ class TracePredictor
 
     /** Lookups that produced a prediction. */
     Counter predictions() const { return nPredictions.value(); }
+
+    /** Register the prediction counter into a stats-tree group. */
+    void regStats(stats::Group &group) { group.add(&nPredictions, "predictions"); }
 
     const TracePredictorConfig &config() const { return cfg; }
 

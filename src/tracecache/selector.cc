@@ -118,7 +118,7 @@ TraceSelector::emitPending()
         return;
     ready.push_back(std::move(pending));
     hasPending = false;
-    ++nEmitted;
+    nEmitted.add();
 }
 
 bool

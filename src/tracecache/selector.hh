@@ -21,6 +21,8 @@
 #include <deque>
 #include <vector>
 
+#include "stats/group.hh"
+#include "stats/stats.hh"
 #include "workload/dyninst.hh"
 #include "tracecache/trace.hh"
 
@@ -56,7 +58,10 @@ class TraceSelector
     void flush();
 
     /** Candidates emitted so far. */
-    std::uint64_t emitted() const { return nEmitted; }
+    std::uint64_t emitted() const { return nEmitted.value(); }
+
+    /** Register the candidate-emission counter into a stats group. */
+    void regStats(stats::Group &group) { group.add(&nEmitted); }
 
   private:
     /** Close the in-progress trace and run the joining stage. */
@@ -78,7 +83,7 @@ class TraceSelector
     unsigned pendingUnitUops = 0;
 
     std::deque<TraceCandidate> ready;
-    std::uint64_t nEmitted = 0;
+    stats::Scalar nEmitted{"candidates_emitted"};
 };
 
 } // namespace parrot::tracecache

@@ -12,6 +12,7 @@
 
 #include "common/bitutil.hh"
 #include "common/logging.hh"
+#include "stats/group.hh"
 #include "stats/stats.hh"
 #include "tracecache/trace.hh"
 
@@ -68,6 +69,16 @@ class TraceCache
     Counter evictions() const { return nEvictions.value(); }
     Counter optimizedReplacements() const { return nOptReplaced.value(); }
     /** @} */
+
+    /** Register hit ratio and churn counters into a stats-tree group. */
+    void
+    regStats(stats::Group &group)
+    {
+        group.add(&hitRatio, "hit_ratio");
+        group.add(&nInsertions, "insertions");
+        group.add(&nEvictions, "evictions");
+        group.add(&nOptReplaced, "opt_replacements");
+    }
 
     const TraceCacheConfig &config() const { return cfg; }
 

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "isa/arch_state.hh"
+#include "stats/group.hh"
 #include "tracecache/trace.hh"
 #include "workload/dyninst.hh"
 
@@ -85,6 +86,24 @@ class CosimOracle
 
     /** True while no divergence has been observed. */
     bool clean() const { return st.mismatches == 0; }
+
+    /** Register the oracle counters into a stats-tree group. */
+    void
+    regStats(stats::Group &group)
+    {
+        group.addFormula("cold_commits", [this] {
+            return static_cast<double>(st.coldCommits);
+        });
+        group.addFormula("trace_commits", [this] {
+            return static_cast<double>(st.traceCommits);
+        });
+        group.addFormula("uops_executed", [this] {
+            return static_cast<double>(st.uopsExecuted);
+        });
+        group.addFormula("mismatches", [this] {
+            return static_cast<double>(st.mismatches);
+        });
+    }
 
     /** Read-only views for tests. */
     const isa::ArchState &referenceState() const { return ref; }

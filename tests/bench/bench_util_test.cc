@@ -4,14 +4,28 @@
 
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 
 #include "bench_util.hh"
+#include "sim/result.hh"
 
 namespace
 {
 
 using namespace parrot;
 using namespace parrot::bench;
+
+/** The v2 header line the store writes (version + ordered keys). */
+std::string
+expectedHeader()
+{
+    std::string h = "# parrot-bench-cache v2";
+    for (const auto &f : sim::resultFields()) {
+        h += ' ';
+        h += f.key;
+    }
+    return h;
+}
 
 TEST(ResultStoreTest, MemoizesAcrossInstances)
 {
@@ -27,21 +41,84 @@ TEST(ResultStoreTest, MemoizesAcrossInstances)
         EXPECT_GT(first.ipc, 0.0);
     }
     // A fresh instance must read the same result from disk (without
-    // re-simulating: identical to the last digit).
+    // re-simulating: every field identical to the last bit).
     {
         ResultStore store(path);
         sim::SimResult second = store.get("N", entry);
-        EXPECT_EQ(second.cycles, first.cycles);
-        EXPECT_DOUBLE_EQ(second.ipc, first.ipc);
-        EXPECT_DOUBLE_EQ(second.totalEnergy, first.totalEnergy);
-        EXPECT_DOUBLE_EQ(second.cmpw, first.cmpw);
         EXPECT_EQ(second.model, "N");
         EXPECT_EQ(second.app, "word");
-        for (unsigned u = 0; u < power::numPowerUnits; ++u)
-            EXPECT_DOUBLE_EQ(second.unitEnergy[u], first.unitEnergy[u]);
+        for (const auto &f : sim::resultFields())
+            EXPECT_EQ(f.get(second), f.get(first)) << f.key;
     }
     std::remove(path.c_str());
     unsetenv("PARROT_BENCH_INSTS");
+}
+
+TEST(ResultStoreTest, StaleHeaderDiscardsWholeCache)
+{
+    const std::string path = "test_bench_cache3.tmp";
+    {
+        std::ofstream out(path);
+        out << "# parrot-bench-cache v1 some old field list\n";
+        out << "N/word/20000\tperf.insts=1\n";
+    }
+    setenv("PARROT_BENCH_INSTS", "20000", 1);
+    ResultStore store(path);
+    // The mismatched file must be gone, not partially salvaged.
+    std::ifstream in(path);
+    EXPECT_FALSE(in.good());
+    unsetenv("PARROT_BENCH_INSTS");
+    std::remove(path.c_str());
+}
+
+TEST(ResultStoreTest, SelfDescribingRecordParsesInAnyOrder)
+{
+    const std::string path = "test_bench_cache4.tmp";
+    const auto &fields = sim::resultFields();
+    {
+        std::ofstream out(path);
+        out << expectedHeader() << '\n';
+        // Synthetic record with field i carrying value i+1, written in
+        // REVERSE key order: the reader must go by name, not position.
+        out << "N/word/20000\t";
+        for (std::size_t i = fields.size(); i-- > 0;) {
+            out << fields[i].key << '=' << (i + 1);
+            if (i > 0)
+                out << ' ';
+        }
+        out << '\n';
+    }
+    setenv("PARROT_BENCH_INSTS", "20000", 1);
+    ResultStore store(path);
+    sim::SimResult r = store.get("N", workload::findApp("word"));
+    EXPECT_EQ(r.model, "N");
+    EXPECT_EQ(r.app, "word");
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+        // cosim.enabled is a bool: any non-zero stores as 1.
+        double expect = fields[i].key == "cosim.enabled"
+            ? 1.0 : static_cast<double>(i + 1);
+        EXPECT_EQ(fields[i].get(r), expect) << fields[i].key;
+    }
+    unsetenv("PARROT_BENCH_INSTS");
+    std::remove(path.c_str());
+}
+
+TEST(ResultStoreTest, TruncatedRecordIgnored)
+{
+    const std::string path = "test_bench_cache5.tmp";
+    {
+        std::ofstream out(path);
+        out << expectedHeader() << '\n';
+        // A record cut short (e.g. by a killed run) must not produce a
+        // half-filled result; the store re-simulates instead.
+        out << "N/word/20000\tperf.insts=1 perf.uops=2\n";
+    }
+    setenv("PARROT_BENCH_INSTS", "20000", 1);
+    ResultStore store(path);
+    sim::SimResult r = store.get("N", workload::findApp("word"));
+    EXPECT_GT(r.cycles, 2u); // a real simulation, not the stub line
+    unsetenv("PARROT_BENCH_INSTS");
+    std::remove(path.c_str());
 }
 
 TEST(ResultStoreTest, CorruptLinesIgnored)

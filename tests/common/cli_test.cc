@@ -1,0 +1,82 @@
+/** @file Unit tests for the shared strict CLI argument parsers. */
+
+#include <gtest/gtest.h>
+
+#include "common/cli.hh"
+
+namespace
+{
+
+using namespace parrot;
+
+TEST(CliParseTest, U64AcceptsPlainIntegers)
+{
+    EXPECT_EQ(cli::parseU64("--insts", "0"), 0u);
+    EXPECT_EQ(cli::parseU64("--insts", "600000"), 600000u);
+    EXPECT_EQ(cli::parseU64("--insts", "18446744073709551615"),
+              UINT64_MAX);
+}
+
+TEST(CliParseDeathTest, U64RejectsMalformedValues)
+{
+    EXPECT_EXIT(cli::parseU64("--insts", ""),
+                testing::ExitedWithCode(2), "bad value");
+    EXPECT_EXIT(cli::parseU64("--insts", "12x"),
+                testing::ExitedWithCode(2), "--insts");
+    EXPECT_EXIT(cli::parseU64("--insts", "1e6"),
+                testing::ExitedWithCode(2), "bad value");
+    EXPECT_EXIT(cli::parseU64("--insts", "-3"),
+                testing::ExitedWithCode(2), "non-negative");
+    EXPECT_EXIT(cli::parseU64("--insts", "99999999999999999999999"),
+                testing::ExitedWithCode(2), "bad value");
+}
+
+TEST(CliParseTest, U32AcceptsInRangeValues)
+{
+    EXPECT_EQ(cli::parseU32("--jobs", "4"), 4u);
+    EXPECT_EQ(cli::parseU32("--jobs", "4294967295"), 4294967295u);
+}
+
+TEST(CliParseDeathTest, U32RejectsOutOfRange)
+{
+    EXPECT_EXIT(cli::parseU32("--jobs", "4294967296"),
+                testing::ExitedWithCode(2), "32 bits");
+    EXPECT_EXIT(cli::parseU32("--jobs", "banana"),
+                testing::ExitedWithCode(2), "--jobs");
+}
+
+TEST(CliParseTest, F64AcceptsNumbers)
+{
+    EXPECT_DOUBLE_EQ(cli::parseF64("--pmax", "2.5"), 2.5);
+    EXPECT_DOUBLE_EQ(cli::parseF64("--pmax", "-1.5"), -1.5);
+    EXPECT_DOUBLE_EQ(cli::parseF64("--pmax", "1e3"), 1000.0);
+}
+
+TEST(CliParseDeathTest, F64RejectsTrailingJunk)
+{
+    EXPECT_EXIT(cli::parseF64("--pmax", "1.5x"),
+                testing::ExitedWithCode(2), "bad value");
+    EXPECT_EXIT(cli::parseF64("--pmax", ""),
+                testing::ExitedWithCode(2), "a number");
+}
+
+TEST(CliParseTest, NeedValueReturnsNextArgAndAdvances)
+{
+    char flag[] = "--jobs";
+    char value[] = "8";
+    char *argv[] = {flag, flag, value};
+    int i = 1;
+    EXPECT_STREQ(cli::needValue(3, argv, i), "8");
+    EXPECT_EQ(i, 2);
+}
+
+TEST(CliParseDeathTest, NeedValueAtEndOfArgvExits)
+{
+    char flag[] = "--jobs";
+    char *argv[] = {flag, flag};
+    int i = 1;
+    EXPECT_EXIT(cli::needValue(2, argv, i), testing::ExitedWithCode(2),
+                "missing value for --jobs");
+}
+
+} // namespace

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Anti-drift tests binding SimResult, the stats tree and the
+ * self-describing serialization together: every SimResult field must
+ * be a live path in the tree, the key=value encoding must round-trip
+ * bit-exactly, and turning on window sampling must not perturb the
+ * simulation's results.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "sim/result.hh"
+#include "sim/simulator.hh"
+#include "workload/apps.hh"
+
+namespace
+{
+
+using namespace parrot;
+using sim::SimResult;
+
+constexpr std::uint64_t kInsts = 20000;
+constexpr double kPmax = 250.0;
+
+SimResult
+runModel(const std::string &model, unsigned stats_interval)
+{
+    sim::ModelConfig cfg = sim::ModelConfig::make(model);
+    cfg.statsInterval = stats_interval;
+    sim::Workload w = sim::loadWorkload(workload::findApp("word"));
+    sim::ParrotSimulator s(cfg, w);
+    return s.run(kInsts, kPmax);
+}
+
+TEST(StatsTreeTest, TreeCoversEveryResultField)
+{
+    for (const char *model : {"N", "TON"}) {
+        sim::ModelConfig cfg = sim::ModelConfig::make(model);
+        sim::Workload w = sim::loadWorkload(workload::findApp("word"));
+        sim::ParrotSimulator s(cfg, w);
+        s.run(kInsts, kPmax);
+
+        stats::Snapshot snap = s.statsTree().snapshot();
+        std::string dumped = s.statsTree().dump();
+        for (const auto &f : sim::resultFields()) {
+            EXPECT_TRUE(snap.has(f.key))
+                << f.key << " missing from " << model << " stats tree";
+            EXPECT_NE(dumped.find(f.key), std::string::npos)
+                << f.key << " missing from " << model << " dump";
+        }
+    }
+}
+
+TEST(StatsTreeTest, KeyValueSerializationRoundTripsBitExactly)
+{
+    SimResult r = runModel("TON", 0);
+
+    // Encode exactly the way the bench cache does: precision-17
+    // key=value pairs in descriptor-table order.
+    std::ostringstream out;
+    out.precision(17);
+    for (const auto &f : sim::resultFields())
+        out << f.key << '=' << f.get(r) << ' ';
+
+    SimResult parsed;
+    std::istringstream in(out.str());
+    std::string token;
+    std::size_t seen = 0;
+    while (in >> token) {
+        auto eq = token.find('=');
+        ASSERT_NE(eq, std::string::npos) << token;
+        const sim::ResultField *f =
+            sim::findResultField(token.substr(0, eq));
+        ASSERT_NE(f, nullptr) << token;
+        f->set(parsed, std::strtod(token.c_str() + eq + 1, nullptr));
+        ++seen;
+    }
+    ASSERT_EQ(seen, sim::resultFields().size());
+
+    for (const auto &f : sim::resultFields())
+        EXPECT_EQ(f.get(parsed), f.get(r)) << f.key;
+}
+
+TEST(StatsTreeTest, SamplingDoesNotPerturbResults)
+{
+    SimResult off = runModel("TON", 0);
+    SimResult on = runModel("TON", 2000);
+
+    EXPECT_EQ(off.series, nullptr);
+    ASSERT_NE(on.series, nullptr);
+    EXPECT_GT(on.series->numWindows(), 1u);
+
+    for (const auto &f : sim::resultFields())
+        EXPECT_EQ(f.get(on), f.get(off)) << f.key;
+}
+
+TEST(StatsTreeTest, WindowSeriesShowsCoverageRamp)
+{
+    SimResult r = runModel("TON", 1000);
+    ASSERT_NE(r.series, nullptr);
+    const auto &ts = *r.series;
+    ASSERT_GT(ts.numWindows(), 2u);
+
+    // Cycle stamps strictly increase and the cumulative coverage
+    // column ramps from cold (first window, nothing cached yet) to the
+    // run's final coverage in the last window.
+    for (std::size_t i = 1; i < ts.numWindows(); ++i)
+        EXPECT_LT(ts.at(i - 1, "cycle"), ts.at(i, "cycle"));
+    EXPECT_LT(ts.at(0, "coverage"),
+              ts.at(ts.numWindows() - 1, "coverage"));
+    EXPECT_DOUBLE_EQ(ts.at(ts.numWindows() - 1, "coverage"),
+                     r.coverage);
+}
+
+} // namespace

@@ -1,0 +1,154 @@
+/** @file Unit tests for the hierarchical stats tree. */
+
+#include <gtest/gtest.h>
+
+#include "stats/group.hh"
+#include "stats/stats.hh"
+
+namespace
+{
+
+using namespace parrot::stats;
+
+TEST(GroupTest, DottedPathsFollowNesting)
+{
+    Group root;
+    Scalar committed{"committed_uops"};
+    committed.add(7);
+    root.subgroup("core").subgroup("cold").add(&committed);
+
+    Snapshot snap = root.snapshot();
+    EXPECT_TRUE(snap.has("core.cold.committed_uops"));
+    EXPECT_DOUBLE_EQ(snap.get("core.cold.committed_uops"), 7.0);
+}
+
+TEST(GroupTest, RegistrationNameOverride)
+{
+    Group root;
+    Scalar s{"internal_name"};
+    s.add(3);
+    root.add(&s, "public_name");
+
+    Snapshot snap = root.snapshot();
+    EXPECT_TRUE(snap.has("public_name"));
+    EXPECT_FALSE(snap.has("internal_name"));
+}
+
+TEST(GroupTest, RatioContributesRawCounters)
+{
+    Group root;
+    Ratio hits{"hit_ratio"};
+    hits.add(3, 4);
+    root.add(&hits);
+
+    Snapshot snap = root.snapshot();
+    EXPECT_DOUBLE_EQ(snap.get("hit_ratio"), 0.75);
+    EXPECT_DOUBLE_EQ(snap.get("hit_ratio.num"), 3.0);
+    EXPECT_DOUBLE_EQ(snap.get("hit_ratio.den"), 4.0);
+}
+
+TEST(GroupTest, HistogramContributesSummary)
+{
+    Group root;
+    Histogram h{"latency", 4, 10};
+    h.sample(5);
+    h.sample(15);
+    root.add(&h);
+
+    Snapshot snap = root.snapshot();
+    EXPECT_DOUBLE_EQ(snap.get("latency.samples"), 2.0);
+    EXPECT_DOUBLE_EQ(snap.get("latency.mean"), 10.0);
+    EXPECT_DOUBLE_EQ(snap.get("latency.max"), 15.0);
+}
+
+TEST(GroupTest, FormulaEvaluatedAtSnapshotTime)
+{
+    Group root;
+    Scalar n{"n"};
+    root.add(&n);
+    root.addFormula("twice_n", [&n] { return 2.0 * n.value(); });
+
+    n.add(5);
+    EXPECT_DOUBLE_EQ(root.snapshot().get("twice_n"), 10.0);
+    n.add(5);
+    EXPECT_DOUBLE_EQ(root.snapshot().get("twice_n"), 20.0);
+}
+
+TEST(GroupTest, SnapshotPreservesRegistrationOrder)
+{
+    Group root;
+    Scalar a{"a"}, b{"b"}, c{"c"};
+    root.add(&b);
+    root.subgroup("sub").add(&c);
+    root.add(&a); // own stats still precede child groups
+
+    Snapshot snap = root.snapshot();
+    const auto &entries = snap.all();
+    ASSERT_EQ(entries.size(), 3u);
+    EXPECT_EQ(entries[0].first, "b");
+    EXPECT_EQ(entries[1].first, "a");
+    EXPECT_EQ(entries[2].first, "sub.c");
+}
+
+TEST(GroupTest, DeltaComputesWindowDifference)
+{
+    Group root;
+    Scalar n{"n"};
+    root.add(&n);
+
+    n.add(10);
+    Snapshot before = root.snapshot();
+    n.add(32);
+    Snapshot after = root.snapshot();
+    EXPECT_DOUBLE_EQ(after.delta(before, "n"), 32.0);
+}
+
+TEST(GroupDeathTest, DuplicateNameIsFatal)
+{
+    Group root;
+    Scalar a{"x"}, b{"x"};
+    root.add(&a);
+    EXPECT_DEATH(root.add(&b), "x");
+}
+
+TEST(GroupDeathTest, SubgroupNameWithDotIsFatal)
+{
+    Group root;
+    EXPECT_DEATH(root.subgroup("a.b"), ".");
+}
+
+TEST(GroupDeathTest, SnapshotGetMissingPathIsFatal)
+{
+    Group root;
+    Snapshot snap = root.snapshot();
+    EXPECT_DEATH(snap.get("no.such.path"), "no.such.path");
+}
+
+TEST(GroupTest, DumpRendersUnsampledRatioAsDash)
+{
+    Group root;
+    Ratio r{"abort_rate"};
+    root.add(&r);
+
+    // Zero samples: "-", not a misleading 0.
+    EXPECT_NE(root.dump().find("abort_rate -"), std::string::npos);
+
+    // One miss out of one sample: a genuine 0.0, rendered numerically.
+    r.sample(false);
+    std::string dumped = root.dump();
+    EXPECT_EQ(dumped.find("abort_rate -"), std::string::npos);
+    EXPECT_NE(dumped.find("abort_rate 0"), std::string::npos);
+}
+
+TEST(RatioTest, ValidDistinguishesUnsampledFromZero)
+{
+    Ratio r{"r"};
+    EXPECT_FALSE(r.valid());
+    EXPECT_DOUBLE_EQ(r.value(), 0.0);
+
+    r.sample(false);
+    EXPECT_TRUE(r.valid());
+    EXPECT_DOUBLE_EQ(r.value(), 0.0); // a real zero now
+}
+
+} // namespace
