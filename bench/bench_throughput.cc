@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Simulator-throughput harness: host-MIPS (millions of simulated
+ * instructions per host second) per model, the number every hot-path
+ * optimization is judged by.
+ *
+ * Methodology:
+ *  - each (model, app) pair is constructed once per repeat, and only
+ *    ParrotSimulator::run() is timed — workload generation and stats
+ *    registration are setup cost, not steady-state throughput;
+ *  - best-of-N wall time is reported (minimum is the standard estimator
+ *    for noise-free capability on a shared machine);
+ *  - a fixed integer-mixing loop is timed as `host_score` so CI can
+ *    normalize MIPS across machines of different speeds before
+ *    comparing against the committed baseline.
+ *
+ * Output: a human table on stdout and BENCH_throughput.json (see
+ * EXPERIMENTS.md for the CI perf-smoke recipe).
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/cli.hh"
+#include "common/logging.hh"
+#include "sim/model_config.hh"
+#include "sim/simulator.hh"
+#include "workload/apps.hh"
+
+namespace
+{
+
+using namespace parrot;
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/**
+ * A deterministic integer-mixing loop (xorshift-style) timed as a
+ * machine-speed proxy. Returns mega-iterations per second; CI divides
+ * MIPS by this to compare runs from different hosts.
+ */
+double
+hostScore()
+{
+    constexpr std::uint64_t kIters = 50'000'000;
+    double best = 0.0;
+    for (int rep = 0; rep < 3; ++rep) {
+        volatile std::uint64_t sink = 0;
+        std::uint64_t x = 0x9e3779b97f4a7c15ull;
+        auto start = Clock::now();
+        for (std::uint64_t i = 0; i < kIters; ++i) {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+        }
+        sink = x;
+        (void)sink;
+        double score =
+            static_cast<double>(kIters) / 1e6 / secondsSince(start);
+        if (score > best)
+            best = score;
+    }
+    return best;
+}
+
+struct Row
+{
+    std::string model;
+    std::string app;
+    std::uint64_t insts = 0;
+    double bestSecs = 0.0;
+    double mips = 0.0;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::uint64_t insts = 400000;
+    unsigned repeat = 3;
+    std::string app = "swim";
+    std::string out_path = "BENCH_throughput.json";
+    std::vector<std::string> models = {"N", "W", "TON", "TOW"};
+
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (!std::strcmp(arg, "--insts")) {
+            insts = cli::parseU64(arg, cli::needValue(argc, argv, i));
+        } else if (!std::strcmp(arg, "--repeat")) {
+            repeat = cli::parseU32(arg, cli::needValue(argc, argv, i));
+        } else if (!std::strcmp(arg, "--app")) {
+            app = cli::needValue(argc, argv, i);
+        } else if (!std::strcmp(arg, "--out")) {
+            out_path = cli::needValue(argc, argv, i);
+        } else if (!std::strcmp(arg, "--models")) {
+            // Comma-separated list, e.g. --models N,TON
+            models.clear();
+            std::string list = cli::needValue(argc, argv, i);
+            std::size_t pos = 0;
+            while (pos != std::string::npos) {
+                std::size_t comma = list.find(',', pos);
+                std::string m = list.substr(
+                    pos, comma == std::string::npos ? comma
+                                                    : comma - pos);
+                if (!m.empty())
+                    models.push_back(m);
+                pos = comma == std::string::npos ? comma : comma + 1;
+            }
+        } else {
+            std::fprintf(stderr,
+                         "unknown option '%s' (supported: --insts N, "
+                         "--repeat N, --app NAME, --models A,B, "
+                         "--out PATH)\n",
+                         arg);
+            return 2;
+        }
+    }
+    if (insts == 0 || repeat == 0 || models.empty()) {
+        std::fprintf(stderr, "nothing to measure\n");
+        return 2;
+    }
+
+    const double host_score = hostScore();
+    std::printf("host_score %.1f Mmix/s\n", host_score);
+
+    sim::Workload workload = sim::loadWorkload(workload::findApp(app));
+
+    std::vector<Row> rows;
+    for (const auto &model : models) {
+        Row row;
+        row.model = model;
+        row.app = app;
+        for (unsigned r = 0; r < repeat; ++r) {
+            // Fresh simulator per repeat: steady-state throughput of
+            // one simulation, not warm-cache reuse across runs.
+            sim::ModelConfig cfg = sim::ModelConfig::make(model);
+            sim::ParrotSimulator s(cfg, workload);
+            auto start = Clock::now();
+            sim::SimResult res = s.run(insts, /*pmax_per_cycle=*/0.0);
+            double secs = secondsSince(start);
+            row.insts = res.insts;
+            if (r == 0 || secs < row.bestSecs)
+                row.bestSecs = secs;
+        }
+        row.mips = static_cast<double>(row.insts) / 1e6 / row.bestSecs;
+        rows.push_back(row);
+        std::printf("%-5s %-10s %9llu insts  best %.3fs  %7.2f MIPS\n",
+                    row.model.c_str(), row.app.c_str(),
+                    static_cast<unsigned long long>(row.insts),
+                    row.bestSecs, row.mips);
+    }
+
+    std::ofstream out(out_path);
+    if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+        return 2;
+    }
+    out.precision(6);
+    out << "{\n  \"host_score\": " << host_score
+        << ",\n  \"insts\": " << insts << ",\n  \"app\": \"" << app
+        << "\",\n  \"repeat\": " << repeat << ",\n  \"results\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Row &r = rows[i];
+        out << "    {\"model\": \"" << r.model << "\", \"mips\": "
+            << r.mips << ", \"best_secs\": " << r.bestSecs
+            << ", \"insts\": " << r.insts << "}"
+            << (i + 1 < rows.size() ? ",\n" : "\n");
+    }
+    out << "  ]\n}\n";
+    out.flush();
+    if (!out) {
+        std::fprintf(stderr, "write failed: %s\n", out_path.c_str());
+        return 2;
+    }
+    return 0;
+}

@@ -285,6 +285,13 @@ main(int argc, char **argv)
             }
             out << "\n]\n";
         }
+        // A full disk or yanked mount surfaces here, not at open.
+        out.flush();
+        if (!out) {
+            std::fprintf(stderr, "write failed: %s\n",
+                         stats_out.c_str());
+            return 2;
+        }
     }
     return cosim_mismatches == 0 ? 0 : 1;
 }

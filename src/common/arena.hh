@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Per-simulation bump arena and typed node pool.
+ *
+ * The cycle loop used to pay a heap allocation (and later a free) for
+ * every transient object it touched: ROB dependence links, lookahead
+ * buffers, fetch windows. An Arena turns all of those into pointer
+ * bumps inside chunks that live exactly as long as the simulation, so
+ * the steady-state cycle loop performs no heap traffic at all.
+ *
+ * Lifetime rules (see DESIGN.md §11):
+ *  - an Arena is owned by exactly one simulation component and is
+ *    destroyed (releasing every chunk) with it;
+ *  - arena memory is never freed individually — NodePool recycles
+ *    nodes through an index freelist instead;
+ *  - nothing allocated from an arena may outlive the owning component.
+ *
+ * Debug mode: setting PARROT_ARENA_DEBUG=1 makes every allocation its
+ * own heap chunk, so ASan sees each object individually (overflow into
+ * a neighbouring bump slot becomes a detectable heap overflow). The
+ * allocation pattern is the only thing that changes: simulation
+ * results are bit-identical in both modes, and a regression test pins
+ * that (tests/sim/stats_tree_test.cc).
+ */
+
+#ifndef PARROT_COMMON_ARENA_HH
+#define PARROT_COMMON_ARENA_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace parrot
+{
+
+/** True when PARROT_ARENA_DEBUG requests one-chunk-per-allocation. */
+inline bool
+arenaDebugMode()
+{
+    const char *env = std::getenv("PARROT_ARENA_DEBUG");
+    return env && env[0] != '\0' && env[0] != '0';
+}
+
+/**
+ * A chunked bump allocator. allocate() carves naturally-aligned blocks
+ * out of fixed-size chunks; memory is reclaimed only by destroying the
+ * arena (or reset(), which drops every chunk).
+ */
+class Arena
+{
+  public:
+    /** Allocation accounting (drives the allocation-freedom tests). */
+    struct Stats
+    {
+        std::uint64_t allocCalls = 0;     //!< allocate() invocations
+        std::uint64_t bytesRequested = 0; //!< sum of requested sizes
+        std::uint64_t chunkAllocs = 0;    //!< heap chunks obtained
+    };
+
+    explicit Arena(std::size_t chunk_bytes = 64 * 1024)
+        : chunkBytes(chunk_bytes), debug(arenaDebugMode())
+    {
+        PARROT_ASSERT(chunkBytes >= 256, "arena chunk too small");
+    }
+
+    Arena(const Arena &) = delete;
+    Arena &operator=(const Arena &) = delete;
+
+    /** Bump-allocate `bytes` with the given power-of-two alignment. */
+    void *
+    allocate(std::size_t bytes, std::size_t align = alignof(std::max_align_t))
+    {
+        ++stat.allocCalls;
+        stat.bytesRequested += bytes;
+        if (debug) {
+            // One heap chunk per allocation: maximum ASan visibility.
+            chunks.emplace_back(new std::byte[bytes ? bytes : 1]);
+            ++stat.chunkAllocs;
+            return chunks.back().get();
+        }
+        std::size_t off = (cur + align - 1) & ~(align - 1);
+        if (!chunks.empty() && off + bytes <= chunkBytes) {
+            cur = off + bytes;
+            return chunks.back().get() + off;
+        }
+        // Oversized requests get a dedicated chunk and leave the
+        // current bump chunk in place for subsequent small ones.
+        if (bytes > chunkBytes) {
+            ++stat.chunkAllocs;
+            std::unique_ptr<std::byte[]> big(new std::byte[bytes]);
+            std::byte *p = big.get();
+            if (chunks.empty()) {
+                chunks.push_back(std::move(big));
+                cur = chunkBytes; // mark full: it is not a bump chunk
+            } else {
+                chunks.insert(chunks.end() - 1, std::move(big));
+            }
+            return p;
+        }
+        ++stat.chunkAllocs;
+        chunks.emplace_back(new std::byte[chunkBytes]);
+        cur = bytes;
+        return chunks.back().get();
+    }
+
+    /** Allocate an uninitialized array of n trivially-destructible Ts. */
+    template <typename T>
+    T *
+    allocArray(std::size_t n)
+    {
+        static_assert(std::is_trivially_destructible_v<T>,
+                      "arena memory is never destructed");
+        return static_cast<T *>(allocate(n * sizeof(T), alignof(T)));
+    }
+
+    /** Drop every chunk (invalidates all outstanding allocations). */
+    void
+    reset()
+    {
+        chunks.clear();
+        cur = 0;
+    }
+
+    const Stats &stats() const { return stat; }
+    bool debugMode() const { return debug; }
+
+  private:
+    std::size_t chunkBytes;
+    bool debug;
+    std::vector<std::unique_ptr<std::byte[]>> chunks;
+    std::size_t cur = 0; //!< bump offset inside chunks.back()
+    Stats stat;
+};
+
+/**
+ * A typed node pool over an Arena: O(1) acquire/release through an
+ * int32 index freelist, nodes addressed by index so links stay valid
+ * across chunk growth. Used for the ROB dependence lists.
+ */
+template <typename T>
+class NodePool
+{
+  public:
+    static constexpr std::int32_t npos = -1;
+
+    explicit NodePool(Arena &arena, std::size_t nodes_per_chunk = 1024)
+        : mem(&arena), perChunk(nodes_per_chunk)
+    {
+        PARROT_ASSERT(perChunk > 0, "empty node pool chunk");
+    }
+
+    /** Acquire a default-constructed node; returns its index. */
+    std::int32_t
+    acquire()
+    {
+        if (freeHead == npos)
+            grow();
+        std::int32_t idx = freeHead;
+        T &node = at(idx);
+        freeHead = nextOf(node);
+        node = T{};
+        ++liveCount;
+        return idx;
+    }
+
+    /** Return a node to the freelist. */
+    void
+    release(std::int32_t idx)
+    {
+        T &node = at(idx);
+        nextOf(node) = freeHead;
+        freeHead = idx;
+        PARROT_ASSERT(liveCount > 0, "node pool release underflow");
+        --liveCount;
+    }
+
+    T &
+    at(std::int32_t idx)
+    {
+        return chunkTable[static_cast<std::size_t>(idx) / perChunk]
+                         [static_cast<std::size_t>(idx) % perChunk];
+    }
+
+    const T &
+    at(std::int32_t idx) const
+    {
+        return chunkTable[static_cast<std::size_t>(idx) / perChunk]
+                         [static_cast<std::size_t>(idx) % perChunk];
+    }
+
+    std::size_t live() const { return liveCount; }
+
+  private:
+    /** Freelist linkage reuses the node's own `next` field. */
+    static std::int32_t &nextOf(T &node) { return node.next; }
+
+    void
+    grow()
+    {
+        T *chunk = mem->allocArray<T>(perChunk);
+        std::size_t base = chunkTable.size() * perChunk;
+        for (std::size_t i = perChunk; i-- > 0;) {
+            chunk[i] = T{};
+            chunk[i].next = freeHead;
+            freeHead = static_cast<std::int32_t>(base + i);
+        }
+        chunkTable.push_back(chunk);
+    }
+
+    Arena *mem;
+    std::size_t perChunk;
+    std::vector<T *> chunkTable;
+    std::int32_t freeHead = npos;
+    std::size_t liveCount = 0;
+};
+
+} // namespace parrot
+
+#endif // PARROT_COMMON_ARENA_HH

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * A power-of-two ring buffer over arena storage.
+ *
+ * Replaces the std::deque hot-loop buffers (committed-stream lookahead,
+ * issue-queue age order): push/pop are index arithmetic on a flat
+ * array, random access is one masked index, and the storage is a
+ * single arena block, so steady-state operation does no heap traffic.
+ */
+
+#ifndef PARROT_COMMON_RING_BUFFER_HH
+#define PARROT_COMMON_RING_BUFFER_HH
+
+#include <cstddef>
+#include <type_traits>
+
+#include "common/arena.hh"
+#include "common/bitutil.hh"
+#include "common/logging.hh"
+
+namespace parrot
+{
+
+/**
+ * Fixed-policy FIFO with random access from the front. Capacity grows
+ * by doubling (the abandoned buffer stays in the arena, which never
+ * frees); sized generously at construction, growth never happens in
+ * steady state.
+ */
+template <typename T>
+class RingBuffer
+{
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "ring storage lives in an arena");
+
+  public:
+    RingBuffer(Arena &arena, std::size_t capacity)
+        : mem(&arena)
+    {
+        cap = std::size_t{1} << ceilLog2(capacity < 2 ? 2 : capacity);
+        buf = mem->allocArray<T>(cap);
+    }
+
+    std::size_t size() const { return count; }
+    bool empty() const { return count == 0; }
+
+    /** i-th element from the front (0 = oldest). */
+    T &operator[](std::size_t i) { return buf[(head + i) & (cap - 1)]; }
+    const T &
+    operator[](std::size_t i) const
+    {
+        return buf[(head + i) & (cap - 1)];
+    }
+
+    T &front() { return (*this)[0]; }
+    const T &front() const { return (*this)[0]; }
+    T &back() { return (*this)[count - 1]; }
+
+    /** Append a default-constructed slot and return it (fill in place). */
+    T &
+    emplaceBack()
+    {
+        if (count == cap)
+            grow();
+        T &slot = buf[(head + count) & (cap - 1)];
+        slot = T{};
+        ++count;
+        return slot;
+    }
+
+    void
+    pushBack(const T &v)
+    {
+        emplaceBack() = v;
+    }
+
+    void
+    popFront(std::size_t n = 1)
+    {
+        PARROT_ASSERT(n <= count, "ring underflow");
+        head = (head + n) & (cap - 1);
+        count -= n;
+    }
+
+    /** Discard the newest element (failed in-place fill). */
+    void
+    popBack()
+    {
+        PARROT_ASSERT(count > 0, "ring underflow");
+        --count;
+    }
+
+    void
+    clear()
+    {
+        head = 0;
+        count = 0;
+    }
+
+    std::size_t capacity() const { return cap; }
+
+  private:
+    void
+    grow()
+    {
+        T *bigger = mem->allocArray<T>(cap * 2);
+        for (std::size_t i = 0; i < count; ++i)
+            bigger[i] = (*this)[i];
+        buf = bigger;
+        cap *= 2;
+        head = 0;
+    }
+
+    Arena *mem;
+    T *buf = nullptr;
+    std::size_t cap = 0;
+    std::size_t head = 0;
+    std::size_t count = 0;
+};
+
+} // namespace parrot
+
+#endif // PARROT_COMMON_RING_BUFFER_HH

@@ -79,12 +79,13 @@ OooCore::OooCore(const CoreConfig &config, memory::Hierarchy *hierarchy,
     PARROT_ASSERT(mem != nullptr && energy != nullptr,
                   "OooCore: hierarchy and account are required");
     rob.resize(cfg.robSize);
+    readyBits.assign((cfg.robSize + 63) / 64, 0);
 }
 
 bool
 OooCore::canDispatch(unsigned n) const
 {
-    return robOccupancy() + n <= cfg.robSize && iq.size() + n <= cfg.iqSize;
+    return robOccupancy() + n <= cfg.robSize && iqCount + n <= cfg.iqSize;
 }
 
 UopToken
@@ -100,8 +101,7 @@ OooCore::dispatch(const isa::Uop &uop, Addr mem_addr, bool counts_as_inst,
     entry.memAddr = mem_addr;
     entry.countsAsInst = counts_as_inst;
     entry.poisoned = poisoned;
-    entry.inIq = true;
-    iq.push_back(seq);
+    ++iqCount;
 
     // Rename: resolve source operands against in-flight writers.
     RegId srcs[4];
@@ -116,11 +116,19 @@ OooCore::dispatch(const isa::Uop &uop, Addr mem_addr, bool counts_as_inst,
         Entry &prod = entryOf(writer);
         if (prod.state == State::Completed)
             continue;
-        prod.dependents.push_back(seq);
+        std::int32_t node = depPool.acquire();
+        depPool.at(node).tok = seq;
+        if (prod.depTail < 0)
+            prod.depHead = node;
+        else
+            depPool.at(prod.depTail).next = node;
+        prod.depTail = node;
         ++entry.depsOutstanding;
     }
     entry.state =
         (entry.depsOutstanding == 0) ? State::Ready : State::Waiting;
+    if (entry.state == State::Ready)
+        setReady(seq);
 
     // Claim destination registers.
     if (uop.hasDst()) {
@@ -166,8 +174,12 @@ OooCore::completePhase()
             energy->record(PowerEvent::RegWrite);
         if (entry.uop.dst2 != invalidReg)
             energy->record(PowerEvent::RegWrite);
-        // Wake dependents.
-        for (UopToken dep : entry.dependents) {
+        // Wake dependents, in dispatch order (tail-appended list).
+        for (std::int32_t n = entry.depHead; n >= 0;) {
+            const UopToken dep = depPool.at(n).tok;
+            const std::int32_t next = depPool.at(n).next;
+            depPool.release(n);
+            n = next;
             if (dep < headSeq || dep >= tailSeq)
                 continue;
             Entry &consumer = entryOf(dep);
@@ -176,10 +188,12 @@ OooCore::completePhase()
             energy->record(PowerEvent::IqWakeup);
             PARROT_ASSERT(consumer.depsOutstanding > 0,
                           "wakeup underflow");
-            if (--consumer.depsOutstanding == 0)
+            if (--consumer.depsOutstanding == 0) {
                 consumer.state = State::Ready;
+                setReady(dep);
+            }
         }
-        entry.dependents.clear();
+        entry.depHead = entry.depTail = -1;
     }
 }
 
@@ -189,33 +203,67 @@ OooCore::issuePhase()
     unsigned issued = 0;
     unsigned pool_used[static_cast<unsigned>(UnitPool::NumPools)] = {};
 
-    for (auto it = iq.begin(); it != iq.end() && issued < cfg.issueWidth;) {
-        UopToken seq = *it;
-        Entry &entry = entryOf(seq);
-        if (entry.state != State::Ready) {
-            ++it;
-            continue;
+    // Oldest-first select: walk ready bits in circular slot order
+    // starting at the ROB head, which is exactly ascending-token order
+    // (the window never exceeds robSize). Two linear passes handle the
+    // wrap; within each pass countr_zero jumps straight to the next
+    // ready entry.
+    const std::size_t n_slots = cfg.robSize;
+    const std::size_t head_slot =
+        static_cast<std::size_t>(headSeq % cfg.robSize);
+
+    auto scan = [&](std::size_t lo, std::size_t hi, UopToken tok_base) {
+        std::size_t wi = lo >> 6;
+        const std::size_t w_last = (hi - 1) >> 6;
+        for (; wi <= w_last && issued < cfg.issueWidth; ++wi) {
+            std::uint64_t word = readyBits[wi];
+            const std::size_t word_lo = wi << 6;
+            if (word_lo < lo)
+                word &= ~std::uint64_t{0} << (lo - word_lo);
+            if (word_lo + 64 > hi)
+                word &= ~std::uint64_t{0} >> (word_lo + 64 - hi);
+            while (word != 0 && issued < cfg.issueWidth) {
+                const std::size_t slot =
+                    word_lo +
+                    static_cast<std::size_t>(std::countr_zero(word));
+                word &= word - 1;
+                tryIssueSlot(slot, tok_base + (slot - lo), issued,
+                             pool_used);
+            }
         }
+    };
+
+    scan(head_slot, n_slots, headSeq);
+    if (head_slot > 0 && issued < cfg.issueWidth)
+        scan(0, head_slot, headSeq + (n_slots - head_slot));
+}
+
+void
+OooCore::tryIssueSlot(std::size_t slot, UopToken seq, unsigned &issued,
+                      unsigned *pool_used)
+{
+    {
+        Entry &entry = rob[slot];
+        PARROT_ASSERT(entry.state == State::Ready && seq >= headSeq &&
+                          seq < tailSeq,
+                      "stale ready bit");
 
         const isa::ExecClass cls = entry.uop.execClass();
         const UnitPool pool = poolOf(cls);
         const unsigned pool_idx = static_cast<unsigned>(pool);
-        if (pool_used[pool_idx] >= cfg.poolSize(pool)) {
-            ++it; // structural hazard; try younger uops
-            continue;
-        }
+        if (pool_used[pool_idx] >= cfg.poolSize(pool))
+            return; // structural hazard; stays ready for younger slots
         if (cls == isa::ExecClass::MemLoad &&
             outstandingMisses >= cfg.numMshrs &&
             !mem->l1d().contains(entry.memAddr)) {
-            ++it; // all MSHRs busy: the load must wait
-            continue;
+            return; // all MSHRs busy: the load must wait
         }
 
         ++pool_used[pool_idx];
         ++issued;
         nIssuedUops.add();
-        entry.inIq = false;
-        it = iq.erase(it);
+        clearReady(slot);
+        --iqCount;
         entry.state = State::Issued;
 
         // Energy: select, operand reads, the operation itself.

@@ -18,11 +18,12 @@
 #ifndef PARROT_CPU_OOO_CORE_HH
 #define PARROT_CPU_OOO_CORE_HH
 
+#include <bit>
 #include <cstdint>
-#include <deque>
 #include <queue>
 #include <vector>
 
+#include "common/arena.hh"
 #include "common/types.hh"
 #include "cpu/core_config.hh"
 #include "isa/registers.hh"
@@ -117,6 +118,14 @@ class OooCore
         Completed  //!< written back, awaiting commit
     };
 
+    /** One link of a ROB entry's dependence list. Nodes live in the
+     * core's arena-backed pool; `next` doubles as freelist linkage. */
+    struct DepNode
+    {
+        UopToken tok = 0;
+        std::int32_t next = -1;
+    };
+
     struct Entry
     {
         isa::Uop uop;
@@ -126,9 +135,12 @@ class OooCore
         std::uint8_t depsOutstanding = 0;
         bool countsAsInst = false;
         bool poisoned = false;
-        bool inIq = false;
         bool holdsMshr = false; //!< outstanding L1D miss in flight
-        std::vector<UopToken> dependents;
+        /** Head/tail of the consumer list (indices into depPool;
+         * tail-append keeps wakeup in dispatch order, exactly like the
+         * vector this replaces). */
+        std::int32_t depHead = -1;
+        std::int32_t depTail = -1;
     };
 
     Entry &entryOf(UopToken seq) { return rob[seq % cfg.robSize]; }
@@ -143,19 +155,49 @@ class OooCore
     /** Select and issue ready uops, oldest first. */
     void issuePhase();
 
+    /** Attempt to issue the ready uop in `slot` (token `seq`) given
+     * this cycle's pool usage; bumps `issued` on success. */
+    void tryIssueSlot(std::size_t slot, UopToken seq, unsigned &issued,
+                      unsigned *pool_used);
+
     /** In-order retirement of completed uops. */
     void commitPhase();
+
+    /** Mark a ROB slot's occupant ready to issue. */
+    void
+    setReady(UopToken tok)
+    {
+        const std::size_t slot = tok % cfg.robSize;
+        readyBits[slot >> 6] |= std::uint64_t{1} << (slot & 63);
+    }
+
+    /** Clear a slot's ready bit (at issue). */
+    void
+    clearReady(std::size_t slot)
+    {
+        readyBits[slot >> 6] &= ~(std::uint64_t{1} << (slot & 63));
+    }
 
     CoreConfig cfg;
     memory::Hierarchy *mem;
     power::EnergyAccount *energy;
 
+    /** Per-core arena: dependence-node pool and IQ ring storage. */
+    Arena arena;
+    NodePool<DepNode> depPool{arena, 512};
+
     std::vector<Entry> rob;
     UopToken headSeq = 0; //!< oldest in-flight uop
     UopToken tailSeq = 0; //!< next sequence number to assign
 
-    /** Issue-queue contents in dispatch (age) order. */
-    std::deque<UopToken> iq;
+    /** One bit per ROB slot, set while that slot's occupant sits in
+     * the issue queue with every source available. issuePhase walks
+     * set bits in age order (countr_zero from the ROB head), so select
+     * cost scales with the ready population — never with queue depth
+     * or tombstones. iqCount tracks total IQ occupancy (Waiting +
+     * Ready) for canDispatch. */
+    std::vector<std::uint64_t> readyBits;
+    unsigned iqCount = 0;
 
     /** Last in-flight writer of each architectural register. */
     UopToken lastWriter[isa::numArchRegs];

@@ -53,12 +53,13 @@ class Decoder
      * instruction never stalls decode forever).
      */
     unsigned
-    throughput(const std::vector<const isa::MacroInst *> &window) const
+    throughput(const isa::MacroInst *const *window, std::size_t count) const
     {
         unsigned taken = 0;
         unsigned weight = 0;
         unsigned bytes = 0;
-        for (const isa::MacroInst *inst : window) {
+        for (std::size_t i = 0; i < count; ++i) {
+            const isa::MacroInst *inst = window[i];
             if (taken >= cfg.width)
                 break;
             unsigned w = inst->decodeWeight();
@@ -71,6 +72,13 @@ class Decoder
             ++taken;
         }
         return taken;
+    }
+
+    /** Convenience overload over a vector window. */
+    unsigned
+    throughput(const std::vector<const isa::MacroInst *> &window) const
+    {
+        return throughput(window.data(), window.size());
     }
 
     /** Total decode weight of one instruction (power accounting). */

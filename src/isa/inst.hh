@@ -58,6 +58,11 @@ struct MacroInst
     /** Decoded micro-operations (1..4). */
     std::vector<Uop> uops;
 
+    /** Memoized decodeWeight() (0 = not yet computed). Filled eagerly
+     * by Program::buildIndex before the program is shared across
+     * simulation threads; a dynamic instance then never recomputes it. */
+    std::uint8_t cachedDecodeWeight = 0;
+
     /** Address of the sequentially next instruction. */
     Addr nextPc() const { return pc + length; }
 
@@ -74,6 +79,14 @@ struct MacroInst
      */
     unsigned
     decodeWeight() const
+    {
+        return cachedDecodeWeight ? cachedDecodeWeight
+                                  : computeDecodeWeight();
+    }
+
+    /** The underlying weight formula (memoized by buildIndex). */
+    unsigned
+    computeDecodeWeight() const
     {
         return 1 + (length > 7 ? 1 : 0) + (uops.size() > 1 ? 1 : 0);
     }

@@ -5,80 +5,6 @@
 namespace parrot::isa
 {
 
-ExecClass
-execClassOf(UopKind kind)
-{
-    switch (kind) {
-      case UopKind::Nop:
-        return ExecClass::Nop;
-      case UopKind::Add:
-      case UopKind::AddImm:
-      case UopKind::Sub:
-      case UopKind::And:
-      case UopKind::Or:
-      case UopKind::Xor:
-      case UopKind::ShlImm:
-      case UopKind::ShrImm:
-      case UopKind::Mov:
-      case UopKind::MovImm:
-      case UopKind::Lea:
-      case UopKind::Cmp:
-      case UopKind::CmpImm:
-        return ExecClass::IntAlu;
-      case UopKind::Mul:
-        return ExecClass::IntMul;
-      case UopKind::Div:
-        return ExecClass::IntDiv;
-      case UopKind::Load:
-        return ExecClass::MemLoad;
-      case UopKind::Store:
-        return ExecClass::MemStore;
-      case UopKind::Branch:
-      case UopKind::Jump:
-      case UopKind::JumpInd:
-      case UopKind::Call:
-      case UopKind::Return:
-      case UopKind::AssertTaken:
-      case UopKind::AssertNotTaken:
-      case UopKind::AssertCmpTaken:
-      case UopKind::AssertCmpNotTaken:
-        return ExecClass::Ctrl;
-      case UopKind::FpAdd:
-      case UopKind::FpMov:
-        return ExecClass::FpAdd;
-      case UopKind::FpMul:
-      case UopKind::FpMulAdd:
-        return ExecClass::FpMul;
-      case UopKind::FpDiv:
-        return ExecClass::FpDiv;
-      case UopKind::SimdInt:
-      case UopKind::SimdFp:
-        return ExecClass::Simd;
-      default:
-        PARROT_PANIC("execClassOf: bad uop kind %d", static_cast<int>(kind));
-    }
-}
-
-unsigned
-execLatency(ExecClass cls)
-{
-    switch (cls) {
-      case ExecClass::IntAlu:   return 1;
-      case ExecClass::IntMul:   return 3;
-      case ExecClass::IntDiv:   return 12;
-      case ExecClass::FpAdd:    return 3;
-      case ExecClass::FpMul:    return 4;
-      case ExecClass::FpDiv:    return 16;
-      case ExecClass::MemLoad:  return 1;  // plus cache access time
-      case ExecClass::MemStore: return 1;
-      case ExecClass::Ctrl:     return 1;
-      case ExecClass::Simd:     return 2;
-      case ExecClass::Nop:      return 1;
-      default:
-        PARROT_PANIC("execLatency: bad class %d", static_cast<int>(cls));
-    }
-}
-
 const char *
 uopKindName(UopKind kind)
 {
@@ -138,52 +64,6 @@ execClassName(ExecClass cls)
       case ExecClass::Nop:      return "Nop";
       default:                  return "<bad>";
     }
-}
-
-bool
-isCti(UopKind kind)
-{
-    switch (kind) {
-      case UopKind::Branch:
-      case UopKind::Jump:
-      case UopKind::JumpInd:
-      case UopKind::Call:
-      case UopKind::Return:
-      case UopKind::AssertTaken:
-      case UopKind::AssertNotTaken:
-      case UopKind::AssertCmpTaken:
-      case UopKind::AssertCmpNotTaken:
-        return true;
-      default:
-        return false;
-    }
-}
-
-bool
-isAssert(UopKind kind)
-{
-    switch (kind) {
-      case UopKind::AssertTaken:
-      case UopKind::AssertNotTaken:
-      case UopKind::AssertCmpTaken:
-      case UopKind::AssertCmpNotTaken:
-        return true;
-      default:
-        return false;
-    }
-}
-
-bool
-writesFlags(UopKind kind)
-{
-    return kind == UopKind::Cmp || kind == UopKind::CmpImm;
-}
-
-bool
-readsFlags(UopKind kind)
-{
-    return kind == UopKind::Branch || kind == UopKind::AssertTaken ||
-           kind == UopKind::AssertNotTaken;
 }
 
 } // namespace parrot::isa

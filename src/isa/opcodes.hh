@@ -16,6 +16,8 @@
 
 #include <cstdint>
 
+#include "common/logging.hh"
+
 namespace parrot::isa
 {
 
@@ -89,11 +91,112 @@ enum class ExecClass : std::uint8_t
     NumClasses
 };
 
+namespace detail
+{
+
+/** Per-kind metadata, indexed by UopKind. The simulation kernel reads
+ * these several times per dispatched uop, so they are flat constexpr
+ * tables behind inline accessors rather than out-of-line switches; the
+ * accessors keep a bounds check because fuzzer-mutated inputs can carry
+ * arbitrary kind bytes. */
+inline constexpr std::uint8_t kNumKinds =
+    static_cast<std::uint8_t>(UopKind::NumKinds);
+
+inline constexpr ExecClass kExecClass[kNumKinds] = {
+    ExecClass::Nop,      // Nop
+    ExecClass::IntAlu,   // Add
+    ExecClass::IntAlu,   // AddImm
+    ExecClass::IntAlu,   // Sub
+    ExecClass::IntAlu,   // And
+    ExecClass::IntAlu,   // Or
+    ExecClass::IntAlu,   // Xor
+    ExecClass::IntAlu,   // ShlImm
+    ExecClass::IntAlu,   // ShrImm
+    ExecClass::IntAlu,   // Mov
+    ExecClass::IntAlu,   // MovImm
+    ExecClass::IntAlu,   // Lea
+    ExecClass::IntAlu,   // Cmp
+    ExecClass::IntAlu,   // CmpImm
+    ExecClass::IntMul,   // Mul
+    ExecClass::IntDiv,   // Div
+    ExecClass::MemLoad,  // Load
+    ExecClass::MemStore, // Store
+    ExecClass::Ctrl,     // Branch
+    ExecClass::Ctrl,     // Jump
+    ExecClass::Ctrl,     // JumpInd
+    ExecClass::Ctrl,     // Call
+    ExecClass::Ctrl,     // Return
+    ExecClass::FpAdd,    // FpAdd
+    ExecClass::FpMul,    // FpMul
+    ExecClass::FpDiv,    // FpDiv
+    ExecClass::FpAdd,    // FpMov
+    ExecClass::Ctrl,     // AssertTaken
+    ExecClass::Ctrl,     // AssertNotTaken
+    ExecClass::Ctrl,     // AssertCmpTaken
+    ExecClass::Ctrl,     // AssertCmpNotTaken
+    ExecClass::FpMul,    // FpMulAdd
+    ExecClass::Simd,     // SimdInt
+    ExecClass::Simd,     // SimdFp
+};
+
+/** Bit set per kind: 1<<0 cti, 1<<1 assert, 1<<2 writes flags,
+ * 1<<3 reads flags. */
+inline constexpr std::uint8_t kKindFlags[kNumKinds] = {
+    0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, // Nop..Lea
+    1 << 2,          // Cmp
+    1 << 2,          // CmpImm
+    0, 0, 0, 0,      // Mul, Div, Load, Store
+    (1 << 0) | (1 << 3), // Branch
+    1 << 0,          // Jump
+    1 << 0,          // JumpInd
+    1 << 0,          // Call
+    1 << 0,          // Return
+    0, 0, 0, 0,      // FpAdd, FpMul, FpDiv, FpMov
+    (1 << 0) | (1 << 1) | (1 << 3), // AssertTaken
+    (1 << 0) | (1 << 1) | (1 << 3), // AssertNotTaken
+    (1 << 0) | (1 << 1),            // AssertCmpTaken
+    (1 << 0) | (1 << 1),            // AssertCmpNotTaken
+    0, 0, 0,         // FpMulAdd, SimdInt, SimdFp
+};
+
+inline constexpr std::uint8_t kNumClasses =
+    static_cast<std::uint8_t>(ExecClass::NumClasses);
+
+inline constexpr unsigned kExecLatency[kNumClasses] = {
+    1,  // IntAlu
+    3,  // IntMul
+    12, // IntDiv
+    3,  // FpAdd
+    4,  // FpMul
+    16, // FpDiv
+    1,  // MemLoad (plus cache access time)
+    1,  // MemStore
+    1,  // Ctrl
+    2,  // Simd
+    1,  // Nop
+};
+
+} // namespace detail
+
 /** Map a uop kind onto its execution class. */
-ExecClass execClassOf(UopKind kind);
+inline ExecClass
+execClassOf(UopKind kind)
+{
+    const auto idx = static_cast<std::uint8_t>(kind);
+    if (idx >= detail::kNumKinds)
+        PARROT_PANIC("execClassOf: bad uop kind %d", static_cast<int>(idx));
+    return detail::kExecClass[idx];
+}
 
 /** Execution latency (cycles) of a class, excluding cache misses. */
-unsigned execLatency(ExecClass cls);
+inline unsigned
+execLatency(ExecClass cls)
+{
+    const auto idx = static_cast<std::uint8_t>(cls);
+    if (idx >= detail::kNumClasses)
+        PARROT_PANIC("execLatency: bad class %d", static_cast<int>(idx));
+    return detail::kExecLatency[idx];
+}
 
 /** Human-readable opcode mnemonic. */
 const char *uopKindName(UopKind kind);
@@ -102,16 +205,36 @@ const char *uopKindName(UopKind kind);
 const char *execClassName(ExecClass cls);
 
 /** True for the control-transfer uops (including asserts). */
-bool isCti(UopKind kind);
+inline bool
+isCti(UopKind kind)
+{
+    const auto idx = static_cast<std::uint8_t>(kind);
+    return idx < detail::kNumKinds && (detail::kKindFlags[idx] & (1 << 0));
+}
 
 /** True for optimizer assert uops (trace-internal promoted branches). */
-bool isAssert(UopKind kind);
+inline bool
+isAssert(UopKind kind)
+{
+    const auto idx = static_cast<std::uint8_t>(kind);
+    return idx < detail::kNumKinds && (detail::kKindFlags[idx] & (1 << 1));
+}
 
 /** True when the uop writes the flags register instead of a GPR. */
-bool writesFlags(UopKind kind);
+inline bool
+writesFlags(UopKind kind)
+{
+    const auto idx = static_cast<std::uint8_t>(kind);
+    return idx < detail::kNumKinds && (detail::kKindFlags[idx] & (1 << 2));
+}
 
 /** True when the uop reads the flags register. */
-bool readsFlags(UopKind kind);
+inline bool
+readsFlags(UopKind kind)
+{
+    const auto idx = static_cast<std::uint8_t>(kind);
+    return idx < detail::kNumKinds && (detail::kKindFlags[idx] & (1 << 3));
+}
 
 } // namespace parrot::isa
 

@@ -7,28 +7,6 @@
 namespace parrot::isa
 {
 
-unsigned
-Uop::numSources() const
-{
-    RegId tmp[4];
-    return sources(tmp);
-}
-
-unsigned
-Uop::sources(RegId out[4]) const
-{
-    unsigned n = 0;
-    if (src1 != invalidReg)
-        out[n++] = src1;
-    if (src2 != invalidReg)
-        out[n++] = src2;
-    if (src1b != invalidReg)
-        out[n++] = src1b;
-    if (src2b != invalidReg)
-        out[n++] = src2b;
-    return n;
-}
-
 std::string
 Uop::toString() const
 {
@@ -46,14 +24,6 @@ Uop::toString() const
                   reg_name(dst).c_str(), reg_name(src1).c_str(),
                   reg_name(src2).c_str(), static_cast<long long>(imm));
     return buf;
-}
-
-unsigned
-uopLatency(const Uop &uop)
-{
-    if (uop.kind == UopKind::SimdInt || uop.kind == UopKind::SimdFp)
-        return execLatency(execClassOf(uop.laneKind));
-    return execLatency(uop.execClass());
 }
 
 Uop

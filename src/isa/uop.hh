@@ -63,11 +63,30 @@ struct Uop
         return writesFlags(kind) ? regFlags : dst;
     }
 
-    /** Number of source registers read (for power accounting). */
-    unsigned numSources() const;
+    /** Collect source registers into out[]; returns the count (<= 4).
+     * Inline: the renamer calls this for every dispatched uop. */
+    unsigned
+    sources(RegId out[4]) const
+    {
+        unsigned n = 0;
+        if (src1 != invalidReg)
+            out[n++] = src1;
+        if (src2 != invalidReg)
+            out[n++] = src2;
+        if (src1b != invalidReg)
+            out[n++] = src1b;
+        if (src2b != invalidReg)
+            out[n++] = src2b;
+        return n;
+    }
 
-    /** Collect source registers into out[]; returns the count (<= 4). */
-    unsigned sources(RegId out[4]) const;
+    /** Number of source registers read (for power accounting). */
+    unsigned
+    numSources() const
+    {
+        RegId tmp[4];
+        return sources(tmp);
+    }
 
     /** Debug string, e.g. "add r3, r1, r2". */
     std::string toString() const;
@@ -78,7 +97,13 @@ struct Uop
  * pair uops take their *lane* operation's latency (a two-lane unit is
  * as deep as its scalar datapath, not a fixed depth).
  */
-unsigned uopLatency(const Uop &uop);
+inline unsigned
+uopLatency(const Uop &uop)
+{
+    if (uop.kind == UopKind::SimdInt || uop.kind == UopKind::SimdFp)
+        return execLatency(execClassOf(uop.laneKind));
+    return execLatency(uop.execClass());
+}
 
 /** @name Uop builders
  * Convenience constructors used by the workload generator, the

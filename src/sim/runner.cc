@@ -13,15 +13,40 @@ namespace parrot::sim
 unsigned
 resolveJobs(unsigned requested)
 {
-    if (requested > 0)
-        return requested;
-    if (const char *env = std::getenv("PARROT_JOBS")) {
-        long v = std::strtol(env, nullptr, 10);
-        if (v > 0)
-            return static_cast<unsigned>(v);
-    }
     unsigned hw = std::thread::hardware_concurrency();
-    return hw > 0 ? hw : 1;
+    if (hw == 0)
+        hw = 1;
+    // Anything past a few threads per hardware context is a config
+    // mistake, not a tuning choice: clamp instead of spawning a
+    // thousand-worker pool.
+    const unsigned long cap = static_cast<unsigned long>(hw) * 4;
+
+    if (requested > 0) {
+        if (requested > cap) {
+            PARROT_WARN("--jobs %u exceeds %lu (4x hardware "
+                        "concurrency); clamping to %u",
+                        requested, cap, hw);
+            return hw;
+        }
+        return requested;
+    }
+    if (const char *env = std::getenv("PARROT_JOBS")) {
+        char *end = nullptr;
+        long v = std::strtol(env, &end, 10);
+        if (end == env || *end != '\0' || v <= 0) {
+            PARROT_WARN("ignoring invalid PARROT_JOBS='%s'; using %u",
+                        env, hw);
+            return hw;
+        }
+        if (static_cast<unsigned long>(v) > cap) {
+            PARROT_WARN("PARROT_JOBS=%ld exceeds %lu (4x hardware "
+                        "concurrency); clamping to %u",
+                        v, cap, hw);
+            return hw;
+        }
+        return static_cast<unsigned>(v);
+    }
+    return hw;
 }
 
 void

@@ -272,11 +272,14 @@ ParrotSimulator::regStats()
 void
 ParrotSimulator::refillLookahead(std::size_t target)
 {
+    // Fill ring slots in place: the executor writes straight into the
+    // buffer, so no 64-byte DynInst ever crosses a copy.
     while (lookahead.size() < target) {
-        DynInst dyn;
-        if (!executor->next(dyn))
+        DynInst &slot = lookahead.emplaceBack();
+        if (!executor->next(slot)) {
+            lookahead.popBack();
             break;
-        lookahead.push_back(dyn);
+        }
     }
 }
 
@@ -493,12 +496,10 @@ ParrotSimulator::tryStartHotTrace()
         // Full match: the trace executes and commits atomically.
         hotAborted = false;
         hotUopLimit = trace->uops.size();
-        activeWindow.assign(lookahead.begin(),
-                            lookahead.begin() +
-                                static_cast<std::ptrdiff_t>(path_len));
-        lookahead.erase(lookahead.begin(),
-                        lookahead.begin() +
-                            static_cast<std::ptrdiff_t>(path_len));
+        activeWindow.clear();
+        for (std::size_t i = 0; i < path_len; ++i)
+            activeWindow.push_back(lookahead[i]);
+        lookahead.popFront(path_len);
     } else {
         // Assert failure: execute the poisoned prefix, then flush and
         // restore — the stream is *not* consumed; the cold pipeline
@@ -515,9 +516,9 @@ ParrotSimulator::tryStartHotTrace()
             hotFilter->reset(trace->tid);
         }
         hotAborted = true;
-        activeWindow.assign(lookahead.begin(),
-                            lookahead.begin() +
-                                static_cast<std::ptrdiff_t>(match));
+        activeWindow.clear();
+        for (std::size_t i = 0; i < match; ++i)
+            activeWindow.push_back(lookahead[i]);
         // The failing check is the assert carrying the diverging
         // instruction's direction. Work dispatched up to that point is
         // poisoned; everything younger is squashed at dispatch (it
@@ -627,7 +628,7 @@ ParrotSimulator::hotDispatchCycle()
         stallOnToken(core, lastHotToken,
                      core.config().mispredictPenalty);
     }
-    activeTrace.reset();
+    activeTrace = tracecache::TraceRef{};
     activeWindow.clear();
     mode = Mode::Cold;
 }
@@ -647,16 +648,19 @@ ParrotSimulator::coldCycle()
     auto &acct = coldAcct;
 
     // Assemble this cycle's fetch group: up to decoder throughput,
-    // ending at the first taken CTI.
-    std::vector<const isa::MacroInst *> window;
-    for (const auto &dyn : lookahead) {
-        window.push_back(dyn.inst);
-        if (window.size() >= cfg.decoder.width * 2)
+    // ending at the first taken CTI. The window buffer is reused
+    // across cycles (clear() keeps its capacity).
+    fetchWindow.clear();
+    for (std::size_t i = 0; i < lookahead.size(); ++i) {
+        const auto &dyn = lookahead[i];
+        fetchWindow.push_back(dyn.inst);
+        if (fetchWindow.size() >= cfg.decoder.width * 2)
             break;
         if (dyn.isCti() && dyn.taken)
             break;
     }
-    unsigned group = decoder->throughput(window);
+    unsigned group = decoder->throughput(fetchWindow.data(),
+                                         fetchWindow.size());
 
     Addr last_line = ~0ull;
     const unsigned line_bytes = cfg.memory.l1i.lineBytes;
@@ -707,7 +711,7 @@ ParrotSimulator::coldCycle()
         uop_budget -= n_uops;
         st.uopsFromColdDispatched.add(n_uops);
         ++dispatched_insts;
-        lookahead.pop_front();
+        lookahead.popFront();
         if (cosim)
             cosim->onColdCommit(dyn);
         feedSelector(dyn);
@@ -795,6 +799,12 @@ ParrotSimulator::reapTraceCommits()
 void
 ParrotSimulator::stepCycle()
 {
+    // Safe point for trace reclamation: no TraceRef is live outside an
+    // active hot trace, so displaced (replaced/evicted/removed) traces
+    // parked in limbo can be freed now.
+    if (traceCache && mode == Mode::Cold && !activeTrace)
+        traceCache->reclaimLimbo();
+
     refillLookahead();
     processBackground();
 

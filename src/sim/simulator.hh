@@ -19,6 +19,8 @@
 #include <memory>
 #include <optional>
 
+#include "common/arena.hh"
+#include "common/ring_buffer.hh"
 #include "cpu/ooo_core.hh"
 #include "frontend/branch_predictor.hh"
 #include "frontend/decoder.hh"
@@ -116,8 +118,13 @@ class ParrotSimulator
     ModelConfig cfg;
     Workload load;
 
+    /** Per-simulation arena: lookahead ring storage and the reusable
+     * fetch window live here, so the cycle loop does no heap traffic. */
+    Arena simArena;
+
     std::unique_ptr<workload::Executor> executor;
-    std::deque<workload::DynInst> lookahead;
+    /** Committed-stream lookahead; refilled in place (no copies). */
+    RingBuffer<workload::DynInst> lookahead{simArena, 256};
 
     std::unique_ptr<memory::Hierarchy> hierarchy;
     power::EnergyAccount coldAcct;
@@ -169,8 +176,13 @@ class ParrotSimulator
     std::optional<PendingResolve> pendingResolve;
 
     // --- active hot trace ---
-    std::shared_ptr<tracecache::Trace> activeTrace;
+    /** Non-owning: the trace cache parks displaced traces in limbo
+     * until reclaimLimbo(), which stepCycle only calls while cold with
+     * no active trace — so this never dangles. */
+    tracecache::TraceRef activeTrace;
     std::vector<workload::DynInst> activeWindow; //!< matched stream insts
+    /** Reused cold-fetch decode window (cleared, never reallocated). */
+    std::vector<const isa::MacroInst *> fetchWindow;
     std::size_t hotUopIdx = 0;
     std::size_t hotUopLimit = 0;
     bool hotAborted = false;

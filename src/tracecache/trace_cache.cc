@@ -10,7 +10,7 @@ TraceCache::TraceCache(const TraceCacheConfig &config) : cfg(config)
     numSets = cfg.numEntries / cfg.assoc;
 }
 
-std::shared_ptr<Trace>
+TraceRef
 TraceCache::lookup(const Tid &tid)
 {
     const std::uint64_t key = tid.hash();
@@ -21,11 +21,11 @@ TraceCache::lookup(const Tid &tid)
         if (entry.trace && entry.key == key && entry.trace->tid == tid) {
             entry.lru = ++stamp;
             hitRatio.sample(true);
-            return entry.trace;
+            return TraceRef{entry.trace.get(), mutationGen};
         }
     }
     hitRatio.sample(false);
-    return nullptr;
+    return TraceRef{};
 }
 
 const Trace *
@@ -55,8 +55,9 @@ TraceCache::insert(Trace trace)
         if (entry.trace && entry.key == key && entry.trace->tid == trace.tid) {
             if (trace.optimized)
                 nOptReplaced.add();
-            // Replace the object, not its contents: in-flight readers
-            // keep their shared_ptr to the old version.
+            // Replace the object, not its contents: the displaced
+            // version parks in limbo so in-flight TraceRefs stay valid.
+            retire(std::move(entry.trace));
             entry.trace = std::make_shared<Trace>(std::move(trace));
             entry.lru = ++stamp;
             nInsertions.add();
@@ -76,6 +77,7 @@ TraceCache::insert(Trace trace)
     }
     if (victim->trace)
         nEvictions.add();
+    retire(std::move(victim->trace));
     victim->trace = std::make_shared<Trace>(std::move(trace));
     victim->key = key;
     victim->lru = ++stamp;
@@ -91,6 +93,7 @@ TraceCache::remove(const Tid &tid)
     for (unsigned w = 0; w < cfg.assoc; ++w) {
         Entry &entry = way[w];
         if (entry.trace && entry.key == key && entry.trace->tid == tid) {
+            retire(std::move(entry.trace));
             entry.trace.reset();
             nEvictions.add();
             return;

@@ -7,7 +7,9 @@
 #ifndef PARROT_TRACECACHE_TRACE_CACHE_HH
 #define PARROT_TRACECACHE_TRACE_CACHE_HH
 
+#include <cstddef>
 #include <memory>
+#include <type_traits>
 #include <vector>
 
 #include "common/bitutil.hh"
@@ -36,6 +38,34 @@ struct TraceCacheConfig
 };
 
 /**
+ * A non-owning reference to a cached trace, handed out by the
+ * fetch-path lookup(). Copying is two machine words: no heap traffic
+ * and no atomic refcounting. The target stays valid across insert /
+ * remove / eviction because the cache parks displaced traces on a
+ * limbo list until the owning simulator calls reclaimLimbo() at a
+ * safe point (cold mode, no trace in flight) — see DESIGN.md §11.
+ *
+ * `gen` snapshots the cache's mutation generation at lookup time; a
+ * holder can compare it with generation() to detect that the cache
+ * changed underneath it (debug/assert use only).
+ */
+struct TraceRef
+{
+    Trace *ptr = nullptr;
+    std::uint64_t gen = 0;
+
+    explicit operator bool() const { return ptr != nullptr; }
+    Trace *operator->() const { return ptr; }
+    Trace &operator*() const { return *ptr; }
+    Trace *get() const { return ptr; }
+
+    bool operator==(std::nullptr_t) const { return ptr == nullptr; }
+};
+
+static_assert(std::is_trivially_copyable_v<TraceRef>,
+              "fetch-path lookups must stay refcount-free");
+
+/**
  * Set-associative trace storage with LRU replacement.
  */
 class TraceCache
@@ -45,10 +75,11 @@ class TraceCache
 
     /**
      * Look up a trace by TID; updates LRU on hit.
-     * @return the stored trace or nullptr. The shared pointer keeps an
-     *         in-flight trace alive across evictions and rewrites.
+     * @return a non-owning reference (null on miss). Performs no heap
+     *         allocation and no refcounting; validity is guaranteed
+     *         until the next reclaimLimbo().
      */
-    std::shared_ptr<Trace> lookup(const Tid &tid);
+    TraceRef lookup(const Tid &tid);
 
     /** Probe without LRU update. */
     const Trace *peek(const Tid &tid) const;
@@ -58,6 +89,19 @@ class TraceCache
 
     /** Remove a trace (e.g. one that keeps aborting). No-op on miss. */
     void remove(const Tid &tid);
+
+    /**
+     * Free every trace displaced by insert/remove/eviction since the
+     * last call. Outstanding TraceRefs are invalidated; the owning
+     * simulator calls this only when no trace is being executed.
+     */
+    void reclaimLimbo() { limbo.clear(); }
+
+    /** Displaced traces awaiting reclamation (tests/debug). */
+    std::size_t limboSize() const { return limbo.size(); }
+
+    /** Mutation generation: bumped by insert/remove/eviction. */
+    std::uint64_t generation() const { return mutationGen; }
 
     /** Number of currently stored traces. */
     unsigned occupancy() const;
@@ -101,10 +145,22 @@ class TraceCache
         std::uint64_t lru = 0;
     };
 
+    /** Park a displaced owner on the limbo list (keeps in-flight
+     * TraceRefs valid) and note the mutation. */
+    void
+    retire(std::shared_ptr<Trace> &&owner)
+    {
+        ++mutationGen;
+        if (owner)
+            limbo.push_back(std::move(owner));
+    }
+
     TraceCacheConfig cfg;
     std::vector<Entry> table;
     std::uint64_t numSets = 1;
     std::uint64_t stamp = 0;
+    std::uint64_t mutationGen = 0;
+    std::vector<std::shared_ptr<Trace>> limbo;
 
     stats::Ratio hitRatio{"tc_hits"};
     stats::Scalar nInsertions{"tc_insertions"};

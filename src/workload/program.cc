@@ -46,10 +46,19 @@ void
 Program::buildIndex()
 {
     pcIndex.clear();
-    for (const auto &proc : procs)
-        for (const auto &block : proc.blocks)
-            for (const auto &inst : block.insts)
+    for (auto &proc : procs) {
+        for (auto &block : proc.blocks) {
+            for (auto &inst : block.insts) {
+                // Memoize per-static-instruction decode metadata here,
+                // before the program is shared (read-only) across
+                // simulation threads: the decoder and power model then
+                // never recompute it per dynamic instance.
+                inst.cachedDecodeWeight =
+                    static_cast<std::uint8_t>(inst.computeDecodeWeight());
                 pcIndex.emplace(inst.pc, &inst);
+            }
+        }
+    }
 }
 
 } // namespace parrot::workload

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Unit tests for the bump arena, the typed node pool and the ring
+ * buffer backing the simulator's hot-path storage.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+
+#include "common/arena.hh"
+#include "common/ring_buffer.hh"
+
+namespace
+{
+
+using namespace parrot;
+
+TEST(ArenaTest, BumpAllocationsShareAChunk)
+{
+    Arena arena(4096);
+    const auto before = arena.stats();
+    void *a = arena.allocate(64);
+    void *b = arena.allocate(64);
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    EXPECT_NE(a, b);
+    const auto &after = arena.stats();
+    EXPECT_EQ(after.allocCalls, before.allocCalls + 2);
+    EXPECT_EQ(after.bytesRequested, before.bytesRequested + 128);
+    EXPECT_EQ(after.chunkAllocs, 1u); // both fit in the first chunk
+}
+
+TEST(ArenaTest, AllocationsAreAligned)
+{
+    Arena arena(4096);
+    arena.allocate(1, 1);
+    void *p = arena.allocate(8, 64);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % 64, 0u);
+}
+
+TEST(ArenaTest, OversizedRequestGetsDedicatedChunk)
+{
+    Arena arena(1024);
+    void *small = arena.allocate(16);
+    void *big = arena.allocate(64 * 1024);
+    ASSERT_NE(big, nullptr);
+    // The big block is writable end to end and the bump chunk still
+    // serves small allocations afterwards.
+    std::memset(big, 0xab, 64 * 1024);
+    void *small2 = arena.allocate(16);
+    ASSERT_NE(small2, nullptr);
+    EXPECT_NE(small, small2);
+    EXPECT_EQ(arena.stats().chunkAllocs, 2u);
+}
+
+TEST(ArenaTest, ChunkRollsOverWhenFull)
+{
+    Arena arena(512);
+    arena.allocate(400);
+    arena.allocate(400); // does not fit: second chunk
+    EXPECT_EQ(arena.stats().chunkAllocs, 2u);
+}
+
+struct PoolNode
+{
+    std::uint64_t payload = 0;
+    std::int32_t next = -1;
+};
+
+TEST(NodePoolTest, AcquireReleaseRecycles)
+{
+    Arena arena;
+    NodePool<PoolNode> pool(arena, 4);
+
+    std::int32_t a = pool.acquire();
+    std::int32_t b = pool.acquire();
+    EXPECT_NE(a, b);
+    EXPECT_EQ(pool.live(), 2u);
+
+    pool.at(a).payload = 42;
+    pool.release(a);
+    EXPECT_EQ(pool.live(), 1u);
+
+    // LIFO freelist: the released index comes back first, reset.
+    std::int32_t c = pool.acquire();
+    EXPECT_EQ(c, a);
+    EXPECT_EQ(pool.at(c).payload, 0u);
+    EXPECT_EQ(pool.at(c).next, -1);
+}
+
+TEST(NodePoolTest, GrowsBeyondOneChunkWithStableIndices)
+{
+    Arena arena;
+    NodePool<PoolNode> pool(arena, 4);
+    std::int32_t idx[13];
+    for (int i = 0; i < 13; ++i) {
+        idx[i] = pool.acquire();
+        pool.at(idx[i]).payload = static_cast<std::uint64_t>(i) * 7;
+    }
+    EXPECT_EQ(pool.live(), 13u);
+    for (int i = 0; i < 13; ++i)
+        EXPECT_EQ(pool.at(idx[i]).payload,
+                  static_cast<std::uint64_t>(i) * 7)
+            << "index " << i;
+}
+
+TEST(RingBufferTest, FifoOrderAcrossWraparound)
+{
+    Arena arena;
+    RingBuffer<int> ring(arena, 4);
+    for (int round = 0; round < 5; ++round) {
+        for (int i = 0; i < 3; ++i)
+            ring.emplaceBack() = round * 10 + i;
+        ASSERT_EQ(ring.size(), 3u);
+        for (int i = 0; i < 3; ++i)
+            EXPECT_EQ(ring[i], round * 10 + i);
+        ring.popFront(3);
+        EXPECT_TRUE(ring.empty());
+    }
+}
+
+TEST(RingBufferTest, GrowsPastInitialCapacity)
+{
+    Arena arena;
+    RingBuffer<int> ring(arena, 4);
+    ring.emplaceBack() = -1;
+    ring.popFront(); // offset the head so growth has to unwrap
+    for (int i = 0; i < 100; ++i)
+        ring.emplaceBack() = i;
+    ASSERT_EQ(ring.size(), 100u);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(ring[i], i);
+}
+
+TEST(RingBufferTest, PopBackDiscardsNewest)
+{
+    Arena arena;
+    RingBuffer<int> ring(arena, 8);
+    ring.emplaceBack() = 1;
+    ring.emplaceBack() = 2;
+    ring.popBack();
+    ASSERT_EQ(ring.size(), 1u);
+    EXPECT_EQ(ring[0], 1);
+}
+
+} // namespace

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <stdexcept>
 #include <thread>
 #include <vector>
@@ -134,6 +135,64 @@ TEST(RunnerParallelTest, ExplicitPmaxSkipsCalibration)
     SuiteRunner runner(testOptions(1, /*no_leakage=*/false));
     runner.setPmax(123.5);
     EXPECT_EQ(runner.pmax(), 123.5);
+}
+
+class ResolveJobsTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { unsetenv("PARROT_JOBS"); }
+    void TearDown() override { unsetenv("PARROT_JOBS"); }
+
+    unsigned
+    hw() const
+    {
+        unsigned n = std::thread::hardware_concurrency();
+        return n > 0 ? n : 1;
+    }
+};
+
+TEST_F(ResolveJobsTest, ZeroRequestDefaultsToHardwareConcurrency)
+{
+    EXPECT_EQ(resolveJobs(0), hw());
+}
+
+TEST_F(ResolveJobsTest, SaneRequestPassesThrough)
+{
+    EXPECT_EQ(resolveJobs(2), 2u);
+}
+
+TEST_F(ResolveJobsTest, AbsurdRequestClampsToHardwareConcurrency)
+{
+    // A thousand-worker pool is a config mistake, not a tuning choice.
+    EXPECT_EQ(resolveJobs(100000), hw());
+}
+
+TEST_F(ResolveJobsTest, EnvOverrideIsHonoured)
+{
+    setenv("PARROT_JOBS", "3", 1);
+    EXPECT_EQ(resolveJobs(0), 3u);
+}
+
+TEST_F(ResolveJobsTest, AbsurdEnvValueClampsToHardwareConcurrency)
+{
+    setenv("PARROT_JOBS", "99999", 1);
+    EXPECT_EQ(resolveJobs(0), hw());
+}
+
+TEST_F(ResolveJobsTest, NonPositiveEnvValueFallsBackToHardware)
+{
+    setenv("PARROT_JOBS", "0", 1);
+    EXPECT_EQ(resolveJobs(0), hw());
+    setenv("PARROT_JOBS", "-4", 1);
+    EXPECT_EQ(resolveJobs(0), hw());
+}
+
+TEST_F(ResolveJobsTest, GarbageEnvValueFallsBackToHardware)
+{
+    setenv("PARROT_JOBS", "lots", 1);
+    EXPECT_EQ(resolveJobs(0), hw());
+    setenv("PARROT_JOBS", "8threads", 1);
+    EXPECT_EQ(resolveJobs(0), hw());
 }
 
 TEST(ParallelForTest, CoversEveryIndexExactlyOnce)

@@ -98,6 +98,24 @@ TEST(StatsTreeTest, SamplingDoesNotPerturbResults)
         EXPECT_EQ(f.get(on), f.get(off)) << f.key;
 }
 
+TEST(StatsTreeTest, ArenaDebugAllocatorIsBitIdentical)
+{
+    // The arena only changes *where* hot-path objects live, never what
+    // the simulation computes: a run with the one-chunk-per-allocation
+    // debug fallback must match the bump-allocator run field-for-field.
+    // Both simulators are constructed inside this test because arenas
+    // sample PARROT_ARENA_DEBUG at construction.
+    unsetenv("PARROT_ARENA_DEBUG");
+    SimResult pooled = runModel("TON", 0);
+
+    setenv("PARROT_ARENA_DEBUG", "1", 1);
+    SimResult debug = runModel("TON", 0);
+    unsetenv("PARROT_ARENA_DEBUG");
+
+    for (const auto &f : sim::resultFields())
+        EXPECT_EQ(f.get(debug), f.get(pooled)) << f.key;
+}
+
 TEST(StatsTreeTest, WindowSeriesShowsCoverageRamp)
 {
     SimResult r = runModel("TON", 1000);

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "stats/stats.hh"
 
 namespace
@@ -60,6 +62,21 @@ TEST(HistogramTest, BucketsAndOverflow)
     EXPECT_EQ(h.bucket(4), 1u); // overflow
     EXPECT_EQ(h.totalSamples(), 5u);
     EXPECT_EQ(h.maxValue(), 1000u);
+}
+
+// Pin the fixed-range contract: every sample at or past
+// buckets*bucketWidth lands in the overflow bucket — none dropped, no
+// index past the counts array.
+TEST(HistogramTest, OutOfRangeClampsIntoOverflowBucket)
+{
+    Histogram h("lat", 4, 10); // range [0, 40) + overflow bucket 4
+    h.sample(40);              // first value past the range
+    h.sample(41);
+    h.sample(std::numeric_limits<std::uint64_t>::max());
+    EXPECT_EQ(h.bucket(4), 3u);
+    EXPECT_EQ(h.totalSamples(), 3u);
+    for (unsigned b = 0; b < 4; ++b)
+        EXPECT_EQ(h.bucket(b), 0u);
 }
 
 TEST(HistogramTest, MeanTracksSamples)

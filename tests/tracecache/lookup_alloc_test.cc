@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Allocation-freedom guarantee for the fetch path: TraceCache::lookup
+ * must perform zero heap allocations on both hits and misses, and the
+ * TraceRef it returns must be refcount-free (trivially copyable — the
+ * static_assert in trace_cache.hh enforces that half at compile time).
+ *
+ * This test lives in its own binary because it replaces the global
+ * operator new/delete with counting versions; sharing a binary with
+ * other tests would make their allocations indistinguishable.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "tracecache/trace_cache.hh"
+
+namespace
+{
+
+std::atomic<std::uint64_t> g_heapAllocs{0};
+std::atomic<bool> g_tracking{false};
+
+void *
+countedAlloc(std::size_t n)
+{
+    if (g_tracking.load(std::memory_order_relaxed))
+        g_heapAllocs.fetch_add(1, std::memory_order_relaxed);
+    void *p = std::malloc(n ? n : 1);
+    if (!p)
+        throw std::bad_alloc();
+    return p;
+}
+
+/** RAII window: allocations are counted only while one is alive. */
+struct TrackingScope
+{
+    TrackingScope()
+    {
+        g_heapAllocs.store(0, std::memory_order_relaxed);
+        g_tracking.store(true, std::memory_order_relaxed);
+    }
+    ~TrackingScope() { g_tracking.store(false, std::memory_order_relaxed); }
+    std::uint64_t count() const
+    {
+        return g_heapAllocs.load(std::memory_order_relaxed);
+    }
+};
+
+} // namespace
+
+void *operator new(std::size_t n) { return countedAlloc(n); }
+void *operator new[](std::size_t n) { return countedAlloc(n); }
+void operator delete(void *p) noexcept { std::free(p); }
+void operator delete[](void *p) noexcept { std::free(p); }
+void operator delete(void *p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void *p, std::size_t) noexcept { std::free(p); }
+
+namespace
+{
+
+using namespace parrot;
+using namespace parrot::tracecache;
+
+Trace
+makeTrace(Addr pc)
+{
+    Trace t;
+    t.tid.startPc = pc;
+    for (unsigned i = 0; i < 4; ++i) {
+        TraceUop tu;
+        tu.uop = isa::makeMovImm(2, i);
+        t.uops.push_back(tu);
+    }
+    t.originalUopCount = 4;
+    return t;
+}
+
+TEST(LookupAllocTest, HitPathIsAllocationFree)
+{
+    TraceCache tc(TraceCacheConfig{64, 4});
+    Trace t = makeTrace(0x100);
+    tc.insert(t);
+
+    TraceRef ref;
+    TrackingScope scope;
+    for (int i = 0; i < 1000; ++i) {
+        ref = tc.lookup(t.tid);
+        TraceRef copy = ref; // two-word copy, no refcount
+        ASSERT_TRUE(copy);
+    }
+    EXPECT_EQ(scope.count(), 0u);
+    EXPECT_EQ(ref->tid, t.tid);
+}
+
+TEST(LookupAllocTest, MissPathIsAllocationFree)
+{
+    TraceCache tc(TraceCacheConfig{64, 4});
+    tc.insert(makeTrace(0x100));
+    Tid absent;
+    absent.startPc = 0xdead;
+
+    TrackingScope scope;
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_FALSE(tc.lookup(absent));
+    EXPECT_EQ(scope.count(), 0u);
+}
+
+TEST(LookupAllocTest, PeekIsAllocationFree)
+{
+    TraceCache tc(TraceCacheConfig{64, 4});
+    Trace t = makeTrace(0x200);
+    tc.insert(t);
+
+    TrackingScope scope;
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_NE(tc.peek(t.tid), nullptr);
+    EXPECT_EQ(scope.count(), 0u);
+}
+
+} // namespace
