@@ -34,5 +34,5 @@ main(int argc, char **argv)
                             1e-6);
         },
         0);
-    return 0;
+    return store.exitCode();
 }

@@ -43,6 +43,10 @@ main(int argc, char **argv)
             std::vector<std::string> row{
                 power::powerUnitName(static_cast<power::PowerUnit>(u))};
             for (int m = 0; m < 3; ++m) {
+                if (results[m].tombstone) {
+                    row.push_back("-");
+                    continue;
+                }
                 double share =
                     results[m].unitEnergy[u] / results[m].totalEnergy;
                 row.push_back(stats::TextTable::num(share * 100.0, 1) +
@@ -51,11 +55,14 @@ main(int argc, char **argv)
             table.addRow(row);
         }
         std::vector<std::string> total{"total (uJ)"};
-        for (int m = 0; m < 3; ++m)
-            total.push_back(stats::TextTable::num(
-                results[m].totalEnergy * 1e-6, 2));
+        for (int m = 0; m < 3; ++m) {
+            total.push_back(results[m].tombstone
+                                ? "-"
+                                : stats::TextTable::num(
+                                      results[m].totalEnergy * 1e-6, 2));
+        }
         table.addRow(total);
         std::printf("%s\n", table.render().c_str());
     }
-    return 0;
+    return store.exitCode();
 }

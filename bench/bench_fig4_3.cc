@@ -21,5 +21,5 @@ main(int argc, char **argv)
         {{"TN", "N"}, {"TON", "N"}, {"TW", "W"}, {"TOW", "W"}}, store,
         suite, [](const sim::SimResult &r) { return r.cmpw; },
         /*as_percent_delta=*/true, /*with_killers=*/true);
-    return 0;
+    return store.exitCode();
 }

@@ -22,5 +22,5 @@ main(int argc, char **argv)
         {{"W", "N"}, {"TON", "N"}, {"TOW", "N"}, {"TOS", "N"}}, store,
         suite, [](const sim::SimResult &r) { return r.ipc; },
         /*as_percent_delta=*/true, /*with_killers=*/false);
-    return 0;
+    return store.exitCode();
 }

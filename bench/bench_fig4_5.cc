@@ -27,5 +27,5 @@ main(int argc, char **argv)
         {{"TON", "W"}}, store, suite,
         [](const sim::SimResult &r) { return r.totalEnergy; },
         /*as_percent_delta=*/true, /*with_killers=*/false);
-    return 0;
+    return store.exitCode();
 }

@@ -25,5 +25,5 @@ main(int argc, char **argv)
         "Cross-check: TON vs W (paper: ~67% better CMPW)", {{"TON", "W"}},
         store, suite, [](const sim::SimResult &r) { return r.cmpw; },
         /*as_percent_delta=*/true, /*with_killers=*/false);
-    return 0;
+    return store.exitCode();
 }

@@ -83,5 +83,5 @@ main(int argc, char **argv)
     row.insert(row.begin(), "TON branch mispredict (cold)");
     table.addRow(row);
     std::printf("%s\n", table.render().c_str());
-    return 0;
+    return store.exitCode();
 }

@@ -33,10 +33,15 @@ main(int argc, char **argv)
     stats::TextTable table;
     table.addRow({"app", "group", "coverage", "traces", "aborts"});
     for (const auto &r : results) {
+        const std::string group = workload::benchGroupName(
+            workload::findApp(r.app).profile.group);
+        if (r.tombstone) {
+            table.addRow({r.app, group, "-", "-", "-"});
+            continue;
+        }
         table.addRow({
             r.app,
-            workload::benchGroupName(
-                workload::findApp(r.app).profile.group),
+            group,
             stats::TextTable::num(r.coverage, 3),
             std::to_string(r.tracesInserted),
             std::to_string(r.traceMispredicts),
@@ -44,5 +49,5 @@ main(int argc, char **argv)
     }
     std::printf("Per-application coverage (TON)\n%s\n",
                 table.render().c_str());
-    return 0;
+    return store.exitCode();
 }

@@ -42,5 +42,5 @@ main(int argc, char **argv)
             return std::max(r.avgUopReduction, 1e-6);
         },
         3);
-    return 0;
+    return store.exitCode();
 }

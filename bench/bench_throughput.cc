@@ -23,9 +23,11 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "common/atomic_file.hh"
 #include "common/cli.hh"
 #include "common/logging.hh"
 #include "sim/model_config.hh"
@@ -161,11 +163,7 @@ main(int argc, char **argv)
                     row.bestSecs, row.mips);
     }
 
-    std::ofstream out(out_path);
-    if (!out) {
-        std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
-        return 2;
-    }
+    std::ostringstream out;
     out.precision(6);
     out << "{\n  \"host_score\": " << host_score
         << ",\n  \"insts\": " << insts << ",\n  \"app\": \"" << app
@@ -178,9 +176,12 @@ main(int argc, char **argv)
             << (i + 1 < rows.size() ? ",\n" : "\n");
     }
     out << "  ]\n}\n";
-    out.flush();
-    if (!out) {
-        std::fprintf(stderr, "write failed: %s\n", out_path.c_str());
+    // Atomic replace so a crash or full disk can't leave a truncated
+    // baseline JSON behind for later comparisons.
+    std::string err;
+    if (!atomic_file::writeFileAtomic(out_path, out.str(), &err)) {
+        std::fprintf(stderr, "cannot write %s: %s\n", out_path.c_str(),
+                     err.c_str());
         return 2;
     }
     return 0;

@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "common/cli.hh"
+#include "common/fault.hh"
 #include "common/logging.hh"
 #include "sim/result.hh"
 #include "stats/stats.hh"
@@ -49,10 +50,21 @@ parseBenchArgs(int argc, char **argv)
                    std::to_string(insts).c_str(), 1);
         } else if (!std::strcmp(arg, "--no-cache")) {
             setenv("PARROT_BENCH_NO_CACHE", "1", 1);
+        } else if (!std::strcmp(arg, "--deadline-ms")) {
+            std::uint64_t ms =
+                cli::parseU64(arg, cli::needValue(argc, argv, i));
+            setenv("PARROT_DEADLINE_MS",
+                   std::to_string(ms).c_str(), 1);
+        } else if (!std::strcmp(arg, "--retries")) {
+            unsigned retries =
+                cli::parseU32(arg, cli::needValue(argc, argv, i));
+            setenv("PARROT_RETRIES",
+                   std::to_string(retries).c_str(), 1);
         } else {
             std::fprintf(stderr,
                          "unknown option '%s' (supported: --jobs N, "
-                         "--insts N, --no-cache)\n",
+                         "--insts N, --no-cache, --deadline-ms N, "
+                         "--retries N)\n",
                          arg);
             std::exit(2);
         }
@@ -133,7 +145,47 @@ benchRunOptions()
     sim::RunOptions opts;
     opts.instBudget = benchInstBudget();
     opts.jobs = benchJobs();
+    if (const char *env = std::getenv("PARROT_DEADLINE_MS"))
+        opts.deadlineMs = cli::parseU64("PARROT_DEADLINE_MS", env);
+    if (const char *env = std::getenv("PARROT_RETRIES"))
+        opts.maxRetries = cli::parseU32("PARROT_RETRIES", env);
+    if (const char *env = std::getenv("PARROT_RETRY_BACKOFF_MS"))
+        opts.retryBackoffMs =
+            cli::parseU64("PARROT_RETRY_BACKOFF_MS", env);
     return opts;
+}
+
+/** Tombstone cache-row payload (the part after the key's tab). */
+constexpr const char *kTombstoneTag = "!failed";
+
+/** One cache line for `key`: a normal self-describing record, or the
+ * tombstone form for cells that exhausted their retries. */
+std::string
+serializeLine(const std::string &key, const SimResult &r)
+{
+    if (r.tombstone) {
+        return key + '\t' + kTombstoneTag + " attempts=" +
+               std::to_string(r.attempts);
+    }
+    return key + '\t' + serialize(r);
+}
+
+/** Parse a tombstone payload; false when `text` is not one. */
+bool
+deserializeTombstone(const std::string &text, SimResult &r)
+{
+    std::istringstream in(text);
+    std::string tag;
+    if (!(in >> tag) || tag != kTombstoneTag)
+        return false;
+    r.tombstone = true;
+    std::string token;
+    while (in >> token) {
+        if (token.rfind("attempts=", 0) == 0)
+            r.attempts = static_cast<unsigned>(
+                std::strtoul(token.c_str() + 9, nullptr, 10));
+    }
+    return true;
 }
 
 } // namespace
@@ -145,6 +197,18 @@ ResultStore::ResultStore(const std::string &cache_path)
         enabled = false;
     if (enabled)
         load();
+}
+
+ResultStore::~ResultStore()
+{
+    // Close before compacting: compact() renames a fresh file over
+    // `path`, and an open O_APPEND fd would keep writing to the
+    // orphaned inode.
+    journal.close();
+    // Only rewrite when this run actually changed something; read-only
+    // figure reruns must leave the committed cache bytes untouched.
+    if (enabled && (appendedRows > 0 || discardedLines > 0))
+        compact();
 }
 
 std::string
@@ -177,32 +241,110 @@ ResultStore::load()
     }
     while (std::getline(in, line)) {
         auto tab = line.find('\t');
-        if (tab == std::string::npos)
+        if (tab == std::string::npos) {
+            ++discardedLines;
             continue;
+        }
         std::string key = line.substr(0, tab);
+        const std::string payload = line.substr(tab + 1);
         SimResult r;
-        if (!deserialize(line.substr(tab + 1), r))
+        if (!deserializeTombstone(payload, r) &&
+            !deserialize(payload, r)) {
+            // A line cut short by a killed run, or hand-edited junk:
+            // drop it and let the cell re-run.
+            ++discardedLines;
             continue;
+        }
         // model and app are recoverable from the key.
         auto slash1 = key.find('/');
         auto slash2 = key.rfind('/');
-        if (slash1 == std::string::npos || slash2 <= slash1)
+        if (slash1 == std::string::npos || slash2 <= slash1) {
+            ++discardedLines;
             continue;
+        }
         r.model = key.substr(0, slash1);
         r.app = key.substr(slash1 + 1, slash2 - slash1 - 1);
         memo.emplace(std::move(key), std::move(r));
+    }
+    if (discardedLines > 0) {
+        std::fprintf(stderr,
+                     "[bench cache] %s: discarded %zu malformed "
+                     "line(s); affected cells will re-run\n",
+                     path.c_str(), discardedLines);
     }
 }
 
 void
 ResultStore::append(const std::string &key, const SimResult &r)
 {
+    // Workers append from the suite runner's pool the moment each cell
+    // completes; the journal write (open/size/appendLine) must be one
+    // critical section so lines never interleave.
+    std::lock_guard<std::mutex> lock(appendMutex);
     if (!enabled)
         return;
-    std::ofstream out(path, std::ios::app);
-    if (out.tellp() == 0)
-        out << cacheHeader() << '\n';
-    out << key << '\t' << serialize(r) << '\n';
+    if (!journal.isOpen() && !journal.open(path)) {
+        disableCache(journal.error());
+        return;
+    }
+    if (journal.size() == 0 && !journal.appendLine(cacheHeader())) {
+        disableCache(journal.error());
+        return;
+    }
+    if (!journal.appendLine(serializeLine(key, r))) {
+        disableCache(journal.error());
+        return;
+    }
+    ++appendedRows;
+    fault::rowPersisted();
+}
+
+void
+ResultStore::disableCache(const std::string &reason)
+{
+    enabled = false;
+    journal.close();
+    std::fprintf(stderr,
+                 "[bench cache] %s: %s; caching disabled for this "
+                 "run\n",
+                 path.c_str(), reason.c_str());
+}
+
+void
+ResultStore::compact()
+{
+    // The memo is a std::map, so iteration is already in canonical
+    // (sorted-key) order: every clean shutdown converges to the same
+    // bytes regardless of the order cells were journaled in.
+    std::string content = cacheHeader();
+    content += '\n';
+    for (const auto &[key, r] : memo) {
+        content += serializeLine(key, r);
+        content += '\n';
+    }
+    std::string err;
+    if (!atomic_file::writeFileAtomic(path, content, &err)) {
+        std::fprintf(stderr,
+                     "[bench cache] %s: compaction failed (%s); "
+                     "journaled rows are still on disk\n",
+                     path.c_str(), err.c_str());
+    }
+}
+
+bool
+ResultStore::hadFailures() const
+{
+    for (const auto &[key, r] : memo) {
+        if (r.tombstone)
+            return true;
+    }
+    return false;
+}
+
+int
+ResultStore::exitCode() const
+{
+    return hadFailures() ? 3 : 0;
 }
 
 double
@@ -263,12 +405,21 @@ ResultStore::getSuite(const std::string &model,
     }
     if (!missing.empty()) {
         pmax();
-        auto fresh = runner.runSuite(model, missing);
+        // Journal each cell the moment its worker finishes — a killed
+        // run keeps everything but the in-flight cells. The journal
+        // order is nondeterministic under jobs>1; compaction at
+        // destruction restores the canonical order.
+        auto fresh = runner.runSuite(
+            model, missing,
+            [&](std::size_t i, const SimResult &r) {
+                append(keyOf(model, missing[i].profile.name,
+                             runner.options().instBudget),
+                       r);
+            });
         for (std::size_t i = 0; i < missing.size(); ++i) {
             std::string key = keyOf(model, missing[i].profile.name,
                                     runner.options().instBudget);
             memo.emplace(key, fresh[i]);
-            append(key, fresh[i]);
             std::fprintf(stderr, "  [ran %s/%s]\n", model.c_str(),
                          missing[i].profile.name.c_str());
         }
@@ -282,6 +433,47 @@ ResultStore::getSuite(const std::string &model,
     return out;
 }
 
+namespace
+{
+
+/**
+ * Fixed figure column order. summarizeByGroup skips groups with no
+ * results, so the printers look cells up by label instead of zipping
+ * against this list; a group emptied by tombstones renders "-".
+ */
+const std::vector<std::string> kGroupColumns = {
+    "SpecInt", "SpecFP", "Office", "Multimedia", "DotNet", "All"};
+
+using CellFormat = std::function<std::string(double)>;
+
+/**
+ * The six group cells for `results` (which must already have
+ * tombstones filtered out — geomean rejects their zero metrics),
+ * "-" for any group left without a healthy result.
+ */
+std::vector<std::string>
+summaryCells(const std::vector<SimResult> &results, const Metric &metric,
+             const CellFormat &fmt)
+{
+    std::vector<std::string> cells;
+    if (results.empty())
+        return std::vector<std::string>(kGroupColumns.size(), "-");
+    auto summary = sim::summarizeByGroup(results, metric);
+    for (const auto &col : kGroupColumns) {
+        std::string cell = "-";
+        for (std::size_t i = 0; i < summary.labels.size(); ++i) {
+            if (summary.labels[i] == col) {
+                cell = fmt(summary.values[i]);
+                break;
+            }
+        }
+        cells.push_back(std::move(cell));
+    }
+    return cells;
+}
+
+} // namespace
+
 void
 printRelativeFigure(
     const std::string &title,
@@ -291,9 +483,9 @@ printRelativeFigure(
 {
     std::printf("%s\n", title.c_str());
     stats::TextTable table;
-    std::vector<std::string> header{"model(vs)", "SpecInt", "SpecFP",
-                                    "Office", "Multimedia", "DotNet",
-                                    "All"};
+    std::vector<std::string> header{"model(vs)"};
+    header.insert(header.end(), kGroupColumns.begin(),
+                  kGroupColumns.end());
     static const char *const killers[] = {"flash", "wupwise",
                                           "perlbench"};
     if (with_killers)
@@ -301,42 +493,53 @@ printRelativeFigure(
             header.push_back(k);
     table.addRow(header);
 
+    const CellFormat fmt = [as_percent_delta](double v) {
+        return as_percent_delta ? stats::TextTable::pct(v - 1.0)
+                                : stats::TextTable::num(v, 3);
+    };
+
     for (const auto &[variant, baseline] : rows) {
         auto var_results = store.getSuite(variant, suite);
         auto base_results = store.getSuite(baseline, suite);
 
-        // Per-app ratios feed the per-group geomeans.
-        std::vector<sim::SimResult> ratio_results = var_results;
-        for (std::size_t i = 0; i < ratio_results.size(); ++i) {
+        // Per-app ratios feed the per-group geomeans; a pair with a
+        // tombstone on either side drops out here.
+        std::vector<sim::SimResult> ratio_results;
+        ratio_results.reserve(var_results.size());
+        for (std::size_t i = 0; i < var_results.size(); ++i) {
+            if (var_results[i].tombstone || base_results[i].tombstone)
+                continue;
             double b = metric(base_results[i]);
             double v = metric(var_results[i]);
             PARROT_ASSERT(b > 0 && v > 0, "non-positive metric");
-            ratio_results[i].ipc = v / b; // reuse ipc as scratch ratio
+            sim::SimResult r = var_results[i];
+            r.ipc = v / b; // reuse ipc as scratch ratio
+            ratio_results.push_back(std::move(r));
         }
-        auto summary = sim::summarizeByGroup(
-            ratio_results,
-            [](const sim::SimResult &r) { return r.ipc; });
 
         std::vector<std::string> row{variant + " vs " + baseline};
-        for (double v : summary.values) {
-            row.push_back(as_percent_delta
-                              ? stats::TextTable::pct(v - 1.0)
-                              : stats::TextTable::num(v, 3));
-        }
+        auto cells = summaryCells(
+            ratio_results,
+            [](const sim::SimResult &r) { return r.ipc; }, fmt);
+        row.insert(row.end(), cells.begin(), cells.end());
         if (with_killers) {
             for (const char *k : killers) {
-                bool in_suite = false;
-                for (const auto &entry : suite)
-                    in_suite |= (entry.profile.name == k);
-                if (!in_suite) {
+                // getSuite keeps suite order, so variant and baseline
+                // results line up index-for-index.
+                const sim::SimResult *vr = nullptr;
+                const sim::SimResult *br = nullptr;
+                for (std::size_t i = 0; i < var_results.size(); ++i) {
+                    if (var_results[i].app == k) {
+                        vr = &var_results[i];
+                        br = &base_results[i];
+                        break;
+                    }
+                }
+                if (!vr || vr->tombstone || br->tombstone) {
                     row.push_back("-");
                     continue;
                 }
-                double v = metric(sim::findResult(var_results, k)) /
-                           metric(sim::findResult(base_results, k));
-                row.push_back(as_percent_delta
-                                  ? stats::TextTable::pct(v - 1.0)
-                                  : stats::TextTable::num(v, 3));
+                row.push_back(fmt(metric(*vr) / metric(*br)));
             }
         }
         table.addRow(row);
@@ -353,11 +556,13 @@ printRelativeFigure(
         for (const auto &entry : suite) {
             std::vector<std::string> row{entry.profile.name};
             for (const auto &[variant, baseline] : rows) {
-                double v = metric(store.get(variant, entry)) /
-                           metric(store.get(baseline, entry));
-                row.push_back(as_percent_delta
-                                  ? stats::TextTable::pct(v - 1.0)
-                                  : stats::TextTable::num(v, 3));
+                sim::SimResult v = store.get(variant, entry);
+                sim::SimResult b = store.get(baseline, entry);
+                if (v.tombstone || b.tombstone) {
+                    row.push_back("-");
+                    continue;
+                }
+                row.push_back(fmt(metric(v) / metric(b)));
             }
             detail.addRow(row);
         }
@@ -374,14 +579,24 @@ printAbsoluteFigure(const std::string &title,
 {
     std::printf("%s\n", title.c_str());
     stats::TextTable table;
-    table.addRow({"model", "SpecInt", "SpecFP", "Office", "Multimedia",
-                  "DotNet", "All"});
+    std::vector<std::string> header{"model"};
+    header.insert(header.end(), kGroupColumns.begin(),
+                  kGroupColumns.end());
+    table.addRow(header);
+    const CellFormat fmt = [precision](double v) {
+        return stats::TextTable::num(v, precision);
+    };
     for (const auto &model : models) {
         auto results = store.getSuite(model, suite);
-        auto summary = sim::summarizeByGroup(results, metric);
+        std::vector<sim::SimResult> healthy;
+        healthy.reserve(results.size());
+        for (const auto &r : results) {
+            if (!r.tombstone)
+                healthy.push_back(r);
+        }
         std::vector<std::string> row{model};
-        for (double v : summary.values)
-            row.push_back(stats::TextTable::num(v, precision));
+        auto cells = summaryCells(healthy, metric, fmt);
+        row.insert(row.end(), cells.begin(), cells.end());
         table.addRow(row);
     }
     std::printf("%s\n", table.render().c_str());

@@ -24,9 +24,11 @@
 
 #include <functional>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/atomic_file.hh"
 #include "sim/runner.hh"
 #include "workload/apps.hh"
 
@@ -42,9 +44,12 @@ unsigned benchJobs();
 /**
  * Parse the common bench flags every driver accepts and publish them
  * to the environment the helpers above read:
- *   --jobs N    worker threads (PARROT_JOBS)
- *   --insts N   instruction budget (PARROT_BENCH_INSTS)
- *   --no-cache  ignore/skip the result cache (PARROT_BENCH_NO_CACHE)
+ *   --jobs N         worker threads (PARROT_JOBS)
+ *   --insts N        instruction budget (PARROT_BENCH_INSTS)
+ *   --no-cache       ignore/skip the result cache (PARROT_BENCH_NO_CACHE)
+ *   --deadline-ms N  per-cell wall-clock watchdog (PARROT_DEADLINE_MS)
+ *   --retries N      attempts for a failed cell before it becomes a
+ *                    tombstone (PARROT_RETRIES)
  * Unknown flags are fatal. Call first thing in main().
  */
 void parseBenchArgs(int argc, char **argv);
@@ -52,6 +57,21 @@ void parseBenchArgs(int argc, char **argv);
 /**
  * A persistent memo of simulation results keyed by
  * (model, app, instruction budget).
+ *
+ * Durability model: every completed cell is appended to an O_APPEND +
+ * fsync journal the moment it finishes (even while the rest of the
+ * suite is still running), so a `kill -9` mid-suite loses at most the
+ * in-flight cells. On clean destruction the file is compacted — the
+ * memo rewritten in sorted key order through an atomic
+ * write-temp/fsync/rename — which makes an interrupted-then-resumed
+ * run's cache byte-identical to an uninterrupted one. Any persistence
+ * failure (read-only dir, ENOSPC) is detected, warned about once, and
+ * disables caching for the rest of the run instead of silently
+ * dropping rows.
+ *
+ * Cells that exhaust their retries (RunOptions::maxRetries) are stored
+ * as tombstone rows ("<key>\t!failed attempts=N"); figure tables
+ * render them as "-" and drivers report them via exitCode().
  */
 class ResultStore
 {
@@ -59,14 +79,22 @@ class ResultStore
     /** Opens (and loads) the cache file next to the working dir. */
     explicit ResultStore(const std::string &path = "parrot_bench_cache.txt");
 
+    /** Compacts the cache file (atomic rewrite in canonical order)
+     * when this run added or discarded anything. */
+    ~ResultStore();
+
+    ResultStore(const ResultStore &) = delete;
+    ResultStore &operator=(const ResultStore &) = delete;
+
     /** Fetch or compute one result. */
     sim::SimResult get(const std::string &model,
                        const workload::SuiteEntry &entry);
 
     /**
      * Fetch or compute the full suite for one model. Uncached entries
-     * run concurrently on the runner's worker pool; results (and the
-     * cache file) are identical to serial runs.
+     * run concurrently on the runner's worker pool and are journaled
+     * as they complete; results (and the compacted cache file) are
+     * identical to serial runs.
      */
     std::vector<sim::SimResult> getSuite(
         const std::string &model,
@@ -75,14 +103,34 @@ class ResultStore
     /** The calibrated Pmax (cached like any other result). */
     double pmax();
 
+    /** True when any memoized cell (loaded or just computed) is a
+     * tombstone — some figure cells render as "-". */
+    bool hadFailures() const;
+
+    /**
+     * What a figure driver's main() should return: 0 when every cell
+     * is healthy, 3 when any cell is a tombstone (distinct from the
+     * CLI-error exit 2 and the cosim-mismatch exit 1), so CI can tell
+     * "figures degraded" from "binary crashed".
+     */
+    int exitCode() const;
+
   private:
     std::string keyOf(const std::string &model, const std::string &app,
                       std::uint64_t insts) const;
     void load();
     void append(const std::string &key, const sim::SimResult &r);
+    /** Warn once and stop persisting for the rest of the run. */
+    void disableCache(const std::string &reason);
+    /** Atomic canonical rewrite of the whole memo. */
+    void compact();
 
     std::string path;
     bool enabled = true;
+    std::size_t discardedLines = 0; //!< malformed lines seen by load()
+    std::size_t appendedRows = 0;   //!< journal rows this run
+    std::mutex appendMutex;         //!< workers append concurrently
+    atomic_file::AppendJournal journal;
     std::map<std::string, sim::SimResult> memo;
     sim::SuiteRunner runner;
     bool pmaxReady = false;

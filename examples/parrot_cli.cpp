@@ -16,6 +16,12 @@
  *     --jobs N            worker threads for multi-app runs
  *                         (default: PARROT_JOBS or all hardware threads)
  *     --pmax X            leakage Pmax per cycle (default: calibrate)
+ *     --deadline-ms N     wall-clock watchdog per simulation; a run
+ *                         that exceeds it is aborted (and retried)
+ *                         instead of hanging the whole suite (0 = off)
+ *     --retries N         extra attempts for a failed/timed-out app
+ *                         before it is reported as FAILED (default 2);
+ *                         any failed app makes the exit status 3
  *     --no-leakage        disable the leakage model
  *     --cosim             run the differential co-simulation oracle
  *                         alongside the timing simulation; non-zero
@@ -65,6 +71,11 @@ ratioOrDash(double value, std::uint64_t denom, const char *format)
 void
 printKv(const sim::SimResult &r)
 {
+    if (r.tombstone) {
+        std::printf("model=%s app=%s failed=1 attempts=%u\n",
+                    r.model.c_str(), r.app.c_str(), r.attempts);
+        return;
+    }
     std::printf("model=%s app=%s insts=%llu cycles=%llu ipc=%.6f "
                 "upc=%.6f coverage=%.6f dynamic_energy=%.6e "
                 "leakage_energy=%.6e total_energy=%.6e cmpw=%.6e "
@@ -96,6 +107,11 @@ printKv(const sim::SimResult &r)
 void
 printHuman(const sim::SimResult &r)
 {
+    if (r.tombstone) {
+        std::printf("%s on %s: FAILED after %u attempt(s)\n",
+                    r.model.c_str(), r.app.c_str(), r.attempts);
+        return;
+    }
     std::printf("%s on %s: %llu insts in %llu cycles\n", r.model.c_str(),
                 r.app.c_str(), static_cast<unsigned long long>(r.insts),
                 static_cast<unsigned long long>(r.cycles));
@@ -138,6 +154,8 @@ main(int argc, char **argv)
     std::uint64_t insts = 300000;
     unsigned jobs = 0;
     double pmax = 0.0;
+    std::uint64_t deadline_ms = 0;
+    unsigned retries = 2;
     bool no_leakage = false;
     bool kv = false;
     bool dump_config = false;
@@ -165,6 +183,10 @@ main(int argc, char **argv)
             jobs = cli::parseU32(arg, need_value(i));
         } else if (!std::strcmp(arg, "--pmax")) {
             pmax = cli::parseF64(arg, need_value(i));
+        } else if (!std::strcmp(arg, "--deadline-ms")) {
+            deadline_ms = cli::parseU64(arg, need_value(i));
+        } else if (!std::strcmp(arg, "--retries")) {
+            retries = cli::parseU32(arg, need_value(i));
         } else if (!std::strcmp(arg, "--stats-interval")) {
             stats_interval = cli::parseU32(arg, need_value(i));
         } else if (!std::strcmp(arg, "--stats-out")) {
@@ -243,15 +265,19 @@ main(int argc, char **argv)
     opts.pmaxPerCycle = pmax;
     opts.noLeakage = no_leakage;
     opts.jobs = jobs;
+    opts.deadlineMs = deadline_ms;
+    opts.maxRetries = retries;
     sim::SuiteRunner runner(opts);
     auto results = runner.runSuite(cfg, suite);
     std::uint64_t cosim_mismatches = 0;
+    bool any_failed = false;
     for (const auto &r : results) {
         if (kv)
             printKv(r);
         else
             printHuman(r);
         cosim_mismatches += r.cosimMismatches;
+        any_failed |= r.tombstone;
     }
 
     if (!stats_out.empty()) {
@@ -293,5 +319,10 @@ main(int argc, char **argv)
             return 2;
         }
     }
-    return cosim_mismatches == 0 ? 0 : 1;
+    // Exit taxonomy: 1 = correctness alarm (cosim mismatch), 2 = CLI
+    // errors (above), 3 = some apps failed/timed out after retries —
+    // results above are degraded but the run completed.
+    if (cosim_mismatches != 0)
+        return 1;
+    return any_failed ? 3 : 0;
 }

@@ -47,6 +47,24 @@ arenaDebugMode()
     return env && env[0] != '\0' && env[0] != '0';
 }
 
+/** Round `p` up to the next multiple of power-of-two `align`. */
+inline std::byte *
+alignPtr(std::byte *p, std::size_t align)
+{
+    auto addr = reinterpret_cast<std::uintptr_t>(p);
+    std::uintptr_t aligned = (addr + align - 1) & ~(align - 1);
+    return p + (aligned - addr);
+}
+
+/** Smallest offset >= `off` making base+offset `align`-aligned. */
+inline std::size_t
+alignedOffset(const std::byte *base, std::size_t off, std::size_t align)
+{
+    auto addr = reinterpret_cast<std::uintptr_t>(base) + off;
+    std::uintptr_t aligned = (addr + align - 1) & ~(align - 1);
+    return off + static_cast<std::size_t>(aligned - addr);
+}
+
 /**
  * A chunked bump allocator. allocate() carves naturally-aligned blocks
  * out of fixed-size chunks; memory is reclaimed only by destroying the
@@ -80,21 +98,31 @@ class Arena
         stat.bytesRequested += bytes;
         if (debug) {
             // One heap chunk per allocation: maximum ASan visibility.
-            chunks.emplace_back(new std::byte[bytes ? bytes : 1]);
+            // Over-allocate so alignments beyond operator new's
+            // guarantee still hold.
+            chunks.emplace_back(new std::byte[bytes + align]);
             ++stat.chunkAllocs;
-            return chunks.back().get();
+            return alignPtr(chunks.back().get(), align);
         }
-        std::size_t off = (cur + align - 1) & ~(align - 1);
-        if (!chunks.empty() && off + bytes <= chunkBytes) {
-            cur = off + bytes;
-            return chunks.back().get() + off;
+        // Alignment must hold for the final ADDRESS, not the offset:
+        // operator new only guarantees __STDCPP_DEFAULT_NEW_ALIGNMENT__
+        // for the chunk base, so for larger alignments the offset math
+        // alone would be right only by heap-layout luck.
+        if (!chunks.empty()) {
+            std::size_t off = alignedOffset(chunks.back().get(), cur,
+                                            align);
+            if (off + bytes <= chunkBytes) {
+                cur = off + bytes;
+                return chunks.back().get() + off;
+            }
         }
         // Oversized requests get a dedicated chunk and leave the
         // current bump chunk in place for subsequent small ones.
-        if (bytes > chunkBytes) {
+        if (bytes + align > chunkBytes) {
             ++stat.chunkAllocs;
-            std::unique_ptr<std::byte[]> big(new std::byte[bytes]);
-            std::byte *p = big.get();
+            std::unique_ptr<std::byte[]> big(
+                new std::byte[bytes + align]);
+            std::byte *p = alignPtr(big.get(), align);
             if (chunks.empty()) {
                 chunks.push_back(std::move(big));
                 cur = chunkBytes; // mark full: it is not a bump chunk
@@ -105,8 +133,9 @@ class Arena
         }
         ++stat.chunkAllocs;
         chunks.emplace_back(new std::byte[chunkBytes]);
-        cur = bytes;
-        return chunks.back().get();
+        std::size_t off = alignedOffset(chunks.back().get(), 0, align);
+        cur = off + bytes;
+        return chunks.back().get() + off;
     }
 
     /** Allocate an uninitialized array of n trivially-destructible Ts. */

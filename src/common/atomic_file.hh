@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Crash-safe file output, POSIX-only (like the rest of the repo).
+ *
+ * Two disciplines cover every result file the project writes:
+ *
+ *  - writeFileAtomic(): whole-file replacement via write-temp + fsync +
+ *    rename (+ best-effort directory fsync). A reader — including a
+ *    rerun after `kill -9` — sees either the complete old file or the
+ *    complete new file, never a truncated hybrid. Used for corpus
+ *    files, JSON reports and bench-cache compaction.
+ *
+ *  - AppendJournal: line-granular O_APPEND journal whose appendLine()
+ *    issues one write(2) per line and fsyncs before returning, so a
+ *    crash loses at most the line being written — and every error
+ *    (ENOSPC, read-only dir, yanked mount) is detected and reported
+ *    instead of silently dropping rows. Used for incremental bench
+ *    cache persistence.
+ *
+ * Both consult fault::writesShouldFail() so PARROT_FAULT_ENOSPC_* can
+ * prove the error paths in tests.
+ */
+
+#ifndef PARROT_COMMON_ATOMIC_FILE_HH
+#define PARROT_COMMON_ATOMIC_FILE_HH
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+#include "common/fault.hh"
+
+namespace parrot::atomic_file
+{
+
+namespace detail
+{
+
+/** write(2) the whole buffer, retrying short writes and EINTR. */
+inline bool
+writeAll(int fd, const char *data, std::size_t len)
+{
+    while (len > 0) {
+        ssize_t n = ::write(fd, data, len);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        data += n;
+        len -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+/** Best-effort fsync of the directory containing `path`, so the
+ * rename that published a file survives a power cut too. */
+inline void
+fsyncDirOf(const std::string &path)
+{
+    auto slash = path.rfind('/');
+    std::string dir =
+        slash == std::string::npos ? "." : path.substr(0, slash);
+    int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd >= 0) {
+        ::fsync(fd);
+        ::close(fd);
+    }
+}
+
+inline std::string
+errnoMessage(const char *what, const std::string &path)
+{
+    return std::string(what) + " " + path + ": " + std::strerror(errno);
+}
+
+} // namespace detail
+
+/**
+ * Atomically replace `path` with `content`: write a sibling temp file,
+ * fsync it, rename over the target. On failure the temp file is
+ * removed, `error` (when given) describes what went wrong, and the
+ * previous file content is untouched.
+ */
+inline bool
+writeFileAtomic(const std::string &path, const std::string &content,
+                std::string *error = nullptr)
+{
+    auto fail = [&](const char *what) {
+        if (error)
+            *error = detail::errnoMessage(what, path);
+        return false;
+    };
+    if (fault::writesShouldFail()) {
+        errno = ENOSPC;
+        return fail("write");
+    }
+    const std::string tmp =
+        path + ".tmp." + std::to_string(::getpid());
+    int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0)
+        return fail("open");
+    if (!detail::writeAll(fd, content.data(), content.size()) ||
+        ::fsync(fd) != 0) {
+        int saved = errno;
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        errno = saved;
+        return fail("write");
+    }
+    if (::close(fd) != 0) {
+        ::unlink(tmp.c_str());
+        return fail("close");
+    }
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+        int saved = errno;
+        ::unlink(tmp.c_str());
+        errno = saved;
+        return fail("rename");
+    }
+    detail::fsyncDirOf(path);
+    return true;
+}
+
+/**
+ * A line-granular append journal: one write(2) + fsync per line, every
+ * failure detected. Non-copyable (owns the fd).
+ */
+class AppendJournal
+{
+  public:
+    AppendJournal() = default;
+    ~AppendJournal() { close(); }
+
+    AppendJournal(const AppendJournal &) = delete;
+    AppendJournal &operator=(const AppendJournal &) = delete;
+
+    /** Open (creating if absent) for appending. */
+    bool open(const std::string &journal_path)
+    {
+        close();
+        fd = ::open(journal_path.c_str(),
+                    O_WRONLY | O_CREAT | O_APPEND, 0644);
+        if (fd < 0) {
+            err = detail::errnoMessage("open", journal_path);
+            return false;
+        }
+        path = journal_path;
+        return true;
+    }
+
+    bool isOpen() const { return fd >= 0; }
+
+    /** Current file size in bytes; -1 when not open. */
+    long long size() const
+    {
+        struct stat st;
+        if (fd < 0 || ::fstat(fd, &st) != 0)
+            return -1;
+        return static_cast<long long>(st.st_size);
+    }
+
+    /**
+     * Append `line` plus a newline and fsync: when this returns true
+     * the line is on stable storage; when it returns false nothing may
+     * be assumed durable and error() says why.
+     */
+    bool appendLine(const std::string &line)
+    {
+        if (fd < 0) {
+            err = "journal not open";
+            return false;
+        }
+        if (fault::writesShouldFail()) {
+            errno = ENOSPC;
+            err = detail::errnoMessage("write", path);
+            return false;
+        }
+        std::string buf = line;
+        buf += '\n';
+        if (!detail::writeAll(fd, buf.data(), buf.size()) ||
+            ::fsync(fd) != 0) {
+            err = detail::errnoMessage("write", path);
+            return false;
+        }
+        return true;
+    }
+
+    void close()
+    {
+        if (fd >= 0) {
+            ::close(fd);
+            fd = -1;
+        }
+    }
+
+    /** Description of the last failure. */
+    const std::string &error() const { return err; }
+
+  private:
+    int fd = -1;
+    std::string path;
+    std::string err;
+};
+
+} // namespace parrot::atomic_file
+
+#endif // PARROT_COMMON_ATOMIC_FILE_HH

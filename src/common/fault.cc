@@ -1,0 +1,127 @@
+#include "common/fault.hh"
+
+#include <atomic>
+#include <csignal>
+#include <cstdlib>
+#include <mutex>
+
+namespace parrot::fault
+{
+
+namespace
+{
+
+/** The parsed PARROT_FAULT_* plan; all-zero means "no faults". */
+struct Plan
+{
+    unsigned long crashAfterRows = 0;
+    unsigned long enospcAtRow = 0;
+    unsigned long failCell = 0;
+    unsigned long failCount = 0;
+    unsigned long slowCell = 0;
+    unsigned long slowMs = 0;
+};
+
+unsigned long
+envUl(const char *name)
+{
+    const char *v = std::getenv(name);
+    if (!v || !*v)
+        return 0;
+    char *end = nullptr;
+    unsigned long x = std::strtoul(v, &end, 10);
+    return (end != v && *end == '\0') ? x : 0;
+}
+
+std::mutex planMutex;
+bool planParsed = false;
+Plan activePlan;
+
+std::atomic<unsigned long> cellCounter{0};
+std::atomic<unsigned long> rowCounter{0};
+
+thread_local unsigned long armedCell = 0;
+thread_local unsigned long armedAttempt = 0;
+
+const Plan &
+plan()
+{
+    std::lock_guard<std::mutex> lock(planMutex);
+    if (!planParsed) {
+        Plan p;
+        p.crashAfterRows = envUl("PARROT_FAULT_CRASH_AT_CELL");
+        p.enospcAtRow = envUl("PARROT_FAULT_ENOSPC_AT_CELL");
+        p.failCell = envUl("PARROT_FAULT_FAIL_CELL");
+        p.failCount = envUl("PARROT_FAULT_FAIL_COUNT");
+        if (p.failCell != 0 && p.failCount == 0)
+            p.failCount = ~0ul; // default: every attempt fails
+        p.slowCell = envUl("PARROT_FAULT_SLOW_CELL");
+        p.slowMs = envUl("PARROT_FAULT_SLOW_MS");
+        if (p.slowCell != 0 && p.slowMs == 0)
+            p.slowMs = 100;
+        activePlan = p;
+        planParsed = true;
+    }
+    return activePlan;
+}
+
+} // namespace
+
+unsigned long
+nextCellIndex()
+{
+    plan();
+    return cellCounter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+void
+armAttempt(unsigned long cell, unsigned long attempt)
+{
+    armedCell = cell;
+    armedAttempt = attempt;
+}
+
+bool
+attemptShouldFail()
+{
+    const Plan &p = plan();
+    return p.failCell != 0 && armedCell == p.failCell &&
+           armedAttempt <= p.failCount;
+}
+
+unsigned long
+attemptStallMs()
+{
+    const Plan &p = plan();
+    return (p.slowCell != 0 && armedCell == p.slowCell) ? p.slowMs : 0;
+}
+
+bool
+writesShouldFail()
+{
+    const Plan &p = plan();
+    return p.enospcAtRow != 0 &&
+           rowCounter.load(std::memory_order_relaxed) + 1 >= p.enospcAtRow;
+}
+
+void
+rowPersisted()
+{
+    const Plan &p = plan();
+    unsigned long n = rowCounter.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (p.crashAfterRows != 0 && n >= p.crashAfterRows)
+        std::raise(SIGKILL); // the literal `kill -9` the tests recover from
+}
+
+void
+resetForTest()
+{
+    std::lock_guard<std::mutex> lock(planMutex);
+    planParsed = false;
+    cellCounter.store(0, std::memory_order_relaxed);
+    rowCounter.store(0, std::memory_order_relaxed);
+    armedCell = 0;
+    armedAttempt = 0;
+}
+
+} // namespace parrot::fault

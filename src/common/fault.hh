@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Fault-injection hooks for the resilience layer, driven entirely by
+ * PARROT_FAULT_* environment variables so tests and CI can prove the
+ * crash-recovery path without patching the binary:
+ *
+ *   PARROT_FAULT_CRASH_AT_CELL=k   raise(SIGKILL) — a literal `kill -9`
+ *                                  — immediately after the k-th (1-based)
+ *                                  result row has been durably persisted.
+ *   PARROT_FAULT_ENOSPC_AT_CELL=k  every durable write fails with ENOSPC
+ *                                  starting with the k-th row write.
+ *   PARROT_FAULT_FAIL_CELL=k       attempts of the k-th simulation cell
+ *                                  throw; PARROT_FAULT_FAIL_COUNT=n caps
+ *                                  the injected failures at the first n
+ *                                  attempts (default: every attempt).
+ *   PARROT_FAULT_SLOW_CELL=k       every attempt of the k-th cell stalls
+ *                                  PARROT_FAULT_SLOW_MS ms (default 100)
+ *                                  inside the simulator loop, so a
+ *                                  RunOptions::deadlineMs watchdog fires.
+ *
+ * "Cell" is one (model, application) simulation attempt group: the
+ * SuiteRunner draws a process-wide 1-based index per cell via
+ * nextCellIndex() and arms the calling thread before each attempt.
+ * Persisted-row counting is likewise process-wide and includes the
+ * Pmax marker row. With more than one worker thread the cell order is
+ * scheduling-dependent; fault-injection tests pin PARROT_JOBS=1.
+ *
+ * All hooks are no-ops (a few relaxed atomic loads) when no
+ * PARROT_FAULT_* variable is set.
+ */
+
+#ifndef PARROT_COMMON_FAULT_HH
+#define PARROT_COMMON_FAULT_HH
+
+namespace parrot::fault
+{
+
+/** Draw the next 1-based cell index (SuiteRunner, one per cell). */
+unsigned long nextCellIndex();
+
+/** Arm the calling thread's fault state for one attempt of a cell. */
+void armAttempt(unsigned long cell, unsigned long attempt);
+
+/** Should the current thread's armed attempt throw an injected fault? */
+bool attemptShouldFail();
+
+/** Injected stall (ms) for the current thread's armed attempt; 0 = none.
+ * The simulator sleeps this long so the deadline watchdog trips. */
+unsigned long attemptStallMs();
+
+/** Should durable writes fail with an injected ENOSPC right now? */
+bool writesShouldFail();
+
+/** Record that one result row reached stable storage; SIGKILLs the
+ * process when the configured crash point is reached. */
+void rowPersisted();
+
+/** Re-read the environment and zero all counters (tests only). */
+void resetForTest();
+
+} // namespace parrot::fault
+
+#endif // PARROT_COMMON_FAULT_HH

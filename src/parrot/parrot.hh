@@ -17,8 +17,10 @@
 #ifndef PARROT_PARROT_HH
 #define PARROT_PARROT_HH
 
+#include "common/atomic_file.hh"
 #include "common/bitutil.hh"
 #include "common/counters.hh"
+#include "common/fault.hh"
 #include "common/logging.hh"
 #include "common/random.hh"
 #include "common/types.hh"

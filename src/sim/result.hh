@@ -94,6 +94,16 @@ struct SimResult
     std::uint64_t cosimTraceCommits = 0; //!< trace boundaries compared
     std::uint64_t cosimMismatches = 0;   //!< divergence events
 
+    // --- resilience (deliberately NOT in resultFields(): tombstones
+    // serialize as their own "!failed" cache-row form, and attempts is
+    // per-run provenance, not a simulated metric) ---
+    /** True when the cell failed every attempt (deadline, OOM, injected
+     * fault): every metric above is meaningless and figure tables
+     * render the cell as "-". */
+    bool tombstone = false;
+    /** Attempts it took to produce this result (1 = first try). */
+    unsigned attempts = 1;
+
     /** Windowed time-series sampled every ModelConfig::statsInterval
      * cycles; null when sampling was off. Never serialized. */
     std::shared_ptr<const stats::TimeSeries> series;

@@ -1,9 +1,12 @@
 #include "sim/runner.hh"
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
+#include <stdexcept>
 #include <thread>
 
+#include "common/fault.hh"
 #include "common/logging.hh"
 #include "stats/stats.hh"
 
@@ -154,7 +157,52 @@ SuiteRunner::runPrepared(const ModelConfig &config,
 {
     double pmax_per_cycle = opts.noLeakage ? 0.0 : pmaxValue;
     ParrotSimulator sim(config, workloadFor(entry));
-    return sim.run(opts.instBudget, pmax_per_cycle);
+    return sim.run(opts.instBudget, pmax_per_cycle, opts.deadlineMs);
+}
+
+SimResult
+SuiteRunner::runCell(const ModelConfig &config,
+                     const workload::SuiteEntry &entry)
+{
+    const unsigned long cell = fault::nextCellIndex();
+    const unsigned max_attempts = opts.maxRetries + 1;
+    for (unsigned attempt = 1;; ++attempt) {
+        fault::armAttempt(cell, attempt);
+        try {
+            if (fault::attemptShouldFail())
+                throw std::runtime_error(
+                    "injected cell failure (PARROT_FAULT_FAIL_CELL)");
+            SimResult r = runPrepared(config, entry);
+            r.attempts = attempt;
+            return r;
+        } catch (const std::exception &e) {
+            // Deadline timeouts, OOM (bad_alloc) and injected faults
+            // land here; PARROT_PANIC-style invariant violations abort
+            // the process and are deliberately not retried.
+            if (attempt >= max_attempts) {
+                PARROT_WARN("%s/%s failed after %u attempt(s): %s; "
+                            "recording tombstone",
+                            config.name.c_str(),
+                            entry.profile.name.c_str(), attempt,
+                            e.what());
+                SimResult t;
+                t.model = config.name;
+                t.app = entry.profile.name;
+                t.tombstone = true;
+                t.attempts = attempt;
+                return t;
+            }
+            const std::uint64_t delay = opts.retryBackoffMs
+                                        << (attempt - 1);
+            PARROT_WARN("%s/%s attempt %u/%u failed (%s); retrying in "
+                        "%llu ms",
+                        config.name.c_str(), entry.profile.name.c_str(),
+                        attempt, max_attempts, e.what(),
+                        static_cast<unsigned long long>(delay));
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(delay));
+        }
+    }
 }
 
 SimResult
@@ -169,19 +217,21 @@ SuiteRunner::runOne(const ModelConfig &config,
                     const workload::SuiteEntry &entry)
 {
     prepare();
-    return runPrepared(config, entry);
+    return runCell(config, entry);
 }
 
 std::vector<SimResult>
 SuiteRunner::runSuite(const std::string &model_name,
-                      const std::vector<workload::SuiteEntry> &suite)
+                      const std::vector<workload::SuiteEntry> &suite,
+                      const CellCallback &on_cell_done)
 {
-    return runSuite(ModelConfig::make(model_name), suite);
+    return runSuite(ModelConfig::make(model_name), suite, on_cell_done);
 }
 
 std::vector<SimResult>
 SuiteRunner::runSuite(const ModelConfig &config,
-                      const std::vector<workload::SuiteEntry> &suite)
+                      const std::vector<workload::SuiteEntry> &suite,
+                      const CellCallback &on_cell_done)
 {
     // All shared-state mutation (Pmax calibration, workload
     // generation) happens here, before any worker starts; the workers
@@ -190,7 +240,9 @@ SuiteRunner::runSuite(const ModelConfig &config,
     prepare(suite);
     std::vector<SimResult> out(suite.size());
     parallelFor(suite.size(), opts.jobs, [&](std::size_t i) {
-        out[i] = runPrepared(config, suite[i]);
+        out[i] = runCell(config, suite[i]);
+        if (on_cell_done)
+            on_cell_done(i, out[i]);
     });
     return out;
 }

@@ -44,6 +44,21 @@ struct RunOptions
      * environment variable, falling back to hardware_concurrency.
      */
     unsigned jobs = 0;
+    /**
+     * Wall-clock deadline per simulation in milliseconds; 0 = none.
+     * A cell past its deadline aborts cleanly (DeadlineExceeded at a
+     * commit boundary) instead of hanging the pool, then goes through
+     * the retry/tombstone path below.
+     */
+    std::uint64_t deadlineMs = 0;
+    /**
+     * Extra attempts for a failed or timed-out cell before it is
+     * recorded as a tombstone (SimResult::tombstone) instead of
+     * aborting the whole suite.
+     */
+    unsigned maxRetries = 2;
+    /** Backoff before the first retry; doubles per further attempt. */
+    std::uint64_t retryBackoffMs = 100;
 };
 
 /**
@@ -92,7 +107,21 @@ class SuiteRunner
      */
     void prepare(const std::vector<workload::SuiteEntry> &suite = {});
 
-    /** Simulate one application on one model. */
+    /**
+     * Invoked (from the completing worker's thread) the moment one
+     * suite cell finishes, with the suite index and its result. Lets
+     * callers persist each cell durably as it lands instead of losing
+     * the whole batch to a mid-suite crash; the callback must be
+     * thread-safe under jobs > 1.
+     */
+    using CellCallback =
+        std::function<void(std::size_t, const SimResult &)>;
+
+    /**
+     * Simulate one application on one model. Failures and deadline
+     * timeouts are retried per RunOptions and, once exhausted, come
+     * back as a tombstone result rather than an exception.
+     */
     SimResult runOne(const std::string &model_name,
                      const workload::SuiteEntry &entry);
 
@@ -103,12 +132,14 @@ class SuiteRunner
     /** Simulate a set of applications on one model (worker pool). */
     std::vector<SimResult> runSuite(
         const std::string &model_name,
-        const std::vector<workload::SuiteEntry> &suite);
+        const std::vector<workload::SuiteEntry> &suite,
+        const CellCallback &on_cell_done = {});
 
     /** Same, for an explicit model configuration. */
     std::vector<SimResult> runSuite(
         const ModelConfig &config,
-        const std::vector<workload::SuiteEntry> &suite);
+        const std::vector<workload::SuiteEntry> &suite,
+        const CellCallback &on_cell_done = {});
 
     /**
      * The calibrated Pmax (model pJ per cycle). Triggers the
@@ -130,6 +161,15 @@ class SuiteRunner
     /** One simulation; requires prepare() to have run. */
     SimResult runPrepared(const ModelConfig &config,
                           const workload::SuiteEntry &entry);
+
+    /**
+     * One cell with the resilience wrapper: deadline plumbing, retry
+     * with exponential backoff, tombstone on exhaustion. Never throws
+     * for per-cell failures (std::exception), so one pathological cell
+     * cannot take down the pool.
+     */
+    SimResult runCell(const ModelConfig &config,
+                      const workload::SuiteEntry &entry);
 
     RunOptions opts;
     std::mutex pmaxMutex; //!< guards the calibration state below

@@ -1,8 +1,11 @@
 #include "sim/simulator.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
+#include <thread>
 
+#include "common/fault.hh"
 #include "common/logging.hh"
 
 namespace parrot::sim
@@ -869,7 +872,8 @@ ParrotSimulator::sampleWindow(stats::Snapshot &prev,
 }
 
 SimResult
-ParrotSimulator::run(std::uint64_t inst_budget, double pmax_per_cycle)
+ParrotSimulator::run(std::uint64_t inst_budget, double pmax_per_cycle,
+                     std::uint64_t deadline_ms)
 {
     PARROT_ASSERT(inst_budget > 0, "run: zero instruction budget");
 
@@ -878,6 +882,20 @@ ParrotSimulator::run(std::uint64_t inst_budget, double pmax_per_cycle)
     pmaxPerCycle = pmax_per_cycle;
 
     const std::uint64_t cycle_cap = inst_budget * 40 + 200000;
+
+    // Wall-clock watchdog. The cycle cap above bounds *simulated* time;
+    // the deadline bounds *host* time, catching configurations that
+    // burn host seconds per cycle. Sampled every kDeadlineStride cycles
+    // at a commit boundary (stepCycle ends with reapTraceCommits) so
+    // the abort leaves no half-committed trace state behind.
+    using WallClock = std::chrono::steady_clock;
+    constexpr std::uint64_t kDeadlineStride = 8192;
+    const WallClock::time_point wall_start = WallClock::now();
+    if (unsigned long stall = fault::attemptStallMs()) {
+        // Injected slow cell (PARROT_FAULT_SLOW_CELL): burn host time
+        // against the deadline without touching simulated state.
+        std::this_thread::sleep_for(std::chrono::milliseconds(stall));
+    }
 
     // Windowed sampling: diff successive tree snapshots every
     // statsInterval cycles. Purely observational — it reads the same
@@ -892,6 +910,12 @@ ParrotSimulator::run(std::uint64_t inst_budget, double pmax_per_cycle)
 
     while (committedInsts() < inst_budget && cycle < cycle_cap) {
         stepCycle();
+        if (deadline_ms > 0 && cycle % kDeadlineStride == 0 &&
+            WallClock::now() - wall_start >=
+                std::chrono::milliseconds(deadline_ms)) {
+            throw DeadlineExceeded(cfg.name, load.profile.name,
+                                   deadline_ms);
+        }
         if (interval > 0 && cycle % interval == 0)
             sampleWindow(prevWindow, *series);
     }

@@ -18,6 +18,7 @@
 #include <deque>
 #include <memory>
 #include <optional>
+#include <stdexcept>
 
 #include "common/arena.hh"
 #include "common/ring_buffer.hh"
@@ -55,6 +56,24 @@ struct Workload
 Workload loadWorkload(const workload::SuiteEntry &entry);
 
 /**
+ * Thrown by ParrotSimulator::run when its wall-clock deadline expires:
+ * the one (model, application) cell is abandoned mid-flight so the
+ * caller (SuiteRunner) can retry or tombstone it instead of a
+ * pathological configuration hanging the whole worker pool.
+ */
+class DeadlineExceeded : public std::runtime_error
+{
+  public:
+    DeadlineExceeded(const std::string &model, const std::string &app,
+                     std::uint64_t deadline_ms)
+        : std::runtime_error("deadline of " +
+                             std::to_string(deadline_ms) +
+                             " ms exceeded simulating " + app + " on " +
+                             model)
+    {}
+};
+
+/**
  * One (model, application) simulation.
  */
 class ParrotSimulator
@@ -67,8 +86,14 @@ class ParrotSimulator
      * @param inst_budget committed-instruction target (> 0).
      * @param pmax_per_cycle Pmax for the leakage formula; pass 0 to
      *        skip leakage (used during the calibration run itself).
+     * @param deadline_ms wall-clock watchdog: when > 0 and this much
+     *        host time elapses, the run throws DeadlineExceeded at a
+     *        commit boundary (checked every few thousand cycles). The
+     *        watchdog is purely observational — a run that finishes
+     *        within the deadline is bit-identical to one without it.
      */
-    SimResult run(std::uint64_t inst_budget, double pmax_per_cycle);
+    SimResult run(std::uint64_t inst_budget, double pmax_per_cycle,
+                  std::uint64_t deadline_ms = 0);
 
     /** The per-simulation stats tree. Every metric SimResult carries is
      * a path in this tree; reporting layers read it via snapshot(). */

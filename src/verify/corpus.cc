@@ -3,6 +3,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/atomic_file.hh"
+
 namespace parrot::verify
 {
 
@@ -148,11 +150,9 @@ loadCorpusFile(const std::string &path, CorpusEntry &out,
 bool
 writeCorpusFile(const std::string &path, const CorpusEntry &entry)
 {
-    std::ofstream out(path);
-    if (!out)
-        return false;
-    out << renderCorpus(entry);
-    return static_cast<bool>(out);
+    // Atomic replace: a crash mid-write must never leave a truncated
+    // corpus file that a later replay run would trip over.
+    return atomic_file::writeFileAtomic(path, renderCorpus(entry));
 }
 
 } // namespace parrot::verify

@@ -1,0 +1,295 @@
+/**
+ * @file
+ * Crash-recovery and fault-injection tests for the resilient bench
+ * layer: kill -9 mid-suite, truncated cache lines, exhausted retries
+ * (tombstones), transient-fault retry, and disk-failure handling.
+ *
+ * All tests pin PARROT_JOBS=1 so the process-wide cell numbering the
+ * PARROT_FAULT_* plan targets follows suite order. The death test uses
+ * gtest's default "fast" (fork-only) style deliberately: the
+ * "threadsafe" style would re-exec the whole binary with the crash
+ * variables set and kill the re-run's prelude instead of the armed
+ * statement. Forking is safe here because jobs=1 keeps the suite
+ * runner on its serial, thread-free path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "common/fault.hh"
+#include "sim/result.hh"
+
+namespace
+{
+
+using namespace parrot;
+using namespace parrot::bench;
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+std::size_t
+countLines(const std::string &text)
+{
+    std::size_t n = 0;
+    for (char c : text)
+        n += (c == '\n');
+    return n;
+}
+
+std::size_t
+countOccurrences(const std::string &text, const std::string &needle)
+{
+    std::size_t n = 0;
+    for (auto pos = text.find(needle); pos != std::string::npos;
+         pos = text.find(needle, pos + needle.size()))
+        ++n;
+    return n;
+}
+
+std::vector<workload::SuiteEntry>
+tinySuite()
+{
+    return {workload::findApp("swim"), workload::findApp("word"),
+            workload::findApp("gcc"), workload::findApp("bzip")};
+}
+
+/** Pin the bench environment and scrub every fault variable, so each
+ * test arms exactly the plan it means to. */
+class ResilienceTest : public testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        setenv("PARROT_BENCH_INSTS", "20000", 1);
+        setenv("PARROT_JOBS", "1", 1);
+        setenv("PARROT_RETRY_BACKOFF_MS", "1", 1);
+        clearFaults();
+    }
+
+    void TearDown() override
+    {
+        clearFaults();
+        unsetenv("PARROT_BENCH_INSTS");
+        unsetenv("PARROT_JOBS");
+        unsetenv("PARROT_RETRY_BACKOFF_MS");
+    }
+
+    static void clearFaults()
+    {
+        unsetenv("PARROT_FAULT_CRASH_AT_CELL");
+        unsetenv("PARROT_FAULT_ENOSPC_AT_CELL");
+        unsetenv("PARROT_FAULT_FAIL_CELL");
+        unsetenv("PARROT_FAULT_FAIL_COUNT");
+        unsetenv("PARROT_FAULT_SLOW_CELL");
+        unsetenv("PARROT_FAULT_SLOW_MS");
+        unsetenv("PARROT_RETRIES");
+        unsetenv("PARROT_DEADLINE_MS");
+        unsetenv("PARROT_BENCH_NO_CACHE");
+        fault::resetForTest();
+    }
+};
+
+using ResilienceDeathTest = ResilienceTest;
+
+TEST_F(ResilienceDeathTest, KillNineRecoveryIsByteIdentical)
+{
+    const std::string ref_path = "test_resil_ref.tmp";
+    const std::string crash_path = "test_resil_crash.tmp";
+    std::remove(ref_path.c_str());
+    std::remove(crash_path.c_str());
+
+    // Reference: one uninterrupted run, compacted on destruction.
+    {
+        ResultStore store(ref_path);
+        store.getSuite("TN", tinySuite());
+    }
+    const std::string ref_bytes = slurp(ref_path);
+    ASSERT_FALSE(ref_bytes.empty());
+
+    // Same suite, but the forked child SIGKILLs itself right after the
+    // third row (Pmax marker + two cells) reaches stable storage — a
+    // literal kill -9 with a deterministic cut point.
+    EXPECT_EXIT(
+        {
+            setenv("PARROT_FAULT_CRASH_AT_CELL", "3", 1);
+            fault::resetForTest();
+            ResultStore store(crash_path);
+            store.getSuite("TN", tinySuite());
+        },
+        testing::KilledBySignal(SIGKILL), "");
+
+    // The journal kept everything the dead run had finished...
+    const std::string partial = slurp(crash_path);
+    ASSERT_FALSE(partial.empty());
+    EXPECT_LT(countLines(partial), countLines(ref_bytes));
+
+    // ...and a rerun completes only the missing cells, then compacts
+    // to the exact bytes of the never-killed run.
+    {
+        ResultStore store(crash_path);
+        auto results = store.getSuite("TN", tinySuite());
+        for (const auto &r : results)
+            EXPECT_FALSE(r.tombstone);
+    }
+    EXPECT_EQ(slurp(crash_path), ref_bytes);
+
+    std::remove(ref_path.c_str());
+    std::remove(crash_path.c_str());
+}
+
+TEST_F(ResilienceTest, TruncatedCacheLineWarnsAndHeals)
+{
+    const std::string path = "test_resil_trunc.tmp";
+    std::remove(path.c_str());
+    {
+        ResultStore store(path);
+        store.getSuite("TN", tinySuite());
+    }
+    const std::string ref_bytes = slurp(path);
+    ASSERT_GT(ref_bytes.size(), 30u);
+
+    // Chop into the last cell record (TN/word — the compacted file
+    // ends with the _pmax marker row), the way a crash mid-write
+    // would: the clipped row must be discarded and everything after it
+    // is gone.
+    const std::size_t pmax_row = ref_bytes.rfind("\n_pmax");
+    ASSERT_NE(pmax_row, std::string::npos);
+    ASSERT_GT(pmax_row, 25u);
+    {
+        std::ofstream out(path, std::ios::trunc);
+        out << ref_bytes.substr(0, pmax_row - 25);
+    }
+
+    testing::internal::CaptureStderr();
+    {
+        ResultStore store(path);
+        auto results = store.getSuite("TN", tinySuite());
+        for (const auto &r : results)
+            EXPECT_FALSE(r.tombstone);
+    }
+    const std::string log = testing::internal::GetCapturedStderr();
+    EXPECT_NE(log.find("discarded 1 malformed"), std::string::npos)
+        << log;
+    // The rerun re-simulated the clipped cell and compacted back to
+    // the uncorrupted bytes.
+    EXPECT_EQ(slurp(path), ref_bytes);
+    std::remove(path.c_str());
+}
+
+TEST_F(ResilienceTest, TombstonePersistsAndRendersDash)
+{
+    const std::string path = "test_resil_tomb.tmp";
+    std::remove(path.c_str());
+    setenv("PARROT_FAULT_FAIL_CELL", "1", 1); // swim, every attempt
+    setenv("PARROT_RETRIES", "1", 1);
+    fault::resetForTest();
+    {
+        ResultStore store(path);
+        auto results = store.getSuite("TN", tinySuite());
+        ASSERT_EQ(results.size(), 4u);
+        EXPECT_TRUE(results[0].tombstone);
+        EXPECT_EQ(results[0].attempts, 2u);
+        EXPECT_FALSE(results[1].tombstone);
+        EXPECT_TRUE(store.hadFailures());
+        EXPECT_EQ(store.exitCode(), 3);
+    }
+    EXPECT_NE(slurp(path).find("!failed attempts=2"),
+              std::string::npos);
+
+    // A fresh store loads the tombstone from disk as-is (no re-run)
+    // and the figure printer renders its group as "-".
+    clearFaults();
+    ResultStore store(path);
+    EXPECT_TRUE(store.get("TN", workload::findApp("swim")).tombstone);
+    EXPECT_EQ(store.exitCode(), 3);
+
+    testing::internal::CaptureStdout();
+    printAbsoluteFigure("tombstone figure", {"TN"}, store, tinySuite(),
+                        [](const sim::SimResult &r) { return r.ipc; },
+                        3);
+    const std::string fig = testing::internal::GetCapturedStdout();
+    // swim is the suite's only SpecFP app, so the TN row's SpecFP cell
+    // must be a dash while SpecInt (gcc, bzip) stays numeric.
+    std::istringstream lines(fig);
+    std::string line, tn_row;
+    while (std::getline(lines, line)) {
+        if (line.rfind("TN", 0) == 0)
+            tn_row = line;
+    }
+    ASSERT_FALSE(tn_row.empty()) << fig;
+    EXPECT_NE(tn_row.find(" -"), std::string::npos) << tn_row;
+    std::remove(path.c_str());
+}
+
+TEST_F(ResilienceTest, RetryRecoversAfterTransientFault)
+{
+    // Cell 1 fails on its first attempt only; the retry must succeed
+    // and report attempts=2 with a real result.
+    setenv("PARROT_FAULT_FAIL_CELL", "1", 1);
+    setenv("PARROT_FAULT_FAIL_COUNT", "1", 1);
+    fault::resetForTest();
+
+    sim::RunOptions opts;
+    opts.instBudget = 20'000;
+    opts.noLeakage = true;
+    opts.jobs = 1;
+    opts.maxRetries = 2;
+    opts.retryBackoffMs = 1;
+    sim::SuiteRunner runner(opts);
+    sim::SimResult r = runner.runOne("TN", workload::findApp("swim"));
+    EXPECT_FALSE(r.tombstone);
+    EXPECT_EQ(r.attempts, 2u);
+    EXPECT_GT(r.ipc, 0.0);
+}
+
+TEST_F(ResilienceTest, WriteFailureDisablesCacheAndWarnsOnce)
+{
+    const std::string path = "test_resil_enospc.tmp";
+    std::remove(path.c_str());
+    setenv("PARROT_FAULT_ENOSPC_AT_CELL", "1", 1); // every row write
+    fault::resetForTest();
+
+    testing::internal::CaptureStderr();
+    {
+        ResultStore store(path);
+        auto results = store.getSuite("TN", tinySuite());
+        // A dead disk degrades persistence, never correctness.
+        for (const auto &r : results) {
+            EXPECT_FALSE(r.tombstone);
+            EXPECT_GT(r.ipc, 0.0);
+        }
+    }
+    const std::string log = testing::internal::GetCapturedStderr();
+    EXPECT_EQ(countOccurrences(log, "caching disabled"), 1u) << log;
+    // Nothing was durably written and compaction must not run either.
+    EXPECT_TRUE(slurp(path).empty());
+    std::remove(path.c_str());
+}
+
+TEST_F(ResilienceTest, UnopenableCachePathDisablesCache)
+{
+    testing::internal::CaptureStderr();
+    ResultStore store("/nonexistent_parrot_dir_xyz/cache.txt");
+    sim::SimResult r = store.get("TN", workload::findApp("word"));
+    EXPECT_FALSE(r.tombstone);
+    EXPECT_GT(r.ipc, 0.0);
+    const std::string log = testing::internal::GetCapturedStderr();
+    EXPECT_EQ(countOccurrences(log, "caching disabled"), 1u) << log;
+}
+
+} // namespace

@@ -1,0 +1,98 @@
+/** @file Unit tests for crash-safe file output (atomic_file.hh). */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/atomic_file.hh"
+
+namespace
+{
+
+using namespace parrot;
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+TEST(WriteFileAtomicTest, ReplacesContentCompletely)
+{
+    const std::string path = "test_atomic_file.tmp";
+    ASSERT_TRUE(atomic_file::writeFileAtomic(path, "first version\n"));
+    EXPECT_EQ(slurp(path), "first version\n");
+    // Shorter second write: stale tail bytes would prove a non-atomic
+    // in-place truncate-and-rewrite.
+    ASSERT_TRUE(atomic_file::writeFileAtomic(path, "v2\n"));
+    EXPECT_EQ(slurp(path), "v2\n");
+    // The sibling temp file must not survive a successful write.
+    std::ifstream tmp(path + ".tmp." + std::to_string(::getpid()));
+    EXPECT_FALSE(tmp.good());
+    std::remove(path.c_str());
+}
+
+TEST(WriteFileAtomicTest, FailureReportsErrorAndLeavesTargetAlone)
+{
+    const std::string path =
+        "/nonexistent_parrot_dir_xyz/test_atomic_file.tmp";
+    std::string err;
+    EXPECT_FALSE(atomic_file::writeFileAtomic(path, "data", &err));
+    EXPECT_FALSE(err.empty());
+    EXPECT_NE(err.find(path), std::string::npos);
+}
+
+TEST(AppendJournalTest, AppendsLinesDurably)
+{
+    const std::string path = "test_append_journal.tmp";
+    std::remove(path.c_str());
+    atomic_file::AppendJournal journal;
+    ASSERT_TRUE(journal.open(path));
+    EXPECT_TRUE(journal.isOpen());
+    EXPECT_EQ(journal.size(), 0);
+    ASSERT_TRUE(journal.appendLine("alpha"));
+    ASSERT_TRUE(journal.appendLine("beta"));
+    EXPECT_EQ(journal.size(), 11); // "alpha\nbeta\n"
+    journal.close();
+    EXPECT_FALSE(journal.isOpen());
+    EXPECT_EQ(slurp(path), "alpha\nbeta\n");
+    std::remove(path.c_str());
+}
+
+TEST(AppendJournalTest, ReopenContinuesAppending)
+{
+    const std::string path = "test_append_journal2.tmp";
+    std::remove(path.c_str());
+    {
+        atomic_file::AppendJournal journal;
+        ASSERT_TRUE(journal.open(path));
+        ASSERT_TRUE(journal.appendLine("one"));
+    } // destructor closes
+    {
+        atomic_file::AppendJournal journal;
+        ASSERT_TRUE(journal.open(path));
+        EXPECT_EQ(journal.size(), 4);
+        ASSERT_TRUE(journal.appendLine("two"));
+    }
+    EXPECT_EQ(slurp(path), "one\ntwo\n");
+    std::remove(path.c_str());
+}
+
+TEST(AppendJournalTest, ErrorsAreDetectedNotSilent)
+{
+    atomic_file::AppendJournal journal;
+    EXPECT_FALSE(journal.appendLine("nowhere"));
+    EXPECT_FALSE(journal.error().empty());
+    EXPECT_FALSE(
+        journal.open("/nonexistent_parrot_dir_xyz/journal.tmp"));
+    EXPECT_NE(journal.error().find("nonexistent_parrot_dir_xyz"),
+              std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,78 @@
+/** @file Tests for the per-simulation wall-clock deadline watchdog. */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "common/fault.hh"
+#include "sim/result.hh"
+#include "sim/runner.hh"
+#include "sim/simulator.hh"
+#include "workload/apps.hh"
+
+namespace
+{
+
+using namespace parrot;
+
+TEST(DeadlineTest, ThrowsWhenWallClockBudgetExpires)
+{
+    auto entry = workload::findApp("swim");
+    sim::Workload load = sim::loadWorkload(entry);
+    sim::ParrotSimulator s(sim::ModelConfig::make("N"), load);
+    // A budget far beyond what 1 ms of wall clock can simulate: the
+    // watchdog must fire long before the instruction budget is met.
+    EXPECT_THROW(s.run(/*inst_budget=*/20'000'000,
+                       /*pmax_per_cycle=*/0.0, /*deadline_ms=*/1),
+                 sim::DeadlineExceeded);
+}
+
+TEST(DeadlineTest, GenerousDeadlineIsObservationallyPure)
+{
+    auto entry = workload::findApp("swim");
+    sim::Workload load = sim::loadWorkload(entry);
+    // A deadline that never trips must not perturb a single metric:
+    // the watchdog only reads the clock.
+    sim::ParrotSimulator without(sim::ModelConfig::make("TON"), load);
+    sim::SimResult a = without.run(50'000, 0.0);
+    sim::ParrotSimulator with(sim::ModelConfig::make("TON"), load);
+    sim::SimResult b = with.run(50'000, 0.0, /*deadline_ms=*/60'000);
+    for (const auto &f : sim::resultFields())
+        EXPECT_EQ(f.get(a), f.get(b)) << f.key;
+}
+
+TEST(DeadlineTest, TimedOutCellTombstonesInsteadOfAbortingSuite)
+{
+    // Cell 1 (swim) stalls 400 ms per attempt against a 150 ms
+    // deadline; cell 2 (word) is healthy. The suite must finish with a
+    // tombstone in slot 0 and a real result in slot 1.
+    setenv("PARROT_FAULT_SLOW_CELL", "1", 1);
+    setenv("PARROT_FAULT_SLOW_MS", "400", 1);
+    fault::resetForTest();
+
+    sim::RunOptions opts;
+    opts.instBudget = 50'000;
+    opts.noLeakage = true;
+    opts.jobs = 1; // cell indices must follow suite order
+    opts.deadlineMs = 150;
+    opts.maxRetries = 1;
+    opts.retryBackoffMs = 1;
+    sim::SuiteRunner runner(opts);
+    std::vector<workload::SuiteEntry> suite{workload::findApp("swim"),
+                                            workload::findApp("word")};
+    auto results = runner.runSuite("TON", suite);
+
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_TRUE(results[0].tombstone);
+    EXPECT_EQ(results[0].model, "TON");
+    EXPECT_EQ(results[0].app, "swim");
+    EXPECT_EQ(results[0].attempts, 2u); // initial try + one retry
+    EXPECT_FALSE(results[1].tombstone);
+    EXPECT_GT(results[1].ipc, 0.0);
+
+    unsetenv("PARROT_FAULT_SLOW_CELL");
+    unsetenv("PARROT_FAULT_SLOW_MS");
+    fault::resetForTest();
+}
+
+} // namespace
