@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Power-awareness frontier sweep: frequency x gating policy x model.
+ *
+ * The paper's CMPW metric rewards designs that buy performance
+ * cheaply in power. This driver turns the two new power axes — the
+ * DVFS operating point and the unit-gating policy — into a sweep over
+ * the trace-cache models and reports, per operating point, the
+ * suite-average performance, energy breakdown (dynamic / net leakage /
+ * leakage saved by gating) and CMPW, plus the gating activity
+ * counters. Points on the Pareto frontier of (wall-time MIPS, total
+ * energy) are flagged, so the table reads as "which (model, f, gate)
+ * combinations are worth building".
+ *
+ * One SuiteRunner is shared across the whole sweep: Pmax is calibrated
+ * once (swim on N at nominal frequency, §3.2) and every operating
+ * point is judged against that same reference, exactly like the
+ * paper's fixed-Pmax leakage formula.
+ *
+ * Output: a human table on stdout and a JSON dump (default
+ * BENCH_power_frontier.json; see EXPERIMENTS.md for the committed
+ * baseline recipe and the CI smoke job).
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/atomic_file.hh"
+#include "common/cli.hh"
+#include "common/bench_util.hh"
+#include "power/power_state.hh"
+#include "stats/table.hh"
+
+namespace
+{
+
+using namespace parrot;
+
+struct SweepPoint
+{
+    std::string model;
+    double freqGHz = 1.0;
+    power::GateMode gate = power::GateMode::Off;
+
+    // Suite averages.
+    double ipc = 0.0;
+    double mips = 0.0; //!< wall-time MIPS: IPC x frequency (GHz)
+    double dynE = 0.0;
+    double leakE = 0.0;
+    double savedE = 0.0;
+    double totalE = 0.0;
+    double cmpw = 0.0;
+    double gatedCycles = 0.0;
+    double wakeStalls = 0.0;
+    bool onFrontier = false;
+};
+
+std::vector<std::string>
+splitList(const std::string &list)
+{
+    std::vector<std::string> out;
+    std::size_t pos = 0;
+    while (pos <= list.size()) {
+        std::size_t comma = list.find(',', pos);
+        std::string item = list.substr(
+            pos, comma == std::string::npos ? comma : comma - pos);
+        if (!item.empty())
+            out.push_back(item);
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    return out;
+}
+
+/** Pareto frontier in (mips up, totalE down). */
+void
+markFrontier(std::vector<SweepPoint> &points)
+{
+    for (auto &p : points) {
+        p.onFrontier = true;
+        for (const auto &q : points) {
+            if (&q == &p)
+                continue;
+            bool dominates = q.mips >= p.mips && q.totalE <= p.totalE &&
+                             (q.mips > p.mips || q.totalE < p.totalE);
+            if (dominates) {
+                p.onFrontier = false;
+                break;
+            }
+        }
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> models = {"TON", "TOW"};
+    std::vector<double> freqs = {0.8, 1.0, 1.2};
+    std::vector<power::GateMode> gates = {power::GateMode::Off,
+                                          power::GateMode::ClockGate,
+                                          power::GateMode::PowerGate};
+    std::uint64_t insts = bench::benchInstBudget();
+    unsigned jobs = 0;
+    std::string out_path = "BENCH_power_frontier.json";
+
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (!std::strcmp(arg, "--insts")) {
+            insts = cli::parseU64(arg, cli::needValue(argc, argv, i));
+        } else if (!std::strcmp(arg, "--jobs")) {
+            jobs = cli::parseU32(arg, cli::needValue(argc, argv, i));
+        } else if (!std::strcmp(arg, "--out")) {
+            out_path = cli::needValue(argc, argv, i);
+        } else if (!std::strcmp(arg, "--models")) {
+            models = splitList(cli::needValue(argc, argv, i));
+        } else if (!std::strcmp(arg, "--freqs")) {
+            freqs.clear();
+            for (const auto &f :
+                 splitList(cli::needValue(argc, argv, i)))
+                freqs.push_back(cli::parseF64("--freqs", f.c_str()));
+        } else if (!std::strcmp(arg, "--gates")) {
+            gates.clear();
+            for (const auto &g :
+                 splitList(cli::needValue(argc, argv, i))) {
+                power::GateMode mode;
+                if (!power::parseGateMode(g, mode)) {
+                    std::fprintf(stderr, "bad gate mode '%s'\n",
+                                 g.c_str());
+                    return 2;
+                }
+                gates.push_back(mode);
+            }
+        } else {
+            std::fprintf(stderr,
+                         "unknown option '%s' (supported: --insts N, "
+                         "--jobs N, --models A,B, --freqs F,G, "
+                         "--gates off,clock,power, --out PATH)\n",
+                         arg);
+            return 2;
+        }
+    }
+    if (models.empty() || freqs.empty() || gates.empty()) {
+        std::fprintf(stderr, "nothing to sweep\n");
+        return 2;
+    }
+
+    const auto suite = workload::smallSuite();
+    sim::RunOptions opts;
+    opts.instBudget = insts;
+    opts.jobs = jobs;
+    sim::SuiteRunner runner(opts);
+    std::printf("Power frontier sweep: %zu models x %zu freqs x %zu "
+                "gate policies, %zu apps, %llu insts (Pmax %.2f "
+                "pJ/cycle)\n",
+                models.size(), freqs.size(), gates.size(), suite.size(),
+                static_cast<unsigned long long>(insts), runner.pmax());
+
+    std::vector<SweepPoint> points;
+    for (const auto &model : models) {
+        for (double f : freqs) {
+            for (power::GateMode gate : gates) {
+                sim::ModelConfig cfg = sim::ModelConfig::make(model);
+                cfg.freqGHz = f;
+                cfg.powerState.applyAll(gate);
+                SweepPoint p;
+                p.model = model;
+                p.freqGHz = f;
+                p.gate = gate;
+                const auto results = runner.runSuite(cfg, suite);
+                const double n = static_cast<double>(results.size());
+                for (const auto &r : results) {
+                    p.ipc += r.ipc / n;
+                    p.dynE += r.dynamicEnergy / n;
+                    p.leakE += r.leakageEnergy / n;
+                    p.savedE += r.leakageSavedEnergy / n;
+                    p.totalE += r.totalEnergy / n;
+                    p.cmpw += r.cmpw / n;
+                    p.gatedCycles +=
+                        static_cast<double>(r.powerGatedCycles) / n;
+                    p.wakeStalls +=
+                        static_cast<double>(r.powerWakeStalls) / n;
+                }
+                p.mips = p.ipc * f * 1000.0;
+                points.push_back(p);
+            }
+        }
+    }
+    markFrontier(points);
+
+    stats::TextTable table;
+    table.addRow({"model", "f(GHz)", "gate", "IPC", "MIPS", "dynE(uJ)",
+                  "leakE(uJ)", "saved(uJ)", "CMPW", "wake-stalls",
+                  "frontier"});
+    for (const auto &p : points) {
+        table.addRow({
+            p.model,
+            stats::TextTable::num(p.freqGHz, 2),
+            power::gateModeName(p.gate),
+            stats::TextTable::num(p.ipc, 3),
+            stats::TextTable::num(p.mips, 0),
+            stats::TextTable::num(p.dynE * 1e-6, 2),
+            stats::TextTable::num(p.leakE * 1e-6, 2),
+            stats::TextTable::num(p.savedE * 1e-6, 2),
+            stats::TextTable::num(p.cmpw, 3),
+            stats::TextTable::num(p.wakeStalls, 0),
+            p.onFrontier ? "*" : "",
+        });
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    std::ostringstream out;
+    out.precision(6);
+    out << "{\n  \"insts\": " << insts << ",\n  \"apps\": "
+        << suite.size() << ",\n  \"pmax\": " << runner.pmax()
+        << ",\n  \"points\": [\n";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const SweepPoint &p = points[i];
+        out << "    {\"model\": \"" << p.model << "\", \"freq_ghz\": "
+            << p.freqGHz << ", \"gate\": \""
+            << power::gateModeName(p.gate) << "\", \"ipc\": " << p.ipc
+            << ", \"mips\": " << p.mips << ", \"dynamic\": " << p.dynE
+            << ", \"leakage\": " << p.leakE << ", \"leakage_saved\": "
+            << p.savedE << ", \"total\": " << p.totalE << ", \"cmpw\": "
+            << p.cmpw << ", \"gated_cycles\": " << p.gatedCycles
+            << ", \"wake_stalls\": " << p.wakeStalls
+            << ", \"frontier\": " << (p.onFrontier ? "true" : "false")
+            << "}" << (i + 1 < points.size() ? ",\n" : "\n");
+    }
+    out << "  ]\n}\n";
+    std::string err;
+    if (!atomic_file::writeFileAtomic(out_path, out.str(), &err)) {
+        std::fprintf(stderr, "cannot write %s: %s\n", out_path.c_str(),
+                     err.c_str());
+        return 2;
+    }
+    std::printf("wrote %s\n", out_path.c_str());
+    return 0;
+}

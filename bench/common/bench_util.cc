@@ -1,5 +1,6 @@
 #include "bench_util.hh"
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -355,15 +356,24 @@ ResultStore::pmax()
     // Memoize Pmax as a pseudo-result under a reserved key.
     std::string key = keyOf("_pmax", "swim", runner.options().instBudget);
     auto it = memo.find(key);
-    if (it != memo.end()) {
+    if (it != memo.end() && it->second.energyPerCycle > 0.0 &&
+        std::isfinite(it->second.energyPerCycle)) {
         pmaxValue = it->second.energyPerCycle;
         // Skip the runner's own calibration run.
         runner.setPmax(pmaxValue);
     } else {
+        if (it != memo.end()) {
+            // A stale or corrupt marker (zero, NaN, negative — e.g. a
+            // cache written by a crashed calibration) must not silently
+            // zero every leakage figure: recalibrate and overwrite it.
+            PARROT_WARN("ignoring stale pmax marker %f in result "
+                        "cache; recalibrating",
+                        it->second.energyPerCycle);
+        }
         pmaxValue = runner.pmax();
         SimResult marker;
         marker.energyPerCycle = pmaxValue;
-        memo.emplace(key, marker);
+        memo[key] = marker;
         append(key, marker);
     }
     pmaxReady = true;

@@ -16,6 +16,13 @@
  *     --jobs N            worker threads for multi-app runs
  *                         (default: PARROT_JOBS or all hardware threads)
  *     --pmax X            leakage Pmax per cycle (default: calibrate)
+ *     --freq F            clock frequency in GHz (default 1.0);
+ *                         scales dynamic energy ~f*V^2, leakage by
+ *                         wall time, memory latency in cycles
+ *     --gate MODE         power-gating policy for all gateable units:
+ *                         off | clock | power (default off)
+ *     --gate-threshold N  idle cycles before a gated unit sleeps
+ *     --gate-wake N       wake-up latency in cycles (a real stall)
  *     --deadline-ms N     wall-clock watchdog per simulation; a run
  *                         that exceeds it is aborted (and retried)
  *                         instead of hanging the whole suite (0 = off)
@@ -154,6 +161,12 @@ main(int argc, char **argv)
     std::uint64_t insts = 300000;
     unsigned jobs = 0;
     double pmax = 0.0;
+    double freq_ghz = 1.0;
+    std::string gate_mode;
+    unsigned gate_threshold = 0;
+    unsigned gate_wake = 0;
+    bool gate_threshold_set = false;
+    bool gate_wake_set = false;
     std::uint64_t deadline_ms = 0;
     unsigned retries = 2;
     bool no_leakage = false;
@@ -183,6 +196,16 @@ main(int argc, char **argv)
             jobs = cli::parseU32(arg, need_value(i));
         } else if (!std::strcmp(arg, "--pmax")) {
             pmax = cli::parseF64(arg, need_value(i));
+        } else if (!std::strcmp(arg, "--freq")) {
+            freq_ghz = cli::parseF64(arg, need_value(i));
+        } else if (!std::strcmp(arg, "--gate")) {
+            gate_mode = need_value(i);
+        } else if (!std::strcmp(arg, "--gate-threshold")) {
+            gate_threshold = cli::parseU32(arg, need_value(i));
+            gate_threshold_set = true;
+        } else if (!std::strcmp(arg, "--gate-wake")) {
+            gate_wake = cli::parseU32(arg, need_value(i));
+            gate_wake_set = true;
         } else if (!std::strcmp(arg, "--deadline-ms")) {
             deadline_ms = cli::parseU64(arg, need_value(i));
         } else if (!std::strcmp(arg, "--retries")) {
@@ -228,6 +251,25 @@ main(int argc, char **argv)
         cfg.cosim = true;
     if (stats_interval > 0)
         cfg.statsInterval = stats_interval;
+    cfg.freqGHz = freq_ghz;
+    if (!gate_mode.empty()) {
+        power::GateMode mode;
+        if (!power::parseGateMode(gate_mode, mode)) {
+            std::fprintf(stderr,
+                         "--gate expects off|clock|power, got '%s'\n",
+                         gate_mode.c_str());
+            return 2;
+        }
+        cfg.powerState.applyAll(mode);
+    }
+    if (gate_threshold_set || gate_wake_set) {
+        for (auto &p : cfg.powerState.unit) {
+            if (gate_threshold_set)
+                p.sleepThreshold = gate_threshold;
+            if (gate_wake_set)
+                p.wakeLatency = gate_wake;
+        }
+    }
     if (dump_config) {
         std::printf("%s", sim::renderModelConfig(cfg).c_str());
         return 0;

@@ -356,6 +356,11 @@ OooCore::commitPhase()
 void
 OooCore::tick()
 {
+    // Idle detection for power-state modeling: a drained backend does
+    // no work this cycle. The counter is what gating policies (and the
+    // TOS cold-backend sleep state in particular) key their savings on.
+    if (drained())
+        nIdleCycles.add();
     ++curCycle;
     completePhase();
     issuePhase();

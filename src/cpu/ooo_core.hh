@@ -96,6 +96,8 @@ class OooCore
     Counter committedUops() const { return nCommittedUops.value(); }
     Counter committedInsts() const { return nCommittedInsts.value(); }
     Counter issuedUops() const { return nIssuedUops.value(); }
+    /** Cycles the backend spent fully drained (no uop in flight). */
+    Counter idleCycles() const { return nIdleCycles.value(); }
     /** @} */
 
     /** Register retirement counters into a stats-tree group. */
@@ -105,6 +107,7 @@ class OooCore
         group.add(&nCommittedUops);
         group.add(&nCommittedInsts);
         group.add(&nIssuedUops);
+        group.add(&nIdleCycles);
     }
 
     const CoreConfig &config() const { return cfg; }
@@ -214,6 +217,7 @@ class OooCore
     stats::Scalar nCommittedUops{"committed_uops"};
     stats::Scalar nCommittedInsts{"committed_insts"};
     stats::Scalar nIssuedUops{"issued_uops"};
+    stats::Scalar nIdleCycles{"idle_cycles"};
 };
 
 } // namespace parrot::cpu

@@ -26,6 +26,11 @@ struct BranchPredictorConfig
     unsigned btbEntries = 1024;
     unsigned rasEntries = 16;
     unsigned counterBits = 2;
+
+    /** Relative clock-tree size for idle-clock power accounting
+     * (power::PowerGate): a 4K-entry predictor clocks more array than
+     * the halved PARROT one. */
+    unsigned clockWeight() const { return numEntries >= 4096 ? 2 : 1; }
 };
 
 /**

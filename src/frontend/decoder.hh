@@ -32,6 +32,12 @@ struct DecoderConfig
      * binding constraint — exactly what the decoded trace cache
      * bypasses. */
     unsigned fetchBytes = 16;
+
+    /** Relative clock-tree size for idle-clock power accounting
+     * (power::PowerGate): the length-marking and steering logic grows
+     * with decode width, so a wider decoder burns more clock power
+     * while idle. */
+    unsigned clockWeight() const { return 2 + width / 2; }
 };
 
 /**

@@ -27,6 +27,15 @@ class EnergyAccount
   public:
     EnergyAccount() { counts.fill(0); }
 
+    // Non-copyable, non-movable: regStats() hands the stats tree
+    // closures that capture `this`, so a relocated account (e.g. inside
+    // a resized vector) would leave the tree reading freed memory. Keep
+    // accounts at stable addresses and merge() between them instead.
+    EnergyAccount(const EnergyAccount &) = delete;
+    EnergyAccount &operator=(const EnergyAccount &) = delete;
+    EnergyAccount(EnergyAccount &&) = delete;
+    EnergyAccount &operator=(EnergyAccount &&) = delete;
+
     /** Record n occurrences of an event. */
     void
     record(PowerEvent e, Counter n = 1)

@@ -58,6 +58,15 @@ baseEnergy(PowerEvent e)
       case PowerEvent::PipeFlush:     return 100.0;
       case PowerEvent::StateSwitch:   return 120.0;
 
+      // Power-state machinery. GateIdleClock is per clock-weight unit
+      // per idle-ungated cycle — small, but it accrues every cycle a
+      // gateable unit idles awake, which is what gating saves. Wakes
+      // are rare and priced like small structure accesses (clock) or a
+      // rail recharge (power).
+      case PowerEvent::GateIdleClock: return 2.0;
+      case PowerEvent::GateClockWake: return 15.0;
+      case PowerEvent::GatePowerWake: return 80.0;
+
       default:
         PARROT_PANIC("baseEnergy: bad event %d", static_cast<int>(e));
     }
@@ -115,11 +124,39 @@ EnergyModel::EnergyModel(const CoreScaling &scaling) : scale(scaling)
 }
 
 double
-cubicMipsPerWatt(double insts, double cycles, double energy)
+LeakageModel::leakageEnergy(double cycles) const
 {
-    PARROT_ASSERT(insts > 0 && cycles > 0 && energy > 0,
+    if (std::isnan(pmaxPerCycle)) {
+        PARROT_FATAL("LeakageModel: pmaxPerCycle was never calibrated "
+                     "(set it explicitly; 0.0 disables leakage)");
+    }
+    // CYC in the paper's formula is wall time in nominal-clock cycles;
+    // dividing by freqGHz converts elapsed cycles at the configured
+    // clock back to time. Exact no-op at the 1 GHz nominal.
+    return pmaxPerCycle * (0.05 * l2MegaBytes + 0.4 * coreAreaFactor) *
+           cycles / freqGHz;
+}
+
+double
+LeakageModel::leakageSaved(double gated_area_cycles) const
+{
+    if (gated_area_cycles == 0.0)
+        return 0.0;
+    if (std::isnan(pmaxPerCycle)) {
+        PARROT_FATAL("LeakageModel: pmaxPerCycle was never calibrated "
+                     "(set it explicitly; 0.0 disables leakage)");
+    }
+    return pmaxPerCycle * 0.4 * coreAreaFactor * gated_area_cycles /
+           freqGHz;
+}
+
+double
+cubicMipsPerWatt(double insts, double cycles, double energy,
+                 double freq_ghz)
+{
+    PARROT_ASSERT(insts > 0 && cycles > 0 && energy > 0 && freq_ghz > 0,
                   "cubicMipsPerWatt: non-positive inputs");
-    const double seconds = cycles * 1e-9;       // 1 GHz reference clock
+    const double seconds = cycles * 1e-9 / freq_ghz;
     const double mips = insts / 1e6 / seconds;
     const double watts = energy * 1e-12 / seconds;
     return mips * mips * mips / watts;

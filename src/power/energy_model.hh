@@ -17,6 +17,7 @@
 #define PARROT_POWER_ENERGY_MODEL_HH
 
 #include <array>
+#include <limits>
 
 #include "power/events.hh"
 
@@ -68,32 +69,54 @@ class EnergyModel
  * where Pmax is the per-cycle dynamic power of the hottest application
  * on the base OOO model, M the L2 size in MB and K the core-area factor
  * relative to the standard 4-wide core.
+ *
+ * The paper's CYC is wall time expressed in nominal-clock cycles.
+ * Leakage is a wall-time phenomenon, so under DVFS the same cycle count
+ * at a lower frequency must leak *more*: leakageEnergy() divides by
+ * freqGHz to convert cycles back to time. At the nominal 1 GHz this is
+ * an exact no-op (x / 1.0 == x bit-for-bit).
+ *
+ * pmaxPerCycle is deliberately default-initialized to NaN, meaning
+ * "never calibrated": evaluating leakage through it is a hard error,
+ * not silent zero leakage (which quietly inflates CMPW — exactly the
+ * failure mode of a skipped or failed calibration). An explicit 0.0
+ * means "leakage modeling disabled" and is valid.
  */
 struct LeakageModel
 {
-    double pmaxPerCycle = 0.0; //!< model pJ/cycle, calibrated externally
+    /** Model pJ/cycle, calibrated externally; NaN until then. */
+    double pmaxPerCycle = std::numeric_limits<double>::quiet_NaN();
     double l2MegaBytes = 1.0;  //!< M
     double coreAreaFactor = 1.0; //!< K
+    double freqGHz = 1.0;      //!< clock relative to the 1 GHz nominal
 
-    /** Total leakage energy for a run of the given length. */
-    double
-    leakageEnergy(double cycles) const
-    {
-        return pmaxPerCycle * (0.05 * l2MegaBytes + 0.4 * coreAreaFactor) *
-               cycles;
-    }
+    /** Total leakage energy for a run of the given length (in cycles
+     * of the configured clock). Fatal if Pmax was never calibrated. */
+    double leakageEnergy(double cycles) const;
+
+    /**
+     * Leakage energy *saved* by power-gated units: the 0.4*K core term
+     * pro-rated by area-weighted gated cycles (sum over units of
+     * areaShare x gatedCycles). The caller subtracts this from
+     * leakageEnergy(); it is never larger (area shares sum below 1 and
+     * gated cycles never exceed run cycles).
+     */
+    double leakageSaved(double gated_area_cycles) const;
 };
 
 /**
- * Cubic-MIPS-per-Watt (CMPW), the paper's power-awareness metric, at a
- * normalized 1-cycle-per-ns clock. Only ratios between configurations
- * are meaningful.
+ * Cubic-MIPS-per-Watt (CMPW), the paper's power-awareness metric. The
+ * clock converts cycles to seconds (the paper's normalized
+ * 1-cycle-per-ns corresponds to freq_ghz = 1). Only ratios between
+ * configurations are meaningful.
  *
  * @param insts committed instructions.
  * @param cycles elapsed cycles.
  * @param energy total energy in model pJ.
+ * @param freq_ghz clock frequency relative to the 1 GHz nominal.
  */
-double cubicMipsPerWatt(double insts, double cycles, double energy);
+double cubicMipsPerWatt(double insts, double cycles, double energy,
+                        double freq_ghz = 1.0);
 
 } // namespace parrot::power
 

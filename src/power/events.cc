@@ -46,6 +46,9 @@ powerEventName(PowerEvent e)
       case PowerEvent::Commit:        return "commit";
       case PowerEvent::PipeFlush:     return "pipe_flush";
       case PowerEvent::StateSwitch:   return "state_switch";
+      case PowerEvent::GateIdleClock: return "gate_idle_clock";
+      case PowerEvent::GateClockWake: return "gate_clock_wake";
+      case PowerEvent::GatePowerWake: return "gate_power_wake";
       default:                        return "<bad>";
     }
 }
@@ -78,6 +81,12 @@ unitOf(PowerEvent e)
       case PowerEvent::BpUpdate:
       case PowerEvent::BtbAccess:
       case PowerEvent::DecodeWeight:
+      // Gating overheads report against the front end: the gated units
+      // are overwhelmingly fetch-side, and a finer split would need a
+      // per-unit account the flat event vocabulary doesn't carry.
+      case PowerEvent::GateIdleClock:
+      case PowerEvent::GateClockWake:
+      case PowerEvent::GatePowerWake:
         return PowerUnit::FrontEnd;
 
       case PowerEvent::TcRead:

@@ -66,6 +66,11 @@ enum class PowerEvent : std::uint8_t
     PipeFlush,      //!< full pipeline flush (mispredict/assert fail)
     StateSwitch,    //!< split-core register state transfer
 
+    // Power-state machinery (zero-count unless gating is enabled).
+    GateIdleClock,  //!< one idle-but-ungated cycle of unit clock tree
+    GateClockWake,  //!< wake from a clock-gated sleep state
+    GatePowerWake,  //!< wake from a power-gated sleep state
+
     NumEvents
 };
 

@@ -1,0 +1,213 @@
+#include "power/power_state.hh"
+
+#include "common/logging.hh"
+
+namespace parrot::power
+{
+
+const char *
+gateModeName(GateMode m)
+{
+    switch (m) {
+      case GateMode::Off:       return "off";
+      case GateMode::ClockGate: return "clock";
+      case GateMode::PowerGate: return "power";
+      default:                  return "<bad>";
+    }
+}
+
+bool
+parseGateMode(const std::string &text, GateMode &out)
+{
+    if (text == "off") {
+        out = GateMode::Off;
+    } else if (text == "clock") {
+        out = GateMode::ClockGate;
+    } else if (text == "power") {
+        out = GateMode::PowerGate;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+const char *
+gatedUnitName(GatedUnit u)
+{
+    switch (u) {
+      case GatedUnit::Decoder:     return "decoder";
+      case GatedUnit::BranchPred:  return "branch_pred";
+      case GatedUnit::IcachePort:  return "icache_port";
+      case GatedUnit::TcPort:      return "tc_port";
+      case GatedUnit::ColdBackend: return "cold_backend";
+      default:                     return "<bad>";
+    }
+}
+
+bool
+parseGatedUnit(const std::string &text, GatedUnit &out)
+{
+    for (unsigned i = 0; i < numGatedUnits; ++i) {
+        auto u = static_cast<GatedUnit>(i);
+        if (text == gatedUnitName(u)) {
+            out = u;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+GatePolicy::validate(const char *unit_name) const
+{
+    if (!enabled())
+        return;
+    if (sleepThreshold == 0) {
+        PARROT_FATAL("gate.%s: sleep threshold must be >= 1 "
+                     "(a unit cannot sleep the cycle it is used)",
+                     unit_name);
+    }
+    if (sleepThreshold > 1u << 20 || wakeLatency > 1u << 20) {
+        PARROT_FATAL("gate.%s: implausible threshold/latency "
+                     "(threshold %u, wake %u)",
+                     unit_name, sleepThreshold, wakeLatency);
+    }
+    if (mode == GateMode::ClockGate && wakeLatency > 16) {
+        PARROT_FATAL("gate.%s: clock gating wakes in a few cycles; "
+                     "wake latency %u belongs to a power-gated state",
+                     unit_name, wakeLatency);
+    }
+}
+
+GatePolicy
+defaultPolicyFor(GateMode mode)
+{
+    switch (mode) {
+      case GateMode::Off:
+        return GatePolicy{};
+      case GateMode::ClockGate:
+        // Clock trees restart almost instantly: gate eagerly, wake fast.
+        return GatePolicy{GateMode::ClockGate, 2, 1};
+      case GateMode::PowerGate:
+        // Rail recharge is slow and the wake energy is large: demand a
+        // longer idle run before committing, pay more to come back.
+        return GatePolicy{GateMode::PowerGate, 8, 6};
+      default:
+        PARROT_PANIC("defaultPolicyFor: bad mode %d",
+                     static_cast<int>(mode));
+    }
+}
+
+bool
+PowerStateConfig::anyEnabled() const
+{
+    for (const auto &p : unit) {
+        if (p.enabled())
+            return true;
+    }
+    return false;
+}
+
+void
+PowerStateConfig::applyAll(GateMode mode)
+{
+    unit.fill(defaultPolicyFor(mode));
+}
+
+void
+PowerStateConfig::validate() const
+{
+    for (unsigned i = 0; i < numGatedUnits; ++i)
+        unit[i].validate(gatedUnitName(static_cast<GatedUnit>(i)));
+}
+
+void
+PowerGate::configure(GatedUnit u, const GatePolicy &p,
+                     unsigned clock_weight, double area_share)
+{
+    PARROT_ASSERT(clock_weight >= 1 && area_share >= 0.0 &&
+                  area_share < 1.0,
+                  "PowerGate: bad clock weight / area share");
+    unitId = u;
+    policy = p;
+    clockWeight = clock_weight;
+    areaShare = area_share;
+    idleRun = 0;
+    sleeping = false;
+    waking = false;
+}
+
+void
+PowerGate::idleCycle(EnergyAccount &acct)
+{
+    if (!policy.enabled())
+        return;
+    nIdleCycles.add();
+    if (sleeping) {
+        nGatedCycles.add();
+        return;
+    }
+    // Awake but idle: the clock tree still toggles. This charge is the
+    // power a sleep state then saves.
+    acct.record(PowerEvent::GateIdleClock, clockWeight);
+    // A freshly woken unit must be used before it may re-arm: the wake
+    // stall itself looks idle to the caller, and letting it count
+    // toward the threshold can re-gate the unit before the demand that
+    // woke it ever lands (a fetch livelock for the TC port).
+    if (waking)
+        return;
+    if (++idleRun >= policy.sleepThreshold) {
+        sleeping = true;
+        idleRun = 0;
+        nSleepEntries.add();
+    }
+}
+
+void
+PowerGate::activeCycle()
+{
+    if (!policy.enabled())
+        return;
+    PARROT_ASSERT(!sleeping,
+                  "PowerGate(%s): active while asleep — caller skipped "
+                  "demand()", gatedUnitName(unitId));
+    idleRun = 0;
+    waking = false;
+}
+
+unsigned
+PowerGate::demand(EnergyAccount &acct)
+{
+    if (!policy.enabled())
+        return 0;
+    waking = false;
+    idleRun = 0;
+    if (!sleeping)
+        return 0;
+    sleeping = false;
+    waking = true;
+    acct.record(policy.mode == GateMode::PowerGate
+                    ? PowerEvent::GatePowerWake
+                    : PowerEvent::GateClockWake);
+    nWakeStalls.add(policy.wakeLatency);
+    return policy.wakeLatency;
+}
+
+double
+PowerGate::gatedAreaCycles() const
+{
+    if (policy.mode != GateMode::PowerGate)
+        return 0.0;
+    return areaShare * static_cast<double>(nGatedCycles.value());
+}
+
+void
+PowerGate::regStats(stats::Group &group)
+{
+    group.add(&nIdleCycles);
+    group.add(&nGatedCycles);
+    group.add(&nWakeStalls);
+    group.add(&nSleepEntries);
+}
+
+} // namespace parrot::power

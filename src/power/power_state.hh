@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Unit-level power-state modeling: clock gating and power gating for
+ * the structures the PARROT fetch organization leaves idle.
+ *
+ * The paper's central power opportunity is that while the machine
+ * fetches from the trace cache, the entire cold front end (serial CISC
+ * decoder, branch direction predictor, I-cache fetch port) does nothing
+ * — and on the split-core TOS design the whole cold backend drains and
+ * sits empty. The baseline energy accounting only *measures* that (idle
+ * units record no events); this layer lets the machine *act* on it, in
+ * the style of link low-power states: a unit that has been idle for a
+ * configurable number of consecutive cycles enters a sleep state, and
+ * the next demand on it pays a configurable wake latency that the
+ * timing simulator models as a real fetch stall.
+ *
+ * Two sleep depths are modeled per unit:
+ *  - clock gating: stops the unit's clock tree. Cheap to enter/leave
+ *    (small wake energy, ~1-cycle wake), saves the idle clock power.
+ *  - power gating: cuts the rail. Expensive wake (energy + latency),
+ *    saves the idle clock power *and* the unit's share of core leakage
+ *    (the 0.4*K term of the paper's leakage formula, pro-rated by the
+ *    unit's area share for the cycles it spent gated).
+ *
+ * Refinement contract: when every unit's policy is Off this layer does
+ * nothing at all — no events, no stalls, no stats movement — so
+ * disabled runs stay bit-identical to a build without it. When any
+ * policy is enabled, idle-but-ungated cycles charge an explicit
+ * per-unit clock-tree event (GateIdleClock x clockWeight); this is the
+ * idle power that gating then saves, and it is deliberately *added*
+ * energy relative to the baseline accounting (which prices idle clocks
+ * at zero). Comparisons between gating policies must therefore be made
+ * within power-state-enabled runs, never against a policy-Off run; see
+ * DESIGN.md §13.
+ */
+
+#ifndef PARROT_POWER_POWER_STATE_HH
+#define PARROT_POWER_POWER_STATE_HH
+
+#include <array>
+#include <string>
+
+#include "common/types.hh"
+#include "power/account.hh"
+#include "power/events.hh"
+#include "stats/group.hh"
+#include "stats/stats.hh"
+
+namespace parrot::power
+{
+
+/** Sleep depth a gated unit may enter. */
+enum class GateMode : std::uint8_t
+{
+    Off,       //!< no gating: the unit is never put to sleep
+    ClockGate, //!< stop the clock tree while asleep
+    PowerGate, //!< cut the rail: also saves the unit's leakage share
+};
+
+/** Human-readable mode name ("off" / "clock" / "power"). */
+const char *gateModeName(GateMode m);
+
+/** Parse a mode name; false on unknown input. */
+bool parseGateMode(const std::string &text, GateMode &out);
+
+/**
+ * The units the simulator exposes to gating. Each maps onto a concrete
+ * idle condition the fetch organization already knows (DESIGN.md §13).
+ */
+enum class GatedUnit : std::uint8_t
+{
+    Decoder,     //!< serial CISC decoder; idle during hot-trace fetch
+    BranchPred,  //!< direction predictor; idle during hot-trace fetch
+    IcachePort,  //!< I-cache fetch port; idle during hot-trace fetch
+    TcPort,      //!< trace-cache fetch port; idle during cold fetch
+    ColdBackend, //!< split-core cold core, once drained in hot mode
+    NumUnits
+};
+
+/** Number of gateable units. */
+inline constexpr unsigned numGatedUnits =
+    static_cast<unsigned>(GatedUnit::NumUnits);
+
+/** Config/stats name of a unit ("decoder", "tc_port", ...). */
+const char *gatedUnitName(GatedUnit u);
+
+/** Parse a unit name; false on unknown input. */
+bool parseGatedUnit(const std::string &text, GatedUnit &out);
+
+/** Per-unit gating policy. */
+struct GatePolicy
+{
+    GateMode mode = GateMode::Off;
+    /** Consecutive idle cycles before the unit enters its sleep state. */
+    unsigned sleepThreshold = 4;
+    /** Stall cycles a demand pays to wake a sleeping unit. */
+    unsigned wakeLatency = 2;
+
+    bool enabled() const { return mode != GateMode::Off; }
+
+    /** Reject degenerate values (fatal); unit_name labels the error. */
+    void validate(const char *unit_name) const;
+};
+
+/** Mode-appropriate default policy (Off / clock / power presets). */
+GatePolicy defaultPolicyFor(GateMode mode);
+
+/** The full per-unit policy set carried by a ModelConfig. */
+struct PowerStateConfig
+{
+    std::array<GatePolicy, numGatedUnits> unit{};
+
+    GatePolicy &of(GatedUnit u) { return unit[static_cast<unsigned>(u)]; }
+    const GatePolicy &of(GatedUnit u) const
+    {
+        return unit[static_cast<unsigned>(u)];
+    }
+
+    /** True when any unit has a non-Off policy (the simulator's master
+     * switch: false means the power-state layer is fully inert). */
+    bool anyEnabled() const;
+
+    /** Apply one mode (with its preset threshold/latency) to every
+     * unit — the common CLI/sweep entry point. */
+    void applyAll(GateMode mode);
+
+    void validate() const;
+};
+
+/**
+ * Runtime sleep/wake state machine for one gated unit.
+ *
+ * The owning simulator calls idleCycle() on every cycle its idle
+ * condition holds for the unit, and demand() whenever the unit is
+ * about to do work — demand doubles as the activity signal (it resets
+ * the idle run), so a unit that is used every cycle never progresses
+ * toward sleep. activeCycle() is an explicit in-use marker for callers
+ * without a natural demand site; a unit must be demanded awake before
+ * it may be marked active. All three are no-ops when the policy is
+ * Off. Counters are stats::Scalars registered under
+ * power.gate.<unit>.* in the simulation stats tree.
+ */
+class PowerGate
+{
+  public:
+    /**
+     * Bind a unit and policy.
+     * @param u which unit this gate models (stats labeling and wake
+     *        event selection).
+     * @param p the policy (validated by the config layer).
+     * @param clock_weight GateIdleClock events charged per idle-ungated
+     *        cycle — the unit's relative clock-tree size.
+     * @param area_share the unit's fraction of core area, pro-rating
+     *        the leakage the power-gated state saves.
+     */
+    void configure(GatedUnit u, const GatePolicy &p,
+                   unsigned clock_weight, double area_share);
+
+    bool enabled() const { return policy.enabled(); }
+    bool asleep() const { return sleeping; }
+
+    /**
+     * One cycle with the unit idle. Charges the idle clock while
+     * ungated, advances the sleep-entry countdown, counts gated
+     * cycles once asleep.
+     */
+    void idleCycle(EnergyAccount &acct);
+
+    /** One cycle with the unit in use (resets the idle run). */
+    void activeCycle();
+
+    /**
+     * The unit is demanded. Wakes it when sleeping and returns the
+     * stall (in cycles) the caller must model; 0 when already awake.
+     * The wake itself charges GateClockWake / GatePowerWake. A fresh
+     * wake also suppresses sleep re-entry until the unit has actually
+     * been used (see `waking`), so a long wake stall cannot lapse
+     * straight back into sleep and livelock fetch.
+     */
+    unsigned demand(EnergyAccount &acct);
+
+    /** @name Counters (also exposed as stats). @{ */
+    Counter idleCycles() const { return nIdleCycles.value(); }
+    Counter gatedCycles() const { return nGatedCycles.value(); }
+    Counter wakeStalls() const { return nWakeStalls.value(); }
+    Counter sleepEntries() const { return nSleepEntries.value(); }
+    /** @} */
+
+    /** Area-weighted gated cycles feeding the leakage-savings term:
+     * areaShare x gatedCycles under PowerGate, 0 otherwise. */
+    double gatedAreaCycles() const;
+
+    /** Register the per-unit counters into `group` (the caller passes
+     * the power.gate.<unit> subgroup). */
+    void regStats(stats::Group &group);
+
+  private:
+    GatePolicy policy{};
+    GatedUnit unitId = GatedUnit::Decoder;
+    unsigned clockWeight = 1;
+    double areaShare = 0.0;
+
+    unsigned idleRun = 0;   //!< consecutive idle cycles while awake
+    bool sleeping = false;
+    bool waking = false;    //!< woke but not yet used: no re-sleep
+
+    stats::Scalar nIdleCycles{"idle_cycles"};
+    stats::Scalar nGatedCycles{"gated_cycles"};
+    stats::Scalar nWakeStalls{"wake_stalls"};
+    stats::Scalar nSleepEntries{"sleep_entries"};
+};
+
+} // namespace parrot::power
+
+#endif // PARROT_POWER_POWER_STATE_HH

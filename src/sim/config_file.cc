@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "common/logging.hh"
+#include "power/power_state.hh"
 
 namespace parrot::sim
 {
@@ -61,6 +62,18 @@ parseBool(const std::string &value, const std::string &key,
                  value.c_str(), key.c_str());
 }
 
+power::GateMode
+parseGateModeOrDie(const std::string &value, const std::string &key,
+                   const std::string &origin)
+{
+    power::GateMode mode;
+    if (!power::parseGateMode(value, mode))
+        PARROT_FATAL("%s: bad gate mode '%s' for key '%s' "
+                     "(expected off|clock|power)",
+                     origin.c_str(), value.c_str(), key.c_str());
+    return mode;
+}
+
 /** The key table: one entry per settable field. */
 using Setter = std::function<void(ModelConfig &, const std::string &,
                                   const std::string &,
@@ -69,7 +82,8 @@ using Setter = std::function<void(ModelConfig &, const std::string &,
 const std::map<std::string, Setter> &
 keyTable()
 {
-    static const std::map<std::string, Setter> table = {
+    static const std::map<std::string, Setter> table = [] {
+        std::map<std::string, Setter> t = {
         {"name",
          [](ModelConfig &c, const std::string &v, const std::string &,
             const std::string &) { c.name = v; }},
@@ -226,7 +240,60 @@ keyTable()
         {"area_factor",
          [](ModelConfig &c, const std::string &v, const std::string &k,
             const std::string &o) { c.coreAreaFactor = parseDouble(v, k, o); }},
-    };
+
+        // DVFS operating point.
+        {"freq_ghz",
+         [](ModelConfig &c, const std::string &v, const std::string &k,
+            const std::string &o) { c.freqGHz = parseDouble(v, k, o); }},
+
+        // Power gating, all units at once. "gate.mode" applies the
+        // preset policy of that mode; threshold/wake_latency then
+        // override (order matters, like every other key).
+        {"gate.mode",
+         [](ModelConfig &c, const std::string &v, const std::string &k,
+            const std::string &o) {
+             c.powerState.applyAll(parseGateModeOrDie(v, k, o));
+         }},
+        {"gate.threshold",
+         [](ModelConfig &c, const std::string &v, const std::string &k,
+            const std::string &o) {
+             for (auto &p : c.powerState.unit)
+                 p.sleepThreshold = parseUnsigned(v, k, o);
+         }},
+        {"gate.wake_latency",
+         [](ModelConfig &c, const std::string &v, const std::string &k,
+            const std::string &o) {
+             for (auto &p : c.powerState.unit)
+                 p.wakeLatency = parseUnsigned(v, k, o);
+         }},
+        };
+
+        // Per-unit gate keys: gate.<unit>.{mode,threshold,wake_latency}.
+        for (unsigned i = 0; i < power::numGatedUnits; ++i) {
+            const auto u = static_cast<power::GatedUnit>(i);
+            const std::string stem =
+                std::string("gate.") + power::gatedUnitName(u) + ".";
+            t.emplace(stem + "mode",
+                      [u](ModelConfig &c, const std::string &v,
+                          const std::string &k, const std::string &o) {
+                          c.powerState.of(u) = power::defaultPolicyFor(
+                              parseGateModeOrDie(v, k, o));
+                      });
+            t.emplace(stem + "threshold",
+                      [u](ModelConfig &c, const std::string &v,
+                          const std::string &k, const std::string &o) {
+                          c.powerState.of(u).sleepThreshold =
+                              parseUnsigned(v, k, o);
+                      });
+            t.emplace(stem + "wake_latency",
+                      [u](ModelConfig &c, const std::string &v,
+                          const std::string &k, const std::string &o) {
+                          c.powerState.of(u).wakeLatency =
+                              parseUnsigned(v, k, o);
+                      });
+        }
+        return t;
+    }();
     return table;
 }
 
@@ -346,6 +413,21 @@ renderModelConfig(const ModelConfig &cfg)
         << (cfg.memory.l1iNextLinePrefetch ? "true" : "false") << "\n";
     out << "mem.latency = " << cfg.memory.memLatency << "\n";
     out << "area_factor = " << cfg.coreAreaFactor << "\n";
+    out << "freq_ghz = " << cfg.freqGHz << "\n";
+    if (cfg.powerState.anyEnabled()) {
+        for (unsigned i = 0; i < power::numGatedUnits; ++i) {
+            const auto u = static_cast<power::GatedUnit>(i);
+            const auto &p = cfg.powerState.of(u);
+            if (!p.enabled())
+                continue;
+            const std::string stem =
+                std::string("gate.") + power::gatedUnitName(u) + ".";
+            out << stem << "mode = " << power::gateModeName(p.mode)
+                << "\n";
+            out << stem << "threshold = " << p.sleepThreshold << "\n";
+            out << stem << "wake_latency = " << p.wakeLatency << "\n";
+        }
+    }
     return out.str();
 }
 

@@ -122,6 +122,10 @@ ModelConfig::validate() const
     if (coreAreaFactor <= 0.0)
         PARROT_FATAL("model %s: core area factor must be positive",
                      name.c_str());
+    if (!(freqGHz >= 0.25 && freqGHz <= 4.0))
+        PARROT_FATAL("model %s: freq_ghz %.3f outside [0.25, 4.0]",
+                     name.c_str(), freqGHz);
+    powerState.validate();
 }
 
 } // namespace parrot::sim

@@ -15,6 +15,7 @@
 #include "frontend/decoder.hh"
 #include "memory/hierarchy.hh"
 #include "optimizer/optimizer.hh"
+#include "power/power_state.hh"
 #include "tracecache/filter.hh"
 #include "tracecache/predictor.hh"
 #include "tracecache/trace_cache.hh"
@@ -47,6 +48,22 @@ struct ModelConfig
 
     /** Core area relative to the standard 4-wide core (leakage K). */
     double coreAreaFactor = 1.0;
+
+    /**
+     * DVFS operating point: clock frequency relative to the 1 GHz
+     * nominal. Scales dynamic energy by the classic f·V² voltage term
+     * (V = 0.6 + 0.4·f, so the nominal point is exactly 1.0), prices
+     * leakage by wall time instead of cycle count, and stretches the
+     * DRAM latency in cycles (the memory wall does not speed up with
+     * the core). At exactly 1.0 every transformation is the arithmetic
+     * identity: nominal results are bit-identical to a build without
+     * the DVFS axis.
+     */
+    double freqGHz = 1.0;
+
+    /** Per-unit sleep-state policies (power::PowerGate). All-Off (the
+     * default) keeps the power-state layer fully inert. */
+    power::PowerStateConfig powerState;
 
     /** Extra cycles charged on a taken CTI whose target misses in the
      * BTB (decode-stage redirect). */

@@ -99,12 +99,20 @@ buildFields()
 
     f.push_back(fieldOf("energy.dynamic", &SimResult::dynamicEnergy));
     f.push_back(fieldOf("energy.leakage", &SimResult::leakageEnergy));
+    f.push_back(fieldOf("energy.leakage_saved",
+                        &SimResult::leakageSavedEnergy));
     f.push_back(fieldOf("energy.total", &SimResult::totalEnergy));
     f.push_back(fieldOf("energy.per_cycle", &SimResult::energyPerCycle));
     for (unsigned u = 0; u < power::numPowerUnits; ++u)
         f.push_back(unitFieldOf(u));
 
     f.push_back(fieldOf("power.cmpw", &SimResult::cmpw));
+    f.push_back(fieldOf("power.gated_cycles",
+                        &SimResult::powerGatedCycles));
+    f.push_back(fieldOf("power.wake_stalls",
+                        &SimResult::powerWakeStalls));
+    f.push_back(fieldOf("power.sleep_entries",
+                        &SimResult::powerSleepEntries));
 
     f.push_back(fieldOf("memory.l1i.miss_ratio", &SimResult::l1iMissRate));
     f.push_back(fieldOf("memory.l1d.miss_ratio", &SimResult::l1dMissRate));

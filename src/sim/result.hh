@@ -75,13 +75,19 @@ struct SimResult
 
     // --- energy (Figures 4.2 / 4.5 / 4.11) ---
     double dynamicEnergy = 0.0;
-    double leakageEnergy = 0.0;
+    double leakageEnergy = 0.0; //!< net of power-gating savings
+    double leakageSavedEnergy = 0.0; //!< saved by power-gated units
     double totalEnergy = 0.0;
     double energyPerCycle = 0.0; //!< dynamic only (Pmax calibration)
     std::array<double, power::numPowerUnits> unitEnergy{};
 
     // --- power awareness (Figures 4.3 / 4.6) ---
     double cmpw = 0.0;
+
+    // --- power-state modeling (zero when gating is off) ---
+    std::uint64_t powerGatedCycles = 0; //!< summed over gated units
+    std::uint64_t powerWakeStalls = 0;  //!< stall cycles paid to wake
+    std::uint64_t powerSleepEntries = 0;
 
     // --- caches ---
     double l1iMissRate = 0.0;

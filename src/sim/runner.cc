@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdlib>
 #include <stdexcept>
 #include <thread>
@@ -121,12 +122,22 @@ SuiteRunner::prepare(const std::vector<workload::SuiteEntry> &suite)
             } else if (opts.pmaxPerCycle > 0.0) {
                 pmaxValue = opts.pmaxPerCycle;
             } else {
+                if (std::isnan(opts.pmaxPerCycle) ||
+                    opts.pmaxPerCycle < 0.0)
+                    PARROT_FATAL("invalid pmax override %f (must be a "
+                                 "finite value >= 0)",
+                                 opts.pmaxPerCycle);
                 // §3.2: Pmax is the per-cycle dynamic power of the
                 // hottest application (swim) on the base OOO model N.
                 auto entry = workload::findApp("swim");
                 ParrotSimulator sim(ModelConfig::make("N"),
                                     workloadFor(entry));
                 SimResult r = sim.run(opts.instBudget, 0.0);
+                if (!(r.energyPerCycle > 0.0))
+                    PARROT_FATAL("pmax calibration produced %f pJ/cycle; "
+                                 "a non-positive Pmax would silently "
+                                 "zero every leakage figure",
+                                 r.energyPerCycle);
                 pmaxValue = r.energyPerCycle;
             }
             pmaxReady = true;
@@ -146,6 +157,13 @@ SuiteRunner::pmax()
 void
 SuiteRunner::setPmax(double pmax_per_cycle)
 {
+    // A NaN or negative Pmax (a stale cache marker, a typo'd flag)
+    // would poison every leakage figure downstream without tripping
+    // anything: leakageEnergy() multiplies it straight in.
+    if (!(pmax_per_cycle >= 0.0) ||
+        !std::isfinite(pmax_per_cycle))
+        PARROT_FATAL("setPmax(%f): Pmax must be finite and >= 0",
+                     pmax_per_cycle);
     std::lock_guard<std::mutex> lock(pmaxMutex);
     pmaxValue = pmax_per_cycle;
     pmaxReady = true;

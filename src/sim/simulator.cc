@@ -36,6 +36,17 @@ ParrotSimulator::ParrotSimulator(const ModelConfig &config,
     cfg.validate();
     PARROT_ASSERT(load.program != nullptr, "simulator: missing program");
 
+    // DVFS: DRAM does not speed up with the core clock, so the memory
+    // latency *in cycles* stretches with frequency. Applied to the
+    // simulator's own config copy before the hierarchy is built; the
+    // guard keeps the nominal point bit-identical (no round-trip
+    // through floating point).
+    if (cfg.freqGHz != 1.0) {
+        const double scaled = cfg.memory.memLatency * cfg.freqGHz;
+        cfg.memory.memLatency =
+            std::max(1u, static_cast<unsigned>(scaled + 0.5));
+    }
+
     executor = std::make_unique<workload::Executor>(*load.program,
                                                     load.profile);
     hierarchy = std::make_unique<memory::Hierarchy>(cfg.memory);
@@ -74,6 +85,38 @@ ParrotSimulator::ParrotSimulator(const ModelConfig &config,
     if (cfg.cosim ||
         (cosim_env && cosim_env[0] != '\0' && cosim_env[0] != '0')) {
         cosim = std::make_unique<verify::CosimOracle>();
+    }
+
+    // Power-state gates. Units the model does not have are forced Off
+    // (no trace cache -> no TC port; unified core -> no separable cold
+    // backend), so a blanket policy like --gate power stays valid on
+    // every model. Area shares pro-rate the leakage a power-gated unit
+    // saves; clock weights size the idle-clock charge.
+    {
+        using power::GatedUnit;
+        power::PowerStateConfig ps = cfg.powerState;
+        if (!cfg.hasTraceCache)
+            ps.of(GatedUnit::TcPort) = power::GatePolicy{};
+        if (!splitMode)
+            ps.of(GatedUnit::ColdBackend) = power::GatePolicy{};
+        psEnabled = ps.anyEnabled();
+        gate(GatedUnit::Decoder)
+            .configure(GatedUnit::Decoder, ps.of(GatedUnit::Decoder),
+                       cfg.decoder.clockWeight(), 0.08);
+        gate(GatedUnit::BranchPred)
+            .configure(GatedUnit::BranchPred,
+                       ps.of(GatedUnit::BranchPred),
+                       cfg.branchPredictor.clockWeight(), 0.04);
+        gate(GatedUnit::IcachePort)
+            .configure(GatedUnit::IcachePort,
+                       ps.of(GatedUnit::IcachePort), 2, 0.03);
+        gate(GatedUnit::TcPort)
+            .configure(GatedUnit::TcPort, ps.of(GatedUnit::TcPort),
+                       cfg.traceCache.portClockWeight(), 0.05);
+        gate(GatedUnit::ColdBackend)
+            .configure(GatedUnit::ColdBackend,
+                       ps.of(GatedUnit::ColdBackend),
+                       cfg.coldCore.width * 2, 0.40);
     }
 
     regStats();
@@ -208,24 +251,45 @@ ParrotSimulator::regStats()
 
     // energy.* — joules under the per-core energy models. Leakage needs
     // the externally calibrated Pmax, which run() stores before any
-    // snapshot is taken.
+    // snapshot is taken. Dynamic energy scales with the DVFS voltage
+    // term f·V² per event — per-event counts already capture the f
+    // factor (they are per cycle of the configured clock), so the
+    // per-event scale is V². The nominal point multiplies by exactly
+    // 1.0, keeping results bit-identical.
     auto &en = statsRoot.subgroup("energy");
-    auto dynamic_fn = [this] {
-        return coldAcct.dynamicEnergy(coldModel) +
-               hotAcct.dynamicEnergy(hotModel);
+    const double dvfs_volt = 0.6 + 0.4 * cfg.freqGHz;
+    const double dyn_scale =
+        cfg.freqGHz == 1.0 ? 1.0 : dvfs_volt * dvfs_volt;
+    auto dynamic_fn = [this, dyn_scale] {
+        return (coldAcct.dynamicEnergy(coldModel) +
+                hotAcct.dynamicEnergy(hotModel)) * dyn_scale;
     };
-    auto leakage_fn = [this] {
+    auto leak_model_fn = [this] {
         power::LeakageModel leak;
         leak.pmaxPerCycle = pmaxPerCycle;
         leak.l2MegaBytes = cfg.memory.l2MegaBytes();
         leak.coreAreaFactor = cfg.coreAreaFactor;
-        return leak.leakageEnergy(static_cast<double>(cycle));
+        leak.freqGHz = cfg.freqGHz;
+        return leak;
+    };
+    auto leakage_saved_fn = [this, leak_model_fn] {
+        double area_cycles = 0.0;
+        for (const auto &g : gates)
+            area_cycles += g.gatedAreaCycles();
+        return leak_model_fn().leakageSaved(area_cycles);
+    };
+    auto leakage_fn = [this, leak_model_fn, leakage_saved_fn] {
+        // Net leakage: the gross wall-time formula minus what
+        // power-gated units saved while their rail was cut.
+        return leak_model_fn().leakageEnergy(
+                   static_cast<double>(cycle)) - leakage_saved_fn();
     };
     auto total_fn = [dynamic_fn, leakage_fn] {
         return dynamic_fn() + leakage_fn();
     };
     en.addFormula("dynamic", dynamic_fn);
     en.addFormula("leakage", leakage_fn);
+    en.addFormula("leakage_saved", leakage_saved_fn);
     en.addFormula("total", total_fn);
     en.addFormula("per_cycle", [this, dynamic_fn] {
         return cycle == 0
@@ -238,24 +302,52 @@ ParrotSimulator::regStats()
             unit.addFormula(power::powerUnitName(pu), leakage_fn);
             continue;
         }
-        unit.addFormula(power::powerUnitName(pu), [this, u] {
-            return coldAcct.unitBreakdown(coldModel)[u] +
-                   hotAcct.unitBreakdown(hotModel)[u];
+        unit.addFormula(power::powerUnitName(pu), [this, u, dyn_scale] {
+            return (coldAcct.unitBreakdown(coldModel)[u] +
+                    hotAcct.unitBreakdown(hotModel)[u]) * dyn_scale;
         });
     }
 
-    // power.* — the paper's power-awareness figure of merit. Undefined
-    // until work has happened (mid-run window snapshots can observe
-    // the cycle-0 state); cubicMipsPerWatt asserts on zero inputs.
-    statsRoot.subgroup("power").addFormula(
+    // power.* — the paper's power-awareness figure of merit plus the
+    // gating counters. Undefined until work has happened (mid-run
+    // window snapshots can observe the cycle-0 state);
+    // cubicMipsPerWatt asserts on zero inputs.
+    auto &pw = statsRoot.subgroup("power");
+    pw.addFormula(
         "cmpw", [this, insts_fn, cycles_fn, total_fn] {
             const double insts = insts_fn();
             const double cycles = cycles_fn();
             const double total = total_fn();
             if (insts <= 0 || cycles <= 0 || total <= 0)
                 return 0.0;
-            return power::cubicMipsPerWatt(insts, cycles, total);
+            return power::cubicMipsPerWatt(insts, cycles, total,
+                                           cfg.freqGHz);
         });
+    // Whole-machine gating aggregates (zero when gating is off), then
+    // the per-unit counters under power.gate.<unit>.*.
+    pw.addFormula("gated_cycles", [this] {
+        double sum = 0.0;
+        for (const auto &g : gates)
+            sum += static_cast<double>(g.gatedCycles());
+        return sum;
+    });
+    pw.addFormula("wake_stalls", [this] {
+        double sum = 0.0;
+        for (const auto &g : gates)
+            sum += static_cast<double>(g.wakeStalls());
+        return sum;
+    });
+    pw.addFormula("sleep_entries", [this] {
+        double sum = 0.0;
+        for (const auto &g : gates)
+            sum += static_cast<double>(g.sleepEntries());
+        return sum;
+    });
+    auto &gate_grp = pw.subgroup("gate");
+    for (unsigned i = 0; i < power::numGatedUnits; ++i) {
+        const auto u = static_cast<power::GatedUnit>(i);
+        gates[i].regStats(gate_grp.subgroup(power::gatedUnitName(u)));
+    }
 
     // cosim.* — oracle counters; zeros when the oracle is off so the
     // paths (and the materialized SimResult fields) always exist.
@@ -453,6 +545,18 @@ ParrotSimulator::tryStartHotTrace()
         return false;
     st.tpHitCount.add();
 
+    if (psEnabled) {
+        // The predictor wants a trace-cache read: wake the TC fetch
+        // port if it slept through the cold stretch. The stream is
+        // untouched, so once the wake stall elapses the very same
+        // prediction is retried and proceeds to the lookup.
+        unsigned stall = gate(power::GatedUnit::TcPort).demand(acct);
+        if (stall > 0) {
+            resumeAt = std::max(resumeAt, cycle + stall);
+            return false;
+        }
+    }
+
     auto trace = traceCache->lookup(predicted);
     if (!trace) {
         st.tcMissAfterPredictCount.add();
@@ -647,6 +751,29 @@ ParrotSimulator::coldCycle()
         return;
     }
 
+    if (psEnabled) {
+        if (cycle < resumeAt)
+            return; // a TC-port wake stall was just scheduled
+        // Cold fetch demands the whole cold front end (and, on the
+        // split core, the cold backend): wake whatever slept through
+        // the hot stretch, paying the slowest unit's latency once —
+        // the wakes proceed in parallel.
+        using power::GatedUnit;
+        unsigned stall = gate(GatedUnit::Decoder).demand(coldAcct);
+        stall = std::max(stall,
+                         gate(GatedUnit::BranchPred).demand(coldAcct));
+        stall = std::max(stall,
+                         gate(GatedUnit::IcachePort).demand(coldAcct));
+        if (splitMode) {
+            stall = std::max(
+                stall, gate(GatedUnit::ColdBackend).demand(coldAcct));
+        }
+        if (stall > 0) {
+            resumeAt = std::max(resumeAt, cycle + stall);
+            return;
+        }
+    }
+
     cpu::OooCore &core = coldCore();
     auto &acct = coldAcct;
 
@@ -790,6 +917,26 @@ ParrotSimulator::coldCycle()
 }
 
 void
+ParrotSimulator::powerStateCycle()
+{
+    using power::GatedUnit;
+    if (mode == Mode::Hot) {
+        // Hot-trace fetch: the serial decoder, direction predictor and
+        // I-cache port have nothing to do — the PARROT opportunity.
+        gate(GatedUnit::Decoder).idleCycle(coldAcct);
+        gate(GatedUnit::BranchPred).idleCycle(coldAcct);
+        gate(GatedUnit::IcachePort).idleCycle(coldAcct);
+        // Split core: once the cold backend drains during a hot
+        // stretch, the whole cold core can sleep.
+        if (splitMode && coldCore().drained())
+            gate(GatedUnit::ColdBackend).idleCycle(coldAcct);
+    } else {
+        // Cold fetch: the trace-cache fetch port idles.
+        gate(GatedUnit::TcPort).idleCycle(hotAccount());
+    }
+}
+
+void
 ParrotSimulator::reapTraceCommits()
 {
     while (!pendingTraceCommits.empty() &&
@@ -819,6 +966,9 @@ ParrotSimulator::stepCycle()
             pendingResolve.reset();
         }
     }
+
+    if (psEnabled)
+        powerStateCycle();
 
     if (!pendingResolve.has_value() && cycle >= resumeAt) {
         if (mode == Mode::Hot)

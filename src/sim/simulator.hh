@@ -28,6 +28,7 @@
 #include "memory/hierarchy.hh"
 #include "optimizer/optimizer.hh"
 #include "power/account.hh"
+#include "power/power_state.hh"
 #include "sim/model_config.hh"
 #include "sim/result.hh"
 #include "stats/group.hh"
@@ -140,6 +141,23 @@ class ParrotSimulator
         return splitMode ? hotAcct : coldAcct;
     }
 
+    /** The sleep/wake state machine of one gated unit. */
+    power::PowerGate &gate(power::GatedUnit u)
+    {
+        return gates[static_cast<unsigned>(u)];
+    }
+
+    /**
+     * Per-cycle idle detection for the power-state layer (called from
+     * stepCycle before dispatch, only when psEnabled): during hot-trace
+     * fetch the cold front end idles (and on the split core, the
+     * drained cold backend); during cold fetch the trace-cache port
+     * idles. Demands at the use sites (coldCycle, tryStartHotTrace)
+     * wake sleeping units and convert the wake latency into fetch
+     * stalls.
+     */
+    void powerStateCycle();
+
     ModelConfig cfg;
     Workload load;
 
@@ -154,6 +172,12 @@ class ParrotSimulator
     std::unique_ptr<memory::Hierarchy> hierarchy;
     power::EnergyAccount coldAcct;
     power::EnergyAccount hotAcct; //!< used only in split mode
+
+    /** One gate per power::GatedUnit; inert (policy Off) units never
+     * touch timing or energy. psEnabled caches anyEnabled() so the
+     * cycle loop pays nothing when the whole layer is off. */
+    power::PowerGate gates[power::numGatedUnits];
+    bool psEnabled = false;
     std::unique_ptr<cpu::OooCore> coldCorePtr;
     std::unique_ptr<cpu::OooCore> hotCorePtr; //!< split mode only
     bool splitMode = false;

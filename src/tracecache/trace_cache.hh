@@ -27,6 +27,11 @@ struct TraceCacheConfig
     unsigned numEntries = 512;
     unsigned assoc = 4;
 
+    /** Relative clock-tree size of the fetch port for idle-clock power
+     * accounting (power::PowerGate): wide decoded-uop read path, so a
+     * larger cache clocks a bigger array while idle in cold mode. */
+    unsigned portClockWeight() const { return numEntries >= 2048 ? 4 : 3; }
+
     void
     validate() const
     {

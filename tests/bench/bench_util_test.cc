@@ -138,6 +138,39 @@ TEST(ResultStoreTest, CorruptLinesIgnored)
     unsetenv("PARROT_BENCH_INSTS");
 }
 
+TEST(ResultStoreTest, StalePmaxMarkerIsRecalibrated)
+{
+    const std::string path = "test_bench_cache6.tmp";
+    const auto &fields = sim::resultFields();
+    {
+        // A crashed calibration (or a hand-edited cache) can leave a
+        // pmax marker of 0: trusting it would silently zero every
+        // leakage figure in every later run.
+        std::ofstream out(path);
+        out << expectedHeader() << '\n';
+        out << "_pmax/swim/20000\t";
+        for (std::size_t i = 0; i < fields.size(); ++i) {
+            out << fields[i].key << "=0";
+            if (i + 1 < fields.size())
+                out << ' ';
+        }
+        out << '\n';
+    }
+    setenv("PARROT_BENCH_INSTS", "20000", 1);
+    {
+        ResultStore store(path);
+        EXPECT_GT(store.pmax(), 0.0)
+            << "a zero cached pmax must trigger recalibration";
+    }
+    // And the repaired marker must have been persisted.
+    {
+        ResultStore store(path);
+        EXPECT_GT(store.pmax(), 0.0);
+    }
+    unsetenv("PARROT_BENCH_INSTS");
+    std::remove(path.c_str());
+}
+
 TEST(BenchBudgetTest, EnvOverride)
 {
     setenv("PARROT_BENCH_INSTS", "12345", 1);

@@ -1,0 +1,241 @@
+/** @file Unit tests for the power-state (gating) layer. */
+
+#include <gtest/gtest.h>
+
+#include "power/account.hh"
+#include "power/power_state.hh"
+#include "stats/group.hh"
+
+namespace
+{
+
+using namespace parrot;
+using namespace parrot::power;
+
+TEST(GateModeTest, NamesRoundTrip)
+{
+    for (GateMode m : {GateMode::Off, GateMode::ClockGate,
+                       GateMode::PowerGate}) {
+        GateMode parsed;
+        ASSERT_TRUE(parseGateMode(gateModeName(m), parsed))
+            << gateModeName(m);
+        EXPECT_EQ(parsed, m);
+    }
+    GateMode dummy;
+    EXPECT_FALSE(parseGateMode("sideways", dummy));
+    EXPECT_FALSE(parseGateMode("", dummy));
+}
+
+TEST(GatedUnitTest, NamesRoundTrip)
+{
+    for (unsigned i = 0; i < numGatedUnits; ++i) {
+        auto u = static_cast<GatedUnit>(i);
+        GatedUnit parsed;
+        ASSERT_TRUE(parseGatedUnit(gatedUnitName(u), parsed))
+            << gatedUnitName(u);
+        EXPECT_EQ(parsed, u);
+    }
+    GatedUnit dummy;
+    EXPECT_FALSE(parseGatedUnit("warp_core", dummy));
+}
+
+TEST(GatePolicyTest, PresetsMatchModes)
+{
+    EXPECT_FALSE(defaultPolicyFor(GateMode::Off).enabled());
+    GatePolicy clock = defaultPolicyFor(GateMode::ClockGate);
+    GatePolicy rail = defaultPolicyFor(GateMode::PowerGate);
+    EXPECT_EQ(clock.mode, GateMode::ClockGate);
+    EXPECT_EQ(rail.mode, GateMode::PowerGate);
+    // Power gating is the deeper state: slower to enter, slower to
+    // wake.
+    EXPECT_GT(rail.sleepThreshold, clock.sleepThreshold);
+    EXPECT_GT(rail.wakeLatency, clock.wakeLatency);
+}
+
+TEST(GatePolicyDeathTest, DegenerateValuesAreFatal)
+{
+    GatePolicy p = defaultPolicyFor(GateMode::ClockGate);
+    p.sleepThreshold = 0;
+    EXPECT_EXIT(p.validate("decoder"), ::testing::ExitedWithCode(1),
+                "decoder");
+}
+
+TEST(PowerStateConfigTest, ApplyAllAndAnyEnabled)
+{
+    PowerStateConfig ps;
+    EXPECT_FALSE(ps.anyEnabled());
+    ps.applyAll(GateMode::ClockGate);
+    EXPECT_TRUE(ps.anyEnabled());
+    for (const auto &p : ps.unit)
+        EXPECT_EQ(p.mode, GateMode::ClockGate);
+    ps.applyAll(GateMode::Off);
+    EXPECT_FALSE(ps.anyEnabled());
+    // One enabled unit is enough.
+    ps.of(GatedUnit::TcPort) = defaultPolicyFor(GateMode::PowerGate);
+    EXPECT_TRUE(ps.anyEnabled());
+}
+
+/** A gate configured with a 3-cycle threshold, 2-cycle wake. */
+PowerGate
+makeGate(GateMode mode, unsigned threshold = 3, unsigned wake = 2,
+         double area_share = 0.1)
+{
+    GatePolicy p = defaultPolicyFor(mode);
+    p.sleepThreshold = threshold;
+    p.wakeLatency = wake;
+    PowerGate g;
+    g.configure(GatedUnit::Decoder, p, /*clock_weight=*/2, area_share);
+    return g;
+}
+
+TEST(PowerGateTest, OffPolicyIsInert)
+{
+    PowerGate g = makeGate(GateMode::Off);
+    EnergyAccount acct;
+    for (int i = 0; i < 100; ++i)
+        g.idleCycle(acct);
+    EXPECT_FALSE(g.asleep());
+    EXPECT_EQ(g.demand(acct), 0u);
+    EXPECT_EQ(acct.count(PowerEvent::GateIdleClock), 0u);
+    EXPECT_EQ(g.gatedCycles(), 0u);
+    EXPECT_EQ(g.sleepEntries(), 0u);
+}
+
+TEST(PowerGateTest, SleepsAfterThresholdIdleCycles)
+{
+    PowerGate g = makeGate(GateMode::ClockGate, /*threshold=*/3);
+    EnergyAccount acct;
+    g.idleCycle(acct);
+    g.idleCycle(acct);
+    EXPECT_FALSE(g.asleep());
+    g.idleCycle(acct); // third consecutive idle cycle: sleep
+    EXPECT_TRUE(g.asleep());
+    EXPECT_EQ(g.sleepEntries(), 1u);
+    // Idle-ungated cycles charged the clock tree (weight 2 each);
+    // nothing more accrues while asleep.
+    EXPECT_EQ(acct.count(PowerEvent::GateIdleClock), 6u);
+    g.idleCycle(acct);
+    EXPECT_EQ(acct.count(PowerEvent::GateIdleClock), 6u);
+    EXPECT_EQ(g.gatedCycles(), 1u);
+}
+
+TEST(PowerGateTest, DemandResetsIdleRun)
+{
+    PowerGate g = makeGate(GateMode::ClockGate, /*threshold=*/3);
+    EnergyAccount acct;
+    for (int round = 0; round < 10; ++round) {
+        g.idleCycle(acct);
+        g.idleCycle(acct);
+        EXPECT_EQ(g.demand(acct), 0u); // used before the third cycle
+        EXPECT_FALSE(g.asleep());
+    }
+    EXPECT_EQ(g.sleepEntries(), 0u);
+}
+
+TEST(PowerGateTest, WakeChargesEventAndReturnsLatency)
+{
+    PowerGate g = makeGate(GateMode::ClockGate, 3, /*wake=*/2);
+    EnergyAccount acct;
+    for (int i = 0; i < 3; ++i)
+        g.idleCycle(acct);
+    ASSERT_TRUE(g.asleep());
+    EXPECT_EQ(g.demand(acct), 2u);
+    EXPECT_FALSE(g.asleep());
+    EXPECT_EQ(acct.count(PowerEvent::GateClockWake), 1u);
+    EXPECT_EQ(acct.count(PowerEvent::GatePowerWake), 0u);
+    EXPECT_EQ(g.wakeStalls(), 2u);
+    // Second demand in a row: already awake, no charge.
+    EXPECT_EQ(g.demand(acct), 0u);
+    EXPECT_EQ(acct.count(PowerEvent::GateClockWake), 1u);
+}
+
+TEST(PowerGateTest, PowerGateWakeUsesRailEvent)
+{
+    PowerGate g = makeGate(GateMode::PowerGate, 3, 6);
+    EnergyAccount acct;
+    for (int i = 0; i < 3; ++i)
+        g.idleCycle(acct);
+    ASSERT_TRUE(g.asleep());
+    EXPECT_EQ(g.demand(acct), 6u);
+    EXPECT_EQ(acct.count(PowerEvent::GatePowerWake), 1u);
+    EXPECT_EQ(acct.count(PowerEvent::GateClockWake), 0u);
+}
+
+TEST(PowerGateTest, WakeStallIdleCyclesDoNotRelapse)
+{
+    // While the wake stall drains, the unit still looks idle to the
+    // per-cycle scan; those cycles must not re-enter sleep or the unit
+    // livelocks (sleep -> demand -> stall -> sleep -> ...).
+    PowerGate g = makeGate(GateMode::ClockGate, /*threshold=*/2,
+                           /*wake=*/5);
+    EnergyAccount acct;
+    g.idleCycle(acct);
+    g.idleCycle(acct);
+    ASSERT_TRUE(g.asleep());
+    ASSERT_EQ(g.demand(acct), 5u);
+    // 5 stall cycles: idle every one of them, far past the threshold.
+    for (int i = 0; i < 5; ++i)
+        g.idleCycle(acct);
+    EXPECT_FALSE(g.asleep());
+    EXPECT_EQ(g.sleepEntries(), 1u);
+    // Once actually used, the idle run restarts from zero.
+    g.activeCycle();
+    g.idleCycle(acct);
+    EXPECT_FALSE(g.asleep());
+    g.idleCycle(acct);
+    EXPECT_TRUE(g.asleep());
+    EXPECT_EQ(g.sleepEntries(), 2u);
+}
+
+TEST(PowerGateTest, GatedAreaCyclesOnlyUnderPowerGate)
+{
+    PowerGate clock = makeGate(GateMode::ClockGate, 2, 1, 0.25);
+    PowerGate rail = makeGate(GateMode::PowerGate, 2, 1, 0.25);
+    EnergyAccount acct;
+    for (int i = 0; i < 10; ++i) {
+        clock.idleCycle(acct);
+        rail.idleCycle(acct);
+    }
+    // 2 cycles to fall asleep, 8 gated.
+    EXPECT_EQ(clock.gatedCycles(), 8u);
+    EXPECT_EQ(rail.gatedCycles(), 8u);
+    EXPECT_DOUBLE_EQ(clock.gatedAreaCycles(), 0.0);
+    EXPECT_DOUBLE_EQ(rail.gatedAreaCycles(), 0.25 * 8);
+}
+
+TEST(PowerGateTest, RegStatsExposesCounters)
+{
+    PowerGate g = makeGate(GateMode::ClockGate, 2, 1);
+    stats::Group root;
+    g.regStats(root.subgroup("decoder"));
+    EnergyAccount acct;
+    for (int i = 0; i < 4; ++i)
+        g.idleCycle(acct);
+    auto snap = root.snapshot();
+    EXPECT_DOUBLE_EQ(snap.get("decoder.idle_cycles"), 4.0);
+    EXPECT_DOUBLE_EQ(snap.get("decoder.gated_cycles"), 2.0);
+    EXPECT_DOUBLE_EQ(snap.get("decoder.sleep_entries"), 1.0);
+    EXPECT_DOUBLE_EQ(snap.get("decoder.wake_stalls"), 0.0);
+}
+
+TEST(PowerGateTest, WakeStallsMonotoneInWakeLatency)
+{
+    // Satellite property: with the same idle/demand trace, total wake
+    // stall cycles never decrease as the configured wake latency grows.
+    Counter prev_stalls = 0;
+    for (unsigned wake = 0; wake <= 8; ++wake) {
+        PowerGate g = makeGate(GateMode::ClockGate, /*threshold=*/2,
+                               wake);
+        EnergyAccount acct;
+        for (int round = 0; round < 20; ++round) {
+            for (int i = 0; i < 4; ++i)
+                g.idleCycle(acct);
+            g.demand(acct);
+            g.activeCycle();
+        }
+        EXPECT_GE(g.wakeStalls(), prev_stalls) << "wake=" << wake;
+        prev_stalls = g.wakeStalls();
+    }
+}
+
+} // namespace

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <type_traits>
+
 #include "power/account.hh"
 #include "power/energy_model.hh"
 #include "power/events.hh"
@@ -136,8 +138,74 @@ TEST(LeakageTest, PaperFormula)
 
 TEST(LeakageTest, ZeroPmaxMeansNoLeakage)
 {
+    // 0.0 is the *explicit* "leakage disabled" value; the default is
+    // NaN (uncalibrated) and evaluating it is fatal (see death test).
     LeakageModel leak;
+    leak.pmaxPerCycle = 0.0;
     EXPECT_DOUBLE_EQ(leak.leakageEnergy(1e6), 0.0);
+}
+
+TEST(LeakageDeathTest, UncalibratedPmaxIsFatal)
+{
+    LeakageModel leak; // pmaxPerCycle left at its NaN default
+    EXPECT_EXIT(leak.leakageEnergy(1e6),
+                ::testing::ExitedWithCode(1), "never calibrated");
+    EXPECT_EXIT(leak.leakageSaved(10.0),
+                ::testing::ExitedWithCode(1), "never calibrated");
+}
+
+TEST(LeakageTest, ZeroGatedAreaCyclesSavesNothingEvenUncalibrated)
+{
+    // leakageSaved(0) must short-circuit before touching Pmax so the
+    // gating-off path never evaluates an uncalibrated model.
+    LeakageModel leak;
+    EXPECT_DOUBLE_EQ(leak.leakageSaved(0.0), 0.0);
+}
+
+TEST(LeakageTest, DvfsScalesLeakageByWallTime)
+{
+    // Leakage accrues per wall-clock second, so at fixed cycle count a
+    // faster clock leaks proportionally less: LE(f) = LE(1 GHz) / f.
+    LeakageModel nominal;
+    nominal.pmaxPerCycle = 50.0;
+    nominal.l2MegaBytes = 1.0;
+    nominal.coreAreaFactor = 1.0;
+    LeakageModel fast = nominal;
+    fast.freqGHz = 2.0;
+    LeakageModel slow = nominal;
+    slow.freqGHz = 0.5;
+    const double cycles = 1e6;
+    EXPECT_DOUBLE_EQ(fast.leakageEnergy(cycles),
+                     nominal.leakageEnergy(cycles) / 2.0);
+    EXPECT_DOUBLE_EQ(slow.leakageEnergy(cycles),
+                     nominal.leakageEnergy(cycles) * 2.0);
+    EXPECT_DOUBLE_EQ(fast.leakageSaved(1000.0),
+                     nominal.leakageSaved(1000.0) / 2.0);
+}
+
+TEST(LeakageTest, SavedNeverExceedsCoreLeakage)
+{
+    LeakageModel leak;
+    leak.pmaxPerCycle = 80.0;
+    leak.l2MegaBytes = 2.0;
+    leak.coreAreaFactor = 1.35;
+    const double cycles = 1e5;
+    // Even with every gated unit asleep the whole run, the saved
+    // leakage (area shares sum < 1 of the core term) stays below the
+    // gross core+L2 leakage.
+    EXPECT_LT(leak.leakageSaved(cycles * 0.999),
+              leak.leakageEnergy(cycles));
+}
+
+TEST(AccountTest, AccountsArePinned)
+{
+    // EnergyAccount::regStats() hands the stats tree closures that
+    // capture `this`; a copy would silently decouple recording from
+    // reporting. The type is deliberately neither copyable nor movable.
+    static_assert(!std::is_copy_constructible_v<EnergyAccount>);
+    static_assert(!std::is_copy_assignable_v<EnergyAccount>);
+    static_assert(!std::is_move_constructible_v<EnergyAccount>);
+    static_assert(!std::is_move_assignable_v<EnergyAccount>);
 }
 
 TEST(CmpwTest, ScalesAsCube)
@@ -163,6 +231,22 @@ TEST(CmpwTest, FrequencyNormalizationConsistent)
     double a = cubicMipsPerWatt(1e6, 2e6, 1e9);
     double b = cubicMipsPerWatt(2e6, 4e6, 2e9);
     EXPECT_NEAR(a / b, 1.0, 1e-9);
+}
+
+TEST(CmpwTest, DefaultFrequencyIsNominal)
+{
+    EXPECT_DOUBLE_EQ(cubicMipsPerWatt(1e6, 1e6, 1e9),
+                     cubicMipsPerWatt(1e6, 1e6, 1e9, 1.0));
+}
+
+TEST(CmpwTest, HigherClockShortensWallTime)
+{
+    // At 2 GHz the same cycle count takes half the wall time: MIPS
+    // doubles and average power doubles (same energy, half the time),
+    // so CMPW scales by 2^3 / 2 = 4.
+    double nominal = cubicMipsPerWatt(1e6, 1e6, 1e9, 1.0);
+    double fast = cubicMipsPerWatt(1e6, 1e6, 1e9, 2.0);
+    EXPECT_NEAR(fast / nominal, 4.0, 1e-9);
 }
 
 } // namespace

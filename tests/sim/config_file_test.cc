@@ -2,12 +2,15 @@
 
 #include <gtest/gtest.h>
 
+#include "power/power_state.hh"
 #include "sim/config_file.hh"
 
 namespace
 {
 
 using namespace parrot::sim;
+using parrot::power::GateMode;
+using parrot::power::GatedUnit;
 
 TEST(ConfigFileTest, EmptyTextIsBaselineN)
 {
@@ -151,6 +154,110 @@ TEST(ConfigFileErrorTest, MissingFileIsFatal)
 {
     EXPECT_DEATH(loadModelConfig("/nonexistent/parrot-model.conf"),
                  "cannot open config file");
+}
+
+// ---------------------------------------------------------------------
+// Power-state and DVFS keys.
+// ---------------------------------------------------------------------
+
+TEST(ConfigFilePowerTest, FreqKeyParses)
+{
+    ModelConfig cfg = parseModelConfig("freq_ghz = 1.5\n");
+    EXPECT_DOUBLE_EQ(cfg.freqGHz, 1.5);
+    EXPECT_DOUBLE_EQ(parseModelConfig("").freqGHz, 1.0);
+}
+
+TEST(ConfigFilePowerTest, OutOfRangeFreqFailsValidation)
+{
+    EXPECT_DEATH(parseModelConfig("freq_ghz = 9.0\n"),
+                 "outside \\[0.25, 4.0\\]");
+}
+
+TEST(ConfigFilePowerTest, GlobalGateModeAppliesPresetToEveryUnit)
+{
+    ModelConfig cfg = parseModelConfig("base = TON\ngate.mode = power\n");
+    for (const auto &p : cfg.powerState.unit) {
+        EXPECT_EQ(p.mode, GateMode::PowerGate);
+        EXPECT_EQ(p.sleepThreshold,
+                  parrot::power::defaultPolicyFor(GateMode::PowerGate)
+                      .sleepThreshold);
+    }
+}
+
+TEST(ConfigFilePowerTest, GlobalThresholdAndWakeOverridePreset)
+{
+    ModelConfig cfg = parseModelConfig(
+        "base = TON\n"
+        "gate.mode = clock\n"
+        "gate.threshold = 7\n"
+        "gate.wake_latency = 3\n");
+    for (const auto &p : cfg.powerState.unit) {
+        EXPECT_EQ(p.mode, GateMode::ClockGate);
+        EXPECT_EQ(p.sleepThreshold, 7u);
+        EXPECT_EQ(p.wakeLatency, 3u);
+    }
+}
+
+TEST(ConfigFilePowerTest, PerUnitKeysOverrideGlobal)
+{
+    ModelConfig cfg = parseModelConfig(
+        "base = TON\n"
+        "gate.mode = clock\n"
+        "gate.decoder.mode = power\n"
+        "gate.decoder.threshold = 12\n"
+        "gate.tc_port.wake_latency = 5\n");
+    EXPECT_EQ(cfg.powerState.of(GatedUnit::Decoder).mode,
+              GateMode::PowerGate);
+    EXPECT_EQ(cfg.powerState.of(GatedUnit::Decoder).sleepThreshold, 12u);
+    EXPECT_EQ(cfg.powerState.of(GatedUnit::TcPort).mode,
+              GateMode::ClockGate);
+    EXPECT_EQ(cfg.powerState.of(GatedUnit::TcPort).wakeLatency, 5u);
+    EXPECT_EQ(cfg.powerState.of(GatedUnit::BranchPred).mode,
+              GateMode::ClockGate);
+}
+
+TEST(ConfigFilePowerTest, BadGateModeIsFatal)
+{
+    EXPECT_DEATH(parseModelConfig("gate.mode = sideways\n"),
+                 "bad gate mode 'sideways'");
+    EXPECT_DEATH(parseModelConfig("gate.decoder.mode = on\n"),
+                 "bad gate mode");
+}
+
+TEST(ConfigFilePowerTest, DegenerateGatePolicyFailsValidation)
+{
+    EXPECT_DEATH(parseModelConfig(
+                     "gate.mode = clock\ngate.threshold = 0\n"),
+                 "sleep");
+}
+
+TEST(ConfigFilePowerTest, GateKeysRoundTripThroughRender)
+{
+    ModelConfig original = ModelConfig::make("TON");
+    original.freqGHz = 1.2;
+    original.powerState.applyAll(GateMode::PowerGate);
+    original.powerState.of(GatedUnit::Decoder).sleepThreshold = 11;
+    original.powerState.of(GatedUnit::TcPort).wakeLatency = 9;
+    ModelConfig reparsed = parseModelConfig(
+        "base = TON\n" + renderModelConfig(original));
+    EXPECT_DOUBLE_EQ(reparsed.freqGHz, 1.2);
+    for (unsigned i = 0; i < parrot::power::numGatedUnits; ++i) {
+        const auto u = static_cast<GatedUnit>(i);
+        EXPECT_EQ(reparsed.powerState.of(u).mode,
+                  original.powerState.of(u).mode)
+            << parrot::power::gatedUnitName(u);
+        EXPECT_EQ(reparsed.powerState.of(u).sleepThreshold,
+                  original.powerState.of(u).sleepThreshold);
+        EXPECT_EQ(reparsed.powerState.of(u).wakeLatency,
+                  original.powerState.of(u).wakeLatency);
+    }
+}
+
+TEST(ConfigFilePowerTest, DisabledGatingRendersNoGateKeys)
+{
+    std::string text = renderModelConfig(ModelConfig::make("TON"));
+    EXPECT_EQ(text.find("gate."), std::string::npos);
+    EXPECT_NE(text.find("freq_ghz = 1"), std::string::npos);
 }
 
 TEST(ConfigFileTest, RenderRoundTrips)
