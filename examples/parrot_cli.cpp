@@ -39,6 +39,15 @@
  *     --stats-out FILE    write the sampled time-series to FILE as a
  *                         JSON array of run objects, or as CSV when
  *                         FILE ends in .csv (requires --stats-interval)
+ *     --trace-out FILE    record the (single) selected application's
+ *                         committed stream to FILE as a `.ptrace`
+ *                         recording covering --insts instructions
+ *                         (plus the replay margin), then exit
+ *     --trace-in FILE     simulate a recorded `.ptrace` file instead
+ *                         of the synthetic generator; repeatable.
+ *                         Unless --insts is given, the budget is the
+ *                         smallest intended budget among the traces.
+ *                         A malformed trace file exits 2.
  *     --kv                key=value output (for scripts)
  *     --dump-config       print the effective model configuration
  *     --list-apps         list the 44 applications and exit
@@ -175,6 +184,9 @@ main(int argc, char **argv)
     bool cosim = false;
     unsigned stats_interval = 0;
     std::string stats_out;
+    std::string trace_out;
+    std::vector<std::string> trace_in;
+    bool insts_set = false;
 
     auto need_value = [&](int &i) -> const char * {
         return cli::needValue(argc, argv, i);
@@ -192,6 +204,11 @@ main(int argc, char **argv)
             group = need_value(i);
         } else if (!std::strcmp(arg, "--insts")) {
             insts = cli::parseU64(arg, need_value(i));
+            insts_set = true;
+        } else if (!std::strcmp(arg, "--trace-out")) {
+            trace_out = need_value(i);
+        } else if (!std::strcmp(arg, "--trace-in")) {
+            trace_in.push_back(need_value(i));
         } else if (!std::strcmp(arg, "--jobs")) {
             jobs = cli::parseU32(arg, need_value(i));
         } else if (!std::strcmp(arg, "--pmax")) {
@@ -274,6 +291,16 @@ main(int argc, char **argv)
         std::printf("%s", sim::renderModelConfig(cfg).c_str());
         return 0;
     }
+    if (!cfg.traceFile.empty()) {
+        // Validate the config-level trace redirect up front so a bad
+        // file is a CLI error (exit 2), not a per-cell tombstone.
+        try {
+            workload::loadTraceFile(cfg.traceFile);
+        } catch (const workload::TraceFormatError &e) {
+            std::fprintf(stderr, "%s\n", e.what());
+            return 2;
+        }
+    }
 
     // Assemble the application list.
     std::vector<workload::SuiteEntry> suite;
@@ -296,6 +323,61 @@ main(int argc, char **argv)
     }
     for (const auto &app : apps)
         suite.push_back(workload::findApp(app));
+
+    // Recording mode: dump the one selected app's committed stream and
+    // exit. A recording is a fixture, not a simulation — no results.
+    if (!trace_out.empty()) {
+        if (!trace_in.empty()) {
+            std::fprintf(stderr, "--trace-out and --trace-in are "
+                                 "mutually exclusive\n");
+            return 2;
+        }
+        if (suite.empty())
+            suite.push_back(workload::findApp("swim"));
+        if (suite.size() != 1) {
+            std::fprintf(stderr, "--trace-out records exactly one "
+                                 "application (got %zu)\n",
+                         suite.size());
+            return 2;
+        }
+        try {
+            auto stats =
+                workload::recordTrace(suite[0], insts, trace_out);
+            std::printf("recorded %s: %llu records (%llu uops, %llu "
+                        "CTIs) for a %llu-inst budget, %llu bytes\n",
+                        stats.path.c_str(),
+                        static_cast<unsigned long long>(stats.records),
+                        static_cast<unsigned long long>(stats.uops),
+                        static_cast<unsigned long long>(stats.ctis),
+                        static_cast<unsigned long long>(
+                            stats.intendedBudget),
+                        static_cast<unsigned long long>(
+                            stats.fileBytes));
+            return 0;
+        } catch (const workload::TraceFormatError &e) {
+            std::fprintf(stderr, "%s\n", e.what());
+            return 2;
+        }
+    }
+
+    // Replay mode: each --trace-in file becomes one suite cell.
+    if (!trace_in.empty()) {
+        std::uint64_t min_budget = 0;
+        for (const auto &path : trace_in) {
+            try {
+                auto entry = workload::traceSuiteEntry(path);
+                if (min_budget == 0 ||
+                    entry.defaultInstBudget < min_budget)
+                    min_budget = entry.defaultInstBudget;
+                suite.push_back(std::move(entry));
+            } catch (const workload::TraceFormatError &e) {
+                std::fprintf(stderr, "%s\n", e.what());
+                return 2;
+            }
+        }
+        if (!insts_set)
+            insts = min_budget;
+    }
     if (suite.empty())
         suite.push_back(workload::findApp("swim"));
 

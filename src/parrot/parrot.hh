@@ -42,6 +42,8 @@
 #include "workload/generator.hh"
 #include "workload/profile.hh"
 #include "workload/program.hh"
+#include "workload/source.hh"
+#include "workload/trace_codec.hh"
 
 #include "memory/cache.hh"
 #include "memory/hierarchy.hh"
@@ -68,6 +70,7 @@
 #include "verify/corpus.hh"
 #include "verify/cosim.hh"
 #include "verify/fuzzer.hh"
+#include "verify/trace_fuzz.hh"
 
 #include "power/account.hh"
 #include "power/energy_model.hh"

@@ -106,6 +106,9 @@ keyTable()
             const std::string &o) {
              c.statsInterval = parseUnsigned(v, k, o);
          }},
+        {"trace_file",
+         [](ModelConfig &c, const std::string &v, const std::string &,
+            const std::string &) { c.traceFile = v; }},
 
         // Cold (or unified) core.
         {"core.width",
@@ -368,6 +371,8 @@ renderModelConfig(const ModelConfig &cfg)
     out << "split_core = " << (cfg.splitCore ? "true" : "false") << "\n";
     out << "cosim = " << (cfg.cosim ? "true" : "false") << "\n";
     out << "stats_interval = " << cfg.statsInterval << "\n";
+    if (!cfg.traceFile.empty())
+        out << "trace_file = " << cfg.traceFile << "\n";
     out << "core.width = " << cfg.coldCore.width << "\n";
     out << "core.rob = " << cfg.coldCore.robSize << "\n";
     out << "core.iq = " << cfg.coldCore.iqSize << "\n";

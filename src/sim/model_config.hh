@@ -83,6 +83,11 @@ struct ModelConfig
      * never changes timing, energy or end-of-run results. */
     unsigned statsInterval = 0;
 
+    /** When non-empty, every suite cell replays this recorded `.ptrace`
+     * file instead of the synthetic generator (config key `trace_file`;
+     * entries that already carry their own trace path win). */
+    std::string traceFile;
+
     /** Build one of the named models: N W TN TW TON TOW TOS. */
     static ModelConfig make(const std::string &model_name);
 

@@ -101,13 +101,16 @@ SuiteRunner::workloadFor(const workload::SuiteEntry &entry)
 {
     // Generation happens under the lock so the same app is never
     // generated twice; std::map references stay valid across later
-    // insertions, so handing the reference out is safe.
+    // insertions, so handing the reference out is safe. Trace-file
+    // cells key on the path: the same app name can exist both as a
+    // generator cell and as one or more recordings.
+    const std::string key = entry.tracePath.empty()
+                                ? entry.profile.name
+                                : "trace:" + entry.tracePath;
     std::lock_guard<std::mutex> lock(cacheMutex);
-    auto it = programCache.find(entry.profile.name);
-    if (it == programCache.end()) {
-        it = programCache.emplace(entry.profile.name,
-                                  loadWorkload(entry)).first;
-    }
+    auto it = programCache.find(key);
+    if (it == programCache.end())
+        it = programCache.emplace(key, loadWorkload(entry)).first;
     return it->second;
 }
 
@@ -174,6 +177,15 @@ SuiteRunner::runPrepared(const ModelConfig &config,
                          const workload::SuiteEntry &entry)
 {
     double pmax_per_cycle = opts.noLeakage ? 0.0 : pmaxValue;
+    // A config-level trace_file redirects every cell that doesn't
+    // already carry its own recording.
+    if (!config.traceFile.empty() && entry.tracePath.empty()) {
+        workload::SuiteEntry traced = entry;
+        traced.tracePath = config.traceFile;
+        ParrotSimulator sim(config, workloadFor(traced));
+        return sim.run(opts.instBudget, pmax_per_cycle,
+                       opts.deadlineMs);
+    }
     ParrotSimulator sim(config, workloadFor(entry));
     return sim.run(opts.instBudget, pmax_per_cycle, opts.deadlineMs);
 }

@@ -21,8 +21,14 @@ Workload
 loadWorkload(const workload::SuiteEntry &entry)
 {
     Workload w;
-    w.profile = entry.profile;
-    w.program = workload::generateProgram(entry.profile);
+    if (!entry.tracePath.empty()) {
+        w.trace = workload::loadTraceFile(entry.tracePath);
+        w.profile = workload::traceProfile(*w.trace);
+        w.program = w.trace->program;
+    } else {
+        w.profile = entry.profile;
+        w.program = workload::generateProgram(entry.profile);
+    }
     return w;
 }
 
@@ -47,8 +53,13 @@ ParrotSimulator::ParrotSimulator(const ModelConfig &config,
             std::max(1u, static_cast<unsigned>(scaled + 0.5));
     }
 
-    executor = std::make_unique<workload::Executor>(*load.program,
-                                                    load.profile);
+    if (load.trace) {
+        source =
+            std::make_unique<workload::TraceReplaySource>(load.trace);
+    } else {
+        source = std::make_unique<workload::Executor>(*load.program,
+                                                      load.profile);
+    }
     hierarchy = std::make_unique<memory::Hierarchy>(cfg.memory);
     splitMode = cfg.splitCore;
 
@@ -367,12 +378,23 @@ ParrotSimulator::regStats()
 void
 ParrotSimulator::refillLookahead(std::size_t target)
 {
-    // Fill ring slots in place: the executor writes straight into the
+    // Fill ring slots in place: the source writes straight into the
     // buffer, so no 64-byte DynInst ever crosses a copy.
     while (lookahead.size() < target) {
         DynInst &slot = lookahead.emplaceBack();
-        if (!executor->next(slot)) {
+        if (!source->next(slot)) {
             lookahead.popBack();
+            // A finite recorded trace ran dry. With instructions still
+            // in flight the simulation can finish on what it has; with
+            // nothing left it would spin to the cycle cap and report a
+            // silently-short run — fail loudly instead (SuiteRunner
+            // retries/tombstones the cell).
+            if (lookahead.empty() && target > 0) {
+                throw std::runtime_error(
+                    "workload source for '" + load.profile.name +
+                    "' exhausted before the instruction budget; "
+                    "re-record the trace with a larger budget");
+            }
             break;
         }
     }

@@ -42,18 +42,26 @@
 #include "workload/apps.hh"
 #include "workload/executor.hh"
 #include "workload/generator.hh"
+#include "workload/source.hh"
+#include "workload/trace_codec.hh"
 
 namespace parrot::sim
 {
 
-/** A generated application ready to simulate (program is shareable). */
+/** An application ready to simulate (program is shareable). */
 struct Workload
 {
     workload::AppProfile profile;
     std::shared_ptr<workload::Program> program;
+
+    /** Set for recorded-trace cells: the validated `.ptrace` image the
+     * simulation replays instead of running the generator. `program`
+     * then aliases trace->program. */
+    std::shared_ptr<const workload::TraceData> trace;
 };
 
-/** Generate (or reuse) the program for a suite entry. */
+/** Generate the program for a suite entry — or, when the entry names a
+ * trace file, load and validate the recording. */
 Workload loadWorkload(const workload::SuiteEntry &entry);
 
 /**
@@ -165,7 +173,7 @@ class ParrotSimulator
      * fetch window live here, so the cycle loop does no heap traffic. */
     Arena simArena;
 
-    std::unique_ptr<workload::Executor> executor;
+    std::unique_ptr<workload::WorkloadSource> source;
     /** Committed-stream lookahead; refilled in place (no copies). */
     RingBuffer<workload::DynInst> lookahead{simArena, 256};
 

@@ -1,0 +1,769 @@
+/** @file Implementation of the `.ptrace` decoder fuzzing harness. */
+
+#include "verify/trace_fuzz.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <sstream>
+
+#include "common/atomic_file.hh"
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "workload/executor.hh"
+#include "workload/generator.hh"
+
+namespace parrot::verify
+{
+
+namespace
+{
+
+using workload::TraceError;
+using workload::TraceFormatError;
+
+// ---------------------------------------------------------------------
+// Local byte helpers (the fuzzer manipulates the wire format directly;
+// it deliberately does not share code with the decoder it tests).
+// ---------------------------------------------------------------------
+
+std::uint32_t
+getU32(const std::string &bytes, std::size_t off)
+{
+    std::uint32_t v = 0;
+    for (int i = 3; i >= 0; --i)
+        v = (v << 8) | static_cast<std::uint8_t>(bytes[off + i]);
+    return v;
+}
+
+void
+setU32(std::string &bytes, std::size_t off, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        bytes[off + i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+}
+
+/** Independent CRC32 (same polynomial as the codec). */
+std::uint32_t
+crc32(const char *data, std::size_t len)
+{
+    std::uint32_t c = 0xFFFFFFFFu;
+    for (std::size_t i = 0; i < len; ++i) {
+        c ^= static_cast<std::uint8_t>(data[i]);
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    return c ^ 0xFFFFFFFFu;
+}
+
+std::uint64_t
+readVarint(const std::string &bytes, std::size_t &off)
+{
+    std::uint64_t v = 0;
+    for (unsigned shift = 0; shift < 64 && off < bytes.size();
+         shift += 7) {
+        const auto b = static_cast<std::uint8_t>(bytes[off++]);
+        v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+        if (!(b & 0x80))
+            break;
+    }
+    return v;
+}
+
+void
+writeVarint(std::string &out, std::uint64_t v)
+{
+    while (v >= 0x80) {
+        out.push_back(static_cast<char>((v & 0x7F) | 0x80));
+        v >>= 7;
+    }
+    out.push_back(static_cast<char>(v));
+}
+
+/** One framed section located inside a file image. */
+struct Frame
+{
+    std::size_t frameOff;   //!< where [len][crc] starts
+    std::size_t payloadOff;
+    std::size_t payloadLen;
+};
+
+/** Best-effort frame walk (the input is trusted here: a valid base). */
+std::vector<Frame>
+walkFrames(const std::string &bytes)
+{
+    std::vector<Frame> frames;
+    std::size_t off = 8;
+    while (off + 8 <= bytes.size()) {
+        const std::uint32_t len = getU32(bytes, off);
+        if (bytes.size() - off - 8 < len)
+            break;
+        frames.push_back({off, off + 8, len});
+        off += 8 + len;
+    }
+    return frames;
+}
+
+/** Recompute a frame's CRC after its payload was edited. */
+void
+fixCrc(std::string &bytes, const Frame &f)
+{
+    setU32(bytes, f.frameOff + 4,
+           crc32(bytes.data() + f.payloadOff, f.payloadLen));
+}
+
+/** Replace one section's payload wholesale (re-framed, CRC fixed). */
+std::string
+spliceSection(const std::string &base, const Frame &f,
+              const std::string &payload)
+{
+    std::string out = base.substr(0, f.frameOff);
+    std::string framed;
+    for (int i = 0; i < 4; ++i)
+        framed.push_back(
+            static_cast<char>((payload.size() >> (8 * i)) & 0xFF));
+    const std::uint32_t crc = crc32(payload.data(), payload.size());
+    for (int i = 0; i < 4; ++i)
+        framed.push_back(static_cast<char>((crc >> (8 * i)) & 0xFF));
+    out += framed + payload;
+    out += base.substr(f.payloadOff + f.payloadLen);
+    return out;
+}
+
+/** Flip one payload byte and fix the CRC so the corruption survives
+ * the checksum and reaches the structural validators. */
+std::string
+mutatePayloadByte(const std::string &base, const Frame &f,
+                  std::size_t idx, std::uint8_t xor_mask)
+{
+    std::string out = base;
+    out[f.payloadOff + idx] =
+        static_cast<char>(out[f.payloadOff + idx] ^ xor_mask);
+    fixCrc(out, f);
+    return out;
+}
+
+/** Fields of the header payload, for targeted count corruption. */
+struct HeaderFields
+{
+    std::string name;
+    std::uint8_t group;
+    std::uint64_t seed, numRecords, numUops, numCtis;
+    std::uint64_t intendedBudget, firstPc, recordsPerBlock;
+};
+
+HeaderFields
+parseHeaderPayload(const std::string &bytes, const Frame &f)
+{
+    HeaderFields h{};
+    std::size_t off = f.payloadOff;
+    const std::uint64_t name_len = readVarint(bytes, off);
+    h.name = bytes.substr(off, name_len);
+    off += name_len;
+    h.group = static_cast<std::uint8_t>(bytes[off++]);
+    h.seed = readVarint(bytes, off);
+    h.numRecords = readVarint(bytes, off);
+    h.numUops = readVarint(bytes, off);
+    h.numCtis = readVarint(bytes, off);
+    h.intendedBudget = readVarint(bytes, off);
+    h.firstPc = readVarint(bytes, off);
+    h.recordsPerBlock = readVarint(bytes, off);
+    return h;
+}
+
+std::string
+renderHeaderPayload(const HeaderFields &h)
+{
+    std::string out;
+    writeVarint(out, h.name.size());
+    out += h.name;
+    out.push_back(static_cast<char>(h.group));
+    writeVarint(out, h.seed);
+    writeVarint(out, h.numRecords);
+    writeVarint(out, h.numUops);
+    writeVarint(out, h.numCtis);
+    writeVarint(out, h.intendedBudget);
+    writeVarint(out, h.firstPc);
+    writeVarint(out, h.recordsPerBlock);
+    return out;
+}
+
+const char *
+outcomeName(TraceProbeOutcome o)
+{
+    switch (o) {
+      case TraceProbeOutcome::Accepted: return "Accepted";
+      case TraceProbeOutcome::Rejected: return "Rejected";
+      case TraceProbeOutcome::Escaped: return "Escaped";
+    }
+    return "?";
+}
+
+std::string
+toHex(const std::string &bytes)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out;
+    out.reserve(bytes.size() * 2);
+    for (char c : bytes) {
+        const auto b = static_cast<std::uint8_t>(c);
+        out.push_back(digits[b >> 4]);
+        out.push_back(digits[b & 0xF]);
+    }
+    return out;
+}
+
+bool
+fromHex(const std::string &hex, std::string &out)
+{
+    if (hex.size() % 2 != 0)
+        return false;
+    auto nib = [](char c) -> int {
+        if (c >= '0' && c <= '9') return c - '0';
+        if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+        if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+        return -1;
+    };
+    out.clear();
+    out.reserve(hex.size() / 2);
+    for (std::size_t i = 0; i < hex.size(); i += 2) {
+        const int hi = nib(hex[i]), lo = nib(hex[i + 1]);
+        if (hi < 0 || lo < 0)
+            return false;
+        out.push_back(static_cast<char>((hi << 4) | lo));
+    }
+    return true;
+}
+
+/** Budget-bounded ddmin over bytes: smallest input keeping `still`. */
+std::string
+ddminBytes(std::string input,
+           const std::function<bool(const std::string &)> &still,
+           std::uint64_t probe_budget = 4096)
+{
+    if (input.empty() || !still(input))
+        return input;
+    std::size_t n = 2;
+    while (input.size() >= 2 && probe_budget > 0) {
+        const std::size_t len = input.size();
+        const std::size_t chunk = (len + n - 1) / n;
+        bool reduced = false;
+        for (std::size_t start = 0; start < len && probe_budget > 0;
+             start += chunk) {
+            std::string cand = input.substr(0, start);
+            if (start + chunk < len)
+                cand += input.substr(start + chunk);
+            --probe_budget;
+            if (!cand.empty() && still(cand)) {
+                input = std::move(cand);
+                n = std::max<std::size_t>(2, n - 1);
+                reduced = true;
+                break;
+            }
+        }
+        if (!reduced) {
+            if (n >= input.size())
+                break;
+            n = std::min(input.size(), n * 2);
+        }
+    }
+    return input;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Probe.
+// ---------------------------------------------------------------------
+
+TraceProbe
+probeTraceBytes(const std::string &bytes)
+{
+    TraceProbe probe;
+    try {
+        auto trace = workload::decodeTraceBytes(bytes);
+        // Accepted: the decoder vouched for the stream, so replaying it
+        // end to end must be infallible and reproduce the declared
+        // totals. A violation here is a mis-simulation escape.
+        workload::TraceReplaySource src(trace);
+        workload::DynInst dyn;
+        std::uint64_t records = 0, uops = 0, ctis = 0;
+        while (src.next(dyn)) {
+            ++records;
+            uops += dyn.inst->uops.size();
+            if (dyn.inst->isCti())
+                ++ctis;
+        }
+        if (records != trace->numRecords || uops != trace->numUops ||
+            ctis != trace->numCtis) {
+            probe.outcome = TraceProbeOutcome::Escaped;
+            probe.message = "accepted trace replays " +
+                            std::to_string(records) + " records / " +
+                            std::to_string(uops) + " uops / " +
+                            std::to_string(ctis) +
+                            " CTIs, not what its header declares";
+            return probe;
+        }
+        probe.outcome = TraceProbeOutcome::Accepted;
+        return probe;
+    } catch (const TraceFormatError &e) {
+        probe.outcome = TraceProbeOutcome::Rejected;
+        probe.category = e.category();
+        probe.message = e.what();
+        return probe;
+    } catch (const std::exception &e) {
+        probe.outcome = TraceProbeOutcome::Escaped;
+        probe.message = std::string("decoder leaked a foreign "
+                                    "exception: ") +
+                        e.what();
+        return probe;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Corpus text format.
+// ---------------------------------------------------------------------
+
+std::string
+renderTraceCorpus(const TraceCorpusEntry &entry)
+{
+    std::ostringstream out;
+    out << "parrot-ptrace-corpus v1\n";
+    if (!entry.comment.empty()) {
+        std::istringstream lines(entry.comment);
+        std::string line;
+        while (std::getline(lines, line))
+            out << "# " << line << "\n";
+    }
+    out << "error " << workload::traceErrorName(entry.category) << "\n";
+    out << "bytes " << toHex(entry.bytes) << "\n";
+    return out.str();
+}
+
+bool
+parseTraceCorpus(const std::string &text, TraceCorpusEntry &out,
+                 std::string *error)
+{
+    auto fail = [&](const std::string &why) {
+        if (error)
+            *error = why;
+        return false;
+    };
+    std::istringstream in(text);
+    std::string line;
+    if (!std::getline(in, line) || line != "parrot-ptrace-corpus v1")
+        return fail("missing 'parrot-ptrace-corpus v1' header");
+    out = TraceCorpusEntry{};
+    bool have_error = false, have_bytes = false;
+    std::string comment;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        if (line[0] == '#') {
+            std::string c = line.substr(line.size() > 1 &&
+                                                line[1] == ' '
+                                            ? 2
+                                            : 1);
+            comment += comment.empty() ? c : "\n" + c;
+            continue;
+        }
+        std::istringstream fields(line);
+        std::string key;
+        fields >> key;
+        if (key == "error") {
+            std::string name;
+            fields >> name;
+            out.category = workload::traceErrorFromName(name);
+            if (out.category == TraceError::NumErrors)
+                return fail("unknown error category '" + name + "'");
+            have_error = true;
+        } else if (key == "bytes") {
+            std::string hex;
+            fields >> hex;
+            if (!fromHex(hex, out.bytes))
+                return fail("malformed hex on 'bytes' line");
+            have_bytes = true;
+        } else {
+            return fail("unknown directive '" + key + "'");
+        }
+    }
+    if (!have_error || !have_bytes)
+        return fail("corpus file needs both 'error' and 'bytes' lines");
+    out.comment = comment;
+    return true;
+}
+
+bool
+loadTraceCorpusFile(const std::string &path, TraceCorpusEntry &out,
+                    std::string *error)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        if (error)
+            *error = "cannot open " + path;
+        return false;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return parseTraceCorpus(buf.str(), out, error);
+}
+
+bool
+writeTraceCorpusFile(const std::string &path,
+                     const TraceCorpusEntry &entry)
+{
+    return atomic_file::writeFileAtomic(path, renderTraceCorpus(entry));
+}
+
+// ---------------------------------------------------------------------
+// Minimization and replay.
+// ---------------------------------------------------------------------
+
+std::string
+ddminReject(const std::string &bytes, TraceError category)
+{
+    return ddminBytes(bytes, [category](const std::string &cand) {
+        const TraceProbe p = probeTraceBytes(cand);
+        return p.outcome == TraceProbeOutcome::Rejected &&
+               p.category == category;
+    });
+}
+
+TraceReplayResult
+replayTraceCorpusDir(const std::string &dir)
+{
+    TraceReplayResult result;
+    std::vector<std::string> files;
+    std::error_code ec;
+    for (const auto &de :
+         std::filesystem::directory_iterator(dir, ec)) {
+        if (de.path().extension() == ".trace")
+            files.push_back(de.path().string());
+    }
+    std::sort(files.begin(), files.end());
+    for (const auto &file : files) {
+        ++result.total;
+        TraceCorpusEntry entry;
+        std::string error;
+        if (!loadTraceCorpusFile(file, entry, &error)) {
+            ++result.failed;
+            result.reports.push_back(file + ": " + error);
+            continue;
+        }
+        const TraceProbe p = probeTraceBytes(entry.bytes);
+        if (p.outcome != TraceProbeOutcome::Rejected ||
+            p.category != entry.category) {
+            ++result.failed;
+            result.reports.push_back(
+                file + ": expected rejection with category " +
+                workload::traceErrorName(entry.category) + ", got " +
+                outcomeName(p.outcome) +
+                (p.outcome == TraceProbeOutcome::Rejected
+                     ? std::string(" / ") +
+                           workload::traceErrorName(p.category)
+                     : std::string()) +
+                (p.message.empty() ? "" : " (" + p.message + ")"));
+        }
+    }
+    return result;
+}
+
+// ---------------------------------------------------------------------
+// Base trace and targeted seeds.
+// ---------------------------------------------------------------------
+
+std::string
+makeTinyTraceBytes(std::uint64_t seed, std::uint64_t records)
+{
+    PARROT_ASSERT(records > 0, "makeTinyTraceBytes: zero records");
+    workload::AppProfile p;
+    p.name = "fuzz-tiny";
+    p.seed = seed;
+    p.numHotProcs = 1;
+    p.numColdProcs = 2;
+    p.blocksPerProc = 4;
+    p.avgBlockInsts = 3.0;
+    auto prog = workload::generateProgram(p);
+    workload::Executor ex(*prog, p);
+    workload::TraceWriter writer(*prog, p, records);
+    workload::DynInst dyn;
+    for (std::uint64_t i = 0; i < records; ++i) {
+        const bool ok = ex.next(dyn);
+        PARROT_ASSERT(ok, "tiny generator stream ended");
+        writer.append(dyn);
+    }
+    return writer.finish();
+}
+
+std::vector<TraceCorpusEntry>
+craftRejectionSeeds(const std::string &valid)
+{
+    const auto frames = walkFrames(valid);
+    PARROT_ASSERT(frames.size() >= 3,
+                  "craftRejectionSeeds: base trace has %zu sections "
+                  "(need header+program+records)",
+                  frames.size());
+    const Frame &header = frames[0];
+    const Frame &program = frames[1];
+    const Frame &block = frames[2];
+
+    std::vector<TraceCorpusEntry> seeds;
+    auto add = [&](TraceError cat, std::string bytes,
+                   const char *how) {
+        seeds.push_back({cat, std::move(bytes), how});
+    };
+
+    add(TraceError::Empty, "", "zero-length file");
+
+    {
+        std::string b = valid;
+        b[0] = static_cast<char>(b[0] ^ 0xFF);
+        add(TraceError::BadMagic, std::move(b),
+            "first magic byte flipped");
+    }
+    {
+        std::string b = valid;
+        b[4] = 0x7F; // version 0x007F
+        add(TraceError::BadVersion, std::move(b),
+            "format version forced to 127");
+    }
+    {
+        std::string b = valid;
+        b[6] = 0x01;
+        add(TraceError::BadReserved, std::move(b),
+            "reserved header byte set");
+    }
+    add(TraceError::TruncatedHeader, valid.substr(0, 12),
+        "file cut inside the header section framing");
+    add(TraceError::HeaderCrc,
+        [&] {
+            std::string b = valid;
+            b[header.payloadOff] =
+                static_cast<char>(b[header.payloadOff] ^ 0x01);
+            return b;
+        }(),
+        "header payload byte flipped without fixing the CRC");
+    add(TraceError::BadHeader,
+        mutatePayloadByte(valid, header, 0,
+                          static_cast<std::uint8_t>(
+                              valid[header.payloadOff])),
+        "application-name length zeroed, CRC fixed up");
+    {
+        // A header whose first varint never terminates (10 bytes with
+        // the continuation bit set), CRC valid so it reaches the field
+        // parser.
+        add(TraceError::VarintOverrun,
+            spliceSection(valid, header, std::string(10, '\x80')),
+            "header replaced by an unterminated varint, CRC fixed up");
+    }
+    add(TraceError::TruncatedProgram,
+        valid.substr(0, program.payloadOff + program.payloadLen / 2),
+        "file cut midway through the program section");
+    add(TraceError::ProgramCrc,
+        [&] {
+            std::string b = valid;
+            b[program.payloadOff] =
+                static_cast<char>(b[program.payloadOff] ^ 0x01);
+            return b;
+        }(),
+        "program payload byte flipped without fixing the CRC");
+    add(TraceError::BadProgram,
+        mutatePayloadByte(valid, program, 0,
+                          static_cast<std::uint8_t>(
+                              valid[program.payloadOff])),
+        "procedure count zeroed, CRC fixed up");
+    add(TraceError::TruncatedRecords,
+        valid.substr(0, block.payloadOff + block.payloadLen / 2),
+        "file cut midway through a record block");
+    add(TraceError::RecordCrc,
+        [&] {
+            std::string b = valid;
+            b[block.payloadOff] =
+                static_cast<char>(b[block.payloadOff] ^ 0x01);
+            return b;
+        }(),
+        "record block byte flipped without fixing the CRC");
+    add(TraceError::BadRecord,
+        mutatePayloadByte(valid, block, 0,
+                          static_cast<std::uint8_t>(
+                              valid[block.payloadOff])),
+        "record-block record count zeroed, CRC fixed up");
+    {
+        // Declares one more uop than the records contain.
+        HeaderFields h = parseHeaderPayload(valid, header);
+        h.numUops += 1;
+        add(TraceError::CountMismatch,
+            spliceSection(valid, header, renderHeaderPayload(h)),
+            "header declares one more uop than the records contain");
+    }
+    add(TraceError::TrailingBytes, valid + '\0',
+        "one garbage byte appended after the final record block");
+
+    return seeds;
+}
+
+// ---------------------------------------------------------------------
+// Campaign.
+// ---------------------------------------------------------------------
+
+TraceDecoderFuzzer::TraceDecoderFuzzer(const TraceFuzzOptions &options)
+    : opts(options)
+{}
+
+TraceFuzzStats
+TraceDecoderFuzzer::run()
+{
+    TraceFuzzStats stats;
+    Rng rng(opts.seed * 0x9E3779B97F4A7C15ull + 0xD1B54A32D192ED03ull);
+
+    const std::string base =
+        makeTinyTraceBytes(opts.seed, opts.records);
+    {
+        const TraceProbe p = probeTraceBytes(base);
+        PARROT_ASSERT(p.outcome == TraceProbeOutcome::Accepted,
+                      "fuzzer base trace does not decode: %s",
+                      p.message.c_str());
+    }
+    const auto frames = walkFrames(base);
+
+    std::array<bool,
+               static_cast<std::size_t>(TraceError::NumErrors)>
+        dumped{};
+
+    auto recordRejection = [&](const std::string &bytes,
+                               const TraceProbe &p,
+                               const char *provenance) {
+        ++stats.rejected;
+        ++stats.byCategory[static_cast<std::size_t>(p.category)];
+        auto &was = dumped[static_cast<std::size_t>(p.category)];
+        if (!opts.corpusDir.empty() && !was) {
+            was = true;
+            TraceCorpusEntry entry;
+            entry.category = p.category;
+            entry.bytes = ddminReject(bytes, p.category);
+            entry.comment = std::string(provenance) +
+                            "\nrejected: " + p.message;
+            const std::string file =
+                opts.corpusDir + "/" +
+                workload::traceErrorName(p.category) + ".trace";
+            if (writeTraceCorpusFile(file, entry))
+                ++stats.corpusWritten;
+            if (opts.verbose) {
+                std::fprintf(stderr,
+                             "[trace-fuzz] corpus %s (%zu bytes)\n",
+                             file.c_str(), entry.bytes.size());
+            }
+        }
+    };
+
+    auto probeInput = [&](const std::string &bytes,
+                          const char *provenance,
+                          TraceError expect = TraceError::NumErrors) {
+        if (stats.failures.size() >= opts.maxFailures)
+            return;
+        ++stats.iterations;
+        const TraceProbe p = probeTraceBytes(bytes);
+        switch (p.outcome) {
+          case TraceProbeOutcome::Accepted:
+            ++stats.accepted;
+            if (expect != TraceError::NumErrors) {
+                stats.failures.push_back(
+                    {std::string("targeted ") +
+                         workload::traceErrorName(expect) +
+                         " seed (" + provenance +
+                         ") was accepted by the decoder",
+                     "", bytes});
+            }
+            break;
+          case TraceProbeOutcome::Rejected:
+            if (expect != TraceError::NumErrors &&
+                p.category != expect) {
+                stats.failures.push_back(
+                    {std::string("targeted ") +
+                         workload::traceErrorName(expect) +
+                         " seed (" + provenance +
+                         ") was rejected as " +
+                         workload::traceErrorName(p.category) + ": " +
+                         p.message,
+                     "", bytes});
+                break;
+            }
+            recordRejection(bytes, p, provenance);
+            break;
+          case TraceProbeOutcome::Escaped:
+            stats.failures.push_back(
+                {std::string("decoder escape on ") + provenance +
+                     ": " + p.message,
+                 "", bytes});
+            break;
+        }
+    };
+
+    // Phase 1: targeted per-category seeds (guarantees the corpus
+    // covers every byte-reachable rejection category).
+    for (const auto &seed : craftRejectionSeeds(base))
+        probeInput(seed.bytes, seed.comment.c_str(), seed.category);
+
+    // Phase 2: random structural mutations.
+    while (stats.iterations < opts.iterations &&
+           stats.failures.size() < opts.maxFailures) {
+        std::string mutant = base;
+        switch (rng.below(6)) {
+          case 0: { // flip a random byte anywhere
+            const std::size_t i = rng.below(mutant.size());
+            mutant[i] = static_cast<char>(
+                mutant[i] ^ (1u << rng.below(8)));
+            break;
+          }
+          case 1: // truncate at a random point
+            mutant.resize(rng.below(mutant.size()));
+            break;
+          case 2: { // zero a random run
+            const std::size_t i = rng.below(mutant.size());
+            const std::size_t n = std::min<std::size_t>(
+                mutant.size() - i, 1 + rng.below(16));
+            std::fill_n(mutant.begin() + i, n, '\0');
+            break;
+          }
+          case 3: { // insert random bytes
+            const std::size_t i = rng.below(mutant.size());
+            std::string junk;
+            const std::size_t count = 1 + rng.below(8);
+            for (std::size_t k = 0; k < count; ++k)
+                junk.push_back(static_cast<char>(rng.below(256)));
+            mutant.insert(i, junk);
+            break;
+          }
+          case 4: { // duplicate a random run
+            const std::size_t i = rng.below(mutant.size());
+            const std::size_t n = std::min<std::size_t>(
+                mutant.size() - i, 1 + rng.below(64));
+            mutant.insert(i, mutant.substr(i, n));
+            break;
+          }
+          default: { // mutate a section payload and fix its CRC, so
+                     // the corruption reaches the deep validators
+            if (frames.empty())
+                continue;
+            const Frame &f = frames[rng.below(frames.size())];
+            if (f.payloadLen == 0)
+                continue;
+            mutant = mutatePayloadByte(
+                base, f, rng.below(f.payloadLen),
+                static_cast<std::uint8_t>(1 + rng.below(255)));
+            break;
+          }
+        }
+        probeInput(mutant, "random mutation");
+    }
+
+    for (std::size_t i = 0; i < stats.byCategory.size(); ++i)
+        if (stats.byCategory[i] > 0)
+            ++stats.categoriesCovered;
+    return stats;
+}
+
+} // namespace parrot::verify

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Fuzzing harness for the `.ptrace` decoder (workload/trace_codec.hh).
+ *
+ * The property under test: for ANY input bytes the decoder either
+ * accepts (and then replays infallibly, with the dynamic totals it
+ * declared) or rejects with a TraceFormatError — never a crash, hang,
+ * over-allocation, foreign exception, or silent mis-simulation. The
+ * campaign starts from a tiny valid recording, applies both targeted
+ * per-category corruptions and random structural mutations (including
+ * CRC-fixup mutations that tunnel past the checksums into the deep
+ * validation paths), and ddmin-minimizes each rejection into a corpus
+ * exemplar keyed by its stable rejection category. The committed
+ * corpus under tests/workload/corpus/ replays on every CI run, so an
+ * input class the decoder once rejected can never start crashing (or
+ * being accepted) unnoticed.
+ */
+
+#ifndef PARROT_VERIFY_TRACE_FUZZ_HH
+#define PARROT_VERIFY_TRACE_FUZZ_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/trace_codec.hh"
+
+namespace parrot::verify
+{
+
+/** How the decoder handled one input. */
+enum class TraceProbeOutcome : std::uint8_t
+{
+    Accepted, //!< decoded + validated clean (replay checked)
+    Rejected, //!< threw TraceFormatError (the correct failure mode)
+    Escaped,  //!< threw anything else — a decoder bug
+};
+
+/** Result of feeding one byte string to the decoder. */
+struct TraceProbe
+{
+    TraceProbeOutcome outcome = TraceProbeOutcome::Escaped;
+    /** Rejection category (valid when outcome == Rejected). */
+    workload::TraceError category = workload::TraceError::NumErrors;
+    std::string message;
+};
+
+/**
+ * Decode `bytes` under a try/catch harness. On acceptance, replay the
+ * whole stream and cross-check the record/uop/CTI totals against the
+ * header (an acceptance that then mis-replays is reported as Escaped).
+ */
+TraceProbe probeTraceBytes(const std::string &bytes);
+
+/** One minimized rejection exemplar (what the corpus stores). */
+struct TraceCorpusEntry
+{
+    workload::TraceError category = workload::TraceError::NumErrors;
+    std::string bytes;   //!< raw input (possibly empty)
+    std::string comment; //!< provenance note
+};
+
+/** Render to the corpus text format ("parrot-ptrace-corpus v1"). */
+std::string renderTraceCorpus(const TraceCorpusEntry &entry);
+
+/** Parse corpus text; false (with *error) on malformed files. */
+bool parseTraceCorpus(const std::string &text, TraceCorpusEntry &out,
+                      std::string *error = nullptr);
+
+/** Load and parse one corpus file. */
+bool loadTraceCorpusFile(const std::string &path, TraceCorpusEntry &out,
+                         std::string *error = nullptr);
+
+/** Write an entry (atomically); false on I/O failure. */
+bool writeTraceCorpusFile(const std::string &path,
+                          const TraceCorpusEntry &entry);
+
+/**
+ * ddmin over the input bytes: the smallest found input that is still
+ * rejected with the same category. Probe count is budget-bounded, so
+ * the result is small rather than provably 1-minimal.
+ */
+std::string ddminReject(const std::string &bytes,
+                        workload::TraceError category);
+
+/**
+ * Build one corrupted variant of `valid` per reachable rejection
+ * category (Io is file-level and has no byte form). Each entry's
+ * category is what the decoder MUST reject it with — the corrupt-input
+ * unit matrix and the fuzzer's targeted seeding both consume this.
+ */
+std::vector<TraceCorpusEntry>
+craftRejectionSeeds(const std::string &valid);
+
+/** A tiny but structurally complete valid recording (fuzzing base). */
+std::string makeTinyTraceBytes(std::uint64_t seed, std::uint64_t records);
+
+/** Outcome of replaying a corpus directory. */
+struct TraceReplayResult
+{
+    unsigned total = 0;  //!< corpus files found
+    unsigned failed = 0; //!< files no longer rejected as recorded
+    std::vector<std::string> reports; //!< one line per failure
+};
+
+/** Re-probe every `*.trace` file in `dir` against its recorded
+ * category. */
+TraceReplayResult replayTraceCorpusDir(const std::string &dir);
+
+/** Campaign parameters. */
+struct TraceFuzzOptions
+{
+    std::uint64_t iterations = 500;
+    std::uint64_t seed = 1;
+    std::uint64_t records = 64;  //!< dynamic records in the base trace
+    std::string corpusDir;       //!< dump minimized rejections ("" = no)
+    bool verbose = false;
+    unsigned maxFailures = 10;   //!< stop the campaign after this many
+};
+
+/** One decoder bug found by the campaign. */
+struct TraceFuzzFailure
+{
+    std::string why;
+    std::string file;  //!< corpus path written, if any
+    std::string bytes; //!< offending input, minimized when possible
+};
+
+/** Campaign statistics. */
+struct TraceFuzzStats
+{
+    std::uint64_t iterations = 0;
+    std::uint64_t accepted = 0; //!< mutants that still decode clean
+    std::uint64_t rejected = 0;
+    /** Rejections per category (indexed by TraceError). */
+    std::array<std::uint64_t,
+               static_cast<std::size_t>(
+                   workload::TraceError::NumErrors)>
+        byCategory{};
+    std::size_t categoriesCovered = 0;
+    std::size_t corpusWritten = 0;
+    std::vector<TraceFuzzFailure> failures;
+
+    bool clean() const { return failures.empty(); }
+};
+
+/** The decoder fuzzer. One instance = one deterministic campaign. */
+class TraceDecoderFuzzer
+{
+  public:
+    explicit TraceDecoderFuzzer(const TraceFuzzOptions &options);
+
+    /** Run the campaign; deterministic in TraceFuzzOptions. */
+    TraceFuzzStats run();
+
+  private:
+    TraceFuzzOptions opts;
+};
+
+} // namespace parrot::verify
+
+#endif // PARROT_VERIFY_TRACE_FUZZ_HH

@@ -19,6 +19,7 @@
 #include "workload/dyninst.hh"
 #include "workload/profile.hh"
 #include "workload/program.hh"
+#include "workload/source.hh"
 
 namespace parrot::workload
 {
@@ -31,7 +32,7 @@ namespace parrot::workload
  * pattern metadata; loop trip counts are drawn per loop entry; data
  * values flow through real uop semantics.
  */
-class Executor
+class Executor : public WorkloadSource
 {
   public:
     /**
@@ -45,10 +46,10 @@ class Executor
      * @return false when the program would leave main (never happens in
      *         generated programs; the caller stops at its budget).
      */
-    bool next(DynInst &out);
+    bool next(DynInst &out) override;
 
     /** Restart execution from the beginning (state cleared). */
-    void reset();
+    void reset() override;
 
     /** Dynamic instructions executed so far. */
     std::uint64_t instsExecuted() const { return seq; }

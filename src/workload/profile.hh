@@ -98,6 +98,10 @@ struct SuiteEntry
 {
     AppProfile profile;
     std::uint64_t defaultInstBudget; //!< paper: 30M or 100M; scaled here
+
+    /** When non-empty, the cell replays this recorded `.ptrace` file
+     * instead of running the synthetic generator. */
+    std::string tracePath;
 };
 
 } // namespace parrot::workload

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * The workload-source abstraction: anything that can produce the
+ * committed dynamic-instruction stream driving the trace-driven timing
+ * simulators. Two backends exist today — the synthetic generator's
+ * functional Executor and the recorded-trace replay frontend
+ * (TraceReplaySource in trace_codec.hh) — and the simulator only ever
+ * talks to this interface, so further backends (a live feed, a sampled
+ * fast-forward stream) slot in without touching the machine model.
+ */
+
+#ifndef PARROT_WORKLOAD_SOURCE_HH
+#define PARROT_WORKLOAD_SOURCE_HH
+
+#include "workload/dyninst.hh"
+
+namespace parrot::workload
+{
+
+/**
+ * Streaming producer of committed macro-instructions.
+ *
+ * Contract shared by every backend:
+ *  - deterministic: the same source configuration always yields the
+ *    identical stream (experiments are reproducible bit-for-bit);
+ *  - sequential: each DynInst's pc equals the previous one's nextPc;
+ *  - the DynInst::inst pointers stay valid for the lifetime of the
+ *    Program the source was built over.
+ */
+class WorkloadSource
+{
+  public:
+    virtual ~WorkloadSource() = default;
+
+    /**
+     * Produce the next committed macro-instruction.
+     * @return false when the stream is exhausted (a finite recorded
+     *         trace ran dry; the generator never exhausts).
+     */
+    virtual bool next(DynInst &out) = 0;
+
+    /** Restart the stream from the beginning. */
+    virtual void reset() = 0;
+};
+
+} // namespace parrot::workload
+
+#endif // PARROT_WORKLOAD_SOURCE_HH

@@ -1,0 +1,1042 @@
+#include "workload/trace_codec.hh"
+
+#include <array>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <unordered_set>
+
+#include "common/atomic_file.hh"
+#include "common/logging.hh"
+#include "isa/opcodes.hh"
+#include "isa/registers.hh"
+#include "workload/executor.hh"
+#include "workload/generator.hh"
+
+namespace parrot::workload
+{
+
+namespace
+{
+
+// ---------------------------------------------------------------------
+// Category names.
+// ---------------------------------------------------------------------
+
+constexpr const char *kErrorNames[] = {
+    "Io",             "Empty",           "BadMagic",
+    "BadVersion",     "BadReserved",     "TruncatedHeader",
+    "TruncatedProgram", "TruncatedRecords", "HeaderCrc",
+    "ProgramCrc",     "RecordCrc",       "VarintOverrun",
+    "BadHeader",      "BadProgram",      "BadRecord",
+    "CountMismatch",  "TrailingBytes",
+};
+static_assert(sizeof(kErrorNames) / sizeof(kErrorNames[0]) ==
+                  static_cast<unsigned>(TraceError::NumErrors),
+              "kErrorNames out of sync with TraceError");
+
+[[noreturn]] void
+reject(TraceError cat, const std::string &message)
+{
+    throw TraceFormatError(cat, message);
+}
+
+// ---------------------------------------------------------------------
+// CRC32 (IEEE 802.3, the zlib polynomial).
+// ---------------------------------------------------------------------
+
+constexpr std::array<std::uint32_t, 256> kCrcTable = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+        t[i] = c;
+    }
+    return t;
+}();
+
+std::uint32_t
+crc32(const char *data, std::size_t len)
+{
+    std::uint32_t c = 0xFFFFFFFFu;
+    for (std::size_t i = 0; i < len; ++i)
+        c = kCrcTable[(c ^ static_cast<std::uint8_t>(data[i])) & 0xFFu] ^
+            (c >> 8);
+    return c ^ 0xFFFFFFFFu;
+}
+
+// ---------------------------------------------------------------------
+// Little-endian primitives and varints.
+// ---------------------------------------------------------------------
+
+void
+putU16(std::string &out, std::uint16_t v)
+{
+    out.push_back(static_cast<char>(v & 0xFF));
+    out.push_back(static_cast<char>((v >> 8) & 0xFF));
+}
+
+void
+putU32(std::string &out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+void
+putU64Raw(std::string &out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+std::uint16_t
+getU16(const std::string &bytes, std::size_t off)
+{
+    return static_cast<std::uint16_t>(
+        static_cast<std::uint8_t>(bytes[off]) |
+        (static_cast<std::uint8_t>(bytes[off + 1]) << 8));
+}
+
+std::uint32_t
+getU32(const std::string &bytes, std::size_t off)
+{
+    std::uint32_t v = 0;
+    for (int i = 3; i >= 0; --i)
+        v = (v << 8) | static_cast<std::uint8_t>(bytes[off + i]);
+    return v;
+}
+
+void
+putVarint(std::string &out, std::uint64_t v)
+{
+    while (v >= 0x80) {
+        out.push_back(static_cast<char>((v & 0x7F) | 0x80));
+        v >>= 7;
+    }
+    out.push_back(static_cast<char>(v));
+}
+
+std::uint64_t
+zigzag(std::int64_t v)
+{
+    return (static_cast<std::uint64_t>(v) << 1) ^
+           static_cast<std::uint64_t>(v >> 63);
+}
+
+std::int64_t
+unzigzag(std::uint64_t v)
+{
+    return static_cast<std::int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+void
+putZigzag(std::string &out, std::int64_t v)
+{
+    putVarint(out, zigzag(v));
+}
+
+/** Delta between two addresses as a wrapping signed value. */
+std::int64_t
+addrDelta(Addr to, Addr from)
+{
+    return static_cast<std::int64_t>(to - from);
+}
+
+/**
+ * Bounded, hostile-input byte reader. Running off the end raises the
+ * reader's truncation category; a varint whose continuation bits never
+ * terminate raises VarintOverrun.
+ */
+struct ByteReader
+{
+    const std::uint8_t *p;
+    const std::uint8_t *end;
+    TraceError truncCat;
+    const char *what;
+
+    ByteReader(const std::string &bytes, std::size_t off, std::size_t len,
+               TraceError trunc_cat, const char *what_section)
+        : p(reinterpret_cast<const std::uint8_t *>(bytes.data()) + off),
+          end(reinterpret_cast<const std::uint8_t *>(bytes.data()) + off +
+              len),
+          truncCat(trunc_cat), what(what_section)
+    {}
+
+    std::size_t remaining() const
+    {
+        return static_cast<std::size_t>(end - p);
+    }
+
+    std::uint8_t
+    u8()
+    {
+        if (p >= end)
+            reject(truncCat, std::string("input ends inside ") + what);
+        return *p++;
+    }
+
+    std::uint64_t
+    varint()
+    {
+        std::uint64_t v = 0;
+        for (unsigned shift = 0; shift < 64; shift += 7) {
+            std::uint8_t b = u8();
+            v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+            if (!(b & 0x80))
+                return v;
+        }
+        reject(TraceError::VarintOverrun,
+               std::string("varint overruns its encoding in ") + what);
+    }
+
+    std::int64_t zig() { return unzigzag(varint()); }
+
+    std::uint64_t
+    u64Raw()
+    {
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(u8()) << (8 * i);
+        return v;
+    }
+
+    /**
+     * Guard an element count drawn from untrusted bytes: every element
+     * consumes at least one byte, so a count beyond the remaining bytes
+     * is corrupt — reject it *before* any allocation sized by it.
+     */
+    void
+    checkCount(std::uint64_t n, TraceError cat, const char *what_count)
+    {
+        if (n > remaining())
+            reject(cat, std::string("declared ") + what_count +
+                            " count exceeds the remaining bytes");
+    }
+};
+
+/** Frame one [len][crc][payload] section; returns the payload offset. */
+std::size_t
+frameSection(const std::string &bytes, std::size_t &off,
+             std::uint32_t &len_out, TraceError trunc_cat,
+             TraceError crc_cat, const char *what)
+{
+    if (bytes.size() - off < 8)
+        reject(trunc_cat,
+               std::string("truncated ") + what + " section framing");
+    const std::uint32_t len = getU32(bytes, off);
+    const std::uint32_t crc = getU32(bytes, off + 4);
+    off += 8;
+    if (bytes.size() - off < len)
+        reject(trunc_cat, std::string("truncated ") + what +
+                              " section: declares " +
+                              std::to_string(len) + " bytes, " +
+                              std::to_string(bytes.size() - off) +
+                              " remain");
+    if (crc32(bytes.data() + off, len) != crc)
+        reject(crc_cat, std::string(what) + " CRC mismatch");
+    const std::size_t payload = off;
+    off += len;
+    len_out = len;
+    return payload;
+}
+
+// ---------------------------------------------------------------------
+// Program image encode/decode.
+// ---------------------------------------------------------------------
+
+void
+encodeUop(std::string &out, const isa::Uop &u)
+{
+    out.push_back(static_cast<char>(u.kind));
+    out.push_back(static_cast<char>(u.dst));
+    out.push_back(static_cast<char>(u.src1));
+    out.push_back(static_cast<char>(u.src2));
+    putZigzag(out, u.imm);
+    out.push_back(static_cast<char>(u.dst2));
+    out.push_back(static_cast<char>(u.src1b));
+    out.push_back(static_cast<char>(u.src2b));
+    out.push_back(static_cast<char>(u.laneKind));
+    putVarint(out, u.assertTarget);
+}
+
+void
+encodeProgram(std::string &out, const Program &prog)
+{
+    putVarint(out, prog.procs.size());
+    Addr prev_pc = 0;
+    for (const auto &proc : prog.procs) {
+        out.push_back(static_cast<char>(proc.isHot ? 1 : 0));
+        putVarint(out, proc.blocks.size());
+        for (const auto &block : proc.blocks) {
+            putVarint(out, block.insts.size());
+            for (const auto &inst : block.insts) {
+                putZigzag(out, addrDelta(inst.pc, prev_pc));
+                prev_pc = inst.pc;
+                out.push_back(static_cast<char>(inst.length));
+                out.push_back(static_cast<char>(inst.cti));
+                putZigzag(out, addrDelta(inst.takenTarget, inst.pc));
+                putVarint(out, inst.uops.size());
+                for (const auto &uop : inst.uops)
+                    encodeUop(out, uop);
+            }
+            const BlockTerm &t = block.term;
+            out.push_back(static_cast<char>(t.kind));
+            putZigzag(out, t.takenBlock);
+            putZigzag(out, t.fallBlock);
+            putZigzag(out, t.calleeProc);
+            std::uint64_t bias_bits, trips_bits;
+            std::memcpy(&bias_bits, &t.takenBias, 8);
+            std::memcpy(&trips_bits, &t.avgTrips, 8);
+            putU64Raw(out, bias_bits);
+            putU64Raw(out, trips_bits);
+            out.push_back(static_cast<char>(t.patternLen));
+            out.push_back(static_cast<char>(t.patternBits));
+            putVarint(out, t.switchTargets.size());
+            for (int target : t.switchTargets)
+                putZigzag(out, target);
+        }
+    }
+}
+
+bool
+validReg(RegId r)
+{
+    return r == invalidReg || r < isa::numArchRegs;
+}
+
+isa::Uop
+decodeUop(ByteReader &r)
+{
+    isa::Uop u;
+    const std::uint8_t kind = r.u8();
+    if (kind >= static_cast<std::uint8_t>(isa::UopKind::NumKinds))
+        reject(TraceError::BadProgram, "uop kind out of range");
+    u.kind = static_cast<isa::UopKind>(kind);
+    u.dst = r.u8();
+    u.src1 = r.u8();
+    u.src2 = r.u8();
+    u.imm = r.zig();
+    u.dst2 = r.u8();
+    u.src1b = r.u8();
+    u.src2b = r.u8();
+    const std::uint8_t lane = r.u8();
+    if (lane >= static_cast<std::uint8_t>(isa::UopKind::NumKinds))
+        reject(TraceError::BadProgram, "uop lane kind out of range");
+    u.laneKind = static_cast<isa::UopKind>(lane);
+    u.assertTarget = r.varint();
+    if (!validReg(u.dst) || !validReg(u.src1) || !validReg(u.src2) ||
+        !validReg(u.dst2) || !validReg(u.src1b) || !validReg(u.src2b))
+        reject(TraceError::BadProgram, "uop register id out of range");
+    return u;
+}
+
+/** Decode a block index reference in [-1, limit). */
+int
+decodeBlockRef(ByteReader &r, std::int64_t limit, const char *what)
+{
+    std::int64_t v = r.zig();
+    if (v < -1 || v >= limit)
+        reject(TraceError::BadProgram,
+               std::string(what) + " block reference out of range");
+    return static_cast<int>(v);
+}
+
+std::shared_ptr<Program>
+decodeProgram(ByteReader &r)
+{
+    auto prog = std::make_shared<Program>();
+    const std::uint64_t num_procs = r.varint();
+    if (num_procs == 0)
+        reject(TraceError::BadProgram, "program has no procedures");
+    r.checkCount(num_procs, TraceError::BadProgram, "procedure");
+    prog->procs.reserve(num_procs);
+
+    Addr prev_pc = 0;
+    std::unordered_set<Addr> seen_pcs;
+    for (std::uint64_t pi = 0; pi < num_procs; ++pi) {
+        Procedure proc;
+        const std::uint8_t flags = r.u8();
+        if (flags > 1)
+            reject(TraceError::BadProgram, "bad procedure flags");
+        proc.isHot = flags != 0;
+        const std::uint64_t num_blocks = r.varint();
+        if (num_blocks == 0)
+            reject(TraceError::BadProgram, "procedure has no blocks");
+        r.checkCount(num_blocks, TraceError::BadProgram, "block");
+        proc.blocks.reserve(num_blocks);
+        for (std::uint64_t bi = 0; bi < num_blocks; ++bi) {
+            Block block;
+            const std::uint64_t num_insts = r.varint();
+            if (num_insts == 0)
+                reject(TraceError::BadProgram, "block has no instructions");
+            r.checkCount(num_insts, TraceError::BadProgram, "instruction");
+            block.insts.reserve(num_insts);
+            for (std::uint64_t ii = 0; ii < num_insts; ++ii) {
+                isa::MacroInst inst;
+                inst.pc = prev_pc + static_cast<Addr>(r.zig());
+                prev_pc = inst.pc;
+                if (!seen_pcs.insert(inst.pc).second)
+                    reject(TraceError::BadProgram,
+                           "duplicate instruction pc");
+                inst.length = r.u8();
+                if (inst.length < 1 || inst.length > isa::maxInstBytes)
+                    reject(TraceError::BadProgram,
+                           "instruction length out of range");
+                const std::uint8_t cti = r.u8();
+                if (cti > static_cast<std::uint8_t>(isa::CtiType::Return))
+                    reject(TraceError::BadProgram,
+                           "CTI type out of range");
+                inst.cti = static_cast<isa::CtiType>(cti);
+                inst.takenTarget =
+                    inst.pc + static_cast<Addr>(r.zig());
+                const std::uint64_t num_uops = r.varint();
+                if (num_uops == 0 || num_uops > isa::maxUopsPerInst)
+                    reject(TraceError::BadProgram,
+                           "uop count out of range");
+                inst.uops.reserve(num_uops);
+                for (std::uint64_t ui = 0; ui < num_uops; ++ui)
+                    inst.uops.push_back(decodeUop(r));
+                block.insts.push_back(std::move(inst));
+            }
+            BlockTerm term;
+            const std::uint8_t kind = r.u8();
+            if (kind > static_cast<std::uint8_t>(TermKind::Ret))
+                reject(TraceError::BadProgram,
+                       "terminator kind out of range");
+            term.kind = static_cast<TermKind>(kind);
+            const auto block_limit = static_cast<std::int64_t>(num_blocks);
+            term.takenBlock = decodeBlockRef(r, block_limit, "taken");
+            term.fallBlock = decodeBlockRef(r, block_limit, "fall");
+            const std::int64_t callee = r.zig();
+            if (callee < -1 ||
+                callee >= static_cast<std::int64_t>(num_procs))
+                reject(TraceError::BadProgram,
+                       "callee procedure out of range");
+            term.calleeProc = static_cast<int>(callee);
+            const std::uint64_t bias_bits = r.u64Raw();
+            const std::uint64_t trips_bits = r.u64Raw();
+            std::memcpy(&term.takenBias, &bias_bits, 8);
+            std::memcpy(&term.avgTrips, &trips_bits, 8);
+            if (!std::isfinite(term.takenBias) ||
+                !std::isfinite(term.avgTrips))
+                reject(TraceError::BadProgram,
+                       "non-finite terminator statistics");
+            term.patternLen = r.u8();
+            term.patternBits = r.u8();
+            const std::uint64_t num_targets = r.varint();
+            r.checkCount(num_targets, TraceError::BadProgram,
+                         "switch target");
+            term.switchTargets.reserve(num_targets);
+            for (std::uint64_t ti = 0; ti < num_targets; ++ti) {
+                const std::int64_t target = r.zig();
+                if (target < 0 || target >= block_limit)
+                    reject(TraceError::BadProgram,
+                           "switch target out of range");
+                term.switchTargets.push_back(static_cast<int>(target));
+            }
+            block.term = std::move(term);
+            proc.blocks.push_back(std::move(block));
+        }
+        prog->procs.push_back(std::move(proc));
+    }
+    if (r.remaining() != 0)
+        reject(TraceError::BadProgram,
+               "trailing bytes after the program image");
+    prog->buildIndex();
+    return prog;
+}
+
+// ---------------------------------------------------------------------
+// Dynamic record stream.
+// ---------------------------------------------------------------------
+
+/** Next-pc encoding classes (control byte bits 0-1). */
+enum NextPcClass : std::uint8_t
+{
+    kNextSequential = 0, //!< nextPc == inst.nextPc()
+    kNextTakenTarget = 1, //!< nextPc == inst.takenTarget
+    kNextExplicit = 2,    //!< zigzag delta from inst.nextPc() follows
+};
+
+/** Shared decode cursor over a TraceData's record blocks. */
+struct Cursor
+{
+    std::size_t blockIdx = 0;
+    std::uint64_t recInBlock = 0;
+    std::uint64_t byteOff = 0; //!< relative to the block's recordsOff
+    std::uint64_t ctiInBlock = 0;
+    Addr pc = 0;
+    Addr prevMemAddr = 0;
+    std::uint64_t seq = 0;
+};
+
+/**
+ * Decode the next record into `out`. Structural violations throw; on a
+ * TraceData that already passed validation they are unreachable.
+ * @return false when every record was produced.
+ */
+bool
+nextRecord(const TraceData &d, Cursor &c, DynInst &out)
+{
+    if (c.seq >= d.numRecords)
+        return false;
+
+    // Advance to the next block once the current one is fully consumed,
+    // checking that it was consumed *exactly*.
+    while (c.blockIdx < d.blocks.size() &&
+           c.recInBlock == d.blocks[c.blockIdx].numRecords) {
+        const auto &blk = d.blocks[c.blockIdx];
+        if (c.byteOff != blk.recordsLen)
+            reject(TraceError::BadRecord,
+                   "record block body size mismatch");
+        if (c.ctiInBlock != blk.numCtis)
+            reject(TraceError::BadRecord,
+                   "branch bitstream count mismatch");
+        ++c.blockIdx;
+        c.recInBlock = 0;
+        c.byteOff = 0;
+        c.ctiInBlock = 0;
+    }
+    if (c.blockIdx >= d.blocks.size())
+        reject(TraceError::CountMismatch,
+               "trace declares " + std::to_string(d.numRecords) +
+                   " records but the blocks end at " +
+                   std::to_string(c.seq));
+
+    const auto &blk = d.blocks[c.blockIdx];
+    ByteReader r(d.bytes,
+                 static_cast<std::size_t>(blk.recordsOff + c.byteOff),
+                 static_cast<std::size_t>(blk.recordsLen - c.byteOff),
+                 TraceError::TruncatedRecords, "a dynamic record");
+    const std::uint8_t *record_start = r.p;
+
+    const isa::MacroInst *inst = d.program->instAt(c.pc);
+    if (inst == nullptr)
+        reject(TraceError::BadRecord,
+               "dynamic record " + std::to_string(c.seq) +
+                   " references a pc outside the program");
+
+    const std::uint8_t control = r.u8();
+    if ((control & ~0x03u) != 0)
+        reject(TraceError::BadRecord, "bad record control byte");
+
+    out = DynInst{};
+    out.inst = inst;
+    out.seq = c.seq;
+
+    switch (control & 0x03u) {
+      case kNextSequential:
+        out.nextPc = inst->nextPc();
+        break;
+      case kNextTakenTarget:
+        out.nextPc = inst->takenTarget;
+        break;
+      case kNextExplicit:
+        out.nextPc = inst->nextPc() + static_cast<Addr>(r.zig());
+        break;
+      default:
+        reject(TraceError::BadRecord, "bad next-pc class");
+    }
+
+    if (inst->isCti()) {
+        if (c.ctiInBlock >= blk.numCtis)
+            reject(TraceError::BadRecord, "branch bitstream underrun");
+        const std::uint64_t bit = c.ctiInBlock++;
+        const std::uint8_t byte = static_cast<std::uint8_t>(
+            d.bytes[static_cast<std::size_t>(blk.bitsOff + (bit >> 3))]);
+        out.taken = (byte >> (bit & 7)) & 1;
+    }
+
+    for (std::size_t i = 0; i < inst->uops.size(); ++i) {
+        const isa::UopKind k = inst->uops[i].kind;
+        if (k == isa::UopKind::Load || k == isa::UopKind::Store) {
+            c.prevMemAddr += static_cast<Addr>(r.zig());
+            out.memAddr[i] = c.prevMemAddr;
+        }
+    }
+
+    c.byteOff += static_cast<std::uint64_t>(r.p - record_start);
+    c.pc = out.nextPc;
+    ++c.recInBlock;
+    ++c.seq;
+    return true;
+}
+
+// ---------------------------------------------------------------------
+// Header.
+// ---------------------------------------------------------------------
+
+void
+encodeHeader(std::string &out, const TraceData &d)
+{
+    putVarint(out, d.appName.size());
+    out += d.appName;
+    out.push_back(static_cast<char>(d.group));
+    putVarint(out, d.seed);
+    putVarint(out, d.numRecords);
+    putVarint(out, d.numUops);
+    putVarint(out, d.numCtis);
+    putVarint(out, d.intendedBudget);
+    putVarint(out, d.firstPc);
+    putVarint(out, d.recordsPerBlock);
+}
+
+void
+decodeHeader(ByteReader &r, TraceData &d)
+{
+    const std::uint64_t name_len = r.varint();
+    r.checkCount(name_len, TraceError::BadHeader, "application name");
+    if (name_len == 0 || name_len > 256)
+        reject(TraceError::BadHeader,
+               "application name length out of range");
+    d.appName.assign(reinterpret_cast<const char *>(r.p), name_len);
+    r.p += name_len;
+    const std::uint8_t group = r.u8();
+    if (group >= static_cast<std::uint8_t>(BenchGroup::NumGroups))
+        reject(TraceError::BadHeader, "benchmark group out of range");
+    d.group = static_cast<BenchGroup>(group);
+    d.seed = r.varint();
+    d.numRecords = r.varint();
+    d.numUops = r.varint();
+    d.numCtis = r.varint();
+    d.intendedBudget = r.varint();
+    d.firstPc = r.varint();
+    const std::uint64_t per_block = r.varint();
+    if (d.numRecords == 0)
+        reject(TraceError::BadHeader, "trace has no records");
+    if (per_block == 0 || per_block > (1u << 20))
+        reject(TraceError::BadHeader,
+               "records-per-block out of range");
+    d.recordsPerBlock = static_cast<unsigned>(per_block);
+    if (d.intendedBudget == 0 || d.intendedBudget > d.numRecords)
+        reject(TraceError::BadHeader,
+               "intended budget outside the recorded stream");
+    if (d.numCtis > d.numRecords || d.numUops < d.numRecords)
+        reject(TraceError::BadHeader, "implausible stream counts");
+    if (r.remaining() != 0)
+        reject(TraceError::BadHeader,
+               "trailing bytes after the header fields");
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Public category helpers.
+// ---------------------------------------------------------------------
+
+const char *
+traceErrorName(TraceError e)
+{
+    const auto idx = static_cast<unsigned>(e);
+    PARROT_ASSERT(idx < static_cast<unsigned>(TraceError::NumErrors),
+                  "traceErrorName: bad category %u", idx);
+    return kErrorNames[idx];
+}
+
+TraceError
+traceErrorFromName(const std::string &name)
+{
+    for (unsigned i = 0;
+         i < static_cast<unsigned>(TraceError::NumErrors); ++i) {
+        if (name == kErrorNames[i])
+            return static_cast<TraceError>(i);
+    }
+    return TraceError::NumErrors;
+}
+
+// ---------------------------------------------------------------------
+// Decode.
+// ---------------------------------------------------------------------
+
+std::shared_ptr<const TraceData>
+decodeTraceBytes(std::string bytes_in)
+{
+    auto data = std::make_shared<TraceData>();
+    data->bytes = std::move(bytes_in);
+    const std::string &bytes = data->bytes;
+
+    if (bytes.empty())
+        reject(TraceError::Empty, "empty trace file");
+    if (bytes.size() < 8)
+        reject(TraceError::TruncatedHeader,
+               "truncated header: fewer than 8 bytes");
+    if (std::memcmp(bytes.data(), "PTRC", 4) != 0)
+        reject(TraceError::BadMagic, "bad magic (not a .ptrace file)");
+    const std::uint16_t version = getU16(bytes, 4);
+    if (version != ptraceVersion)
+        reject(TraceError::BadVersion,
+               "unsupported trace version " + std::to_string(version) +
+                   " (this build reads version " +
+                   std::to_string(ptraceVersion) + ")");
+    if (getU16(bytes, 6) != 0)
+        reject(TraceError::BadReserved, "reserved header bytes not zero");
+
+    std::size_t off = 8;
+    std::uint32_t len = 0;
+
+    // Header section.
+    std::size_t payload = frameSection(bytes, off, len,
+                                       TraceError::TruncatedHeader,
+                                       TraceError::HeaderCrc, "header");
+    {
+        ByteReader r(bytes, payload, len, TraceError::BadHeader,
+                     "the header fields");
+        decodeHeader(r, *data);
+    }
+
+    // Program section.
+    payload = frameSection(bytes, off, len, TraceError::TruncatedProgram,
+                           TraceError::ProgramCrc, "program");
+    {
+        ByteReader r(bytes, payload, len, TraceError::TruncatedProgram,
+                     "the program image");
+        data->program = decodeProgram(r);
+    }
+
+    // Record blocks, until the declared record count is framed.
+    std::uint64_t framed_records = 0;
+    while (off < bytes.size() && framed_records < data->numRecords) {
+        payload = frameSection(bytes, off, len,
+                               TraceError::TruncatedRecords,
+                               TraceError::RecordCrc, "record block");
+        ByteReader r(bytes, payload, len, TraceError::TruncatedRecords,
+                     "a record block header");
+        TraceData::BlockRef blk;
+        blk.numRecords = r.varint();
+        blk.numCtis = r.varint();
+        if (blk.numRecords == 0 ||
+            blk.numRecords > data->recordsPerBlock)
+            reject(TraceError::BadRecord,
+                   "record block count out of range");
+        if (blk.numCtis > blk.numRecords)
+            reject(TraceError::BadRecord,
+                   "record block declares more CTIs than records");
+        const std::uint64_t records_len = r.varint();
+        if (records_len > r.remaining())
+            reject(TraceError::TruncatedRecords,
+                   "mid-record EOF: record bytes overrun their block");
+        blk.recordsOff =
+            static_cast<std::uint64_t>(
+                reinterpret_cast<const char *>(r.p) - bytes.data());
+        blk.recordsLen = records_len;
+        blk.bitsOff = blk.recordsOff + records_len;
+        const std::uint64_t bits_len = (blk.numCtis + 7) / 8;
+        if (r.remaining() - records_len != bits_len)
+            reject(TraceError::BadRecord,
+                   "record block size mismatch (records + bitstream != "
+                   "payload)");
+        if (blk.numCtis % 8 != 0 && bits_len > 0) {
+            const auto last = static_cast<std::uint8_t>(
+                bytes[static_cast<std::size_t>(blk.bitsOff + bits_len -
+                                               1)]);
+            if ((last >> (blk.numCtis % 8)) != 0)
+                reject(TraceError::BadRecord,
+                       "nonzero branch bitstream padding");
+        }
+        framed_records += blk.numRecords;
+        data->blocks.push_back(blk);
+    }
+    if (framed_records != data->numRecords)
+        reject(TraceError::CountMismatch,
+               "trace declares " + std::to_string(data->numRecords) +
+                   " records but its blocks contain " +
+                   std::to_string(framed_records));
+    if (off < bytes.size())
+        reject(TraceError::TrailingBytes,
+               "trailing bytes after the final record block");
+
+    // Full validation walk: decode every record once against the
+    // reconstructed program so replay can never fail (or mis-count)
+    // later, and verify the declared dynamic totals.
+    Cursor c;
+    c.pc = data->firstPc;
+    DynInst dyn;
+    std::uint64_t uops = 0, ctis = 0;
+    while (nextRecord(*data, c, dyn)) {
+        uops += dyn.inst->uops.size();
+        if (dyn.inst->isCti())
+            ++ctis;
+    }
+    if (uops != data->numUops)
+        reject(TraceError::CountMismatch,
+               "trace declares " + std::to_string(data->numUops) +
+                   " uops but its records contain " +
+                   std::to_string(uops));
+    if (ctis != data->numCtis)
+        reject(TraceError::CountMismatch,
+               "trace declares " + std::to_string(data->numCtis) +
+                   " CTIs but its records contain " +
+                   std::to_string(ctis));
+    // The final partially-consumed state must close exactly too.
+    if (!data->blocks.empty()) {
+        const auto &last = data->blocks.back();
+        if (c.byteOff != last.recordsLen)
+            reject(TraceError::BadRecord,
+                   "record block body size mismatch");
+        if (c.ctiInBlock != last.numCtis)
+            reject(TraceError::BadRecord,
+                   "branch bitstream count mismatch");
+    }
+    return data;
+}
+
+std::shared_ptr<const TraceData>
+loadTraceFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        reject(TraceError::Io, "cannot open trace file " + path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    if (in.bad())
+        reject(TraceError::Io, "cannot read trace file " + path);
+    try {
+        return decodeTraceBytes(buf.str());
+    } catch (const TraceFormatError &e) {
+        throw TraceFormatError(e.category(),
+                               path + ": " + e.what());
+    }
+}
+
+AppProfile
+traceProfile(const TraceData &trace)
+{
+    AppProfile p;
+    p.name = trace.appName;
+    p.group = trace.group;
+    p.seed = trace.seed;
+    return p;
+}
+
+SuiteEntry
+traceSuiteEntry(const std::string &path)
+{
+    auto trace = loadTraceFile(path);
+    SuiteEntry entry;
+    entry.profile = traceProfile(*trace);
+    entry.defaultInstBudget = trace->intendedBudget;
+    entry.tracePath = path;
+    return entry;
+}
+
+// ---------------------------------------------------------------------
+// Replay source.
+// ---------------------------------------------------------------------
+
+TraceReplaySource::TraceReplaySource(
+    std::shared_ptr<const TraceData> trace)
+    : data(std::move(trace))
+{
+    PARROT_ASSERT(data != nullptr, "TraceReplaySource: null trace");
+    reset();
+}
+
+void
+TraceReplaySource::reset()
+{
+    blockIdx = 0;
+    recInBlock = 0;
+    byteOff = 0;
+    ctiInBlock = 0;
+    pc = data->firstPc;
+    prevMemAddr = 0;
+    seq = 0;
+}
+
+bool
+TraceReplaySource::next(DynInst &out)
+{
+    Cursor c;
+    c.blockIdx = blockIdx;
+    c.recInBlock = recInBlock;
+    c.byteOff = byteOff;
+    c.ctiInBlock = ctiInBlock;
+    c.pc = pc;
+    c.prevMemAddr = prevMemAddr;
+    c.seq = seq;
+    if (!nextRecord(*data, c, out))
+        return false;
+    blockIdx = c.blockIdx;
+    recInBlock = c.recInBlock;
+    byteOff = c.byteOff;
+    ctiInBlock = c.ctiInBlock;
+    pc = c.pc;
+    prevMemAddr = c.prevMemAddr;
+    seq = c.seq;
+    return true;
+}
+
+// ---------------------------------------------------------------------
+// Writer.
+// ---------------------------------------------------------------------
+
+TraceWriter::TraceWriter(const Program &program, const AppProfile &profile,
+                         std::uint64_t intended_budget,
+                         unsigned records_per_block)
+    : prog(program), meta(profile), intendedBudget(intended_budget),
+      recordsPerBlock(records_per_block)
+{
+    PARROT_ASSERT(intendedBudget > 0,
+                  "TraceWriter: zero intended budget");
+    PARROT_ASSERT(recordsPerBlock > 0 && recordsPerBlock <= (1u << 20),
+                  "TraceWriter: bad records-per-block %u",
+                  recordsPerBlock);
+    encodeProgram(programSection, prog);
+}
+
+void
+TraceWriter::append(const DynInst &dyn)
+{
+    PARROT_ASSERT(!finished, "TraceWriter: append after finish");
+    PARROT_ASSERT(dyn.inst != nullptr, "TraceWriter: null inst");
+    const isa::MacroInst &inst = *dyn.inst;
+    if (numRecords == 0) {
+        firstPc = inst.pc;
+    } else {
+        PARROT_ASSERT(inst.pc == expectPc,
+                      "TraceWriter: non-sequential stream (pc 0x%llx, "
+                      "expected 0x%llx)",
+                      static_cast<unsigned long long>(inst.pc),
+                      static_cast<unsigned long long>(expectPc));
+    }
+    expectPc = dyn.nextPc;
+
+    std::uint8_t control;
+    std::int64_t explicit_delta = 0;
+    if (dyn.nextPc == inst.nextPc()) {
+        control = kNextSequential;
+    } else if (dyn.nextPc == inst.takenTarget) {
+        control = kNextTakenTarget;
+    } else {
+        control = kNextExplicit;
+        explicit_delta = addrDelta(dyn.nextPc, inst.nextPc());
+    }
+    blockRecords.push_back(static_cast<char>(control));
+    if (control == kNextExplicit)
+        putZigzag(blockRecords, explicit_delta);
+
+    if (inst.isCti()) {
+        blockBits.push_back(dyn.taken);
+        ++numCtis;
+    }
+
+    for (std::size_t i = 0; i < inst.uops.size(); ++i) {
+        const isa::UopKind k = inst.uops[i].kind;
+        if (k == isa::UopKind::Load || k == isa::UopKind::Store) {
+            putZigzag(blockRecords,
+                      addrDelta(dyn.memAddr[i], prevMemAddr));
+            prevMemAddr = dyn.memAddr[i];
+        }
+    }
+
+    numUops += inst.uops.size();
+    ++numRecords;
+    if (++blockCount == recordsPerBlock)
+        flushBlock();
+}
+
+void
+TraceWriter::flushBlock()
+{
+    if (blockCount == 0)
+        return;
+    std::string payload;
+    putVarint(payload, blockCount);
+    putVarint(payload, blockBits.size());
+    putVarint(payload, blockRecords.size());
+    payload += blockRecords;
+    std::string bits((blockBits.size() + 7) / 8, '\0');
+    for (std::size_t i = 0; i < blockBits.size(); ++i) {
+        if (blockBits[i])
+            bits[i >> 3] |= static_cast<char>(1 << (i & 7));
+    }
+    payload += bits;
+
+    putU32(blockSections, static_cast<std::uint32_t>(payload.size()));
+    putU32(blockSections, crc32(payload.data(), payload.size()));
+    blockSections += payload;
+
+    blockRecords.clear();
+    blockBits.clear();
+    blockCount = 0;
+}
+
+std::string
+TraceWriter::finish()
+{
+    PARROT_ASSERT(!finished, "TraceWriter: finish called twice");
+    PARROT_ASSERT(numRecords > 0, "TraceWriter: empty stream");
+    finished = true;
+    flushBlock();
+
+    TraceData d;
+    d.appName = meta.name;
+    d.group = meta.group;
+    d.seed = meta.seed;
+    d.numRecords = numRecords;
+    d.numUops = numUops;
+    d.numCtis = numCtis;
+    d.intendedBudget = std::min(intendedBudget, numRecords);
+    d.firstPc = firstPc;
+    d.recordsPerBlock = recordsPerBlock;
+    std::string header;
+    encodeHeader(header, d);
+
+    std::string out;
+    out.reserve(8 + 16 + header.size() + programSection.size() +
+                blockSections.size());
+    out += "PTRC";
+    putU16(out, ptraceVersion);
+    putU16(out, 0);
+    putU32(out, static_cast<std::uint32_t>(header.size()));
+    putU32(out, crc32(header.data(), header.size()));
+    out += header;
+    putU32(out, static_cast<std::uint32_t>(programSection.size()));
+    putU32(out, crc32(programSection.data(), programSection.size()));
+    out += programSection;
+    out += blockSections;
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// Recording front door.
+// ---------------------------------------------------------------------
+
+TraceRecordStats
+recordTrace(const SuiteEntry &entry, std::uint64_t budget,
+            const std::string &path)
+{
+    PARROT_ASSERT(budget > 0, "recordTrace: zero budget");
+    PARROT_ASSERT(entry.tracePath.empty(),
+                  "recordTrace: cannot re-record a trace-file cell");
+    auto prog = generateProgram(entry.profile);
+    Executor ex(*prog, entry.profile);
+    TraceWriter writer(*prog, entry.profile, budget);
+
+    DynInst dyn;
+    const std::uint64_t total = budget + ptraceRecordMargin;
+    for (std::uint64_t i = 0; i < total; ++i) {
+        const bool ok = ex.next(dyn);
+        PARROT_ASSERT(ok, "recordTrace: generator stream ended");
+        writer.append(dyn);
+    }
+
+    TraceRecordStats stats;
+    stats.path = path;
+    stats.records = writer.recordsAppended();
+    stats.uops = writer.uopsAppended();
+    stats.ctis = writer.ctisAppended();
+    stats.intendedBudget = budget;
+
+    const std::string bytes = writer.finish();
+    stats.fileBytes = bytes.size();
+    std::string err;
+    if (!atomic_file::writeFileAtomic(path, bytes, &err))
+        reject(TraceError::Io, "cannot write trace: " + err);
+    return stats;
+}
+
+} // namespace parrot::workload

@@ -1,0 +1,279 @@
+/**
+ * @file
+ * The `.ptrace` recorded-trace format and its ingestion frontend.
+ *
+ * A `.ptrace` file is a self-describing, versioned, compressed binary
+ * capture of one application's committed dynamic-instruction stream —
+ * the L-trace idea (compressed branch/jump core traces decoded against
+ * the static image) adapted to this simulator's synthetic ISA:
+ *
+ * ```
+ *   bytes 0-3   magic "PTRC"
+ *   bytes 4-5   u16 LE format version (currently 1)
+ *   bytes 6-7   u16 LE reserved, must be 0
+ *   section     HEADER    u32 LE payload length, u32 LE CRC32, payload
+ *   section     PROGRAM   u32 LE payload length, u32 LE CRC32, payload
+ *   sections    RECORDS   repeated [u32 LE length, u32 LE CRC32, payload]
+ * ```
+ *
+ * The HEADER carries the application identity (name, group, seed), the
+ * record count, the intended simulation budget and the stream's first
+ * pc. The PROGRAM section is a full-fidelity varint/delta encoding of
+ * the static program image (procedures, blocks, macro-instructions,
+ * uops, block terminators), so the decoded program is deep-equal to the
+ * recorded one. Each RECORDS block packs up to `recordsPerBlock`
+ * dynamic records: because the committed stream is sequential (pc ==
+ * previous nextPc), a record stores only a 2-bit next-pc class
+ * (sequential | static taken target | explicit zigzag delta), zigzag
+ * deltas for the data addresses of its load/store uops, and one bit in
+ * the per-block branch-outcome bitstream when the instruction is a CTI.
+ *
+ * Every section is independently CRC-protected, and the decoder treats
+ * the input as hostile: any structural violation raises a
+ * TraceFormatError with a stable category (never a crash, hang,
+ * over-allocation or silent mis-simulation) — the property the decoder
+ * fuzzer (verify/trace_fuzz.hh) and the corrupt-input test matrix
+ * enforce. Files are written through the crash-safe atomic-file layer.
+ */
+
+#ifndef PARROT_WORKLOAD_TRACE_CODEC_HH
+#define PARROT_WORKLOAD_TRACE_CODEC_HH
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "workload/profile.hh"
+#include "workload/program.hh"
+#include "workload/source.hh"
+
+namespace parrot::workload
+{
+
+/** Current `.ptrace` format version. */
+inline constexpr std::uint16_t ptraceVersion = 1;
+
+/** Default dynamic records per CRC-protected block. */
+inline constexpr unsigned ptraceRecordsPerBlock = 4096;
+
+/**
+ * Safety margin appended past the intended simulation budget when
+ * recording: the simulator's lookahead ring reads a bounded distance
+ * past the last committed instruction, so a recording must carry a
+ * little more stream than the budget it is meant to replay.
+ */
+inline constexpr std::uint64_t ptraceRecordMargin = 4096;
+
+/**
+ * Why a `.ptrace` input was rejected. Categories are stable across
+ * releases (the rejection corpus keys on them); messages add detail.
+ */
+enum class TraceError : std::uint8_t
+{
+    Io,               //!< cannot read/write the file at all
+    Empty,            //!< zero-length input
+    BadMagic,         //!< leading bytes are not "PTRC"
+    BadVersion,       //!< unsupported format version
+    BadReserved,      //!< reserved header bytes are non-zero
+    TruncatedHeader,  //!< input ends inside the fixed/header section
+    TruncatedProgram, //!< input ends inside the program section
+    TruncatedRecords, //!< mid-record EOF inside a record block
+    HeaderCrc,        //!< header payload CRC mismatch
+    ProgramCrc,       //!< program payload CRC mismatch
+    RecordCrc,        //!< record block payload CRC mismatch
+    VarintOverrun,    //!< varint continuation bytes never terminate
+    BadHeader,        //!< header fields are structurally invalid
+    BadProgram,       //!< program image is structurally invalid
+    BadRecord,        //!< dynamic record inconsistent with the program
+    CountMismatch,    //!< declares more records/uops than it contains
+    TrailingBytes,    //!< bytes remain after the declared final block
+    NumErrors
+};
+
+/** Stable category name ("BadMagic", ...). */
+const char *traceErrorName(TraceError e);
+
+/** Parse a category name; NumErrors when unknown. */
+TraceError traceErrorFromName(const std::string &name);
+
+/** Thrown by the decoder on any malformed `.ptrace` input. */
+class TraceFormatError : public std::runtime_error
+{
+  public:
+    TraceFormatError(TraceError category, const std::string &message)
+        : std::runtime_error(message), cat(category)
+    {}
+
+    TraceError category() const { return cat; }
+
+  private:
+    TraceError cat;
+};
+
+/**
+ * A fully decoded and validated trace: the reconstructed static
+ * program plus the (still block-encoded) dynamic stream. Immutable and
+ * shareable across concurrent simulations; every TraceReplaySource
+ * keeps only its own cursor into the shared bytes.
+ */
+struct TraceData
+{
+    // --- identity (from the header) ---
+    std::string appName;
+    BenchGroup group = BenchGroup::SpecInt;
+    std::uint64_t seed = 0;
+
+    // --- stream shape (from the header, verified against the blocks) ---
+    std::uint64_t numRecords = 0;     //!< dynamic macro-instructions
+    std::uint64_t numUops = 0;        //!< dynamic uops
+    std::uint64_t numCtis = 0;        //!< dynamic CTI instructions
+    std::uint64_t intendedBudget = 0; //!< budget the recording targeted
+    Addr firstPc = 0;                 //!< pc of the first record
+    unsigned recordsPerBlock = ptraceRecordsPerBlock;
+
+    /** Reconstructed static image (index built, decode weights memoized). */
+    std::shared_ptr<Program> program;
+
+    /** The complete validated file bytes (blocks are decoded lazily). */
+    std::string bytes;
+
+    /** One record block: offsets into `bytes`. */
+    struct BlockRef
+    {
+        std::uint64_t recordsOff = 0; //!< first record byte
+        std::uint64_t recordsLen = 0;
+        std::uint64_t bitsOff = 0;    //!< branch-outcome bitstream
+        std::uint64_t numRecords = 0;
+        std::uint64_t numCtis = 0;
+    };
+    std::vector<BlockRef> blocks;
+};
+
+/**
+ * Decode and fully validate an in-memory `.ptrace` image. Every block
+ * is CRC-checked and every record is decoded once against the
+ * reconstructed program, so a returned TraceData replays infallibly.
+ * @throws TraceFormatError on any malformed input.
+ */
+std::shared_ptr<const TraceData> decodeTraceBytes(std::string bytes);
+
+/** Read and decode a `.ptrace` file. @throws TraceFormatError. */
+std::shared_ptr<const TraceData> loadTraceFile(const std::string &path);
+
+/** Profile stub describing a trace workload (name/group/seed from the
+ * header; the statistical knobs are irrelevant for replay). */
+AppProfile traceProfile(const TraceData &trace);
+
+/** Suite cell replaying `path` (budget = the recorded intended budget).
+ * Fully validates the file. @throws TraceFormatError. */
+SuiteEntry traceSuiteEntry(const std::string &path);
+
+/**
+ * Replay frontend: streams the recorded committed stream back out as
+ * DynInsts whose inst pointers land in the reconstructed program.
+ * Replaying a validated trace is infallible and bit-identical to the
+ * executor stream it recorded.
+ */
+class TraceReplaySource : public WorkloadSource
+{
+  public:
+    explicit TraceReplaySource(std::shared_ptr<const TraceData> trace);
+
+    bool next(DynInst &out) override;
+    void reset() override;
+
+    /** Records produced so far. */
+    std::uint64_t produced() const { return seq; }
+
+  private:
+    std::shared_ptr<const TraceData> data;
+
+    std::size_t blockIdx = 0;      //!< current block
+    std::uint64_t recInBlock = 0;  //!< records consumed in this block
+    std::uint64_t byteOff = 0;     //!< cursor into the block's records
+    std::uint64_t ctiInBlock = 0;  //!< branch bits consumed in block
+    Addr pc = 0;                   //!< pc of the next record
+    Addr prevMemAddr = 0;          //!< delta base for data addresses
+    std::uint64_t seq = 0;
+};
+
+/**
+ * Streaming `.ptrace` encoder: construct over the static program and
+ * identity metadata, append the committed stream in order, then
+ * finish() to obtain the complete file image.
+ */
+class TraceWriter
+{
+  public:
+    /**
+     * @param program static image the appended stream executes over.
+     * @param profile identity metadata (name, group, seed) stamped into
+     *        the header.
+     * @param intended_budget the simulation budget this recording is
+     *        meant to serve (callers append a margin past it).
+     */
+    TraceWriter(const Program &program, const AppProfile &profile,
+                std::uint64_t intended_budget,
+                unsigned records_per_block = ptraceRecordsPerBlock);
+
+    /** Append one committed instruction (must be stream-sequential). */
+    void append(const DynInst &dyn);
+
+    /** Seal the file and return its bytes. No appends after this. */
+    std::string finish();
+
+    std::uint64_t recordsAppended() const { return numRecords; }
+    std::uint64_t uopsAppended() const { return numUops; }
+    std::uint64_t ctisAppended() const { return numCtis; }
+
+  private:
+    void flushBlock();
+
+    const Program &prog;
+    AppProfile meta;
+    std::uint64_t intendedBudget;
+    unsigned recordsPerBlock;
+
+    std::string programSection;
+    std::string blockSections;   //!< finished, framed record blocks
+    std::string blockRecords;    //!< open block: record bytes
+    std::vector<bool> blockBits; //!< open block: branch outcomes
+    std::uint64_t blockCount = 0;
+
+    std::uint64_t numRecords = 0;
+    std::uint64_t numUops = 0;
+    std::uint64_t numCtis = 0;
+    Addr firstPc = 0;
+    Addr expectPc = 0;
+    Addr prevMemAddr = 0;
+    bool finished = false;
+};
+
+/** Summary returned by recordTrace (and printed by the tools). */
+struct TraceRecordStats
+{
+    std::string path;
+    std::uint64_t records = 0; //!< budget + margin
+    std::uint64_t uops = 0;
+    std::uint64_t ctis = 0;
+    std::uint64_t fileBytes = 0;
+    std::uint64_t intendedBudget = 0;
+};
+
+/**
+ * Record a generator application to a `.ptrace` file: synthesize the
+ * program, functionally execute `budget + ptraceRecordMargin`
+ * instructions, encode, and publish via writeFileAtomic.
+ * @throws TraceFormatError (category Io) when the file cannot be
+ *         written.
+ */
+TraceRecordStats recordTrace(const SuiteEntry &entry,
+                             std::uint64_t budget,
+                             const std::string &path);
+
+} // namespace parrot::workload
+
+#endif // PARROT_WORKLOAD_TRACE_CODEC_HH

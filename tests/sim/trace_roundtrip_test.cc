@@ -1,0 +1,191 @@
+/** @file The round-trip oracle: generate → record → ingest → simulate
+ * must be bit-identical in SimResult to the direct generator run, for
+ * every app, on the full PARROT models, cosim-clean — and parallel
+ * SuiteRunner execution over trace-file cells must match serial. */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "sim/result.hh"
+#include "sim/runner.hh"
+#include "sim/simulator.hh"
+#include "workload/apps.hh"
+#include "workload/trace_codec.hh"
+
+namespace
+{
+
+using namespace parrot;
+using namespace parrot::sim;
+
+/** Budget small enough for 44 apps x 2 models x 2 runs to stay cheap,
+ * large enough that the trace cache, optimizer and predictors all see
+ * real traffic (hot traces build well before 10k insts). */
+constexpr std::uint64_t kBudget = 10000;
+
+/** Fixed Pmax so no calibration run is needed (value irrelevant for
+ * identity: both sides use the same one). */
+constexpr double kPmax = 2.5;
+
+class TraceRoundTripTest : public ::testing::Test
+{
+  protected:
+    static void SetUpTestSuite()
+    {
+        dir = (std::filesystem::temp_directory_path() /
+               "parrot_roundtrip_traces")
+                  .string();
+        std::filesystem::create_directories(dir);
+    }
+
+    static void TearDownTestSuite()
+    {
+        std::filesystem::remove_all(dir);
+        dir.clear();
+    }
+
+    /** Record (once) and return the trace cell for an app. */
+    static workload::SuiteEntry
+    traceCell(const workload::SuiteEntry &entry)
+    {
+        const std::string path =
+            dir + "/" + entry.profile.name + ".ptrace";
+        if (!std::filesystem::exists(path))
+            workload::recordTrace(entry, kBudget, path);
+        return workload::traceSuiteEntry(path);
+    }
+
+    static void
+    expectBitIdentical(const SimResult &direct, const SimResult &replay,
+                       const std::string &what)
+    {
+        for (const auto &field : resultFields()) {
+            const double d = field.get(direct);
+            const double r = field.get(replay);
+            // Bitwise comparison: NaN == NaN, -0 != +0.
+            std::uint64_t db, rb;
+            static_assert(sizeof d == sizeof db);
+            std::memcpy(&db, &d, sizeof db);
+            std::memcpy(&rb, &r, sizeof rb);
+            EXPECT_EQ(db, rb)
+                << what << ": field '" << field.key
+                << "' diverges (direct " << d << ", replay " << r
+                << ")";
+        }
+    }
+
+    static std::string dir;
+};
+
+std::string TraceRoundTripTest::dir;
+
+TEST_F(TraceRoundTripTest, AllAppsBitIdenticalOnTONAndTOS)
+{
+    RunOptions opts;
+    opts.instBudget = kBudget;
+    opts.pmaxPerCycle = kPmax;
+    opts.jobs = 0; // worker pool; identity must hold regardless
+
+    const auto suite = workload::fullSuite();
+    ASSERT_EQ(suite.size(), 44u);
+
+    std::vector<workload::SuiteEntry> traced;
+    traced.reserve(suite.size());
+    for (const auto &entry : suite)
+        traced.push_back(traceCell(entry));
+
+    for (const char *model : {"TON", "TOS"}) {
+        ModelConfig cfg = ModelConfig::make(model);
+        cfg.cosim = true; // the oracle must stay clean on replay
+
+        SuiteRunner direct_runner(opts);
+        SuiteRunner replay_runner(opts);
+        const auto direct = direct_runner.runSuite(cfg, suite);
+        const auto replay = replay_runner.runSuite(cfg, traced);
+        ASSERT_EQ(direct.size(), replay.size());
+
+        for (std::size_t i = 0; i < direct.size(); ++i) {
+            ASSERT_FALSE(direct[i].tombstone)
+                << model << "/" << suite[i].profile.name;
+            ASSERT_FALSE(replay[i].tombstone)
+                << model << "/" << suite[i].profile.name;
+            EXPECT_EQ(replay[i].app, direct[i].app);
+            EXPECT_EQ(replay[i].cosimMismatches, 0u)
+                << model << "/" << suite[i].profile.name;
+            expectBitIdentical(direct[i], replay[i],
+                               std::string(model) + "/" +
+                                   suite[i].profile.name);
+        }
+    }
+}
+
+TEST_F(TraceRoundTripTest, ParallelTraceSuiteMatchesSerial)
+{
+    std::vector<workload::SuiteEntry> traced;
+    for (const auto &entry : workload::smallSuite())
+        traced.push_back(traceCell(entry));
+    ASSERT_GE(traced.size(), 2u);
+
+    ModelConfig cfg = ModelConfig::make("TON");
+
+    RunOptions serial_opts;
+    serial_opts.instBudget = kBudget;
+    serial_opts.pmaxPerCycle = kPmax;
+    serial_opts.jobs = 1;
+    RunOptions parallel_opts = serial_opts;
+    parallel_opts.jobs = 4;
+
+    SuiteRunner serial(serial_opts);
+    SuiteRunner parallel(parallel_opts);
+    const auto a = serial.runSuite(cfg, traced);
+    const auto b = parallel.runSuite(cfg, traced);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].app, b[i].app);
+        expectBitIdentical(a[i], b[i],
+                           "parallel/" + traced[i].profile.name);
+    }
+}
+
+TEST_F(TraceRoundTripTest, ConfigTraceFileRedirectsEveryCell)
+{
+    // The config-level trace_file key routes any cell through the
+    // recording, equivalent to naming the trace in the entry itself.
+    auto swim = traceCell(workload::findApp("swim"));
+
+    RunOptions opts;
+    opts.instBudget = kBudget;
+    opts.pmaxPerCycle = kPmax;
+
+    ModelConfig plain = ModelConfig::make("TON");
+    SuiteRunner entry_runner(opts);
+    const auto via_entry = entry_runner.runOne(plain, swim);
+
+    ModelConfig redirected = ModelConfig::make("TON");
+    redirected.traceFile = swim.tracePath;
+    SuiteRunner cfg_runner(opts);
+    const auto via_config =
+        cfg_runner.runOne(redirected, workload::findApp("swim"));
+
+    expectBitIdentical(via_entry, via_config, "config trace_file");
+}
+
+TEST_F(TraceRoundTripTest, ExhaustedTraceFailsLoudly)
+{
+    // A budget beyond what the recording carries must abort the cell
+    // (SuiteRunner turns this into a retry/tombstone), never silently
+    // report a short run.
+    auto swim = traceCell(workload::findApp("swim"));
+    ModelConfig cfg = ModelConfig::make("TON");
+    Workload w = loadWorkload(swim);
+    ParrotSimulator sim(cfg, w);
+    EXPECT_THROW(
+        sim.run(kBudget + workload::ptraceRecordMargin + 1000, kPmax),
+        std::runtime_error);
+}
+
+} // namespace

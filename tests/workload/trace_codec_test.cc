@@ -1,0 +1,349 @@
+/** @file Unit tests for the `.ptrace` codec: encode/decode fidelity,
+ * replay identity, and the hostile-input rejection matrix. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "verify/trace_fuzz.hh"
+#include "workload/apps.hh"
+#include "workload/executor.hh"
+#include "workload/generator.hh"
+#include "workload/trace_codec.hh"
+
+namespace
+{
+
+using namespace parrot;
+using namespace parrot::workload;
+
+AppProfile
+tinyProfile()
+{
+    AppProfile p;
+    p.name = "tiny";
+    p.seed = 77;
+    p.numHotProcs = 2;
+    p.numColdProcs = 4;
+    p.blocksPerProc = 8;
+    return p;
+}
+
+/** Encode `records` committed instructions of the tiny app. */
+std::string
+tinyTraceBytes(std::uint64_t records = 500)
+{
+    auto prog = generateProgram(tinyProfile());
+    Executor ex(*prog, tinyProfile());
+    TraceWriter writer(*prog, tinyProfile(), records);
+    DynInst d;
+    for (std::uint64_t i = 0; i < records; ++i) {
+        EXPECT_TRUE(ex.next(d));
+        writer.append(d);
+    }
+    return writer.finish();
+}
+
+/** A unique temp path (gtest runs tests in one process; a counter is
+ * enough to avoid collisions). */
+std::string
+tempPath(const std::string &leaf)
+{
+    static int counter = 0;
+    return (std::filesystem::temp_directory_path() /
+            ("parrot_codec_" + std::to_string(++counter) + "_" + leaf))
+        .string();
+}
+
+TEST(TraceCodecTest, ProgramSurvivesEncodeDecodeDeepEqual)
+{
+    auto prog = generateProgram(tinyProfile());
+    const std::string bytes = tinyTraceBytes(64);
+    auto trace = decodeTraceBytes(bytes);
+    const Program &got = *trace->program;
+
+    ASSERT_EQ(got.procs.size(), prog->procs.size());
+    for (std::size_t pi = 0; pi < got.procs.size(); ++pi) {
+        const auto &gp = got.procs[pi];
+        const auto &wp = prog->procs[pi];
+        EXPECT_EQ(gp.isHot, wp.isHot);
+        ASSERT_EQ(gp.blocks.size(), wp.blocks.size());
+        for (std::size_t bi = 0; bi < gp.blocks.size(); ++bi) {
+            const auto &gb = gp.blocks[bi];
+            const auto &wb = wp.blocks[bi];
+            ASSERT_EQ(gb.insts.size(), wb.insts.size());
+            for (std::size_t ii = 0; ii < gb.insts.size(); ++ii) {
+                const auto &gi = gb.insts[ii];
+                const auto &wi = wb.insts[ii];
+                EXPECT_EQ(gi.pc, wi.pc);
+                EXPECT_EQ(gi.length, wi.length);
+                EXPECT_EQ(gi.cti, wi.cti);
+                EXPECT_EQ(gi.takenTarget, wi.takenTarget);
+                ASSERT_EQ(gi.uops.size(), wi.uops.size());
+                for (std::size_t ui = 0; ui < gi.uops.size(); ++ui) {
+                    const auto &gu = gi.uops[ui];
+                    const auto &wu = wi.uops[ui];
+                    EXPECT_EQ(gu.kind, wu.kind);
+                    EXPECT_EQ(gu.dst, wu.dst);
+                    EXPECT_EQ(gu.src1, wu.src1);
+                    EXPECT_EQ(gu.src2, wu.src2);
+                    EXPECT_EQ(gu.imm, wu.imm);
+                    EXPECT_EQ(gu.dst2, wu.dst2);
+                    EXPECT_EQ(gu.src1b, wu.src1b);
+                    EXPECT_EQ(gu.src2b, wu.src2b);
+                    EXPECT_EQ(gu.laneKind, wu.laneKind);
+                    EXPECT_EQ(gu.assertTarget, wu.assertTarget);
+                }
+                // The decoded program's memoized decode weight must
+                // match what buildIndex computes for the original.
+                EXPECT_EQ(gi.cachedDecodeWeight,
+                          wi.computeDecodeWeight());
+            }
+            const auto &gt = gb.term;
+            const auto &wt = wb.term;
+            EXPECT_EQ(gt.kind, wt.kind);
+            EXPECT_EQ(gt.takenBlock, wt.takenBlock);
+            EXPECT_EQ(gt.fallBlock, wt.fallBlock);
+            EXPECT_EQ(gt.calleeProc, wt.calleeProc);
+            EXPECT_EQ(gt.takenBias, wt.takenBias);
+            EXPECT_EQ(gt.avgTrips, wt.avgTrips);
+            EXPECT_EQ(gt.patternLen, wt.patternLen);
+            EXPECT_EQ(gt.patternBits, wt.patternBits);
+            EXPECT_EQ(gt.switchTargets, wt.switchTargets);
+        }
+    }
+}
+
+TEST(TraceCodecTest, ReplayMatchesExecutorStreamExactly)
+{
+    constexpr std::uint64_t kRecords = 5000;
+    auto prog = generateProgram(tinyProfile());
+    auto trace = decodeTraceBytes(tinyTraceBytes(kRecords));
+    EXPECT_EQ(trace->numRecords, kRecords);
+
+    Executor ex(*prog, tinyProfile());
+    TraceReplaySource replay(trace);
+    DynInst de, dr;
+    for (std::uint64_t i = 0; i < kRecords; ++i) {
+        ASSERT_TRUE(ex.next(de));
+        ASSERT_TRUE(replay.next(dr)) << "replay dry at " << i;
+        ASSERT_EQ(dr.pc(), de.pc()) << "record " << i;
+        ASSERT_EQ(dr.seq, de.seq);
+        ASSERT_EQ(dr.taken, de.taken) << "record " << i;
+        ASSERT_EQ(dr.nextPc, de.nextPc) << "record " << i;
+        ASSERT_EQ(dr.memAddr, de.memAddr) << "record " << i;
+        ASSERT_EQ(dr.inst->uops.size(), de.inst->uops.size());
+    }
+    // A finite recording then runs dry, unlike the generator.
+    EXPECT_FALSE(replay.next(dr));
+    EXPECT_EQ(replay.produced(), kRecords);
+}
+
+TEST(TraceCodecTest, ResetReplaysIdentically)
+{
+    auto trace = decodeTraceBytes(tinyTraceBytes(800));
+    TraceReplaySource replay(trace);
+    std::vector<Addr> first;
+    DynInst d;
+    while (replay.next(d))
+        first.push_back(d.pc() ^ (d.nextPc << 1) ^ d.memAddr[0]);
+    replay.reset();
+    std::size_t i = 0;
+    while (replay.next(d)) {
+        ASSERT_LT(i, first.size());
+        ASSERT_EQ(first[i], d.pc() ^ (d.nextPc << 1) ^ d.memAddr[0]);
+        ++i;
+    }
+    EXPECT_EQ(i, first.size());
+}
+
+TEST(TraceCodecTest, HeaderIdentityFields)
+{
+    auto trace = decodeTraceBytes(tinyTraceBytes(100));
+    EXPECT_EQ(trace->appName, "tiny");
+    EXPECT_EQ(trace->group, BenchGroup::SpecInt);
+    EXPECT_EQ(trace->seed, 77u);
+    EXPECT_EQ(trace->intendedBudget, 100u);
+    EXPECT_EQ(trace->numRecords, 100u);
+
+    const AppProfile p = traceProfile(*trace);
+    EXPECT_EQ(p.name, "tiny");
+    EXPECT_EQ(p.seed, 77u);
+}
+
+// ---------------------------------------------------------------------
+// The corrupt-input matrix. Every named corruption must be rejected
+// with its own category and its own message — and parrot_cli / the
+// tools map TraceFormatError to exit 2 (covered by the CI smoke).
+// ---------------------------------------------------------------------
+
+TEST(TraceCodecCorruptTest, EveryCategoryRejectsDistinctly)
+{
+    const std::string valid = tinyTraceBytes(64);
+    const auto seeds = verify::craftRejectionSeeds(valid);
+
+    // One crafted input per byte-reachable category (all but Io).
+    std::set<TraceError> covered;
+    std::map<std::string, std::string> message_to_category;
+    for (const auto &seed : seeds) {
+        try {
+            decodeTraceBytes(seed.bytes);
+            FAIL() << "corrupt input accepted: " << seed.comment;
+        } catch (const TraceFormatError &e) {
+            EXPECT_EQ(e.category(), seed.category)
+                << seed.comment << " rejected as "
+                << traceErrorName(e.category()) << ": " << e.what();
+            covered.insert(e.category());
+            // Distinct messages: two different corruption classes must
+            // never produce the same diagnostic.
+            auto [it, fresh] = message_to_category.emplace(
+                e.what(), traceErrorName(seed.category));
+            EXPECT_TRUE(fresh)
+                << "duplicate message '" << e.what() << "' for "
+                << traceErrorName(seed.category) << " and "
+                << it->second;
+        }
+    }
+    // Everything except the file-level Io category.
+    EXPECT_EQ(covered.size(),
+              static_cast<std::size_t>(TraceError::NumErrors) - 1);
+    EXPECT_EQ(covered.count(TraceError::Io), 0u);
+}
+
+TEST(TraceCodecCorruptTest, NamedMatrixCases)
+{
+    const std::string valid = tinyTraceBytes(64);
+    auto categoryOf = [](const std::string &bytes) {
+        try {
+            decodeTraceBytes(bytes);
+            return TraceError::NumErrors;
+        } catch (const TraceFormatError &e) {
+            return e.category();
+        }
+    };
+
+    // Zero-length file.
+    EXPECT_EQ(categoryOf(""), TraceError::Empty);
+    // Truncated header (mid fixed prelude and mid section framing).
+    EXPECT_EQ(categoryOf(valid.substr(0, 5)),
+              TraceError::TruncatedHeader);
+    EXPECT_EQ(categoryOf(valid.substr(0, 11)),
+              TraceError::TruncatedHeader);
+    // Bad magic.
+    {
+        std::string b = valid;
+        b[1] = 'X';
+        EXPECT_EQ(categoryOf(b), TraceError::BadMagic);
+    }
+    // Bad (future) version: forward-compat policy is to reject.
+    {
+        std::string b = valid;
+        b[4] = 2;
+        EXPECT_EQ(categoryOf(b), TraceError::BadVersion);
+    }
+    // Flipped CRC byte (stored CRC corrupted, payload intact).
+    {
+        std::string b = valid;
+        b[12] = static_cast<char>(b[12] ^ 0x40); // header CRC field
+        EXPECT_EQ(categoryOf(b), TraceError::HeaderCrc);
+    }
+    // Mid-record EOF: cut inside the last record block's payload.
+    EXPECT_EQ(categoryOf(valid.substr(0, valid.size() - 1)),
+              TraceError::TruncatedRecords);
+
+    // The craft helper covers varint overrun and uop over-declaration;
+    // pin their exact messages here since the matrix calls them out.
+    for (const auto &seed : verify::craftRejectionSeeds(valid)) {
+        try {
+            decodeTraceBytes(seed.bytes);
+            FAIL() << "accepted: " << seed.comment;
+        } catch (const TraceFormatError &e) {
+            if (seed.category == TraceError::VarintOverrun) {
+                EXPECT_NE(std::string(e.what()).find("varint"),
+                          std::string::npos);
+            } else if (seed.category == TraceError::CountMismatch) {
+                EXPECT_NE(std::string(e.what()).find("uops"),
+                          std::string::npos)
+                    << e.what();
+            }
+        }
+    }
+}
+
+TEST(TraceCodecCorruptTest, MissingFileIsIoError)
+{
+    try {
+        loadTraceFile("/nonexistent/definitely/not/here.ptrace");
+        FAIL() << "expected TraceFormatError";
+    } catch (const TraceFormatError &e) {
+        EXPECT_EQ(e.category(), TraceError::Io);
+    }
+}
+
+TEST(TraceCodecCorruptTest, CategoryNamesRoundTrip)
+{
+    for (unsigned i = 0;
+         i < static_cast<unsigned>(TraceError::NumErrors); ++i) {
+        const auto cat = static_cast<TraceError>(i);
+        EXPECT_EQ(traceErrorFromName(traceErrorName(cat)), cat);
+    }
+    EXPECT_EQ(traceErrorFromName("NotACategory"),
+              TraceError::NumErrors);
+}
+
+// ---------------------------------------------------------------------
+// File round trip through the atomic-file layer, on an odd path.
+// ---------------------------------------------------------------------
+
+TEST(TraceCodecFileTest, RecordWriteThenLoadIdentityOnOddPath)
+{
+    const std::string dir =
+        tempPath("odd dir.with spaces && dots");
+    ASSERT_TRUE(std::filesystem::create_directories(dir));
+    const std::string path = dir + "/re mounted..trace file.ptrace";
+
+    auto entry = findApp("crafty");
+    const auto stats = recordTrace(entry, 2000, path);
+    EXPECT_EQ(stats.intendedBudget, 2000u);
+    EXPECT_EQ(stats.records, 2000u + ptraceRecordMargin);
+    EXPECT_GT(stats.fileBytes, 0u);
+
+    // Loaded bytes must be exactly what the writer produced.
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good());
+    std::string on_disk((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    EXPECT_EQ(on_disk.size(), stats.fileBytes);
+
+    auto trace = loadTraceFile(path);
+    EXPECT_EQ(trace->appName, "crafty");
+    EXPECT_EQ(trace->numRecords, stats.records);
+    EXPECT_EQ(trace->numUops, stats.uops);
+    EXPECT_EQ(trace->numCtis, stats.ctis);
+
+    const SuiteEntry cell = traceSuiteEntry(path);
+    EXPECT_EQ(cell.profile.name, "crafty");
+    EXPECT_EQ(cell.defaultInstBudget, 2000u);
+    EXPECT_EQ(cell.tracePath, path);
+
+    std::filesystem::remove_all(dir);
+}
+
+TEST(TraceCodecFileTest, UnwritablePathIsIoError)
+{
+    auto entry = findApp("swim");
+    try {
+        recordTrace(entry, 100, "/nonexistent-dir-xyz/out.ptrace");
+        FAIL() << "expected TraceFormatError";
+    } catch (const TraceFormatError &e) {
+        EXPECT_EQ(e.category(), TraceError::Io);
+    }
+}
+
+} // namespace

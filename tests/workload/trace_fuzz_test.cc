@@ -1,0 +1,138 @@
+/** @file Tests for the `.ptrace` decoder fuzzer and the committed
+ * rejection corpus (replayed here on every run). */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <filesystem>
+#include <string>
+
+#include "verify/trace_fuzz.hh"
+
+namespace
+{
+
+using namespace parrot;
+using namespace parrot::verify;
+using workload::TraceError;
+
+TEST(TraceFuzzTest, ValidTraceIsAccepted)
+{
+    const std::string bytes = makeTinyTraceBytes(3, 48);
+    const TraceProbe p = probeTraceBytes(bytes);
+    EXPECT_EQ(p.outcome, TraceProbeOutcome::Accepted) << p.message;
+}
+
+TEST(TraceFuzzTest, SmallCampaignRunsClean)
+{
+    TraceFuzzOptions opts;
+    opts.iterations = 200;
+    opts.seed = 42;
+    opts.records = 32;
+    TraceDecoderFuzzer fuzzer(opts);
+    const TraceFuzzStats stats = fuzzer.run();
+    EXPECT_TRUE(stats.clean())
+        << (stats.failures.empty() ? std::string()
+                                   : stats.failures.front().why);
+    EXPECT_EQ(stats.iterations, 200u);
+    // The targeted seeds alone cover every byte-reachable category.
+    EXPECT_EQ(stats.categoriesCovered,
+              static_cast<std::size_t>(TraceError::NumErrors) - 1);
+}
+
+TEST(TraceFuzzTest, CampaignIsDeterministic)
+{
+    TraceFuzzOptions opts;
+    opts.iterations = 120;
+    opts.seed = 9;
+    opts.records = 24;
+    const TraceFuzzStats a = TraceDecoderFuzzer(opts).run();
+    const TraceFuzzStats b = TraceDecoderFuzzer(opts).run();
+    EXPECT_EQ(a.accepted, b.accepted);
+    EXPECT_EQ(a.rejected, b.rejected);
+    EXPECT_EQ(a.byCategory, b.byCategory);
+}
+
+TEST(TraceFuzzTest, DdminShrinksAndPreservesCategory)
+{
+    const std::string base = makeTinyTraceBytes(5, 32);
+    // Corrupt the magic: almost every byte is irrelevant to that
+    // rejection, so ddmin should shrink the input dramatically.
+    std::string corrupt = base;
+    corrupt[0] = 'X';
+    const std::string minimized =
+        ddminReject(corrupt, TraceError::BadMagic);
+    EXPECT_LT(minimized.size(), corrupt.size() / 4);
+    const TraceProbe p = probeTraceBytes(minimized);
+    EXPECT_EQ(p.outcome, TraceProbeOutcome::Rejected);
+    EXPECT_EQ(p.category, TraceError::BadMagic);
+}
+
+TEST(TraceFuzzTest, CorpusTextRoundTrips)
+{
+    TraceCorpusEntry entry;
+    entry.category = TraceError::RecordCrc;
+    entry.bytes = std::string("\x00\x01\xff PTRC\x7f", 9);
+    entry.comment = "first line\nsecond line";
+    const std::string text = renderTraceCorpus(entry);
+
+    TraceCorpusEntry parsed;
+    std::string error;
+    ASSERT_TRUE(parseTraceCorpus(text, parsed, &error)) << error;
+    EXPECT_EQ(parsed.category, entry.category);
+    EXPECT_EQ(parsed.bytes, entry.bytes);
+    EXPECT_EQ(parsed.comment, entry.comment);
+}
+
+TEST(TraceFuzzTest, CorpusParserRejectsGarbage)
+{
+    TraceCorpusEntry out;
+    std::string error;
+    EXPECT_FALSE(parseTraceCorpus("not a corpus file", out, &error));
+    EXPECT_FALSE(parseTraceCorpus(
+        "parrot-ptrace-corpus v1\nerror NotACategory\nbytes 00\n", out,
+        &error));
+    EXPECT_FALSE(parseTraceCorpus(
+        "parrot-ptrace-corpus v1\nerror BadMagic\nbytes 0g\n", out,
+        &error));
+    EXPECT_FALSE(parseTraceCorpus(
+        "parrot-ptrace-corpus v1\nerror BadMagic\n", out, &error));
+}
+
+TEST(TraceFuzzTest, CraftedSeedsCoverEveryByteCategory)
+{
+    const auto seeds = craftRejectionSeeds(makeTinyTraceBytes(1, 32));
+    std::size_t distinct = 0;
+    std::array<bool, static_cast<std::size_t>(TraceError::NumErrors)>
+        seen{};
+    for (const auto &seed : seeds) {
+        auto &flag = seen[static_cast<std::size_t>(seed.category)];
+        if (!flag) {
+            flag = true;
+            ++distinct;
+        }
+    }
+    EXPECT_EQ(distinct,
+              static_cast<std::size_t>(TraceError::NumErrors) - 1);
+}
+
+// ---------------------------------------------------------------------
+// The committed corpus under tests/workload/corpus/ replays on every
+// run: each exemplar must still be rejected with its recorded
+// category. A decoder change that accepts (or crashes on) one of
+// these inputs fails here before it ships.
+// ---------------------------------------------------------------------
+
+TEST(TraceCorpusReplayTest, CommittedCorpusStillRejects)
+{
+    const std::string dir = PARROT_TRACE_CORPUS_DIR;
+    ASSERT_TRUE(std::filesystem::is_directory(dir))
+        << "missing corpus dir " << dir;
+    const TraceReplayResult result = replayTraceCorpusDir(dir);
+    EXPECT_GT(result.total, 0u) << "no corpus files under " << dir;
+    EXPECT_EQ(result.failed, 0u);
+    for (const auto &report : result.reports)
+        ADD_FAILURE() << report;
+}
+
+} // namespace

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * parrot_trace — inspect, validate and record `.ptrace` files.
+ *
+ * Usage:
+ *   parrot_trace record --app NAME --insts N --out FILE [--seed-only]
+ *       record one generator application's committed stream
+ *   parrot_trace info FILE
+ *       print the header summary (app, seed, counts, budget, blocks)
+ *   parrot_trace validate FILE
+ *       fully decode + validate; prints "ok" and the summary line
+ *   parrot_trace stats FILE
+ *       per-section byte accounting and compression figures
+ *
+ * Exit status: 0 on success, 1 on an internal failure, 2 on bad usage
+ * or a malformed trace file (every TraceFormatError lands here with
+ * its stable category name on stderr).
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "parrot/parrot.hh"
+
+namespace
+{
+
+using namespace parrot;
+
+void
+printSummary(const workload::TraceData &t, const std::string &path)
+{
+    std::printf("%s: app=%s group=%s seed=%llu version=%u\n",
+                path.c_str(), t.appName.c_str(),
+                workload::benchGroupName(t.group),
+                static_cast<unsigned long long>(t.seed),
+                workload::ptraceVersion);
+    std::printf("  records=%llu uops=%llu ctis=%llu "
+                "intended_budget=%llu first_pc=0x%llx\n",
+                static_cast<unsigned long long>(t.numRecords),
+                static_cast<unsigned long long>(t.numUops),
+                static_cast<unsigned long long>(t.numCtis),
+                static_cast<unsigned long long>(t.intendedBudget),
+                static_cast<unsigned long long>(t.firstPc));
+    std::printf("  blocks=%zu records_per_block=%u file_bytes=%zu\n",
+                t.blocks.size(), t.recordsPerBlock, t.bytes.size());
+}
+
+int
+cmdInfo(const std::string &path, bool validate_banner)
+{
+    auto trace = workload::loadTraceFile(path);
+    if (validate_banner)
+        std::printf("ok: %s decodes and validates clean\n",
+                    path.c_str());
+    printSummary(*trace, path);
+    return 0;
+}
+
+int
+cmdStats(const std::string &path)
+{
+    auto trace = workload::loadTraceFile(path);
+    printSummary(*trace, path);
+    std::uint64_t record_bytes = 0, bits_bytes = 0;
+    for (const auto &blk : trace->blocks) {
+        record_bytes += blk.recordsLen;
+        bits_bytes += (blk.numCtis + 7) / 8;
+    }
+    const double per_record =
+        static_cast<double>(record_bytes + bits_bytes) /
+        static_cast<double>(trace->numRecords);
+    std::printf("  stream bytes: %llu record + %llu branch-bitstream "
+                "(%.3f bytes/record)\n",
+                static_cast<unsigned long long>(record_bytes),
+                static_cast<unsigned long long>(bits_bytes),
+                per_record);
+    std::printf("  raw DynInst stream would be %llu bytes "
+                "(compression %.1fx)\n",
+                static_cast<unsigned long long>(
+                    trace->numRecords * sizeof(workload::DynInst)),
+                static_cast<double>(trace->numRecords *
+                                    sizeof(workload::DynInst)) /
+                    static_cast<double>(trace->bytes.size()));
+    return 0;
+}
+
+int
+cmdRecord(int argc, char **argv)
+{
+    std::string app = "swim";
+    std::string out;
+    std::uint64_t insts = 300000;
+    for (int i = 2; i < argc; ++i) {
+        const char *arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n", arg);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (!std::strcmp(arg, "--app")) {
+            app = value();
+        } else if (!std::strcmp(arg, "--insts")) {
+            insts = std::strtoull(value(), nullptr, 10);
+        } else if (!std::strcmp(arg, "--out")) {
+            out = value();
+        } else {
+            std::fprintf(stderr, "unknown record option '%s'\n", arg);
+            return 2;
+        }
+    }
+    if (out.empty()) {
+        std::fprintf(stderr, "record needs --out FILE\n");
+        return 2;
+    }
+    auto stats =
+        workload::recordTrace(workload::findApp(app), insts, out);
+    std::printf("recorded %s: %llu records (%llu uops, %llu CTIs) for "
+                "a %llu-inst budget, %llu bytes\n",
+                stats.path.c_str(),
+                static_cast<unsigned long long>(stats.records),
+                static_cast<unsigned long long>(stats.uops),
+                static_cast<unsigned long long>(stats.ctis),
+                static_cast<unsigned long long>(stats.intendedBudget),
+                static_cast<unsigned long long>(stats.fileBytes));
+    return 0;
+}
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: parrot_trace record --app NAME --insts N "
+                 "--out FILE\n"
+                 "       parrot_trace info FILE\n"
+                 "       parrot_trace validate FILE\n"
+                 "       parrot_trace stats FILE\n");
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    const std::string cmd = argv[1];
+    try {
+        if (cmd == "record")
+            return cmdRecord(argc, argv);
+        if (argc != 3)
+            return usage();
+        if (cmd == "info")
+            return cmdInfo(argv[2], false);
+        if (cmd == "validate")
+            return cmdInfo(argv[2], true);
+        if (cmd == "stats")
+            return cmdStats(argv[2]);
+        return usage();
+    } catch (const workload::TraceFormatError &e) {
+        std::fprintf(stderr, "%s: %s\n",
+                     workload::traceErrorName(e.category()), e.what());
+        return 2;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 1;
+    }
+}

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * parrot_trace_fuzz — fuzzing harness for the `.ptrace` decoder, as a
+ * CLI tool for CI and interactive bug hunting.
+ *
+ * The campaign builds a tiny valid recording, feeds the decoder one
+ * targeted corruption per rejection category plus random structural
+ * mutations (including CRC-fixed-up payload corruption that reaches
+ * the deep validators), and demands that every input is either
+ * accepted (and then replays exactly what its header declares) or
+ * rejected with a TraceFormatError — never a crash, hang, foreign
+ * exception or silent mis-simulation.
+ *
+ * Usage:
+ *   parrot_trace_fuzz [options]
+ *     --iterations N   total inputs to probe (default 500)
+ *     --seed N         campaign seed (default 1); fixed seed = fully
+ *                      deterministic campaign
+ *     --records N      dynamic records in the base recording (default
+ *                      64)
+ *     --corpus-dir DIR dump one ddmin-minimized rejection exemplar per
+ *                      category here
+ *     --replay DIR     replay every *.trace corpus file in DIR instead
+ *                      of fuzzing (regression mode); exits 1 when any
+ *                      entry is no longer rejected with its recorded
+ *                      category
+ *     --verbose        narrate corpus dumps and failures
+ *
+ * Exit status: 0 when the campaign (or replay) is clean, 1 when any
+ * decoder bug was found, 2 on bad usage.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "parrot/parrot.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace parrot;
+
+    verify::TraceFuzzOptions opts;
+    std::string replay_dir;
+
+    auto need_value = [&](int &i) -> const char * {
+        if (i + 1 >= argc) {
+            std::fprintf(stderr, "missing value for %s\n", argv[i]);
+            std::exit(2);
+        }
+        return argv[++i];
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (!std::strcmp(arg, "--iterations")) {
+            opts.iterations = std::strtoull(need_value(i), nullptr, 10);
+        } else if (!std::strcmp(arg, "--seed")) {
+            opts.seed = std::strtoull(need_value(i), nullptr, 10);
+        } else if (!std::strcmp(arg, "--records")) {
+            opts.records = std::strtoull(need_value(i), nullptr, 10);
+        } else if (!std::strcmp(arg, "--corpus-dir")) {
+            opts.corpusDir = need_value(i);
+        } else if (!std::strcmp(arg, "--replay")) {
+            replay_dir = need_value(i);
+        } else if (!std::strcmp(arg, "--verbose")) {
+            opts.verbose = true;
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n", arg);
+            return 2;
+        }
+    }
+
+    if (!replay_dir.empty()) {
+        const auto result = verify::replayTraceCorpusDir(replay_dir);
+        for (const auto &report : result.reports)
+            std::fprintf(stderr, "REPLAY FAIL %s\n", report.c_str());
+        std::printf("replayed %u corpus file(s), %u failure(s)\n",
+                    result.total, result.failed);
+        if (result.total == 0) {
+            std::fprintf(stderr, "no *.trace files under %s\n",
+                         replay_dir.c_str());
+            return 2;
+        }
+        return result.failed == 0 ? 0 : 1;
+    }
+
+    verify::TraceDecoderFuzzer fuzzer(opts);
+    const auto stats = fuzzer.run();
+
+    std::printf("probed %llu input(s): %llu accepted, %llu rejected "
+                "across %zu categories; %zu corpus file(s) written\n",
+                static_cast<unsigned long long>(stats.iterations),
+                static_cast<unsigned long long>(stats.accepted),
+                static_cast<unsigned long long>(stats.rejected),
+                stats.categoriesCovered, stats.corpusWritten);
+    for (std::size_t i = 0; i < stats.byCategory.size(); ++i) {
+        if (stats.byCategory[i] == 0)
+            continue;
+        std::printf("  %-18s %llu\n",
+                    workload::traceErrorName(
+                        static_cast<workload::TraceError>(i)),
+                    static_cast<unsigned long long>(
+                        stats.byCategory[i]));
+    }
+    for (const auto &failure : stats.failures)
+        std::fprintf(stderr, "FAILURE: %s\n", failure.why.c_str());
+
+    if (!stats.clean()) {
+        std::fprintf(stderr, "%zu decoder bug(s) found\n",
+                     stats.failures.size());
+        return 1;
+    }
+    std::printf("campaign clean\n");
+    return 0;
+}
