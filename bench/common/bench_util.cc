@@ -1,16 +1,11 @@
 #include "bench_util.hh"
 
-#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
-#include <sstream>
 
 #include "common/cli.hh"
-#include "common/fault.hh"
 #include "common/logging.hh"
-#include "sim/result.hh"
 #include "stats/stats.hh"
 #include "stats/table.hh"
 
@@ -31,6 +26,16 @@ unsigned
 benchJobs()
 {
     return sim::resolveJobs(0);
+}
+
+sim::RunOptions
+benchRunOptions()
+{
+    sim::RunOptions opts;
+    opts.instBudget = benchInstBudget();
+    opts.jobs = benchJobs();
+    sim::applyRunOptionsEnv(opts);
+    return opts;
 }
 
 void
@@ -70,377 +75,6 @@ parseBenchArgs(int argc, char **argv)
             std::exit(2);
         }
     }
-}
-
-namespace
-{
-
-/**
- * The cache-file header: format version plus the full ordered field
- * list. Loading compares it verbatim, so renaming, reordering, adding
- * or removing any SimResult field makes every old cache stale at once
- * — there is deliberately no migration path for mixed-format files.
- */
-std::string
-cacheHeader()
-{
-    std::string h = "# parrot-bench-cache v2";
-    for (const auto &f : sim::resultFields()) {
-        h += ' ';
-        h += f.key;
-    }
-    return h;
-}
-
-/** Serialize a SimResult as self-describing key=value pairs. */
-std::string
-serialize(const SimResult &r)
-{
-    std::ostringstream out;
-    out.precision(17); // round-trips doubles exactly
-    bool first = true;
-    for (const auto &f : sim::resultFields()) {
-        if (!first)
-            out << ' ';
-        first = false;
-        out << f.key << '=' << f.get(r);
-    }
-    return out.str();
-}
-
-bool
-deserialize(const std::string &line, SimResult &r)
-{
-    std::istringstream in(line);
-    std::string token;
-    std::size_t seen = 0;
-    while (in >> token) {
-        auto eq = token.find('=');
-        if (eq == std::string::npos)
-            return false;
-        const sim::ResultField *f =
-            sim::findResultField(token.substr(0, eq));
-        if (!f)
-            return false;
-        const std::string text = token.substr(eq + 1);
-        char *end = nullptr;
-        double v = std::strtod(text.c_str(), &end);
-        if (end == text.c_str() || *end != '\0')
-            return false;
-        f->set(r, v);
-        ++seen;
-    }
-    // The header pins the field set, but a line can still be cut short
-    // by a killed run; demand every field rather than half a result.
-    return seen == sim::resultFields().size();
-}
-
-} // namespace
-
-namespace
-{
-
-sim::RunOptions
-benchRunOptions()
-{
-    sim::RunOptions opts;
-    opts.instBudget = benchInstBudget();
-    opts.jobs = benchJobs();
-    if (const char *env = std::getenv("PARROT_DEADLINE_MS"))
-        opts.deadlineMs = cli::parseU64("PARROT_DEADLINE_MS", env);
-    if (const char *env = std::getenv("PARROT_RETRIES"))
-        opts.maxRetries = cli::parseU32("PARROT_RETRIES", env);
-    if (const char *env = std::getenv("PARROT_RETRY_BACKOFF_MS"))
-        opts.retryBackoffMs =
-            cli::parseU64("PARROT_RETRY_BACKOFF_MS", env);
-    return opts;
-}
-
-/** Tombstone cache-row payload (the part after the key's tab). */
-constexpr const char *kTombstoneTag = "!failed";
-
-/** One cache line for `key`: a normal self-describing record, or the
- * tombstone form for cells that exhausted their retries. */
-std::string
-serializeLine(const std::string &key, const SimResult &r)
-{
-    if (r.tombstone) {
-        return key + '\t' + kTombstoneTag + " attempts=" +
-               std::to_string(r.attempts);
-    }
-    return key + '\t' + serialize(r);
-}
-
-/** Parse a tombstone payload; false when `text` is not one. */
-bool
-deserializeTombstone(const std::string &text, SimResult &r)
-{
-    std::istringstream in(text);
-    std::string tag;
-    if (!(in >> tag) || tag != kTombstoneTag)
-        return false;
-    r.tombstone = true;
-    std::string token;
-    while (in >> token) {
-        if (token.rfind("attempts=", 0) == 0)
-            r.attempts = static_cast<unsigned>(
-                std::strtoul(token.c_str() + 9, nullptr, 10));
-    }
-    return true;
-}
-
-} // namespace
-
-ResultStore::ResultStore(const std::string &cache_path)
-    : path(cache_path), runner(benchRunOptions())
-{
-    if (std::getenv("PARROT_BENCH_NO_CACHE"))
-        enabled = false;
-    if (enabled)
-        load();
-}
-
-ResultStore::~ResultStore()
-{
-    // Close before compacting: compact() renames a fresh file over
-    // `path`, and an open O_APPEND fd would keep writing to the
-    // orphaned inode.
-    journal.close();
-    // Only rewrite when this run actually changed something; read-only
-    // figure reruns must leave the committed cache bytes untouched.
-    if (enabled && (appendedRows > 0 || discardedLines > 0))
-        compact();
-}
-
-std::string
-ResultStore::keyOf(const std::string &model, const std::string &app,
-                   std::uint64_t insts) const
-{
-    return model + "/" + app + "/" + std::to_string(insts);
-}
-
-void
-ResultStore::load()
-{
-    std::ifstream in(path);
-    if (!in)
-        return;
-    std::string line;
-    if (!std::getline(in, line))
-        return; // empty file: append() will write the header
-    if (line != cacheHeader()) {
-        // Stale version or foreign field set. Discard the whole file
-        // and let the benches regenerate; salvaging lines from a
-        // mixed-format cache risks figures built from stale metrics.
-        in.close();
-        std::fprintf(stderr,
-                     "[bench cache] %s: format/version mismatch, "
-                     "discarding and regenerating\n",
-                     path.c_str());
-        std::remove(path.c_str());
-        return;
-    }
-    while (std::getline(in, line)) {
-        auto tab = line.find('\t');
-        if (tab == std::string::npos) {
-            ++discardedLines;
-            continue;
-        }
-        std::string key = line.substr(0, tab);
-        const std::string payload = line.substr(tab + 1);
-        SimResult r;
-        if (!deserializeTombstone(payload, r) &&
-            !deserialize(payload, r)) {
-            // A line cut short by a killed run, or hand-edited junk:
-            // drop it and let the cell re-run.
-            ++discardedLines;
-            continue;
-        }
-        // model and app are recoverable from the key.
-        auto slash1 = key.find('/');
-        auto slash2 = key.rfind('/');
-        if (slash1 == std::string::npos || slash2 <= slash1) {
-            ++discardedLines;
-            continue;
-        }
-        r.model = key.substr(0, slash1);
-        r.app = key.substr(slash1 + 1, slash2 - slash1 - 1);
-        memo.emplace(std::move(key), std::move(r));
-    }
-    if (discardedLines > 0) {
-        std::fprintf(stderr,
-                     "[bench cache] %s: discarded %zu malformed "
-                     "line(s); affected cells will re-run\n",
-                     path.c_str(), discardedLines);
-    }
-}
-
-void
-ResultStore::append(const std::string &key, const SimResult &r)
-{
-    // Workers append from the suite runner's pool the moment each cell
-    // completes; the journal write (open/size/appendLine) must be one
-    // critical section so lines never interleave.
-    std::lock_guard<std::mutex> lock(appendMutex);
-    if (!enabled)
-        return;
-    if (!journal.isOpen() && !journal.open(path)) {
-        disableCache(journal.error());
-        return;
-    }
-    if (journal.size() == 0 && !journal.appendLine(cacheHeader())) {
-        disableCache(journal.error());
-        return;
-    }
-    if (!journal.appendLine(serializeLine(key, r))) {
-        disableCache(journal.error());
-        return;
-    }
-    ++appendedRows;
-    fault::rowPersisted();
-}
-
-void
-ResultStore::disableCache(const std::string &reason)
-{
-    enabled = false;
-    journal.close();
-    std::fprintf(stderr,
-                 "[bench cache] %s: %s; caching disabled for this "
-                 "run\n",
-                 path.c_str(), reason.c_str());
-}
-
-void
-ResultStore::compact()
-{
-    // The memo is a std::map, so iteration is already in canonical
-    // (sorted-key) order: every clean shutdown converges to the same
-    // bytes regardless of the order cells were journaled in.
-    std::string content = cacheHeader();
-    content += '\n';
-    for (const auto &[key, r] : memo) {
-        content += serializeLine(key, r);
-        content += '\n';
-    }
-    std::string err;
-    if (!atomic_file::writeFileAtomic(path, content, &err)) {
-        std::fprintf(stderr,
-                     "[bench cache] %s: compaction failed (%s); "
-                     "journaled rows are still on disk\n",
-                     path.c_str(), err.c_str());
-    }
-}
-
-bool
-ResultStore::hadFailures() const
-{
-    for (const auto &[key, r] : memo) {
-        if (r.tombstone)
-            return true;
-    }
-    return false;
-}
-
-int
-ResultStore::exitCode() const
-{
-    return hadFailures() ? 3 : 0;
-}
-
-double
-ResultStore::pmax()
-{
-    if (pmaxReady)
-        return pmaxValue;
-    // Memoize Pmax as a pseudo-result under a reserved key.
-    std::string key = keyOf("_pmax", "swim", runner.options().instBudget);
-    auto it = memo.find(key);
-    if (it != memo.end() && it->second.energyPerCycle > 0.0 &&
-        std::isfinite(it->second.energyPerCycle)) {
-        pmaxValue = it->second.energyPerCycle;
-        // Skip the runner's own calibration run.
-        runner.setPmax(pmaxValue);
-    } else {
-        if (it != memo.end()) {
-            // A stale or corrupt marker (zero, NaN, negative — e.g. a
-            // cache written by a crashed calibration) must not silently
-            // zero every leakage figure: recalibrate and overwrite it.
-            PARROT_WARN("ignoring stale pmax marker %f in result "
-                        "cache; recalibrating",
-                        it->second.energyPerCycle);
-        }
-        pmaxValue = runner.pmax();
-        SimResult marker;
-        marker.energyPerCycle = pmaxValue;
-        memo[key] = marker;
-        append(key, marker);
-    }
-    pmaxReady = true;
-    return pmaxValue;
-}
-
-SimResult
-ResultStore::get(const std::string &model,
-                 const workload::SuiteEntry &entry)
-{
-    std::string key =
-        keyOf(model, entry.profile.name, runner.options().instBudget);
-    auto it = memo.find(key);
-    if (it != memo.end())
-        return it->second;
-
-    // Ensure the leakage calibration happened (and is cached) first.
-    pmax();
-    SimResult r = runner.runOne(model, entry);
-    memo.emplace(key, r);
-    append(key, r);
-    std::fprintf(stderr, "  [ran %s/%s]\n", model.c_str(),
-                 entry.profile.name.c_str());
-    return r;
-}
-
-std::vector<SimResult>
-ResultStore::getSuite(const std::string &model,
-                      const std::vector<workload::SuiteEntry> &suite)
-{
-    // Dispatch only the entries the memo doesn't cover onto the
-    // runner's worker pool, then fold them back (and into the cache
-    // file) in suite order so output stays deterministic.
-    std::vector<workload::SuiteEntry> missing;
-    for (const auto &entry : suite) {
-        if (!memo.count(keyOf(model, entry.profile.name,
-                              runner.options().instBudget)))
-            missing.push_back(entry);
-    }
-    if (!missing.empty()) {
-        pmax();
-        // Journal each cell the moment its worker finishes — a killed
-        // run keeps everything but the in-flight cells. The journal
-        // order is nondeterministic under jobs>1; compaction at
-        // destruction restores the canonical order.
-        auto fresh = runner.runSuite(
-            model, missing,
-            [&](std::size_t i, const SimResult &r) {
-                append(keyOf(model, missing[i].profile.name,
-                             runner.options().instBudget),
-                       r);
-            });
-        for (std::size_t i = 0; i < missing.size(); ++i) {
-            std::string key = keyOf(model, missing[i].profile.name,
-                                    runner.options().instBudget);
-            memo.emplace(key, fresh[i]);
-            std::fprintf(stderr, "  [ran %s/%s]\n", model.c_str(),
-                         missing[i].profile.name.c_str());
-        }
-    }
-
-    std::vector<SimResult> out;
-    out.reserve(suite.size());
-    for (const auto &entry : suite)
-        out.push_back(memo.at(keyOf(model, entry.profile.name,
-                                    runner.options().instBudget)));
-    return out;
 }
 
 namespace
@@ -488,8 +122,9 @@ void
 printRelativeFigure(
     const std::string &title,
     const std::vector<std::pair<std::string, std::string>> &rows,
-    ResultStore &store, const std::vector<workload::SuiteEntry> &suite,
-    const Metric &metric, bool as_percent_delta, bool with_killers)
+    sim::ResultStore &store,
+    const std::vector<workload::SuiteEntry> &suite, const Metric &metric,
+    bool as_percent_delta, bool with_killers)
 {
     std::printf("%s\n", title.c_str());
     stats::TextTable table;
@@ -583,7 +218,7 @@ printRelativeFigure(
 void
 printAbsoluteFigure(const std::string &title,
                     const std::vector<std::string> &models,
-                    ResultStore &store,
+                    sim::ResultStore &store,
                     const std::vector<workload::SuiteEntry> &suite,
                     const Metric &metric, int precision)
 {

@@ -3,32 +3,31 @@
  * Shared infrastructure for the figure-reproduction benches.
  *
  * Every bench binary needs the same expensive grid of
- * (model x application) simulations; ResultStore memoizes finished
- * SimResults in a plain-text cache file in the working directory so the
- * first bench pays and the rest reuse. The file is self-describing:
- * a version header lists the exact ordered field keys (from
- * sim::resultFields()) and every record is key=value pairs, so any
- * change to the SimResult schema invalidates the cache wholesale and
- * it silently regenerates. Delete the file (or set
- * PARROT_BENCH_NO_CACHE=1) to force fresh runs. The instruction budget
- * can be overridden with PARROT_BENCH_INSTS.
+ * (model x application) simulations; the result cache
+ * (sim::ResultStore) memoizes finished SimResults in a plain-text
+ * cache file in the working directory so the first bench pays and the
+ * rest reuse. The file is self-describing: a version header lists the
+ * exact ordered field keys (from sim::resultFields()) and every record
+ * is key=value pairs, so any change to the SimResult schema
+ * invalidates the cache wholesale and it silently regenerates. Delete
+ * the file (or set PARROT_BENCH_NO_CACHE=1) to force fresh runs. The
+ * instruction budget can be overridden with PARROT_BENCH_INSTS.
  *
  * Uncached simulations dispatch onto the suite runner's worker pool;
  * the job count comes from --jobs / PARROT_JOBS (default
  * hardware_concurrency) and never changes the results — see
- * sim::SuiteRunner.
+ * sim::SuiteRunner. For multi-process sharded campaigns over the same
+ * cache file, see tools/parrot_campaign (sim::runCampaign).
  */
 
 #ifndef PARROT_BENCH_COMMON_BENCH_UTIL_HH
 #define PARROT_BENCH_COMMON_BENCH_UTIL_HH
 
 #include <functional>
-#include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
-#include "common/atomic_file.hh"
+#include "sim/result_store.hh"
 #include "sim/runner.hh"
 #include "workload/apps.hh"
 
@@ -40,6 +39,13 @@ std::uint64_t benchInstBudget();
 
 /** Worker-pool size for bench runs (PARROT_JOBS override; 0 = auto). */
 unsigned benchJobs();
+
+/**
+ * The RunOptions every bench driver uses: the bench instruction budget
+ * and job count plus the resilience knobs from the environment
+ * (PARROT_DEADLINE_MS, PARROT_RETRIES, PARROT_RETRY_BACKOFF_MS).
+ */
+sim::RunOptions benchRunOptions();
 
 /**
  * Parse the common bench flags every driver accepts and publish them
@@ -55,86 +61,18 @@ unsigned benchJobs();
 void parseBenchArgs(int argc, char **argv);
 
 /**
- * A persistent memo of simulation results keyed by
- * (model, app, instruction budget).
- *
- * Durability model: every completed cell is appended to an O_APPEND +
- * fsync journal the moment it finishes (even while the rest of the
- * suite is still running), so a `kill -9` mid-suite loses at most the
- * in-flight cells. On clean destruction the file is compacted — the
- * memo rewritten in sorted key order through an atomic
- * write-temp/fsync/rename — which makes an interrupted-then-resumed
- * run's cache byte-identical to an uninterrupted one. Any persistence
- * failure (read-only dir, ENOSPC) is detected, warned about once, and
- * disables caching for the rest of the run instead of silently
- * dropping rows.
- *
- * Cells that exhaust their retries (RunOptions::maxRetries) are stored
- * as tombstone rows ("<key>\t!failed attempts=N"); figure tables
- * render them as "-" and drivers report them via exitCode().
+ * The bench-flavoured result store: sim::ResultStore pointed at the
+ * conventional cache file in the working directory and configured from
+ * the bench environment (see benchRunOptions()). All durability,
+ * concurrency and exit-code semantics live in the base class.
  */
-class ResultStore
+class ResultStore : public sim::ResultStore
 {
   public:
-    /** Opens (and loads) the cache file next to the working dir. */
-    explicit ResultStore(const std::string &path = "parrot_bench_cache.txt");
-
-    /** Compacts the cache file (atomic rewrite in canonical order)
-     * when this run added or discarded anything. */
-    ~ResultStore();
-
-    ResultStore(const ResultStore &) = delete;
-    ResultStore &operator=(const ResultStore &) = delete;
-
-    /** Fetch or compute one result. */
-    sim::SimResult get(const std::string &model,
-                       const workload::SuiteEntry &entry);
-
-    /**
-     * Fetch or compute the full suite for one model. Uncached entries
-     * run concurrently on the runner's worker pool and are journaled
-     * as they complete; results (and the compacted cache file) are
-     * identical to serial runs.
-     */
-    std::vector<sim::SimResult> getSuite(
-        const std::string &model,
-        const std::vector<workload::SuiteEntry> &suite);
-
-    /** The calibrated Pmax (cached like any other result). */
-    double pmax();
-
-    /** True when any memoized cell (loaded or just computed) is a
-     * tombstone — some figure cells render as "-". */
-    bool hadFailures() const;
-
-    /**
-     * What a figure driver's main() should return: 0 when every cell
-     * is healthy, 3 when any cell is a tombstone (distinct from the
-     * CLI-error exit 2 and the cosim-mismatch exit 1), so CI can tell
-     * "figures degraded" from "binary crashed".
-     */
-    int exitCode() const;
-
-  private:
-    std::string keyOf(const std::string &model, const std::string &app,
-                      std::uint64_t insts) const;
-    void load();
-    void append(const std::string &key, const sim::SimResult &r);
-    /** Warn once and stop persisting for the rest of the run. */
-    void disableCache(const std::string &reason);
-    /** Atomic canonical rewrite of the whole memo. */
-    void compact();
-
-    std::string path;
-    bool enabled = true;
-    std::size_t discardedLines = 0; //!< malformed lines seen by load()
-    std::size_t appendedRows = 0;   //!< journal rows this run
-    std::mutex appendMutex;         //!< workers append concurrently
-    atomic_file::AppendJournal journal;
-    std::map<std::string, sim::SimResult> memo;
-    sim::SuiteRunner runner;
-    bool pmaxReady = false;
-    double pmaxValue = 0.0;
+    explicit ResultStore(
+        const std::string &path = "parrot_bench_cache.txt")
+        : sim::ResultStore(path, benchRunOptions())
+    {}
 };
 
 /** Metric extractor. */
@@ -156,8 +94,9 @@ using Metric = std::function<double(const sim::SimResult &)>;
 void printRelativeFigure(
     const std::string &title,
     const std::vector<std::pair<std::string, std::string>> &rows,
-    ResultStore &store, const std::vector<workload::SuiteEntry> &suite,
-    const Metric &metric, bool as_percent_delta, bool with_killers);
+    sim::ResultStore &store,
+    const std::vector<workload::SuiteEntry> &suite, const Metric &metric,
+    bool as_percent_delta, bool with_killers);
 
 /**
  * Print an absolute per-group figure: one row per model, cells are
@@ -165,7 +104,7 @@ void printRelativeFigure(
  */
 void printAbsoluteFigure(const std::string &title,
                          const std::vector<std::string> &models,
-                         ResultStore &store,
+                         sim::ResultStore &store,
                          const std::vector<workload::SuiteEntry> &suite,
                          const Metric &metric, int precision);
 

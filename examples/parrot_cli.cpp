@@ -47,7 +47,10 @@
  *                         of the synthetic generator; repeatable.
  *                         Unless --insts is given, the budget is the
  *                         smallest intended budget among the traces.
- *                         A malformed trace file exits 2.
+ *                         A malformed trace file makes the exit
+ *                         status 2 (the remaining valid traces still
+ *                         run; 2 outranks the degraded exit 3 and the
+ *                         cosim alarm 1 — see cli::combinedExit).
  *     --kv                key=value output (for scripts)
  *     --dump-config       print the effective model configuration
  *     --list-apps         list the 44 applications and exit
@@ -251,14 +254,14 @@ main(int argc, char **argv)
             return 0;
         } else {
             std::fprintf(stderr, "unknown option '%s'\n", arg);
-            return 2;
+            return cli::kExitUsage;
         }
     }
 
     if (!stats_out.empty() && stats_interval == 0) {
         std::fprintf(stderr,
                      "--stats-out requires --stats-interval N\n");
-        return 2;
+        return cli::kExitUsage;
     }
 
     sim::ModelConfig cfg = config_path.empty()
@@ -275,7 +278,7 @@ main(int argc, char **argv)
             std::fprintf(stderr,
                          "--gate expects off|clock|power, got '%s'\n",
                          gate_mode.c_str());
-            return 2;
+            return cli::kExitUsage;
         }
         cfg.powerState.applyAll(mode);
     }
@@ -298,7 +301,7 @@ main(int argc, char **argv)
             workload::loadTraceFile(cfg.traceFile);
         } catch (const workload::TraceFormatError &e) {
             std::fprintf(stderr, "%s\n", e.what());
-            return 2;
+            return cli::kExitUsage;
         }
     }
 
@@ -317,7 +320,7 @@ main(int argc, char **argv)
             if (suite.empty()) {
                 std::fprintf(stderr, "unknown group '%s'\n",
                              group.c_str());
-                return 2;
+                return cli::kExitUsage;
             }
         }
     }
@@ -330,7 +333,7 @@ main(int argc, char **argv)
         if (!trace_in.empty()) {
             std::fprintf(stderr, "--trace-out and --trace-in are "
                                  "mutually exclusive\n");
-            return 2;
+            return cli::kExitUsage;
         }
         if (suite.empty())
             suite.push_back(workload::findApp("swim"));
@@ -338,7 +341,7 @@ main(int argc, char **argv)
             std::fprintf(stderr, "--trace-out records exactly one "
                                  "application (got %zu)\n",
                          suite.size());
-            return 2;
+            return cli::kExitUsage;
         }
         try {
             auto stats =
@@ -356,11 +359,16 @@ main(int argc, char **argv)
             return 0;
         } catch (const workload::TraceFormatError &e) {
             std::fprintf(stderr, "%s\n", e.what());
-            return 2;
+            return cli::kExitUsage;
         }
     }
 
-    // Replay mode: each --trace-in file becomes one suite cell.
+    // Replay mode: each --trace-in file becomes one suite cell. A
+    // rejected (malformed) trace does not abort the whole run: the
+    // remaining inputs still simulate, and the rejection is folded
+    // into the final exit status below, where the input-error exit (2)
+    // deterministically outranks alarms (1) and degraded results (3).
+    bool input_error = false;
     if (!trace_in.empty()) {
         std::uint64_t min_budget = 0;
         for (const auto &path : trace_in) {
@@ -372,10 +380,15 @@ main(int argc, char **argv)
                 suite.push_back(std::move(entry));
             } catch (const workload::TraceFormatError &e) {
                 std::fprintf(stderr, "%s\n", e.what());
-                return 2;
+                input_error = true;
             }
         }
-        if (!insts_set)
+        if (suite.empty()) {
+            // Every requested input was rejected; there is nothing to
+            // simulate and swim must not silently run in its place.
+            return cli::kExitUsage;
+        }
+        if (!insts_set && min_budget > 0)
             insts = min_budget;
     }
     if (suite.empty())
@@ -409,44 +422,46 @@ main(int argc, char **argv)
         if (!out) {
             std::fprintf(stderr, "cannot write %s\n",
                          stats_out.c_str());
-            return 2;
-        }
-        bool csv = stats_out.size() >= 4 &&
-                   stats_out.compare(stats_out.size() - 4, 4, ".csv")
-                       == 0;
-        bool first = true;
-        if (csv) {
-            for (const auto &r : results) {
-                if (!r.series)
-                    continue;
-                r.series->writeCsv(out, r.model, r.app, first);
-                first = false;
-            }
+            input_error = true;
         } else {
-            out << "[\n";
-            for (const auto &r : results) {
-                if (!r.series)
-                    continue;
-                if (!first)
-                    out << ",\n";
-                first = false;
-                r.series->writeJson(out, r.model, r.app,
-                                    stats_interval);
+            bool csv = stats_out.size() >= 4 &&
+                       stats_out.compare(stats_out.size() - 4, 4,
+                                         ".csv") == 0;
+            bool first = true;
+            if (csv) {
+                for (const auto &r : results) {
+                    if (!r.series)
+                        continue;
+                    r.series->writeCsv(out, r.model, r.app, first);
+                    first = false;
+                }
+            } else {
+                out << "[\n";
+                for (const auto &r : results) {
+                    if (!r.series)
+                        continue;
+                    if (!first)
+                        out << ",\n";
+                    first = false;
+                    r.series->writeJson(out, r.model, r.app,
+                                        stats_interval);
+                }
+                out << "\n]\n";
             }
-            out << "\n]\n";
-        }
-        // A full disk or yanked mount surfaces here, not at open.
-        out.flush();
-        if (!out) {
-            std::fprintf(stderr, "write failed: %s\n",
-                         stats_out.c_str());
-            return 2;
+            // A full disk or yanked mount surfaces here, not at open.
+            out.flush();
+            if (!out) {
+                std::fprintf(stderr, "write failed: %s\n",
+                             stats_out.c_str());
+                input_error = true;
+            }
         }
     }
-    // Exit taxonomy: 1 = correctness alarm (cosim mismatch), 2 = CLI
-    // errors (above), 3 = some apps failed/timed out after retries —
-    // results above are degraded but the run completed.
-    if (cosim_mismatches != 0)
-        return 1;
-    return any_failed ? 3 : 0;
+    // Exit taxonomy (pinned in cli::combinedExit, precedence
+    // 2 > 1 > 3 > 0): 2 = some input was rejected or an output could
+    // not be written, 1 = correctness alarm (cosim mismatch), 3 = some
+    // apps failed/timed out after retries — results above are degraded
+    // but the run completed.
+    return cli::combinedExit(input_error, cosim_mismatches != 0,
+                             any_failed);
 }

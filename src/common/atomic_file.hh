@@ -17,14 +17,23 @@
  *    instead of silently dropping rows. Used for incremental bench
  *    cache persistence.
  *
- * Both consult fault::writesShouldFail() so PARROT_FAULT_ENOSPC_* can
- * prove the error paths in tests.
+ *  - FileLock: an flock(2)-based advisory lock on a sidecar ".lock"
+ *    file, shared by every process touching one result cache. Row
+ *    appends take the lock shared; compaction (which re-reads, merges
+ *    and atomically replaces the whole file) takes it exclusive, so a
+ *    compactor can never rename the cache out from under a half-written
+ *    row, and two compactors serialize instead of racing their
+ *    read-merge-write cycles.
+ *
+ * All of them consult fault::writesShouldFail() so PARROT_FAULT_ENOSPC_*
+ * can prove the error paths in tests.
  */
 
 #ifndef PARROT_COMMON_ATOMIC_FILE_HH
 #define PARROT_COMMON_ATOMIC_FILE_HH
 
 #include <fcntl.h>
+#include <sys/file.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
@@ -127,6 +136,83 @@ writeFileAtomic(const std::string &path, const std::string &content,
 }
 
 /**
+ * Advisory cross-process lock (flock(2)) on a dedicated lock file.
+ * Degrades gracefully: when the lock file cannot be created (read-only
+ * directory, bogus path) every acquire is a no-op, matching the
+ * "persistence failures degrade, never break" discipline of the rest
+ * of this layer. Within one process, callers serialize Guard use with
+ * their own mutex; across processes (or across two open() calls in one
+ * process) flock provides real exclusion.
+ */
+class FileLock
+{
+  public:
+    enum Mode { Shared, Exclusive };
+
+    FileLock() = default;
+    ~FileLock() { close(); }
+
+    FileLock(const FileLock &) = delete;
+    FileLock &operator=(const FileLock &) = delete;
+
+    /** Open (creating if absent) the lock file. */
+    bool open(const std::string &lock_path)
+    {
+        close();
+        fd = ::open(lock_path.c_str(), O_RDWR | O_CREAT, 0644);
+        return fd >= 0;
+    }
+
+    bool isOpen() const { return fd >= 0; }
+
+    void close()
+    {
+        if (fd >= 0) {
+            ::close(fd); // closing drops any held flock
+            fd = -1;
+        }
+    }
+
+    /** Scoped acquire/release; upgrade() re-locks exclusive in place
+     * (flock may briefly release while converting — re-check any
+     * condition observed under the shared lock afterwards). */
+    class Guard
+    {
+      public:
+        Guard(FileLock &file_lock, Mode mode) : lock(file_lock)
+        {
+            lock.acquire(mode);
+        }
+        ~Guard() { lock.release(); }
+        Guard(const Guard &) = delete;
+        Guard &operator=(const Guard &) = delete;
+
+        void upgrade() { lock.acquire(Exclusive); }
+
+      private:
+        FileLock &lock;
+    };
+
+  private:
+    void acquire(Mode mode)
+    {
+        if (fd < 0)
+            return;
+        int op = mode == Exclusive ? LOCK_EX : LOCK_SH;
+        while (::flock(fd, op) != 0 && errno == EINTR) {
+        }
+    }
+
+    void release()
+    {
+        if (fd >= 0)
+            ::flock(fd, LOCK_UN);
+    }
+
+    int fd = -1;
+};
+
+/**
  * A line-granular append journal: one write(2) + fsync per line, every
  * failure detected. Non-copyable (owns the fd).
  */
@@ -162,6 +248,24 @@ class AppendJournal
         if (fd < 0 || ::fstat(fd, &st) != 0)
             return -1;
         return static_cast<long long>(st.st_size);
+    }
+
+    /**
+     * Reopen when the path no longer names the inode this journal
+     * holds open — i.e. another process compacted (atomically renamed
+     * over) or deleted the file. Without this, every later append
+     * would land in the orphaned inode and vanish. Returns false only
+     * when a needed reopen failed (error() says why).
+     */
+    bool reopenIfRenamed()
+    {
+        if (fd < 0)
+            return false;
+        struct stat fs, ps;
+        if (::fstat(fd, &fs) == 0 && ::stat(path.c_str(), &ps) == 0 &&
+            fs.st_ino == ps.st_ino && fs.st_dev == ps.st_dev)
+            return true;
+        return open(path);
     }
 
     /**

@@ -68,4 +68,16 @@ parseF64(const char *flag, const char *text)
     return v;
 }
 
+int
+combinedExit(bool usage_error, bool alarm, bool degraded)
+{
+    if (usage_error)
+        return kExitUsage;
+    if (alarm)
+        return kExitAlarm;
+    if (degraded)
+        return kExitDegraded;
+    return kExitOk;
+}
+
 } // namespace parrot::cli

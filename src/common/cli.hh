@@ -34,6 +34,30 @@ unsigned parseU32(const char *flag, const char *text);
 double parseF64(const char *flag, const char *text);
 /** @} */
 
+/**
+ * @name Exit-status taxonomy.
+ * Every driver binary reports through the same four codes:
+ *   0  clean run;
+ *   1  correctness alarm (cosim mismatch, campaign non-convergence);
+ *   2  usage/input error (bad flag, unreadable config, rejected trace);
+ *   3  degraded results (cells tombstoned after exhausting retries).
+ * @{
+ */
+constexpr int kExitOk = 0;
+constexpr int kExitAlarm = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitDegraded = 3;
+
+/**
+ * Combine the conditions one run can hit into its deterministic exit
+ * status. Precedence is pinned here, in one place: usage/input errors
+ * (2) beat correctness alarms (1) beat degraded results (3) — a run
+ * that both rejected a trace file and tombstoned cells reports 2, no
+ * matter which happened first or in which order callers noticed.
+ */
+int combinedExit(bool usage_error, bool alarm, bool degraded);
+/** @} */
+
 } // namespace parrot::cli
 
 #endif // PARROT_COMMON_CLI_HH

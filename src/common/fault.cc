@@ -20,6 +20,7 @@ struct Plan
     unsigned long failCount = 0;
     unsigned long slowCell = 0;
     unsigned long slowMs = 0;
+    unsigned long targetWorker = 0; //!< PARROT_FAULT_WORKER scope
 };
 
 unsigned long
@@ -40,6 +41,10 @@ Plan activePlan;
 std::atomic<unsigned long> cellCounter{0};
 std::atomic<unsigned long> rowCounter{0};
 
+/** Worker index of this process (0 until setWorkerIndex, i.e. the
+ * coordinator or any plain single-process run). */
+std::atomic<unsigned long> processWorker{0};
+
 thread_local unsigned long armedCell = 0;
 thread_local unsigned long armedAttempt = 0;
 
@@ -59,10 +64,21 @@ plan()
         p.slowMs = envUl("PARROT_FAULT_SLOW_MS");
         if (p.slowCell != 0 && p.slowMs == 0)
             p.slowMs = 100;
+        p.targetWorker = envUl("PARROT_FAULT_WORKER");
         activePlan = p;
         planParsed = true;
     }
     return activePlan;
+}
+
+/** Is the plan in scope for this process? Forked workers inherit the
+ * PARROT_FAULT_* environment, so every hook gates on the worker index
+ * the plan targets (default 0: coordinator-only). */
+bool
+planInScope(const Plan &p)
+{
+    return processWorker.load(std::memory_order_relaxed) ==
+           p.targetWorker;
 }
 
 } // namespace
@@ -81,11 +97,27 @@ armAttempt(unsigned long cell, unsigned long attempt)
     armedAttempt = attempt;
 }
 
+void
+setWorkerIndex(unsigned long index)
+{
+    processWorker.store(index, std::memory_order_relaxed);
+    // A forked worker inherits the parent's counters; restart them so
+    // "crash after the k-th row" means k rows of THIS worker.
+    cellCounter.store(0, std::memory_order_relaxed);
+    rowCounter.store(0, std::memory_order_relaxed);
+}
+
+unsigned long
+workerIndex()
+{
+    return processWorker.load(std::memory_order_relaxed);
+}
+
 bool
 attemptShouldFail()
 {
     const Plan &p = plan();
-    return p.failCell != 0 && armedCell == p.failCell &&
+    return planInScope(p) && p.failCell != 0 && armedCell == p.failCell &&
            armedAttempt <= p.failCount;
 }
 
@@ -93,6 +125,8 @@ unsigned long
 attemptStallMs()
 {
     const Plan &p = plan();
+    if (!planInScope(p))
+        return 0;
     return (p.slowCell != 0 && armedCell == p.slowCell) ? p.slowMs : 0;
 }
 
@@ -100,7 +134,7 @@ bool
 writesShouldFail()
 {
     const Plan &p = plan();
-    return p.enospcAtRow != 0 &&
+    return planInScope(p) && p.enospcAtRow != 0 &&
            rowCounter.load(std::memory_order_relaxed) + 1 >= p.enospcAtRow;
 }
 
@@ -109,7 +143,7 @@ rowPersisted()
 {
     const Plan &p = plan();
     unsigned long n = rowCounter.fetch_add(1, std::memory_order_relaxed) + 1;
-    if (p.crashAfterRows != 0 && n >= p.crashAfterRows)
+    if (planInScope(p) && p.crashAfterRows != 0 && n >= p.crashAfterRows)
         std::raise(SIGKILL); // the literal `kill -9` the tests recover from
 }
 
@@ -120,6 +154,7 @@ resetForTest()
     planParsed = false;
     cellCounter.store(0, std::memory_order_relaxed);
     rowCounter.store(0, std::memory_order_relaxed);
+    processWorker.store(0, std::memory_order_relaxed);
     armedCell = 0;
     armedAttempt = 0;
 }

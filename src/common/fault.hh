@@ -25,6 +25,24 @@
  * Pmax marker row. With more than one worker thread the cell order is
  * scheduling-dependent; fault-injection tests pin PARROT_JOBS=1.
  *
+ * Worker scoping: environment variables are inherited by the worker
+ * processes a campaign coordinator forks, and an unscoped plan would
+ * re-trigger the same injected fault in every worker (and again in
+ * every respawned worker, so a crash fault could never converge).
+ * The plan therefore targets exactly one process:
+ *
+ *   PARROT_FAULT_WORKER=n          the plan fires only in the process
+ *                                  whose worker index is n. Index 0
+ *                                  (the default, and the index of any
+ *                                  process that never called
+ *                                  setWorkerIndex()) is the
+ *                                  coordinator / a plain single-process
+ *                                  run. Campaign workers are numbered
+ *                                  from 1 in spawn order, monotonically
+ *                                  across respawn rounds, so a faulted
+ *                                  worker's replacement is NOT
+ *                                  re-faulted.
+ *
  * All hooks are no-ops (a few relaxed atomic loads) when no
  * PARROT_FAULT_* variable is set.
  */
@@ -37,6 +55,18 @@ namespace parrot::fault
 
 /** Draw the next 1-based cell index (SuiteRunner, one per cell). */
 unsigned long nextCellIndex();
+
+/**
+ * Declare this process's worker index (campaign workers call this
+ * right after fork, with their 1-based spawn index) and restart the
+ * cell/row counters so the plan's counts are per-worker deterministic.
+ * Processes that never call this are index 0 — the coordinator scope
+ * the PARROT_FAULT_* plan applies to by default.
+ */
+void setWorkerIndex(unsigned long index);
+
+/** This process's worker index (0 = coordinator / plain process). */
+unsigned long workerIndex();
 
 /** Arm the calling thread's fault state for one attempt of a cell. */
 void armAttempt(unsigned long cell, unsigned long attempt);

@@ -1,0 +1,259 @@
+#include "sim/campaign.hh"
+
+#include <sys/mman.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <utility>
+
+#include "common/cli.hh"
+#include "common/fault.hh"
+#include "common/logging.hh"
+#include "sim/model_config.hh"
+#include "sim/result_store.hh"
+
+namespace parrot::sim
+{
+
+namespace
+{
+
+/** One grid cell: a model name and an application entry. */
+struct Cell
+{
+    std::string model;
+    workload::SuiteEntry entry;
+};
+
+std::vector<Cell>
+buildCells(const std::vector<std::string> &models,
+           const std::vector<workload::SuiteEntry> &suite)
+{
+    std::vector<Cell> cells;
+    cells.reserve(models.size() * suite.size());
+    // Model-major order, matching the serial bench loop; the order
+    // only affects scheduling, never the merged cache bytes.
+    for (const auto &model : models)
+        for (const auto &entry : suite)
+            cells.push_back(Cell{model, entry});
+    return cells;
+}
+
+std::vector<Cell>
+missingCells(const ResultStore &store, const std::vector<Cell> &cells)
+{
+    std::vector<Cell> missing;
+    for (const auto &cell : cells) {
+        if (!store.cached(cell.model, cell.entry.profile.name))
+            missing.push_back(cell);
+    }
+    return missing;
+}
+
+/**
+ * Body of one worker process. Claims cells from the shared cursor
+ * until the list is exhausted, journaling each finished cell into this
+ * worker's private shard. Returns the process exit status; the caller
+ * _exit()s with it.
+ */
+int
+workerMain(unsigned worker_index, const std::string &shard_path,
+           const CampaignOptions &opts, const std::vector<Cell> &cells,
+           std::atomic<std::uint64_t> *cursor, double pmax_value)
+{
+    // Scope fault injection to this worker before anything can fail:
+    // a PARROT_FAULT_* plan inherited from the coordinator's
+    // environment only fires when PARROT_FAULT_WORKER selects us.
+    fault::setWorkerIndex(worker_index);
+
+    RunOptions wopts = opts.run;
+    // The coordinator already calibrated (or loaded) Pmax; inject it
+    // so no worker burns a calibration simulation of its own.
+    if (!wopts.noLeakage && pmax_value > 0.0)
+        wopts.pmaxPerCycle = pmax_value;
+
+    ResultStore shard(shard_path, wopts);
+    for (;;) {
+        // Dynamic claiming doubles as work stealing: a worker that
+        // drew cheap cells simply comes back for more while a slow
+        // sibling is still grinding on one.
+        std::uint64_t i = cursor->fetch_add(1, std::memory_order_relaxed);
+        if (i >= cells.size())
+            break;
+        const Cell &cell = cells[i];
+        if (opts.verbose)
+            std::fprintf(stderr, "[campaign w%u] %s/%s\n", worker_index,
+                         cell.model.c_str(),
+                         cell.entry.profile.name.c_str());
+        shard.get(cell.model, cell.entry);
+    }
+    return shard.hadFailures() ? cli::kExitDegraded : cli::kExitOk;
+}
+
+} // namespace
+
+int
+CampaignReport::exitCode() const
+{
+    // Non-convergence outranks degradation: missing cells mean the
+    // grid itself is incomplete, not merely dotted with tombstones.
+    return cli::combinedExit(false, !converged, tombstones > 0);
+}
+
+CampaignReport
+runCampaign(const CampaignOptions &opts)
+{
+    CampaignReport report;
+
+    const auto models =
+        opts.models.empty() ? ModelConfig::allNames() : opts.models;
+    const auto suite =
+        opts.suite.empty() ? workload::fullSuite() : opts.suite;
+    const auto cells = buildCells(models, suite);
+    report.totalCells = cells.size();
+
+    unsigned workers = opts.workers;
+    if (workers > 1 && std::getenv("PARROT_BENCH_NO_CACHE")) {
+        // Worker processes communicate results exclusively through the
+        // cache file; without it there is nothing to merge.
+        PARROT_WARN("PARROT_BENCH_NO_CACHE set; campaign falling back "
+                    "to a single in-process worker");
+        workers = 1;
+    }
+
+    ResultStore store(opts.cachePath, opts.run);
+    // Adopt journal shards a previously killed campaign left behind
+    // before deciding what is missing.
+    store.mergeShards();
+
+    auto missing = missingCells(store, cells);
+    report.cachedCells = cells.size() - missing.size();
+
+    if (missing.empty()) {
+        report.converged = true;
+        report.tombstones = store.tombstoneCount();
+        return report;
+    }
+
+    // Calibrate (or load) Pmax once, in the coordinator, before any
+    // fork: exactly the simulation a serial run would do, and the
+    // marker row lands in the main cache either way.
+    double pmax_value = 0.0;
+    if (!opts.run.noLeakage)
+        pmax_value = store.pmax();
+
+    if (workers <= 1) {
+        // In-process degenerate case: the plain serial/threaded bench
+        // path (per-model suites on the runner's thread pool).
+        report.rounds = 1;
+        for (const auto &model : models)
+            store.getSuite(model, suite);
+    } else {
+        // Shared claim cursor: fetch_add hands every cell to exactly
+        // one worker across all processes.
+        void *mem =
+            ::mmap(nullptr, sizeof(std::atomic<std::uint64_t>),
+                   PROT_READ | PROT_WRITE, MAP_SHARED | MAP_ANONYMOUS,
+                   -1, 0);
+        if (mem == MAP_FAILED)
+            PARROT_FATAL("campaign: mmap for the claim cursor failed");
+        auto *cursor = new (mem) std::atomic<std::uint64_t>(0);
+
+        // Worker indices increase monotonically across rounds so the
+        // respawned replacement of a faulted worker never matches a
+        // PARROT_FAULT_WORKER plan again.
+        unsigned next_worker_index = 1;
+        for (unsigned round = 1; round <= opts.maxRounds; ++round) {
+            ++report.rounds;
+            cursor->store(0, std::memory_order_relaxed);
+            const unsigned spawn = static_cast<unsigned>(
+                std::min<std::size_t>(workers, missing.size()));
+            if (opts.verbose)
+                std::fprintf(stderr,
+                             "[campaign] round %u: %zu cell(s) missing, "
+                             "%u worker(s)\n",
+                             round, missing.size(), spawn);
+
+            std::vector<std::pair<pid_t, unsigned>> kids;
+            kids.reserve(spawn);
+            for (unsigned w = 0; w < spawn; ++w) {
+                const unsigned widx = next_worker_index++;
+                pid_t pid = ::fork();
+                if (pid < 0)
+                    PARROT_FATAL("campaign: fork failed");
+                if (pid == 0) {
+                    // _exit, not exit: the child must never run the
+                    // coordinator's destructors (it inherited the open
+                    // main-cache journal and lock fds).
+                    ::_exit(workerMain(widx, store.shardPath(widx),
+                                       opts, missing, cursor,
+                                       pmax_value));
+                }
+                kids.emplace_back(pid, widx);
+            }
+
+            unsigned deaths_this_round = 0;
+            for (const auto &[pid, widx] : kids) {
+                int status = 0;
+                while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+                }
+                if (WIFSIGNALED(status)) {
+                    ++deaths_this_round;
+                    PARROT_WARN("campaign worker %u killed by signal "
+                                "%d; its in-flight cell will re-run",
+                                widx, WTERMSIG(status));
+                } else if (WIFEXITED(status) &&
+                           WEXITSTATUS(status) != cli::kExitOk &&
+                           WEXITSTATUS(status) != cli::kExitDegraded) {
+                    PARROT_WARN("campaign worker %u exited with "
+                                "status %d",
+                                widx, WEXITSTATUS(status));
+                }
+            }
+            report.workerDeaths += deaths_this_round;
+
+            // Fold every shard (including the partial shard of a
+            // killed worker — complete rows survive, a torn last line
+            // is discarded) into the main cache.
+            store.mergeShards();
+            for (const auto &[pid, widx] : kids)
+                ::unlink((store.shardPath(widx) + ".lock").c_str());
+
+            auto still = missingCells(store, cells);
+            if (still.empty()) {
+                missing.clear();
+                break;
+            }
+            if (still.size() == missing.size() &&
+                deaths_this_round == 0) {
+                // A full round of healthy workers made zero progress;
+                // another identical round would not either.
+                PARROT_WARN("campaign stalled with %zu missing "
+                            "cell(s); giving up",
+                            still.size());
+                missing = std::move(still);
+                break;
+            }
+            missing = std::move(still);
+        }
+        cursor->~atomic();
+        ::munmap(mem, sizeof(std::atomic<std::uint64_t>));
+    }
+
+    auto still = missingCells(store, cells);
+    report.missingCells = still.size();
+    report.ranCells =
+        cells.size() - report.cachedCells - report.missingCells;
+    report.tombstones = store.tombstoneCount();
+    report.converged = still.empty();
+    return report;
+}
+
+} // namespace parrot::sim

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Multi-process sharded campaign runner.
+ *
+ * A campaign is the full (model x application) cell grid — by default
+ * the paper's 7 models x 44 applications — computed once and persisted
+ * into one result cache. The coordinator:
+ *
+ *  1. loads the cache (adopting any journal shards a previously killed
+ *     campaign left behind) and computes the list of missing cells;
+ *  2. fork()s `workers` worker processes, which claim missing cells
+ *     dynamically from a shared atomic cursor (work stealing: a worker
+ *     that lands on cheap cells simply claims more) and journal each
+ *     finished cell into a private shard, `<cache>.w<N>`;
+ *  3. reaps the workers, folds every shard back into the main cache
+ *     under the exclusive file lock (sim::ResultStore::mergeShards),
+ *     and republishes it atomically in canonical key order;
+ *  4. repeats with fresh worker indices while cells remain missing
+ *     (workers killed mid-cell lose only their in-flight cell), up to
+ *     `maxRounds` rounds.
+ *
+ * Because the merged cache is rewritten in sorted key order from
+ * deterministic simulation results, a campaign — serial, threaded,
+ * multi-process, or killed-and-resumed — always converges to a cache
+ * file byte-identical to a plain serial run.
+ *
+ * Process model notes:
+ *  - The coordinator forks before creating any threads (the Pmax
+ *    calibration runs on the coordinator's main thread), so fork()
+ *    never duplicates a locked mutex.
+ *  - Workers are numbered 1..N in spawn order, monotonically across
+ *    respawn rounds, and call fault::setWorkerIndex() first thing; a
+ *    PARROT_FAULT_* plan therefore hits only the process selected by
+ *    PARROT_FAULT_WORKER (default 0 = coordinator), and the respawned
+ *    replacement of a faulted worker is NOT re-faulted.
+ *  - Workers exit via _exit(), never exit(), so they cannot run the
+ *    coordinator's destructors (e.g. compact the main cache) through
+ *    inherited state.
+ */
+
+#ifndef PARROT_SIM_CAMPAIGN_HH
+#define PARROT_SIM_CAMPAIGN_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/runner.hh"
+#include "workload/apps.hh"
+
+namespace parrot::sim
+{
+
+/** Configuration for one campaign. */
+struct CampaignOptions
+{
+    /** The shared result cache all processes converge into. */
+    std::string cachePath = "parrot_bench_cache.txt";
+    /** Models to sweep; empty = all seven paper models. */
+    std::vector<std::string> models;
+    /** Applications to sweep; empty = the full 44-app suite. */
+    std::vector<workload::SuiteEntry> suite;
+    /** Worker processes. <= 1 runs the campaign in-process (still
+     * using the runner's thread pool per RunOptions::jobs). */
+    unsigned workers = 1;
+    /** Per-worker run options (jobs = threads per worker process). */
+    RunOptions run;
+    /** Max spawn rounds before giving up on missing cells (> 1 only
+     * matters when workers die; a clean round converges). */
+    unsigned maxRounds = 5;
+    /** Per-worker/round progress chatter on stderr. */
+    bool verbose = true;
+};
+
+/** What one campaign did. */
+struct CampaignReport
+{
+    std::size_t totalCells = 0;   //!< grid size (models x apps)
+    std::size_t cachedCells = 0;  //!< already memoized at startup
+    std::size_t ranCells = 0;     //!< computed (or re-tried) this run
+    std::size_t missingCells = 0; //!< still absent at the end
+    std::size_t tombstones = 0;   //!< failed cells in the final cache
+    unsigned rounds = 0;          //!< spawn rounds used
+    unsigned workerDeaths = 0;    //!< workers reaped abnormally
+    /** Every cell memoized (healthy or tombstoned) at the end. */
+    bool converged = false;
+
+    /** Campaign exit status: 1 (alarm) when not converged, 3
+     * (degraded) when converged but some cells are tombstones, else
+     * 0 — composed via cli::combinedExit. */
+    int exitCode() const;
+};
+
+/**
+ * Run a campaign to convergence. Returns the report; all results land
+ * in the cache file at CampaignOptions::cachePath.
+ */
+CampaignReport runCampaign(const CampaignOptions &opts);
+
+} // namespace parrot::sim
+
+#endif // PARROT_SIM_CAMPAIGN_HH

@@ -1,6 +1,8 @@
 #include "sim/result.hh"
 
+#include <cstdlib>
 #include <map>
+#include <sstream>
 #include <string>
 
 #include "common/logging.hh"
@@ -173,6 +175,122 @@ exportToRegistry(const SimResult &result, stats::Registry &registry,
             continue;
         registry.set(prefix + f.key, f.get(result));
     }
+}
+
+namespace
+{
+
+/** Tombstone cache-row payload (the part after the key's tab). */
+constexpr const char *kTombstoneTag = "!failed";
+
+/** Serialize a healthy SimResult as self-describing key=value pairs. */
+std::string
+serializeRecord(const SimResult &r)
+{
+    std::ostringstream out;
+    out.precision(17); // round-trips doubles exactly
+    bool first = true;
+    for (const auto &f : resultFields()) {
+        if (!first)
+            out << ' ';
+        first = false;
+        out << f.key << '=' << f.get(r);
+    }
+    return out.str();
+}
+
+bool
+deserializeRecord(const std::string &line, SimResult &r)
+{
+    std::istringstream in(line);
+    std::string token;
+    std::size_t seen = 0;
+    while (in >> token) {
+        auto eq = token.find('=');
+        if (eq == std::string::npos)
+            return false;
+        const ResultField *f = findResultField(token.substr(0, eq));
+        if (!f)
+            return false;
+        const std::string text = token.substr(eq + 1);
+        char *end = nullptr;
+        double v = std::strtod(text.c_str(), &end);
+        if (end == text.c_str() || *end != '\0')
+            return false;
+        f->set(r, v);
+        ++seen;
+    }
+    // The header pins the field set, but a line can still be cut short
+    // by a killed run; demand every field rather than half a result.
+    return seen == resultFields().size();
+}
+
+/** Parse a tombstone payload; false when `text` is not one. */
+bool
+deserializeTombstone(const std::string &text, SimResult &r)
+{
+    std::istringstream in(text);
+    std::string tag;
+    if (!(in >> tag) || tag != kTombstoneTag)
+        return false;
+    r.tombstone = true;
+    std::string token;
+    while (in >> token) {
+        if (token.rfind("attempts=", 0) == 0)
+            r.attempts = static_cast<unsigned>(
+                std::strtoul(token.c_str() + 9, nullptr, 10));
+    }
+    return true;
+}
+
+} // namespace
+
+std::string
+cacheHeaderLine()
+{
+    std::string h = "# parrot-bench-cache v2";
+    for (const auto &f : resultFields()) {
+        h += ' ';
+        h += f.key;
+    }
+    return h;
+}
+
+std::string
+resultCacheKey(const std::string &model, const std::string &app,
+               std::uint64_t insts)
+{
+    return model + "/" + app + "/" + std::to_string(insts);
+}
+
+std::string
+serializeCacheLine(const std::string &key, const SimResult &r)
+{
+    if (r.tombstone) {
+        return key + '\t' + kTombstoneTag + " attempts=" +
+               std::to_string(r.attempts);
+    }
+    return key + '\t' + serializeRecord(r);
+}
+
+bool
+parseCachePayload(const std::string &payload, SimResult &r)
+{
+    return deserializeTombstone(payload, r) ||
+           deserializeRecord(payload, r);
+}
+
+bool
+splitCacheKey(const std::string &key, std::string &model,
+              std::string &app)
+{
+    auto slash1 = key.find('/');
+    auto slash2 = key.rfind('/');
+    if (slash1 == std::string::npos || slash2 <= slash1)
+        return false;
+    model = key.substr(0, slash1);
+    app = key.substr(slash1 + 1, slash2 - slash1 - 1);
+    return true;
 }
 
 } // namespace parrot::sim

@@ -152,6 +152,43 @@ void exportToRegistry(const SimResult &result,
                       class parrot::stats::Registry &registry,
                       bool prefix_identity = false);
 
+/**
+ * @name Result-cache wire format
+ * The self-describing plain-text format every result cache (the bench
+ * memo, campaign journal shards) speaks. One definition here so the
+ * serial store, the multi-process campaign workers and the tests can
+ * never drift apart:
+ *
+ *   line 0:  "# parrot-bench-cache v2 <ordered field keys>"
+ *   line n:  "<model>/<app>/<insts>\t<key=value ...>"      (healthy)
+ *            "<model>/<app>/<insts>\t!failed attempts=N"   (tombstone)
+ * @{
+ */
+
+/** The header line: format version plus the full ordered field list.
+ * Loaders compare it verbatim; any SimResult schema change invalidates
+ * old caches wholesale (no mixed-format salvage). */
+std::string cacheHeaderLine();
+
+/** The canonical memo key for one cell. */
+std::string resultCacheKey(const std::string &model,
+                           const std::string &app, std::uint64_t insts);
+
+/** One full cache line for `key`: key, tab, then either the
+ * self-describing record or the tombstone payload. */
+std::string serializeCacheLine(const std::string &key, const SimResult &r);
+
+/** Parse the payload after the key's tab (healthy record or tombstone)
+ * into `r`; false for malformed/truncated payloads. Does not set
+ * r.model / r.app — recover those from the key via splitCacheKey(). */
+bool parseCachePayload(const std::string &payload, SimResult &r);
+
+/** Split "model/app/insts" back into identity parts; false when the
+ * key is malformed. */
+bool splitCacheKey(const std::string &key, std::string &model,
+                   std::string &app);
+/** @} */
+
 } // namespace parrot::sim
 
 #endif // PARROT_SIM_RESULT_HH

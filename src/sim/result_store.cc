@@ -1,0 +1,412 @@
+#include "sim/result_store.hh"
+
+#include <dirent.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+
+#include "common/cli.hh"
+#include "common/fault.hh"
+#include "common/logging.hh"
+#include "sim/result.hh"
+
+namespace parrot::sim
+{
+
+namespace
+{
+
+enum class ReadStatus { Ok, NoFile, BadHeader };
+
+/**
+ * Stream one cache file: verify the header, then hand every
+ * well-formed row (identity already recovered from its key) to `fn`.
+ * Malformed rows — e.g. a line cut short by a killed writer — bump
+ * `discarded` and are skipped.
+ */
+ReadStatus
+readCacheFile(const std::string &file,
+              const std::function<void(std::string &&, SimResult &&)> &fn,
+              std::size_t &discarded)
+{
+    std::ifstream in(file);
+    if (!in)
+        return ReadStatus::NoFile;
+    std::string line;
+    if (!std::getline(in, line))
+        return ReadStatus::Ok; // empty file
+    if (line != cacheHeaderLine())
+        return ReadStatus::BadHeader;
+    while (std::getline(in, line)) {
+        auto tab = line.find('\t');
+        if (tab == std::string::npos) {
+            ++discarded;
+            continue;
+        }
+        std::string key = line.substr(0, tab);
+        SimResult r;
+        if (!parseCachePayload(line.substr(tab + 1), r) ||
+            !splitCacheKey(key, r.model, r.app)) {
+            ++discarded;
+            continue;
+        }
+        fn(std::move(key), std::move(r));
+    }
+    return ReadStatus::Ok;
+}
+
+} // namespace
+
+ResultStore::ResultStore(const std::string &cache_path, RunOptions opts)
+    : path(cache_path), runner(opts)
+{
+    if (std::getenv("PARROT_BENCH_NO_CACHE"))
+        enabled = false;
+    if (enabled)
+        load();
+}
+
+ResultStore::~ResultStore()
+{
+    // Close before compacting: compact() renames a fresh file over
+    // `path`, and an open O_APPEND fd would keep writing to the
+    // orphaned inode.
+    journal.close();
+    // Only rewrite when this run actually changed something; read-only
+    // figure reruns must leave the committed cache bytes untouched.
+    if (enabled && (appendedRows > 0 || discardedLines > 0)) {
+        std::lock_guard<std::mutex> lock(storeMutex);
+        compact(false);
+    }
+}
+
+std::string
+ResultStore::cellKey(const std::string &model,
+                     const std::string &app) const
+{
+    return resultCacheKey(model, app, runner.options().instBudget);
+}
+
+std::string
+ResultStore::shardPath(unsigned index) const
+{
+    return path + ".w" + std::to_string(index);
+}
+
+void
+ResultStore::load()
+{
+    // No lock needed: compaction replaces the file atomically, so a
+    // concurrent reader sees either the old or the new complete file.
+    auto adopt = [this](std::string &&key, SimResult &&r) {
+        memo.emplace(std::move(key), std::move(r));
+    };
+    switch (readCacheFile(path, adopt, discardedLines)) {
+      case ReadStatus::NoFile:
+      case ReadStatus::Ok:
+        break;
+      case ReadStatus::BadHeader:
+        // Stale version or foreign field set. Discard the whole file
+        // and let the benches regenerate; salvaging lines from a
+        // mixed-format cache risks figures built from stale metrics.
+        std::fprintf(stderr,
+                     "[bench cache] %s: format/version mismatch, "
+                     "discarding and regenerating\n",
+                     path.c_str());
+        std::remove(path.c_str());
+        return;
+    }
+    if (discardedLines > 0) {
+        std::fprintf(stderr,
+                     "[bench cache] %s: discarded %zu malformed "
+                     "line(s); affected cells will re-run\n",
+                     path.c_str(), discardedLines);
+    }
+}
+
+void
+ResultStore::append(const std::string &key, const SimResult &r)
+{
+    // Workers append from the suite runner's pool the moment each cell
+    // completes; the whole journal interaction must be one critical
+    // section so lines never interleave.
+    std::lock_guard<std::mutex> lock(storeMutex);
+    if (!enabled)
+        return;
+    if (!fileLock.isOpen())
+        fileLock.open(path + ".lock"); // best effort; no-op guards if not
+    if (!journal.isOpen() && !journal.open(path)) {
+        disableCache(journal.error());
+        return;
+    }
+    // Shared lock for ordinary appends: concurrent appenders are fine
+    // (O_APPEND is atomic per write), but no compactor may rename the
+    // file out from under us mid-row.
+    atomic_file::FileLock::Guard guard(fileLock,
+                                       atomic_file::FileLock::Shared);
+    if (!journal.reopenIfRenamed()) {
+        disableCache(journal.error());
+        return;
+    }
+    if (journal.size() == 0) {
+        // Header bootstrap needs exclusivity, or two processes racing
+        // on a fresh file would both write the header line.
+        guard.upgrade();
+        if (!journal.reopenIfRenamed()) {
+            disableCache(journal.error());
+            return;
+        }
+        if (journal.size() == 0 &&
+            !journal.appendLine(cacheHeaderLine())) {
+            disableCache(journal.error());
+            return;
+        }
+    }
+    if (!journal.appendLine(serializeCacheLine(key, r))) {
+        disableCache(journal.error());
+        return;
+    }
+    ++appendedRows;
+    fault::rowPersisted();
+}
+
+void
+ResultStore::disableCache(const std::string &reason)
+{
+    enabled = false;
+    journal.close();
+    std::fprintf(stderr,
+                 "[bench cache] %s: %s; caching disabled for this "
+                 "run\n",
+                 path.c_str(), reason.c_str());
+}
+
+std::vector<std::string>
+ResultStore::findShards() const
+{
+    auto slash = path.rfind('/');
+    const std::string dir =
+        slash == std::string::npos ? "." : path.substr(0, slash);
+    const std::string base =
+        slash == std::string::npos ? path : path.substr(slash + 1);
+    const std::string prefix = base + ".w";
+
+    std::vector<std::string> shards;
+    DIR *d = ::opendir(dir.c_str());
+    if (!d)
+        return shards;
+    while (struct dirent *e = ::readdir(d)) {
+        const std::string name = e->d_name;
+        if (name.rfind(prefix, 0) != 0 || name.size() == prefix.size())
+            continue;
+        const std::string suffix = name.substr(prefix.size());
+        if (suffix.find_first_not_of("0123456789") != std::string::npos)
+            continue;
+        shards.push_back(dir + "/" + name);
+    }
+    ::closedir(d);
+    std::sort(shards.begin(), shards.end());
+    return shards;
+}
+
+std::size_t
+ResultStore::compact(bool merge_shards)
+{
+    // Caller holds storeMutex. The exclusive lock serializes the whole
+    // read-merge-replace cycle against other appenders and compactors.
+    if (!fileLock.isOpen())
+        fileLock.open(path + ".lock");
+    atomic_file::FileLock::Guard guard(fileLock,
+                                       atomic_file::FileLock::Exclusive);
+
+    // Re-read rows journaled by other processes since load(): rewriting
+    // from in-memory state alone would clobber them. A disk row for an
+    // unknown key is adopted; for a known key the in-memory result wins
+    // unless it is a tombstone the other process's retry resolved.
+    std::size_t adopted = 0;
+    std::size_t junk = 0; // re-reads tolerate torn rows silently
+    auto merge = [&](std::string &&key, SimResult &&r) {
+        auto it = memo.find(key);
+        if (it == memo.end()) {
+            memo.emplace(std::move(key), std::move(r));
+            ++adopted;
+        } else if (it->second.tombstone && !r.tombstone) {
+            it->second = std::move(r);
+            ++adopted;
+        }
+    };
+    readCacheFile(path, merge, junk);
+    std::vector<std::string> shards;
+    if (merge_shards) {
+        shards = findShards();
+        for (const auto &shard : shards)
+            readCacheFile(shard, merge, junk);
+        // Nothing to fold in: leave the published file untouched so a
+        // read-only merge pass never rewrites (or creates) the cache.
+        if (shards.empty() && adopted == 0)
+            return 0;
+    }
+
+    // The memo is a std::map, so iteration is already in canonical
+    // (sorted-key) order: every clean shutdown converges to the same
+    // bytes regardless of which process journaled which row when.
+    std::string content = cacheHeaderLine();
+    content += '\n';
+    for (const auto &[key, r] : memo) {
+        content += serializeCacheLine(key, r);
+        content += '\n';
+    }
+    std::string err;
+    if (!atomic_file::writeFileAtomic(path, content, &err)) {
+        std::fprintf(stderr,
+                     "[bench cache] %s: compaction failed (%s); "
+                     "journaled rows are still on disk\n",
+                     path.c_str(), err.c_str());
+        return adopted;
+    }
+    // Shard rows are now in the published cache; remove the shards so
+    // they are never double-merged (idempotent, but tidy).
+    for (const auto &shard : shards)
+        ::unlink(shard.c_str());
+    return adopted;
+}
+
+std::size_t
+ResultStore::mergeShards()
+{
+    std::lock_guard<std::mutex> lock(storeMutex);
+    if (!enabled)
+        return 0;
+    return compact(true);
+}
+
+bool
+ResultStore::cached(const std::string &model,
+                    const std::string &app) const
+{
+    return memo.count(cellKey(model, app)) > 0;
+}
+
+const SimResult *
+ResultStore::peek(const std::string &model, const std::string &app) const
+{
+    auto it = memo.find(cellKey(model, app));
+    return it == memo.end() ? nullptr : &it->second;
+}
+
+bool
+ResultStore::hadFailures() const
+{
+    return tombstoneCount() > 0;
+}
+
+std::size_t
+ResultStore::tombstoneCount() const
+{
+    std::size_t n = 0;
+    for (const auto &[key, r] : memo)
+        n += r.tombstone ? 1 : 0;
+    return n;
+}
+
+int
+ResultStore::exitCode() const
+{
+    return hadFailures() ? cli::kExitDegraded : cli::kExitOk;
+}
+
+double
+ResultStore::pmax()
+{
+    if (pmaxReady)
+        return pmaxValue;
+    // Memoize Pmax as a pseudo-result under a reserved key.
+    std::string key = cellKey("_pmax", "swim");
+    auto it = memo.find(key);
+    if (it != memo.end() && it->second.energyPerCycle > 0.0 &&
+        std::isfinite(it->second.energyPerCycle)) {
+        pmaxValue = it->second.energyPerCycle;
+        // Skip the runner's own calibration run.
+        runner.setPmax(pmaxValue);
+    } else {
+        if (it != memo.end()) {
+            // A stale or corrupt marker (zero, NaN, negative — e.g. a
+            // cache written by a crashed calibration) must not silently
+            // zero every leakage figure: recalibrate and overwrite it.
+            PARROT_WARN("ignoring stale pmax marker %f in result "
+                        "cache; recalibrating",
+                        it->second.energyPerCycle);
+        }
+        pmaxValue = runner.pmax();
+        SimResult marker;
+        marker.energyPerCycle = pmaxValue;
+        memo[key] = marker;
+        append(key, marker);
+    }
+    pmaxReady = true;
+    return pmaxValue;
+}
+
+SimResult
+ResultStore::get(const std::string &model,
+                 const workload::SuiteEntry &entry)
+{
+    std::string key = cellKey(model, entry.profile.name);
+    auto it = memo.find(key);
+    if (it != memo.end())
+        return it->second;
+
+    // Ensure the leakage calibration happened (and is cached) first.
+    pmax();
+    SimResult r = runner.runOne(model, entry);
+    memo.emplace(key, r);
+    append(key, r);
+    std::fprintf(stderr, "  [ran %s/%s]\n", model.c_str(),
+                 entry.profile.name.c_str());
+    return r;
+}
+
+std::vector<SimResult>
+ResultStore::getSuite(const std::string &model,
+                      const std::vector<workload::SuiteEntry> &suite)
+{
+    // Dispatch only the entries the memo doesn't cover onto the
+    // runner's worker pool, then fold them back (and into the cache
+    // file) in suite order so output stays deterministic.
+    std::vector<workload::SuiteEntry> missing;
+    for (const auto &entry : suite) {
+        if (!memo.count(cellKey(model, entry.profile.name)))
+            missing.push_back(entry);
+    }
+    if (!missing.empty()) {
+        pmax();
+        // Journal each cell the moment its worker finishes — a killed
+        // run keeps everything but the in-flight cells. The journal
+        // order is nondeterministic under jobs>1; compaction at
+        // destruction restores the canonical order.
+        auto fresh = runner.runSuite(
+            model, missing,
+            [&](std::size_t i, const SimResult &r) {
+                append(cellKey(model, missing[i].profile.name), r);
+            });
+        for (std::size_t i = 0; i < missing.size(); ++i) {
+            memo.emplace(cellKey(model, missing[i].profile.name),
+                         fresh[i]);
+            std::fprintf(stderr, "  [ran %s/%s]\n", model.c_str(),
+                         missing[i].profile.name.c_str());
+        }
+    }
+
+    std::vector<SimResult> out;
+    out.reserve(suite.size());
+    for (const auto &entry : suite)
+        out.push_back(memo.at(cellKey(model, entry.profile.name)));
+    return out;
+}
+
+} // namespace parrot::sim

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Durable, concurrency-safe memo of simulation results keyed by
+ * (model, app, instruction budget) — the persistence substrate shared
+ * by the figure benches and the multi-process campaign runner.
+ *
+ * Durability model (single process, PR 5): every completed cell is
+ * appended to an O_APPEND + fsync journal the moment it finishes, so a
+ * `kill -9` mid-suite loses at most the in-flight cells; on clean
+ * destruction the file is compacted (atomic write-temp/fsync/rename in
+ * sorted key order), making an interrupted-then-resumed run's cache
+ * byte-identical to an uninterrupted one.
+ *
+ * Concurrency model (multi-process, this layer):
+ *
+ *  - Appends and compactions share an flock(2) on `<path>.lock`:
+ *    appends take it shared, compaction exclusive, so a compactor's
+ *    read-merge-replace cycle can neither tear a row nor race another
+ *    compactor.
+ *  - Compaction RE-READS the on-disk cache under the lock and merges
+ *    rows journaled by other processes since load() instead of
+ *    rewriting from in-memory state alone — two processes pointed at
+ *    the same cache file no longer clobber each other's rows at
+ *    destruction time.
+ *  - After another process's compaction renames the file away, the
+ *    journal detects the orphaned inode and reopens before the next
+ *    append (AppendJournal::reopenIfRenamed).
+ *  - Campaign workers journal into per-worker shards
+ *    (`<path>.w<N>`, same wire format); mergeShards() folds every
+ *    shard plus the main file into the memo under the exclusive lock,
+ *    republishes atomically in canonical key order, and removes the
+ *    shards. Serial, threaded and multi-process runs all converge to
+ *    byte-identical cache files.
+ *
+ * Merge policy everywhere: an on-disk row for an unknown key is
+ * adopted; for a known key the in-memory result wins unless it is a
+ * tombstone and the disk row is healthy (another process's retry
+ * succeeded). Deterministic, so merge order never changes the bytes.
+ *
+ * Any persistence failure (read-only dir, ENOSPC) is detected, warned
+ * about once, and disables caching for the rest of the run instead of
+ * silently dropping rows. Set PARROT_BENCH_NO_CACHE=1 to opt out.
+ */
+
+#ifndef PARROT_SIM_RESULT_STORE_HH
+#define PARROT_SIM_RESULT_STORE_HH
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/atomic_file.hh"
+#include "sim/runner.hh"
+#include "workload/apps.hh"
+
+namespace parrot::sim
+{
+
+class ResultStore
+{
+  public:
+    /** Opens (and loads) the cache file; `opts` configures the
+     * embedded SuiteRunner that computes uncached cells. */
+    explicit ResultStore(const std::string &path, RunOptions opts = {});
+
+    /** Merge-compacts the cache (atomic rewrite in canonical order)
+     * when this run added or discarded anything. */
+    ~ResultStore();
+
+    ResultStore(const ResultStore &) = delete;
+    ResultStore &operator=(const ResultStore &) = delete;
+
+    /** Fetch or compute one result. */
+    SimResult get(const std::string &model,
+                  const workload::SuiteEntry &entry);
+
+    /**
+     * Fetch or compute the full suite for one model. Uncached entries
+     * run concurrently on the runner's worker pool and are journaled
+     * as they complete; results (and the compacted cache file) are
+     * identical to serial runs.
+     */
+    std::vector<SimResult> getSuite(
+        const std::string &model,
+        const std::vector<workload::SuiteEntry> &suite);
+
+    /** The calibrated Pmax (cached like any other result). */
+    double pmax();
+
+    /** Is this (model, app) cell already memoized (healthy OR
+     * tombstoned) at the store's instruction budget? */
+    bool cached(const std::string &model, const std::string &app) const;
+
+    /** Peek at a memoized cell without computing it; nullptr when
+     * absent. */
+    const SimResult *peek(const std::string &model,
+                          const std::string &app) const;
+
+    /** The canonical memo key for a cell at this store's budget. */
+    std::string cellKey(const std::string &model,
+                        const std::string &app) const;
+
+    /**
+     * Fold every per-worker journal shard (`<path>.w*`) plus any rows
+     * other processes appended to the main file into the memo, then
+     * compact atomically and delete the merged shards — all under the
+     * exclusive file lock. The campaign coordinator calls this after
+     * each worker round (and once at startup to adopt shards left by
+     * a killed campaign). Returns the number of rows newly adopted.
+     */
+    std::size_t mergeShards();
+
+    /** Shard journal path for worker `index` of this store's cache. */
+    std::string shardPath(unsigned index) const;
+
+    /** True when any memoized cell (loaded or just computed) is a
+     * tombstone — some figure cells render as "-". */
+    bool hadFailures() const;
+
+    /** Number of memoized tombstone cells. */
+    std::size_t tombstoneCount() const;
+
+    /**
+     * What a figure driver's main() should return: 0 when every cell
+     * is healthy, 3 (cli::kExitDegraded) when any cell is a tombstone
+     * — distinct from the usage-error exit 2 and the cosim-mismatch
+     * exit 1, so CI can tell "figures degraded" from "binary crashed".
+     */
+    int exitCode() const;
+
+    const RunOptions &options() const { return runner.options(); }
+
+  private:
+    void load();
+    void append(const std::string &key, const SimResult &r);
+    /** Warn once and stop persisting for the rest of the run. */
+    void disableCache(const std::string &reason);
+    /** Merge-compact under the exclusive lock; when `merge_shards` is
+     * set, shard files are folded in and deleted too. Returns rows
+     * newly adopted from disk. */
+    std::size_t compact(bool merge_shards);
+    /** Discover existing `<path>.w*` shard files, sorted. */
+    std::vector<std::string> findShards() const;
+
+    std::string path;
+    bool enabled = true;
+    std::size_t discardedLines = 0; //!< malformed lines seen by load()
+    std::size_t appendedRows = 0;   //!< journal rows this run
+    std::mutex storeMutex;          //!< workers append concurrently
+    atomic_file::AppendJournal journal;
+    atomic_file::FileLock fileLock; //!< cross-process append/compact lock
+    std::map<std::string, SimResult> memo;
+    SuiteRunner runner;
+    bool pmaxReady = false;
+    double pmaxValue = 0.0;
+};
+
+} // namespace parrot::sim
+
+#endif // PARROT_SIM_RESULT_STORE_HH

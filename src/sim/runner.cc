@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "common/cli.hh"
 #include "common/fault.hh"
 #include "common/logging.hh"
 #include "stats/stats.hh"
@@ -51,6 +52,18 @@ resolveJobs(unsigned requested)
         return static_cast<unsigned>(v);
     }
     return hw;
+}
+
+void
+applyRunOptionsEnv(RunOptions &opts)
+{
+    if (const char *env = std::getenv("PARROT_DEADLINE_MS"))
+        opts.deadlineMs = cli::parseU64("PARROT_DEADLINE_MS", env);
+    if (const char *env = std::getenv("PARROT_RETRIES"))
+        opts.maxRetries = cli::parseU32("PARROT_RETRIES", env);
+    if (const char *env = std::getenv("PARROT_RETRY_BACKOFF_MS"))
+        opts.retryBackoffMs =
+            cli::parseU64("PARROT_RETRY_BACKOFF_MS", env);
 }
 
 void

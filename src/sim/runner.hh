@@ -69,6 +69,15 @@ struct RunOptions
 unsigned resolveJobs(unsigned requested);
 
 /**
+ * Overlay the resilience knobs from the environment onto `opts`:
+ * PARROT_DEADLINE_MS, PARROT_RETRIES and PARROT_RETRY_BACKOFF_MS each
+ * override their field when set. Shared by the bench drivers and the
+ * campaign coordinator so spawned workers resolve the exact same
+ * options as a serial run.
+ */
+void applyRunOptionsEnv(RunOptions &opts);
+
+/**
  * Run body(0..count-1) on a pool of `jobs` worker threads (resolved
  * via resolveJobs; clamped to count). Indices are handed out through
  * an atomic counter, so the body must be safe to run concurrently for

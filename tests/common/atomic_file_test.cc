@@ -95,4 +95,84 @@ TEST(AppendJournalTest, ErrorsAreDetectedNotSilent)
               std::string::npos);
 }
 
+TEST(AppendJournalTest, ReopenIfRenamedFollowsACompaction)
+{
+    const std::string path = "test_append_journal3.tmp";
+    std::remove(path.c_str());
+    atomic_file::AppendJournal journal;
+    ASSERT_TRUE(journal.open(path));
+    ASSERT_TRUE(journal.appendLine("old"));
+
+    // Another process compacts: a fresh file is renamed over `path`,
+    // orphaning the journal's inode. The next append must land in the
+    // new file, not the unlinked ghost.
+    ASSERT_TRUE(atomic_file::writeFileAtomic(path, "compacted\n"));
+    ASSERT_TRUE(journal.reopenIfRenamed());
+    ASSERT_TRUE(journal.appendLine("new"));
+    journal.close();
+    EXPECT_EQ(slurp(path), "compacted\nnew\n");
+    std::remove(path.c_str());
+}
+
+TEST(AppendJournalTest, ReopenIfRenamedIsANoOpOnTheLiveInode)
+{
+    const std::string path = "test_append_journal4.tmp";
+    std::remove(path.c_str());
+    atomic_file::AppendJournal journal;
+    ASSERT_TRUE(journal.open(path));
+    ASSERT_TRUE(journal.appendLine("one"));
+    ASSERT_TRUE(journal.reopenIfRenamed()); // same inode: keep the fd
+    ASSERT_TRUE(journal.appendLine("two"));
+    journal.close();
+    EXPECT_EQ(slurp(path), "one\ntwo\n");
+    std::remove(path.c_str());
+}
+
+TEST(FileLockTest, GuardsAcquireAndReleaseWithoutDeadlock)
+{
+    const std::string lock_path = "test_file_lock.tmp.lock";
+    std::remove(lock_path.c_str());
+
+    atomic_file::FileLock lock;
+    ASSERT_TRUE(lock.open(lock_path));
+    EXPECT_TRUE(lock.isOpen());
+    {
+        atomic_file::FileLock::Guard g(lock,
+                                       atomic_file::FileLock::Shared);
+        // Shared locks are compatible: a second locker (another
+        // process in real use) can hold one concurrently.
+        atomic_file::FileLock other;
+        ASSERT_TRUE(other.open(lock_path));
+        atomic_file::FileLock::Guard g2(other,
+                                        atomic_file::FileLock::Shared);
+    }
+    {
+        // Upgrade shared -> exclusive; with no other holder this must
+        // complete immediately.
+        atomic_file::FileLock::Guard g(lock,
+                                       atomic_file::FileLock::Shared);
+        g.upgrade();
+    }
+    {
+        atomic_file::FileLock::Guard g(lock,
+                                       atomic_file::FileLock::Exclusive);
+    }
+    lock.close();
+    EXPECT_FALSE(lock.isOpen());
+    std::remove(lock_path.c_str());
+}
+
+TEST(FileLockTest, GuardsAreNoOpsOnAnUnopenedLock)
+{
+    // A lock whose sidecar could not be created (read-only dir) must
+    // degrade to no locking, not crash the run.
+    atomic_file::FileLock lock;
+    EXPECT_FALSE(
+        lock.open("/nonexistent_parrot_dir_xyz/cache.lock"));
+    EXPECT_FALSE(lock.isOpen());
+    atomic_file::FileLock::Guard g(lock,
+                                   atomic_file::FileLock::Exclusive);
+    g.upgrade();
+}
+
 } // namespace

@@ -79,4 +79,41 @@ TEST(CliParseDeathTest, NeedValueAtEndOfArgvExits)
                 "missing value for --jobs");
 }
 
+// The full truth table of the pinned exit-code precedence
+// (2 usage > 1 alarm > 3 degraded > 0 ok): every driver composes its
+// final status through this helper, so co-occurring conditions (a
+// rejected trace AND tombstoned cells, say) report deterministically.
+TEST(CombinedExitTest, PrecedenceMatrix)
+{
+    // usage, alarm, degraded -> expected
+    const struct
+    {
+        bool usage, alarm, degraded;
+        int expected;
+    } matrix[] = {
+        {false, false, false, cli::kExitOk},
+        {false, false, true, cli::kExitDegraded},
+        {false, true, false, cli::kExitAlarm},
+        {false, true, true, cli::kExitAlarm},
+        {true, false, false, cli::kExitUsage},
+        {true, false, true, cli::kExitUsage},
+        {true, true, false, cli::kExitUsage},
+        {true, true, true, cli::kExitUsage},
+    };
+    for (const auto &row : matrix) {
+        EXPECT_EQ(cli::combinedExit(row.usage, row.alarm, row.degraded),
+                  row.expected)
+            << "usage=" << row.usage << " alarm=" << row.alarm
+            << " degraded=" << row.degraded;
+    }
+}
+
+TEST(CombinedExitTest, CodesAreDistinctAndConventional)
+{
+    EXPECT_EQ(cli::kExitOk, 0);
+    EXPECT_EQ(cli::kExitAlarm, 1);
+    EXPECT_EQ(cli::kExitUsage, 2);
+    EXPECT_EQ(cli::kExitDegraded, 3);
+}
+
 } // namespace

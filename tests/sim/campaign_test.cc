@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Integration tests for the multi-process sharded campaign runner:
+ * byte-identity of serial / threaded / multi-process cache files,
+ * SIGKILL-and-resume convergence, and worker-scoped fault injection.
+ *
+ * These tests set PARROT_FAULT_* variables and fork worker processes,
+ * so they live in their own test binary (each gtest case runs in its
+ * own process via ctest discovery, keeping the fault plans isolated).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/fault.hh"
+#include "sim/campaign.hh"
+#include "sim/result.hh"
+#include "workload/apps.hh"
+
+namespace
+{
+
+using namespace parrot;
+
+sim::CampaignOptions
+tinyCampaign(const std::string &cache, unsigned workers, unsigned jobs)
+{
+    sim::CampaignOptions opts;
+    opts.cachePath = cache;
+    opts.models = {"N", "TON"};
+    opts.suite = {workload::findApp("swim"), workload::findApp("gcc")};
+    opts.workers = workers;
+    opts.run.instBudget = 20000;
+    opts.run.jobs = jobs;
+    opts.run.noLeakage = true;
+    opts.run.maxRetries = 0;
+    opts.run.retryBackoffMs = 1;
+    opts.verbose = false;
+    return opts;
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+void
+cleanup(const std::string &path)
+{
+    std::remove(path.c_str());
+    std::remove((path + ".lock").c_str());
+    for (unsigned w = 1; w <= 16; ++w) {
+        std::remove((path + ".w" + std::to_string(w)).c_str());
+        std::remove((path + ".w" + std::to_string(w) + ".lock").c_str());
+    }
+}
+
+/**
+ * The headline property: a campaign's compacted cache file is
+ * byte-identical whether the grid was computed serially, on an
+ * in-process thread pool, or sharded across worker processes.
+ */
+TEST(CampaignTest, SerialThreadedAndMultiProcessCachesAreByteIdentical)
+{
+    const std::string serial = "test_campaign_serial.tmp";
+    const std::string threaded = "test_campaign_threaded.tmp";
+    const std::string multi = "test_campaign_multi.tmp";
+    cleanup(serial);
+    cleanup(threaded);
+    cleanup(multi);
+
+    auto r1 = sim::runCampaign(tinyCampaign(serial, 1, 1));
+    auto r2 = sim::runCampaign(tinyCampaign(threaded, 1, 2));
+    auto r3 = sim::runCampaign(tinyCampaign(multi, 2, 1));
+
+    EXPECT_TRUE(r1.converged);
+    EXPECT_TRUE(r2.converged);
+    EXPECT_TRUE(r3.converged);
+    EXPECT_EQ(r1.exitCode(), 0);
+    EXPECT_EQ(r3.ranCells, 4u);
+
+    const std::string golden = slurp(serial);
+    ASSERT_FALSE(golden.empty());
+    EXPECT_EQ(slurp(threaded), golden) << "threaded run diverged";
+    EXPECT_EQ(slurp(multi), golden) << "multi-process run diverged";
+
+    cleanup(serial);
+    cleanup(threaded);
+    cleanup(multi);
+}
+
+/**
+ * A worker SIGKILLed mid-campaign (via fault injection, after its
+ * first journaled row) must not cost anything but its in-flight cell:
+ * the next round respawns a replacement with a fresh worker index
+ * (which the fault plan no longer matches) and the campaign converges
+ * to the exact serial bytes.
+ */
+TEST(CampaignTest, KilledWorkerIsRespawnedAndConverges)
+{
+    const std::string serial = "test_campaign_kserial.tmp";
+    const std::string killed = "test_campaign_killed.tmp";
+    cleanup(serial);
+    cleanup(killed);
+
+    auto rs = sim::runCampaign(tinyCampaign(serial, 1, 1));
+    ASSERT_TRUE(rs.converged);
+
+    setenv("PARROT_FAULT_CRASH_AT_CELL", "1", 1); // SIGKILL after row 1
+    setenv("PARROT_FAULT_WORKER", "1", 1);
+    fault::resetForTest();
+    auto rk = sim::runCampaign(tinyCampaign(killed, 2, 1));
+    unsetenv("PARROT_FAULT_CRASH_AT_CELL");
+    unsetenv("PARROT_FAULT_WORKER");
+    fault::resetForTest();
+
+    EXPECT_TRUE(rk.converged);
+    EXPECT_EQ(rk.workerDeaths, 1u);
+    EXPECT_GE(rk.rounds, 2u);
+    EXPECT_EQ(rk.tombstones, 0u);
+    EXPECT_EQ(rk.exitCode(), 0);
+    EXPECT_EQ(slurp(killed), slurp(serial))
+        << "killed-and-resumed campaign diverged from serial bytes";
+
+    cleanup(serial);
+    cleanup(killed);
+}
+
+/** A fault plan without PARROT_FAULT_WORKER targets worker index 0 —
+ * the coordinator (or any plain single process) — so spawned workers
+ * inheriting the environment must NOT trip it. */
+TEST(CampaignTest, FaultPlansDefaultToCoordinatorScopeOnly)
+{
+    const std::string cache = "test_campaign_scope.tmp";
+    cleanup(cache);
+
+    setenv("PARROT_FAULT_FAIL_CELL", "1", 1); // would tombstone cell 1
+    fault::resetForTest();
+    auto report = sim::runCampaign(tinyCampaign(cache, 2, 1));
+    unsetenv("PARROT_FAULT_FAIL_CELL");
+    fault::resetForTest();
+
+    EXPECT_TRUE(report.converged);
+    EXPECT_EQ(report.tombstones, 0u)
+        << "a coordinator-scoped fault leaked into a worker process";
+    EXPECT_EQ(report.exitCode(), 0);
+    cleanup(cache);
+}
+
+/** The converse: a plan scoped to worker 1 fires in worker 1 (its
+ * first claimed cell tombstones) and nowhere else; the campaign still
+ * converges and reports degraded (exit 3). */
+TEST(CampaignTest, WorkerScopedFaultTombstonesOnlyThatWorker)
+{
+    const std::string cache = "test_campaign_wscope.tmp";
+    cleanup(cache);
+
+    setenv("PARROT_FAULT_FAIL_CELL", "1", 1);
+    setenv("PARROT_FAULT_WORKER", "1", 1);
+    fault::resetForTest();
+    auto report = sim::runCampaign(tinyCampaign(cache, 2, 1));
+    unsetenv("PARROT_FAULT_FAIL_CELL");
+    unsetenv("PARROT_FAULT_WORKER");
+    fault::resetForTest();
+
+    EXPECT_TRUE(report.converged);
+    EXPECT_EQ(report.tombstones, 1u);
+    EXPECT_EQ(report.exitCode(), 3);
+    cleanup(cache);
+}
+
+/** Journal shards left behind by a killed campaign are adopted at
+ * startup: their cells count as cached and are not re-simulated. */
+TEST(CampaignTest, AdoptsLeftoverShardsFromKilledCampaign)
+{
+    const std::string cache = "test_campaign_leftover.tmp";
+    cleanup(cache);
+
+    {
+        // A dead campaign's worker shard holding one finished cell.
+        std::ofstream out(cache + ".w7");
+        out << sim::cacheHeaderLine() << '\n';
+        sim::SimResult r;
+        r.ipc = 1.5;
+        out << sim::serializeCacheLine("N/swim/20000", r) << '\n';
+    }
+
+    auto opts = tinyCampaign(cache, 1, 1);
+    auto report = sim::runCampaign(opts);
+    EXPECT_TRUE(report.converged);
+    EXPECT_EQ(report.cachedCells, 1u);
+    EXPECT_EQ(report.ranCells, 3u);
+    // The shard was consumed.
+    std::ifstream shard(cache + ".w7");
+    EXPECT_FALSE(shard.good());
+    cleanup(cache);
+}
+
+/** A fully cached campaign is a no-op: nothing runs, nothing rewrites. */
+TEST(CampaignTest, FullyCachedCampaignRunsNothing)
+{
+    const std::string cache = "test_campaign_cached.tmp";
+    cleanup(cache);
+
+    auto first = sim::runCampaign(tinyCampaign(cache, 1, 1));
+    ASSERT_TRUE(first.converged);
+    const std::string bytes = slurp(cache);
+
+    auto second = sim::runCampaign(tinyCampaign(cache, 4, 2));
+    EXPECT_TRUE(second.converged);
+    EXPECT_EQ(second.ranCells, 0u);
+    EXPECT_EQ(second.cachedCells, second.totalCells);
+    EXPECT_EQ(second.rounds, 0u);
+    EXPECT_EQ(slurp(cache), bytes);
+    cleanup(cache);
+}
+
+} // namespace

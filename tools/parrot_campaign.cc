@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Multi-process sharded campaign coordinator.
+ *
+ * Runs the (model x application) grid across worker processes that
+ * claim cells dynamically and journal into per-worker shards; the
+ * coordinator merges everything into one result cache that is
+ * byte-identical to a serial run (see sim/campaign.hh for the process
+ * model). Typical use:
+ *
+ *   parrot_campaign --workers 4 --jobs 2 --insts 600000
+ *
+ * Exit status: 0 = every cell computed and healthy; 1 = campaign did
+ * not converge (cells still missing); 3 = converged but some cells
+ * are tombstones; 2 = usage error.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/cli.hh"
+#include "sim/campaign.hh"
+#include "sim/model_config.hh"
+#include "workload/apps.hh"
+
+using namespace parrot;
+
+namespace
+{
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [options]\n"
+        "  --workers N       worker processes (default 1 = in-process)\n"
+        "  --jobs N          simulation threads per worker (default: "
+        "PARROT_JOBS or hardware)\n"
+        "  --insts N         instruction budget per cell (default "
+        "600000)\n"
+        "  --models A,B,..   models to sweep (default: all seven)\n"
+        "  --apps a,b,..     applications to sweep (default: the full "
+        "44-app suite)\n"
+        "  --small           sweep the reduced representative suite\n"
+        "  --cache PATH      result cache file (default "
+        "parrot_bench_cache.txt)\n"
+        "  --deadline-ms N   per-cell wall-clock watchdog\n"
+        "  --retries N       attempts before a cell is tombstoned\n"
+        "  --max-rounds N    worker respawn rounds (default 5)\n"
+        "  --no-leakage      skip the Pmax calibration (leakage = 0)\n"
+        "  --quiet           suppress per-cell progress\n",
+        argv0);
+}
+
+std::vector<std::string>
+splitCommas(const std::string &list)
+{
+    std::vector<std::string> out;
+    std::string::size_type start = 0;
+    while (start <= list.size()) {
+        auto comma = list.find(',', start);
+        if (comma == std::string::npos)
+            comma = list.size();
+        if (comma > start)
+            out.push_back(list.substr(start, comma - start));
+        start = comma + 1;
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    sim::CampaignOptions opts;
+    opts.run.instBudget = 600000;
+    if (const char *env = std::getenv("PARROT_BENCH_INSTS"))
+        opts.run.instBudget = cli::parseU64("PARROT_BENCH_INSTS", env);
+    sim::applyRunOptionsEnv(opts.run);
+
+    bool small = false;
+    std::vector<std::string> app_names;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (!std::strcmp(arg, "--workers")) {
+            opts.workers =
+                cli::parseU32(arg, cli::needValue(argc, argv, i));
+        } else if (!std::strcmp(arg, "--jobs")) {
+            opts.run.jobs =
+                cli::parseU32(arg, cli::needValue(argc, argv, i));
+        } else if (!std::strcmp(arg, "--insts")) {
+            opts.run.instBudget =
+                cli::parseU64(arg, cli::needValue(argc, argv, i));
+        } else if (!std::strcmp(arg, "--models")) {
+            opts.models = splitCommas(cli::needValue(argc, argv, i));
+        } else if (!std::strcmp(arg, "--apps")) {
+            app_names = splitCommas(cli::needValue(argc, argv, i));
+        } else if (!std::strcmp(arg, "--small")) {
+            small = true;
+        } else if (!std::strcmp(arg, "--cache")) {
+            opts.cachePath = cli::needValue(argc, argv, i);
+        } else if (!std::strcmp(arg, "--deadline-ms")) {
+            opts.run.deadlineMs =
+                cli::parseU64(arg, cli::needValue(argc, argv, i));
+        } else if (!std::strcmp(arg, "--retries")) {
+            opts.run.maxRetries =
+                cli::parseU32(arg, cli::needValue(argc, argv, i));
+        } else if (!std::strcmp(arg, "--max-rounds")) {
+            opts.maxRounds =
+                cli::parseU32(arg, cli::needValue(argc, argv, i));
+        } else if (!std::strcmp(arg, "--no-leakage")) {
+            opts.run.noLeakage = true;
+        } else if (!std::strcmp(arg, "--quiet")) {
+            opts.verbose = false;
+        } else if (!std::strcmp(arg, "--help") ||
+                   !std::strcmp(arg, "-h")) {
+            usage(argv[0]);
+            return cli::kExitOk;
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n", arg);
+            usage(argv[0]);
+            return cli::kExitUsage;
+        }
+    }
+
+    // Validate model names up front: a typo should be a usage error
+    // here, not a fatal() deep inside a forked worker.
+    const auto known = sim::ModelConfig::allNames();
+    const std::set<std::string> known_set(known.begin(), known.end());
+    for (const auto &model : opts.models) {
+        if (!known_set.count(model)) {
+            std::fprintf(stderr, "unknown model '%s'\n", model.c_str());
+            return cli::kExitUsage;
+        }
+    }
+    if (small && !app_names.empty()) {
+        std::fprintf(stderr, "--small and --apps are exclusive\n");
+        return cli::kExitUsage;
+    }
+    if (small)
+        opts.suite = workload::smallSuite();
+    std::set<std::string> known_apps;
+    for (const auto &entry : workload::fullSuite())
+        known_apps.insert(entry.profile.name);
+    for (const auto &name : app_names) {
+        if (!known_apps.count(name)) {
+            std::fprintf(stderr, "unknown application '%s'\n",
+                         name.c_str());
+            return cli::kExitUsage;
+        }
+        opts.suite.push_back(workload::findApp(name));
+    }
+    if (opts.maxRounds == 0) {
+        std::fprintf(stderr, "--max-rounds must be >= 1\n");
+        return cli::kExitUsage;
+    }
+
+    sim::CampaignReport report = sim::runCampaign(opts);
+    std::printf("campaign: %zu cell(s) total, %zu cached, %zu ran, "
+                "%zu missing, %zu tombstone(s); %u round(s), "
+                "%u worker death(s)%s\n",
+                report.totalCells, report.cachedCells, report.ranCells,
+                report.missingCells, report.tombstones, report.rounds,
+                report.workerDeaths,
+                report.converged ? "" : " [NOT CONVERGED]");
+    return report.exitCode();
+}
