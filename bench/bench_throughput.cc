@@ -19,6 +19,7 @@
  */
 
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -82,6 +83,19 @@ struct Row
     std::uint64_t insts = 0;
     double bestSecs = 0.0;
     double mips = 0.0;
+
+    // --sample mode: the same cell run sampled, with the achieved
+    // speedup and the measured error of the extrapolated estimates
+    // against the detailed run — the error-bound report that tells us
+    // whether a window:stride choice is trustworthy.
+    bool sampled = false;
+    double sampledBestSecs = 0.0;
+    double speedup = 0.0;
+    double cpiErr = 0.0;    //!< |sampled CPI - detailed CPI| / detailed
+    double energyErr = 0.0; //!< same for dynamic energy per inst
+    double ciCpi = 0.0;     //!< the sampled run's own stated 95% CI
+    double ciEnergy = 0.0;
+    double sampleCoverage = 0.0;
 };
 
 } // namespace
@@ -94,11 +108,31 @@ main(int argc, char **argv)
     std::string app = "swim";
     std::string out_path = "BENCH_throughput.json";
     std::vector<std::string> models = {"N", "W", "TON", "TOW"};
+    std::uint64_t sample_window = 0;
+    std::uint64_t sample_stride = 0;
 
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
         if (!std::strcmp(arg, "--insts")) {
             insts = cli::parseU64(arg, cli::needValue(argc, argv, i));
+        } else if (!std::strcmp(arg, "--sample")) {
+            const std::string spec = cli::needValue(argc, argv, i);
+            const auto colon = spec.find(':');
+            if (colon == std::string::npos || colon == 0 ||
+                colon + 1 >= spec.size()) {
+                std::fprintf(stderr,
+                             "--sample expects WINDOW:STRIDE\n");
+                return 2;
+            }
+            sample_window =
+                cli::parseU64(arg, spec.substr(0, colon).c_str());
+            sample_stride =
+                cli::parseU64(arg, spec.substr(colon + 1).c_str());
+            if (sample_window == 0 || sample_stride <= sample_window) {
+                std::fprintf(stderr, "--sample needs WINDOW > 0 and "
+                                     "STRIDE > WINDOW\n");
+                return 2;
+            }
         } else if (!std::strcmp(arg, "--repeat")) {
             repeat = cli::parseU32(arg, cli::needValue(argc, argv, i));
         } else if (!std::strcmp(arg, "--app")) {
@@ -123,7 +157,7 @@ main(int argc, char **argv)
             std::fprintf(stderr,
                          "unknown option '%s' (supported: --insts N, "
                          "--repeat N, --app NAME, --models A,B, "
-                         "--out PATH)\n",
+                         "--sample W:S, --out PATH)\n",
                          arg);
             return 2;
         }
@@ -143,6 +177,7 @@ main(int argc, char **argv)
         Row row;
         row.model = model;
         row.app = app;
+        sim::SimResult detailed;
         for (unsigned r = 0; r < repeat; ++r) {
             // Fresh simulator per repeat: steady-state throughput of
             // one simulation, not warm-cache reuse across runs.
@@ -152,28 +187,87 @@ main(int argc, char **argv)
             sim::SimResult res = s.run(insts, /*pmax_per_cycle=*/0.0);
             double secs = secondsSince(start);
             row.insts = res.insts;
+            detailed = res;
             if (r == 0 || secs < row.bestSecs)
                 row.bestSecs = secs;
         }
         row.mips = static_cast<double>(row.insts) / 1e6 / row.bestSecs;
-        rows.push_back(row);
         std::printf("%-5s %-10s %9llu insts  best %.3fs  %7.2f MIPS\n",
                     row.model.c_str(), row.app.c_str(),
                     static_cast<unsigned long long>(row.insts),
                     row.bestSecs, row.mips);
+
+        if (sample_window > 0) {
+            // Same cell, sampled: report the wall-clock speedup and
+            // how far the extrapolated CPI / energy-per-inst land from
+            // the detailed truth, next to the run's own stated CI.
+            sim::SimResult sampled;
+            for (unsigned r = 0; r < repeat; ++r) {
+                sim::ModelConfig cfg = sim::ModelConfig::make(model);
+                cfg.sampleWindow = sample_window;
+                cfg.sampleStride = sample_stride;
+                sim::ParrotSimulator s(cfg, workload);
+                auto start = Clock::now();
+                sampled = s.run(insts, /*pmax_per_cycle=*/0.0);
+                double secs = secondsSince(start);
+                if (r == 0 || secs < row.sampledBestSecs)
+                    row.sampledBestSecs = secs;
+            }
+            row.sampled = true;
+            row.speedup = row.bestSecs / row.sampledBestSecs;
+            const double d_cpi = static_cast<double>(detailed.cycles) /
+                                 static_cast<double>(detailed.insts);
+            const double s_cpi = static_cast<double>(sampled.cycles) /
+                                 static_cast<double>(sampled.insts);
+            const double d_epi = detailed.dynamicEnergy /
+                                 static_cast<double>(detailed.insts);
+            const double s_epi = sampled.dynamicEnergy /
+                                 static_cast<double>(sampled.insts);
+            row.cpiErr = std::abs(s_cpi - d_cpi) / d_cpi;
+            row.energyErr = std::abs(s_epi - d_epi) / d_epi;
+            row.ciCpi = sampled.sampleCiIpc;
+            row.ciEnergy = sampled.sampleCiEnergy;
+            row.sampleCoverage = sampled.sampleCoverage;
+            std::printf("%-5s %-10s   sampled %llu:%llu  best %.3fs  "
+                        "%.1fx faster  cpi_err %.2f%% (ci %.2f%%)  "
+                        "energy_err %.2f%% (ci %.2f%%)  coverage "
+                        "%.1f%%\n",
+                        row.model.c_str(), row.app.c_str(),
+                        static_cast<unsigned long long>(sample_window),
+                        static_cast<unsigned long long>(sample_stride),
+                        row.sampledBestSecs, row.speedup,
+                        100.0 * row.cpiErr, 100.0 * row.ciCpi,
+                        100.0 * row.energyErr, 100.0 * row.ciEnergy,
+                        100.0 * row.sampleCoverage);
+        }
+        rows.push_back(row);
     }
 
     std::ostringstream out;
     out.precision(6);
     out << "{\n  \"host_score\": " << host_score
         << ",\n  \"insts\": " << insts << ",\n  \"app\": \"" << app
-        << "\",\n  \"repeat\": " << repeat << ",\n  \"results\": [\n";
+        << "\",\n  \"repeat\": " << repeat;
+    if (sample_window > 0) {
+        out << ",\n  \"sample_window\": " << sample_window
+            << ",\n  \"sample_stride\": " << sample_stride;
+    }
+    out << ",\n  \"results\": [\n";
     for (std::size_t i = 0; i < rows.size(); ++i) {
         const Row &r = rows[i];
         out << "    {\"model\": \"" << r.model << "\", \"mips\": "
             << r.mips << ", \"best_secs\": " << r.bestSecs
-            << ", \"insts\": " << r.insts << "}"
-            << (i + 1 < rows.size() ? ",\n" : "\n");
+            << ", \"insts\": " << r.insts;
+        if (r.sampled) {
+            out << ", \"sampled_best_secs\": " << r.sampledBestSecs
+                << ", \"speedup\": " << r.speedup
+                << ", \"cpi_err\": " << r.cpiErr
+                << ", \"energy_err\": " << r.energyErr
+                << ", \"ci_cpi\": " << r.ciCpi
+                << ", \"ci_energy\": " << r.ciEnergy
+                << ", \"sample_coverage\": " << r.sampleCoverage;
+        }
+        out << "}" << (i + 1 < rows.size() ? ",\n" : "\n");
     }
     out << "  ]\n}\n";
     // Atomic replace so a crash or full disk can't leave a truncated

@@ -39,6 +39,18 @@
  *     --stats-out FILE    write the sampled time-series to FILE as a
  *                         JSON array of run objects, or as CSV when
  *                         FILE ends in .csv (requires --stats-interval)
+ *     --sample N:M        SMARTS-style sampled simulation: simulate
+ *                         an N-instruction detailed window every M
+ *                         instructions and fast-forward (functional +
+ *                         warm-state) between windows; extensive
+ *                         metrics are extrapolated and sample.*
+ *                         confidence intervals reported (M > N)
+ *     --checkpoint-out F  after the (single) app's run, save the full
+ *                         warm state to F so a later run can resume
+ *     --checkpoint-in F   resume the (single) app's run from a
+ *                         checkpoint saved by --checkpoint-out; a
+ *                         corrupt or mismatched checkpoint makes the
+ *                         exit status 2 with a category-specific error
  *     --trace-out FILE    record the (single) selected application's
  *                         committed stream to FILE as a `.ptrace`
  *                         recording covering --insts instructions
@@ -65,6 +77,7 @@
 
 #include "common/cli.hh"
 #include "parrot/parrot.hh"
+#include "sim/checkpoint.hh"
 #include "sim/config_file.hh"
 
 namespace
@@ -113,6 +126,13 @@ printKv(const sim::SimResult &r)
                 static_cast<unsigned long long>(r.tracesInserted),
                 static_cast<unsigned long long>(r.tracesOptimized),
                 r.dynamicUopReduction, r.l1dMissRate);
+    if (r.sampleWindows > 0) {
+        std::printf("sample model=%s app=%s windows=%llu "
+                    "coverage=%.6f ci_ipc=%.6f ci_energy=%.6f\n",
+                    r.model.c_str(), r.app.c_str(),
+                    static_cast<unsigned long long>(r.sampleWindows),
+                    r.sampleCoverage, r.sampleCiIpc, r.sampleCiEnergy);
+    }
     if (r.cosimEnabled) {
         std::printf("cosim model=%s app=%s cold_commits=%llu "
                     "trace_commits=%llu mismatches=%llu\n",
@@ -148,6 +168,13 @@ printHuman(const sim::SimResult &r)
                     static_cast<unsigned long long>(r.tracesInserted),
                     static_cast<unsigned long long>(r.tracesOptimized),
                     abort_pct.c_str(), 100.0 * r.dynamicUopReduction);
+    }
+    if (r.sampleWindows > 0) {
+        std::printf("  sampled: %llu window(s), %.1f%% detailed "
+                    "coverage, 95%% CI ipc ±%.1f%% energy ±%.1f%%\n",
+                    static_cast<unsigned long long>(r.sampleWindows),
+                    100.0 * r.sampleCoverage, 100.0 * r.sampleCiIpc,
+                    100.0 * r.sampleCiEnergy);
     }
     if (r.cosimEnabled) {
         std::printf("  cosim: %llu cold + %llu trace commits checked, "
@@ -190,6 +217,10 @@ main(int argc, char **argv)
     std::string trace_out;
     std::vector<std::string> trace_in;
     bool insts_set = false;
+    std::uint64_t sample_window = 0;
+    std::uint64_t sample_stride = 0;
+    std::string ckpt_out;
+    std::string ckpt_in;
 
     auto need_value = [&](int &i) -> const char * {
         return cli::needValue(argc, argv, i);
@@ -230,6 +261,35 @@ main(int argc, char **argv)
             deadline_ms = cli::parseU64(arg, need_value(i));
         } else if (!std::strcmp(arg, "--retries")) {
             retries = cli::parseU32(arg, need_value(i));
+        } else if (!std::strcmp(arg, "--sample")) {
+            const std::string spec = need_value(i);
+            const auto colon = spec.find(':');
+            if (colon == std::string::npos || colon == 0 ||
+                colon + 1 >= spec.size()) {
+                std::fprintf(stderr,
+                             "--sample expects WINDOW:STRIDE, got "
+                             "'%s'\n",
+                             spec.c_str());
+                return cli::kExitUsage;
+            }
+            sample_window =
+                cli::parseU64(arg, spec.substr(0, colon).c_str());
+            sample_stride =
+                cli::parseU64(arg, spec.substr(colon + 1).c_str());
+            if (sample_window == 0 || sample_stride <= sample_window) {
+                std::fprintf(stderr,
+                             "--sample WINDOW:STRIDE needs WINDOW > 0 "
+                             "and STRIDE > WINDOW, got %llu:%llu\n",
+                             static_cast<unsigned long long>(
+                                 sample_window),
+                             static_cast<unsigned long long>(
+                                 sample_stride));
+                return cli::kExitUsage;
+            }
+        } else if (!std::strcmp(arg, "--checkpoint-out")) {
+            ckpt_out = need_value(i);
+        } else if (!std::strcmp(arg, "--checkpoint-in")) {
+            ckpt_in = need_value(i);
         } else if (!std::strcmp(arg, "--stats-interval")) {
             stats_interval = cli::parseU32(arg, need_value(i));
         } else if (!std::strcmp(arg, "--stats-out")) {
@@ -271,6 +331,10 @@ main(int argc, char **argv)
         cfg.cosim = true;
     if (stats_interval > 0)
         cfg.statsInterval = stats_interval;
+    if (sample_window > 0) {
+        cfg.sampleWindow = sample_window;
+        cfg.sampleStride = sample_stride;
+    }
     cfg.freqGHz = freq_ghz;
     if (!gate_mode.empty()) {
         power::GateMode mode;
@@ -393,6 +457,64 @@ main(int argc, char **argv)
     }
     if (suite.empty())
         suite.push_back(workload::findApp("swim"));
+
+    // Checkpoint mode: one application, one simulator instance driven
+    // directly (the suite runner's retry machinery would re-run from
+    // scratch, defeating the resume). A bad checkpoint file is an
+    // input error: exit 2 with the category spelled out.
+    if (!ckpt_out.empty() || !ckpt_in.empty()) {
+        if (suite.size() != 1) {
+            std::fprintf(stderr,
+                         "--checkpoint-in/--checkpoint-out work on "
+                         "exactly one application (got %zu)\n",
+                         suite.size());
+            return cli::kExitUsage;
+        }
+        double pmax_per_cycle = 0.0;
+        if (!no_leakage) {
+            if (pmax > 0.0) {
+                pmax_per_cycle = pmax;
+            } else {
+                sim::RunOptions cal;
+                cal.instBudget = insts;
+                sim::SuiteRunner calibrator(cal);
+                pmax_per_cycle = calibrator.pmax();
+            }
+        }
+        sim::ParrotSimulator s(cfg, sim::loadWorkload(suite[0]));
+        if (!ckpt_in.empty()) {
+            try {
+                s.loadCheckpoint(ckpt_in);
+            } catch (const sim::CheckpointFormatError &e) {
+                std::fprintf(stderr, "%s: %s [%s]\n", ckpt_in.c_str(),
+                             e.what(),
+                             sim::checkpointErrorName(e.category()));
+                return cli::kExitUsage;
+            }
+        }
+        sim::SimResult r;
+        try {
+            r = s.run(insts, pmax_per_cycle, deadline_ms);
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "%s\n", e.what());
+            return cli::kExitDegraded;
+        }
+        if (!ckpt_out.empty()) {
+            try {
+                s.saveCheckpoint(ckpt_out);
+            } catch (const sim::CheckpointFormatError &e) {
+                std::fprintf(stderr, "%s: %s [%s]\n", ckpt_out.c_str(),
+                             e.what(),
+                             sim::checkpointErrorName(e.category()));
+                return cli::kExitUsage;
+            }
+        }
+        if (kv)
+            printKv(r);
+        else
+            printHuman(r);
+        return cli::combinedExit(false, r.cosimMismatches != 0, false);
+    }
 
     // The runner calibrates Pmax up front (unless given or disabled)
     // and fans the apps out over its worker pool; results come back in

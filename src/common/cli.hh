@@ -38,9 +38,10 @@ double parseF64(const char *flag, const char *text);
  * @name Exit-status taxonomy.
  * Every driver binary reports through the same four codes:
  *   0  clean run;
- *   1  correctness alarm (cosim mismatch, campaign non-convergence);
+ *   1  correctness alarm (cosim mismatch);
  *   2  usage/input error (bad flag, unreadable config, rejected trace);
- *   3  degraded results (cells tombstoned after exhausting retries).
+ *   3  degraded results (cells tombstoned after exhausting retries,
+ *      or a campaign grid left incomplete when its rounds ran out).
  * @{
  */
 constexpr int kExitOk = 0;

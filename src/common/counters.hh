@@ -61,6 +61,13 @@ class SatCounter
     /** Maximum representable value. */
     unsigned max() const { return maxVal; }
 
+    /** Restore a checkpointed raw value (clamped to the range). */
+    void
+    restore(unsigned v)
+    {
+        value = v > maxVal ? maxVal : v;
+    }
+
   private:
     unsigned maxVal;
     unsigned value;
@@ -94,6 +101,9 @@ class HistoryRegister
 
     /** Clear all history. */
     void reset() { history = 0; }
+
+    /** Restore a checkpointed packed history (masked to width). */
+    void restore(std::uint64_t h) { history = h & mask; }
 
   private:
     std::uint64_t history = 0;

@@ -108,6 +108,20 @@ class Rng
         return out;
     }
 
+    /** Raw state word i (0..3) — checkpoint serialization only. */
+    std::uint64_t stateWord(unsigned i) const { return state[i]; }
+
+    /** Restore raw generator state — checkpoint resume only. */
+    void
+    restoreState(std::uint64_t s0, std::uint64_t s1, std::uint64_t s2,
+                 std::uint64_t s3)
+    {
+        state[0] = s0;
+        state[1] = s1;
+        state[2] = s2;
+        state[3] = s3;
+    }
+
   private:
     static std::uint64_t
     rotl(std::uint64_t x, int k)

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Binary serialization primitives for warm-state checkpoints.
+ *
+ * A deliberately tiny, dependency-free layer: a `Writer` appends
+ * little-endian primitives to a growing byte buffer, a `Reader`
+ * consumes them back and throws `serial::Error` the moment the stream
+ * is shorter than a read demands, and `crc32()` is the same IEEE
+ * CRC-32 the `.ptrace` codec frames its sections with. The checkpoint
+ * layer (sim/checkpoint.hh) builds its versioned, CRC-framed file
+ * format on top of these; individual components implement
+ * `saveState(Writer&)` / `loadState(Reader&)` pairs that must write
+ * and read the exact same sequence of primitives.
+ *
+ * Determinism contract: everything written here must be a pure
+ * function of simulation state — no pointers, no host addresses, no
+ * unordered-container iteration order. Hash-map state is serialized
+ * in sorted key order so two identical simulations always produce
+ * byte-identical checkpoints.
+ */
+
+#ifndef PARROT_COMMON_SERIALIZE_HH
+#define PARROT_COMMON_SERIALIZE_HH
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+namespace parrot::serial
+{
+
+/** IEEE 802.3 CRC-32 (reflected, init/xorout 0xffffffff) — the same
+ * polynomial discipline the trace codec uses for its section frames. */
+inline std::uint32_t
+crc32(const void *data, std::size_t len)
+{
+    static const auto table = [] {
+        struct { std::uint32_t t[256]; } tbl{};
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+            tbl.t[i] = c;
+        }
+        return tbl;
+    }();
+    std::uint32_t crc = 0xffffffffu;
+    const auto *p = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < len; ++i)
+        crc = table.t[(crc ^ p[i]) & 0xffu] ^ (crc >> 8);
+    return crc ^ 0xffffffffu;
+}
+
+/** Raised by Reader on a truncated or malformed stream. */
+class Error : public std::runtime_error
+{
+  public:
+    explicit Error(const std::string &what_arg)
+        : std::runtime_error(what_arg)
+    {
+    }
+};
+
+/** Append-only little-endian primitive writer. */
+class Writer
+{
+  public:
+    void u8(std::uint8_t v) { buf.push_back(static_cast<char>(v)); }
+
+    void
+    u16(std::uint16_t v)
+    {
+        u8(static_cast<std::uint8_t>(v));
+        u8(static_cast<std::uint8_t>(v >> 8));
+    }
+
+    void
+    u32(std::uint32_t v)
+    {
+        u16(static_cast<std::uint16_t>(v));
+        u16(static_cast<std::uint16_t>(v >> 16));
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        u32(static_cast<std::uint32_t>(v));
+        u32(static_cast<std::uint32_t>(v >> 32));
+    }
+
+    void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+
+    void
+    f64(double v)
+    {
+        std::uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(v));
+        std::memcpy(&bits, &v, sizeof(bits));
+        u64(bits);
+    }
+
+    void boolean(bool v) { u8(v ? 1 : 0); }
+
+    void
+    str(const std::string &s)
+    {
+        u32(static_cast<std::uint32_t>(s.size()));
+        buf.append(s);
+    }
+
+    const std::string &bytes() const { return buf; }
+    std::string takeBytes() { return std::move(buf); }
+
+  private:
+    std::string buf;
+};
+
+/** Bounds-checked little-endian primitive reader over a byte view. */
+class Reader
+{
+  public:
+    Reader(const char *data, std::size_t len) : p(data), end(data + len)
+    {
+    }
+
+    explicit Reader(const std::string &data)
+        : Reader(data.data(), data.size())
+    {
+    }
+
+    std::uint8_t
+    u8()
+    {
+        need(1);
+        return static_cast<std::uint8_t>(*p++);
+    }
+
+    std::uint16_t
+    u16()
+    {
+        std::uint16_t lo = u8();
+        return static_cast<std::uint16_t>(lo |
+                                          (std::uint16_t(u8()) << 8));
+    }
+
+    std::uint32_t
+    u32()
+    {
+        std::uint32_t lo = u16();
+        return lo | (std::uint32_t(u16()) << 16);
+    }
+
+    std::uint64_t
+    u64()
+    {
+        std::uint64_t lo = u32();
+        return lo | (std::uint64_t(u32()) << 32);
+    }
+
+    std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+
+    double
+    f64()
+    {
+        std::uint64_t bits = u64();
+        double v;
+        std::memcpy(&v, &bits, sizeof(v));
+        return v;
+    }
+
+    bool boolean() { return u8() != 0; }
+
+    std::string
+    str()
+    {
+        std::uint32_t len = u32();
+        need(len);
+        std::string s(p, len);
+        p += len;
+        return s;
+    }
+
+    /** Bytes not yet consumed. */
+    std::size_t remaining() const
+    {
+        return static_cast<std::size_t>(end - p);
+    }
+
+    bool atEnd() const { return p == end; }
+
+  private:
+    void
+    need(std::size_t n)
+    {
+        if (static_cast<std::size_t>(end - p) < n)
+            throw Error("serialized stream truncated");
+    }
+
+    const char *p;
+    const char *end;
+};
+
+} // namespace parrot::serial
+
+#endif // PARROT_COMMON_SERIALIZE_HH

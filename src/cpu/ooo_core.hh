@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/arena.hh"
+#include "common/serialize.hh"
 #include "common/types.hh"
 #include "cpu/core_config.hh"
 #include "isa/registers.hh"
@@ -111,6 +112,52 @@ class OooCore
     }
 
     const CoreConfig &config() const { return cfg; }
+
+    /**
+     * Serialize the core at a drained boundary. Only quiesced state is
+     * written (sequence counters, rename table, stats): a drained core
+     * has no ROB/IQ/MSHR residue by definition, which is what makes
+     * the checkpoint format independent of the core's internal pools.
+     * @pre drained().
+     */
+    void
+    saveState(serial::Writer &out) const
+    {
+        PARROT_ASSERT(drained() && completions.empty(),
+                      "core checkpoint requires a drained boundary");
+        out.u64(headSeq);
+        out.u64(tailSeq);
+        out.u64(curCycle);
+        for (unsigned r = 0; r < isa::numArchRegs; ++r) {
+            out.u64(lastWriter[r]);
+            out.boolean(lastWriterValid[r]);
+        }
+        out.u64(nCommittedUops.value());
+        out.u64(nCommittedInsts.value());
+        out.u64(nIssuedUops.value());
+        out.u64(nIdleCycles.value());
+    }
+
+    /** Restore a drained-boundary checkpoint. @pre drained(). */
+    void
+    loadState(serial::Reader &in)
+    {
+        PARROT_ASSERT(drained() && completions.empty(),
+                      "core checkpoint restore requires a fresh core");
+        headSeq = in.u64();
+        tailSeq = in.u64();
+        if (headSeq != tailSeq)
+            throw serial::Error("core checkpoint was not drained");
+        curCycle = in.u64();
+        for (unsigned r = 0; r < isa::numArchRegs; ++r) {
+            lastWriter[r] = in.u64();
+            lastWriterValid[r] = in.boolean();
+        }
+        nCommittedUops.restore(in.u64());
+        nCommittedInsts.restore(in.u64());
+        nIssuedUops.restore(in.u64());
+        nIdleCycles.restore(in.u64());
+    }
 
   private:
     enum class State : std::uint8_t

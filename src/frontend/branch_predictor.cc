@@ -42,6 +42,18 @@ BranchPredictor::predict(Addr pc)
 void
 BranchPredictor::update(Addr pc, bool taken)
 {
+    train(pc, taken, true);
+}
+
+void
+BranchPredictor::warmUpdate(Addr pc, bool taken)
+{
+    train(pc, taken, false);
+}
+
+void
+BranchPredictor::train(Addr pc, bool taken, bool record_sample)
+{
     const std::uint64_t bi = bimodalIndex(pc);
     const std::uint64_t gi = gshareIndex(pc);
     SatCounter &b = bimodal[bi];
@@ -51,7 +63,8 @@ BranchPredictor::update(Addr pc, bool taken)
     const bool b_correct = (b.isSet() == taken);
     const bool g_correct = (g.isSet() == taken);
     const bool used_gshare = c.isSet();
-    correct.sample(used_gshare ? g_correct : b_correct);
+    if (record_sample)
+        correct.sample(used_gshare ? g_correct : b_correct);
 
     // Chooser trains toward whichever component was right.
     if (g_correct && !b_correct)
@@ -105,6 +118,62 @@ BranchPredictor::rasPop()
     Addr top = ras.back();
     ras.pop_back();
     return top;
+}
+
+void
+BranchPredictor::saveState(serial::Writer &out) const
+{
+    auto save_table = [&](const std::vector<SatCounter> &table) {
+        out.u32(static_cast<std::uint32_t>(table.size()));
+        for (const SatCounter &c : table)
+            out.u8(static_cast<std::uint8_t>(c.read()));
+    };
+    save_table(bimodal);
+    save_table(gshare);
+    save_table(chooser);
+    out.u64(history.value());
+    out.u32(static_cast<std::uint32_t>(btb.size()));
+    for (const BtbEntry &entry : btb) {
+        out.u64(entry.pc);
+        out.u64(entry.target);
+        out.boolean(entry.valid);
+    }
+    out.u32(static_cast<std::uint32_t>(ras.size()));
+    for (Addr a : ras)
+        out.u64(a);
+    out.u64(correct.numerator());
+    out.u64(correct.denominator());
+}
+
+void
+BranchPredictor::loadState(serial::Reader &in)
+{
+    auto load_table = [&](std::vector<SatCounter> &table) {
+        if (in.u32() != table.size())
+            throw serial::Error(
+                "branch predictor: checkpoint table size mismatch");
+        for (SatCounter &c : table)
+            c.restore(in.u8());
+    };
+    load_table(bimodal);
+    load_table(gshare);
+    load_table(chooser);
+    history.restore(in.u64());
+    if (in.u32() != btb.size())
+        throw serial::Error("branch predictor: checkpoint BTB mismatch");
+    for (BtbEntry &entry : btb) {
+        entry.pc = in.u64();
+        entry.target = in.u64();
+        entry.valid = in.boolean();
+    }
+    const std::uint32_t ras_depth = in.u32();
+    if (ras_depth > cfg.rasEntries)
+        throw serial::Error("branch predictor: checkpoint RAS overflow");
+    ras.clear();
+    for (std::uint32_t i = 0; i < ras_depth; ++i)
+        ras.push_back(in.u64());
+    const Counter numer = in.u64();
+    correct.restore(numer, in.u64());
 }
 
 } // namespace parrot::frontend

@@ -11,6 +11,7 @@
 
 #include "common/bitutil.hh"
 #include "common/counters.hh"
+#include "common/serialize.hh"
 #include "common/types.hh"
 #include "stats/group.hh"
 #include "stats/stats.hh"
@@ -54,6 +55,14 @@ class BranchPredictor
     /** Train with the actual outcome and update global history. */
     void update(Addr pc, bool taken);
 
+    /**
+     * Warm-state training for sampled fast-forward: trains the
+     * direction tables, chooser and global history exactly like
+     * update() but records no accuracy sample — warm phases keep the
+     * predictor hot without diluting the measured window's ratio.
+     */
+    void warmUpdate(Addr pc, bool taken);
+
     /** @name BTB — taken-target cache for direct CTIs. @{ */
     bool btbLookup(Addr pc, Addr &target) const;
     void btbInsert(Addr pc, Addr target);
@@ -87,7 +96,15 @@ class BranchPredictor
                          [this] { return mispredictRatio(); });
     }
 
+    /** Serialize tables, history, BTB, RAS and counters. */
+    void saveState(serial::Writer &out) const;
+
+    /** Restore checkpointed state (geometry must match). */
+    void loadState(serial::Reader &in);
+
   private:
+    void train(Addr pc, bool taken, bool record_sample);
+
     std::uint64_t bimodalIndex(Addr pc) const;
     std::uint64_t gshareIndex(Addr pc) const;
 

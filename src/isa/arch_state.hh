@@ -13,10 +13,14 @@
 #ifndef PARROT_ISA_ARCH_STATE_HH
 #define PARROT_ISA_ARCH_STATE_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "common/bitutil.hh"
+#include "common/serialize.hh"
 #include "common/types.hh"
 #include "isa/registers.hh"
 #include "isa/uop.hh"
@@ -28,37 +32,157 @@ namespace parrot::isa
  * Sparse 64-bit-word memory. Reads of never-written locations return
  * mix64(addr) — deterministic, address-dependent, rarely zero — which
  * keeps functional comparisons meaningful without materializing memory.
+ *
+ * Storage is paged (64 words per page, one written-bit per word) with a
+ * one-entry page cache, so the load/store fast path in executeUop is a
+ * shift-compare instead of a hash lookup on every access; the per-word
+ * written bits keep the unwritten-read hash semantics exact even inside
+ * a partially written page.
  */
 class SparseMemory
 {
   public:
+    SparseMemory() = default;
+
+    // The page cache points into this object's own map, so it must not
+    // travel across copies or moves.
+    SparseMemory(const SparseMemory &other)
+        : pages(other.pages), numWritten(other.numWritten)
+    {
+    }
+
+    SparseMemory(SparseMemory &&other) noexcept
+        : pages(std::move(other.pages)), numWritten(other.numWritten)
+    {
+        other.clear();
+    }
+
+    SparseMemory &
+    operator=(const SparseMemory &other)
+    {
+        pages = other.pages;
+        numWritten = other.numWritten;
+        lastKey = kNoPage;
+        lastPage = nullptr;
+        return *this;
+    }
+
+    SparseMemory &
+    operator=(SparseMemory &&other) noexcept
+    {
+        pages = std::move(other.pages);
+        numWritten = other.numWritten;
+        lastKey = kNoPage;
+        lastPage = nullptr;
+        other.clear();
+        return *this;
+    }
+
     /** Read the word at addr (word-aligned internally by addr value). */
     std::int64_t
     read(Addr addr) const
     {
-        auto it = words.find(addr);
-        if (it != words.end())
-            return it->second;
+        const Page *p = findPage(addr >> kPageShift);
+        if (p) {
+            const unsigned slot =
+                static_cast<unsigned>(addr & kSlotMask);
+            if (p->written & (std::uint64_t{1} << slot))
+                return p->vals[slot];
+        }
         return static_cast<std::int64_t>(mix64(addr));
     }
 
     /** Write the word at addr. */
-    void write(Addr addr, std::int64_t value) { words[addr] = value; }
+    void
+    write(Addr addr, std::int64_t value)
+    {
+        Page &p = pageFor(addr >> kPageShift);
+        const unsigned slot = static_cast<unsigned>(addr & kSlotMask);
+        const std::uint64_t bit = std::uint64_t{1} << slot;
+        if (!(p.written & bit)) {
+            p.written |= bit;
+            ++numWritten;
+        }
+        p.vals[slot] = value;
+    }
 
     /** Number of distinct written locations. */
-    std::size_t writtenWords() const { return words.size(); }
+    std::size_t writtenWords() const { return numWritten; }
 
     /** Discard all written state. */
-    void clear() { words.clear(); }
-
-    /** Access the raw written-word map (tests and store comparison). */
-    const std::unordered_map<Addr, std::int64_t> &raw() const
+    void
+    clear()
     {
-        return words;
+        pages.clear();
+        numWritten = 0;
+        lastKey = kNoPage;
+        lastPage = nullptr;
+    }
+
+    /**
+     * All written (address, value) pairs in ascending address order
+     * (serialization and store comparison).
+     */
+    std::vector<std::pair<Addr, std::int64_t>>
+    writtenEntries() const
+    {
+        std::vector<std::pair<Addr, std::int64_t>> out;
+        out.reserve(numWritten);
+        for (const auto &[key, page] : pages) {
+            std::uint64_t bits = page.written;
+            while (bits) {
+                const unsigned slot = static_cast<unsigned>(
+                    std::countr_zero(bits));
+                bits &= bits - 1;
+                out.emplace_back((key << kPageShift) | slot,
+                                 page.vals[slot]);
+            }
+        }
+        std::sort(out.begin(), out.end());
+        return out;
     }
 
   private:
-    std::unordered_map<Addr, std::int64_t> words;
+    static constexpr unsigned kPageShift = 6; //!< 64 words per page
+    static constexpr Addr kSlotMask = (Addr{1} << kPageShift) - 1;
+    static constexpr Addr kNoPage = ~Addr{0};
+
+    struct Page
+    {
+        std::uint64_t written = 0; //!< one bit per word slot
+        std::int64_t vals[std::size_t{1} << kPageShift] = {};
+    };
+
+    // unordered_map references stay valid across inserts (node-based),
+    // so caching the last page touched is safe; only clear() drops it.
+    const Page *
+    findPage(Addr key) const
+    {
+        if (key == lastKey)
+            return lastPage;
+        auto it = pages.find(key);
+        if (it == pages.end())
+            return nullptr;
+        lastKey = key;
+        lastPage = const_cast<Page *>(&it->second);
+        return lastPage;
+    }
+
+    Page &
+    pageFor(Addr key)
+    {
+        if (key == lastKey)
+            return *lastPage;
+        Page &p = pages[key];
+        lastKey = key;
+        lastPage = &p;
+        return p;
+    }
+
+    std::unordered_map<Addr, Page> pages;
+    std::size_t numWritten = 0;
+    mutable Addr lastKey = kNoPage;
+    mutable Page *lastPage = nullptr;
 };
 
 /** Full architectural state: registers (incl. flags) and memory. */
@@ -70,6 +194,36 @@ struct ArchState
     std::int64_t reg(RegId r) const { return regs[r]; }
     void setReg(RegId r, std::int64_t v) { regs[r] = v; }
 };
+
+/** Serialize an architectural state. Written memory words go out in
+ * sorted address order so identical states always produce identical
+ * bytes regardless of hash-map history. */
+inline void
+saveArchState(const ArchState &state, serial::Writer &out)
+{
+    for (unsigned r = 0; r < numArchRegs; ++r)
+        out.i64(state.regs[r]);
+    const auto words = state.mem.writtenEntries();
+    out.u64(words.size());
+    for (const auto &[addr, value] : words) {
+        out.u64(addr);
+        out.i64(value);
+    }
+}
+
+/** Restore a serialized architectural state (replaces all content). */
+inline void
+loadArchState(ArchState &state, serial::Reader &in)
+{
+    for (unsigned r = 0; r < numArchRegs; ++r)
+        state.regs[r] = in.i64();
+    state.mem.clear();
+    const std::uint64_t n = in.u64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const Addr addr = in.u64();
+        state.mem.write(addr, in.i64());
+    }
+}
 
 /** Side information produced by functionally executing one uop. */
 struct UopExecInfo

@@ -79,6 +79,39 @@ Cache::access(Addr addr, bool write)
     return result;
 }
 
+AccessResult
+Cache::warmAccess(Addr addr, bool write)
+{
+    AccessResult result;
+    const std::uint64_t set = setIndex(addr);
+    const Addr tag = tagOf(addr);
+    Line *way = &lines[set * cfg.assoc];
+
+    Line *victim = way;
+    for (unsigned w = 0; w < cfg.assoc; ++w) {
+        Line &line = way[w];
+        if (line.valid && line.tag == tag) {
+            line.lruStamp = ++stamp;
+            line.dirty |= write;
+            result.hit = true;
+            return result;
+        }
+        if (!line.valid) {
+            victim = &line;
+        } else if (victim->valid && line.lruStamp < victim->lruStamp) {
+            victim = &line;
+        }
+    }
+
+    if (victim->valid && victim->dirty)
+        result.writeback = true;
+    victim->valid = true;
+    victim->tag = tag;
+    victim->dirty = write;
+    victim->lruStamp = ++stamp;
+    return result;
+}
+
 bool
 Cache::fill(Addr addr)
 {
@@ -141,6 +174,41 @@ Cache::regStats(stats::Group &group)
     group.add(&misses);
     group.add(&writebacks);
     group.addFormula("miss_ratio", [this] { return missRatio(); });
+}
+
+void
+Cache::saveState(serial::Writer &out) const
+{
+    out.u64(lines.size());
+    for (const Line &line : lines) {
+        out.u64(line.tag);
+        out.boolean(line.valid);
+        out.boolean(line.dirty);
+        out.u64(line.lruStamp);
+    }
+    out.u64(stamp);
+    out.u64(hits.value());
+    out.u64(misses.value());
+    out.u64(writebacks.value());
+}
+
+void
+Cache::loadState(serial::Reader &in)
+{
+    const std::uint64_t n = in.u64();
+    if (n != lines.size())
+        throw serial::Error("cache '" + cfg.name +
+                            "': checkpoint geometry mismatch");
+    for (Line &line : lines) {
+        line.tag = in.u64();
+        line.valid = in.boolean();
+        line.dirty = in.boolean();
+        line.lruStamp = in.u64();
+    }
+    stamp = in.u64();
+    hits.restore(in.u64());
+    misses.restore(in.u64());
+    writebacks.restore(in.u64());
 }
 
 } // namespace parrot::memory

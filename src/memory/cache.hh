@@ -17,6 +17,7 @@
 
 #include "common/bitutil.hh"
 #include "common/logging.hh"
+#include "common/serialize.hh"
 #include "common/types.hh"
 #include "stats/group.hh"
 #include "stats/stats.hh"
@@ -66,6 +67,14 @@ class Cache
      */
     AccessResult access(Addr addr, bool write);
 
+    /**
+     * Warm-state access for sampled fast-forward: identical tag/LRU/
+     * allocation behaviour to access(), but records no demand
+     * statistics — warm phases keep the arrays hot without polluting
+     * the hit/miss counters the detailed windows are measured by.
+     */
+    AccessResult warmAccess(Addr addr, bool write);
+
     /** Probe without updating LRU or allocating (for tests/inspection). */
     bool contains(Addr addr) const;
 
@@ -100,6 +109,12 @@ class Cache
 
     /** Register this cache's stats into a stats-tree group. */
     void regStats(stats::Group &group);
+
+    /** Serialize tags, LRU state and counters to a checkpoint. */
+    void saveState(serial::Writer &out) const;
+
+    /** Restore checkpointed state (geometry must match). */
+    void loadState(serial::Reader &in);
 
   private:
     struct Line

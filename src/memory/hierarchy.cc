@@ -60,6 +60,46 @@ Hierarchy::accessData(Addr addr, bool write)
 }
 
 void
+Hierarchy::warmFetchInst(Addr addr)
+{
+    if (l1iCache->warmAccess(addr, false).hit)
+        return;
+    l2Cache->warmAccess(addr, false);
+    if (cfg.l1iNextLinePrefetch)
+        l1iCache->fill(addr + cfg.l1i.lineBytes);
+}
+
+void
+Hierarchy::warmAccessData(Addr addr, bool write)
+{
+    if (l1dCache->warmAccess(addr, write).hit)
+        return;
+    l2Cache->warmAccess(addr, write);
+    if (cfg.l1dNextLinePrefetch)
+        l1dCache->fill(addr + cfg.l1d.lineBytes);
+}
+
+void
+Hierarchy::saveState(serial::Writer &out) const
+{
+    l1iCache->saveState(out);
+    l1dCache->saveState(out);
+    l2Cache->saveState(out);
+    out.u64(memCount.value());
+    out.u64(prefetchCount.value());
+}
+
+void
+Hierarchy::loadState(serial::Reader &in)
+{
+    l1iCache->loadState(in);
+    l1dCache->loadState(in);
+    l2Cache->loadState(in);
+    memCount.restore(in.u64());
+    prefetchCount.restore(in.u64());
+}
+
+void
 Hierarchy::regStats(stats::Group &group)
 {
     l1iCache->regStats(group.subgroup("l1i"));

@@ -63,6 +63,13 @@ class Hierarchy
     /** Data access (read or write) of the line containing addr. */
     HierarchyAccess accessData(Addr addr, bool write);
 
+    /** Warm-state instruction fetch (sampled fast-forward): keeps
+     * tags/LRU hot at every level without moving demand counters. */
+    void warmFetchInst(Addr addr);
+
+    /** Warm-state data access: tags/LRU only, no demand counters. */
+    void warmAccessData(Addr addr, bool write);
+
     const Cache &l1i() const { return *l1iCache; }
     const Cache &l1d() const { return *l1dCache; }
     const Cache &l2() const { return *l2Cache; }
@@ -80,6 +87,12 @@ class Hierarchy
     /** Register per-level subgroups (l1i/l1d/l2) plus hierarchy-wide
      * counters into a stats-tree group. */
     void regStats(stats::Group &group);
+
+    /** Serialize all three levels plus the hierarchy counters. */
+    void saveState(serial::Writer &out) const;
+
+    /** Restore checkpointed state (geometry must match). */
+    void loadState(serial::Reader &in);
 
   private:
     /** Handle an L1 miss through L2/memory; returns added latency. */

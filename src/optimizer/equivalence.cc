@@ -58,7 +58,7 @@ equivalent(const std::vector<tracecache::TraceUop> &a,
     auto compare_mem = [&](const isa::SparseMemory &x,
                            const isa::SparseMemory &y,
                            const char *label) {
-        for (const auto &[addr, value] : x.raw()) {
+        for (const auto &[addr, value] : x.writtenEntries()) {
             if (y.read(addr) != value) {
                 if (why) {
                     char buf[128];

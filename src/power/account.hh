@@ -86,6 +86,13 @@ class EnergyAccount
     /** Zero all counters. */
     void reset() { counts.fill(0); }
 
+    /** Restore one checkpointed event count (checkpoint resume). */
+    void
+    restore(PowerEvent e, Counter n)
+    {
+        counts[static_cast<unsigned>(e)] = n;
+    }
+
     /** Register one formula per power event under an "events" child
      * group (the raw counts; joules are derived by the owner, which
      * knows which EnergyModel prices this account). */

@@ -40,6 +40,7 @@
 #include <array>
 #include <string>
 
+#include "common/serialize.hh"
 #include "common/types.hh"
 #include "power/account.hh"
 #include "power/events.hh"
@@ -193,6 +194,32 @@ class PowerGate
     /** Register the per-unit counters into `group` (the caller passes
      * the power.gate.<unit> subgroup). */
     void regStats(stats::Group &group);
+
+    /** Serialize the sleep/wake machine state and counters. */
+    void
+    saveState(serial::Writer &out) const
+    {
+        out.u32(idleRun);
+        out.boolean(sleeping);
+        out.boolean(waking);
+        out.u64(nIdleCycles.value());
+        out.u64(nGatedCycles.value());
+        out.u64(nWakeStalls.value());
+        out.u64(nSleepEntries.value());
+    }
+
+    /** Restore checkpointed sleep/wake state. */
+    void
+    loadState(serial::Reader &in)
+    {
+        idleRun = in.u32();
+        sleeping = in.boolean();
+        waking = in.boolean();
+        nIdleCycles.restore(in.u64());
+        nGatedCycles.restore(in.u64());
+        nWakeStalls.restore(in.u64());
+        nSleepEntries.restore(in.u64());
+    }
 
   private:
     GatePolicy policy{};

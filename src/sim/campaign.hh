@@ -85,9 +85,10 @@ struct CampaignReport
     /** Every cell memoized (healthy or tombstoned) at the end. */
     bool converged = false;
 
-    /** Campaign exit status: 1 (alarm) when not converged, 3
-     * (degraded) when converged but some cells are tombstones, else
-     * 0 — composed via cli::combinedExit. */
+    /** Campaign exit status: 3 (degraded) when the grid is incomplete
+     * — cells still missing after the rounds ran out, or present only
+     * as tombstones — else 0. Composed via cli::combinedExit; code 1
+     * is reserved for correctness alarms (cosim mismatches). */
     int exitCode() const;
 };
 

@@ -1,0 +1,229 @@
+#include "sim/checkpoint.hh"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/atomic_file.hh"
+#include "common/serialize.hh"
+
+namespace parrot::sim
+{
+
+namespace
+{
+
+constexpr char checkpointMagic[4] = {'P', 'C', 'K', 'P'};
+
+void
+putU16(std::string &out, std::uint16_t v)
+{
+    out.push_back(static_cast<char>(v & 0xff));
+    out.push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+void
+putU32(std::string &out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void
+putSection(std::string &out, const std::string &payload)
+{
+    putU32(out, static_cast<std::uint32_t>(payload.size()));
+    putU32(out,
+           serial::crc32(
+               reinterpret_cast<const std::uint8_t *>(payload.data()),
+               payload.size()));
+    out += payload;
+}
+
+/** Cursor over a hostile byte image; all reads bounds-checked. */
+struct Cursor
+{
+    const std::uint8_t *data;
+    std::size_t len;
+    std::size_t off = 0;
+
+    void
+    need(std::size_t n, const char *what)
+    {
+        if (len - off < n)
+            throw CheckpointFormatError(
+                CheckpointError::Truncated,
+                std::string("checkpoint ends inside ") + what);
+    }
+
+    std::uint16_t
+    u16(const char *what)
+    {
+        need(2, what);
+        std::uint16_t v = static_cast<std::uint16_t>(
+            data[off] | (data[off + 1] << 8));
+        off += 2;
+        return v;
+    }
+
+    std::uint32_t
+    u32(const char *what)
+    {
+        need(4, what);
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<std::uint32_t>(data[off + i]) << (8 * i);
+        off += 4;
+        return v;
+    }
+
+    std::string
+    section(const char *what)
+    {
+        const std::uint32_t length = u32(what);
+        const std::uint32_t want_crc = u32(what);
+        need(length, what);
+        const std::uint32_t got_crc = serial::crc32(data + off, length);
+        if (got_crc != want_crc)
+            throw CheckpointFormatError(
+                CheckpointError::SectionCrc,
+                std::string("checkpoint ") + what +
+                    " section CRC mismatch");
+        std::string payload(reinterpret_cast<const char *>(data + off),
+                            length);
+        off += length;
+        return payload;
+    }
+};
+
+} // namespace
+
+const char *
+checkpointErrorName(CheckpointError e)
+{
+    switch (e) {
+      case CheckpointError::Io: return "Io";
+      case CheckpointError::Empty: return "Empty";
+      case CheckpointError::BadMagic: return "BadMagic";
+      case CheckpointError::BadVersion: return "BadVersion";
+      case CheckpointError::BadReserved: return "BadReserved";
+      case CheckpointError::Truncated: return "Truncated";
+      case CheckpointError::SectionCrc: return "SectionCrc";
+      case CheckpointError::BadMeta: return "BadMeta";
+      case CheckpointError::ModelMismatch: return "ModelMismatch";
+      case CheckpointError::AppMismatch: return "AppMismatch";
+      case CheckpointError::BadState: return "BadState";
+      case CheckpointError::TrailingBytes: return "TrailingBytes";
+      case CheckpointError::NumErrors: break;
+    }
+    return "Unknown";
+}
+
+std::string
+encodeCheckpoint(const CheckpointMeta &meta, const std::string &state)
+{
+    serial::Writer mw;
+    mw.str(meta.model);
+    mw.str(meta.app);
+    mw.u64(meta.seed);
+    mw.u64(meta.position);
+    mw.u64(meta.instBudget);
+
+    std::string out;
+    out.append(checkpointMagic, sizeof(checkpointMagic));
+    putU16(out, checkpointVersion);
+    putU16(out, 0); // reserved
+    const auto &meta_bytes = mw.bytes();
+    putSection(out,
+               std::string(reinterpret_cast<const char *>(
+                               meta_bytes.data()),
+                           meta_bytes.size()));
+    putSection(out, state);
+    return out;
+}
+
+CheckpointMeta
+decodeCheckpoint(const std::string &bytes, std::string &state_out)
+{
+    if (bytes.empty())
+        throw CheckpointFormatError(CheckpointError::Empty,
+                                    "checkpoint file is empty");
+    Cursor cur{reinterpret_cast<const std::uint8_t *>(bytes.data()),
+               bytes.size()};
+    cur.need(4, "the magic number");
+    if (std::memcmp(cur.data, checkpointMagic, 4) != 0)
+        throw CheckpointFormatError(
+            CheckpointError::BadMagic,
+            "checkpoint magic is not \"PCKP\"");
+    cur.off = 4;
+    const std::uint16_t version = cur.u16("the version field");
+    if (version != checkpointVersion)
+        throw CheckpointFormatError(
+            CheckpointError::BadVersion,
+            "unsupported checkpoint version " + std::to_string(version));
+    if (cur.u16("the reserved field") != 0)
+        throw CheckpointFormatError(
+            CheckpointError::BadReserved,
+            "checkpoint reserved bytes are non-zero");
+
+    const std::string meta_bytes = cur.section("META");
+    const std::string state = cur.section("STATE");
+    if (cur.off != cur.len)
+        throw CheckpointFormatError(
+            CheckpointError::TrailingBytes,
+            "bytes remain after the checkpoint STATE section");
+
+    CheckpointMeta meta;
+    try {
+        serial::Reader mr(meta_bytes);
+        meta.model = mr.str();
+        meta.app = mr.str();
+        meta.seed = mr.u64();
+        meta.position = mr.u64();
+        meta.instBudget = mr.u64();
+        if (!mr.atEnd())
+            throw serial::Error("trailing META bytes");
+    } catch (const serial::Error &e) {
+        throw CheckpointFormatError(
+            CheckpointError::BadMeta,
+            std::string("checkpoint META section is invalid: ") +
+                e.what());
+    }
+    if (meta.model.empty() || meta.app.empty())
+        throw CheckpointFormatError(
+            CheckpointError::BadMeta,
+            "checkpoint META names an empty model or application");
+    state_out = state;
+    return meta;
+}
+
+void
+writeCheckpointFile(const std::string &path, const CheckpointMeta &meta,
+                    const std::string &state)
+{
+    std::string err;
+    if (!atomic_file::writeFileAtomic(path, encodeCheckpoint(meta, state),
+                                      &err))
+        throw CheckpointFormatError(
+            CheckpointError::Io,
+            "cannot write checkpoint '" + path + "': " + err);
+}
+
+CheckpointMeta
+readCheckpointFile(const std::string &path, std::string &state_out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw CheckpointFormatError(
+            CheckpointError::Io,
+            "cannot open checkpoint '" + path + "'");
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    if (in.bad())
+        throw CheckpointFormatError(
+            CheckpointError::Io,
+            "cannot read checkpoint '" + path + "'");
+    return decodeCheckpoint(buf.str(), state_out);
+}
+
+} // namespace parrot::sim

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * The `.pckp` warm-state checkpoint container.
+ *
+ * A checkpoint freezes one (model, application) simulation at a
+ * committed-instruction boundary so a later process can resume it
+ * byte-identically: architectural state, every warm structure (cache
+ * tags, branch predictor tables, trace cache / selector / filter
+ * contents), the drained core bookkeeping and the simulator's own
+ * fetch-state machine all serialize through `serial::Writer` into one
+ * opaque STATE payload. This header owns only the file container
+ * around that payload, mirroring the `.ptrace` framing discipline:
+ *
+ * ```
+ *   bytes 0-3   magic "PCKP"
+ *   bytes 4-5   u16 LE format version (currently 1)
+ *   bytes 6-7   u16 LE reserved, must be 0
+ *   section     META   u32 LE payload length, u32 LE CRC32, payload
+ *   section     STATE  u32 LE payload length, u32 LE CRC32, payload
+ * ```
+ *
+ * The META section names the model, application, seed, saved position
+ * and budget, so a resume against the wrong cell is rejected before
+ * any state is deserialized. Every section is independently
+ * CRC-protected and the decoder treats input as hostile: structural
+ * violations raise CheckpointFormatError with a stable category
+ * (never a crash or a silent mis-resume). Files are published through
+ * the crash-safe atomic-file layer.
+ */
+
+#ifndef PARROT_SIM_CHECKPOINT_HH
+#define PARROT_SIM_CHECKPOINT_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace parrot::sim
+{
+
+/** Current checkpoint format version. */
+inline constexpr std::uint16_t checkpointVersion = 1;
+
+/**
+ * Why a checkpoint input was rejected. Categories are stable (the
+ * corrupt-input test matrix keys on them); messages add detail.
+ */
+enum class CheckpointError : std::uint8_t
+{
+    Io,            //!< cannot read/write the file at all
+    Empty,         //!< zero-length input
+    BadMagic,      //!< leading bytes are not "PCKP"
+    BadVersion,    //!< unsupported format version
+    BadReserved,   //!< reserved header bytes are non-zero
+    Truncated,     //!< input ends inside a section
+    SectionCrc,    //!< section payload CRC mismatch
+    BadMeta,       //!< META fields are structurally invalid
+    ModelMismatch, //!< checkpoint was saved for a different model
+    AppMismatch,   //!< checkpoint was saved for a different app
+    BadState,      //!< STATE payload inconsistent with the model
+    TrailingBytes, //!< bytes remain after the STATE section
+    NumErrors
+};
+
+/** Stable category name ("BadMagic", ...). */
+const char *checkpointErrorName(CheckpointError e);
+
+/** Thrown on any malformed or mismatched checkpoint input. */
+class CheckpointFormatError : public std::runtime_error
+{
+  public:
+    CheckpointFormatError(CheckpointError category,
+                          const std::string &message)
+        : std::runtime_error(message), cat(category)
+    {}
+
+    CheckpointError category() const { return cat; }
+
+  private:
+    CheckpointError cat;
+};
+
+/** Identity + position metadata framed ahead of the state payload. */
+struct CheckpointMeta
+{
+    std::string model;            //!< ModelConfig::name at save time
+    std::string app;              //!< application / trace name
+    std::uint64_t seed = 0;       //!< workload seed
+    std::uint64_t position = 0;   //!< committed insts when saved
+    std::uint64_t instBudget = 0; //!< budget of the saving run
+};
+
+/** Frame meta + state payload into a complete checkpoint image. */
+std::string encodeCheckpoint(const CheckpointMeta &meta,
+                             const std::string &state);
+
+/**
+ * Parse and CRC-verify a checkpoint image; fills `state_out` with the
+ * still-serialized STATE payload. @throws CheckpointFormatError.
+ */
+CheckpointMeta decodeCheckpoint(const std::string &bytes,
+                                std::string &state_out);
+
+/** Publish a checkpoint via writeFileAtomic.
+ * @throws CheckpointFormatError (category Io) on write failure. */
+void writeCheckpointFile(const std::string &path,
+                         const CheckpointMeta &meta,
+                         const std::string &state);
+
+/** Read + decode a checkpoint file. @throws CheckpointFormatError. */
+CheckpointMeta readCheckpointFile(const std::string &path,
+                                  std::string &state_out);
+
+} // namespace parrot::sim
+
+#endif // PARROT_SIM_CHECKPOINT_HH

@@ -109,6 +109,16 @@ keyTable()
         {"trace_file",
          [](ModelConfig &c, const std::string &v, const std::string &,
             const std::string &) { c.traceFile = v; }},
+        {"sample.window",
+         [](ModelConfig &c, const std::string &v, const std::string &k,
+            const std::string &o) {
+             c.sampleWindow = parseUnsigned(v, k, o);
+         }},
+        {"sample.stride",
+         [](ModelConfig &c, const std::string &v, const std::string &k,
+            const std::string &o) {
+             c.sampleStride = parseUnsigned(v, k, o);
+         }},
 
         // Cold (or unified) core.
         {"core.width",
@@ -373,6 +383,10 @@ renderModelConfig(const ModelConfig &cfg)
     out << "stats_interval = " << cfg.statsInterval << "\n";
     if (!cfg.traceFile.empty())
         out << "trace_file = " << cfg.traceFile << "\n";
+    if (cfg.sampleWindow > 0) {
+        out << "sample.window = " << cfg.sampleWindow << "\n";
+        out << "sample.stride = " << cfg.sampleStride << "\n";
+    }
     out << "core.width = " << cfg.coldCore.width << "\n";
     out << "core.rob = " << cfg.coldCore.robSize << "\n";
     out << "core.iq = " << cfg.coldCore.iqSize << "\n";

@@ -125,6 +125,15 @@ ModelConfig::validate() const
     if (!(freqGHz >= 0.25 && freqGHz <= 4.0))
         PARROT_FATAL("model %s: freq_ghz %.3f outside [0.25, 4.0]",
                      name.c_str(), freqGHz);
+    if (sampleWindow > 0 && sampleStride <= sampleWindow)
+        PARROT_FATAL("model %s: sample.stride (%llu) must exceed "
+                     "sample.window (%llu)",
+                     name.c_str(),
+                     static_cast<unsigned long long>(sampleStride),
+                     static_cast<unsigned long long>(sampleWindow));
+    if (sampleWindow == 0 && sampleStride > 0)
+        PARROT_FATAL("model %s: sample.stride without sample.window",
+                     name.c_str());
     powerState.validate();
 }
 

@@ -83,6 +83,21 @@ struct ModelConfig
      * never changes timing, energy or end-of-run results. */
     unsigned statsInterval = 0;
 
+    /**
+     * @name Sampled (SMARTS-style) simulation
+     * When sampleWindow > 0, run() simulates `sampleWindow`
+     * instructions in detail out of every `sampleStride`, functionally
+     * fast-forwarding the gap while keeping architectural and warm
+     * state (cache tags, predictor tables, trace-cache contents)
+     * up to date. Extensive end-of-run metrics are extrapolated from
+     * the detailed windows and the result carries sample.* confidence
+     * fields. 0 (the default) disables sampling: every instruction is
+     * simulated in detail. @{
+     */
+    std::uint64_t sampleWindow = 0; //!< detailed insts per window
+    std::uint64_t sampleStride = 0; //!< insts between window starts
+    /** @} */
+
     /** When non-empty, every suite cell replays this recorded `.ptrace`
      * file instead of the synthetic generator (config key `trace_file`;
      * entries that already carry their own trace path win). */

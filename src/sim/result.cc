@@ -52,69 +52,80 @@ unitFieldOf(unsigned u)
     };
 }
 
+/** Mark a descriptor extensive (extrapolated by sampled runs). */
+ResultField
+ext(ResultField f)
+{
+    f.extensive = true;
+    return f;
+}
+
 std::vector<ResultField>
 buildFields()
 {
     std::vector<ResultField> f;
 
-    f.push_back(fieldOf("perf.insts", &SimResult::insts));
-    f.push_back(fieldOf("perf.uops", &SimResult::uops));
-    f.push_back(fieldOf("perf.cycles", &SimResult::cycles));
+    f.push_back(ext(fieldOf("perf.insts", &SimResult::insts)));
+    f.push_back(ext(fieldOf("perf.uops", &SimResult::uops)));
+    f.push_back(ext(fieldOf("perf.cycles", &SimResult::cycles)));
     f.push_back(fieldOf("perf.ipc", &SimResult::ipc));
     f.push_back(fieldOf("perf.upc", &SimResult::upc));
 
-    f.push_back(fieldOf("trace.uops_from_tc",
-                        &SimResult::uopsFromTraceCache));
-    f.push_back(fieldOf("trace.uops_from_cold",
-                        &SimResult::uopsFromColdPipe));
+    f.push_back(ext(fieldOf("trace.uops_from_tc",
+                            &SimResult::uopsFromTraceCache)));
+    f.push_back(ext(fieldOf("trace.uops_from_cold",
+                            &SimResult::uopsFromColdPipe)));
     f.push_back(fieldOf("trace.coverage", &SimResult::coverage));
-    f.push_back(fieldOf("trace.predictions",
-                        &SimResult::tracePredictions));
-    f.push_back(fieldOf("trace.aborts", &SimResult::traceMispredicts));
+    f.push_back(ext(fieldOf("trace.predictions",
+                            &SimResult::tracePredictions)));
+    f.push_back(ext(fieldOf("trace.aborts",
+                            &SimResult::traceMispredicts)));
     f.push_back(fieldOf("trace.abort_rate", &SimResult::traceMispredRate));
     f.push_back(fieldOf("trace.inserted", &SimResult::tracesInserted));
-    f.push_back(fieldOf("trace.executions", &SimResult::traceExecutions));
+    f.push_back(ext(fieldOf("trace.executions",
+                            &SimResult::traceExecutions)));
 
-    f.push_back(fieldOf("frontend.cold_branches",
-                        &SimResult::coldCondBranches));
-    f.push_back(fieldOf("frontend.cold_mispredicts",
-                        &SimResult::coldBranchMispredicts));
+    f.push_back(ext(fieldOf("frontend.cold_branches",
+                            &SimResult::coldCondBranches)));
+    f.push_back(ext(fieldOf("frontend.cold_mispredicts",
+                            &SimResult::coldBranchMispredicts)));
     f.push_back(fieldOf("frontend.cold_mispredict_rate",
                         &SimResult::coldBranchMispredRate));
-    f.push_back(fieldOf("frontend.tp_lookups", &SimResult::tpLookups));
-    f.push_back(fieldOf("frontend.tp_hits", &SimResult::tpHits));
-    f.push_back(fieldOf("frontend.tc_miss_after_predict",
-                        &SimResult::tcMissAfterPredict));
-    f.push_back(fieldOf("frontend.candidates", &SimResult::candidatesSeen));
+    f.push_back(ext(fieldOf("frontend.tp_lookups", &SimResult::tpLookups)));
+    f.push_back(ext(fieldOf("frontend.tp_hits", &SimResult::tpHits)));
+    f.push_back(ext(fieldOf("frontend.tc_miss_after_predict",
+                            &SimResult::tcMissAfterPredict)));
+    f.push_back(ext(fieldOf("frontend.candidates",
+                            &SimResult::candidatesSeen)));
 
     f.push_back(fieldOf("optimizer.traces", &SimResult::tracesOptimized));
     f.push_back(fieldOf("optimizer.static_uop_reduction",
                         &SimResult::avgUopReduction));
     f.push_back(fieldOf("optimizer.static_dep_reduction",
                         &SimResult::avgDepReduction));
-    f.push_back(fieldOf("optimizer.optimized_executions",
-                        &SimResult::optimizedTraceExecutions));
+    f.push_back(ext(fieldOf("optimizer.optimized_executions",
+                            &SimResult::optimizedTraceExecutions)));
     f.push_back(fieldOf("optimizer.utilization",
                         &SimResult::optimizerUtilization));
     f.push_back(fieldOf("optimizer.dynamic_uop_reduction",
                         &SimResult::dynamicUopReduction));
 
-    f.push_back(fieldOf("energy.dynamic", &SimResult::dynamicEnergy));
-    f.push_back(fieldOf("energy.leakage", &SimResult::leakageEnergy));
-    f.push_back(fieldOf("energy.leakage_saved",
-                        &SimResult::leakageSavedEnergy));
-    f.push_back(fieldOf("energy.total", &SimResult::totalEnergy));
+    f.push_back(ext(fieldOf("energy.dynamic", &SimResult::dynamicEnergy)));
+    f.push_back(ext(fieldOf("energy.leakage", &SimResult::leakageEnergy)));
+    f.push_back(ext(fieldOf("energy.leakage_saved",
+                            &SimResult::leakageSavedEnergy)));
+    f.push_back(ext(fieldOf("energy.total", &SimResult::totalEnergy)));
     f.push_back(fieldOf("energy.per_cycle", &SimResult::energyPerCycle));
     for (unsigned u = 0; u < power::numPowerUnits; ++u)
-        f.push_back(unitFieldOf(u));
+        f.push_back(ext(unitFieldOf(u)));
 
     f.push_back(fieldOf("power.cmpw", &SimResult::cmpw));
-    f.push_back(fieldOf("power.gated_cycles",
-                        &SimResult::powerGatedCycles));
-    f.push_back(fieldOf("power.wake_stalls",
-                        &SimResult::powerWakeStalls));
-    f.push_back(fieldOf("power.sleep_entries",
-                        &SimResult::powerSleepEntries));
+    f.push_back(ext(fieldOf("power.gated_cycles",
+                            &SimResult::powerGatedCycles)));
+    f.push_back(ext(fieldOf("power.wake_stalls",
+                            &SimResult::powerWakeStalls)));
+    f.push_back(ext(fieldOf("power.sleep_entries",
+                            &SimResult::powerSleepEntries)));
 
     f.push_back(fieldOf("memory.l1i.miss_ratio", &SimResult::l1iMissRate));
     f.push_back(fieldOf("memory.l1d.miss_ratio", &SimResult::l1dMissRate));
@@ -129,6 +140,14 @@ buildFields()
     f.push_back(fieldOf("cosim.trace_commits",
                         &SimResult::cosimTraceCommits));
     f.push_back(fieldOf("cosim.mismatches", &SimResult::cosimMismatches));
+
+    // Sampled-simulation summary (appended last so older cache rows
+    // migrate by appending the trivial detailed-run values). All
+    // intensive: they describe the sampling itself, never scale.
+    f.push_back(fieldOf("sample.windows", &SimResult::sampleWindows));
+    f.push_back(fieldOf("sample.coverage", &SimResult::sampleCoverage));
+    f.push_back(fieldOf("sample.ci_ipc", &SimResult::sampleCiIpc));
+    f.push_back(fieldOf("sample.ci_energy", &SimResult::sampleCiEnergy));
 
     return f;
 }
@@ -162,6 +181,15 @@ materializeResult(SimResult &out, const stats::Snapshot &snap)
     // whose tree path was never wired up fails loudly here.
     for (const auto &f : resultFields())
         f.set(out, snap.get(f.key));
+}
+
+void
+extrapolateResult(SimResult &r, double scale)
+{
+    for (const auto &f : resultFields()) {
+        if (f.extensive)
+            f.set(r, f.get(r) * scale);
+    }
 }
 
 void

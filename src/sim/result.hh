@@ -100,6 +100,12 @@ struct SimResult
     std::uint64_t cosimTraceCommits = 0; //!< trace boundaries compared
     std::uint64_t cosimMismatches = 0;   //!< divergence events
 
+    // --- sampled simulation (trivial values on detailed runs) ---
+    std::uint64_t sampleWindows = 0; //!< detailed windows measured
+    double sampleCoverage = 1.0;     //!< detailed / total instructions
+    double sampleCiIpc = 0.0;        //!< relative 95% CI of window CPI
+    double sampleCiEnergy = 0.0;     //!< rel. 95% CI of energy per inst
+
     // --- resilience (deliberately NOT in resultFields(): tombstones
     // serialize as their own "!failed" cache-row form, and attempts is
     // per-run provenance, not a simulated metric) ---
@@ -125,6 +131,11 @@ struct ResultField
     std::string key;
     std::function<double(const SimResult &)> get;
     std::function<void(SimResult &, double)> set;
+    /** Extensive metrics grow with the amount of work simulated
+     * (counts, cycles, joules); sampled runs extrapolate them over the
+     * fast-forwarded gap. Intensive metrics (rates, ratios, IPC) are
+     * reported as measured. */
+    bool extensive = false;
 };
 
 /** The descriptor table: one entry per numeric SimResult field, in
@@ -141,6 +152,15 @@ const ResultField *findResultField(const std::string &key);
  * between SimResult and the stats tree.
  */
 void materializeResult(SimResult &out, const stats::Snapshot &snap);
+
+/**
+ * Scale every extensive field of `r` by `scale` (> 1 for sampled runs
+ * extrapolating over fast-forwarded instructions). Intensive fields
+ * are untouched: ratios of extensive quantities (IPC, rates,
+ * energy-per-cycle) are invariant under uniform scaling, so the
+ * extrapolated result stays self-consistent.
+ */
+void extrapolateResult(SimResult &r, double scale);
 
 /**
  * Publish every SimResult metric into a stats registry under its

@@ -1,6 +1,7 @@
 #include "sim/runner.hh"
 
 #include <atomic>
+#include <cctype>
 #include <chrono>
 #include <cmath>
 #include <cstdlib>
@@ -10,6 +11,7 @@
 #include "common/cli.hh"
 #include "common/fault.hh"
 #include "common/logging.hh"
+#include "sim/checkpoint.hh"
 #include "stats/stats.hh"
 
 namespace parrot::sim
@@ -64,7 +66,71 @@ applyRunOptionsEnv(RunOptions &opts)
     if (const char *env = std::getenv("PARROT_RETRY_BACKOFF_MS"))
         opts.retryBackoffMs =
             cli::parseU64("PARROT_RETRY_BACKOFF_MS", env);
+    if (const char *env = std::getenv("PARROT_CHECKPOINT_DIR"))
+        opts.checkpointDir = env;
 }
+
+namespace
+{
+
+/** The checkpoint file one cell reads and writes under `dir`. The
+ * instruction budget is deliberately absent from the name: resuming a
+ * larger budget from a smaller one's checkpoint is the point. */
+std::string
+checkpointPathFor(const std::string &dir, const ModelConfig &config,
+                  const workload::SuiteEntry &entry)
+{
+    std::string leaf = config.name + "__" + entry.profile.name;
+    if (!entry.tracePath.empty()) {
+        // Recordings of the same app are distinct cells; fold the
+        // trace path into the name (sanitized — it contains '/').
+        leaf += "__";
+        for (char c : entry.tracePath)
+            leaf += std::isalnum(static_cast<unsigned char>(c))
+                        ? c : '_';
+    }
+    return dir + "/" + leaf + ".pckp";
+}
+
+/**
+ * Resume `sim` from `path` when a usable checkpoint is there: one that
+ * reads cleanly, matches the cell, and is at or before `inst_budget`
+ * (a checkpoint past the budget describes a longer run than the one
+ * requested; resuming it would report metrics for the wrong budget).
+ * Absent files are silently fresh runs; anything else warns — the
+ * runner degrades to a fresh run instead of failing the cell.
+ */
+void
+maybeResumeFromCheckpoint(ParrotSimulator &sim, const std::string &path,
+                          std::uint64_t inst_budget)
+{
+    CheckpointMeta meta;
+    try {
+        std::string state;
+        meta = readCheckpointFile(path, state);
+    } catch (const CheckpointFormatError &e) {
+        if (e.category() != CheckpointError::Io)
+            PARROT_WARN("ignoring checkpoint %s: %s", path.c_str(),
+                        e.what());
+        return;
+    }
+    if (meta.position > inst_budget) {
+        PARROT_WARN("ignoring checkpoint %s: position %llu is past the "
+                    "requested budget %llu",
+                    path.c_str(),
+                    static_cast<unsigned long long>(meta.position),
+                    static_cast<unsigned long long>(inst_budget));
+        return;
+    }
+    try {
+        sim.loadCheckpoint(path);
+    } catch (const CheckpointFormatError &e) {
+        PARROT_WARN("ignoring checkpoint %s: %s", path.c_str(),
+                    e.what());
+    }
+}
+
+} // namespace
 
 void
 parallelFor(std::size_t count, unsigned jobs,
@@ -192,15 +258,20 @@ SuiteRunner::runPrepared(const ModelConfig &config,
     double pmax_per_cycle = opts.noLeakage ? 0.0 : pmaxValue;
     // A config-level trace_file redirects every cell that doesn't
     // already carry its own recording.
-    if (!config.traceFile.empty() && entry.tracePath.empty()) {
-        workload::SuiteEntry traced = entry;
-        traced.tracePath = config.traceFile;
-        ParrotSimulator sim(config, workloadFor(traced));
-        return sim.run(opts.instBudget, pmax_per_cycle,
-                       opts.deadlineMs);
-    }
-    ParrotSimulator sim(config, workloadFor(entry));
-    return sim.run(opts.instBudget, pmax_per_cycle, opts.deadlineMs);
+    workload::SuiteEntry cell = entry;
+    if (!config.traceFile.empty() && cell.tracePath.empty())
+        cell.tracePath = config.traceFile;
+    ParrotSimulator sim(config, workloadFor(cell));
+    const std::string ckpt = opts.checkpointDir.empty()
+        ? std::string{}
+        : checkpointPathFor(opts.checkpointDir, config, cell);
+    if (!ckpt.empty())
+        maybeResumeFromCheckpoint(sim, ckpt, opts.instBudget);
+    SimResult r = sim.run(opts.instBudget, pmax_per_cycle,
+                          opts.deadlineMs);
+    if (!ckpt.empty())
+        sim.saveCheckpoint(ckpt);
+    return r;
 }
 
 SimResult

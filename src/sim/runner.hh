@@ -59,6 +59,17 @@ struct RunOptions
     unsigned maxRetries = 2;
     /** Backoff before the first retry; doubles per further attempt. */
     std::uint64_t retryBackoffMs = 100;
+    /**
+     * Directory for warm-state checkpoints; empty = checkpointing off.
+     * When set, every cell saves a checkpoint after its run and a later
+     * run of the same (model, app) cell resumes from it — so a long
+     * budget can be simulated in budget increments, each increment
+     * picking up exactly where the previous one stopped. Unreadable or
+     * mismatched checkpoints are ignored with a warning (the cell runs
+     * fresh); only the explicit CLI --checkpoint-in path treats a bad
+     * checkpoint as an error.
+     */
+    std::string checkpointDir;
 };
 
 /**

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdlib>
 #include <thread>
+
+#include "sim/checkpoint.hh"
 
 #include "common/fault.hh"
 #include "common/logging.hh"
@@ -137,6 +140,54 @@ std::uint64_t
 ParrotSimulator::committedInsts() const
 {
     return coldCorePtr->committedInsts() + hotInstsCommitted;
+}
+
+std::uint64_t
+ParrotSimulator::position() const
+{
+    return committedInsts() + ffInsts;
+}
+
+void
+ParrotSimulator::checkDeadline() const
+{
+    if (runDeadlineMs == 0)
+        return;
+    if (std::chrono::steady_clock::now() - runWallStart >=
+        std::chrono::milliseconds(runDeadlineMs)) {
+        throw DeadlineExceeded(cfg.name, load.profile.name,
+                               runDeadlineMs);
+    }
+}
+
+void
+ParrotSimulator::quiesce(std::uint64_t cycle_cap)
+{
+    // Finish the in-flight hot trace first: hot dispatch needs full
+    // stepCycle()s (stall resolution included), and cold fetch never
+    // runs while mode == Hot, so no new work enters the machine.
+    while ((mode == Mode::Hot || activeTrace) && cycle < cycle_cap) {
+        stepCycle();
+        if (cycle % 1024 == 0)
+            checkDeadline();
+    }
+    // Then drain what the cores hold to a commit boundary. Bounded:
+    // with fetch stopped each core retires its window in far fewer
+    // than 4096 cycles. The wall-clock watchdog keeps running — a
+    // drain can start with almost no deadline budget left.
+    unsigned drain = 0;
+    while ((!coldCore().drained() ||
+            (splitMode && !hotCorePtr->drained())) &&
+           drain++ < 4096) {
+        coldCore().tick();
+        if (splitMode)
+            hotCorePtr->tick();
+        ++cycle;
+        reapTraceCommits();
+        if (drain % 128 == 0)
+            checkDeadline();
+    }
+    reapTraceCommits();
 }
 
 void
@@ -360,6 +411,17 @@ ParrotSimulator::regStats()
         gates[i].regStats(gate_grp.subgroup(power::gatedUnitName(u)));
     }
 
+    // sample.* — sampled-simulation summary. Detailed runs report the
+    // trivial values (0 windows, coverage 1, CI 0), so the paths — and
+    // the materialized SimResult fields — exist on every run.
+    auto &sa = statsRoot.subgroup("sample");
+    sa.addFormula("windows", [this] {
+        return static_cast<double>(sampleSt.windows);
+    });
+    sa.addFormula("coverage", [this] { return sampleSt.coverage; });
+    sa.addFormula("ci_ipc", [this] { return sampleSt.ciIpc; });
+    sa.addFormula("ci_energy", [this] { return sampleSt.ciEnergy; });
+
     // cosim.* — oracle counters; zeros when the oracle is off so the
     // paths (and the materialized SimResult fields) always exist.
     auto &co = statsRoot.subgroup("cosim");
@@ -378,18 +440,34 @@ ParrotSimulator::regStats()
 void
 ParrotSimulator::refillLookahead(std::size_t target)
 {
+    // A finite recorded trace ran dry. If the stream it delivered can
+    // still reach the budget (every budgeted instruction was fetched
+    // and is in the lookahead or in flight), an empty lookahead is
+    // just a fetch stall while the tail commits. Only a stream that
+    // genuinely cannot reach the budget fails loudly (SuiteRunner
+    // retries/tombstones the cell) — otherwise the run would spin to
+    // the cycle cap and report a silently-short result.
+    auto budget_unreachable = [&] {
+        return lookahead.empty() && target > 0 &&
+               fetchedInsts < lastInstBudget;
+    };
+    if (sourceDry) {
+        if (budget_unreachable()) {
+            throw std::runtime_error(
+                "workload source for '" + load.profile.name +
+                "' exhausted before the instruction budget; "
+                "re-record the trace with a larger budget");
+        }
+        return;
+    }
     // Fill ring slots in place: the source writes straight into the
     // buffer, so no 64-byte DynInst ever crosses a copy.
     while (lookahead.size() < target) {
         DynInst &slot = lookahead.emplaceBack();
         if (!source->next(slot)) {
             lookahead.popBack();
-            // A finite recorded trace ran dry. With instructions still
-            // in flight the simulation can finish on what it has; with
-            // nothing left it would spin to the cycle cap and report a
-            // silently-short run — fail loudly instead (SuiteRunner
-            // retries/tombstones the cell).
-            if (lookahead.empty() && target > 0) {
+            sourceDry = true;
+            if (budget_unreachable()) {
                 throw std::runtime_error(
                     "workload source for '" + load.profile.name +
                     "' exhausted before the instruction budget; "
@@ -397,6 +475,7 @@ ParrotSimulator::refillLookahead(std::size_t target)
             }
             break;
         }
+        ++fetchedInsts;
     }
 }
 
@@ -501,6 +580,113 @@ ParrotSimulator::onCandidate(const TraceCandidate &cand)
     traceCache->insert(std::move(trace));
     hotFilter->reset(cand.tid);
     st.tracesInsertedCount.add();
+}
+
+void
+ParrotSimulator::onCandidateWarm(const TraceCandidate &cand)
+{
+    // Mirror of onCandidate for fast-forwarded instructions: the same
+    // predictor training, filtering and trace construction so the warm
+    // structures evolve as they would under detailed simulation, but
+    // no power events and no simulator stats — fast-forwarded work is
+    // extrapolated, never measured.
+    tracePredictor->train(trainPrevPrevTid, cand.tid.startPc, cand.tid);
+    trainPrevPrevTid = trainPrevTid;
+    trainPrevTid = cand.tid;
+
+    unsigned count = hotFilter->bump(cand.tid);
+    if (!hotFilter->promoted(count))
+        return;
+    if (traceCache->peek(cand.tid) != nullptr)
+        return;
+
+    traceCache->insert(tracecache::constructTrace(cand));
+    hotFilter->reset(cand.tid);
+}
+
+void
+ParrotSimulator::warmInstruction(const DynInst &dyn, WarmCursor &cur)
+{
+    const isa::MacroInst &inst = *dyn.inst;
+
+    // Warm the instruction and data tags (no hit/miss stats, no
+    // latency — functional warming only). Instruction fetch warms per
+    // cache LINE, not per instruction: consecutive instructions on one
+    // line are a single fetch in the detailed machine too, and the
+    // per-line skip is most of the fast-forward throughput.
+    const Addr iline = inst.pc / cfg.memory.l1i.lineBytes;
+    if (iline != cur.iline) {
+        hierarchy->warmFetchInst(inst.pc);
+        cur.iline = iline;
+    }
+    for (std::size_t u = 0; u < inst.uops.size(); ++u) {
+        const isa::Uop &uop = inst.uops[u];
+        const bool is_store = uop.kind == isa::UopKind::Store;
+        if (uop.kind != isa::UopKind::Load && !is_store)
+            continue;
+        // A repeat access to the line just touched only re-marks it
+        // MRU (no-op) unless it is the first store to it, which must
+        // still set the dirty bit.
+        const Addr dline = dyn.memAddr[u] / cfg.memory.l1d.lineBytes;
+        if (dline == cur.dline && (!is_store || cur.dlineWritten))
+            continue;
+        hierarchy->warmAccessData(dyn.memAddr[u], is_store);
+        cur.dline = dline;
+        cur.dlineWritten = is_store;
+    }
+
+    // Train the cold front end: direction tables, BTB and RAS follow
+    // the committed stream exactly like the detailed path would.
+    if (inst.isCondBranch())
+        branchPredictor->warmUpdate(inst.pc, dyn.taken);
+    if (inst.cti == isa::CtiType::Call) {
+        branchPredictor->rasPush(inst.nextPc());
+    } else if (inst.cti == isa::CtiType::Return) {
+        branchPredictor->rasPop();
+    }
+    if (dyn.isCti() && dyn.taken && inst.cti != isa::CtiType::Return)
+        branchPredictor->btbInsert(inst.pc, dyn.nextPc);
+
+    // Keep the differential oracle in lock step: a fast-forwarded
+    // instruction commits architecturally like a cold commit.
+    if (cosim)
+        cosim->onColdCommit(dyn);
+
+    // Trace selection continues across the gap so the trace cache,
+    // filters and trace predictor stay warm.
+    if (cfg.hasTraceCache) {
+        selector->feed(dyn);
+        TraceCandidate cand;
+        while (selector->pop(cand))
+            onCandidateWarm(cand);
+    }
+}
+
+void
+ParrotSimulator::fastForward(std::uint64_t n)
+{
+    workload::DynInst dyn;
+    // Per-call so a fast-forward segment behaves identically whether
+    // it runs after a checkpoint resume or mid-run: the first
+    // instruction of every segment always warms its lines.
+    WarmCursor cur;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        if (!lookahead.empty()) {
+            // Drain the already-fetched stream first so the source
+            // cursor and the consumed stream stay contiguous.
+            dyn = lookahead.front();
+            lookahead.popFront();
+        } else if (sourceDry || !source->next(dyn)) {
+            sourceDry = true;
+            return; // the next detailed step reports exhaustion
+        } else {
+            ++fetchedInsts;
+        }
+        warmInstruction(dyn, cur);
+        ++ffInsts;
+        if ((i & 0xffff) == 0xffff)
+            checkDeadline();
+    }
 }
 
 void
@@ -1043,6 +1229,29 @@ ParrotSimulator::sampleWindow(stats::Snapshot &prev,
     prev = std::move(snap);
 }
 
+/** Relative 95% confidence interval of a sample population: 1.96
+ * standard errors over the mean. Zero when fewer than two samples (or
+ * a zero mean) make the interval undefined. */
+static double
+relativeCi95(const std::vector<double> &xs)
+{
+    const std::size_t n = xs.size();
+    if (n < 2)
+        return 0.0;
+    double sum = 0.0;
+    for (double x : xs)
+        sum += x;
+    const double mean = sum / static_cast<double>(n);
+    if (mean == 0.0)
+        return 0.0;
+    double var = 0.0;
+    for (double x : xs)
+        var += (x - mean) * (x - mean);
+    var /= static_cast<double>(n - 1);
+    return 1.96 * std::sqrt(var / static_cast<double>(n)) /
+           std::abs(mean);
+}
+
 SimResult
 ParrotSimulator::run(std::uint64_t inst_budget, double pmax_per_cycle,
                      std::uint64_t deadline_ms)
@@ -1052,6 +1261,7 @@ ParrotSimulator::run(std::uint64_t inst_budget, double pmax_per_cycle,
     // The leakage/total-energy formulas read this member; it must be in
     // place before the first snapshot (window sampling included).
     pmaxPerCycle = pmax_per_cycle;
+    lastInstBudget = inst_budget;
 
     const std::uint64_t cycle_cap = inst_budget * 40 + 200000;
 
@@ -1060,13 +1270,23 @@ ParrotSimulator::run(std::uint64_t inst_budget, double pmax_per_cycle,
     // burn host seconds per cycle. Sampled every kDeadlineStride cycles
     // at a commit boundary (stepCycle ends with reapTraceCommits) so
     // the abort leaves no half-committed trace state behind.
-    using WallClock = std::chrono::steady_clock;
     constexpr std::uint64_t kDeadlineStride = 8192;
-    const WallClock::time_point wall_start = WallClock::now();
+    runWallStart = std::chrono::steady_clock::now();
+    runDeadlineMs = deadline_ms;
     if (unsigned long stall = fault::attemptStallMs()) {
         // Injected slow cell (PARROT_FAULT_SLOW_CELL): burn host time
-        // against the deadline without touching simulated state.
-        std::this_thread::sleep_for(std::chrono::milliseconds(stall));
+        // against the deadline without touching simulated state. Slept
+        // in short slices so the watchdog fires on time even when the
+        // injected stall dwarfs the deadline.
+        unsigned long slept = 0;
+        while (slept < stall) {
+            const unsigned long chunk =
+                std::min<unsigned long>(10, stall - slept);
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(chunk));
+            slept += chunk;
+            checkDeadline();
+        }
     }
 
     // Windowed sampling: diff successive tree snapshots every
@@ -1079,24 +1299,72 @@ ParrotSimulator::run(std::uint64_t inst_budget, double pmax_per_cycle,
         series = std::make_shared<stats::TimeSeries>(kWindowColumns);
         prevWindow = statsRoot.snapshot();
     }
+    Cycle lastSeriesCycle = cycle;
 
-    while (committedInsts() < inst_budget && cycle < cycle_cap) {
-        stepCycle();
-        if (deadline_ms > 0 && cycle % kDeadlineStride == 0 &&
-            WallClock::now() - wall_start >=
-                std::chrono::milliseconds(deadline_ms)) {
-            throw DeadlineExceeded(cfg.name, load.profile.name,
-                                   deadline_ms);
+    // One detailed stretch up to stream position `until`.
+    auto run_detailed = [&](std::uint64_t until) {
+        while (position() < until && cycle < cycle_cap) {
+            stepCycle();
+            if (deadline_ms > 0 && cycle % kDeadlineStride == 0)
+                checkDeadline();
+            if (interval > 0 && cycle % interval == 0) {
+                sampleWindow(prevWindow, *series);
+                lastSeriesCycle = cycle;
+            }
         }
-        if (interval > 0 && cycle % interval == 0)
-            sampleWindow(prevWindow, *series);
+    };
+
+    const bool sampled = cfg.sampleWindow > 0;
+    std::vector<double> win_cpi; //!< per-window cycles per instruction
+    std::vector<double> win_epi; //!< per-window dynamic energy per inst
+
+    if (!sampled) {
+        run_detailed(inst_budget);
+    } else {
+        // SMARTS-style systematic sampling: a detailed window of
+        // sampleWindow instructions starts every sampleStride
+        // instructions; the gap in between is covered by functional
+        // fast-forward with warm-state updates. Every window closes
+        // with a full quiesce so its CPI and energy-per-instruction
+        // measurements end at a commit boundary.
+        std::uint64_t next_start = position();
+        while (position() < inst_budget && cycle < cycle_cap) {
+            const std::uint64_t window_end =
+                std::min(next_start + cfg.sampleWindow, inst_budget);
+            const stats::Snapshot win_start = statsRoot.snapshot();
+            run_detailed(window_end);
+            quiesce(cycle_cap);
+            const stats::Snapshot win_end = statsRoot.snapshot();
+            const double w_insts =
+                win_end.delta(win_start, "perf.insts");
+            if (w_insts > 0.0) {
+                win_cpi.push_back(
+                    win_end.delta(win_start, "perf.cycles") / w_insts);
+                win_epi.push_back(
+                    win_end.delta(win_start, "energy.dynamic") /
+                    w_insts);
+            }
+            next_start += cfg.sampleStride;
+            const std::uint64_t ff_to =
+                std::min(next_start, inst_budget);
+            // The quiesce can overshoot past the next window start
+            // (an atomic trace commits whole); then the next window
+            // begins immediately. A source that runs dry mid-gap is
+            // reported by the next detailed step, which knows whether
+            // the budget was still reachable.
+            if (position() < ff_to)
+                fastForward(ff_to - position());
+        }
     }
 
     if (cycle >= cycle_cap)
         PARROT_WARN("model %s on %s hit the cycle cap (possible stall)",
                     cfg.name.c_str(), load.profile.name.c_str());
 
-    // Drain in-flight work so commit counts are consistent.
+    // Drain in-flight work so commit counts are consistent. The
+    // wall-clock watchdog stays armed here: a drain can start with
+    // almost no deadline budget left, and an unbounded one would hang
+    // the worker past its deadline.
     unsigned drain = 0;
     while ((!coldCore().drained() ||
             (splitMode && !hotCorePtr->drained())) &&
@@ -1106,6 +1374,21 @@ ParrotSimulator::run(std::uint64_t inst_budget, double pmax_per_cycle,
             hotCorePtr->tick();
         ++cycle;
         reapTraceCommits();
+        if (drain % 128 == 0)
+            checkDeadline();
+    }
+
+    // Sampled-run summary; the trivial defaults stand for detailed
+    // runs. Must be final before the materializing snapshot below —
+    // the sample.* formulas read these members.
+    if (sampled) {
+        sampleSt.windows = win_cpi.size();
+        sampleSt.coverage = position() == 0
+            ? 1.0
+            : static_cast<double>(committedInsts()) /
+                  static_cast<double>(position());
+        sampleSt.ciIpc = relativeCi95(win_cpi);
+        sampleSt.ciEnergy = relativeCi95(win_epi);
     }
 
     // --- materialize the result from the stats tree ---
@@ -1113,12 +1396,407 @@ ParrotSimulator::run(std::uint64_t inst_budget, double pmax_per_cycle,
     r.model = cfg.name;
     r.app = load.profile.name;
     materializeResult(r, statsRoot.snapshot());
+    if (sampled && ffInsts > 0 && committedInsts() > 0) {
+        // Extrapolate extensive metrics over the fast-forwarded gap:
+        // detailed windows are an unbiased systematic sample, so each
+        // extensive counter scales by total/measured instructions.
+        // Intensive metrics (rates, IPC, CIs) stay as measured.
+        extrapolateResult(r, static_cast<double>(position()) /
+                                 static_cast<double>(committedInsts()));
+    }
     if (interval > 0) {
-        // Final (possibly partial) window, including the drain cycles.
-        sampleWindow(prevWindow, *series);
+        // Final (possibly partial) window, including the drain cycles
+        // — but only when it has width. A run that ended exactly on a
+        // sampling boundary with nothing left to drain already emitted
+        // this row; appending another would duplicate it as an empty
+        // window.
+        if (cycle > lastSeriesCycle)
+            sampleWindow(prevWindow, *series);
         r.series = series;
     }
     return r;
 }
 
+// --- checkpointing ---------------------------------------------------
+
+namespace
+{
+
+/** Serialize one dynamic instruction (static payload by pc). */
+void
+saveDynInst(const DynInst &dyn, serial::Writer &out)
+{
+    out.u64(dyn.inst->pc);
+    out.u64(dyn.seq);
+    out.boolean(dyn.taken);
+    out.u64(dyn.nextPc);
+    for (std::size_t u = 0; u < dyn.inst->uops.size(); ++u)
+        out.u64(dyn.memAddr[u]);
+}
+
+/** Mirror of saveDynInst; re-resolves the static instruction. */
+DynInst
+loadDynInst(serial::Reader &in, const workload::Program &prog)
+{
+    DynInst dyn;
+    const Addr pc = in.u64();
+    dyn.inst = prog.instAt(pc);
+    if (dyn.inst == nullptr) {
+        throw serial::Error(
+            "checkpointed instruction references unknown pc");
+    }
+    dyn.seq = in.u64();
+    dyn.taken = in.boolean();
+    dyn.nextPc = in.u64();
+    for (std::size_t u = 0; u < dyn.inst->uops.size(); ++u)
+        dyn.memAddr[u] = in.u64();
+    return dyn;
+}
+
+void
+saveTid(const Tid &tid, serial::Writer &out)
+{
+    out.u64(tid.startPc);
+    out.u64(tid.dirBits);
+    out.u8(tid.numDirs);
+}
+
+Tid
+loadTid(serial::Reader &in)
+{
+    Tid tid;
+    tid.startPc = in.u64();
+    tid.dirBits = in.u64();
+    tid.numDirs = in.u8();
+    return tid;
+}
+
+} // namespace
+
+void
+ParrotSimulator::saveStateBlob(serial::Writer &out) const
+{
+    // --- fetch-state machine ---
+    out.u64(cycle);
+    out.u64(resumeAt);
+    out.u8(mode == Mode::Hot ? 1 : 0);
+    out.u64(fetchedInsts);
+    out.boolean(sourceDry);
+    out.u64(ffInsts);
+
+    out.boolean(pendingResolve.has_value());
+    if (pendingResolve.has_value()) {
+        out.u8(pendingResolve->core == coldCorePtr.get() ? 0 : 1);
+        out.u64(pendingResolve->token);
+        out.u32(pendingResolve->penalty);
+    }
+
+    // Active hot trace as a stable (slot | limbo-index) coordinate —
+    // run() can stop mid-dispatch when the budget lands inside a
+    // trace, so the reference must survive the round trip.
+    if (!activeTrace) {
+        out.u8(0);
+        out.u64(0);
+    } else if (int slot = traceCache->slotOf(activeTrace.get());
+               slot >= 0) {
+        out.u8(1);
+        out.u64(static_cast<std::uint64_t>(slot));
+    } else {
+        const int limbo = traceCache->limboIndexOf(activeTrace.get());
+        if (limbo < 0) {
+            throw serial::Error(
+                "active trace is neither cached nor in limbo");
+        }
+        out.u8(2);
+        out.u64(static_cast<std::uint64_t>(limbo));
+    }
+    out.u32(static_cast<std::uint32_t>(activeWindow.size()));
+    for (const DynInst &dyn : activeWindow)
+        saveDynInst(dyn, out);
+    out.u64(hotUopIdx);
+    out.u64(hotUopLimit);
+    out.boolean(hotAborted);
+    out.boolean(hotEndRedirect);
+    out.u64(hotEndBranchToken);
+    out.boolean(hotEndBranchSeen);
+    out.u64(lastHotToken);
+
+    out.u32(static_cast<std::uint32_t>(pendingTraceCommits.size()));
+    for (const TraceCommit &tc : pendingTraceCommits) {
+        out.u64(tc.lastToken);
+        out.u64(tc.insts);
+    }
+    out.u64(hotInstsCommitted);
+
+    out.boolean(optJob.has_value());
+    if (optJob.has_value()) {
+        tracecache::saveTrace(optJob->trace, out);
+        out.u64(optJob->doneAt);
+    }
+
+    saveTid(trainPrevTid, out);
+    saveTid(trainPrevPrevTid, out);
+
+    out.u8(static_cast<std::uint8_t>(lastSide));
+    for (bool dirty : dirtySinceSwitch)
+        out.boolean(dirty);
+    out.u32(dirtyCount);
+
+    out.u32(static_cast<std::uint32_t>(lookahead.size()));
+    for (std::size_t i = 0; i < lookahead.size(); ++i)
+        saveDynInst(lookahead[i], out);
+
+    // --- simulator-owned stats ---
+    out.u64(st.coldCondBranches.value());
+    out.u64(st.coldBranchMispredicts.value());
+    out.u64(st.tracePredictionsMade.value());
+    out.u64(st.traceMispredictsSeen.value());
+    out.u64(st.traceEndRedirects.value());
+    out.u64(st.tpLookupCount.value());
+    out.u64(st.tpHitCount.value());
+    out.u64(st.tcMissAfterPredictCount.value());
+    out.u64(st.candidateCount.value());
+    out.u64(st.instsFromTraceCache.value());
+    out.u64(st.uopsFromTraceCacheDispatched.value());
+    out.u64(st.uopsFromColdDispatched.value());
+    out.u64(st.tracesInsertedCount.value());
+    out.u64(st.tracesOptimizedCount.value());
+    out.u64(st.traceExecutionsCount.value());
+    out.u64(st.optimizedTraceExecs.value());
+    out.u64(st.hotExecUops.value());
+    out.u64(st.hotExecOrigUops.value());
+    out.f64(st.sumUopReduction);
+    out.f64(st.sumDepReduction);
+
+    out.u64(sampleSt.windows);
+    out.f64(sampleSt.coverage);
+    out.f64(sampleSt.ciIpc);
+    out.f64(sampleSt.ciEnergy);
+
+    // --- components ---
+    source->saveState(out);
+    hierarchy->saveState(out);
+    branchPredictor->saveState(out);
+    if (cfg.hasTraceCache) {
+        selector->saveState(out);
+        hotFilter->saveState(out);
+        blazeFilter->saveState(out);
+        traceCache->saveState(out);
+        tracePredictor->saveState(out);
+    }
+    coldCorePtr->saveState(out);
+    if (splitMode)
+        hotCorePtr->saveState(out);
+    for (const auto &g : gates)
+        g.saveState(out);
+    for (unsigned e = 0; e < power::numPowerEvents; ++e)
+        out.u64(coldAcct.count(static_cast<PowerEvent>(e)));
+    for (unsigned e = 0; e < power::numPowerEvents; ++e)
+        out.u64(hotAcct.count(static_cast<PowerEvent>(e)));
+    out.boolean(cosim != nullptr);
+    if (cosim)
+        cosim->saveState(out);
+}
+
+void
+ParrotSimulator::loadStateBlob(serial::Reader &in)
+{
+    // --- fetch-state machine ---
+    cycle = in.u64();
+    resumeAt = in.u64();
+    mode = in.u8() == 1 ? Mode::Hot : Mode::Cold;
+    fetchedInsts = in.u64();
+    sourceDry = in.boolean();
+    ffInsts = in.u64();
+
+    pendingResolve.reset();
+    if (in.boolean()) {
+        PendingResolve pr;
+        const std::uint8_t which = in.u8();
+        if (which == 0) {
+            pr.core = coldCorePtr.get();
+        } else if (which == 1 && splitMode) {
+            pr.core = hotCorePtr.get();
+        } else {
+            throw serial::Error(
+                "checkpoint names a core this model does not have");
+        }
+        pr.token = in.u64();
+        pr.penalty = in.u32();
+        pendingResolve = pr;
+    }
+
+    // Active-trace coordinate; resolved after the trace cache loads.
+    const std::uint8_t trace_kind = in.u8();
+    const std::uint64_t trace_idx = in.u64();
+    if (trace_kind != 0 && !cfg.hasTraceCache)
+        throw serial::Error("checkpoint holds a trace but this model "
+                            "has no trace cache");
+
+    activeWindow.clear();
+    const std::uint32_t n_window = in.u32();
+    for (std::uint32_t i = 0; i < n_window; ++i)
+        activeWindow.push_back(loadDynInst(in, *load.program));
+    hotUopIdx = in.u64();
+    hotUopLimit = in.u64();
+    hotAborted = in.boolean();
+    hotEndRedirect = in.boolean();
+    hotEndBranchToken = in.u64();
+    hotEndBranchSeen = in.boolean();
+    lastHotToken = in.u64();
+
+    pendingTraceCommits.clear();
+    const std::uint32_t n_commits = in.u32();
+    for (std::uint32_t i = 0; i < n_commits; ++i) {
+        TraceCommit tc;
+        tc.lastToken = in.u64();
+        tc.insts = in.u64();
+        pendingTraceCommits.push_back(tc);
+    }
+    hotInstsCommitted = in.u64();
+
+    const auto resolve = [this](Addr pc) {
+        return load.program->instAt(pc);
+    };
+
+    optJob.reset();
+    if (in.boolean()) {
+        OptJob job;
+        job.trace = tracecache::loadTrace(in, resolve);
+        job.doneAt = in.u64();
+        optJob = std::move(job);
+    }
+
+    trainPrevTid = loadTid(in);
+    trainPrevPrevTid = loadTid(in);
+
+    const std::uint8_t side = in.u8();
+    if (side > 2)
+        throw serial::Error("checkpoint side-switch state is invalid");
+    lastSide = static_cast<Side>(side);
+    for (bool &dirty : dirtySinceSwitch)
+        dirty = in.boolean();
+    dirtyCount = in.u32();
+
+    lookahead.clear();
+    const std::uint32_t n_lookahead = in.u32();
+    for (std::uint32_t i = 0; i < n_lookahead; ++i)
+        lookahead.pushBack(loadDynInst(in, *load.program));
+
+    // --- simulator-owned stats ---
+    st.coldCondBranches.restore(in.u64());
+    st.coldBranchMispredicts.restore(in.u64());
+    st.tracePredictionsMade.restore(in.u64());
+    st.traceMispredictsSeen.restore(in.u64());
+    st.traceEndRedirects.restore(in.u64());
+    st.tpLookupCount.restore(in.u64());
+    st.tpHitCount.restore(in.u64());
+    st.tcMissAfterPredictCount.restore(in.u64());
+    st.candidateCount.restore(in.u64());
+    st.instsFromTraceCache.restore(in.u64());
+    st.uopsFromTraceCacheDispatched.restore(in.u64());
+    st.uopsFromColdDispatched.restore(in.u64());
+    st.tracesInsertedCount.restore(in.u64());
+    st.tracesOptimizedCount.restore(in.u64());
+    st.traceExecutionsCount.restore(in.u64());
+    st.optimizedTraceExecs.restore(in.u64());
+    st.hotExecUops.restore(in.u64());
+    st.hotExecOrigUops.restore(in.u64());
+    st.sumUopReduction = in.f64();
+    st.sumDepReduction = in.f64();
+
+    sampleSt.windows = in.u64();
+    sampleSt.coverage = in.f64();
+    sampleSt.ciIpc = in.f64();
+    sampleSt.ciEnergy = in.f64();
+
+    // --- components ---
+    source->loadState(in);
+    hierarchy->loadState(in);
+    branchPredictor->loadState(in);
+    if (cfg.hasTraceCache) {
+        selector->loadState(in, resolve);
+        hotFilter->loadState(in);
+        blazeFilter->loadState(in);
+        traceCache->loadState(in, resolve);
+        tracePredictor->loadState(in);
+    }
+    coldCorePtr->loadState(in);
+    if (splitMode)
+        hotCorePtr->loadState(in);
+    for (auto &g : gates)
+        g.loadState(in);
+    for (unsigned e = 0; e < power::numPowerEvents; ++e)
+        coldAcct.restore(static_cast<PowerEvent>(e), in.u64());
+    for (unsigned e = 0; e < power::numPowerEvents; ++e)
+        hotAcct.restore(static_cast<PowerEvent>(e), in.u64());
+    const bool had_cosim = in.boolean();
+    if (had_cosim != (cosim != nullptr)) {
+        throw serial::Error(
+            "checkpoint cosim mode does not match this run");
+    }
+    if (cosim)
+        cosim->loadState(in);
+
+    // Re-materialize the active-trace reference now that the trace
+    // cache holds its contents again.
+    if (trace_kind == 0) {
+        activeTrace = tracecache::TraceRef{};
+    } else if (trace_kind == 1) {
+        activeTrace = traceCache->refAtSlot(trace_idx);
+    } else if (trace_kind == 2) {
+        activeTrace = traceCache->refInLimbo(trace_idx);
+    } else {
+        throw serial::Error("checkpoint active-trace kind is invalid");
+    }
+    if (trace_kind != 0 && hotUopLimit > activeTrace->uops.size())
+        throw serial::Error("checkpoint hot-dispatch cursor is out of "
+                            "range for its trace");
+}
+
+void
+ParrotSimulator::saveCheckpoint(const std::string &path) const
+{
+    serial::Writer w;
+    saveStateBlob(w);
+    CheckpointMeta meta;
+    meta.model = cfg.name;
+    meta.app = load.profile.name;
+    meta.seed = load.profile.seed;
+    meta.position = position();
+    meta.instBudget = lastInstBudget;
+    writeCheckpointFile(path, meta, w.takeBytes());
+}
+
+void
+ParrotSimulator::loadCheckpoint(const std::string &path)
+{
+    std::string state;
+    const CheckpointMeta meta = readCheckpointFile(path, state);
+    if (meta.model != cfg.name) {
+        throw CheckpointFormatError(
+            CheckpointError::ModelMismatch,
+            "checkpoint was saved by model '" + meta.model +
+                "', not '" + cfg.name + "'");
+    }
+    if (meta.app != load.profile.name) {
+        throw CheckpointFormatError(
+            CheckpointError::AppMismatch,
+            "checkpoint was saved for application '" + meta.app +
+                "', not '" + load.profile.name + "'");
+    }
+    try {
+        serial::Reader in(state);
+        loadStateBlob(in);
+        if (!in.atEnd())
+            throw serial::Error("bytes remain after the state blob");
+    } catch (const serial::Error &e) {
+        throw CheckpointFormatError(
+            CheckpointError::BadState,
+            std::string("checkpoint state does not fit this model: ") +
+                e.what());
+    }
+}
+
 } // namespace parrot::sim
+

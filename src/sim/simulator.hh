@@ -15,6 +15,7 @@
 #ifndef PARROT_SIM_SIMULATOR_HH
 #define PARROT_SIM_SIMULATOR_HH
 
+#include <chrono>
 #include <deque>
 #include <memory>
 #include <optional>
@@ -22,6 +23,7 @@
 
 #include "common/arena.hh"
 #include "common/ring_buffer.hh"
+#include "common/serialize.hh"
 #include "cpu/ooo_core.hh"
 #include "frontend/branch_predictor.hh"
 #include "frontend/decoder.hh"
@@ -108,6 +110,29 @@ class ParrotSimulator
      * a path in this tree; reporting layers read it via snapshot(). */
     const stats::Group &statsTree() const { return statsRoot; }
 
+    /** Stream position: committed macro-instructions plus instructions
+     * consumed by sampled-mode fast-forward. This is the coordinate
+     * run() budgets against and checkpoints record. */
+    std::uint64_t position() const;
+
+    /**
+     * Save the complete warm + architectural simulation state to a
+     * versioned, CRC-framed `.pckp` checkpoint (sim/checkpoint.hh).
+     * Call only after run() returned (cores drained at a commit
+     * boundary). A later process simulating the same (model, app) cell
+     * can loadCheckpoint() and continue run() bit-identically to the
+     * segmented in-process run `run(M); run(N)`.
+     * @throws CheckpointFormatError (category Io) on write failure.
+     */
+    void saveCheckpoint(const std::string &path) const;
+
+    /**
+     * Restore a checkpoint into this freshly constructed simulator.
+     * The checkpoint must name the same model and application.
+     * @throws CheckpointFormatError on malformed or mismatched input.
+     */
+    void loadCheckpoint(const std::string &path);
+
   private:
     enum class Mode { Cold, Hot };
 
@@ -128,6 +153,42 @@ class ParrotSimulator
 
     /** Handle an emitted trace candidate (train, filter, construct). */
     void onCandidate(const tracecache::TraceCandidate &cand);
+
+    /** Warm-phase candidate handling: trains the trace predictor, hot
+     * filter and trace cache exactly like onCandidate but records no
+     * simulator stats and no power events (fast-forwarded work is
+     * extrapolated, not measured). */
+    void onCandidateWarm(const tracecache::TraceCandidate &cand);
+
+    /** Consecutive same-line skip state for the warm phase: repeated
+     * accesses to the line just touched are exact no-ops on warm cache
+     * state (the line is already MRU; a read never changes dirty), so
+     * the fast-forward loop elides them. Local to each fastForward()
+     * call so a segment behaves identically after a checkpoint resume. */
+    struct WarmCursor
+    {
+        Addr iline = ~Addr{0};        //!< last instruction line warmed
+        Addr dline = ~Addr{0};        //!< last data line warmed
+        bool dlineWritten = false;    //!< that access was a store
+    };
+
+    /** Warm one fast-forwarded instruction through every warm
+     * structure: cache tags, branch predictor, BTB/RAS, cosim oracle
+     * and the trace-selection path. Stats- and energy-silent. */
+    void warmInstruction(const workload::DynInst &dyn, WarmCursor &cur);
+
+    /** Sampled mode: functionally fast-forward up to `n` instructions
+     * between detailed windows (architectural + warm state only). */
+    void fastForward(std::uint64_t n);
+
+    /** Finish the in-flight hot trace (if any) and drain both cores to
+     * a commit boundary, honouring the wall-clock deadline. Used at
+     * run() exit and between sampled-mode windows. */
+    void quiesce(std::uint64_t cycle_cap);
+
+    /** Throw DeadlineExceeded when the run's wall-clock budget is
+     * spent (no-op when the run has no deadline). */
+    void checkDeadline() const;
 
     /** Account a trace execution (blazing filter, optimizer trigger). */
     void onTraceExecuted(tracecache::Trace &trace);
@@ -176,6 +237,23 @@ class ParrotSimulator
     std::unique_ptr<workload::WorkloadSource> source;
     /** Committed-stream lookahead; refilled in place (no copies). */
     RingBuffer<workload::DynInst> lookahead{simArena, 256};
+
+    /** Instructions pulled from the source so far (lookahead fills and
+     * fast-forward combined): the stream coordinate exhaustion is
+     * judged against. */
+    std::uint64_t fetchedInsts = 0;
+    /** A finite recorded trace ran dry; the remaining lookahead and
+     * in-flight work can still finish the run. */
+    bool sourceDry = false;
+    /** Instructions consumed by sampled-mode fast-forward (never
+     * dispatched, counted into position()). */
+    std::uint64_t ffInsts = 0;
+    /** Budget of the current/last run() (exhaustion + checkpoints). */
+    std::uint64_t lastInstBudget = 0;
+
+    /** Wall-clock watchdog state for the current run(). */
+    std::chrono::steady_clock::time_point runWallStart;
+    std::uint64_t runDeadlineMs = 0;
 
     std::unique_ptr<memory::Hierarchy> hierarchy;
     power::EnergyAccount coldAcct;
@@ -305,6 +383,24 @@ class ParrotSimulator
         double sumDepReduction = 0.0;
     };
     SimStats st;
+
+    /** Sampled-simulation summary, exported as the sample.* stats
+     * group. Detailed (unsampled) runs keep the defaults: zero
+     * windows, full coverage, zero confidence interval. */
+    struct SampleStats
+    {
+        std::uint64_t windows = 0; //!< detailed windows measured
+        double coverage = 1.0;     //!< detailed / total instructions
+        double ciIpc = 0.0;        //!< relative 95% CI of window CPI
+        double ciEnergy = 0.0;     //!< relative 95% CI of energy/inst
+    };
+    SampleStats sampleSt;
+
+    /** Serialize every live member + component into one state blob. */
+    void saveStateBlob(serial::Writer &out) const;
+
+    /** Mirror of saveStateBlob. @throws serial::Error on bad input. */
+    void loadStateBlob(serial::Reader &in);
 
     /** Total committed macro-instructions (cold core + atomic traces). */
     std::uint64_t committedInsts() const;

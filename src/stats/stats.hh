@@ -36,6 +36,9 @@ class Scalar
     /** Reset to zero. */
     void reset() { total = 0; }
 
+    /** Restore a checkpointed value (checkpoint resume only). */
+    void restore(Counter v) { total = v; }
+
     /** Stat name (may be empty for anonymous counters). */
     const std::string &name() const { return statName; }
 
@@ -91,6 +94,14 @@ class Ratio
 
     void reset() { numerCount = denomCount = 0; }
 
+    /** Restore checkpointed counts (checkpoint resume only). */
+    void
+    restore(Counter numer, Counter denom)
+    {
+        numerCount = numer;
+        denomCount = denom;
+    }
+
     const std::string &name() const { return statName; }
 
   private:
@@ -136,6 +147,24 @@ class Histogram
 
     Counter totalSamples() const { return samples; }
     std::uint64_t maxValue() const { return maxSeen; }
+
+    /** Exact sum of all samples (checkpoint serialization). */
+    std::uint64_t sumValue() const { return sum; }
+
+    /** Restore checkpointed per-bucket counts and aggregates; the
+     * bucket vector must match this histogram's shape. */
+    void
+    restore(const std::vector<Counter> &bucket_counts,
+            std::uint64_t sample_sum, Counter sample_count,
+            std::uint64_t max_seen)
+    {
+        PARROT_ASSERT(bucket_counts.size() == counts.size(),
+                      "Histogram::restore shape mismatch");
+        counts = bucket_counts;
+        sum = sample_sum;
+        samples = sample_count;
+        maxSeen = max_seen;
+    }
 
     /** Mean of all samples (0 when empty). */
     double

@@ -14,6 +14,7 @@
 
 #include "common/bitutil.hh"
 #include "common/logging.hh"
+#include "common/serialize.hh"
 #include "stats/group.hh"
 #include "stats/stats.hh"
 #include "tracecache/tid.hh"
@@ -130,6 +131,39 @@ class CounterFilter
     }
 
     const FilterConfig &config() const { return cfg; }
+
+    /** Serialize counters and table contents to a checkpoint. */
+    void
+    saveState(serial::Writer &out) const
+    {
+        out.u32(static_cast<std::uint32_t>(table.size()));
+        for (const Entry &entry : table) {
+            out.u64(entry.key);
+            out.u32(entry.count);
+            out.u64(entry.lru);
+            out.boolean(entry.valid);
+        }
+        out.u64(stamp);
+        out.u64(nBumps.value());
+        out.u64(nResets.value());
+    }
+
+    /** Restore checkpointed state (geometry must match). */
+    void
+    loadState(serial::Reader &in)
+    {
+        if (in.u32() != table.size())
+            throw serial::Error("filter: checkpoint geometry mismatch");
+        for (Entry &entry : table) {
+            entry.key = in.u64();
+            entry.count = in.u32();
+            entry.lru = in.u64();
+            entry.valid = in.boolean();
+        }
+        stamp = in.u64();
+        nBumps.restore(in.u64());
+        nResets.restore(in.u64());
+    }
 
   private:
     struct Entry

@@ -14,6 +14,7 @@
 
 #include "common/bitutil.hh"
 #include "common/logging.hh"
+#include "common/serialize.hh"
 #include "stats/group.hh"
 #include "stats/stats.hh"
 #include "tracecache/tid.hh"
@@ -71,6 +72,48 @@ class TracePredictor
     void regStats(stats::Group &group) { group.add(&nPredictions, "predictions"); }
 
     const TracePredictorConfig &config() const { return cfg; }
+
+    /** Serialize both components and the prediction counter. */
+    void
+    saveState(serial::Writer &out) const
+    {
+        auto save_component = [&](const std::vector<Entry> &comp) {
+            out.u32(static_cast<std::uint32_t>(comp.size()));
+            for (const Entry &entry : comp) {
+                out.u64(entry.key);
+                out.u64(entry.value.startPc);
+                out.u64(entry.value.dirBits);
+                out.u8(entry.value.numDirs);
+                out.u32(entry.confidence);
+                out.boolean(entry.valid);
+            }
+        };
+        save_component(table);
+        save_component(anchor);
+        out.u64(nPredictions.value());
+    }
+
+    /** Restore checkpointed state (geometry must match). */
+    void
+    loadState(serial::Reader &in)
+    {
+        auto load_component = [&](std::vector<Entry> &comp) {
+            if (in.u32() != comp.size())
+                throw serial::Error(
+                    "trace predictor: checkpoint geometry mismatch");
+            for (Entry &entry : comp) {
+                entry.key = in.u64();
+                entry.value.startPc = in.u64();
+                entry.value.dirBits = in.u64();
+                entry.value.numDirs = in.u8();
+                entry.confidence = in.u32();
+                entry.valid = in.boolean();
+            }
+        };
+        load_component(table);
+        load_component(anchor);
+        nPredictions.restore(in.u64());
+    }
 
   private:
     struct Entry

@@ -140,4 +140,85 @@ TraceSelector::flush()
     contextCounter = 0;
 }
 
+namespace
+{
+
+void
+saveCandidate(const TraceCandidate &cand, serial::Writer &out)
+{
+    out.u64(cand.tid.startPc);
+    out.u64(cand.tid.dirBits);
+    out.u8(cand.tid.numDirs);
+    out.u32(static_cast<std::uint32_t>(cand.path.size()));
+    for (const TraceInstRef &step : cand.path) {
+        out.u64(step.inst->pc);
+        out.boolean(step.taken);
+    }
+    out.u32(cand.uopCount);
+    out.u32(cand.unrollFactor);
+}
+
+TraceCandidate
+loadCandidate(serial::Reader &in,
+              const std::function<const isa::MacroInst *(Addr)> &resolve)
+{
+    TraceCandidate cand;
+    cand.tid.startPc = in.u64();
+    cand.tid.dirBits = in.u64();
+    cand.tid.numDirs = in.u8();
+    const std::uint32_t path_len = in.u32();
+    cand.path.reserve(path_len);
+    for (std::uint32_t i = 0; i < path_len; ++i) {
+        TraceInstRef step;
+        const Addr pc = in.u64();
+        step.inst = resolve(pc);
+        if (!step.inst)
+            throw serial::Error(
+                "checkpointed candidate references unknown pc");
+        step.taken = in.boolean();
+        cand.path.push_back(step);
+    }
+    cand.uopCount = in.u32();
+    cand.unrollFactor = in.u32();
+    return cand;
+}
+
+} // namespace
+
+void
+TraceSelector::saveState(serial::Writer &out) const
+{
+    saveCandidate(current, out);
+    out.i64(contextCounter);
+    out.boolean(hasPending);
+    if (hasPending)
+        saveCandidate(pending, out);
+    out.u32(pendingUnitInsts);
+    out.u32(pendingUnitDirs);
+    out.u32(pendingUnitUops);
+    out.u32(static_cast<std::uint32_t>(ready.size()));
+    for (const TraceCandidate &cand : ready)
+        saveCandidate(cand, out);
+    out.u64(nEmitted.value());
+}
+
+void
+TraceSelector::loadState(
+    serial::Reader &in,
+    const std::function<const isa::MacroInst *(Addr)> &resolve)
+{
+    current = loadCandidate(in, resolve);
+    contextCounter = static_cast<int>(in.i64());
+    hasPending = in.boolean();
+    pending = hasPending ? loadCandidate(in, resolve) : TraceCandidate{};
+    pendingUnitInsts = in.u32();
+    pendingUnitDirs = in.u32();
+    pendingUnitUops = in.u32();
+    ready.clear();
+    const std::uint32_t n_ready = in.u32();
+    for (std::uint32_t i = 0; i < n_ready; ++i)
+        ready.push_back(loadCandidate(in, resolve));
+    nEmitted.restore(in.u64());
+}
+
 } // namespace parrot::tracecache

@@ -19,8 +19,10 @@
 #define PARROT_TRACECACHE_SELECTOR_HH
 
 #include <deque>
+#include <functional>
 #include <vector>
 
+#include "common/serialize.hh"
 #include "stats/group.hh"
 #include "stats/stats.hh"
 #include "workload/dyninst.hh"
@@ -62,6 +64,15 @@ class TraceSelector
 
     /** Register the candidate-emission counter into a stats group. */
     void regStats(stats::Group &group) { group.add(&nEmitted); }
+
+    /** Serialize the in-progress selection state to a checkpoint.
+     * Candidate paths are stored by pc (see tracecache::saveTrace). */
+    void saveState(serial::Writer &out) const;
+
+    /** Restore checkpointed state, re-resolving path pointers. */
+    void loadState(
+        serial::Reader &in,
+        const std::function<const isa::MacroInst *(Addr)> &resolve);
 
   private:
     /** Close the in-progress trace and run the joining stage. */

@@ -110,4 +110,191 @@ TraceCache::occupancy() const
     return n;
 }
 
+namespace
+{
+
+void
+saveUop(const isa::Uop &uop, serial::Writer &out)
+{
+    out.u8(static_cast<std::uint8_t>(uop.kind));
+    out.u8(uop.dst);
+    out.u8(uop.src1);
+    out.u8(uop.src2);
+    out.i64(uop.imm);
+    out.u8(uop.dst2);
+    out.u8(uop.src1b);
+    out.u8(uop.src2b);
+    out.u8(static_cast<std::uint8_t>(uop.laneKind));
+    out.u64(uop.assertTarget);
+}
+
+isa::Uop
+loadUop(serial::Reader &in)
+{
+    isa::Uop uop;
+    uop.kind = static_cast<isa::UopKind>(in.u8());
+    uop.dst = in.u8();
+    uop.src1 = in.u8();
+    uop.src2 = in.u8();
+    uop.imm = in.i64();
+    uop.dst2 = in.u8();
+    uop.src1b = in.u8();
+    uop.src2b = in.u8();
+    uop.laneKind = static_cast<isa::UopKind>(in.u8());
+    uop.assertTarget = in.u64();
+    return uop;
+}
+
+} // namespace
+
+void
+saveTrace(const Trace &trace, serial::Writer &out)
+{
+    out.u64(trace.tid.startPc);
+    out.u64(trace.tid.dirBits);
+    out.u8(trace.tid.numDirs);
+    out.u32(static_cast<std::uint32_t>(trace.path.size()));
+    for (const TraceInstRef &step : trace.path) {
+        out.u64(step.inst->pc);
+        out.boolean(step.taken);
+    }
+    out.u32(static_cast<std::uint32_t>(trace.uops.size()));
+    for (const TraceUop &tu : trace.uops) {
+        saveUop(tu.uop, out);
+        out.u16(static_cast<std::uint16_t>(tu.instIdx));
+        out.u8(static_cast<std::uint8_t>(tu.uopIdx));
+    }
+    out.boolean(trace.optimized);
+    out.u32(trace.execCount);
+    out.u32(trace.abortCount);
+    out.u16(trace.originalUopCount);
+    out.u16(trace.originalDepHeight);
+    out.u16(trace.depHeight);
+}
+
+Trace
+loadTrace(serial::Reader &in, const InstResolver &resolve)
+{
+    Trace trace;
+    trace.tid.startPc = in.u64();
+    trace.tid.dirBits = in.u64();
+    trace.tid.numDirs = in.u8();
+    const std::uint32_t path_len = in.u32();
+    trace.path.reserve(path_len);
+    for (std::uint32_t i = 0; i < path_len; ++i) {
+        TraceInstRef step;
+        const Addr pc = in.u64();
+        step.inst = resolve(pc);
+        if (!step.inst)
+            throw serial::Error(
+                "checkpointed trace path references unknown pc");
+        step.taken = in.boolean();
+        trace.path.push_back(step);
+    }
+    const std::uint32_t uop_count = in.u32();
+    trace.uops.reserve(uop_count);
+    for (std::uint32_t i = 0; i < uop_count; ++i) {
+        TraceUop tu;
+        tu.uop = loadUop(in);
+        tu.instIdx = static_cast<std::int16_t>(in.u16());
+        tu.uopIdx = static_cast<std::int8_t>(in.u8());
+        trace.uops.push_back(tu);
+    }
+    trace.optimized = in.boolean();
+    trace.execCount = in.u32();
+    trace.abortCount = in.u32();
+    trace.originalUopCount = in.u16();
+    trace.originalDepHeight = in.u16();
+    trace.depHeight = in.u16();
+    return trace;
+}
+
+void
+TraceCache::saveState(serial::Writer &out) const
+{
+    out.u32(static_cast<std::uint32_t>(table.size()));
+    for (const Entry &entry : table) {
+        out.boolean(entry.trace != nullptr);
+        if (entry.trace) {
+            saveTrace(*entry.trace, out);
+            out.u64(entry.lru);
+        }
+    }
+    out.u32(static_cast<std::uint32_t>(limbo.size()));
+    for (const auto &owner : limbo)
+        saveTrace(*owner, out);
+    out.u64(stamp);
+    out.u64(mutationGen);
+    out.u64(hitRatio.numerator());
+    out.u64(hitRatio.denominator());
+    out.u64(nInsertions.value());
+    out.u64(nEvictions.value());
+    out.u64(nOptReplaced.value());
+}
+
+void
+TraceCache::loadState(serial::Reader &in, const InstResolver &resolve)
+{
+    if (in.u32() != table.size())
+        throw serial::Error("trace cache: checkpoint geometry mismatch");
+    for (Entry &entry : table) {
+        entry.trace.reset();
+        entry.key = 0;
+        entry.lru = 0;
+        if (in.boolean()) {
+            entry.trace =
+                std::make_shared<Trace>(loadTrace(in, resolve));
+            entry.key = entry.trace->tid.hash();
+            entry.lru = in.u64();
+        }
+    }
+    limbo.clear();
+    const std::uint32_t limbo_len = in.u32();
+    for (std::uint32_t i = 0; i < limbo_len; ++i)
+        limbo.push_back(std::make_shared<Trace>(loadTrace(in, resolve)));
+    stamp = in.u64();
+    mutationGen = in.u64();
+    const Counter numer = in.u64();
+    hitRatio.restore(numer, in.u64());
+    nInsertions.restore(in.u64());
+    nEvictions.restore(in.u64());
+    nOptReplaced.restore(in.u64());
+}
+
+int
+TraceCache::slotOf(const Trace *trace) const
+{
+    for (std::size_t i = 0; i < table.size(); ++i) {
+        if (table[i].trace.get() == trace)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+int
+TraceCache::limboIndexOf(const Trace *trace) const
+{
+    for (std::size_t i = 0; i < limbo.size(); ++i) {
+        if (limbo[i].get() == trace)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+TraceRef
+TraceCache::refAtSlot(std::size_t idx)
+{
+    if (idx >= table.size() || !table[idx].trace)
+        throw serial::Error("trace cache: checkpoint slot out of range");
+    return TraceRef{table[idx].trace.get(), mutationGen};
+}
+
+TraceRef
+TraceCache::refInLimbo(std::size_t idx)
+{
+    if (idx >= limbo.size())
+        throw serial::Error("trace cache: checkpoint limbo out of range");
+    return TraceRef{limbo[idx].get(), mutationGen};
+}
+
 } // namespace parrot::tracecache

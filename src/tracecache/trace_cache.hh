@@ -8,12 +8,14 @@
 #define PARROT_TRACECACHE_TRACE_CACHE_HH
 
 #include <cstddef>
+#include <functional>
 #include <memory>
 #include <type_traits>
 #include <vector>
 
 #include "common/bitutil.hh"
 #include "common/logging.hh"
+#include "common/serialize.hh"
 #include "stats/group.hh"
 #include "stats/stats.hh"
 #include "tracecache/trace.hh"
@@ -69,6 +71,16 @@ struct TraceRef
 
 static_assert(std::is_trivially_copyable_v<TraceRef>,
               "fetch-path lookups must stay refcount-free");
+
+/** Resolves a static code address back to its macro-instruction when
+ * deserializing trace paths (Program::instAt or the replay image). */
+using InstResolver = std::function<const isa::MacroInst *(Addr)>;
+
+/** Serialize one trace (path instructions stored by pc). */
+void saveTrace(const Trace &trace, serial::Writer &out);
+
+/** Deserialize one trace, re-resolving path pointers via `resolve`. */
+Trace loadTrace(serial::Reader &in, const InstResolver &resolve);
 
 /**
  * Set-associative trace storage with LRU replacement.
@@ -130,6 +142,26 @@ class TraceCache
     }
 
     const TraceCacheConfig &config() const { return cfg; }
+
+    /** Serialize contents (incl. the limbo list) and counters. */
+    void saveState(serial::Writer &out) const;
+
+    /** Restore checkpointed contents (geometry must match). */
+    void loadState(serial::Reader &in, const InstResolver &resolve);
+
+    /** @name Active-trace relinking for checkpoints.
+     * A checkpointed simulator may hold a TraceRef into this cache (or
+     * its limbo list); these translate that reference to and from a
+     * stable (slot, limbo-index) coordinate. @{ */
+    /** Table slot holding `trace`, or -1 when not a table resident. */
+    int slotOf(const Trace *trace) const;
+    /** Limbo index holding `trace`, or -1. */
+    int limboIndexOf(const Trace *trace) const;
+    /** Re-materialize a reference to the trace in table slot `idx`. */
+    TraceRef refAtSlot(std::size_t idx);
+    /** Re-materialize a reference to limbo entry `idx`. */
+    TraceRef refInLimbo(std::size_t idx);
+    /** @} */
 
     /** Visit every stored trace (stats/debug). */
     template <typename Fn>

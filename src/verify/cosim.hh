@@ -32,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "common/serialize.hh"
 #include "isa/arch_state.hh"
 #include "stats/group.hh"
 #include "tracecache/trace.hh"
@@ -108,6 +109,40 @@ class CosimOracle
     /** Read-only views for tests. */
     const isa::ArchState &referenceState() const { return ref; }
     const isa::ArchState &machineState() const { return dut; }
+
+    /** Serialize both lock-step states and the oracle counters, so a
+     * checkpointed run resumes with the oracle still in step. */
+    void
+    saveState(serial::Writer &out) const
+    {
+        isa::saveArchState(ref, out);
+        isa::saveArchState(dut, out);
+        out.u64(touched.size());
+        for (Addr a : touched)
+            out.u64(a);
+        out.u64(st.coldCommits);
+        out.u64(st.traceCommits);
+        out.u64(st.uopsExecuted);
+        out.u64(st.mismatches);
+        out.str(st.firstMismatch);
+    }
+
+    /** Restore checkpointed oracle state. */
+    void
+    loadState(serial::Reader &in)
+    {
+        isa::loadArchState(ref, in);
+        isa::loadArchState(dut, in);
+        touched.clear();
+        const std::uint64_t n = in.u64();
+        for (std::uint64_t i = 0; i < n; ++i)
+            touched.push_back(in.u64());
+        st.coldCommits = in.u64();
+        st.traceCommits = in.u64();
+        st.uopsExecuted = in.u64();
+        st.mismatches = in.u64();
+        st.firstMismatch = in.str();
+    }
 
   private:
     /** Compare states at a boundary; record + optionally resync. */

@@ -213,4 +213,78 @@ Executor::next(DynInst &out)
     return true;
 }
 
+void
+Executor::saveState(serial::Writer &out) const
+{
+    for (unsigned i = 0; i < 4; ++i)
+        out.u64(rng.stateWord(i));
+    isa::saveArchState(state, out);
+    out.u32(static_cast<std::uint32_t>(callStack.size()));
+    for (const Frame &frame : callStack) {
+        out.i64(frame.proc);
+        out.i64(frame.block);
+        std::vector<std::pair<int, std::uint64_t>> trips(
+            frame.loopTrips.begin(), frame.loopTrips.end());
+        std::sort(trips.begin(), trips.end());
+        out.u32(static_cast<std::uint32_t>(trips.size()));
+        for (const auto &[block, remaining] : trips) {
+            out.i64(block);
+            out.u64(remaining);
+        }
+    }
+    out.i64(curProc);
+    out.i64(curBlock);
+    out.u64(curInst);
+    std::vector<std::pair<Addr, std::uint32_t>> patterns(
+        patternPos.begin(), patternPos.end());
+    std::sort(patterns.begin(), patterns.end());
+    out.u32(static_cast<std::uint32_t>(patterns.size()));
+    for (const auto &[pc, pos] : patterns) {
+        out.u64(pc);
+        out.u32(pos);
+    }
+    out.u64(seq);
+    out.u64(uops);
+    out.u64(hotInsts);
+}
+
+void
+Executor::loadState(serial::Reader &in)
+{
+    std::uint64_t s0 = in.u64(), s1 = in.u64();
+    std::uint64_t s2 = in.u64(), s3 = in.u64();
+    rng.restoreState(s0, s1, s2, s3);
+    isa::loadArchState(state, in);
+    callStack.clear();
+    const std::uint32_t depth = in.u32();
+    if (depth > maxCallDepth)
+        throw serial::Error("executor checkpoint: call stack too deep");
+    for (std::uint32_t i = 0; i < depth; ++i) {
+        Frame frame;
+        frame.proc = static_cast<int>(in.i64());
+        frame.block = static_cast<int>(in.i64());
+        const std::uint32_t n_trips = in.u32();
+        for (std::uint32_t t = 0; t < n_trips; ++t) {
+            const int block = static_cast<int>(in.i64());
+            frame.loopTrips[block] = in.u64();
+        }
+        callStack.push_back(std::move(frame));
+    }
+    curProc = static_cast<int>(in.i64());
+    curBlock = static_cast<int>(in.i64());
+    curInst = in.u64();
+    if (curProc < 0 ||
+        static_cast<std::size_t>(curProc) >= prog.procs.size())
+        throw serial::Error("executor checkpoint: position out of range");
+    patternPos.clear();
+    const std::uint32_t n_patterns = in.u32();
+    for (std::uint32_t i = 0; i < n_patterns; ++i) {
+        const Addr pc = in.u64();
+        patternPos[pc] = in.u32();
+    }
+    seq = in.u64();
+    uops = in.u64();
+    hotInsts = in.u64();
+}
+
 } // namespace parrot::workload

@@ -63,6 +63,13 @@ class Executor : public WorkloadSource
     /** Read-only view of the architectural state (for tests). */
     const isa::ArchState &archState() const { return state; }
 
+    /** Serialize the full execution state (position, RNG, registers,
+     * memory, loop/pattern bookkeeping) to a checkpoint. */
+    void saveState(serial::Writer &out) const override;
+
+    /** Restore checkpointed execution state. */
+    void loadState(serial::Reader &in) override;
+
   private:
     struct Frame
     {

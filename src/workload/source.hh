@@ -12,6 +12,7 @@
 #ifndef PARROT_WORKLOAD_SOURCE_HH
 #define PARROT_WORKLOAD_SOURCE_HH
 
+#include "common/serialize.hh"
 #include "workload/dyninst.hh"
 
 namespace parrot::workload
@@ -41,6 +42,26 @@ class WorkloadSource
 
     /** Restart the stream from the beginning. */
     virtual void reset() = 0;
+
+    /** @name Checkpoint hooks.
+     * Backends that can serialize their position/state override both;
+     * the default refuses, so a checkpoint over an unsupported backend
+     * fails loudly instead of silently recording a resumable lie.
+     * @{ */
+    virtual void
+    saveState(serial::Writer &) const
+    {
+        throw serial::Error(
+            "this workload source does not support checkpointing");
+    }
+
+    virtual void
+    loadState(serial::Reader &)
+    {
+        throw serial::Error(
+            "this workload source does not support checkpointing");
+    }
+    /** @} */
 };
 
 } // namespace parrot::workload

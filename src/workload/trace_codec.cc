@@ -869,6 +869,33 @@ TraceReplaySource::next(DynInst &out)
     return true;
 }
 
+void
+TraceReplaySource::saveState(serial::Writer &out) const
+{
+    out.u64(blockIdx);
+    out.u64(recInBlock);
+    out.u64(byteOff);
+    out.u64(ctiInBlock);
+    out.u64(pc);
+    out.u64(prevMemAddr);
+    out.u64(seq);
+}
+
+void
+TraceReplaySource::loadState(serial::Reader &in)
+{
+    blockIdx = in.u64();
+    recInBlock = in.u64();
+    byteOff = in.u64();
+    ctiInBlock = in.u64();
+    pc = in.u64();
+    prevMemAddr = in.u64();
+    seq = in.u64();
+    if (blockIdx > data->blocks.size() || seq > data->numRecords)
+        throw serial::Error(
+            "trace replay checkpoint: cursor out of range");
+}
+
 // ---------------------------------------------------------------------
 // Writer.
 // ---------------------------------------------------------------------

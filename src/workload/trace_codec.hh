@@ -188,6 +188,16 @@ class TraceReplaySource : public WorkloadSource
     /** Records produced so far. */
     std::uint64_t produced() const { return seq; }
 
+    /** Total records in the backing trace. */
+    std::uint64_t totalRecords() const { return data->numRecords; }
+
+    /** Serialize the replay cursor (the shared TraceData itself is
+     * reconstructed from the `.ptrace` file on resume). */
+    void saveState(serial::Writer &out) const override;
+
+    /** Restore a checkpointed cursor over the same trace. */
+    void loadState(serial::Reader &in) override;
+
   private:
     std::shared_ptr<const TraceData> data;
 

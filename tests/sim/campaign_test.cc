@@ -224,4 +224,60 @@ TEST(CampaignTest, FullyCachedCampaignRunsNothing)
     cleanup(cache);
 }
 
+TEST(CampaignTest, ExitCodeTruthTable)
+{
+    // Exit-code contract over the (converged, tombstones) plane. Code
+    // 1 is reserved for correctness alarms (cosim mismatches): a grid
+    // that merely exhausted --max-rounds with cells missing is
+    // degraded output (3), never an alarm — and never a silent 0.
+    sim::CampaignReport r;
+
+    r.converged = true;
+    r.tombstones = 0;
+    EXPECT_EQ(r.exitCode(), 0);
+
+    r.converged = true;
+    r.tombstones = 2;
+    EXPECT_EQ(r.exitCode(), 3);
+
+    r.converged = false;
+    r.tombstones = 0;
+    EXPECT_EQ(r.exitCode(), 3)
+        << "a non-converged campaign must report degraded results, "
+           "not a correctness alarm";
+
+    r.converged = false;
+    r.tombstones = 1;
+    EXPECT_EQ(r.exitCode(), 3);
+}
+
+TEST(CampaignTest, ExhaustedRoundsExitDegraded)
+{
+    // End-to-end: worker 1 is SIGKILLed mid-campaign, its in-flight
+    // cell never reaches the cache, and --max-rounds 1 forbids the
+    // respawn round that would finish it. The campaign exhausts its
+    // rounds with cells missing — an incomplete grid that must exit
+    // degraded (3), never the correctness-alarm code (1) that pre-fix
+    // non-convergence mapped to, and never a silent 0.
+    const std::string cache = "test_campaign_degraded.tmp";
+    cleanup(cache);
+    setenv("PARROT_FAULT_CRASH_AT_CELL", "1", 1);
+    setenv("PARROT_FAULT_WORKER", "1", 1);
+    fault::resetForTest();
+
+    auto opts = tinyCampaign(cache, 2, 1);
+    opts.maxRounds = 1;
+    auto report = sim::runCampaign(opts);
+
+    EXPECT_FALSE(report.converged);
+    EXPECT_GT(report.missingCells, 0u);
+    EXPECT_EQ(report.exitCode(), 3)
+        << "an exhausted-rounds grid must exit degraded, not alarm";
+
+    unsetenv("PARROT_FAULT_CRASH_AT_CELL");
+    unsetenv("PARROT_FAULT_WORKER");
+    fault::resetForTest();
+    cleanup(cache);
+}
+
 } // namespace

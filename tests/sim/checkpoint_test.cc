@@ -1,0 +1,329 @@
+/**
+ * @file
+ * Warm-state checkpoint tests: the resume oracle and the hostile-input
+ * matrix.
+ *
+ * The correctness contract is segmented identity: `run(M);
+ * saveCheckpoint; loadCheckpoint (fresh process); run(N)` must produce
+ * a SimResult bit-identical to the same simulator running `run(M);
+ * run(N)` in one process — for trace-cache models, cosim-clean, across
+ * applications. The container itself treats input as hostile: every
+ * structural violation must be rejected with a stable
+ * CheckpointError category and a distinct message (mirroring the
+ * `.ptrace` corrupt-input matrix), never a crash or a silent
+ * mis-resume.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/checkpoint.hh"
+#include "sim/result.hh"
+#include "sim/simulator.hh"
+#include "workload/apps.hh"
+
+namespace
+{
+
+using namespace parrot;
+using namespace parrot::sim;
+
+constexpr std::uint64_t kMid = 30000;  //!< checkpoint position
+constexpr std::uint64_t kFull = 60000; //!< final budget
+constexpr double kPmax = 2.5;
+
+class CheckpointTest : public ::testing::Test
+{
+  protected:
+    static void SetUpTestSuite()
+    {
+        dir = (std::filesystem::temp_directory_path() /
+               "parrot_checkpoint_tests")
+                  .string();
+        std::filesystem::create_directories(dir);
+    }
+
+    static void TearDownTestSuite()
+    {
+        std::filesystem::remove_all(dir);
+        dir.clear();
+    }
+
+    static ModelConfig
+    cosimConfig(const std::string &model)
+    {
+        ModelConfig cfg = ModelConfig::make(model);
+        cfg.cosim = true; // resume must stay oracle-clean
+        return cfg;
+    }
+
+    static Workload
+    app(const std::string &name)
+    {
+        return loadWorkload(workload::findApp(name));
+    }
+
+    static void
+    expectBitIdentical(const SimResult &a, const SimResult &b,
+                       const std::string &what)
+    {
+        for (const auto &field : resultFields()) {
+            const double x = field.get(a);
+            const double y = field.get(b);
+            std::uint64_t xb, yb;
+            static_assert(sizeof x == sizeof xb);
+            std::memcpy(&xb, &x, sizeof xb);
+            std::memcpy(&yb, &y, sizeof yb);
+            EXPECT_EQ(xb, yb)
+                << what << ": field '" << field.key << "' diverges ("
+                << x << " vs " << y << ")";
+        }
+    }
+
+    static std::string
+    readFile(const std::string &path)
+    {
+        std::ifstream in(path, std::ios::binary);
+        return std::string(std::istreambuf_iterator<char>(in), {});
+    }
+
+    static void
+    writeFile(const std::string &path, const std::string &bytes)
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size()));
+    }
+
+    static std::string dir;
+};
+
+std::string CheckpointTest::dir;
+
+TEST_F(CheckpointTest, ResumeBitIdenticalAcrossAppsAndModels)
+{
+    for (const char *model : {"TON", "TOS"}) {
+        for (const char *name : {"swim", "gzip", "word", "flash"}) {
+            const std::string what =
+                std::string(model) + "/" + name;
+            const std::string path = dir + "/" + what + ".pckp";
+            std::filesystem::create_directories(
+                std::filesystem::path(path).parent_path());
+
+            const ModelConfig cfg = cosimConfig(model);
+            const Workload load = app(name);
+
+            // Reference: the same simulator, segmented in-process.
+            ParrotSimulator ref(cfg, load);
+            ref.run(kMid, kPmax);
+            SimResult want = ref.run(kFull, kPmax);
+
+            // Checkpoint path: save at kMid, resume in a fresh
+            // simulator (fresh workload, fresh stats tree), finish.
+            ParrotSimulator saver(cfg, load);
+            saver.run(kMid, kPmax);
+            saver.saveCheckpoint(path);
+
+            ParrotSimulator resumer(cfg, load);
+            resumer.loadCheckpoint(path);
+            // Budgets overshoot by the commit-granularity remainder, so
+            // the resume position is "wherever the saver stopped", not
+            // the nominal budget.
+            EXPECT_EQ(resumer.position(), saver.position()) << what;
+            EXPECT_GE(resumer.position(), kMid) << what;
+            SimResult got = resumer.run(kFull, kPmax);
+
+            EXPECT_EQ(got.cosimMismatches, 0u) << what;
+            expectBitIdentical(want, got, what);
+        }
+    }
+}
+
+TEST_F(CheckpointTest, ResumeBitIdenticalInSampledMode)
+{
+    // The sampled fetch-state machine (fast-forward counters, window
+    // bookkeeping, warm-only structures) must survive the round trip
+    // exactly like the detailed one.
+    ModelConfig cfg = ModelConfig::make("TON");
+    cfg.sampleWindow = 4000;
+    cfg.sampleStride = 20000;
+    const Workload load = app("swim");
+    const std::string path = dir + "/sampled.pckp";
+
+    ParrotSimulator ref(cfg, load);
+    ref.run(kMid, kPmax);
+    SimResult want = ref.run(kFull, kPmax);
+
+    ParrotSimulator saver(cfg, load);
+    saver.run(kMid, kPmax);
+    saver.saveCheckpoint(path);
+    ParrotSimulator resumer(cfg, load);
+    resumer.loadCheckpoint(path);
+    SimResult got = resumer.run(kFull, kPmax);
+
+    expectBitIdentical(want, got, "TON/swim sampled");
+}
+
+TEST_F(CheckpointTest, SaveIsDeterministic)
+{
+    // Two identical runs must publish byte-identical checkpoint files
+    // (serialization cannot depend on hash-map iteration order).
+    const std::string a = dir + "/det_a.pckp";
+    const std::string b = dir + "/det_b.pckp";
+    for (const std::string &path : {a, b}) {
+        ParrotSimulator sim(cosimConfig("TOS"), app("word"));
+        sim.run(kMid, kPmax);
+        sim.saveCheckpoint(path);
+    }
+    EXPECT_EQ(readFile(a), readFile(b));
+}
+
+TEST_F(CheckpointTest, CorruptInputMatrixYieldsDistinctCategories)
+{
+    CheckpointMeta meta;
+    meta.model = "TON";
+    meta.app = "swim";
+    meta.seed = 7;
+    meta.position = 123;
+    meta.instBudget = 456;
+    const std::string good = encodeCheckpoint(meta, "state-payload");
+
+    // Sanity: the untampered image decodes.
+    std::string state;
+    EXPECT_EQ(decodeCheckpoint(good, state).app, "swim");
+    EXPECT_EQ(state, "state-payload");
+
+    struct Case
+    {
+        const char *name;
+        std::string bytes;
+        CheckpointError want;
+    };
+    std::string bad_magic = good;
+    bad_magic[0] = 'X';
+    std::string bad_version = good;
+    bad_version[4] = char(0x7f);
+    std::string bad_reserved = good;
+    bad_reserved[6] = 1;
+    std::string crc_flip = good;
+    crc_flip[12] ^= 0x40; // inside the META section framing/payload
+    std::string trailing = good + "x";
+    const std::vector<Case> cases = {
+        {"empty", std::string(), CheckpointError::Empty},
+        {"bad magic", bad_magic, CheckpointError::BadMagic},
+        {"bad version", bad_version, CheckpointError::BadVersion},
+        {"bad reserved", bad_reserved, CheckpointError::BadReserved},
+        {"truncated header", good.substr(0, 6),
+         CheckpointError::Truncated},
+        {"truncated section", good.substr(0, good.size() - 1),
+         CheckpointError::Truncated},
+        {"crc flip", crc_flip, CheckpointError::SectionCrc},
+        {"trailing bytes", trailing, CheckpointError::TrailingBytes},
+    };
+
+    std::map<std::string, std::string> messages;
+    for (const auto &c : cases) {
+        std::string out;
+        try {
+            decodeCheckpoint(c.bytes, out);
+            FAIL() << c.name << ": corrupt input was accepted";
+        } catch (const CheckpointFormatError &e) {
+            EXPECT_EQ(e.category(), c.want)
+                << c.name << " -> " << checkpointErrorName(e.category())
+                << " (" << e.what() << ")";
+            messages[c.name] = e.what();
+        }
+    }
+    // Distinct messages: an operator must be able to tell the failure
+    // modes apart from the CLI error line alone.
+    std::map<std::string, std::string> byMessage;
+    for (const auto &[name, msg] : messages) {
+        EXPECT_TRUE(byMessage.emplace(msg, name).second)
+            << "'" << name << "' and '" << byMessage[msg]
+            << "' share the message: " << msg;
+    }
+}
+
+TEST_F(CheckpointTest, StructurallyInvalidMetaRejected)
+{
+    CheckpointMeta meta;
+    meta.model = ""; // the decoder must refuse an unnamed cell
+    meta.app = "swim";
+    std::string state;
+    EXPECT_THROW(
+        {
+            try {
+                decodeCheckpoint(encodeCheckpoint(meta, "s"), state);
+            } catch (const CheckpointFormatError &e) {
+                EXPECT_EQ(e.category(), CheckpointError::BadMeta);
+                throw;
+            }
+        },
+        CheckpointFormatError);
+}
+
+TEST_F(CheckpointTest, MismatchedCellRejectedBeforeStateLoad)
+{
+    const std::string path = dir + "/mismatch.pckp";
+    ParrotSimulator saver(cosimConfig("TON"), app("swim"));
+    saver.run(kMid, kPmax);
+    saver.saveCheckpoint(path);
+
+    ParrotSimulator wrong_model(cosimConfig("TOS"), app("swim"));
+    try {
+        wrong_model.loadCheckpoint(path);
+        FAIL() << "model mismatch was accepted";
+    } catch (const CheckpointFormatError &e) {
+        EXPECT_EQ(e.category(), CheckpointError::ModelMismatch);
+    }
+
+    ParrotSimulator wrong_app(cosimConfig("TON"), app("gzip"));
+    try {
+        wrong_app.loadCheckpoint(path);
+        FAIL() << "app mismatch was accepted";
+    } catch (const CheckpointFormatError &e) {
+        EXPECT_EQ(e.category(), CheckpointError::AppMismatch);
+    }
+}
+
+TEST_F(CheckpointTest, GarbageStatePayloadRejectedAsBadState)
+{
+    // Valid container, matching META, nonsense STATE: the state
+    // decoder must throw BadState, not crash or half-apply.
+    auto entry = workload::findApp("swim");
+    CheckpointMeta meta;
+    meta.model = "TON";
+    meta.app = "swim";
+    meta.seed = entry.profile.seed;
+    meta.position = 100;
+    meta.instBudget = kFull;
+    const std::string path = dir + "/badstate.pckp";
+    writeFile(path, encodeCheckpoint(meta, "not a state blob"));
+
+    ParrotSimulator sim(cosimConfig("TON"), app("swim"));
+    try {
+        sim.loadCheckpoint(path);
+        FAIL() << "garbage state was accepted";
+    } catch (const CheckpointFormatError &e) {
+        EXPECT_EQ(e.category(), CheckpointError::BadState);
+    }
+}
+
+TEST_F(CheckpointTest, UnreadableFileRejectedAsIo)
+{
+    std::string state;
+    try {
+        readCheckpointFile(dir + "/does_not_exist.pckp", state);
+        FAIL() << "missing file was accepted";
+    } catch (const CheckpointFormatError &e) {
+        EXPECT_EQ(e.category(), CheckpointError::Io);
+    }
+}
+
+} // namespace

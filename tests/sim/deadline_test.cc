@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdlib>
 
 #include "common/fault.hh"
@@ -39,6 +40,38 @@ TEST(DeadlineTest, GenerousDeadlineIsObservationallyPure)
     sim::SimResult b = with.run(50'000, 0.0, /*deadline_ms=*/60'000);
     for (const auto &f : sim::resultFields())
         EXPECT_EQ(f.get(a), f.get(b)) << f.key;
+}
+
+TEST(DeadlineTest, InjectedStallIsSlicedAgainstTheDeadline)
+{
+    // The injected PARROT_FAULT_SLOW_CELL stall dwarfs the deadline by
+    // 200x. Pre-fix the stall slept in one unbounded chunk, so the run
+    // held the worker hostage for the full stall before the watchdog
+    // could fire; sliced sleeping must abort within the deadline's
+    // order of magnitude instead.
+    setenv("PARROT_FAULT_SLOW_CELL", "1", 1);
+    setenv("PARROT_FAULT_SLOW_MS", "10000", 1);
+    fault::resetForTest();
+    fault::armAttempt(/*cell=*/1, /*attempt=*/1);
+
+    auto entry = workload::findApp("swim");
+    sim::Workload load = sim::loadWorkload(entry);
+    sim::ParrotSimulator s(sim::ModelConfig::make("N"), load);
+    const auto start = std::chrono::steady_clock::now();
+    EXPECT_THROW(s.run(/*inst_budget=*/50'000, /*pmax_per_cycle=*/0.0,
+                       /*deadline_ms=*/50),
+                 sim::DeadlineExceeded);
+    const auto elapsed =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    // Generous bound: far below the 10 s stall, far above the 50 ms
+    // deadline plus scheduler noise.
+    EXPECT_LT(elapsed, 2000) << "stall was not sliced by the watchdog";
+
+    unsetenv("PARROT_FAULT_SLOW_CELL");
+    unsetenv("PARROT_FAULT_SLOW_MS");
+    fault::resetForTest();
 }
 
 TEST(DeadlineTest, TimedOutCellTombstonesInsteadOfAbortingSuite)

@@ -1,0 +1,269 @@
+/**
+ * @file
+ * Sampled-mode tests: the SMARTS-style fast-forward machinery, its
+ * extrapolated results and confidence intervals, the sample.* config
+ * plumbing, and the stats-series window regression (an empty final
+ * window must never be appended when the run ends exactly on a
+ * sampling boundary with nothing left to drain).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <sstream>
+#include <string>
+
+#include "sim/config_file.hh"
+#include "sim/result.hh"
+#include "sim/simulator.hh"
+#include "stats/timeseries.hh"
+#include "workload/apps.hh"
+
+namespace
+{
+
+using namespace parrot;
+using namespace parrot::sim;
+
+constexpr double kPmax = 2.5;
+
+SimResult
+runConfigured(ModelConfig cfg, const std::string &app,
+              std::uint64_t budget)
+{
+    Workload w = loadWorkload(workload::findApp(app));
+    ParrotSimulator s(cfg, w);
+    return s.run(budget, kPmax);
+}
+
+/** The time-series must never contain a zero-width window: every row
+ * is sampled strictly later (in cycles) than the one before it. */
+void
+expectNoEmptyWindows(const SimResult &r, const std::string &what)
+{
+    ASSERT_NE(r.series, nullptr) << what;
+    const stats::TimeSeries &series = *r.series;
+    ASSERT_GT(series.numWindows(), 0u) << what;
+    double prev_cycle = -1.0;
+    for (std::size_t i = 0; i < series.numWindows(); ++i) {
+        const double cycle = series.at(i, "cycle");
+        EXPECT_GT(cycle, prev_cycle)
+            << what << ": window " << i
+            << " is empty (duplicate cycle boundary)";
+        prev_cycle = cycle;
+    }
+    // The final row covers the drain; width zero means it duplicated
+    // the last in-loop sample.
+    EXPECT_GT(series.at(series.numWindows() - 1, "w_cycles"), 0.0)
+        << what << ": final window has zero width";
+}
+
+// --- satellite: empty final stats-series window ----------------------
+
+TEST(StatsSeriesWindowTest, NoEmptyFinalWindowAcrossBudgets)
+{
+    // interval=1 makes every cycle a sampling boundary, so any run
+    // whose drain retires nothing would (pre-fix) append a zero-width
+    // duplicate of the last in-loop row. Sweep a few budgets so at
+    // least one run ends drained on the boundary.
+    for (std::uint64_t budget = 2000; budget < 2008; ++budget) {
+        ModelConfig cfg = ModelConfig::make("N");
+        cfg.statsInterval = 1;
+        SimResult r = runConfigured(cfg, "word", budget);
+        expectNoEmptyWindows(r, "N/word/" + std::to_string(budget));
+    }
+}
+
+TEST(StatsSeriesWindowTest, NoEmptyFinalWindowInSampledMode)
+{
+    // Sampled runs end every window with a full quiesce, so the run
+    // can finish already-drained exactly on a sampling boundary — the
+    // pre-fix reproduction of the duplicate empty window. This exact
+    // cell (W/word, 2000:8000, budget 20000, interval 1) ends its last
+    // window with the core empty at the commit boundary, so the
+    // unconditional final append duplicated the last in-loop row.
+    ModelConfig cfg = ModelConfig::make("W");
+    cfg.statsInterval = 1;
+    cfg.sampleWindow = 2000;
+    cfg.sampleStride = 8000;
+    SimResult r = runConfigured(cfg, "word", 20000);
+    expectNoEmptyWindows(r, "W/word sampled");
+}
+
+TEST(StatsSeriesWindowTest, WindowCountMatchesIntervalGrid)
+{
+    // Pin the count law: one row per full interval inside the detailed
+    // portion, plus exactly one drain row when the drain added cycles.
+    ModelConfig cfg = ModelConfig::make("N");
+    cfg.statsInterval = 100;
+    SimResult r = runConfigured(cfg, "word", 20000);
+    ASSERT_NE(r.series, nullptr);
+    const stats::TimeSeries &series = *r.series;
+    const double last_cycle =
+        series.at(series.numWindows() - 1, "cycle");
+    EXPECT_EQ(static_cast<std::uint64_t>(last_cycle), r.cycles);
+    // Every interior row sits on the interval grid; only the final
+    // drain row may fall off-grid.
+    for (std::size_t i = 0; i + 1 < series.numWindows(); ++i) {
+        const auto cycle =
+            static_cast<std::uint64_t>(series.at(i, "cycle"));
+        EXPECT_EQ(cycle % 100, 0u) << "row " << i;
+    }
+    const std::uint64_t on_grid = r.cycles / 100;
+    EXPECT_GE(series.numWindows(), on_grid);
+    EXPECT_LE(series.numWindows(), on_grid + 1);
+}
+
+// --- sampled simulation ----------------------------------------------
+
+TEST(SamplingTest, SampledRunIsDeterministic)
+{
+    ModelConfig cfg = ModelConfig::make("TON");
+    cfg.sampleWindow = 5000;
+    cfg.sampleStride = 25000;
+    SimResult a = runConfigured(cfg, "swim", 100000);
+    SimResult b = runConfigured(cfg, "swim", 100000);
+    for (const auto &f : resultFields()) {
+        const double x = f.get(a), y = f.get(b);
+        std::uint64_t xb, yb;
+        std::memcpy(&xb, &x, sizeof xb);
+        std::memcpy(&yb, &y, sizeof yb);
+        EXPECT_EQ(xb, yb) << f.key;
+    }
+}
+
+TEST(SamplingTest, DetailedRunCarriesTrivialSampleFields)
+{
+    SimResult r =
+        runConfigured(ModelConfig::make("TON"), "swim", 50000);
+    EXPECT_EQ(r.sampleWindows, 0u);
+    EXPECT_DOUBLE_EQ(r.sampleCoverage, 1.0);
+    EXPECT_DOUBLE_EQ(r.sampleCiIpc, 0.0);
+    EXPECT_DOUBLE_EQ(r.sampleCiEnergy, 0.0);
+}
+
+TEST(SamplingTest, SampledRunExtrapolatesExtensiveFields)
+{
+    constexpr std::uint64_t kBudget = 200000;
+    ModelConfig cfg = ModelConfig::make("TON");
+    cfg.sampleWindow = 5000;
+    cfg.sampleStride = 25000;
+    SimResult r = runConfigured(cfg, "swim", kBudget);
+
+    // Extensive counters are scaled up to the full stream position.
+    EXPECT_GE(r.insts, kBudget);
+    EXPECT_LT(r.insts, kBudget + cfg.sampleStride);
+    EXPECT_GT(r.cycles, 0u);
+    EXPECT_GT(r.dynamicEnergy, 0.0);
+
+    // The sampled summary is populated and plausible.
+    EXPECT_GE(r.sampleWindows, kBudget / cfg.sampleStride);
+    EXPECT_GT(r.sampleCoverage, 0.1);
+    EXPECT_LT(r.sampleCoverage, 0.5);
+    EXPECT_GT(r.sampleCiIpc, 0.0);
+    EXPECT_GT(r.sampleCiEnergy, 0.0);
+
+    // Intensive metrics stay in physical range after extrapolation.
+    EXPECT_GT(r.ipc, 0.1);
+    EXPECT_LT(r.ipc, 8.0);
+}
+
+TEST(SamplingTest, SampleFieldsLiveInStatsTreeAndSchema)
+{
+    ModelConfig cfg = ModelConfig::make("TON");
+    cfg.sampleWindow = 5000;
+    cfg.sampleStride = 25000;
+    Workload w = loadWorkload(workload::findApp("swim"));
+    ParrotSimulator s(cfg, w);
+    s.run(100000, kPmax);
+
+    stats::Snapshot snap = s.statsTree().snapshot();
+    for (const char *key : {"sample.windows", "sample.coverage",
+                            "sample.ci_ipc", "sample.ci_energy"}) {
+        EXPECT_TRUE(snap.has(key)) << key;
+        ASSERT_NE(findResultField(key), nullptr) << key;
+    }
+    EXPECT_GT(snap.get("sample.windows"), 0.0);
+}
+
+TEST(SamplingTest, SampleConfigKeysParse)
+{
+    const std::string text = "base = TON\n"
+                             "sample.window = 7000\n"
+                             "sample.stride = 91000\n";
+    ModelConfig cfg = parseModelConfig(text, "inline-test");
+    EXPECT_EQ(cfg.sampleWindow, 7000u);
+    EXPECT_EQ(cfg.sampleStride, 91000u);
+}
+
+TEST(SamplingDeathTest, StrideMustExceedWindow)
+{
+    ModelConfig cfg = ModelConfig::make("N");
+    cfg.sampleWindow = 1000;
+    cfg.sampleStride = 1000;
+    EXPECT_EXIT(
+        {
+            Workload w = loadWorkload(workload::findApp("word"));
+            ParrotSimulator s(cfg, w);
+        },
+        ::testing::ExitedWithCode(1), "sample.stride");
+}
+
+TEST(SamplingDeathTest, StrideWithoutWindowRejected)
+{
+    ModelConfig cfg = ModelConfig::make("N");
+    cfg.sampleStride = 1000;
+    EXPECT_EXIT(
+        {
+            Workload w = loadWorkload(workload::findApp("word"));
+            ParrotSimulator s(cfg, w);
+        },
+        ::testing::ExitedWithCode(1), "sample.stride");
+}
+
+// --- the CI sampled-smoke cell ---------------------------------------
+
+/** One cell run detailed and sampled (the recipe EXPERIMENTS.md
+ * documents): the sampled estimates must land within the run's own
+ * stated 95% confidence intervals, and those intervals must stay
+ * under the configured reporting threshold. `ctest -R SamplingSmoke`
+ * is the CI entry point. */
+TEST(SamplingSmokeTest, SampledErrorWithinStatedCi)
+{
+    constexpr std::uint64_t kBudget = 6000000;
+    constexpr double kCiThreshold = 0.30; // reported bounds above this
+                                          // are useless for reporting
+
+    ModelConfig detailed_cfg = ModelConfig::make("W");
+    SimResult detailed = runConfigured(detailed_cfg, "swim", kBudget);
+
+    ModelConfig sampled_cfg = ModelConfig::make("W");
+    sampled_cfg.sampleWindow = 8000;
+    sampled_cfg.sampleStride = 320000;
+    SimResult sampled = runConfigured(sampled_cfg, "swim", kBudget);
+
+    const double d_cpi = static_cast<double>(detailed.cycles) /
+                         static_cast<double>(detailed.insts);
+    const double s_cpi = static_cast<double>(sampled.cycles) /
+                         static_cast<double>(sampled.insts);
+    const double d_epi =
+        detailed.dynamicEnergy / static_cast<double>(detailed.insts);
+    const double s_epi =
+        sampled.dynamicEnergy / static_cast<double>(sampled.insts);
+    const double cpi_err = std::abs(s_cpi - d_cpi) / d_cpi;
+    const double energy_err = std::abs(s_epi - d_epi) / d_epi;
+
+    EXPECT_GE(sampled.sampleWindows, 4u);
+    EXPECT_LT(sampled.sampleCoverage, 0.05);
+    EXPECT_LE(sampled.sampleCiIpc, kCiThreshold);
+    EXPECT_LE(sampled.sampleCiEnergy, kCiThreshold);
+    EXPECT_LE(cpi_err, sampled.sampleCiIpc)
+        << "sampled CPI misses the detailed value by more than the "
+           "stated CI";
+    EXPECT_LE(energy_err, sampled.sampleCiEnergy)
+        << "sampled energy/inst misses the detailed value by more "
+           "than the stated CI";
+}
+
+} // namespace

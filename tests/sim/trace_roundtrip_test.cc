@@ -188,4 +188,33 @@ TEST_F(TraceRoundTripTest, ExhaustedTraceFailsLoudly)
         std::runtime_error);
 }
 
+TEST_F(TraceRoundTripTest, MarginBoundaryDrainsGracefully)
+{
+    // The margin contract, exactly at the boundary: a recording holds
+    // budget + ptraceRecordMargin records, so a run whose budget
+    // equals the record count fetches the entire recording. The
+    // source then runs dry while the tail is still committing — a
+    // drain-phase exhaustion that must degrade gracefully (the budget
+    // is still reachable from what was fetched), not abort the cell.
+    auto swim = traceCell(workload::findApp("swim"));
+    const std::uint64_t records =
+        kBudget + workload::ptraceRecordMargin;
+
+    for (const char *model : {"N", "TON"}) {
+        ModelConfig cfg = ModelConfig::make(model);
+        Workload w = loadWorkload(swim);
+        ParrotSimulator sim(cfg, w);
+        SimResult r;
+        ASSERT_NO_THROW(r = sim.run(records, kPmax)) << model;
+        EXPECT_GE(r.insts, records) << model;
+    }
+
+    // One record past the margin the budget is genuinely unreachable:
+    // the loud failure contract still holds.
+    ModelConfig cfg = ModelConfig::make("TON");
+    Workload w = loadWorkload(swim);
+    ParrotSimulator sim(cfg, w);
+    EXPECT_THROW(sim.run(records + 1, kPmax), std::runtime_error);
+}
+
 } // namespace

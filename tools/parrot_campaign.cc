@@ -10,9 +10,10 @@
  *
  *   parrot_campaign --workers 4 --jobs 2 --insts 600000
  *
- * Exit status: 0 = every cell computed and healthy; 1 = campaign did
- * not converge (cells still missing); 3 = converged but some cells
- * are tombstones; 2 = usage error.
+ * Exit status: 0 = every cell computed and healthy; 3 = degraded
+ * results (cells still missing after the rounds ran out, or recorded
+ * only as tombstones); 2 = usage error. Exit 1 is reserved for
+ * correctness alarms and is never produced by an incomplete grid.
  */
 
 #include <cstdio>
@@ -49,6 +50,8 @@ usage(const char *argv0)
         "  --cache PATH      result cache file (default "
         "parrot_bench_cache.txt)\n"
         "  --deadline-ms N   per-cell wall-clock watchdog\n"
+        "  --checkpoint-dir D  save/resume per-cell warm-state "
+        "checkpoints in D\n"
         "  --retries N       attempts before a cell is tombstoned\n"
         "  --max-rounds N    worker respawn rounds (default 5)\n"
         "  --no-leakage      skip the Pmax calibration (leakage = 0)\n"
@@ -107,6 +110,8 @@ main(int argc, char **argv)
         } else if (!std::strcmp(arg, "--deadline-ms")) {
             opts.run.deadlineMs =
                 cli::parseU64(arg, cli::needValue(argc, argv, i));
+        } else if (!std::strcmp(arg, "--checkpoint-dir")) {
+            opts.run.checkpointDir = cli::needValue(argc, argv, i);
         } else if (!std::strcmp(arg, "--retries")) {
             opts.run.maxRetries =
                 cli::parseU32(arg, cli::needValue(argc, argv, i));
